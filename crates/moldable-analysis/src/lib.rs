@@ -1,0 +1,24 @@
+//! # moldable-analysis
+//!
+//! Statistical helpers for the experiment harness. The paper's evaluation
+//! is a set of asymptotic running-time claims (Table 1, Theorems 2 & 3);
+//! our reproduction measures wall-clock times and oracle-call counts over
+//! parameter sweeps and then checks the *shape*:
+//!
+//! * **linear in `n`** — log-log slope ≈ 1 when sweeping `n`;
+//! * **polylogarithmic in `m`** — log-log slope ≈ 0 against `m` (i.e.
+//!   polynomial in `log m`: regress against `log m` instead);
+//! * **polynomial in `1/ε`** — bounded log-log slope against `1/ε`.
+//!
+//! [`loglog_fit`] does ordinary least squares on `(ln x, ln y)`;
+//! [`fit`] on raw pairs; [`Summary`] collects robust summaries of repeated
+//! measurements (medians are what the table binaries report).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod regression;
+pub mod summary;
+
+pub use regression::{fit, loglog_fit, Fit};
+pub use summary::Summary;

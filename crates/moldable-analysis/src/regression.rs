@@ -1,0 +1,144 @@
+//! Ordinary least squares on `(x, y)` pairs, plus the log-log variant used
+//! to estimate power-law exponents from sweeps.
+//!
+//! These run on measured data (already floating point), so `f64` is fine
+//! here — exactness matters in the algorithms, not the reporting.
+
+/// A fitted line `y = intercept + slope·x` with goodness-of-fit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fit {
+    /// Slope of the least-squares line.
+    pub slope: f64,
+    /// Intercept of the least-squares line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+    /// Number of points used.
+    pub len: usize,
+}
+
+/// Least-squares fit of `y = a + b·x`.
+///
+/// Returns `None` for fewer than two points or zero variance in `x`.
+pub fn fit(points: &[(f64, f64)]) -> Option<Fit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // R² = 1 − SS_res / SS_tot; for constant y define a perfect fit.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = points
+            .iter()
+            .map(|&(x, y)| {
+                let e = y - (intercept + slope * x);
+                e * e
+            })
+            .sum();
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    Some(Fit {
+        slope,
+        intercept,
+        r_squared,
+        len: n,
+    })
+}
+
+/// Fit `ln y = a + b·ln x`; the slope `b` estimates the exponent of a
+/// power law `y ∝ x^b`.
+///
+/// Non-positive coordinates are skipped (they have no logarithm; a
+/// zero-time measurement means the clock under-resolved, not that the
+/// algorithm is free).
+pub fn loglog_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_has_loglog_slope_two() {
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| (i as f64, (i * i) as f64 * 5.0))
+            .collect();
+        let f = loglog_fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-9, "slope = {}", f.slope);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn linear_has_loglog_slope_one() {
+        let pts: Vec<(f64, f64)> = (1..=32).map(|i| (i as f64, 7.0 * i as f64)).collect();
+        let f = loglog_fit(&pts).unwrap();
+        assert!((f.slope - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logarithmic_growth_has_near_zero_loglog_slope_at_scale() {
+        // y = log2 x sampled at x = 2^10 .. 2^30: slope well below 0.2.
+        let pts: Vec<(f64, f64)> = (10..=30)
+            .map(|e| ((1u64 << e) as f64, e as f64))
+            .collect();
+        let f = loglog_fit(&pts).unwrap();
+        assert!(f.slope < 0.2, "slope = {}", f.slope);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(fit(&[]).is_none());
+        assert!(fit(&[(1.0, 1.0)]).is_none());
+        assert!(fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none()); // zero x-variance
+    }
+
+    #[test]
+    fn skips_nonpositive_points_in_loglog() {
+        let pts = [(0.0, 1.0), (1.0, 0.0), (2.0, 4.0), (4.0, 16.0), (8.0, 64.0)];
+        let f = loglog_fit(&pts).unwrap();
+        assert_eq!(f.len, 3);
+        assert!((f.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 4.0)).collect();
+        let f = fit(&pts).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Robust summaries of repeated measurements.
+//!
+//! Wall-clock benchmarking is noisy; the table binaries repeat every cell
+//! and report medians (robust to scheduler hiccups) alongside min/max and
+//! the mean for reference.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub len: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower-middle for even sizes, interpolated).
+    pub median: f64,
+    /// Sample standard deviation (0 for singletons).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample; returns `None` when empty.
+    ///
+    /// NaN observations are rejected by panic — they indicate a broken
+    /// measurement harness, not data.
+    pub fn of(sample: &[f64]) -> Option<Summary> {
+        if sample.is_empty() {
+            return None;
+        }
+        assert!(
+            sample.iter().all(|v| !v.is_nan()),
+            "NaN in measurement sample"
+        );
+        let len = sample.len();
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = sorted[0];
+        let max = sorted[len - 1];
+        let mean = sorted.iter().sum::<f64>() / len as f64;
+        let median = if len % 2 == 1 {
+            sorted[len / 2]
+        } else {
+            (sorted[len / 2 - 1] + sorted[len / 2]) / 2.0
+        };
+        let stddev = if len < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / (len - 1) as f64;
+            var.sqrt()
+        };
+        Some(Summary {
+            len,
+            min,
+            max,
+            mean,
+            median,
+            stddev,
+        })
+    }
+
+    /// Relative spread `(max − min) / median`; infinity when median is 0.
+    pub fn relative_spread(&self) -> f64 {
+        if self.median == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.max - self.min) / self.median
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_sample() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.len, 3);
+    }
+
+    #[test]
+    fn even_sample_interpolates_median() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 4.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::of(&[7.5]).unwrap();
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn stddev_matches_known_value() {
+        // Sample {2, 4, 4, 4, 5, 5, 7, 9}: sample stddev = sqrt(32/7).
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn spread() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.relative_spread(), 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benchmarks for Theorem 2's FPTAS: full estimator + binary
+//! search at astronomical machine counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_core::ratio::Ratio;
+use moldable_sched::fptas_schedule;
+use moldable_workloads::{bench_instance, BenchFamily};
+use std::time::Duration;
+
+fn bench_fptas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fptas_large_m");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let eps = Ratio::new(1, 4);
+    for (n, m_exp) in [(256usize, 24u32), (1024, 32), (4096, 40)] {
+        let m = 1u64 << m_exp;
+        let inst = bench_instance(BenchFamily::PowerLaw, n, m, 11);
+        group.bench_with_input(
+            BenchmarkId::new("fptas", format!("n{n}_m2^{m_exp}")),
+            &inst,
+            |b, inst| b.iter(|| fptas_schedule(inst, &eps)),
+        );
+    }
+    // ε dependence at fixed size.
+    let inst = bench_instance(BenchFamily::PowerLaw, 1024, 1 << 32, 12);
+    for den in [2u128, 16, 128] {
+        let eps = Ratio::new(1, den);
+        group.bench_with_input(
+            BenchmarkId::new("fptas_eps", format!("1/{den}")),
+            &inst,
+            |b, inst| b.iter(|| fptas_schedule(inst, &eps)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fptas);
+criterion_main!(benches);

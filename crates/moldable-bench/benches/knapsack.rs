@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the knapsack substrates: the exact DP, the
+//! pair-list solver, Algorithm 2, and the bounded-knapsack pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_core::ratio::Ratio;
+use moldable_knapsack::{
+    dp, solve_bounded, solve_compressible, CompressibleParams, Item, ItemType,
+    PairListKnapsack,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn items(n: usize, max_size: u64, wide: u64, seed: u64) -> Vec<Item> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n as u32)
+        .map(|i| {
+            let size = rng.gen_range(1..=max_size);
+            Item {
+                id: i,
+                size,
+                profit: rng.gen_range(1..1000u64) as u128,
+                compressible: size >= wide,
+            }
+        })
+        .collect()
+}
+
+fn bench_knapsacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for cap_exp in [14u32, 18, 22] {
+        let capacity = 1u64 << cap_exp;
+        let wide = 8u64;
+        let its = items(200, capacity / 4, wide, 3);
+        group.bench_with_input(
+            BenchmarkId::new("exact-dp", format!("C2^{cap_exp}")),
+            &its,
+            |b, its| b.iter(|| dp::solve(its, capacity)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pair-list", format!("C2^{cap_exp}")),
+            &its,
+            |b, its| b.iter(|| PairListKnapsack::run(its, capacity).query(capacity)),
+        );
+        let params = CompressibleParams {
+            rho: Ratio::new(1, 8),
+            alpha_min: wide,
+            beta_max: capacity,
+            // n̄: a solution never holds more compressible items than exist.
+            n_bar: (2 * capacity / wide).min(its.len() as u64),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("algorithm-2", format!("C2^{cap_exp}")),
+            &its,
+            |b, its| b.iter(|| solve_compressible(its, capacity, &params)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("profit-fptas-eps1/4", format!("C2^{cap_exp}")),
+            &its,
+            |b, its| b.iter(|| moldable_knapsack::solve_fptas(its, capacity, (1, 4))),
+        );
+    }
+    // Bounded knapsack: few types, many units.
+    let types: Vec<ItemType> = (0..40u32)
+        .map(|i| ItemType {
+            type_id: i,
+            size: 8 + (i as u64 % 13),
+            profit: 10 + i as u128,
+            count: 1 + (i as u64 % 200),
+            compressible: i % 2 == 0,
+        })
+        .collect();
+    let params = CompressibleParams {
+        rho: Ratio::new(1, 8),
+        alpha_min: 8,
+        beta_max: 1 << 16,
+        n_bar: 1 << 14,
+    };
+    group.bench_function("bounded-containers", |b| {
+        b.iter(|| solve_bounded(&types, 1 << 16, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knapsacks);
+criterion_main!(benches);

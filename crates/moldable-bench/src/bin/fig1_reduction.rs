@@ -1,0 +1,31 @@
+//! **Fig. 1**: structure of a makespan-`nB` schedule for a Theorem 1
+//! reduction instance — every machine carries four one-processor jobs and
+//! is loaded to exactly `d = nB`.
+//!
+//! Run with: `cargo run --release -p moldable-bench --bin fig1_reduction`
+
+use moldable_core::ratio::Ratio;
+use moldable_hardness::reduction::partition_to_schedule;
+use moldable_hardness::{reduce, solve_four_partition, FourPartitionInstance};
+use moldable_sched::validate::validate_with_makespan;
+use moldable_viz::render_gantt;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(1234);
+    let fp = FourPartitionInstance::planted_yes(&mut rng, 5, 3);
+    println!("4-Partition: B = {}, numbers = {:?}\n", fp.b, fp.numbers);
+    let red = reduce(&fp).expect("normal form");
+    let groups = solve_four_partition(&fp).expect("planted yes");
+    let schedule = partition_to_schedule(&red, &groups);
+    validate_with_makespan(&schedule, &red.instance, &Ratio::from(red.d)).unwrap();
+    println!(
+        "reduction: {} jobs, m = {}, target d = nB = {} — schedule structure:\n",
+        red.instance.n(),
+        red.instance.m(),
+        red.d
+    );
+    print!("{}", render_gantt(&red.instance, &schedule, 72));
+    println!("\nevery machine loaded to exactly d; every job on one processor (Fig. 1).");
+}

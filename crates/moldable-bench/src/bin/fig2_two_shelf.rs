@@ -1,0 +1,78 @@
+//! **Fig. 2**: an infeasible two-shelf schedule — shelf S1 within `m`,
+//! shelf S2 overflowing — as produced by the knapsack phase of the MRT
+//! algorithm right before the transformation rules repair it.
+//!
+//! Run with: `cargo run --release -p moldable-bench --bin fig2_two_shelf`
+
+use moldable_core::gamma::gamma;
+use moldable_core::ratio::Ratio;
+use moldable_knapsack::{dp, Item};
+use moldable_sched::estimator::estimate;
+use moldable_sched::shelves::ShelfContext;
+use moldable_sched::transform::ShelfJob;
+use moldable_viz::render_two_shelf;
+use moldable_core::instance::Instance;
+use moldable_core::speedup::SpeedupCurve;
+use std::sync::Arc;
+
+fn main() {
+    // A tight instance: 8 identical weak-speedup jobs on m = 6 machines.
+    // At the ambitious target d = 9 every job is big (t1 = 12 > d/2) with
+    // γ(d) = 2 and γ(d/2) = 3; shelf S2 needs 3 processors per job it
+    // holds, far beyond m — the Fig. 2 overflow.
+    let curve = SpeedupCurve::Table(Arc::new(vec![12, 6, 4, 3]));
+    let inst = Instance::new(vec![curve; 8], 6);
+    let d = 9u64;
+    let _ = estimate(&inst); // (estimator exercised for parity with fig3)
+    let Some(ctx) = ShelfContext::build(&inst, d) else {
+        println!("target d = {d} rejected outright (γ_j(d) undefined)");
+        return;
+    };
+    let items: Vec<Item> = ctx
+        .knapsack_jobs
+        .iter()
+        .map(|bj| Item::plain(bj.id, bj.gamma_d, bj.profit))
+        .collect();
+    let sol = dp::solve(&items, ctx.capacity);
+    let chosen: Vec<u32> = sol
+        .chosen
+        .iter()
+        .copied()
+        .chain(ctx.forced.iter().map(|&(id, _)| id))
+        .collect();
+
+    let d_ratio = Ratio::from(d);
+    let half = d_ratio.div_int(2);
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for bj in &ctx.knapsack_jobs {
+        let job = inst.job(bj.id);
+        if chosen.contains(&bj.id) {
+            s1.push(ShelfJob {
+                id: bj.id,
+                procs: bj.gamma_d,
+                time: job.time(bj.gamma_d),
+            });
+        } else if let Some(p) = gamma(job, &half, inst.m()) {
+            s2.push(ShelfJob {
+                id: bj.id,
+                procs: p,
+                time: job.time(p),
+            });
+        }
+    }
+    for &(id, p) in &ctx.forced {
+        s1.push(ShelfJob {
+            id,
+            procs: p,
+            time: inst.job(id).time(p),
+        });
+    }
+    println!(
+        "instance: n = {}, m = {}, knapsack target d = {d} (small jobs: {})\n",
+        inst.n(),
+        inst.m(),
+        ctx.small.len()
+    );
+    print!("{}", render_two_shelf(&s1, &s2, inst.m()));
+}

@@ -1,0 +1,82 @@
+//! **Fig. 3**: the three-shelf schedule after exhaustively applying the
+//! transformation rules (i)–(iii) to the Fig. 2 two-shelf schedule.
+//!
+//! Run with: `cargo run --release -p moldable-bench --bin fig3_three_shelf`
+
+use moldable_core::gamma::gamma;
+use moldable_core::ratio::Ratio;
+use moldable_knapsack::{dp, Item};
+use moldable_sched::estimator::estimate;
+use moldable_sched::shelves::ShelfContext;
+use moldable_sched::transform::{transform, ShelfJob, TransformMode};
+use moldable_core::instance::Instance;
+use moldable_core::speedup::SpeedupCurve;
+use moldable_viz::{render_three_shelf, render_two_shelf};
+use std::sync::Arc;
+
+fn main() {
+    // The Fig. 2 instance at its optimal target d = 16 (total work = m·d
+    // exactly): the knapsack puts nothing in S1, S2 overflows to 16 > m
+    // processors, and the transformation repairs it — rule (iii) re-allots
+    // every S2 job to one processor and rule (ii) stacks them pairwise in
+    // S0 columns of height exactly 3d/2.
+    let curve = SpeedupCurve::Table(Arc::new(vec![12, 6, 4, 3]));
+    let inst = Instance::new(vec![curve; 8], 6);
+    let _ = estimate(&inst);
+    let d = 16u64;
+    let Some(ctx) = ShelfContext::build(&inst, d) else {
+        println!("target d = {d} rejected outright");
+        return;
+    };
+    let items: Vec<Item> = ctx
+        .knapsack_jobs
+        .iter()
+        .map(|bj| Item::plain(bj.id, bj.gamma_d, bj.profit))
+        .collect();
+    let sol = dp::solve(&items, ctx.capacity);
+    let chosen: Vec<u32> = sol
+        .chosen
+        .iter()
+        .copied()
+        .chain(ctx.forced.iter().map(|&(id, _)| id))
+        .collect();
+    let d_ratio = Ratio::from(d);
+    let half = d_ratio.div_int(2);
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for bj in &ctx.knapsack_jobs {
+        let job = inst.job(bj.id);
+        if chosen.contains(&bj.id) {
+            s1.push(ShelfJob {
+                id: bj.id,
+                procs: bj.gamma_d,
+                time: job.time(bj.gamma_d),
+            });
+        } else if let Some(p) = gamma(job, &half, inst.m()) {
+            s2.push(ShelfJob {
+                id: bj.id,
+                procs: p,
+                time: job.time(p),
+            });
+        }
+    }
+    for &(id, p) in &ctx.forced {
+        s1.push(ShelfJob {
+            id,
+            procs: p,
+            time: inst.job(id).time(p),
+        });
+    }
+
+    println!("before (Fig. 2):\n");
+    print!("{}", render_two_shelf(&s1, &s2, inst.m()));
+    let three = transform(&inst, &d_ratio, s1, s2, TransformMode::Exact);
+    println!("\nafter the transformation rules (Fig. 3):\n");
+    print!("{}", render_three_shelf(&three, inst.m()));
+    let feasible = three.p0() + three.p1() <= inst.m() as u128
+        && three.p0() + three.p2() <= inst.m() as u128;
+    println!(
+        "\nLemma 8 invariant p0+p1 ≤ m ∧ p0+p2 ≤ m: {}",
+        if feasible { "holds" } else { "VIOLATED" }
+    );
+}

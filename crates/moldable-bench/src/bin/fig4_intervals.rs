@@ -1,0 +1,28 @@
+//! **Fig. 4**: the adaptive-normalization interval structure of Lemma 12 —
+//! capacities `α_i` from the geometric grid, each interval `[α_{i−1}, α_i)`
+//! subdivided into `O(n̄)` subintervals of width `U_i = ρ/((1−ρ)n̄)·α_i`.
+//!
+//! Run with: `cargo run --release -p moldable-bench --bin fig4_intervals`
+
+use moldable_core::geom::capacity_grid;
+use moldable_core::ratio::Ratio;
+use moldable_knapsack::IntervalStructure;
+use moldable_viz::render_intervals;
+
+fn main() {
+    let rho = Ratio::new(1, 6);
+    let (alpha_min, capacity) = (8u64, 120u64);
+    let n_bar = 4;
+    let caps = capacity_grid(alpha_min, capacity, &rho);
+    println!(
+        "ρ = {rho}, αmin = {alpha_min}, C = {capacity}, n̄ = {n_bar}\n\
+         capacity grid A = {caps:?}\n"
+    );
+    let s = IntervalStructure::build(&caps, alpha_min, &rho, n_bar);
+    print!("{}", render_intervals(&s, 96));
+    println!(
+        "\nLemma 12: consecutive capacities differ by ≤ ρ·α_i; each interval\n\
+         splits into ≤ (1−ρ)n̄+1 subintervals, so sizes normalized down to a\n\
+         boundary lose < U_i each — recovered exactly by compression (Eq. 14)."
+    );
+}

@@ -1,0 +1,105 @@
+//! **Theorem 2 scaling**: the FPTAS for `m ≥ 8n/ε` runs in
+//! `O(n log² m (log m + log 1/ε))` — linear in `n`, polylogarithmic in `m`,
+//! logarithmic in `1/ε`.
+//!
+//! We time the complete algorithm (estimator + binary search + dual calls)
+//! and fit slopes: expect ≈ 1 in n, ≈ 0 in m (polylog), ≈ 0 in 1/ε (log).
+//!
+//! Run with: `cargo run --release -p moldable-bench --bin fptas_scaling [--quick]`
+
+use moldable_bench::{fit_loglog_slope, median_time, Row};
+use moldable_core::ratio::Ratio;
+use moldable_sched::fptas_schedule;
+use moldable_workloads::{bench_instance, BenchFamily};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 3 } else { 7 };
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- n-sweep: m = 2^36 keeps m ≥ 8n/ε everywhere ------------------
+    println!("== n-sweep (m = 2^36, ε = 1/4) ==");
+    Row::header();
+    let m = 1u64 << 36;
+    let eps = Ratio::new(1, 4);
+    let n_values: Vec<usize> = if quick {
+        vec![256, 1024, 4096]
+    } else {
+        vec![256, 1024, 4096, 16384, 65536]
+    };
+    for &n in &n_values {
+        let inst = bench_instance(BenchFamily::PowerLaw, n, m, 11);
+        let t = median_time(runs, || fptas_schedule(&inst, &eps));
+        let row = Row {
+            algo: "fptas-large-m".into(),
+            n,
+            m,
+            eps: 0.25,
+            seconds: t.as_secs_f64(),
+            quality: None,
+        };
+        row.print();
+        rows.push(row);
+    }
+    let (x, y): (Vec<f64>, Vec<f64>) = rows
+        .iter()
+        .map(|r| (r.n as f64, r.seconds))
+        .unzip();
+    println!("n-exponent (paper: 1): {:.2}", fit_loglog_slope(&x, &y));
+
+    // ---- m-sweep -------------------------------------------------------
+    println!("\n== m-sweep (n = 1024, ε = 1/4) ==");
+    Row::header();
+    let n = 1024usize;
+    let mut mpts: Vec<(f64, f64)> = Vec::new();
+    let exps: Vec<u32> = if quick {
+        vec![16, 26, 36]
+    } else {
+        vec![16, 21, 26, 31, 36, 41]
+    };
+    for &me in &exps {
+        let m = 1u64 << me;
+        let inst = bench_instance(BenchFamily::PowerLaw, n, m, 12);
+        let t = median_time(runs, || fptas_schedule(&inst, &eps));
+        let row = Row {
+            algo: "fptas-large-m".into(),
+            n,
+            m,
+            eps: 0.25,
+            seconds: t.as_secs_f64(),
+            quality: None,
+        };
+        row.print();
+        mpts.push((m as f64, t.as_secs_f64()));
+    }
+    let (x, y): (Vec<f64>, Vec<f64>) = mpts.into_iter().unzip();
+    println!(
+        "m-exponent (paper: 0 — polylog; anything ≪ 1 confirms): {:.3}",
+        fit_loglog_slope(&x, &y)
+    );
+
+    // ---- ε-sweep --------------------------------------------------------
+    println!("\n== ε-sweep (n = 1024, m = 2^36) ==");
+    Row::header();
+    let mut epts: Vec<(f64, f64)> = Vec::new();
+    for den in [2u128, 8, 32, 128, 512] {
+        let eps = Ratio::new(1, den);
+        let inst = bench_instance(BenchFamily::PowerLaw, n, m, 13);
+        let t = median_time(runs, || fptas_schedule(&inst, &eps));
+        let row = Row {
+            algo: "fptas-large-m".into(),
+            n,
+            m,
+            eps: 1.0 / den as f64,
+            seconds: t.as_secs_f64(),
+            quality: None,
+        };
+        row.print();
+        epts.push((den as f64, t.as_secs_f64()));
+    }
+    let (x, y): (Vec<f64>, Vec<f64>) = epts.into_iter().unzip();
+    println!(
+        "1/ε-exponent (paper: 0 — logarithmic): {:.3}",
+        fit_loglog_slope(&x, &y)
+    );
+}

@@ -1,0 +1,113 @@
+//! **Theorem 3 quality**: measured approximation ratios of every algorithm.
+//!
+//! Two regimes:
+//!  * tiny instances — ratio against the *exact optimum* (exhaustive
+//!    solver); the paper's guarantees must hold with room to spare;
+//!  * bench-scale instances — ratio against the parametric lower bound
+//!    (`≥` the true ratio), contrasting the 2-approx baseline with the
+//!    (3/2+ε) family across load levels (who wins, and where the crossover
+//!    sits).
+//!
+//! Run with: `cargo run --release -p moldable-bench --bin quality_table [--quick]`
+
+use moldable_core::bounds::parametric_lower_bound;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_sched::baselines::two_approx;
+use moldable_sched::dual::{approximate, DualAlgorithm};
+use moldable_sched::exact::optimal_makespan;
+use moldable_sched::{CompressibleDual, ImprovedDual, MrtDual};
+use moldable_workloads::families::random_table_instance;
+use moldable_workloads::{bench_instance, BenchFamily};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn ratio_vs(mk: &Ratio, reference: &Ratio) -> f64 {
+    mk.to_f64() / reference.to_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let eps = Ratio::new(1, 4);
+    let algos: Vec<Box<dyn DualAlgorithm>> = vec![
+        Box::new(MrtDual),
+        Box::new(CompressibleDual::new(eps)),
+        Box::new(ImprovedDual::new(eps)),
+        Box::new(ImprovedDual::new_linear(eps)),
+    ];
+
+    // ---- vs exact optimum on tiny instances ---------------------------
+    println!("== tiny instances vs exact OPT (ε = 1/4; guarantee (3/2+ε)(1+ε) ≈ 2.19) ==");
+    let rounds = if quick { 20 } else { 100 };
+    let mut rng = SmallRng::seed_from_u64(555);
+    let mut worst = vec![1.0f64; algos.len()];
+    let mut worst_two = 1.0f64;
+    let mut mean = vec![0.0f64; algos.len()];
+    for _ in 0..rounds {
+        let inst = random_table_instance(&mut rng, 4, 3, 30);
+        let opt = optimal_makespan(&inst);
+        for (k, algo) in algos.iter().enumerate() {
+            let res = approximate(&inst, algo.as_ref(), &eps);
+            let r = ratio_vs(&res.schedule.makespan(&inst), &opt);
+            worst[k] = worst[k].max(r);
+            mean[k] += r / rounds as f64;
+        }
+        worst_two = worst_two.max(ratio_vs(&two_approx(&inst).makespan(&inst), &opt));
+    }
+    println!("{:<28} {:>10} {:>10}", "algorithm", "worst", "mean");
+    println!("{:<28} {:>10.4} {:>10}", "2-approx baseline", worst_two, "-");
+    for (k, algo) in algos.iter().enumerate() {
+        println!("{:<28} {:>10.4} {:>10.4}", algo.name(), worst[k], mean[k]);
+    }
+
+    // ---- vs lower bound across load levels ----------------------------
+    println!("\n== bench scale vs parametric lower bound (n = 200, ε = 1/4) ==");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "load", "m", "2-approx", "linear(3/2+ε)", "winner"
+    );
+    // Load = how tight the machine count is relative to the batch: small m
+    // → high load; the paper's algorithms matter exactly there.
+    let n = 200usize;
+    let ms: &[u64] = if quick {
+        &[1 << 6, 1 << 10, 1 << 16]
+    } else {
+        &[1 << 4, 1 << 6, 1 << 8, 1 << 10, 1 << 13, 1 << 16, 1 << 20]
+    };
+    for &m in ms {
+        let inst = bench_instance(BenchFamily::Mixed, n, m, 31);
+        let lb = Ratio::from(parametric_lower_bound(&inst));
+        let two = ratio_vs(&two_approx(&inst).makespan(&inst), &lb);
+        let algo = ImprovedDual::new_linear(eps);
+        let res = approximate(&inst, &algo, &eps);
+        let lin = ratio_vs(&res.schedule.makespan(&inst), &lb);
+        println!(
+            "{:<10} {:>12} {:>12.4} {:>12.4} {:>14}",
+            format!("n/m={:.2}", n as f64 / m as f64),
+            m,
+            two,
+            lin,
+            if lin < two { "linear" } else { "2-approx" }
+        );
+    }
+
+    // ---- hardness-reduction instances (adversarially tight) -----------
+    println!("\n== Theorem 1 reduction instances (OPT = d known) ==");
+    let mut rng = SmallRng::seed_from_u64(9);
+    for groups in [3usize, 5, 8] {
+        let fp =
+            moldable_hardness::FourPartitionInstance::planted_yes(&mut rng, groups, 2);
+        let red = moldable_hardness::reduce(&fp).unwrap();
+        let opt = Ratio::from(red.d); // yes-instance ⇒ OPT = d
+        let algo = MrtDual;
+        let res = approximate(&red.instance, &algo, &eps);
+        println!(
+            "n = {:>2} jobs, m = {:>2}: mrt ratio {:.4} (guarantee ≤ {:.4})",
+            red.instance.n(),
+            red.instance.m(),
+            ratio_vs(&res.schedule.makespan(&red.instance), &opt),
+            1.5 * 1.25
+        );
+    }
+    let _ = Instance::new(vec![], 1);
+}

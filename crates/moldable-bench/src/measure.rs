@@ -1,0 +1,97 @@
+//! Measurement helpers: median-of-k wall-clock timing and log-log slope
+//! fitting for scaling-shape verification.
+
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// One result row of a table binary (also serialized as JSON lines with
+/// `--json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Algorithm name.
+    pub algo: String,
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub m: u64,
+    /// Accuracy ε as a float (for display only).
+    pub eps: f64,
+    /// Median wall-clock seconds of the measured call.
+    pub seconds: f64,
+    /// Optional quality ratio (makespan / lower bound).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub quality: Option<f64>,
+}
+
+impl Row {
+    /// Render the fixed-width table line.
+    pub fn print(&self) {
+        match self.quality {
+            Some(q) => println!(
+                "{:<28} {:>8} {:>14} {:>7.3} {:>12.6}s {:>9.4}",
+                self.algo, self.n, self.m, self.eps, self.seconds, q
+            ),
+            None => println!(
+                "{:<28} {:>8} {:>14} {:>7.3} {:>12.6}s",
+                self.algo, self.n, self.m, self.eps, self.seconds
+            ),
+        }
+    }
+
+    /// Table header matching [`Row::print`].
+    pub fn header() {
+        println!(
+            "{:<28} {:>8} {:>14} {:>7} {:>13} {:>9}",
+            "algorithm", "n", "m", "eps", "time", "quality"
+        );
+    }
+}
+
+/// Median wall time of `runs` executions of `f` (with one warm-up).
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    let _warmup = f();
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            dt
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical scaling
+/// exponent. `x` and `y` must be positive and equally long.
+pub fn fit_loglog_slope(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2);
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let mx = lx.iter().sum::<f64>() / lx.len() as f64;
+    let my = ly.iter().sum::<f64>() / ly.len() as f64;
+    let cov: f64 = lx.iter().zip(&ly).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = lx.iter().map(|a| (a - mx) * (a - mx)).sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_quadratic_is_two() {
+        let x = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v * v).collect();
+        let s = fit_loglog_slope(&x, &y);
+        assert!((s - 2.0).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn median_time_is_positive() {
+        let d = median_time(3, || (0..1000).sum::<u64>());
+        assert!(d.as_nanos() > 0);
+    }
+}

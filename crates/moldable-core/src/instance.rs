@@ -1,0 +1,109 @@
+//! Scheduling instances: a set of jobs plus a machine count.
+
+use crate::job::Job;
+use crate::speedup::SpeedupCurve;
+use crate::types::{JobId, Procs, Time};
+
+/// An instance of the moldable-job scheduling problem.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    jobs: Vec<Job>,
+    m: Procs,
+}
+
+impl Instance {
+    /// Build an instance from speedup curves; job ids are assigned 0..n.
+    ///
+    /// Panics if `m == 0` or there are more than `u32::MAX` jobs.
+    pub fn new(curves: Vec<SpeedupCurve>, m: Procs) -> Self {
+        assert!(m >= 1, "need at least one machine");
+        assert!(curves.len() <= u32::MAX as usize);
+        let jobs = curves
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Job::new(i as JobId, c))
+            .collect();
+        Instance { jobs, m }
+    }
+
+    /// Build directly from jobs (ids must equal positions).
+    pub fn from_jobs(jobs: Vec<Job>, m: Procs) -> Self {
+        assert!(m >= 1, "need at least one machine");
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id() as usize, i, "job ids must equal their positions");
+        }
+        Instance { jobs, m }
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of machines `m`.
+    #[inline]
+    pub fn m(&self) -> Procs {
+        self.m
+    }
+
+    /// All jobs.
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Job by id.
+    #[inline]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id as usize]
+    }
+
+    /// `t_j(p)` convenience accessor.
+    #[inline]
+    pub fn time(&self, id: JobId, p: Procs) -> Time {
+        self.jobs[id as usize].time(p)
+    }
+
+    /// Largest sequential time, `max_j t_j(1)` — a crude upper bound anchor.
+    pub fn max_seq_time(&self) -> Time {
+        self.jobs.iter().map(|j| j.seq_time()).max().unwrap_or(0)
+    }
+
+    /// Sum of sequential times — makespan of the trivial one-machine schedule,
+    /// an upper bound on OPT.
+    pub fn total_seq_time(&self) -> u128 {
+        self.jobs.iter().map(|j| j.seq_time() as u128).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_indexes() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(3), SpeedupCurve::Constant(8)],
+            4,
+        );
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.m(), 4);
+        assert_eq!(inst.time(1, 2), 8);
+        assert_eq!(inst.max_seq_time(), 8);
+        assert_eq!(inst.total_seq_time(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn rejects_zero_machines() {
+        let _ = Instance::new(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positions")]
+    fn rejects_misnumbered_jobs() {
+        let j = Job::new(5, SpeedupCurve::Constant(1));
+        let _ = Instance::from_jobs(vec![j], 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! The [`Job`] type: a moldable job with an identifier and a speedup curve.
+
+use crate::ratio::Ratio;
+use crate::speedup::SpeedupCurve;
+use crate::types::{JobId, Procs, Time, Work};
+
+/// A moldable job. Cloning is cheap (curves are reference counted or tiny).
+#[derive(Clone, Debug)]
+pub struct Job {
+    id: JobId,
+    curve: SpeedupCurve,
+}
+
+impl Job {
+    /// Create a job with the given id and curve.
+    pub fn new(id: JobId, curve: SpeedupCurve) -> Self {
+        Job { id, curve }
+    }
+
+    /// The job's identifier (its index in the instance).
+    #[inline]
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The processing-time oracle.
+    #[inline]
+    pub fn curve(&self) -> &SpeedupCurve {
+        &self.curve
+    }
+
+    /// Processing time `t_j(p)` on `p ≥ 1` processors.
+    #[inline]
+    pub fn time(&self, p: Procs) -> Time {
+        self.curve.time(p)
+    }
+
+    /// Work `w_j(p) = p · t_j(p)`.
+    #[inline]
+    pub fn work(&self, p: Procs) -> Work {
+        self.curve.work(p)
+    }
+
+    /// Sequential processing time `t_j(1)`.
+    #[inline]
+    pub fn seq_time(&self) -> Time {
+        self.time(1)
+    }
+
+    /// Is this job *small* for target `d`, i.e. `t_j(1) ≤ d/2` (Section 4.1)?
+    #[inline]
+    pub fn is_small(&self, d: &Ratio) -> bool {
+        // t(1) ≤ d/2  ⇔  2·t(1) ≤ d
+        Ratio::from_int(2 * self.seq_time() as u128) <= *d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_job_threshold_is_exact() {
+        let j = Job::new(0, SpeedupCurve::Constant(5));
+        // small iff t(1)=5 ≤ d/2 ⇔ d ≥ 10
+        assert!(j.is_small(&Ratio::from_int(10)));
+        assert!(!j.is_small(&Ratio::new(19, 2))); // d = 9.5 → d/2 = 4.75 < 5
+        assert!(j.is_small(&Ratio::new(21, 2))); // d = 10.5
+    }
+
+    #[test]
+    fn accessors() {
+        let j = Job::new(3, SpeedupCurve::Constant(4));
+        assert_eq!(j.id(), 3);
+        assert_eq!(j.seq_time(), 4);
+        assert_eq!(j.work(5), 20);
+    }
+}

@@ -1,0 +1,42 @@
+//! # moldable-core
+//!
+//! Problem model and core substrates for *Scheduling Monotone Moldable Jobs
+//! in Linear Time* (Jansen & Land, IPDPS 2018).
+//!
+//! A **moldable job** can run on any number `p ∈ {1..m}` of processors with
+//! processing time `t_j(p)` given by an oracle; it is **monotone** when its
+//! work `w_j(p) = p·t_j(p)` is non-decreasing. This crate provides:
+//!
+//! * exact rational arithmetic for thresholds ([`ratio`]),
+//! * processing-time oracles incl. compact encodings ([`speedup`], [`job`]),
+//! * canonical allotments `γ_j(t)` ([`gamma`]),
+//! * the compression technique of Lemmas 4 & 16 ([`compression`]),
+//! * geometric grids & rounding of Definition 13 / Lemma 14 ([`geom`]),
+//! * monotonicity verification ([`monotone`]) and makespan lower bounds
+//!   ([`bounds`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod compression;
+pub mod gamma;
+pub mod geom;
+pub mod instance;
+pub mod io;
+pub mod job;
+pub mod monotone;
+pub mod oracle;
+pub mod ratio;
+pub mod speedup;
+pub mod types;
+
+pub use compression::{Compression, DoubleCompression};
+pub use io::{CurveSpec, InstanceSpec};
+pub use gamma::{gamma, gamma_int, GammaSet};
+pub use instance::Instance;
+pub use job::Job;
+pub use oracle::{counting_instance, CountingOracle, OracleCounter};
+pub use ratio::Ratio;
+pub use speedup::{monotone_closure, SpeedupCurve, SpeedupModel, Staircase};
+pub use types::{JobId, Procs, Time, Work};

@@ -1,0 +1,110 @@
+//! Verification of the monotonicity contract.
+//!
+//! All of the paper's guarantees assume (1) non-increasing processing times
+//! and (2) non-decreasing work. These helpers let tests and defensive callers
+//! validate oracles — exhaustively for explicit encodings, by sampling for
+//! compact ones.
+
+use crate::job::Job;
+use crate::types::Procs;
+
+/// A concrete violation of the monotonicity contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonotoneViolation {
+    /// `t(p+1) > t(p)`.
+    TimeIncreased {
+        /// The processor count `p` at which `t(p+1) > t(p)`.
+        p: Procs,
+    },
+    /// `(p+1)·t(p+1) < p·t(p)`.
+    WorkDecreased {
+        /// The processor count `p` at which work drops.
+        p: Procs,
+    },
+}
+
+/// Exhaustively verify monotonicity of `job` over `p ∈ [1, m]`.
+/// `O(m)` oracle calls — only for explicit encodings / tests.
+pub fn verify_monotone(job: &Job, m: Procs) -> Result<(), MonotoneViolation> {
+    for p in 1..m {
+        check_adjacent(job, p)?;
+    }
+    Ok(())
+}
+
+/// Spot-check monotonicity at `samples` geometrically spread positions plus
+/// both endpoints; `O(samples)` oracle calls, suitable for `m` up to 2^63.
+pub fn spot_check_monotone(
+    job: &Job,
+    m: Procs,
+    samples: u32,
+) -> Result<(), MonotoneViolation> {
+    if m <= 1 {
+        return Ok(());
+    }
+    check_adjacent(job, 1)?;
+    if m > 2 {
+        check_adjacent(job, m - 1)?;
+    }
+    // Geometric sweep: p = 2^(k·log2(m)/samples)
+    let bits = 64 - m.leading_zeros() as u64;
+    for k in 0..samples as u64 {
+        let shift = (k * bits / samples.max(1) as u64).min(62);
+        let p = (1u64 << shift).min(m - 1);
+        if p >= 1 {
+            check_adjacent(job, p)?;
+        }
+    }
+    Ok(())
+}
+
+#[inline]
+fn check_adjacent(job: &Job, p: Procs) -> Result<(), MonotoneViolation> {
+    if job.time(p + 1) > job.time(p) {
+        return Err(MonotoneViolation::TimeIncreased { p });
+    }
+    if job.work(p + 1) < job.work(p) {
+        return Err(MonotoneViolation::WorkDecreased { p });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::SpeedupCurve;
+    use std::sync::Arc;
+
+    #[test]
+    fn accepts_constant() {
+        let j = Job::new(0, SpeedupCurve::Constant(9));
+        assert!(verify_monotone(&j, 100).is_ok());
+        assert!(spot_check_monotone(&j, 1 << 40, 64).is_ok());
+    }
+
+    #[test]
+    fn detects_time_increase() {
+        let j = Job::new(0, SpeedupCurve::Table(Arc::new(vec![5, 6])));
+        assert_eq!(
+            verify_monotone(&j, 2),
+            Err(MonotoneViolation::TimeIncreased { p: 1 })
+        );
+    }
+
+    #[test]
+    fn detects_work_drop() {
+        // t = [10, 4]: w(1)=10, w(2)=8 → drop.
+        let j = Job::new(0, SpeedupCurve::Table(Arc::new(vec![10, 4])));
+        assert_eq!(
+            verify_monotone(&j, 2),
+            Err(MonotoneViolation::WorkDecreased { p: 1 })
+        );
+    }
+
+    #[test]
+    fn trivial_m() {
+        let j = Job::new(0, SpeedupCurve::Constant(1));
+        assert!(verify_monotone(&j, 1).is_ok());
+        assert!(spot_check_monotone(&j, 1, 8).is_ok());
+    }
+}

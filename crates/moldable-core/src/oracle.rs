@@ -1,0 +1,161 @@
+//! Oracle-call instrumentation.
+//!
+//! The paper's cost model charges the algorithms per access to the
+//! processing-time oracle `t_j(·)` (plus RAM operations); wall-clock time
+//! on any concrete machine is only a proxy. This module wraps any
+//! [`SpeedupCurve`] in a counter so experiments can report *exact* oracle
+//! call counts — deterministic, noise-free measurements of, e.g., the
+//! `O(n log m)` of the FPTAS allotment phase or the `log m`-factor in the
+//! γ binary searches.
+//!
+//! Counters are relaxed atomics: algorithms are sequential (counts are
+//! exact), and the benchmark drivers read them only between runs, so no
+//! ordering is required — see the fetch-add discussion in *Rust Atomics
+//! and Locks* ch. 2/3 (relaxed is sufficient for a pure statistic).
+
+use crate::instance::Instance;
+use crate::job::Job;
+use crate::speedup::{SpeedupCurve, SpeedupModel};
+use crate::types::{Procs, Time};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared oracle-call counter.
+#[derive(Clone, Debug, Default)]
+pub struct OracleCounter {
+    calls: Arc<AtomicU64>,
+}
+
+impl OracleCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        OracleCounter::default()
+    }
+
+    /// Total `t_j(p)` evaluations recorded so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between sweep cells).
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+
+    fn bump(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A [`SpeedupModel`] that forwards to an inner curve and counts calls.
+pub struct CountingOracle {
+    inner: SpeedupCurve,
+    counter: OracleCounter,
+}
+
+impl fmt::Debug for CountingOracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CountingOracle({:?})", self.inner)
+    }
+}
+
+impl SpeedupModel for CountingOracle {
+    fn time(&self, p: Procs) -> Time {
+        self.counter.bump();
+        self.inner.time(p)
+    }
+}
+
+/// Wrap every job of `inst` in a [`CountingOracle`] sharing one counter.
+///
+/// The returned instance is observationally identical to `inst`; the
+/// counter records every oracle evaluation any algorithm performs on it.
+pub fn counting_instance(inst: &Instance) -> (Instance, OracleCounter) {
+    let counter = OracleCounter::new();
+    let jobs: Vec<Job> = inst
+        .jobs()
+        .iter()
+        .map(|j| {
+            Job::new(
+                j.id(),
+                SpeedupCurve::Custom(Arc::new(CountingOracle {
+                    inner: j.curve().clone(),
+                    counter: counter.clone(),
+                })),
+            )
+        })
+        .collect();
+    (Instance::from_jobs(jobs, inst.m()), counter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::gamma;
+    use crate::ratio::Ratio;
+
+    #[test]
+    fn counts_every_evaluation() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(5), SpeedupCurve::Constant(9)],
+            8,
+        );
+        let (counted, counter) = counting_instance(&inst);
+        assert_eq!(counter.calls(), 0);
+        let _ = counted.time(0, 1);
+        let _ = counted.time(1, 4);
+        let _ = counted.time(1, 8);
+        assert_eq!(counter.calls(), 3);
+        counter.reset();
+        assert_eq!(counter.calls(), 0);
+    }
+
+    #[test]
+    fn forwards_values_unchanged() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::ideal_with_overhead(1 << 20, 2, 1 << 9)],
+            1 << 10,
+        );
+        let (counted, _) = counting_instance(&inst);
+        for p in [1u64, 2, 3, 64, 512, 1024] {
+            assert_eq!(counted.time(0, p), inst.time(0, p));
+        }
+    }
+
+    #[test]
+    fn gamma_call_count_is_logarithmic_in_m() {
+        // γ via binary search must use O(log m) oracle calls.
+        let m: Procs = 1 << 30;
+        let inst = Instance::new(
+            vec![SpeedupCurve::ideal_with_overhead(1 << 40, 1, m)],
+            m,
+        );
+        let (counted, counter) = counting_instance(&inst);
+        let d = Ratio::from(1u64 << 22);
+        let _ = gamma(counted.job(0), &d, m);
+        let calls = counter.calls();
+        assert!(calls > 0);
+        assert!(
+            calls <= 4 * 30 + 8,
+            "γ used {calls} oracle calls for m = 2^30 — not logarithmic"
+        );
+    }
+
+    #[test]
+    fn counter_is_shared_across_jobs() {
+        let inst = Instance::new(
+            vec![
+                SpeedupCurve::Constant(1),
+                SpeedupCurve::Constant(2),
+                SpeedupCurve::Constant(3),
+            ],
+            4,
+        );
+        let (counted, counter) = counting_instance(&inst);
+        for j in 0..3 {
+            let _ = counted.time(j, 2);
+        }
+        assert_eq!(counter.calls(), 3);
+    }
+}

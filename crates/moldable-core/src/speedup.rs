@@ -1,0 +1,423 @@
+//! Processing-time oracles ("speedup models") for moldable jobs.
+//!
+//! The paper assumes the running times `t_j(k)` are accessible through an
+//! oracle in (near-)constant time, and specifically targets **compact
+//! encodings** where the instance description is polynomial in `log m`.
+//! This module provides several exactly-monotone families:
+//!
+//! * [`SpeedupCurve::Constant`] — a job that does not parallelize at all.
+//! * [`SpeedupCurve::AffineDecreasing`] — `t(p) = base − p + 1`, the strictly
+//!   monotone family used by the Theorem 1 hardness reduction.
+//! * [`SpeedupCurve::Table`] — explicit per-processor-count times (the
+//!   "classic" non-compact encoding; `O(m)` space).
+//! * [`SpeedupCurve::Staircase`] — `O(#breakpoints)` space, piecewise-constant
+//!   times with breakpoints checked for work-monotonicity at construction.
+//!   This is the compact encoding: power-law/Amdahl-shaped curves are
+//!   *projected* onto the nearest feasible staircase (see
+//!   `moldable-workloads`), which keeps every monotonicity proof exact while
+//!   supporting `m` up to 2^40 and beyond.
+//! * [`SpeedupCurve::Custom`] — escape hatch for user-defined oracles.
+//!
+//! # Monotonicity contract
+//!
+//! Every curve must satisfy, for `1 ≤ p < m`:
+//!   1. `t(p+1) ≤ t(p)` (non-increasing processing times), and
+//!   2. `(p+1)·t(p+1) ≥ p·t(p)` (non-decreasing work) — the paper's
+//!      *monotone* assumption.
+//!
+//! The built-in constructors either guarantee this structurally or verify it
+//! at construction ([`Staircase::new`], [`monotone_closure`]); `Custom`
+//! oracles are the caller's responsibility (see
+//! [`crate::monotone::verify_monotone`]).
+
+use crate::types::{Procs, Time, Work};
+use std::fmt;
+use std::sync::Arc;
+
+/// A user-defined processing-time oracle.
+pub trait SpeedupModel: Send + Sync + fmt::Debug {
+    /// Processing time on `p ≥ 1` processors.
+    fn time(&self, p: Procs) -> Time;
+}
+
+/// A piecewise-constant, compactly encoded processing-time curve.
+///
+/// Stored as breakpoints `(p_i, t_i)` with `p_0 = 1`, `p_i` strictly
+/// increasing and `t_i` strictly decreasing; the processing time on `p`
+/// processors is `t_i` for the largest `p_i ≤ p`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Staircase {
+    /// `(first processor count of the step, time on that step)`.
+    steps: Vec<(Procs, Time)>,
+}
+
+impl fmt::Debug for Staircase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Staircase({} steps)", self.steps.len())
+    }
+}
+
+/// Why a staircase description was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaircaseError {
+    /// The step list was empty.
+    Empty,
+    /// The first step must start at `p = 1`.
+    FirstStepNotOne,
+    /// Processor counts must strictly increase.
+    NonIncreasingProcs {
+        /// Index of the offending step.
+        index: usize,
+    },
+    /// Times must strictly decrease across steps (equal times should be
+    /// merged into one step).
+    NonDecreasingTime {
+        /// Index of the offending step.
+        index: usize,
+    },
+    /// A time of zero is not a valid processing time.
+    ZeroTime {
+        /// Index of the offending step.
+        index: usize,
+    },
+    /// Work monotonicity `p_i·t_i ≥ (p_i−1)·t_{i−1}` violated at a jump.
+    WorkDrop {
+        /// Index of the offending step.
+        index: usize,
+    },
+}
+
+impl fmt::Display for StaircaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaircaseError::Empty => write!(f, "staircase has no steps"),
+            StaircaseError::FirstStepNotOne => write!(f, "first step must start at p = 1"),
+            StaircaseError::NonIncreasingProcs { index } => {
+                write!(f, "step {index}: processor counts must strictly increase")
+            }
+            StaircaseError::NonDecreasingTime { index } => {
+                write!(f, "step {index}: times must strictly decrease")
+            }
+            StaircaseError::ZeroTime { index } => {
+                write!(f, "step {index}: processing time must be positive")
+            }
+            StaircaseError::WorkDrop { index } => {
+                write!(f, "step {index}: work would decrease at the jump")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StaircaseError {}
+
+impl Staircase {
+    /// Validate and build a staircase.
+    ///
+    /// Within a step, work `p·t_i` grows with `p` and time is constant, so
+    /// both monotonicity conditions hold trivially; the only thing to check
+    /// is each jump: `t_i < t_{i−1}` (times decrease) and
+    /// `p_i · t_i ≥ (p_i − 1) · t_{i−1}` (work does not drop).
+    pub fn new(steps: Vec<(Procs, Time)>) -> Result<Self, StaircaseError> {
+        if steps.is_empty() {
+            return Err(StaircaseError::Empty);
+        }
+        if steps[0].0 != 1 {
+            return Err(StaircaseError::FirstStepNotOne);
+        }
+        for (i, &(p, t)) in steps.iter().enumerate() {
+            if t == 0 {
+                return Err(StaircaseError::ZeroTime { index: i });
+            }
+            if i > 0 {
+                let (p_prev, t_prev) = steps[i - 1];
+                if p <= p_prev {
+                    return Err(StaircaseError::NonIncreasingProcs { index: i });
+                }
+                if t >= t_prev {
+                    return Err(StaircaseError::NonDecreasingTime { index: i });
+                }
+                let w_new = (p as Work) * (t as Work);
+                let w_old = (p as Work - 1) * (t_prev as Work);
+                if w_new < w_old {
+                    return Err(StaircaseError::WorkDrop { index: i });
+                }
+            }
+        }
+        Ok(Staircase { steps })
+    }
+
+    /// Lowest feasible time for a step starting at processor count `p`,
+    /// given the previous step's time `t_prev`: `⌈(p−1)·t_prev / p⌉`.
+    ///
+    /// Any `t` with `feasible ≤ t < t_prev` keeps the staircase monotone.
+    /// Workload generators use this to project ideal (power-law, Amdahl)
+    /// curves onto the feasible region.
+    pub fn min_feasible_time(p: Procs, t_prev: Time) -> Time {
+        debug_assert!(p >= 2);
+        let w = (p as Work - 1) * (t_prev as Work);
+        (w.div_ceil(p as Work)) as Time
+    }
+
+    /// Processing time on `p ≥ 1` processors.
+    pub fn time(&self, p: Procs) -> Time {
+        debug_assert!(p >= 1);
+        let idx = self.steps.partition_point(|&(q, _)| q <= p);
+        self.steps[idx - 1].1
+    }
+
+    /// The breakpoints of this staircase.
+    pub fn steps(&self) -> &[(Procs, Time)] {
+        &self.steps
+    }
+}
+
+/// A moldable job's processing-time curve.
+#[derive(Clone, Debug)]
+pub enum SpeedupCurve {
+    /// `t(p) = t1` for all `p`: a sequential job (work grows linearly with
+    /// allotment, hence monotone; times trivially non-increasing).
+    Constant(Time),
+    /// `t(p) = base − p + 1`. Strictly decreasing; work is strictly
+    /// increasing while `p < (base+1)/2` — the validity window is checked by
+    /// [`crate::monotone::verify_monotone`] against the instance's `m` and by
+    /// the Theorem 1 reduction which guarantees `base = m·a_i ≥ 2m`.
+    AffineDecreasing {
+        /// `t(1) = base`.
+        base: Time,
+    },
+    /// Explicit table: `t(p) = table[p−1]`, with `p` clamped to the table
+    /// length (a job cannot use more processors than listed).
+    Table(Arc<Vec<Time>>),
+    /// Compactly encoded piecewise-constant curve.
+    Staircase(Arc<Staircase>),
+    /// The linear-communication-overhead model
+    /// `t(p) = ⌈t1/p̂⌉ + (p̂−1)·c` with `p̂ = min(p, cap)`:
+    /// ideal parallelism plus a per-processor coordination cost, saturating
+    /// at `cap`. Construct via [`SpeedupCurve::ideal_with_overhead`], which
+    /// picks `cap` so both monotonicity conditions hold *provably*:
+    /// work grows by at least `2pc − (p−1) > 0` per step, and times are
+    /// non-increasing while `(c+1)·p(p+1) ≤ t1`. `O(1)` evaluation — the
+    /// strong-speedup compact encoding (staircases can only shed a factor
+    /// `p/(p−1)` per breakpoint, so they cannot express large speedups
+    /// compactly; this family can: speedup `≈ √(t1/c)/2`).
+    IdealWithOverhead {
+        /// Sequential time `t(1)`.
+        t1: Time,
+        /// Per-processor overhead coefficient (≥ 1).
+        c: Time,
+        /// Saturation point (no benefit beyond this count).
+        cap: Procs,
+    },
+    /// User-provided oracle.
+    Custom(Arc<dyn SpeedupModel>),
+}
+
+impl SpeedupCurve {
+    /// Processing time on `p ≥ 1` processors.
+    #[inline]
+    pub fn time(&self, p: Procs) -> Time {
+        debug_assert!(p >= 1, "processor counts start at 1");
+        match self {
+            SpeedupCurve::Constant(t) => *t,
+            SpeedupCurve::AffineDecreasing { base } => base
+                .checked_sub(p - 1)
+                .expect("AffineDecreasing evaluated beyond its validity window"),
+            SpeedupCurve::Table(tbl) => {
+                let idx = (p as usize - 1).min(tbl.len() - 1);
+                tbl[idx]
+            }
+            SpeedupCurve::Staircase(s) => s.time(p),
+            SpeedupCurve::IdealWithOverhead { t1, c, cap } => {
+                let q = p.min(*cap).max(1);
+                t1.div_ceil(q) + (q - 1) * c
+            }
+            SpeedupCurve::Custom(m) => m.time(p),
+        }
+    }
+
+    /// Work `p · t(p)` on `p` processors.
+    #[inline]
+    pub fn work(&self, p: Procs) -> Work {
+        (p as Work) * (self.time(p) as Work)
+    }
+}
+
+impl SpeedupCurve {
+    /// Build an [`SpeedupCurve::IdealWithOverhead`] curve, clamping `cap` to
+    /// the provably-valid window.
+    ///
+    /// Time non-increase needs `⌈t1/p⌉ − ⌈t1/(p+1)⌉ ≥ c`, which holds
+    /// whenever `t1 ≥ (c+1)·p·(p+1)`; the constructor therefore clamps
+    /// `cap ≤ p*` with `p*` the largest count satisfying that bound. Work
+    /// monotonicity holds unconditionally:
+    /// `Δw ≥ 2pc − (p−1) > 0` for `c ≥ 1`, and the saturated region is a
+    /// constant-time tail.
+    pub fn ideal_with_overhead(t1: Time, c: Time, cap: Procs) -> SpeedupCurve {
+        let c = c.max(1);
+        // Largest p with (c+1)·p·(p+1) ≤ t1: p ≈ √(t1/(c+1)).
+        let mut p_star = (t1 / (c + 1)).isqrt();
+        while p_star > 1 && (c + 1).saturating_mul(p_star).saturating_mul(p_star + 1) > t1 {
+            p_star -= 1;
+        }
+        SpeedupCurve::IdealWithOverhead {
+            t1,
+            c,
+            cap: cap.min(p_star.max(1)),
+        }
+    }
+}
+
+/// Force an arbitrary time table into the monotone feasible region.
+///
+/// Processes entries left to right; each `t(p)` is clamped into
+/// `[⌈(p−1)·t(p−1)/p⌉, t(p−1)]`, the exact interval for which both
+/// monotonicity conditions hold. The interval is never empty because
+/// `(p−1)·t/p ≤ t`. Used by random-table workload generators.
+pub fn monotone_closure(table: &mut [Time]) {
+    assert!(!table.is_empty());
+    if table[0] == 0 {
+        table[0] = 1;
+    }
+    for p in 1..table.len() {
+        let prev = table[p - 1];
+        let lo = ((p as Work) * (prev as Work)).div_ceil(p as Work + 1) as Time;
+        table[p] = table[p].clamp(lo.max(1), prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_monotone(curve: &SpeedupCurve, m: Procs) -> bool {
+        (1..m).all(|p| {
+            curve.time(p + 1) <= curve.time(p) && curve.work(p + 1) >= curve.work(p)
+        })
+    }
+
+    #[test]
+    fn constant_curve() {
+        let c = SpeedupCurve::Constant(7);
+        assert_eq!(c.time(1), 7);
+        assert_eq!(c.time(1000), 7);
+        assert_eq!(c.work(3), 21);
+        assert!(is_monotone(&c, 64));
+    }
+
+    #[test]
+    fn affine_decreasing_monotone_in_window() {
+        // base = 100: valid while p < 50.5
+        let c = SpeedupCurve::AffineDecreasing { base: 100 };
+        assert_eq!(c.time(1), 100);
+        assert_eq!(c.time(50), 51);
+        assert!(is_monotone(&c, 50));
+    }
+
+    #[test]
+    fn staircase_rejects_work_drop() {
+        // Jump from t=10 at p=1..4 to t=5 at p=5: w(5)=25 < w(4)=40 → reject.
+        let err = Staircase::new(vec![(1, 10), (5, 5)]).unwrap_err();
+        assert_eq!(err, StaircaseError::WorkDrop { index: 1 });
+    }
+
+    #[test]
+    fn staircase_accepts_feasible_jump() {
+        // min feasible time at p=5 after t=10: ceil(4*10/5) = 8.
+        assert_eq!(Staircase::min_feasible_time(5, 10), 8);
+        let s = Staircase::new(vec![(1, 10), (5, 8)]).unwrap();
+        assert_eq!(s.time(4), 10);
+        assert_eq!(s.time(5), 8);
+        assert_eq!(s.time(1_000_000), 8);
+        let c = SpeedupCurve::Staircase(Arc::new(s));
+        assert!(is_monotone(&c, 100));
+    }
+
+    #[test]
+    fn staircase_validation_errors() {
+        assert_eq!(Staircase::new(vec![]).unwrap_err(), StaircaseError::Empty);
+        assert_eq!(
+            Staircase::new(vec![(2, 5)]).unwrap_err(),
+            StaircaseError::FirstStepNotOne
+        );
+        assert_eq!(
+            Staircase::new(vec![(1, 5), (1, 4)]).unwrap_err(),
+            StaircaseError::NonIncreasingProcs { index: 1 }
+        );
+        assert_eq!(
+            Staircase::new(vec![(1, 5), (2, 5)]).unwrap_err(),
+            StaircaseError::NonDecreasingTime { index: 1 }
+        );
+        assert_eq!(
+            Staircase::new(vec![(1, 0)]).unwrap_err(),
+            StaircaseError::ZeroTime { index: 0 }
+        );
+    }
+
+    #[test]
+    fn staircase_huge_processor_counts() {
+        // A compact curve over m = 2^40 processors: each step shaves off the
+        // minimum feasible amount. (A strict drop is only feasible while
+        // t_prev > p, hence the large t0.)
+        let t0: Time = 1 << 50;
+        let p1: Procs = 1 << 20;
+        let t1 = Staircase::min_feasible_time(p1, t0);
+        let p2: Procs = 1 << 40;
+        let t2 = Staircase::min_feasible_time(p2, t1);
+        let s = Staircase::new(vec![(1, t0), (p1, t1), (p2, t2)]).unwrap();
+        assert_eq!(s.time(1 << 39), t1);
+        assert_eq!(s.time(1 << 41), t2);
+        let c = SpeedupCurve::Staircase(Arc::new(s));
+        // Spot-check monotonicity around the jumps.
+        for p in [p1 - 1, p1, p1 + 1, p2 - 1, p2, p2 + 1] {
+            assert!(c.time(p + 1) <= c.time(p));
+            assert!(c.work(p + 1) >= c.work(p));
+        }
+    }
+
+    #[test]
+    fn table_lookup_and_clamp() {
+        let c = SpeedupCurve::Table(Arc::new(vec![10, 6, 4]));
+        assert_eq!(c.time(1), 10);
+        assert_eq!(c.time(3), 4);
+        assert_eq!(c.time(9), 4); // clamped
+    }
+
+    #[test]
+    fn monotone_closure_fixes_arbitrary_tables() {
+        let mut t = vec![10, 2, 9, 1, 1, 50];
+        monotone_closure(&mut t);
+        let c = SpeedupCurve::Table(Arc::new(t.clone()));
+        assert!(is_monotone(&c, t.len() as Procs), "closure failed: {t:?}");
+        assert_eq!(t[0], 10);
+    }
+
+    #[test]
+    fn ideal_with_overhead_is_monotone_and_scales() {
+        for (t1, c) in [(1u64 << 20, 1u64), (1 << 30, 7), (1000, 1), (10, 3)] {
+            let curve = SpeedupCurve::ideal_with_overhead(t1, c, u64::MAX >> 1);
+            let cap = match curve {
+                SpeedupCurve::IdealWithOverhead { cap, .. } => cap,
+                _ => unreachable!(),
+            };
+            // Exhaustive check across the active window + the seam.
+            let check_to = (cap + 10).min(1 << 12);
+            assert!(is_monotone(&curve, check_to), "t1={t1} c={c} cap={cap}");
+            // Spot-check the far tail.
+            for p in [cap, cap + 1, cap * 2, cap * 16] {
+                assert!(curve.time(p + 1) <= curve.time(p));
+                assert!(curve.work(p + 1) >= curve.work(p));
+            }
+        }
+        // Strong speedup: t1 = 2^30, c = 1 → speedup ≈ 2^14.
+        let curve = SpeedupCurve::ideal_with_overhead(1 << 30, 1, u64::MAX >> 1);
+        let speedup = curve.time(1) as f64 / curve.time(1 << 20) as f64;
+        assert!(speedup > 5000.0, "speedup only {speedup}");
+    }
+
+    #[test]
+    fn monotone_closure_zero_start() {
+        let mut t = vec![0, 0];
+        monotone_closure(&mut t);
+        assert!(t[0] >= 1 && t[1] >= 1);
+    }
+}

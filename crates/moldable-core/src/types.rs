@@ -1,0 +1,33 @@
+//! Fundamental scalar types shared by the whole workspace.
+//!
+//! The paper's model measures processing times with an oracle returning
+//! integers ("ticks"); works are products `p · t_j(p)` which can exceed
+//! 64 bits for compact encodings (processor counts up to 2^40), so work is
+//! 128-bit. All threshold comparisons (`t ≤ d/2`, `t ≤ (1+ε)d`, …) are done
+//! with exact rationals ([`crate::ratio::Ratio`]), never floating point.
+
+/// Processing time of a job on a fixed processor count, in integral ticks.
+pub type Time = u64;
+
+/// Work of an allotted job: `procs × time`. 128-bit because `procs` can be
+/// as large as 2^40 under compact encodings and `time` up to 2^48.
+pub type Work = u128;
+
+/// A processor count. The whole point of the paper is algorithms polynomial
+/// in `log m`, so `m` may be astronomically large; we use 64 bits.
+pub type Procs = u64;
+
+/// Index of a job inside an [`crate::instance::Instance`].
+pub type JobId = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_holds_max_products() {
+        // Largest product we ever form: m * t with m = 2^63, t = 2^63.
+        let w: Work = (Procs::MAX as Work) * (Time::MAX as Work);
+        assert!(w > 0);
+    }
+}

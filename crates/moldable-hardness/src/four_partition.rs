@@ -1,0 +1,239 @@
+//! The 4-Partition problem.
+//!
+//! An instance is a multiset `A = {a_1, …, a_{4n}}` and a bound `B` with
+//! `Σ a_i = n·B` and `B/5 < a_i < B/3` (the strongly NP-hard normal form
+//! [Garey & Johnson]); the question is whether `A` partitions into `n`
+//! quadruples each summing to `B`.
+
+use rand::Rng;
+
+/// A 4-Partition instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FourPartitionInstance {
+    /// The `4n` numbers.
+    pub numbers: Vec<u64>,
+    /// The quadruple target sum `B`.
+    pub b: u64,
+}
+
+impl FourPartitionInstance {
+    /// `n` — the number of quadruples.
+    pub fn groups(&self) -> usize {
+        self.numbers.len() / 4
+    }
+
+    /// Does the instance satisfy the normal form (`4|len`, `Σ = nB`,
+    /// `B/5 < a < B/3`)?
+    pub fn is_normal_form(&self) -> bool {
+        let n = self.groups();
+        self.numbers.len() == 4 * n
+            && n >= 1
+            && self.numbers.iter().map(|&a| a as u128).sum::<u128>()
+                == (n as u128) * self.b as u128
+            && self
+                .numbers
+                .iter()
+                .all(|&a| 5 * a > self.b && 3 * a < self.b)
+    }
+
+    /// Generate a *planted* yes-instance with `n` quadruples: each group is
+    /// built from four numbers near `B/4` whose deviations cancel.
+    pub fn planted_yes(rng: &mut impl Rng, n: usize, b_scale: u64) -> Self {
+        assert!(n >= 1);
+        // B = 4·base with base large enough for deviations to stay within
+        // the (B/5, B/3) window: |dev| < base/5 works since
+        // base − base/5 > B/5 and base + base/5 < B/3 for B = 4·base.
+        // base ≡ 1 (mod 32) and deviations that are multiples of 32: every
+        // number is ≡ 1 (mod 32) and every quadruple sum ≡ 4 ≡ B (mod 32) —
+        // the lattice structure `planted_no` exploits.
+        let base = 416 * b_scale.max(1) + 1;
+        let b = 4 * base;
+        let dev_steps = ((base / 5).saturating_sub(64) / 32) as i64;
+        let mut numbers = Vec::with_capacity(4 * n);
+        for _ in 0..n {
+            // Deviations cancel pairwise, so each value stays within
+            // base ± max_dev ⊂ (B/5, B/3) (with ≥ 32 units of slack for
+            // `planted_no`'s nudges) and the group sums to B exactly.
+            let d1 = 32 * rng.gen_range(-dev_steps..=dev_steps);
+            let d2 = 32 * rng.gen_range(-dev_steps..=dev_steps);
+            for d in [d1, -d1, d2, -d2] {
+                numbers.push((base as i64 + d) as u64);
+            }
+        }
+        let inst = FourPartitionInstance { numbers, b };
+        debug_assert!(inst.is_normal_form(), "planted instance broke normal form");
+        inst
+    }
+
+    /// A *provably unsolvable* sibling of [`FourPartitionInstance::planted_yes`]
+    /// (requires `n ≥ 2`): nudge five numbers by `+4, +4, +4, +4, −16`.
+    ///
+    /// All planted numbers are ≡ 1 (mod 32) and `B ≡ 4 (mod 32)`; a
+    /// quadruple's sum is `≡ 4 + Σ(nudges inside it) (mod 32)`. No
+    /// *proper* subset of `{+4,+4,+4,+4,−16}` sums to `≡ 0 (mod 32)`, and
+    /// all five nudged numbers cannot share one quadruple — so some
+    /// quadruple always misses `B`. Total sum and the normal-form window
+    /// are preserved.
+    pub fn planted_no(rng: &mut impl Rng, n: usize, b_scale: u64) -> Self {
+        assert!(n >= 2, "the lattice construction needs at least 8 numbers");
+        let mut inst = Self::planted_yes(rng, n, b_scale);
+        for i in 0..4 {
+            inst.numbers[i] += 4;
+        }
+        inst.numbers[4] -= 16;
+        debug_assert!(inst.is_normal_form());
+        inst
+    }
+}
+
+/// Exact solver by backtracking: repeatedly take the largest remaining
+/// number and try to complete its quadruple. Returns the groups (indices
+/// into `numbers`) or `None`. Exponential in the worst case; fine for the
+/// test/bench sizes (n ≤ 12).
+pub fn solve_four_partition(inst: &FourPartitionInstance) -> Option<Vec<[usize; 4]>> {
+    if !inst.is_normal_form() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..inst.numbers.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(inst.numbers[i]));
+    let mut used = vec![false; inst.numbers.len()];
+    let mut groups = Vec::new();
+    if backtrack(inst, &order, &mut used, &mut groups) {
+        Some(groups)
+    } else {
+        None
+    }
+}
+
+fn backtrack(
+    inst: &FourPartitionInstance,
+    order: &[usize],
+    used: &mut [bool],
+    groups: &mut Vec<[usize; 4]>,
+) -> bool {
+    // First unused (largest) number anchors the next group — it must be in
+    // *some* group, so no need to try other anchors.
+    let Some(anchor_pos) = order.iter().position(|&i| !used[i]) else {
+        return true;
+    };
+    let anchor = order[anchor_pos];
+    used[anchor] = true;
+    let target = inst.b - inst.numbers[anchor];
+    let free: Vec<usize> = order[anchor_pos + 1..]
+        .iter()
+        .copied()
+        .filter(|&i| !used[i])
+        .collect();
+    for (x, &i) in free.iter().enumerate() {
+        if inst.numbers[i] >= target {
+            continue;
+        }
+        for (y, &j) in free.iter().enumerate().skip(x + 1) {
+            let s2 = inst.numbers[i] + inst.numbers[j];
+            if s2 >= target {
+                continue;
+            }
+            for &k in free.iter().skip(y + 1) {
+                if s2 + inst.numbers[k] != target {
+                    continue;
+                }
+                used[i] = true;
+                used[j] = true;
+                used[k] = true;
+                groups.push([anchor, i, j, k]);
+                if backtrack(inst, order, used, groups) {
+                    return true;
+                }
+                groups.pop();
+                used[i] = false;
+                used[j] = false;
+                used[k] = false;
+            }
+        }
+    }
+    used[anchor] = false;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_instances_are_solvable() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for n in 1..=6 {
+            let inst = FourPartitionInstance::planted_yes(&mut rng, n, 3);
+            assert!(inst.is_normal_form());
+            let sol = solve_four_partition(&inst).expect("planted must be yes");
+            assert_eq!(sol.len(), n);
+            let mut seen = vec![false; 4 * n];
+            for g in &sol {
+                let sum: u64 = g.iter().map(|&i| inst.numbers[i]).sum();
+                assert_eq!(sum, inst.b);
+                for &i in g {
+                    assert!(!seen[i], "index reused");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn detects_no_instances() {
+        // Handcrafted: sums fine but no quadruple hits B.
+        // B = 100, numbers must be in (20, 33.3).
+        // {21,21,21,21} won't reach 100 with the rest {29,29,29,29}? That
+        // *does* work: 21+21+29+29 = 100. Use an odd spread instead:
+        let inst = FourPartitionInstance {
+            numbers: vec![21, 21, 21, 21, 29, 29, 29, 29],
+            b: 100,
+        };
+        assert!(solve_four_partition(&inst).is_some());
+        // 22+22+22+22 = 88, need 34-ish partners: {26,26,26,34}? 34 ≥ B/3
+        // violates normal form... craft: {21,22,23,34}? 34 out. Use sums
+        // that cannot balance: {25,25,25,27, 23,25,25,25}: total 200 = 2B.
+        // Groups summing 100: need (25,25,25,25)→ only quadruple options;
+        // 25+25+25+27 = 102; 25+25+25+23 = 98; 23+25+25+27 = 100 ✓ then
+        // rest 25×4 = 100 ✓ — solvable again. A genuinely-no instance:
+        let no = FourPartitionInstance {
+            numbers: vec![21, 21, 21, 21, 29, 29, 29, 31],
+            b: 101,
+        };
+        // 21·4 = 84 ≠ 101 … possible sums with target 101 from
+        // {21,21,21,21,29,29,29,31}: 21+21+29+... = 100/102; 21+21+21+29=92;
+        // 21+29+29+... 21+21+29+31 = 102; 21+29+29+31 = 110… none = 101
+        // except 21+21+28?? — total is 202 = 2·101 ✓ normal form: 5·21 >
+        // 101 ✓ 3·31 = 93 < 101 ✓.
+        assert!(no.is_normal_form());
+        assert!(solve_four_partition(&no).is_none());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let inst = FourPartitionInstance {
+            numbers: vec![1, 2, 3],
+            b: 6,
+        };
+        assert!(!inst.is_normal_form());
+        assert!(solve_four_partition(&inst).is_none());
+    }
+
+    #[test]
+    fn planted_no_is_always_unsolvable() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for n in 2..=5 {
+            for _ in 0..5 {
+                let no = FourPartitionInstance::planted_no(&mut rng, n, 2);
+                assert!(no.is_normal_form());
+                assert!(
+                    solve_four_partition(&no).is_none(),
+                    "mod-8 lattice argument violated: {no:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # moldable-hardness
+//!
+//! Theorem 1 (Section 2): deciding whether monotone moldable jobs can be
+//! scheduled within a given makespan is strongly NP-complete, via a
+//! reduction from 4-Partition.
+//!
+//! This crate implements the whole argument as executable code:
+//!
+//! * [`four_partition`] — the 4-Partition problem: instances, a generator of
+//!   planted yes-instances, and an exact solver (backtracking over
+//!   quadruples) for small sizes;
+//! * [`reduction`] — the forward reduction (numbers → strictly monotone
+//!   moldable jobs with `t_j(k) = m·a_i − k + 1`, target `d = nB`), the
+//!   certificate mapping in both directions, and the NP-membership
+//!   procedure (allotment + order + list scheduling).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod four_partition;
+pub mod reduction;
+
+pub use four_partition::{solve_four_partition, FourPartitionInstance};
+pub use reduction::{reduce, schedule_to_partition, Reduction};

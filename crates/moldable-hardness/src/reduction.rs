@@ -1,0 +1,190 @@
+//! The Theorem 1 reduction: 4-Partition → monotone moldable scheduling.
+//!
+//! Given `A = {a_1, …, a_{4n}}` with `Σ a_i = nB` (numbers scaled so
+//! `a_i ≥ 2`), build `m = n` machines and a job per number with
+//! `t_{j_i}(k) = m·a_i − k + 1` — strictly decreasing times, strictly
+//! increasing work (Eq. 1 of the paper, valid because `m·a_i ≥ 2m > 2k`).
+//! Target makespan `d = n·B·…` — precisely, total work of all jobs at one
+//! processor is `m·nB = m·d`, so a schedule of makespan `d = nB` exists iff
+//! every job runs on exactly one processor and every machine is loaded to
+//! exactly `d`, iff the numbers 4-partition.
+
+use crate::four_partition::FourPartitionInstance;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::speedup::SpeedupCurve;
+use moldable_core::types::{Procs, Time};
+use moldable_sched::schedule::Schedule;
+
+/// The output of the reduction, with enough bookkeeping to map certificates
+/// both ways.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The scheduling instance (`4n` jobs, `m = n` machines).
+    pub instance: Instance,
+    /// The target makespan `d = n·B` (after scaling).
+    pub d: Time,
+    /// The scaled numbers (`a_i ≥ 2`), job `i` ↔ `numbers[i]`.
+    pub scaled_numbers: Vec<u64>,
+    /// The scaled bound `B`.
+    pub scaled_b: u64,
+}
+
+/// Perform the reduction. Returns `None` when `Σ a_i ≠ n·B` (the paper
+/// outputs a trivial no-instance then; callers treat `None` as "no").
+pub fn reduce(fp: &FourPartitionInstance) -> Option<Reduction> {
+    let n = fp.groups() as u64;
+    if n == 0 {
+        return None;
+    }
+    let total: u128 = fp.numbers.iter().map(|&a| a as u128).sum();
+    if total != n as u128 * fp.b as u128 {
+        return None;
+    }
+    // Scale so a_i ≥ 2 (multiply everything by 2 if needed).
+    let scale: u64 = if fp.numbers.iter().any(|&a| a < 2) { 2 } else { 1 };
+    let scaled_numbers: Vec<u64> = fp.numbers.iter().map(|&a| a * scale).collect();
+    let scaled_b = fp.b * scale;
+    let m: Procs = n;
+    let curves: Vec<SpeedupCurve> = scaled_numbers
+        .iter()
+        .map(|&a| SpeedupCurve::AffineDecreasing { base: m * a })
+        .collect();
+    let instance = Instance::new(curves, m);
+    Some(Reduction {
+        instance,
+        d: n * scaled_b,
+        scaled_numbers,
+        scaled_b,
+    })
+}
+
+/// Map a schedule of makespan ≤ `d` back to a 4-Partition certificate
+/// (Section 2's backward direction): with makespan exactly `d`, every job
+/// runs on one processor and machines group the jobs into quadruples
+/// summing to `B`. Returns `None` if the schedule's makespan exceeds `d`
+/// (then it certifies nothing).
+pub fn schedule_to_partition(
+    red: &Reduction,
+    schedule: &Schedule,
+) -> Option<Vec<Vec<usize>>> {
+    if schedule.makespan(&red.instance) > Ratio::from(red.d) {
+        return None;
+    }
+    // Strict work monotonicity forces 1 processor per job (the paper's
+    // counting argument); verify defensively.
+    if schedule.assignments.iter().any(|a| a.procs != 1) {
+        return None;
+    }
+    // Group jobs greedily by exact machine loads: machines are
+    // interchangeable, so reconstruct groups by sweeping jobs ordered by
+    // start and assigning to the first machine free at that start time.
+    let mut machines: Vec<(Ratio, Vec<usize>)> = Vec::new(); // (busy-until, jobs)
+    let mut order: Vec<&moldable_sched::schedule::Assignment> =
+        schedule.assignments.iter().collect();
+    order.sort_by(|x, y| x.start.cmp(&y.start));
+    'next: for a in order {
+        let end = a
+            .start
+            .add(&Ratio::from(red.instance.job(a.job).time(1)));
+        for slot in machines.iter_mut() {
+            if slot.0 <= a.start {
+                slot.0 = end;
+                slot.1.push(a.job as usize);
+                continue 'next;
+            }
+        }
+        machines.push((end, vec![a.job as usize]));
+    }
+    if machines.len() > red.instance.m() as usize {
+        return None;
+    }
+    Some(machines.into_iter().map(|(_, jobs)| jobs).collect())
+}
+
+/// Build the canonical yes-schedule from a 4-Partition certificate (the
+/// forward direction of Section 2 / Fig. 1): each quadruple's jobs run
+/// sequentially on one machine, one processor each, filling `[0, d)`.
+pub fn partition_to_schedule(red: &Reduction, groups: &[[usize; 4]]) -> Schedule {
+    let mut s = Schedule::new();
+    for group in groups {
+        let mut cursor = Ratio::zero();
+        for &i in group {
+            s.push(i as u32, cursor, 1);
+            cursor = cursor.add(&Ratio::from(red.instance.job(i as u32).time(1)));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::four_partition::solve_four_partition;
+    use moldable_core::monotone::verify_monotone;
+    use moldable_sched::validate::validate_with_makespan;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduction_jobs_are_strictly_monotone() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let fp = FourPartitionInstance::planted_yes(&mut rng, 3, 1);
+        let red = reduce(&fp).unwrap();
+        for j in red.instance.jobs() {
+            verify_monotone(j, red.instance.m()).unwrap();
+            // Strictly decreasing times.
+            for p in 1..red.instance.m() {
+                assert!(j.time(p + 1) < j.time(p));
+                assert!(j.work(p + 1) > j.work(p));
+            }
+        }
+    }
+
+    #[test]
+    fn yes_instance_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for n in 2..=4 {
+            let fp = FourPartitionInstance::planted_yes(&mut rng, n, 1);
+            let red = reduce(&fp).unwrap();
+            let groups = solve_four_partition(&fp).expect("yes-instance");
+            // Forward: certificate → schedule of makespan exactly d.
+            let sched = partition_to_schedule(&red, &groups);
+            validate_with_makespan(&sched, &red.instance, &Ratio::from(red.d)).unwrap();
+            // Note t(1) = m·a_i, so one machine's load is m·B... the target
+            // d = n·B… with m = n: load = Σ m·a = m·B = n·B = d ✓.
+            assert_eq!(sched.makespan(&red.instance), Ratio::from(red.d));
+            // Backward: schedule → partition certificate.
+            let parts = schedule_to_partition(&red, &sched).expect("certificate");
+            for group in &parts {
+                let sum: u64 = group.iter().map(|&i| red.scaled_numbers[i]).sum();
+                assert_eq!(sum, red.scaled_b);
+                assert_eq!(group.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn total_work_forces_single_processors() {
+        // The counting argument of Theorem 1: total single-processor work
+        // equals m·d exactly.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let fp = FourPartitionInstance::planted_yes(&mut rng, 3, 1);
+        let red = reduce(&fp).unwrap();
+        let total: u128 = red.instance.jobs().iter().map(|j| j.work(1)).sum();
+        assert_eq!(
+            total,
+            red.instance.m() as u128 * red.d as u128,
+            "W(1) must equal m·d"
+        );
+    }
+
+    #[test]
+    fn sum_mismatch_rejected() {
+        let fp = FourPartitionInstance {
+            numbers: vec![21, 21, 21, 21],
+            b: 100,
+        };
+        assert!(reduce(&fp).is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! Exponential brute-force knapsack — ground truth for tests and small
+//! ablation baselines. Never used by the scheduling algorithms.
+
+use crate::item::{Item, Solution};
+use moldable_core::types::Work;
+
+/// Exact optimum of the ordinary 0/1 knapsack `(I, ∅, capacity, 0)` by
+/// enumerating all `2^n` subsets. Panics if `items.len() > 25`.
+pub fn brute_force(items: &[Item], capacity: u64) -> Solution {
+    assert!(items.len() <= 25, "brute force limited to 25 items");
+    let n = items.len();
+    let mut best = Solution::empty();
+    for mask in 0u32..(1u32 << n) {
+        let mut size: u128 = 0;
+        let mut profit: Work = 0;
+        for (i, it) in items.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                size += it.size as u128;
+                profit += it.profit;
+            }
+        }
+        if size <= capacity as u128 && profit > best.profit {
+            best.profit = profit;
+            best.chosen = items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, it)| it.id)
+                .collect();
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_example() {
+        let items = vec![
+            Item::plain(0, 3, 4),
+            Item::plain(1, 4, 5),
+            Item::plain(2, 5, 6),
+        ];
+        let s = brute_force(&items, 7);
+        assert_eq!(s.profit, 9); // items 0 + 1
+        let mut chosen = s.chosen.clone();
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_and_oversized() {
+        assert_eq!(brute_force(&[], 10).profit, 0);
+        let items = vec![Item::plain(0, 100, 1)];
+        assert_eq!(brute_force(&items, 10).profit, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Classic capacity-indexed dynamic program for the 0/1 knapsack.
+//!
+//! `O(n·C)` time and space — this is the solver the original MRT algorithm
+//! (Section 4.1) uses, and the reason its running time is `Θ(nm)`. The
+//! improved algorithms of Sections 4.2/4.3 exist precisely to avoid the
+//! linear dependence on the capacity `m`; we keep this implementation as the
+//! faithful baseline for Table 1 and the ablation benchmarks.
+
+use crate::item::{Item, Solution};
+use moldable_core::types::Work;
+
+/// Exact 0/1 knapsack by the textbook DP over capacities `0..=capacity`.
+///
+/// Panics if `capacity` is absurdly large (the table would not fit in
+/// memory); callers in the scheduling code guard with `m` small.
+pub fn solve(items: &[Item], capacity: u64) -> Solution {
+    let cap = usize::try_from(capacity).expect("capacity exceeds address space");
+    assert!(
+        cap < (1 << 28),
+        "capacity-indexed DP needs O(C) memory; use the compressible solver \
+         (Algorithm 2) for large capacities"
+    );
+    // best[c] = max profit with total size ≤ c; take[k][c] bit = item k taken.
+    let mut best: Vec<Work> = vec![0; cap + 1];
+    let mut take: Vec<Vec<u64>> = Vec::with_capacity(items.len());
+    let words = cap / 64 + 1;
+    for it in items {
+        let mut row = vec![0u64; words];
+        let s = it.size as usize;
+        if s <= cap {
+            // Descend so each item is used at most once.
+            for c in (s..=cap).rev() {
+                let cand = best[c - s] + it.profit;
+                if cand > best[c] {
+                    best[c] = cand;
+                    row[c / 64] |= 1 << (c % 64);
+                }
+            }
+        }
+        take.push(row);
+    }
+    // Backtrack.
+    let mut chosen = Vec::new();
+    let mut c = cap;
+    for (k, it) in items.iter().enumerate().rev() {
+        if take[k][c / 64] >> (c % 64) & 1 == 1 {
+            chosen.push(it.id);
+            c -= it.size as usize;
+        }
+    }
+    chosen.reverse();
+    Solution {
+        chosen,
+        profit: best[cap],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut seed = 0xA5A5A5A5DEADBEEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..80 {
+            let n = (next() % 10 + 1) as usize;
+            let items: Vec<Item> = (0..n)
+                .map(|i| Item::plain(i as u32, next() % 20 + 1, (next() % 50) as u128))
+                .collect();
+            let cap = next() % 40;
+            let dp = solve(&items, cap);
+            let bf = brute_force(&items, cap);
+            assert_eq!(dp.profit, bf.profit, "round {round}: {items:?} cap {cap}");
+            // Solution must be self-consistent.
+            let total_size: u64 = dp
+                .chosen
+                .iter()
+                .map(|&id| items[id as usize].size)
+                .sum();
+            let total_profit: Work = dp
+                .chosen
+                .iter()
+                .map(|&id| items[id as usize].profit)
+                .sum();
+            assert!(total_size <= cap);
+            assert_eq!(total_profit, dp.profit);
+        }
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let items = vec![Item::plain(0, 1, 5)];
+        assert_eq!(solve(&items, 0).profit, 0);
+    }
+
+    #[test]
+    fn zero_size_items_always_fit() {
+        let items = vec![Item::plain(0, 0, 5), Item::plain(1, 0, 7)];
+        let s = solve(&items, 0);
+        assert_eq!(s.profit, 12);
+        assert_eq!(s.chosen.len(), 2);
+    }
+}

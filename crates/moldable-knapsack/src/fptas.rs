@@ -1,0 +1,210 @@
+//! Profit-scaling knapsack FPTAS (Lawler 1979 / Ibarra–Kim) — the
+//! *rejected alternative* of Section 4.2.
+//!
+//! The paper observes that one "might be tempted" to replace the exact
+//! knapsack in the MRT algorithm with a standard FPTAS, and explains why
+//! that fails: the knapsack profit (saved work, `Σ v_j(d)`) can be much
+//! larger than the schedule's *residual* work, so a `(1−ε)` profit loss
+//! translates into an unbounded relative increase of the schedule work —
+//! the dual test `W(J′, d) ≤ md − W_S(d)` then rejects feasible deadlines.
+//! The paper's answer is to approximate *sizes* (processor counts, healed
+//! by compression) instead of profits.
+//!
+//! We implement the profit-scaling FPTAS anyway, as an ablation baseline:
+//! `benches/ablation.rs` and the integration tests demonstrate the failure
+//! mode concretely on instances where profit ≫ residual work.
+//!
+//! # Algorithm
+//!
+//! Scale profits to `p̃(i) = ⌊p(i)/K⌋` with `K = ε·P_max/n`, then run the
+//! classic profit-indexed DP (`O(n²·P_max/K) = O(n³/ε)` in the worst case,
+//! `O(n·Σp̃)` in general): `dp[q]` = minimal size achieving scaled profit
+//! `q`. The result has profit `≥ (1−ε)·OPT`.
+
+use crate::item::{Item, Solution};
+use moldable_core::types::Work;
+
+/// Solve the 0/1 knapsack within factor `1−ε` of optimal profit.
+///
+/// `eps` is given as a pair `(num, den)` with `0 < num ≤ den` (exact, to
+/// keep the crate float-free). Items wider than the capacity are skipped.
+///
+/// ```
+/// use moldable_knapsack::{solve_fptas, Item};
+///
+/// let items = vec![
+///     Item::plain(0, 3, 40),
+///     Item::plain(1, 4, 50),
+///     Item::plain(2, 5, 60),
+/// ];
+/// let sol = solve_fptas(&items, 7, (1, 10)); // ε = 1/10
+/// assert!(sol.profit >= 90 * 9 / 10);        // ≥ (1−ε)·OPT, OPT = 90
+/// ```
+pub fn solve_fptas(items: &[Item], capacity: u64, eps: (u64, u64)) -> Solution {
+    assert!(eps.0 > 0 && eps.0 <= eps.1, "need 0 < ε ≤ 1");
+    let fitting: Vec<&Item> = items.iter().filter(|it| it.size <= capacity).collect();
+    let n = fitting.len();
+    if n == 0 {
+        return Solution::empty();
+    }
+    let p_max = fitting.iter().map(|it| it.profit).max().unwrap();
+    if p_max == 0 {
+        return Solution::empty();
+    }
+
+    // K = ε·P_max/n, as an exact rational K = (ε_num·P_max) / (ε_den·n);
+    // scaled profit p̃ = ⌊p/K⌋ = ⌊p·ε_den·n / (ε_num·P_max)⌋.
+    // Guard: K ≥ 1 is required for scaling to shrink anything; when
+    // P_max·ε < n the instance is already small enough to solve exactly
+    // with profit-indexed DP, so use K = 1 (exact).
+    let num = |p: Work| -> u128 { p * (eps.1 as u128) * (n as u128) };
+    let den: u128 = (eps.0 as u128) * p_max;
+    let scaled = |p: Work| -> u64 {
+        let s = num(p) / den;
+        debug_assert!(s <= u64::MAX as u128);
+        s.max(if p == p_max { 1 } else { 0 }) as u64
+    };
+
+    let scaled_profits: Vec<u64> = fitting.iter().map(|it| scaled(it.profit)).collect();
+    let total_scaled: u64 = scaled_profits.iter().sum();
+
+    // dp[q] = (minimal size achieving scaled profit exactly q, chosen set
+    // backlink). usize::MAX sentinel for "unreachable".
+    const UNREACHABLE: u128 = u128::MAX;
+    let mut dp: Vec<u128> = vec![UNREACHABLE; total_scaled as usize + 1];
+    // parent[q] = (item index, previous q) for reconstruction.
+    let mut parent: Vec<Option<(usize, u64)>> = vec![None; total_scaled as usize + 1];
+    dp[0] = 0;
+
+    for (i, it) in fitting.iter().enumerate() {
+        let pi = scaled_profits[i];
+        // Descend so each item is used at most once.
+        for q in (pi..=total_scaled).rev() {
+            let prev = (q - pi) as usize;
+            if dp[prev] == UNREACHABLE {
+                continue;
+            }
+            let cand = dp[prev] + it.size as u128;
+            if cand < dp[q as usize] && cand <= capacity as u128 {
+                dp[q as usize] = cand;
+                parent[q as usize] = Some((i, q - pi));
+            }
+        }
+    }
+
+    // Highest reachable scaled profit within capacity.
+    let best_q = (0..=total_scaled)
+        .rev()
+        .find(|&q| dp[q as usize] != UNREACHABLE)
+        .unwrap_or(0);
+
+    // Reconstruct.
+    let mut chosen = Vec::new();
+    let mut profit: Work = 0;
+    let mut q = best_q;
+    while q > 0 {
+        let (i, prev) = parent[q as usize].expect("backlink chain broken");
+        chosen.push(fitting[i].id);
+        profit += fitting[i].profit;
+        q = prev;
+    }
+    chosen.reverse();
+    Solution { chosen, profit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+
+    fn items(raw: &[(u64, Work)]) -> Vec<Item> {
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(s, p))| Item::plain(i as u32, s, p))
+            .collect()
+    }
+
+    #[test]
+    fn exact_when_eps_tiny_and_profits_small() {
+        let its = items(&[(3, 4), (4, 5), (5, 6)]);
+        let s = solve_fptas(&its, 7, (1, 100));
+        assert_eq!(s.profit, brute_force(&its, 7).profit);
+    }
+
+    #[test]
+    fn guarantee_holds_on_random_instances() {
+        // Deterministic pseudo-random small instances vs brute force.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let n = 3 + (next() % 8) as usize;
+            let its: Vec<Item> = (0..n)
+                .map(|i| {
+                    Item::plain(
+                        i as u32,
+                        1 + next() % 20,
+                        (1 + next() % 1000) as Work,
+                    )
+                })
+                .collect();
+            let cap = 10 + next() % 40;
+            let opt = brute_force(&its, cap).profit;
+            for &(en, ed) in &[(1u64, 2u64), (1, 4), (1, 10)] {
+                let s = solve_fptas(&its, cap, (en, ed));
+                // profit ≥ (1 − ε)·OPT  ⇔  profit·ed ≥ (ed − en)·OPT
+                assert!(
+                    s.profit * ed as Work >= opt * (ed - en) as Work,
+                    "trial {trial}: ε={en}/{ed}, got {} < (1−ε)·{opt}",
+                    s.profit
+                );
+                // And feasible.
+                let size: u128 = s
+                    .chosen
+                    .iter()
+                    .map(|&id| its[id as usize].size as u128)
+                    .sum();
+                assert!(size <= cap as u128);
+            }
+        }
+    }
+
+    #[test]
+    fn skips_oversized_items() {
+        let its = items(&[(100, 1000), (2, 3)]);
+        let s = solve_fptas(&its, 10, (1, 2));
+        assert_eq!(s.chosen, vec![1]);
+        assert_eq!(s.profit, 3);
+    }
+
+    #[test]
+    fn zero_profit_instance() {
+        let its = items(&[(1, 0), (2, 0)]);
+        let s = solve_fptas(&its, 10, (1, 2));
+        assert_eq!(s.profit, 0);
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert_eq!(solve_fptas(&[], 5, (1, 2)).profit, 0);
+    }
+
+    #[test]
+    fn large_profits_are_scaled_not_overflowed() {
+        // Profits near 2^80 exercise the u128 scaling arithmetic.
+        let big: Work = 1 << 80;
+        let its = vec![
+            Item::plain(0, 5, big),
+            Item::plain(1, 5, big + 17),
+            Item::plain(2, 5, big / 2),
+        ];
+        let s = solve_fptas(&its, 10, (1, 4));
+        // Best pair: items 0 and 1.
+        assert!(s.profit >= (big + big + 17) / 4 * 3);
+        assert!(s.chosen.len() <= 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Items of the knapsack problem with compressible items (Section 4.2).
+//!
+//! An instance is a tuple `(I, Iᶜ, C, ρ)`: items with sizes and profits, a
+//! subset `Iᶜ` of *compressible* items, a capacity `C`, and a compression
+//! factor `ρ`. A solution `I' ⊆ I` is feasible when
+//! `Σ_{i ∈ I'∩Iᶜ} (1−ρ)s(i) + Σ_{i ∈ I'∖Iᶜ} s(i) ≤ C` (Eq. 9).
+//!
+//! In the scheduling application, items are big jobs, sizes are canonical
+//! allotments `γ_j(d)`, profits are work savings `v_j(d)`, and compressible
+//! items are the wide jobs.
+
+use moldable_core::types::Work;
+
+/// A knapsack item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Item {
+    /// Opaque identifier preserved through every solver (job id, type id…).
+    pub id: u32,
+    /// Size `s(i)` — processor count in the scheduling application.
+    pub size: u64,
+    /// Profit `p(i)` — saved work in the scheduling application.
+    pub profit: Work,
+    /// Whether the item may be compressed by the instance's factor ρ.
+    pub compressible: bool,
+}
+
+impl Item {
+    /// Convenience constructor for an incompressible item.
+    pub fn plain(id: u32, size: u64, profit: Work) -> Self {
+        Item {
+            id,
+            size,
+            profit,
+            compressible: false,
+        }
+    }
+
+    /// Convenience constructor for a compressible item.
+    pub fn compressible(id: u32, size: u64, profit: Work) -> Self {
+        Item {
+            id,
+            size,
+            profit,
+            compressible: true,
+        }
+    }
+}
+
+/// A solved knapsack: chosen item ids and their total profit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Solution {
+    /// Ids of the chosen items.
+    pub chosen: Vec<u32>,
+    /// Total profit of the chosen items.
+    pub profit: Work,
+}
+
+impl Solution {
+    /// The empty solution.
+    pub fn empty() -> Self {
+        Solution::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let a = Item::plain(1, 5, 10);
+        assert!(!a.compressible);
+        let b = Item::compressible(2, 7, 3);
+        assert!(b.compressible);
+        assert_eq!(Solution::empty().profit, 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Adaptive-normalization knapsack for compressible items
+//! (Sections 4.2.3–4.2.4, Lemma 12, Fig. 4).
+//!
+//! Given a set of capacities `A = {α₁ < … < α_k}` satisfying Eq. (15)
+//! (`αᵢ − αᵢ₋₁ ≤ ρ·αᵢ`, with `α₀ = αmin`), all knapsack problems
+//! `(Iᶜ, Iᶜ, α, ρ)` are solved in one pass with profit at least
+//! `OPT(Iᶜ, ∅, α, 0)` each.
+//!
+//! The trick: sizes are *normalized down* onto interval boundaries. The
+//! interval `[αᵢ₋₁, αᵢ)` is subdivided into intervals of width
+//! `Uᵢ = ρ/((1−ρ)·n̄)·αᵢ`; an accumulated size is replaced by the lower
+//! boundary of its interval. Each of the at most `n̄` items in a solution
+//! loses less than `Uᵢ`, so the true size of a reported solution exceeds the
+//! nominal capacity by at most `n̄·Uᵢ` — exactly the amount compression
+//! recovers: `(1−ρ)(α + n̄U) = α` (Eq. 14).
+//!
+//! Implementation: a pair-list DP ([`crate::lawler`]-style) whose size
+//! coordinate is an *index into the global boundary list* — an integer — so
+//! dominance pruning bounds the list length by the number of boundaries,
+//! `O(n̄·|A|)` (Lemma 12's running-time bound `O(n_C·n̄·|A|)`).
+
+use crate::item::{Item, Solution};
+use moldable_core::ratio::Ratio;
+use moldable_core::types::Work;
+
+/// The boundary structure of Fig. 4: all subinterval lower endpoints.
+#[derive(Clone, Debug)]
+pub struct IntervalStructure {
+    /// Sorted, deduplicated boundary values; `boundaries[0] == 0`.
+    boundaries: Vec<Ratio>,
+    /// The capacities `A` (sorted ascending).
+    capacities: Vec<u64>,
+}
+
+impl IntervalStructure {
+    /// Build the structure for capacities `A` (sorted ascending, must satisfy
+    /// Eq. 15 relative to `alpha_min`), accuracy `ρ`, and per-solution item
+    /// bound `n̄`.
+    pub fn build(capacities: &[u64], alpha_min: u64, rho: &Ratio, n_bar: u64) -> Self {
+        assert!(!capacities.is_empty());
+        assert!(capacities.windows(2).all(|w| w[0] < w[1]), "A must ascend");
+        assert!(!rho.is_zero() && *rho < Ratio::one());
+        let n_bar = n_bar.max(1);
+
+        let mut boundaries: Vec<Ratio> = vec![Ratio::zero()];
+        let mut prev = alpha_min.min(capacities[0]);
+        boundaries.push(Ratio::from(prev));
+        for &alpha in capacities {
+            // U_i = ρ/((1−ρ)·n̄) · α_i
+            let u = rho
+                .div(&rho.one_minus())
+                .div_int(n_bar as u128)
+                .mul_int(alpha as u128);
+            if u.is_zero() {
+                prev = alpha;
+                boundaries.push(Ratio::from(alpha));
+                continue;
+            }
+            // Subinterval lower bounds ℓ·U_i clipped to [prev, α_i).
+            let l_min = Ratio::from(prev).div(&u).floor();
+            let l_max = Ratio::from(alpha).div(&u).floor();
+            for l in l_min..=l_max {
+                let v = u.mul_int(l);
+                let lower = if v < Ratio::from(prev) {
+                    Ratio::from(prev)
+                } else {
+                    v
+                };
+                if lower <= Ratio::from(alpha) {
+                    boundaries.push(lower);
+                }
+            }
+            boundaries.push(Ratio::from(alpha));
+            prev = alpha;
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        IntervalStructure {
+            boundaries,
+            capacities: capacities.to_vec(),
+        }
+    }
+
+    /// All boundary values (for Fig. 4 rendering and tests).
+    pub fn boundaries(&self) -> &[Ratio] {
+        &self.boundaries
+    }
+
+    /// The capacities this structure serves.
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// Index of the largest boundary `≤ v`, or `None` if `v` lies beyond the
+    /// last boundary (i.e. exceeds every capacity — prune).
+    fn normalize(&self, v: &Ratio) -> Option<usize> {
+        if v > self.boundaries.last().unwrap() {
+            return None;
+        }
+        let idx = self.boundaries.partition_point(|b| b <= v);
+        Some(idx - 1) // boundaries[0] = 0 ≤ v always
+    }
+
+    /// Largest boundary index whose value is `≤ capacity`.
+    fn capacity_index(&self, capacity: u64) -> usize {
+        let v = Ratio::from(capacity);
+        self.boundaries.partition_point(|b| *b <= v) - 1
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pair {
+    profit: Work,
+    /// Index into the boundary list — the normalized accumulated size.
+    bidx: usize,
+    trace: usize,
+}
+
+const NO_TRACE: usize = usize::MAX;
+
+#[derive(Clone, Copy)]
+struct Decision {
+    item_idx: u32,
+    parent: usize,
+}
+
+/// Multi-capacity solver for compressible items with adaptive normalization.
+pub struct NormalizedKnapsack {
+    items: Vec<Item>,
+    structure: IntervalStructure,
+    list: Vec<Pair>,
+    arena: Vec<Decision>,
+}
+
+impl NormalizedKnapsack {
+    /// Run the DP. All `items` are treated as compressible (callers pass
+    /// `Iᶜ`). See [`IntervalStructure::build`] for the parameters.
+    pub fn run(items: &[Item], structure: IntervalStructure) -> Self {
+        let mut solver = NormalizedKnapsack {
+            items: items.to_vec(),
+            structure,
+            list: vec![Pair {
+                profit: 0,
+                bidx: 0,
+                trace: NO_TRACE,
+            }],
+            arena: Vec::new(),
+        };
+        for idx in 0..items.len() {
+            solver.step(idx as u32);
+        }
+        solver
+    }
+
+    fn step(&mut self, idx: u32) {
+        let it = self.items[idx as usize];
+        let old = std::mem::take(&mut self.list);
+        // Build the shifted list: normalize(boundary[bidx] + size).
+        let mut shifted: Vec<Pair> = Vec::with_capacity(old.len());
+        for p in &old {
+            let new_size = self.structure.boundaries[p.bidx].add(&Ratio::from(it.size));
+            if let Some(nb) = self.structure.normalize(&new_size) {
+                self.arena.push(Decision {
+                    item_idx: idx,
+                    parent: p.trace,
+                });
+                shifted.push(Pair {
+                    profit: p.profit + it.profit,
+                    bidx: nb,
+                    trace: self.arena.len() - 1,
+                });
+            }
+            // else: exceeds every capacity — prune (sorted: could break, but
+            // normalization makes monotonicity subtle; stay safe).
+        }
+        // Merge by bidx keeping strictly increasing profit.
+        let mut merged: Vec<Pair> = Vec::with_capacity(old.len() + shifted.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old.len() || b < shifted.len() {
+            let take_shifted = if a >= old.len() {
+                true
+            } else if b >= shifted.len() {
+                false
+            } else {
+                shifted[b].bidx < old[a].bidx
+                    || (shifted[b].bidx == old[a].bidx && shifted[b].profit > old[a].profit)
+            };
+            let cand = if take_shifted {
+                let c = shifted[b];
+                b += 1;
+                c
+            } else {
+                let c = old[a];
+                a += 1;
+                c
+            };
+            match merged.last() {
+                Some(last) if cand.profit <= last.profit => {}
+                _ => merged.push(cand),
+            }
+        }
+        self.list = merged;
+    }
+
+    /// Solution for capacity `α` (profit ≥ the *uncompressed* optimum at α;
+    /// true size ≤ `α + n̄·U` which compression brings back under α).
+    pub fn query(&self, alpha: u64) -> Solution {
+        let cap_idx = self.structure.capacity_index(alpha);
+        let idx = self.list.partition_point(|p| p.bidx <= cap_idx);
+        if idx == 0 {
+            return Solution::empty();
+        }
+        let pair = &self.list[idx - 1];
+        let mut chosen = Vec::new();
+        let mut t = pair.trace;
+        while t != NO_TRACE {
+            let d = self.arena[t];
+            chosen.push(self.items[d.item_idx as usize].id);
+            t = d.parent;
+        }
+        chosen.reverse();
+        Solution {
+            chosen,
+            profit: pair.profit,
+        }
+    }
+
+    /// Current number of DP states (≤ number of boundaries; diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.list.len()
+    }
+
+    /// The interval structure (for Fig. 4).
+    pub fn structure(&self) -> &IntervalStructure {
+        &self.structure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use moldable_core::geom::capacity_grid;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    /// Check the two guarantees of Lemma 12 on random instances:
+    /// profit ≥ exact OPT at each capacity, and true size ≤ α/(1−ρ)
+    /// (equivalently: compressed size ≤ α).
+    #[test]
+    fn profit_dominates_opt_and_size_within_slack() {
+        let mut seed = 0x0DDB_1A5E_5BAD_C0DEu64;
+        for round in 0..60 {
+            let rho = Ratio::new(1, 4 + (xorshift(&mut seed) % 4) as u128);
+            // Item sizes ≥ b = ⌈1/ρ⌉ (compressible jobs are wide).
+            let b = rho.recip().ceil() as u64;
+            let n = (xorshift(&mut seed) % 8 + 1) as usize;
+            let items: Vec<Item> = (0..n)
+                .map(|i| {
+                    Item::compressible(
+                        i as u32,
+                        b + xorshift(&mut seed) % (3 * b),
+                        (xorshift(&mut seed) % 100) as u128,
+                    )
+                })
+                .collect();
+            let c = b * 2 + xorshift(&mut seed) % (8 * b);
+            let alpha_min = items.iter().map(|i| i.size).min().unwrap().min(c);
+            let caps = capacity_grid(alpha_min, c, &rho);
+            let n_bar = caps.last().unwrap() / b + 1;
+            let structure = IntervalStructure::build(&caps, alpha_min, &rho, n_bar);
+            let solver = NormalizedKnapsack::run(&items, structure);
+            for &alpha in &caps {
+                let sol = solver.query(alpha);
+                let opt = brute_force(&items, alpha);
+                assert!(
+                    sol.profit >= opt.profit,
+                    "round {round}: α={alpha} ρ={rho} profit {} < OPT {}",
+                    sol.profit,
+                    opt.profit
+                );
+                // True size within α/(1−ρ).
+                let true_size: u64 =
+                    sol.chosen.iter().map(|&id| items[id as usize].size).sum();
+                let bound = Ratio::from(alpha).div(&rho.one_minus());
+                assert!(
+                    bound.ge_int(true_size as u128),
+                    "round {round}: α={alpha} true size {true_size} > {bound}"
+                );
+                // Profit self-consistent.
+                let p: Work = sol
+                    .chosen
+                    .iter()
+                    .map(|&id| items[id as usize].profit)
+                    .sum();
+                assert_eq!(p, sol.profit);
+            }
+        }
+    }
+
+    #[test]
+    fn state_count_bounded_by_boundaries() {
+        let rho = Ratio::new(1, 8);
+        let items: Vec<Item> = (0..40)
+            .map(|i| Item::compressible(i, 8 + (i as u64 % 5), 10 + i as u128))
+            .collect();
+        let caps = capacity_grid(8, 200, &rho);
+        let structure = IntervalStructure::build(&caps, 8, &rho, 25);
+        let n_boundaries = structure.boundaries().len();
+        let solver = NormalizedKnapsack::run(&items, structure);
+        assert!(
+            solver.state_count() <= n_boundaries,
+            "{} states > {} boundaries",
+            solver.state_count(),
+            n_boundaries
+        );
+    }
+
+    #[test]
+    fn boundary_structure_shape() {
+        // Fig. 4: boundaries start at 0, include every capacity, ascend.
+        let rho = Ratio::new(1, 5);
+        let caps = vec![10u64, 13, 16, 20];
+        let s = IntervalStructure::build(&caps, 8, &rho, 4);
+        let b = s.boundaries();
+        assert_eq!(b[0], Ratio::zero());
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        for &c in &caps {
+            assert!(b.contains(&Ratio::from(c)), "missing capacity {c}");
+        }
+    }
+
+    #[test]
+    fn empty_items() {
+        let rho = Ratio::new(1, 4);
+        let s = IntervalStructure::build(&[10], 5, &rho, 3);
+        let solver = NormalizedKnapsack::run(&[], s);
+        assert_eq!(solver.query(10), Solution::empty());
+    }
+}

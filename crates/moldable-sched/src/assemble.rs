@@ -1,0 +1,220 @@
+//! From a shelf-S1 choice to a complete schedule (Lemma 7 / Corollary 10).
+//!
+//! Given the S1 job set `J′` produced by any of the knapsack variants, this
+//! module re-classifies at the stretched target `d′`, builds the two-shelf
+//! schedule, checks the work bound `W(J″, d′) ≤ m·d′ − W_S(d′)`, applies the
+//! transformation rules, lays out machines, and re-inserts the small jobs —
+//! rejecting at any step that certifies `d` infeasible.
+
+use crate::schedule::Schedule;
+use crate::small_jobs::{insert_small_jobs, MachineGroup};
+use crate::transform::{transform, ShelfJob, ThreeShelf, TransformMode};
+use moldable_core::gamma::gamma;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{JobId, Work};
+
+/// Assemble the final schedule from the chosen S1 set.
+///
+/// * `d_prime` — the stretched target `d′ ≥ d`; shelf heights are `d′` and
+///   `d′/2`, the horizon `3d′/2` (times the bucketed stretch, if any).
+/// * `chosen_s1` — the knapsack solution `J′` *plus* all forced jobs.
+///
+/// Returns `None` to reject (only possible when no schedule of makespan `d`
+/// exists, per Lemmas 6–9 and Corollary 10).
+pub fn assemble(
+    inst: &Instance,
+    d_prime: &Ratio,
+    chosen_s1: &[JobId],
+    mode: TransformMode,
+) -> Option<Schedule> {
+    let m = inst.m();
+    let half = d_prime.div_int(2);
+    let mut in_s1 = vec![false; inst.n()];
+    for &j in chosen_s1 {
+        in_s1[j as usize] = true;
+    }
+
+    // Re-classify at d′: J″ = J′ ∩ J_B(d′); small jobs at d′ go to the pool.
+    let mut s1: Vec<ShelfJob> = Vec::new();
+    let mut s2: Vec<ShelfJob> = Vec::new();
+    let mut small: Vec<JobId> = Vec::new();
+    let mut small_work: Work = 0;
+    let mut shelf_work: Work = 0;
+    let mut p1: u128 = 0;
+    for job in inst.jobs() {
+        if job.is_small(d_prime) {
+            small.push(job.id());
+            small_work += job.seq_time() as Work;
+            continue;
+        }
+        if in_s1[job.id() as usize] {
+            let p = gamma(job, d_prime, m)?;
+            p1 += p as u128;
+            shelf_work += job.work(p);
+            s1.push(ShelfJob {
+                id: job.id(),
+                procs: p,
+                time: job.time(p),
+            });
+        } else {
+            let p = gamma(job, &half, m)?;
+            shelf_work += job.work(p);
+            s2.push(ShelfJob {
+                id: job.id(),
+                procs: p,
+                time: job.time(p),
+            });
+        }
+    }
+
+    // Shelf S1 must fit in m processors (S2 may overflow — that is the
+    // "infeasible two-shelf schedule" the transformation repairs).
+    if p1 > m as u128 {
+        return None;
+    }
+    // Work bound of Lemma 6 / Corollary 10: W ≤ m·d′ − W_S(d′).
+    if Ratio::from_int(shelf_work + small_work) > d_prime.mul_int(m as u128) {
+        return None;
+    }
+
+    let three = transform(inst, d_prime, s1, s2, mode);
+    if three.p0() + three.p1() > m as u128 || three.p0() + three.p2() > m as u128 {
+        return None; // cannot happen for d ≥ OPT (Lemma 8)
+    }
+
+    let (mut schedule, groups) = lay_out(inst, &three);
+    if !insert_small_jobs(inst, &mut schedule, groups, &small) {
+        return None; // cannot happen under the work bound (Lemma 9)
+    }
+    Some(schedule)
+}
+
+/// Place the three shelves on machines and report each machine group's
+/// contiguous free interval.
+fn lay_out(inst: &Instance, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>) {
+    let h = three.horizon;
+    let mut schedule = Schedule::new();
+    let mut groups: Vec<MachineGroup> = Vec::new();
+
+    // S0 columns: stack from time 0; the whole column is busy [0, height).
+    for col in &three.s0 {
+        let mut cursor = Ratio::zero();
+        for j in &col.jobs {
+            debug_assert_eq!(j.procs, col.width, "column width = member allotment");
+            schedule.push(j.id, cursor, j.procs);
+            cursor = cursor.add(&Ratio::from(j.time));
+        }
+        groups.push(MachineGroup {
+            count: col.width,
+            gap_start: cursor,
+            free: if h >= cursor { h.sub(&cursor) } else { Ratio::zero() },
+        });
+    }
+
+    // S1 at 0, S2 ending at the horizon; overlay the two shelf segment
+    // lists over the machines after S0.
+    let m = inst.m() as u128;
+    let p0 = three.p0();
+    let avail = m - p0;
+    let mut seg1: Vec<(u128, Ratio)> = Vec::new(); // (machines, busy-from-0)
+    for j in &three.s1 {
+        schedule.push(j.id, Ratio::zero(), j.procs);
+        seg1.push((j.procs as u128, Ratio::from(j.time)));
+    }
+    let used1: u128 = three.p1();
+    seg1.push((avail - used1, Ratio::zero()));
+    let mut seg2: Vec<(u128, Ratio)> = Vec::new(); // (machines, busy-to-horizon)
+    for j in &three.s2 {
+        let start = h.sub(&Ratio::from(j.time));
+        schedule.push(j.id, start, j.procs);
+        seg2.push((j.procs as u128, Ratio::from(j.time)));
+    }
+    let used2: u128 = three.p2();
+    seg2.push((avail - used2, Ratio::zero()));
+
+    // Merge the two segment lists into machine groups.
+    let (mut i1, mut i2) = (0usize, 0usize);
+    let (mut rem1, mut rem2) = (seg1[0].0, seg2[0].0);
+    while i1 < seg1.len() && i2 < seg2.len() {
+        let take = rem1.min(rem2);
+        if take > 0 {
+            let busy_low = seg1[i1].1;
+            let busy_high = seg2[i2].1;
+            let free = h.sub(&busy_low).sub(&busy_high);
+            groups.push(MachineGroup {
+                count: take as u64,
+                gap_start: busy_low,
+                free,
+            });
+        }
+        rem1 -= take;
+        rem2 -= take;
+        if rem1 == 0 {
+            i1 += 1;
+            if i1 < seg1.len() {
+                rem1 = seg1[i1].0;
+            }
+        }
+        if rem2 == 0 {
+            i2 += 1;
+            if i2 < seg2.len() {
+                rem2 = seg2[i2].0;
+            }
+        }
+    }
+    (schedule, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_with_makespan;
+    use moldable_core::speedup::SpeedupCurve;
+    use std::sync::Arc;
+
+    #[test]
+    fn assembles_simple_two_shelves() {
+        // m=2, d'=11. Job 0 big (t1=8) chosen for S1; job 1 big (t=[9,5])
+        // in S2 with γ(11/2) = 2; job 2 small (4 ≤ 11/2). Work
+        // 8 + 10 + 4 = 22 = m·d' exactly — the bound holds with equality.
+        let inst = Instance::new(
+            vec![
+                SpeedupCurve::Constant(8),
+                SpeedupCurve::Table(Arc::new(vec![9, 5])),
+                SpeedupCurve::Constant(4),
+            ],
+            2,
+        );
+        let d = Ratio::from(11u64);
+        let s = assemble(&inst, &d, &[0], TransformMode::Exact).expect("feasible");
+        validate_with_makespan(&s, &inst, &Ratio::new(33, 2)).unwrap();
+    }
+
+    #[test]
+    fn rejects_overfull_s1() {
+        // Two jobs forced into S1, each needing both machines at d' = 10:
+        // t = [20, 10] each → γ(10) = 2 each → p1 = 4 > m = 2.
+        let inst = Instance::new(
+            vec![
+                SpeedupCurve::Table(Arc::new(vec![20, 10])),
+                SpeedupCurve::Table(Arc::new(vec![20, 10])),
+            ],
+            2,
+        );
+        let d = Ratio::from(10u64);
+        assert!(assemble(&inst, &d, &[0, 1], TransformMode::Exact).is_none());
+    }
+
+    #[test]
+    fn rejects_work_overflow() {
+        // Work exceeds m·d′: four sequential jobs of length 10 on one
+        // machine with d' = 10 → W = 40 > 10.
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(10); 4],
+            1,
+        );
+        let d = Ratio::from(10u64);
+        assert!(assemble(&inst, &d, &[0, 1, 2, 3], TransformMode::Exact).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Baseline algorithms the paper compares against.
+//!
+//! * [`two_approx`] — the estimator allotment + list scheduling, i.e. the
+//!   Turek–Wolf–Yu / Ludwig–Tiwari 2-approximation (Section 1, "Previous
+//!   Results").
+//! * [`sequential`] — everything on one processor back to back; the trivial
+//!   upper bound, useful as a sanity anchor in benchmarks.
+
+use crate::estimator::two_approx_schedule;
+use crate::schedule::Schedule;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+
+/// The classic 2-approximation (estimator + list scheduling).
+pub fn two_approx(inst: &Instance) -> Schedule {
+    two_approx_schedule(inst)
+}
+
+/// All jobs on a single processor, back to back.
+pub fn sequential(inst: &Instance) -> Schedule {
+    let mut s = Schedule::new();
+    let mut cursor = Ratio::zero();
+    for j in inst.jobs() {
+        s.push(j.id(), cursor, 1);
+        cursor = cursor.add(&Ratio::from(j.seq_time()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use moldable_core::speedup::SpeedupCurve;
+
+    #[test]
+    fn sequential_makespan_is_total_time() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(3), SpeedupCurve::Constant(4)],
+            4,
+        );
+        let s = sequential(&inst);
+        validate(&s, &inst).unwrap();
+        assert_eq!(s.makespan(&inst), Ratio::from(7u64));
+    }
+
+    #[test]
+    fn two_approx_beats_sequential_under_parallelism() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(5); 4], 4);
+        let s2 = two_approx(&inst);
+        validate(&s2, &inst).unwrap();
+        assert!(s2.makespan(&inst) <= sequential(&inst).makespan(&inst));
+    }
+}

@@ -1,0 +1,185 @@
+//! Exhaustive exact solver for tiny instances.
+//!
+//! Theorem 1's NP-membership argument is constructive: *some* allotment and
+//! *some* job order, fed to list scheduling, realizes the optimal makespan
+//! (order the jobs of an optimal schedule by start time; list scheduling
+//! never starts a job later than the optimal schedule does). Enumerating all
+//! allotments and all orders is therefore exact. Used by tests and quality
+//! benchmarks as ground truth; guarded against combinatorial blow-up.
+//!
+//! Allotments are restricted to each job's *useful* counts (those where the
+//! processing time strictly drops — any other count is dominated: same time,
+//! no fewer processors).
+
+use crate::list_scheduling::list_schedule;
+use crate::schedule::Schedule;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{JobId, Procs};
+
+/// Hard cap on `(#orders) × (#allotment combinations)` explored.
+const SEARCH_CAP: u128 = 50_000_000;
+
+/// The useful (Pareto) processor counts of a job over `1..=m`:
+/// counts where the processing time strictly decreases.
+pub fn useful_counts(inst: &Instance, job: JobId) -> Vec<Procs> {
+    let j = inst.job(job);
+    let mut out = vec![1];
+    let mut last = j.time(1);
+    for p in 2..=inst.m() {
+        let t = j.time(p);
+        if t < last {
+            out.push(p);
+            last = t;
+        }
+    }
+    out
+}
+
+/// Exact optimal schedule by exhaustive search. Panics if the search space
+/// exceeds [`SEARCH_CAP`] (guard for accidental misuse) or the instance is
+/// empty.
+pub fn optimal_schedule(inst: &Instance) -> Schedule {
+    let n = inst.n();
+    assert!(n > 0, "exact solver on empty instance");
+    let candidates: Vec<Vec<Procs>> = (0..n as JobId)
+        .map(|j| useful_counts(inst, j))
+        .collect();
+    let mut orders: u128 = 1;
+    for k in 2..=n as u128 {
+        orders = orders.saturating_mul(k);
+    }
+    let allots = candidates
+        .iter()
+        .fold(1u128, |acc, c| acc.saturating_mul(c.len() as u128));
+    assert!(
+        orders.saturating_mul(allots) <= SEARCH_CAP,
+        "exact search space too large: {orders} orders × {allots} allotments"
+    );
+
+    let mut order: Vec<JobId> = (0..n as JobId).collect();
+    let mut best: Option<(Ratio, Schedule)> = None;
+    let mut allot = vec![0usize; n];
+    loop {
+        // Current allotment vector.
+        let a: Vec<Procs> = allot
+            .iter()
+            .enumerate()
+            .map(|(j, &k)| candidates[j][k])
+            .collect();
+        permute_all(&mut order, 0, &mut |ord| {
+            let s = list_schedule(inst, &a, ord);
+            let mk = s.makespan(inst);
+            if best.as_ref().is_none_or(|(b, _)| mk < *b) {
+                best = Some((mk, s));
+            }
+        });
+        // Advance the mixed-radix allotment counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                let (_, s) = best.unwrap();
+                return s;
+            }
+            allot[i] += 1;
+            if allot[i] < candidates[i].len() {
+                break;
+            }
+            allot[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// The exact optimal makespan.
+pub fn optimal_makespan(inst: &Instance) -> Ratio {
+    optimal_schedule(inst).makespan(inst)
+}
+
+/// Heap's-algorithm-style recursive permutation visitor.
+fn permute_all(order: &mut Vec<JobId>, k: usize, f: &mut impl FnMut(&[JobId])) {
+    if k == order.len() {
+        f(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute_all(order, k + 1, f);
+        order.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use moldable_core::bounds::trivial_lower_bound;
+    use moldable_core::speedup::{monotone_closure, SpeedupCurve};
+    use std::sync::Arc;
+
+    #[test]
+    fn two_rigid_jobs() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(4)],
+            2,
+        );
+        assert_eq!(optimal_makespan(&inst), Ratio::from(4u64));
+    }
+
+    #[test]
+    fn moldability_pays_off() {
+        // One perfectly-splittable job (table) and m=2: t = [10, 5].
+        let inst = Instance::new(
+            vec![SpeedupCurve::Table(Arc::new(vec![10, 5]))],
+            2,
+        );
+        assert_eq!(optimal_makespan(&inst), Ratio::from(5u64));
+    }
+
+    #[test]
+    fn useful_counts_skips_flat_regions() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Table(Arc::new(vec![10, 10, 6, 6, 5]))],
+            5,
+        );
+        assert_eq!(useful_counts(&inst, 0), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn optimum_at_least_lower_bound_and_valid() {
+        let mut seed = 0x1357_9BDF_2468_ACE0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let m = next() % 3 + 1;
+            let n = (next() % 4 + 1) as usize;
+            let curves: Vec<SpeedupCurve> = (0..n)
+                .map(|_| {
+                    let mut tbl: Vec<u64> =
+                        (0..m as usize).map(|_| next() % 20 + 1).collect();
+                    monotone_closure(&mut tbl);
+                    SpeedupCurve::Table(Arc::new(tbl))
+                })
+                .collect();
+            let inst = Instance::new(curves, m);
+            let s = optimal_schedule(&inst);
+            validate(&s, &inst).unwrap();
+            let mk = s.makespan(&inst);
+            assert!(mk >= Ratio::from(trivial_lower_bound(&inst)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn guards_against_blowup() {
+        let inst = Instance::new(
+            (0..12).map(|_| SpeedupCurve::Constant(1)).collect(),
+            1,
+        );
+        let _ = optimal_schedule(&inst);
+    }
+}

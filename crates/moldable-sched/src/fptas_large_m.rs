@@ -1,0 +1,182 @@
+//! The FPTAS for large machine counts (Section 3, Theorem 2).
+//!
+//! When `m ≥ 8n/ε`, the following extremely simple rule is a `(1+ε)`-dual
+//! algorithm: allot `γ_j((1+ε)d)` processors to every job and run them all
+//! simultaneously; reject iff more than `m` processors are needed.
+//!
+//! Soundness of the reject (the subtle part, Section 3.1): when `d ≥ OPT`,
+//! the two-step rule "allot `γ_j(d)`, then compress every job wider than
+//! `4/ε` by `ρ = ε/4`" uses at most `m` processors (Lemmas 4 & 5 + the
+//! narrow/wide split with `β ≤ 4n/ε ≤ m/2`), and the simple rule never uses
+//! more processors than it — so `Σ_j γ_j((1+ε)d) ≤ m`.
+//!
+//! The dual algorithm runs in `O(n log m)`; with the estimator and binary
+//! search the full algorithm is `O(n log m (log m + log 1/ε))` — Theorem 2.
+
+use crate::dual::{approximate, ApproxResult, DualAlgorithm};
+use crate::schedule::Schedule;
+use moldable_core::gamma::gamma;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{Procs, Time};
+
+/// The `(1+ε)`-dual algorithm of Theorem 2.
+#[derive(Clone, Debug)]
+pub struct FptasLargeM {
+    eps: Ratio,
+}
+
+impl FptasLargeM {
+    /// Create for accuracy `ε ∈ (0, 1]`.
+    pub fn new(eps: Ratio) -> Self {
+        assert!(!eps.is_zero() && eps <= Ratio::one(), "need 0 < ε ≤ 1");
+        FptasLargeM { eps }
+    }
+
+    /// Does the instance satisfy Theorem 2's regime `m ≥ 8n/ε`?
+    pub fn applicable(&self, inst: &Instance) -> bool {
+        // m ≥ 8n/ε  ⇔  m·ε ≥ 8n
+        self.eps
+            .mul_int(inst.m() as u128)
+            .ge_int(8 * inst.n() as u128)
+    }
+}
+
+impl DualAlgorithm for FptasLargeM {
+    fn guarantee(&self) -> Ratio {
+        self.eps.one_plus()
+    }
+
+    fn name(&self) -> &'static str {
+        "fptas-large-m"
+    }
+
+    fn run(&self, inst: &Instance, d: Time) -> Option<Schedule> {
+        let thr = self.eps.one_plus().mul_int(d as u128);
+        let mut total: u128 = 0;
+        let mut allot: Vec<Procs> = Vec::with_capacity(inst.n());
+        for j in inst.jobs() {
+            let p = gamma(j, &thr, inst.m())?;
+            total += p as u128;
+            if total > inst.m() as u128 {
+                return None;
+            }
+            allot.push(p);
+        }
+        let mut s = Schedule::new();
+        for (j, p) in allot.into_iter().enumerate() {
+            s.push(j as u32, Ratio::zero(), p);
+        }
+        Some(s)
+    }
+}
+
+/// The full FPTAS: estimator + binary search over the dual algorithm.
+/// Returns a schedule of makespan ≤ `(1+ε)(1+ε')·OPT` where the search
+/// tolerance `ε'` equals `ε` (combined: `1 + O(ε)` as in Theorem 2; pass
+/// `ε/3` for a clean `1+ε`).
+///
+/// Panics if `m < 8n/ε` (use [`crate::ptas`] for automatic dispatch).
+pub fn fptas_schedule(inst: &Instance, eps: &Ratio) -> ApproxResult {
+    let algo = FptasLargeM::new(*eps);
+    assert!(
+        algo.applicable(inst),
+        "Theorem 2 requires m ≥ 8n/ε (m = {}, n = {})",
+        inst.m(),
+        inst.n()
+    );
+    approximate(inst, &algo, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::optimal_makespan;
+    use crate::validate::validate;
+    use moldable_core::speedup::{monotone_closure, SpeedupCurve, Staircase};
+    use std::sync::Arc;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    #[test]
+    fn applicability_threshold_is_exact() {
+        let algo = FptasLargeM::new(Ratio::new(1, 2));
+        // n = 2, ε = 1/2 → need m ≥ 32.
+        let mk_inst = |m| {
+            Instance::new(
+                vec![SpeedupCurve::Constant(5), SpeedupCurve::Constant(5)],
+                m,
+            )
+        };
+        assert!(algo.applicable(&mk_inst(32)));
+        assert!(!algo.applicable(&mk_inst(31)));
+    }
+
+    #[test]
+    fn never_rejects_feasible_targets_and_meets_guarantee() {
+        // Tiny n, large m: compare against the exact optimum.
+        let mut seed = 0xFADE_FADE_FADE_FADEu64;
+        for round in 0..30 {
+            let n = (xorshift(&mut seed) % 3 + 1) as usize;
+            let m: u64 = 64; // ≥ 8n/ε for ε = 1/2, n ≤ 4
+            let eps = Ratio::new(1, 2);
+            let curves: Vec<SpeedupCurve> = (0..n)
+                .map(|_| {
+                    let mut tbl: Vec<u64> =
+                        (0..8).map(|_| xorshift(&mut seed) % 30 + 1).collect();
+                    monotone_closure(&mut tbl);
+                    // Extend flat beyond 8 processors (Table clamps).
+                    SpeedupCurve::Table(Arc::new(tbl))
+                })
+                .collect();
+            let inst = Instance::new(curves, m);
+            let res = fptas_schedule(&inst, &eps);
+            validate(&res.schedule, &inst).unwrap();
+            let opt = optimal_makespan(&inst);
+            let mk = res.schedule.makespan(&inst);
+            // (1+ε)² bound from the dual + search tolerance.
+            let bound = eps.one_plus().mul(&eps.one_plus()).mul(&opt);
+            assert!(
+                mk <= bound,
+                "round {round}: makespan {mk} > (1+ε)²·OPT = {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_encoding_with_astronomical_m() {
+        // m = 2^40, n = 4: the FPTAS must run fast and exactly.
+        let m: u64 = 1 << 40;
+        let t0: u64 = 1 << 44;
+        let p1: u64 = 1 << 16;
+        let t1 = Staircase::min_feasible_time(p1, t0);
+        let s = Staircase::new(vec![(1, t0), (p1, t1)]).unwrap();
+        let curves: Vec<SpeedupCurve> = (0..4)
+            .map(|_| SpeedupCurve::Staircase(Arc::new(s.clone())))
+            .collect();
+        let inst = Instance::new(curves, m);
+        let eps = Ratio::new(1, 4);
+        let res = fptas_schedule(&inst, &eps);
+        validate(&res.schedule, &inst).unwrap();
+        // All four jobs fit side by side at width p1 (4·2^16 ≪ 2^40), so the
+        // optimum is essentially t1; allow the (1+ε)² slack.
+        let mk = res.schedule.makespan(&inst);
+        let bound = eps
+            .one_plus()
+            .mul(&eps.one_plus())
+            .mul_int(t1 as u128);
+        assert!(mk <= bound, "makespan {mk} > {bound}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires m")]
+    fn rejects_small_m_regime() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(5); 8], 4);
+        let _ = fptas_schedule(&inst, &Ratio::new(1, 2));
+    }
+}

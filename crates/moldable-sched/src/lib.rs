@@ -1,0 +1,53 @@
+//! # moldable-sched
+//!
+//! Every scheduling algorithm of *Scheduling Monotone Moldable Jobs in
+//! Linear Time* (Jansen & Land, IPDPS 2018), plus the substrates they stand
+//! on:
+//!
+//! * [`schedule`] / [`validate`] — schedule representation and an
+//!   independent feasibility checker;
+//! * [`list_scheduling`] — rigid-allotment list scheduling (Garey–Graham);
+//! * [`estimator`] — the factor-2 estimator (Ludwig–Tiwari style);
+//! * [`dual`] — the dual-approximation binary-search framework;
+//! * [`fptas_large_m`] — Theorem 2's FPTAS for `m ≥ 8n/ε`;
+//! * [`ptas`] — the Section 3.2 dispatcher;
+//! * [`shelves`] / [`transform`] / [`small_jobs`] / [`assemble`] — the
+//!   two-shelf → three-shelf machinery of Section 4.1 (Lemmas 6–9);
+//! * [`mrt`] — the original `O(nm)` 3/2-dual algorithm (Section 4.1);
+//! * [`compressible_sched`] — Algorithm 1 via knapsack with compressible
+//!   items (Section 4.2);
+//! * [`improved`] — Algorithm 3 via item-type rounding + bounded knapsack
+//!   (Section 4.3) and the fully linear variant (Section 4.3.3);
+//! * [`exact`] — exhaustive ground truth for tiny instances (Theorem 1's
+//!   NP-membership procedure);
+//! * [`baselines`] — the 2-approximation and the sequential baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assemble;
+pub mod baselines;
+pub mod compressible_sched;
+pub mod dual;
+pub mod estimator;
+pub mod exact;
+pub mod fptas_large_m;
+pub mod improved;
+pub mod list_scheduling;
+pub mod mrt;
+pub mod ptas;
+pub mod schedule;
+pub mod shelves;
+pub mod small_jobs;
+pub mod transform;
+pub mod validate;
+
+pub use compressible_sched::CompressibleDual;
+pub use dual::{approximate, ApproxResult, DualAlgorithm};
+pub use estimator::{estimate, Estimate};
+pub use fptas_large_m::{fptas_schedule, FptasLargeM};
+pub use improved::{ImprovedDual, Variant};
+pub use mrt::MrtDual;
+pub use ptas::{ptas_schedule, PtasBranch, PtasResult};
+pub use schedule::{Assignment, Schedule};
+pub use validate::{validate, validate_with_makespan, ScheduleError};

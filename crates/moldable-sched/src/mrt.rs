@@ -1,0 +1,147 @@
+//! The original Mounié–Rapine–Trystram `3/2`-dual algorithm (Section 4.1).
+//!
+//! Classify jobs at target `d`, solve the knapsack `KP(J_B(d), m, d)`
+//! *exactly* with the `O(n·m)` capacity-indexed DP, and finish with the
+//! two-shelf → three-shelf transformation and small-job reinsertion. This is
+//! the faithful `O(nm)` baseline the paper improves on; it requires `m`
+//! small enough to index a DP table.
+
+use crate::assemble::assemble;
+use crate::dual::DualAlgorithm;
+use crate::schedule::Schedule;
+use crate::shelves::ShelfContext;
+use crate::transform::TransformMode;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{JobId, Time};
+use moldable_knapsack::dp;
+use moldable_knapsack::item::Item;
+
+/// The exact-knapsack `3/2`-dual algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MrtDual;
+
+impl DualAlgorithm for MrtDual {
+    fn guarantee(&self) -> Ratio {
+        Ratio::new(3, 2)
+    }
+
+    fn name(&self) -> &'static str {
+        "mrt-exact"
+    }
+
+    fn run(&self, inst: &Instance, d: Time) -> Option<Schedule> {
+        let ctx = ShelfContext::build(inst, d)?;
+        let items: Vec<Item> = ctx
+            .knapsack_jobs
+            .iter()
+            .map(|bj| Item::plain(bj.id, bj.gamma_d, bj.profit))
+            .collect();
+        let solution = dp::solve(&items, ctx.capacity);
+        let chosen: Vec<JobId> = solution
+            .chosen
+            .iter()
+            .copied()
+            .chain(ctx.forced.iter().map(|&(id, _)| id))
+            .collect();
+        assemble(inst, &ctx.d, &chosen, TransformMode::Exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::approximate;
+    use crate::exact::optimal_makespan;
+    use crate::validate::{validate, validate_with_makespan};
+    use moldable_core::speedup::{monotone_closure, SpeedupCurve};
+    use std::sync::Arc;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    fn random_instance(seed: &mut u64, max_m: u64, max_n: u64) -> Instance {
+        let m = xorshift(seed) % max_m + 1;
+        let n = (xorshift(seed) % max_n + 1) as usize;
+        let curves: Vec<SpeedupCurve> = (0..n)
+            .map(|_| {
+                let mut tbl: Vec<u64> = (0..m as usize)
+                    .map(|_| xorshift(seed) % 30 + 1)
+                    .collect();
+                monotone_closure(&mut tbl);
+                SpeedupCurve::Table(Arc::new(tbl))
+            })
+            .collect();
+        Instance::new(curves, m)
+    }
+
+    /// The dual contract, certified against the exact optimum:
+    /// for d ≥ OPT the algorithm must accept, and any accepted schedule has
+    /// makespan ≤ (3/2)·d.
+    #[test]
+    fn dual_contract_on_tiny_instances() {
+        let mut seed = 0x0BAD_F00D_0BAD_F00Du64;
+        for round in 0..60 {
+            let inst = random_instance(&mut seed, 3, 4);
+            let opt = optimal_makespan(&inst);
+            let opt_int = opt.ceil() as Time;
+            for d in opt_int..opt_int + 3 {
+                let res = MrtDual.run(&inst, d);
+                let s = res.unwrap_or_else(|| {
+                    panic!("round {round}: rejected feasible d={d} (OPT={opt})")
+                });
+                let bound = Ratio::new(3, 2).mul_int(d as u128);
+                validate_with_makespan(&s, &inst, &bound).unwrap_or_else(|e| {
+                    panic!("round {round}, d={d}: {e}")
+                });
+            }
+            // Below-lower-bound targets may accept or reject, but accepted
+            // schedules must still meet the 3/2·d bound.
+            if opt_int > 1 {
+                if let Some(s) = MrtDual.run(&inst, opt_int - 1) {
+                    let bound = Ratio::new(3, 2).mul_int((opt_int - 1) as u128);
+                    validate_with_makespan(&s, &inst, &bound).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_approximation_is_three_halves_plus_eps() {
+        let mut seed = 0xFEE1_DEAD_FEE1_DEADu64;
+        let eps = Ratio::new(1, 10);
+        for round in 0..40 {
+            let inst = random_instance(&mut seed, 4, 5);
+            let res = approximate(&inst, &MrtDual, &eps);
+            validate(&res.schedule, &inst).unwrap();
+            let opt = optimal_makespan(&inst);
+            let bound = Ratio::new(3, 2).mul(&eps.one_plus()).mul(&opt);
+            let mk = res.schedule.makespan(&inst);
+            assert!(
+                mk <= bound,
+                "round {round}: makespan {mk} > (3/2)(1+ε)OPT = {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_all_small_instance() {
+        // Every job small at d: pure next-fit path.
+        let inst = Instance::new(vec![SpeedupCurve::Constant(2); 6], 3);
+        let s = MrtDual.run(&inst, 10).expect("feasible");
+        validate_with_makespan(&s, &inst, &Ratio::from(15u64)).unwrap();
+    }
+
+    #[test]
+    fn handles_single_forced_job() {
+        // t(m) ∈ (d/2, d]: the job is forced into S1.
+        let inst = Instance::new(vec![SpeedupCurve::Constant(8)], 2);
+        let s = MrtDual.run(&inst, 10).expect("feasible");
+        validate(&s, &inst).unwrap();
+        assert_eq!(s.makespan(&inst), Ratio::from(8u64));
+    }
+}

@@ -1,0 +1,100 @@
+//! The PTAS dispatcher (Section 3.2).
+//!
+//! When `m ≥ 8n/ε`, the FPTAS of Theorem 2 applies. Otherwise the paper
+//! invokes the Jansen–Thöle PTAS (polynomial in `n` and `m`, exponential in
+//! `1/ε`). That algorithm is a separate, much larger paper; as documented in
+//! DESIGN.md we substitute: tiny instances are solved *exactly* (better than
+//! any PTAS), and the rest fall back to the `(3/2+ε)` Algorithm 3 — the
+//! dispatcher reports which branch ran so callers/benchmarks can account for
+//! the weaker guarantee of the fallback branch.
+
+use crate::dual::{approximate, ApproxResult};
+use crate::exact::optimal_schedule;
+use crate::fptas_large_m::FptasLargeM;
+use crate::improved::ImprovedDual;
+use crate::schedule::Schedule;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+
+/// Which branch of the dispatcher produced the schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtasBranch {
+    /// Theorem 2's FPTAS (`m ≥ 8n/ε`): `(1+ε)`-approximate.
+    FptasLargeM,
+    /// Exhaustive exact solver (tiny instance): optimal.
+    Exact,
+    /// Algorithm 3 fallback (substitutes Jansen–Thöle, see DESIGN.md):
+    /// `(3/2+ε)`-approximate.
+    ImprovedFallback,
+}
+
+/// Result of the dispatcher.
+#[derive(Debug)]
+pub struct PtasResult {
+    /// The produced schedule.
+    pub schedule: Schedule,
+    /// Which branch ran.
+    pub branch: PtasBranch,
+}
+
+/// Upper limit on the exhaustive branch (`n! · Π|useful counts|` is checked
+/// by the exact solver itself; this is a cheap pre-filter).
+const EXACT_N_LIMIT: usize = 6;
+const EXACT_M_LIMIT: u64 = 6;
+
+/// Schedule with accuracy `ε` via the Section 3.2 dispatch.
+pub fn ptas_schedule(inst: &Instance, eps: &Ratio) -> PtasResult {
+    assert!(!eps.is_zero() && *eps <= Ratio::one(), "need 0 < ε ≤ 1");
+    let fptas = FptasLargeM::new(*eps);
+    if fptas.applicable(inst) {
+        let res: ApproxResult = approximate(inst, &fptas, eps);
+        return PtasResult {
+            schedule: res.schedule,
+            branch: PtasBranch::FptasLargeM,
+        };
+    }
+    if inst.n() <= EXACT_N_LIMIT && inst.m() <= EXACT_M_LIMIT {
+        return PtasResult {
+            schedule: optimal_schedule(inst),
+            branch: PtasBranch::Exact,
+        };
+    }
+    let algo = ImprovedDual::new(*eps);
+    let res = approximate(inst, &algo, eps);
+    PtasResult {
+        schedule: res.schedule,
+        branch: PtasBranch::ImprovedFallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use moldable_core::speedup::SpeedupCurve;
+
+    #[test]
+    fn dispatches_to_fptas_for_large_m() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(5); 2], 1 << 20);
+        let res = ptas_schedule(&inst, &Ratio::new(1, 2));
+        assert_eq!(res.branch, PtasBranch::FptasLargeM);
+        validate(&res.schedule, &inst).unwrap();
+    }
+
+    #[test]
+    fn dispatches_to_exact_for_tiny() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(5); 3], 2);
+        let res = ptas_schedule(&inst, &Ratio::new(1, 2));
+        assert_eq!(res.branch, PtasBranch::Exact);
+        validate(&res.schedule, &inst).unwrap();
+        assert_eq!(res.schedule.makespan(&inst), Ratio::from(10u64));
+    }
+
+    #[test]
+    fn dispatches_to_fallback_otherwise() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(5); 12], 8);
+        let res = ptas_schedule(&inst, &Ratio::new(1, 2));
+        assert_eq!(res.branch, PtasBranch::ImprovedFallback);
+        validate(&res.schedule, &inst).unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Schedule representation.
+//!
+//! A schedule assigns each job a start time and a processor count; its
+//! duration is determined by the instance's oracle. Start times are exact
+//! rationals because the three-shelf construction places shelf S2 at
+//! `3d/2 − t_j` (half-integral positions).
+//!
+//! Machines are interchangeable, so a schedule is feasible iff the total
+//! processor demand never exceeds `m` (any such demand profile can be
+//! realized greedily by start time — when a job starts, at least `procs`
+//! machines are free, and they stay with the job until it completes). The
+//! independent checker in [`crate::validate`] verifies exactly this.
+
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{JobId, Procs};
+
+/// One job's placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// The job.
+    pub job: JobId,
+    /// Start time.
+    pub start: Ratio,
+    /// Number of allotted processors (`1..=m`).
+    pub procs: Procs,
+}
+
+/// A complete schedule: one assignment per job.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    /// Placements, in no particular order.
+    pub assignments: Vec<Assignment>,
+}
+
+impl Schedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Add a placement.
+    pub fn push(&mut self, job: JobId, start: Ratio, procs: Procs) {
+        self.assignments.push(Assignment { job, start, procs });
+    }
+
+    /// Completion time of the latest job, with durations from `inst`.
+    pub fn makespan(&self, inst: &moldable_core::instance::Instance) -> Ratio {
+        self.assignments
+            .iter()
+            .map(|a| {
+                a.start
+                    .add(&Ratio::from(inst.job(a.job).time(a.procs)))
+            })
+            .max()
+            .unwrap_or(Ratio::zero())
+    }
+
+    /// Total work `Σ procs·t_j(procs)`.
+    pub fn total_work(&self, inst: &moldable_core::instance::Instance) -> u128 {
+        self.assignments
+            .iter()
+            .map(|a| inst.job(a.job).work(a.procs))
+            .sum()
+    }
+
+    /// Number of placed jobs.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Is the schedule empty?
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::instance::Instance;
+    use moldable_core::speedup::SpeedupCurve;
+
+    #[test]
+    fn makespan_and_work() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(6)],
+            3,
+        );
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::from(4u64), 2);
+        assert_eq!(s.makespan(&inst), Ratio::from(10u64));
+        assert_eq!(s.total_work(&inst), 4 + 12);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let inst = Instance::new(vec![], 1);
+        let s = Schedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(&inst), Ratio::zero());
+    }
+}

@@ -1,0 +1,185 @@
+//! Big/small job classification and the two-shelf context (Section 4.1).
+//!
+//! For a dual target `d`, jobs with `t_j(1) ≤ d/2` are *small* and are
+//! re-inserted greedily at the very end (Lemma 9); the remaining *big* jobs
+//! are placed in two shelves — S1 of height `d` and S2 of height `d/2` — by
+//! solving the knapsack problem `KP(J_B(d), m, d)` whose profit
+//! `v_j(d) = w_j(γ_j(d/2)) − w_j(γ_j(d))` is the work saved by putting `j`
+//! into the tall shelf.
+
+use moldable_core::gamma::gamma;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{JobId, Procs, Time, Work};
+
+/// A big job with its canonical allotments at level `d`.
+#[derive(Clone, Copy, Debug)]
+pub struct BigJob {
+    /// The job.
+    pub id: JobId,
+    /// `γ_j(d)` — processors needed to finish within `d`.
+    pub gamma_d: Procs,
+    /// `γ_j(d/2)`, or `None` when even `m` processors cannot reach `d/2`
+    /// (the job is then *forced* into shelf S1).
+    pub gamma_half_d: Option<Procs>,
+    /// Knapsack profit `v_j(d) = w_j(γ_j(d/2)) − w_j(γ_j(d))` (0 if forced).
+    pub profit: Work,
+}
+
+/// The classified instance at dual target `d`.
+#[derive(Clone, Debug)]
+pub struct ShelfContext {
+    /// The target `d` as an exact rational.
+    pub d: Ratio,
+    /// Big jobs that take part in the knapsack (γ_j(d/2) defined).
+    pub knapsack_jobs: Vec<BigJob>,
+    /// Big jobs that *must* be in S1 (γ_j(d/2) undefined) and their γ_j(d).
+    pub forced: Vec<(JobId, Procs)>,
+    /// Small jobs (`t_j(1) ≤ d/2`).
+    pub small: Vec<JobId>,
+    /// Knapsack capacity left after the forced jobs: `m − Σ forced γ_j(d)`.
+    pub capacity: Procs,
+}
+
+impl ShelfContext {
+    /// Classify the instance at target `d`.
+    ///
+    /// Returns `None` (reject) if some job has `t_j(m) > d` or the forced
+    /// jobs alone exceed `m` processors — in both cases no schedule of
+    /// makespan `d` exists.
+    pub fn build(inst: &Instance, d: Time) -> Option<Self> {
+        let d_ratio = Ratio::from(d);
+        let half_d = d_ratio.div_int(2);
+        let m = inst.m();
+        let mut knapsack_jobs = Vec::new();
+        let mut forced = Vec::new();
+        let mut small = Vec::new();
+        let mut forced_procs: u128 = 0;
+        for j in inst.jobs() {
+            if j.is_small(&d_ratio) {
+                small.push(j.id());
+                continue;
+            }
+            let gamma_d = gamma(j, &d_ratio, m)?; // t_j(m) > d → reject
+            match gamma(j, &half_d, m) {
+                Some(gamma_half) => {
+                    let profit = j.work(gamma_half) - j.work(gamma_d);
+                    knapsack_jobs.push(BigJob {
+                        id: j.id(),
+                        gamma_d,
+                        gamma_half_d: Some(gamma_half),
+                        profit,
+                    });
+                }
+                None => {
+                    forced_procs += gamma_d as u128;
+                    forced.push((j.id(), gamma_d));
+                }
+            }
+        }
+        if forced_procs > m as u128 {
+            return None;
+        }
+        Some(ShelfContext {
+            d: d_ratio,
+            knapsack_jobs,
+            forced,
+            small,
+            capacity: m - forced_procs as Procs,
+        })
+    }
+
+    /// Total sequential work `W_S(d)` of the small jobs.
+    pub fn small_work(&self, inst: &Instance) -> Work {
+        self.small
+            .iter()
+            .map(|&j| inst.job(j).seq_time() as Work)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::speedup::{monotone_closure, SpeedupCurve};
+    use std::sync::Arc;
+
+    #[test]
+    fn classification_small_vs_big() {
+        // d = 10: small iff t(1) ≤ 5.
+        let inst = Instance::new(
+            vec![
+                SpeedupCurve::Constant(5),  // small
+                SpeedupCurve::Constant(6),  // big, γ(d)=1, γ(d/2) undefined → forced
+                SpeedupCurve::Table(Arc::new(vec![8, 4])), // big, γ(10)=1, γ(5)=2
+            ],
+            4,
+        );
+        let ctx = ShelfContext::build(&inst, 10).unwrap();
+        assert_eq!(ctx.small, vec![0]);
+        assert_eq!(ctx.forced, vec![(1, 1)]);
+        assert_eq!(ctx.knapsack_jobs.len(), 1);
+        let bj = ctx.knapsack_jobs[0];
+        assert_eq!(bj.id, 2);
+        assert_eq!(bj.gamma_d, 1);
+        assert_eq!(bj.gamma_half_d, Some(2));
+        // v = w(γ(d/2)) − w(γ(d)) = 2·4 − 1·8 = 0.
+        assert_eq!(bj.profit, 0);
+        assert_eq!(ctx.capacity, 3);
+        assert_eq!(ctx.small_work(&inst), 5);
+    }
+
+    #[test]
+    fn rejects_when_some_job_cannot_meet_d() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(20)], 2);
+        assert!(ShelfContext::build(&inst, 10).is_none());
+        assert!(ShelfContext::build(&inst, 20).is_some());
+    }
+
+    #[test]
+    fn rejects_when_forced_jobs_overflow() {
+        // Two jobs each needing all m=2 processors to meet d, and t(m) > d/2.
+        let mut tbl = vec![20u64, 10];
+        monotone_closure(&mut tbl);
+        let inst = Instance::new(
+            vec![
+                SpeedupCurve::Table(Arc::new(tbl.clone())),
+                SpeedupCurve::Table(Arc::new(tbl)),
+            ],
+            2,
+        );
+        assert!(ShelfContext::build(&inst, 10).is_none());
+    }
+
+    #[test]
+    fn profits_are_nonnegative_by_monotony() {
+        let mut seed = 0xABCD_EF01_2345_6789u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let m = next() % 8 + 1;
+            let n = (next() % 6 + 1) as usize;
+            let curves: Vec<SpeedupCurve> = (0..n)
+                .map(|_| {
+                    let mut tbl: Vec<u64> =
+                        (0..m as usize).map(|_| next() % 40 + 1).collect();
+                    monotone_closure(&mut tbl);
+                    SpeedupCurve::Table(Arc::new(tbl))
+                })
+                .collect();
+            let inst = Instance::new(curves, m);
+            let d = (next() % 40 + 1).max(1);
+            if let Some(ctx) = ShelfContext::build(&inst, d) {
+                // Work's u128 subtraction would have panicked on negative
+                // profit; also γ(d) ≤ γ(d/2).
+                for bj in &ctx.knapsack_jobs {
+                    assert!(bj.gamma_d <= bj.gamma_half_d.unwrap());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Re-adding the small jobs (Section 4.1.1, Lemma 9).
+//!
+//! After the three-shelf construction, every machine's free time is made
+//! adjacent: S0/S1 jobs start as early as possible and S2 jobs finish at the
+//! horizon, so each machine has one contiguous free interval. Small jobs
+//! (`t_j(1) ≤ d/2`) are then placed by next-fit. Lemma 9: if the schedule's
+//! total work is at most `m·d − W_S(d)`, next-fit never fails — a failure
+//! would mean every machine carries load above `d`, contradicting the work
+//! bound.
+//!
+//! Machines are handled in *groups* of identical occupancy (`O(n)` groups
+//! regardless of `m`, which may be 2^40), exactly as described in the paper;
+//! the whole pass is linear in the number of small jobs plus groups.
+
+use crate::schedule::Schedule;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::JobId;
+use std::collections::VecDeque;
+
+/// A group of machines with identical contiguous free intervals
+/// `[gap_start, gap_start + free)`.
+#[derive(Clone, Debug)]
+pub struct MachineGroup {
+    /// Number of machines in the group (may be astronomically large).
+    pub count: u64,
+    /// Start of the free interval.
+    pub gap_start: Ratio,
+    /// Length of the free interval.
+    pub free: Ratio,
+}
+
+/// Place every small job into the free gaps by next-fit, appending
+/// placements to `schedule`. Returns `false` (reject) if some job fits
+/// nowhere — by Lemma 9 this cannot happen when the shelf work respects the
+/// `m·d − W_S(d)` bound.
+pub fn insert_small_jobs(
+    inst: &Instance,
+    schedule: &mut Schedule,
+    groups: Vec<MachineGroup>,
+    small: &[JobId],
+) -> bool {
+    let mut queue: VecDeque<MachineGroup> = groups.into();
+    'jobs: for &j in small {
+        let t = Ratio::from(inst.job(j).seq_time());
+        while let Some(front) = queue.front_mut() {
+            if front.count == 0 {
+                queue.pop_front();
+                continue;
+            }
+            if front.free < t {
+                // Next-fit: discard the group and move on.
+                queue.pop_front();
+                continue;
+            }
+            // Split one machine off the front and keep filling it.
+            if front.count > 1 {
+                front.count -= 1;
+                let single = MachineGroup {
+                    count: 1,
+                    gap_start: front.gap_start,
+                    free: front.free,
+                };
+                queue.push_front(single);
+            }
+            let machine = queue.front_mut().expect("just ensured non-empty");
+            schedule.push(j, machine.gap_start, 1);
+            machine.gap_start = machine.gap_start.add(&t);
+            machine.free = machine.free.sub(&t);
+            continue 'jobs;
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use moldable_core::speedup::SpeedupCurve;
+
+    fn group(count: u64, gap_start: u64, free: u64) -> MachineGroup {
+        MachineGroup {
+            count,
+            gap_start: Ratio::from(gap_start),
+            free: Ratio::from(free),
+        }
+    }
+
+    #[test]
+    fn fills_single_machine_back_to_back() {
+        let inst = Instance::new(
+            vec![
+                SpeedupCurve::Constant(3),
+                SpeedupCurve::Constant(4),
+                SpeedupCurve::Constant(2),
+            ],
+            1,
+        );
+        let mut s = Schedule::new();
+        let ok = insert_small_jobs(&inst, &mut s, vec![group(1, 0, 9)], &[0, 1, 2]);
+        assert!(ok);
+        validate(&s, &inst).unwrap();
+        assert_eq!(s.makespan(&inst), Ratio::from(9u64));
+    }
+
+    #[test]
+    fn next_fit_discards_and_moves_on() {
+        // First machine too tight for job 1, second takes it.
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(3), SpeedupCurve::Constant(5)],
+            2,
+        );
+        let mut s = Schedule::new();
+        let ok = insert_small_jobs(
+            &inst,
+            &mut s,
+            vec![group(1, 0, 4), group(1, 0, 9)],
+            &[0, 1],
+        );
+        assert!(ok);
+        // Job 0 on machine 1 ([0,3)); job 1 does not fit in the remaining 1
+        // unit → machine discarded → machine 2 ([0,5)).
+        assert_eq!(s.assignments[0].start, Ratio::zero());
+        assert_eq!(s.assignments[1].start, Ratio::zero());
+        validate(&s, &inst).unwrap();
+    }
+
+    #[test]
+    fn group_splitting_preserves_capacity() {
+        // 3 identical machines, 4 unit jobs each of length 2, free 2 each:
+        // one job per machine fits, fourth job fails.
+        let inst = Instance::new(
+            (0..4).map(|_| SpeedupCurve::Constant(2)).collect(),
+            3,
+        );
+        let mut s = Schedule::new();
+        let ok = insert_small_jobs(&inst, &mut s, vec![group(3, 1, 2)], &[0, 1, 2, 3]);
+        assert!(!ok, "fourth job cannot fit");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_small_set_trivially_succeeds() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(1)], 1);
+        let mut s = Schedule::new();
+        assert!(insert_small_jobs(&inst, &mut s, vec![], &[]));
+    }
+
+    #[test]
+    fn gap_starts_respected() {
+        // Machine busy [0, 5): gap starts at 5.
+        let inst = Instance::new(vec![SpeedupCurve::Constant(2)], 1);
+        let mut s = Schedule::new();
+        let ok = insert_small_jobs(&inst, &mut s, vec![group(1, 5, 3)], &[0]);
+        assert!(ok);
+        assert_eq!(s.assignments[0].start, Ratio::from(5u64));
+    }
+}

@@ -1,0 +1,226 @@
+//! Independent schedule validation.
+//!
+//! Deliberately written against the *definition* of feasibility rather than
+//! reusing any algorithm code, so that every algorithm's output can be
+//! certified by construction-independent logic:
+//!
+//! 1. every job of the instance appears exactly once;
+//! 2. every allotment is in `1..=m`;
+//! 3. at every instant, the total processor demand is at most `m`
+//!    (sufficient for realizability with interchangeable machines);
+//! 4. optionally, the makespan does not exceed a target.
+
+use crate::schedule::Schedule;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+
+/// Why a schedule is infeasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A job appears zero or several times.
+    WrongJobMultiplicity {
+        /// The offending job.
+        job: u32,
+        /// How many times it appears.
+        count: usize,
+    },
+    /// An allotment is 0 or exceeds `m`.
+    BadAllotment {
+        /// The offending job.
+        job: u32,
+        /// Its allotment.
+        procs: u64,
+    },
+    /// Total demand exceeds `m` at some instant.
+    Overcommitted {
+        /// An instant at which demand exceeds `m`.
+        at: Ratio,
+        /// The demand at that instant.
+        demand: u128,
+    },
+    /// Makespan exceeds the required target.
+    MakespanExceeded {
+        /// The observed makespan.
+        makespan: Ratio,
+        /// The required bound.
+        bound: Ratio,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::WrongJobMultiplicity { job, count } => {
+                write!(f, "job {job} appears {count} times")
+            }
+            ScheduleError::BadAllotment { job, procs } => {
+                write!(f, "job {job} allotted {procs} processors")
+            }
+            ScheduleError::Overcommitted { at, demand } => {
+                write!(f, "demand {demand} exceeds m at time {at}")
+            }
+            ScheduleError::MakespanExceeded { makespan, bound } => {
+                write!(f, "makespan {makespan} exceeds bound {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Validate feasibility of `schedule` for `inst` (conditions 1–3).
+pub fn validate(schedule: &Schedule, inst: &Instance) -> Result<(), ScheduleError> {
+    // 1. multiplicities
+    let mut seen = vec![0usize; inst.n()];
+    for a in &schedule.assignments {
+        let idx = a.job as usize;
+        if idx >= inst.n() {
+            return Err(ScheduleError::WrongJobMultiplicity {
+                job: a.job,
+                count: usize::MAX,
+            });
+        }
+        seen[idx] += 1;
+    }
+    for (j, &count) in seen.iter().enumerate() {
+        if count != 1 {
+            return Err(ScheduleError::WrongJobMultiplicity {
+                job: j as u32,
+                count,
+            });
+        }
+    }
+    // 2. allotments
+    for a in &schedule.assignments {
+        if a.procs == 0 || a.procs > inst.m() {
+            return Err(ScheduleError::BadAllotment {
+                job: a.job,
+                procs: a.procs,
+            });
+        }
+    }
+    // 3. demand sweep over start/end events.
+    let mut events: Vec<(Ratio, i64, u64)> = Vec::with_capacity(schedule.len() * 2);
+    for a in &schedule.assignments {
+        let dur = inst.job(a.job).time(a.procs);
+        let end = a.start.add(&Ratio::from(dur));
+        events.push((a.start, 1, a.procs));
+        events.push((end, -1, a.procs));
+    }
+    // Ends sort before starts at the same instant (half-open intervals).
+    events.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+    let mut demand: i128 = 0;
+    for (at, kind, procs) in events {
+        demand += kind as i128 * procs as i128;
+        if demand > inst.m() as i128 {
+            return Err(ScheduleError::Overcommitted {
+                at,
+                demand: demand as u128,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validate feasibility *and* a makespan bound.
+pub fn validate_with_makespan(
+    schedule: &Schedule,
+    inst: &Instance,
+    bound: &Ratio,
+) -> Result<(), ScheduleError> {
+    validate(schedule, inst)?;
+    let mk = schedule.makespan(inst);
+    if mk > *bound {
+        return Err(ScheduleError::MakespanExceeded {
+            makespan: mk,
+            bound: *bound,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::speedup::SpeedupCurve;
+
+    fn inst2() -> Instance {
+        Instance::new(
+            vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(4)],
+            2,
+        )
+    }
+
+    #[test]
+    fn accepts_parallel_fit() {
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::zero(), 1);
+        assert!(validate(&s, &inst).is_ok());
+    }
+
+    #[test]
+    fn rejects_overcommit() {
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2);
+        s.push(1, Ratio::zero(), 1);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::Overcommitted { .. })
+        ));
+    }
+
+    #[test]
+    fn back_to_back_is_fine() {
+        // Half-open intervals: a job ending at t and one starting at t share
+        // no instant.
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2);
+        s.push(1, Ratio::from(4u64), 2);
+        assert!(validate(&s, &inst).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_and_duplicate_jobs() {
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::WrongJobMultiplicity { job: 1, count: 0 })
+        ));
+        s.push(0, Ratio::from(9u64), 1);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::WrongJobMultiplicity { job: 0, count: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_allotment() {
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 3);
+        s.push(1, Ratio::zero(), 1);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::BadAllotment { job: 0, procs: 3 })
+        ));
+    }
+
+    #[test]
+    fn makespan_bound_enforced() {
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::zero(), 1);
+        assert!(validate_with_makespan(&s, &inst, &Ratio::from(4u64)).is_ok());
+        assert!(matches!(
+            validate_with_makespan(&s, &inst, &Ratio::from(3u64)),
+            Err(ScheduleError::MakespanExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,350 @@
+//! Conservative (EASY-style) backfilling on the simulated cluster.
+//!
+//! The FIFO discipline of [`crate::online`] blocks the whole queue when
+//! the head job does not fit — the Garey–Graham analysis depends on this.
+//! Production HPC schedulers instead *backfill*: while the head waits for
+//! its processors, later jobs may jump ahead **if they cannot delay the
+//! head's reservation** (EASY backfilling, Lifka 1995).
+//!
+//! For rigid allotments this is implementable exactly in our event model:
+//! when the head of the queue does not fit, compute its *reservation
+//! time* `r` (the earliest instant enough processors will be free, given
+//! running jobs) and start any later job `j` that fits now and satisfies
+//! `now + t_j ≤ r` **or** leaves the head's processors untouched at `r`.
+//!
+//! This module exists as an extension experiment: the paper's guarantees
+//! are for the *planned* schedules; backfilling shows how much of the
+//! plan's quality a simple online policy recovers without any planning.
+
+use crate::engine::{Event, EventKind, EventQueue, ProcessorPool, SimError};
+use crate::trace::{Segment, Trace};
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::Procs;
+use moldable_sched::schedule::Schedule;
+
+/// Result of a backfilling run.
+#[derive(Clone, Debug)]
+pub struct BackfillOutcome {
+    /// The start times the policy chose (a complete plan).
+    pub schedule: Schedule,
+    /// The per-block trace.
+    pub trace: Trace,
+    /// The resulting makespan.
+    pub makespan: Ratio,
+    /// How many jobs started ahead of a blocked queue head.
+    pub backfilled: usize,
+}
+
+/// State of one running job for reservation computation.
+#[derive(Clone, Debug)]
+struct Running {
+    job: u32,
+    end: Ratio,
+    procs: Procs,
+}
+
+/// Earliest time `want` processors are simultaneously free, given `free`
+/// processors now and the (end, procs) of running jobs.
+fn reservation_time(now: &Ratio, free: Procs, want: Procs, running: &[Running]) -> Ratio {
+    if want <= free {
+        return now.clone();
+    }
+    let mut ends: Vec<&Running> = running.iter().collect();
+    ends.sort_by(|a, b| a.end.cmp(&b.end));
+    let mut avail = free;
+    for r in ends {
+        avail += r.procs;
+        if avail >= want {
+            return r.end.clone();
+        }
+    }
+    unreachable!("want ≤ m, so all completions must free enough processors");
+}
+
+/// Run EASY backfilling with fixed `allotment` processor counts in queue
+/// `order`.
+///
+/// Backfill rule: while the head job `h` waits for its reservation at
+/// time `r` with `need_h` processors, a later job `j` may start now iff it
+/// fits the current free pool **and** either (a) it completes by `r`, or
+/// (b) even at `r` there remain `need_h` processors if `j` keeps running
+/// (i.e. `free_now − need_j + freed_by(r) ≥ need_h`). Rule (b) is the
+/// conservative "don't touch the reservation" condition.
+pub fn backfill_schedule(
+    inst: &Instance,
+    allotment: &[Procs],
+    order: &[u32],
+) -> Result<BackfillOutcome, SimError> {
+    let n = inst.n();
+    let m = inst.m();
+    assert_eq!(allotment.len(), n, "one allotment per job");
+    assert_eq!(order.len(), n, "order must be a permutation of all jobs");
+    for (j, &p) in allotment.iter().enumerate() {
+        if p == 0 || p > m {
+            return Err(SimError::BadAllotment {
+                job: j as u32,
+                procs: p,
+            });
+        }
+    }
+    let mut seen = vec![false; n];
+    for &j in order {
+        if (j as usize) >= n {
+            return Err(SimError::UnknownJob { job: j });
+        }
+        if seen[j as usize] {
+            return Err(SimError::DuplicateJob { job: j });
+        }
+        seen[j as usize] = true;
+    }
+
+    let mut pool = ProcessorPool::new(m, n);
+    let mut queue = EventQueue::new();
+    let mut trace = Trace::new(m);
+    let mut schedule = Schedule::new();
+    let mut pending: Vec<u32> = order.to_vec();
+    let mut running: Vec<Running> = Vec::new();
+    let mut now = Ratio::zero();
+    let mut backfilled = 0usize;
+
+    // Start `job` at `now`; updates all bookkeeping.
+    let start = |job: u32,
+                     now: &Ratio,
+                     pool: &mut ProcessorPool,
+                     queue: &mut EventQueue,
+                     trace: &mut Trace,
+                     schedule: &mut Schedule,
+                     running: &mut Vec<Running>|
+     -> Result<(), SimError> {
+        let want = allotment[job as usize];
+        let blocks = pool.acquire(job, want, now)?.to_vec();
+        let end = now.add(&Ratio::from(inst.time(job, want)));
+        for b in blocks {
+            trace.segments.push(Segment {
+                job,
+                block: b,
+                start: now.clone(),
+                end: end.clone(),
+            });
+        }
+        schedule.push(job, now.clone(), want);
+        running.push(Running {
+            job,
+            end: end.clone(),
+            procs: want,
+        });
+        queue.push(Event {
+            at: end,
+            kind: EventKind::Complete,
+            job,
+        });
+        Ok(())
+    };
+
+    loop {
+        // Phase 1: start the head greedily while it fits.
+        while let Some(&head) = pending.first() {
+            if allotment[head as usize] > pool.free_count() {
+                break;
+            }
+            start(
+                head,
+                &now,
+                &mut pool,
+                &mut queue,
+                &mut trace,
+                &mut schedule,
+                &mut running,
+            )?;
+            pending.remove(0);
+        }
+        // Phase 2: head blocked — backfill later jobs against its
+        // reservation.
+        if let Some(&head) = pending.first() {
+            let need_h = allotment[head as usize];
+            let r = reservation_time(&now, pool.free_count(), need_h, &running);
+            // How many processors running jobs free strictly by r.
+            let freed_by_r: Procs = running
+                .iter()
+                .filter(|x| x.end <= r)
+                .map(|x| x.procs)
+                .sum();
+            let mut i = 1; // skip the head
+            while i < pending.len() {
+                let j = pending[i];
+                let need_j = allotment[j as usize];
+                let free_now = pool.free_count();
+                if need_j > free_now {
+                    i += 1;
+                    continue;
+                }
+                let t_j = Ratio::from(inst.time(j, need_j));
+                let ends_by_r = now.add(&t_j) <= r;
+                // Conservative condition (b): at time r the head still
+                // finds need_h processors even if j runs past r.
+                let leaves_reservation = free_now - need_j + freed_by_r >= need_h;
+                if ends_by_r || leaves_reservation {
+                    start(
+                        j,
+                        &now,
+                        &mut pool,
+                        &mut queue,
+                        &mut trace,
+                        &mut schedule,
+                        &mut running,
+                    )?;
+                    pending.remove(i);
+                    backfilled += 1;
+                    // `freed_by_r` is unchanged: j started now, and if it
+                    // was admitted via (a) it frees need_j by r — but we
+                    // keep the conservative estimate and simply re-check
+                    // (b) against the *reduced* free pool for later jobs.
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Phase 3: advance to the next completion.
+        match queue.pop() {
+            Some(ev) => {
+                debug_assert_eq!(ev.kind, EventKind::Complete);
+                now = ev.at.clone();
+                pool.release(ev.job);
+                // Remove by id: at simultaneous completions only the
+                // popped job's processors are back in the pool so far —
+                // the others stay in `running` until their events fire,
+                // keeping the reservation arithmetic consistent.
+                running.retain(|x| x.job != ev.job);
+            }
+            None => break,
+        }
+    }
+
+    debug_assert!(pending.is_empty(), "all jobs dispatched");
+    let makespan = trace.makespan();
+    Ok(BackfillOutcome {
+        schedule,
+        trace,
+        makespan,
+        backfilled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::online_list_schedule;
+    use moldable_core::speedup::SpeedupCurve;
+    use moldable_sched::validate::validate;
+
+    fn constant_inst(times: &[u64], m: Procs) -> Instance {
+        Instance::new(
+            times.iter().map(|&t| SpeedupCurve::Constant(t)).collect(),
+            m,
+        )
+    }
+
+    #[test]
+    fn backfills_short_job_into_gap() {
+        // Jobs: A (1 proc, 10), B (2 procs, 5) blocked, C (1 proc, 10).
+        // FIFO: C waits for B → makespan 20. Backfill: C ends by A's end?
+        // No — C runs 10, reservation r = 10: C admitted via (b)? free_now
+        // = 1, need_C = 1, freed_by_r = 1 (A), need_B = 2: 1−1+1 = 1 < 2 —
+        // not admissible (would steal B's processor)... so use a C that
+        // fits rule (a): duration ≤ r.
+        let inst = constant_inst(&[10, 5, 10], 2);
+        let out = backfill_schedule(&inst, &[1, 2, 1], &[0, 1, 2]).unwrap();
+        validate(&out.schedule, &inst).unwrap();
+        // C (job 2, dur 10 > r=10? now=0, r=10, ends_by_r: 0+10 ≤ 10 ✓)
+        // → C backfills beside A; B starts at 10. Makespan 15.
+        assert_eq!(out.makespan, Ratio::from(15u64));
+        assert_eq!(out.backfilled, 1);
+    }
+
+    #[test]
+    fn never_delays_the_head_reservation() {
+        // Head B needs both processors at r = 10; a long filler (dur 20)
+        // must NOT backfill, even though a processor is free.
+        let inst = constant_inst(&[10, 5, 20], 2);
+        let out = backfill_schedule(&inst, &[1, 2, 1], &[0, 1, 2]).unwrap();
+        validate(&out.schedule, &inst).unwrap();
+        // B must start exactly at its reservation (t = 10).
+        let b_start = out
+            .schedule
+            .assignments
+            .iter()
+            .find(|a| a.job == 1)
+            .unwrap()
+            .start
+            .clone();
+        assert_eq!(b_start, Ratio::from(10u64));
+        assert_eq!(out.backfilled, 0);
+    }
+
+    #[test]
+    fn competitive_with_fifo_on_mixed_queues() {
+        // Backfilling is not universally better than FIFO (reordering can
+        // hurt later queue heads), but on random queues it must (a) stay
+        // valid, (b) never lose badly, and (c) win or tie far more often
+        // than it loses — these are the properties operators rely on.
+        let mut seed = 0xBACF_1157_0000_0001u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let (mut wins, mut losses) = (0u32, 0u32);
+        let mut backfilled_total = 0usize;
+        for _ in 0..40 {
+            let n = 10;
+            let m = 4u64;
+            let times: Vec<u64> = (0..n).map(|_| next() % 30 + 1).collect();
+            let inst = constant_inst(&times, m);
+            let allot: Vec<u64> = (0..n).map(|_| next() % m + 1).collect();
+            let order: Vec<u32> = (0..n as u32).collect();
+            let fifo = online_list_schedule(&inst, &allot, &order).unwrap();
+            let bf = backfill_schedule(&inst, &allot, &order).unwrap();
+            validate(&bf.schedule, &inst).unwrap();
+            assert!(bf.trace.check_disjoint().is_ok());
+            // (b) bounded regret.
+            assert!(
+                bf.makespan.to_f64() <= fifo.makespan.to_f64() * 1.25,
+                "backfilling lost badly: {} vs {} (times {times:?}, allot {allot:?})",
+                bf.makespan,
+                fifo.makespan
+            );
+            match bf.makespan.cmp(&fifo.makespan) {
+                std::cmp::Ordering::Less => wins += 1,
+                std::cmp::Ordering::Greater => losses += 1,
+                std::cmp::Ordering::Equal => {}
+            }
+            backfilled_total += bf.backfilled;
+        }
+        // (c) wins dominate losses, and backfilling actually fires.
+        assert!(wins > losses, "wins {wins} ≤ losses {losses}");
+        assert!(backfilled_total > 0, "backfill rule never fired");
+    }
+
+    #[test]
+    fn rejects_bad_inputs_like_fifo() {
+        let inst = constant_inst(&[1, 1], 2);
+        assert!(matches!(
+            backfill_schedule(&inst, &[0, 1], &[0, 1]).unwrap_err(),
+            SimError::BadAllotment { .. }
+        ));
+        assert!(matches!(
+            backfill_schedule(&inst, &[1, 1], &[1, 1]).unwrap_err(),
+            SimError::DuplicateJob { .. }
+        ));
+    }
+
+    #[test]
+    fn single_job() {
+        let inst = constant_inst(&[7], 3);
+        let out = backfill_schedule(&inst, &[2], &[0]).unwrap();
+        assert_eq!(out.makespan, Ratio::from(7u64));
+        assert_eq!(out.backfilled, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Execute a planned [`Schedule`] on the simulated cluster.
+//!
+//! This is the "does the plan actually run" check the paper never needs
+//! (its feasibility argument is aggregate: Σ procs ≤ m at all times) but a
+//! real runtime does: concrete processors must be assigned, held for the
+//! whole job, and returned. Because machines are interchangeable, aggregate
+//! feasibility implies executability — and this module *proves* that
+//! constructively for every schedule our algorithms emit, by building an
+//! explicit per-block trace and re-checking disjointness.
+
+use crate::engine::{Event, EventKind, EventQueue, ProcessorPool, SimError};
+use crate::trace::{Segment, Trace};
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_sched::schedule::Schedule;
+
+/// The result of a successful simulation.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// The full per-block trace.
+    pub trace: Trace,
+    /// Completion time observed by the simulator.
+    pub makespan: Ratio,
+    /// Number of start events processed.
+    pub jobs_run: usize,
+}
+
+/// Run `schedule` on `inst`'s cluster; fail on any oversubscription.
+///
+/// Every job of the instance must be placed exactly once. Runs in
+/// `O(n log n)` event-queue operations plus pool bookkeeping.
+///
+/// ```
+/// use moldable_core::{Instance, Ratio, SpeedupCurve};
+/// use moldable_sched::Schedule;
+/// use moldable_sim::execute;
+///
+/// let inst = Instance::new(
+///     vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(6)],
+///     2,
+/// );
+/// let mut plan = Schedule::new();
+/// plan.push(0, Ratio::zero(), 1);
+/// plan.push(1, Ratio::zero(), 1);
+/// let ex = execute(&inst, &plan).unwrap();
+/// assert_eq!(ex.makespan, Ratio::from(6u64));
+/// assert!(ex.trace.check_disjoint().is_ok());
+/// assert_eq!(ex.trace.peak_demand(), 2);
+/// ```
+pub fn execute(inst: &Instance, schedule: &Schedule) -> Result<Execution, SimError> {
+    let n = inst.n();
+    let m = inst.m();
+
+    // Index assignments; reject duplicates/unknown/missing up front.
+    let mut assignment = vec![None; n];
+    for a in &schedule.assignments {
+        if (a.job as usize) >= n {
+            return Err(SimError::UnknownJob { job: a.job });
+        }
+        if a.procs == 0 || a.procs > m {
+            return Err(SimError::BadAllotment {
+                job: a.job,
+                procs: a.procs,
+            });
+        }
+        let slot = &mut assignment[a.job as usize];
+        if slot.is_some() {
+            return Err(SimError::DuplicateJob { job: a.job });
+        }
+        *slot = Some((a.start.clone(), a.procs));
+    }
+    let missing = assignment.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(SimError::MissingJobs { count: missing });
+    }
+
+    let mut queue = EventQueue::new();
+    for (id, slot) in assignment.iter().enumerate() {
+        let (start, _) = slot.as_ref().unwrap();
+        queue.push(Event {
+            at: start.clone(),
+            kind: EventKind::Start,
+            job: id as u32,
+        });
+    }
+
+    let mut pool = ProcessorPool::new(m, n);
+    let mut trace = Trace::new(m);
+    let mut started: Vec<Option<Ratio>> = vec![None; n];
+    let mut jobs_run = 0;
+
+    while let Some(ev) = queue.pop() {
+        match ev.kind {
+            EventKind::Start => {
+                let (_, procs) = assignment[ev.job as usize].as_ref().unwrap();
+                let blocks = pool.acquire(ev.job, *procs, &ev.at)?.to_vec();
+                let dur = inst.time(ev.job, *procs);
+                let end = ev.at.add(&Ratio::from(dur));
+                started[ev.job as usize] = Some(ev.at.clone());
+                for b in blocks {
+                    trace.segments.push(Segment {
+                        job: ev.job,
+                        block: b,
+                        start: ev.at.clone(),
+                        end: end.clone(),
+                    });
+                }
+                queue.push(Event {
+                    at: end,
+                    kind: EventKind::Complete,
+                    job: ev.job,
+                });
+                jobs_run += 1;
+            }
+            EventKind::Complete => {
+                pool.release(ev.job);
+            }
+        }
+    }
+
+    debug_assert_eq!(pool.in_use(), 0, "processors leaked past the last event");
+    let makespan = trace.makespan();
+    Ok(Execution {
+        trace,
+        makespan,
+        jobs_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::speedup::SpeedupCurve;
+
+    fn inst2(m: u64) -> Instance {
+        Instance::new(
+            vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(6)],
+            m,
+        )
+    }
+
+    #[test]
+    fn executes_sequential_plan() {
+        let inst = inst2(1);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::from(4u64), 1);
+        let ex = execute(&inst, &s).unwrap();
+        assert_eq!(ex.makespan, Ratio::from(10u64));
+        assert_eq!(ex.jobs_run, 2);
+        assert!(ex.trace.check_disjoint().is_ok());
+    }
+
+    #[test]
+    fn executes_parallel_plan() {
+        let inst = inst2(2);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::zero(), 1);
+        let ex = execute(&inst, &s).unwrap();
+        assert_eq!(ex.makespan, Ratio::from(6u64));
+        assert_eq!(ex.trace.peak_demand(), 2);
+    }
+
+    #[test]
+    fn back_to_back_reuse_at_equal_time() {
+        // Job 1 starts exactly when job 0 ends on the same machine.
+        let inst = inst2(1);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::from(4u64), 1);
+        assert!(execute(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn detects_oversubscription() {
+        let inst = inst2(1);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::from(3u64), 1); // job 0 still running until 4
+        let err = execute(&inst, &s).unwrap_err();
+        assert!(matches!(err, SimError::Oversubscribed { job: 1, .. }));
+    }
+
+    #[test]
+    fn detects_missing_job() {
+        let inst = inst2(2);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        let err = execute(&inst, &s).unwrap_err();
+        assert_eq!(err, SimError::MissingJobs { count: 1 });
+    }
+
+    #[test]
+    fn detects_duplicate_and_unknown_and_bad_allotment() {
+        let inst = inst2(2);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(0, Ratio::from(9u64), 1);
+        assert_eq!(
+            execute(&inst, &s).unwrap_err(),
+            SimError::DuplicateJob { job: 0 }
+        );
+
+        let mut s = Schedule::new();
+        s.push(7, Ratio::zero(), 1);
+        assert_eq!(
+            execute(&inst, &s).unwrap_err(),
+            SimError::UnknownJob { job: 7 }
+        );
+
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 3); // m = 2
+        s.push(1, Ratio::zero(), 1);
+        assert_eq!(
+            execute(&inst, &s).unwrap_err(),
+            SimError::BadAllotment { job: 0, procs: 3 }
+        );
+    }
+
+    #[test]
+    fn rational_start_times_execute() {
+        // Three-shelf schedules start S2 jobs at 3d/2 − t; exercise a
+        // half-integral start.
+        let inst = inst2(2);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::new(1, 2), 2);
+        s.push(1, Ratio::new(9, 2), 2);
+        let ex = execute(&inst, &s).unwrap();
+        assert_eq!(ex.makespan, Ratio::new(21, 2));
+    }
+}

@@ -1,0 +1,50 @@
+//! # moldable-sim
+//!
+//! A discrete-event cluster simulator for moldable-job schedules.
+//!
+//! The scheduling algorithms in `moldable-sched` produce *plans*: per-job
+//! start times and processor counts. This crate provides the substrate the
+//! paper's model abstracts away — an actual cluster of `m` identical
+//! processors — and executes plans on it:
+//!
+//! * [`engine`] — the event-driven simulation core (event queue over exact
+//!   rational timestamps, processor pool with explicit per-processor
+//!   assignment);
+//! * [`executor`] — runs a [`moldable_sched::Schedule`] on the simulated
+//!   cluster, verifying at every event that the processor demand is
+//!   satisfiable, and records a full execution [`trace`];
+//! * [`online`] — an online list-scheduling executor: jobs with fixed
+//!   allotments are dispatched greedily whenever enough processors are
+//!   free (the Garey–Graham discipline used by the paper's estimator);
+//! * [`backfill`] — conservative EASY backfilling against the head job's
+//!   reservation, the production-HPC refinement of plain FIFO;
+//! * [`arrivals`] — epoch-based batch scheduling of an arrival stream
+//!   using any offline planner (the classic online-from-offline scheme);
+//! * [`trace`] — per-processor timelines, utilization statistics, and
+//!   machine-load profiles;
+//! * [`metrics`] — aggregate statistics (utilization, average waiting time,
+//!   work conservation) used by examples and experiment reports.
+//!
+//! The simulator is an *independent* implementation of feasibility: it
+//! assigns concrete processor ids and verifies no processor runs two jobs
+//! at once, which cross-checks `moldable_sched::validate` (that checker
+//! reasons about aggregate demand only).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod backfill;
+pub mod engine;
+pub mod executor;
+pub mod metrics;
+pub mod online;
+pub mod trace;
+
+pub use arrivals::{clairvoyant_lower_bound, run_epochs, ArrivingJob, Epoch, EpochOutcome};
+pub use backfill::{backfill_schedule, BackfillOutcome};
+pub use engine::{Event, EventKind, SimError};
+pub use executor::{execute, Execution};
+pub use metrics::{ClusterMetrics, JobMetrics};
+pub use online::{online_list_schedule, OnlineOutcome};
+pub use trace::{ProcessorTimeline, Segment, Trace};

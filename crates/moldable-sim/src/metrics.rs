@@ -1,0 +1,164 @@
+//! Aggregate statistics over execution traces.
+//!
+//! Used by the examples and the experiment reports to summarize a run:
+//! utilization (busy area over `m × makespan`), per-job response times,
+//! and work conservation (trace area equals the plan's work — nothing is
+//! lost or double-counted by the simulator).
+
+use crate::trace::Trace;
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::JobId;
+use moldable_sched::schedule::Schedule;
+use std::collections::BTreeMap;
+
+/// Per-job observations extracted from a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// The job.
+    pub job: JobId,
+    /// Observed start.
+    pub start: Ratio,
+    /// Observed completion.
+    pub end: Ratio,
+    /// Processors held.
+    pub procs: u64,
+}
+
+/// Whole-cluster summary of one execution.
+#[derive(Clone, Debug)]
+pub struct ClusterMetrics {
+    /// Cluster size.
+    pub m: u64,
+    /// Completion time of the last job.
+    pub makespan: Ratio,
+    /// `busy area / (m × makespan)` in `[0, 1]`, as an exact rational.
+    pub utilization: Ratio,
+    /// Mean completion time over jobs.
+    pub mean_completion: Ratio,
+    /// Per-job details, sorted by job id.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Summarize a trace.
+    ///
+    /// Panics if the trace is internally inconsistent (a job with
+    /// segments of differing intervals), which `execute` never produces.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut per_job: BTreeMap<JobId, JobMetrics> = BTreeMap::new();
+        for s in &trace.segments {
+            let e = per_job.entry(s.job).or_insert_with(|| JobMetrics {
+                job: s.job,
+                start: s.start.clone(),
+                end: s.end.clone(),
+                procs: 0,
+            });
+            assert_eq!(e.start, s.start, "job {} has ragged segments", s.job);
+            assert_eq!(e.end, s.end, "job {} has ragged segments", s.job);
+            e.procs += s.block.len;
+        }
+        let jobs: Vec<JobMetrics> = per_job.into_values().collect();
+        let makespan = trace.makespan();
+        let denom = makespan.mul_int(trace.m as u128);
+        let utilization = if denom.is_zero() {
+            Ratio::zero()
+        } else {
+            trace.busy_area().div(&denom)
+        };
+        let mean_completion = if jobs.is_empty() {
+            Ratio::zero()
+        } else {
+            let mut acc = Ratio::zero();
+            for j in &jobs {
+                acc = acc.add(&j.end);
+            }
+            acc.div_int(jobs.len() as u128)
+        };
+        ClusterMetrics {
+            m: trace.m,
+            makespan,
+            utilization,
+            mean_completion,
+            jobs,
+        }
+    }
+
+    /// Verify work conservation against the plan: the trace's busy area
+    /// must equal `Σ procs·t_j(procs)` of the schedule.
+    pub fn work_conserved(&self, inst: &Instance, schedule: &Schedule, trace: &Trace) -> bool {
+        trace.busy_area() == Ratio::from_int(schedule.total_work(inst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute;
+    use moldable_core::speedup::SpeedupCurve;
+
+    #[test]
+    fn metrics_of_two_job_run() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(4)],
+            2,
+        );
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::zero(), 1);
+        let ex = execute(&inst, &s).unwrap();
+        let metrics = ClusterMetrics::from_trace(&ex.trace);
+        assert_eq!(metrics.makespan, Ratio::from(4u64));
+        assert_eq!(metrics.utilization, Ratio::one()); // both busy throughout
+        assert_eq!(metrics.mean_completion, Ratio::from(4u64));
+        assert_eq!(metrics.jobs.len(), 2);
+        assert!(metrics.work_conserved(&inst, &s, &ex.trace));
+    }
+
+    #[test]
+    fn utilization_counts_idle_tail() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(2)],
+            2,
+        );
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::zero(), 1);
+        let ex = execute(&inst, &s).unwrap();
+        let metrics = ClusterMetrics::from_trace(&ex.trace);
+        // Busy area 6 over 2×4 = 8.
+        assert_eq!(metrics.utilization, Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn empty_trace_yields_zeros() {
+        let tr = Trace::new(8);
+        let metrics = ClusterMetrics::from_trace(&tr);
+        assert_eq!(metrics.makespan, Ratio::zero());
+        assert_eq!(metrics.utilization, Ratio::zero());
+        assert!(metrics.jobs.is_empty());
+    }
+
+    #[test]
+    fn multi_block_job_sums_procs() {
+        // Force fragmentation so one job holds two blocks.
+        let inst = Instance::new(
+            vec![
+                SpeedupCurve::Constant(2),
+                SpeedupCurve::Constant(2),
+                SpeedupCurve::Constant(2),
+                SpeedupCurve::Constant(9),
+            ],
+            6,
+        );
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2); // [0,2)
+        s.push(1, Ratio::zero(), 2); // [2,4)
+        s.push(2, Ratio::zero(), 2); // [4,6)
+        s.push(3, Ratio::from(2u64), 4); // needs blocks after frees
+        let ex = execute(&inst, &s).unwrap();
+        let metrics = ClusterMetrics::from_trace(&ex.trace);
+        let j3 = metrics.jobs.iter().find(|j| j.job == 3).unwrap();
+        assert_eq!(j3.procs, 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Execution traces: what ran where, when.
+//!
+//! A [`Trace`] is a list of [`Segment`]s — one per (job, processor block)
+//! pair — plus the cluster size. From it we derive machine-load profiles
+//! (processor demand as a step function over time), per-processor
+//! timelines, and utilization statistics. All time arithmetic is exact.
+
+use crate::engine::Block;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{JobId, Procs};
+
+/// One contiguous block of processors running one job for an interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// The job that ran.
+    pub job: JobId,
+    /// The processors it occupied.
+    pub block: Block,
+    /// When it started.
+    pub start: Ratio,
+    /// When it completed.
+    pub end: Ratio,
+}
+
+impl Segment {
+    /// Duration `end − start`.
+    pub fn duration(&self) -> Ratio {
+        self.end.sub(&self.start)
+    }
+
+    /// Work area `len × duration` as an exact rational.
+    pub fn area(&self) -> Ratio {
+        self.duration().mul_int(self.block.len as u128)
+    }
+}
+
+/// A full execution record.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Cluster size.
+    pub m: Procs,
+    /// All segments, in start order.
+    pub segments: Vec<Segment>,
+}
+
+/// The timeline of a single processor: which jobs it ran, in time order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcessorTimeline {
+    /// `(job, start, end)` triples sorted by start.
+    pub runs: Vec<(JobId, Ratio, Ratio)>,
+}
+
+impl Trace {
+    /// New empty trace for an `m`-processor cluster.
+    pub fn new(m: Procs) -> Self {
+        Trace {
+            m,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Completion time of the last segment (zero for an empty trace).
+    pub fn makespan(&self) -> Ratio {
+        self.segments
+            .iter()
+            .map(|s| s.end.clone())
+            .max()
+            .unwrap_or_else(Ratio::zero)
+    }
+
+    /// Total busy area `Σ len × duration` over all segments.
+    pub fn busy_area(&self) -> Ratio {
+        let mut acc = Ratio::zero();
+        for s in &self.segments {
+            acc = acc.add(&s.area());
+        }
+        acc
+    }
+
+    /// The demand profile: processor usage as a right-open step function.
+    ///
+    /// Returns `(t_0, u_0), (t_1, u_1), …` meaning `u_i` processors are
+    /// busy on `[t_i, t_{i+1})`; the last entry has usage 0. Runs in
+    /// `O(k log k)` for `k` segments.
+    pub fn demand_profile(&self) -> Vec<(Ratio, Procs)> {
+        // Sweep over ±len deltas at segment starts/ends.
+        let mut deltas: Vec<(Ratio, i128)> = Vec::with_capacity(2 * self.segments.len());
+        for s in &self.segments {
+            deltas.push((s.start.clone(), s.block.len as i128));
+            deltas.push((s.end.clone(), -(s.block.len as i128)));
+        }
+        deltas.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut profile: Vec<(Ratio, Procs)> = Vec::new();
+        let mut usage: i128 = 0;
+        let mut i = 0;
+        while i < deltas.len() {
+            let t = deltas[i].0.clone();
+            while i < deltas.len() && deltas[i].0 == t {
+                usage += deltas[i].1;
+                i += 1;
+            }
+            debug_assert!(usage >= 0, "negative usage during sweep");
+            profile.push((t, usage as Procs));
+        }
+        profile
+    }
+
+    /// Peak processor demand over the whole execution.
+    pub fn peak_demand(&self) -> Procs {
+        self.demand_profile()
+            .iter()
+            .map(|&(_, u)| u)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Timeline of one processor id: every segment whose block covers `p`.
+    ///
+    /// Linear in the number of segments; intended for inspection and
+    /// rendering, not inner loops.
+    pub fn processor_timeline(&self, p: Procs) -> ProcessorTimeline {
+        let mut runs: Vec<(JobId, Ratio, Ratio)> = self
+            .segments
+            .iter()
+            .filter(|s| s.block.start <= p && p < s.block.end())
+            .map(|s| (s.job, s.start.clone(), s.end.clone()))
+            .collect();
+        runs.sort_by(|a, b| a.1.cmp(&b.1));
+        ProcessorTimeline { runs }
+    }
+
+    /// Check that no processor runs two jobs at once.
+    ///
+    /// Two segments conflict iff their blocks overlap **and** their time
+    /// intervals overlap (right-open). `O(k²)` over segments — the trace
+    /// has one segment per (job, block), so this is fine for test-scale
+    /// instances and still usable for `n` in the tens of thousands.
+    pub fn check_disjoint(&self) -> Result<(), (usize, usize)> {
+        for i in 0..self.segments.len() {
+            for j in (i + 1)..self.segments.len() {
+                let a = &self.segments[i];
+                let b = &self.segments[j];
+                let blocks_overlap =
+                    a.block.start < b.block.end() && b.block.start < a.block.end();
+                if !blocks_overlap {
+                    continue;
+                }
+                let times_overlap = a.start < b.end && b.start < a.end;
+                if times_overlap {
+                    return Err((i, j));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ProcessorTimeline {
+    /// Verify the runs do not overlap in time.
+    pub fn is_consistent(&self) -> bool {
+        self.runs
+            .windows(2)
+            .all(|w| w[0].2 <= w[1].1 || w[0].1 >= w[1].2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(job: JobId, start: Procs, len: Procs, t0: u64, t1: u64) -> Segment {
+        Segment {
+            job,
+            block: Block { start, len },
+            start: Ratio::from(t0),
+            end: Ratio::from(t1),
+        }
+    }
+
+    #[test]
+    fn area_and_makespan() {
+        let mut tr = Trace::new(4);
+        tr.segments.push(seg(0, 0, 2, 0, 3));
+        tr.segments.push(seg(1, 2, 1, 1, 5));
+        assert_eq!(tr.makespan(), Ratio::from(5u64));
+        assert_eq!(tr.busy_area(), Ratio::from(2 * 3 + 4u64));
+    }
+
+    #[test]
+    fn demand_profile_steps() {
+        let mut tr = Trace::new(4);
+        tr.segments.push(seg(0, 0, 2, 0, 4));
+        tr.segments.push(seg(1, 2, 2, 2, 6));
+        let profile = tr.demand_profile();
+        assert_eq!(
+            profile,
+            vec![
+                (Ratio::from(0u64), 2),
+                (Ratio::from(2u64), 4),
+                (Ratio::from(4u64), 2),
+                (Ratio::from(6u64), 0),
+            ]
+        );
+        assert_eq!(tr.peak_demand(), 4);
+    }
+
+    #[test]
+    fn disjointness_detects_conflict() {
+        let mut tr = Trace::new(4);
+        tr.segments.push(seg(0, 0, 2, 0, 4));
+        tr.segments.push(seg(1, 1, 2, 3, 5)); // overlaps block [1,2) and time [3,4)
+        assert_eq!(tr.check_disjoint(), Err((0, 1)));
+    }
+
+    #[test]
+    fn disjointness_allows_touching_intervals() {
+        let mut tr = Trace::new(2);
+        tr.segments.push(seg(0, 0, 2, 0, 4));
+        tr.segments.push(seg(1, 0, 2, 4, 6)); // back-to-back on same block
+        assert!(tr.check_disjoint().is_ok());
+    }
+
+    #[test]
+    fn processor_timeline_extraction() {
+        let mut tr = Trace::new(4);
+        tr.segments.push(seg(0, 0, 2, 0, 2));
+        tr.segments.push(seg(1, 1, 3, 2, 3));
+        let tl = tr.processor_timeline(1);
+        assert_eq!(tl.runs.len(), 2);
+        assert!(tl.is_consistent());
+        let tl3 = tr.processor_timeline(3);
+        assert_eq!(tl3.runs.len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! ASCII Gantt charts of schedules (Fig. 1 and general debugging).
+//!
+//! Machines are reconstructed from the demand profile by the same greedy
+//! argument that makes demand-feasibility sufficient: sweep assignments by
+//! start time, give each job the lowest-indexed free machines. Only suitable
+//! for small `m` (the chart has one row per machine).
+
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_sched::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Render `schedule` as an ASCII Gantt chart with `width` columns.
+/// Job ids are drawn as `0-9a-zA-Z` (wrapping); idle time as `·`.
+pub fn render_gantt(inst: &Instance, schedule: &Schedule, width: usize) -> String {
+    assert!(inst.m() <= 128, "Gantt rendering draws one row per machine");
+    let m = inst.m() as usize;
+    let makespan = schedule.makespan(inst);
+    if makespan.is_zero() {
+        return String::from("(empty schedule)\n");
+    }
+    // Assign machines greedily by start time.
+    let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
+    order.sort_by(|&x, &y| {
+        schedule.assignments[x]
+            .start
+            .cmp(&schedule.assignments[y].start)
+    });
+    // free_at[machine] = time the machine becomes free.
+    let mut free_at: Vec<Ratio> = vec![Ratio::zero(); m];
+    // rows[machine] = (job, start, end)
+    let mut rows: Vec<Vec<(u32, Ratio, Ratio)>> = vec![Vec::new(); m];
+    for idx in order {
+        let a = &schedule.assignments[idx];
+        let dur = Ratio::from(inst.job(a.job).time(a.procs));
+        let end = a.start.add(&dur);
+        let mut granted = 0u64;
+        for mach in 0..m {
+            if granted == a.procs {
+                break;
+            }
+            if free_at[mach] <= a.start {
+                free_at[mach] = end;
+                rows[mach].push((a.job, a.start, end));
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, a.procs, "schedule is overcommitted");
+    }
+    // Draw.
+    let mut out = String::new();
+    let scale = |t: &Ratio| -> usize {
+        let col = t.mul_int(width as u128).div(&makespan).floor() as usize;
+        col.min(width)
+    };
+    for (mach, row) in rows.iter().enumerate() {
+        let mut line = vec!['·'; width];
+        for &(job, ref s, ref e) in row {
+            let (c0, c1) = (scale(s), scale(e).max(scale(s) + 1));
+            let glyph = job_glyph(job);
+            for cell in line.iter_mut().take(c1.min(width)).skip(c0) {
+                *cell = glyph;
+            }
+        }
+        let _ = writeln!(out, "m{mach:>3} |{}|", line.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "     0{}{}  (makespan = {makespan})",
+        " ".repeat(width.saturating_sub(1)),
+        ""
+    );
+    out
+}
+
+fn job_glyph(job: u32) -> char {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    GLYPHS[(job as usize) % GLYPHS.len()] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::speedup::SpeedupCurve;
+
+    #[test]
+    fn renders_without_panicking_and_shows_all_jobs() {
+        let inst = Instance::new(
+            vec![SpeedupCurve::Constant(4), SpeedupCurve::Constant(4)],
+            2,
+        );
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::zero(), 1);
+        let txt = render_gantt(&inst, &s, 40);
+        assert!(txt.contains('0'));
+        assert!(txt.contains('1'));
+        assert!(txt.contains("makespan = 4"));
+        assert_eq!(txt.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let inst = Instance::new(vec![], 2);
+        let s = Schedule::new();
+        assert!(render_gantt(&inst, &s, 10).contains("empty"));
+    }
+
+    #[test]
+    fn wide_job_occupies_multiple_rows() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(3)], 3);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 3);
+        let txt = render_gantt(&inst, &s, 20);
+        let rows_with_job = txt.lines().filter(|l| l.contains('0')).count();
+        assert_eq!(rows_with_job, 4); // 3 machine rows + the axis line's "0"
+    }
+}

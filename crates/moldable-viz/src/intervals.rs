@@ -1,0 +1,53 @@
+//! Fig. 4: the adaptive-normalization interval structure.
+//!
+//! Draws the capacities `α_i` and the subinterval boundaries of
+//! [`moldable_knapsack::normalized::IntervalStructure`] on a number line.
+
+use moldable_knapsack::normalized::IntervalStructure;
+use std::fmt::Write as _;
+
+/// Render the boundary structure: capacities as `α`, plain boundaries as
+/// `|`, over `cols` columns spanning `[0, max capacity]`.
+pub fn render_intervals(structure: &IntervalStructure, cols: usize) -> String {
+    let caps = structure.capacities();
+    let max = *caps.last().expect("non-empty capacity set") as f64;
+    let mut line = vec![' '; cols + 1];
+    for b in structure.boundaries() {
+        let x = ((b.to_f64() / max) * cols as f64).round() as usize;
+        if x <= cols {
+            line[x] = '|';
+        }
+    }
+    for &c in caps {
+        let x = ((c as f64 / max) * cols as f64).round() as usize;
+        if x <= cols {
+            line[x] = 'A';
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "0{}{}", " ".repeat(cols.saturating_sub(1)), max);
+    let _ = writeln!(out, "{}", line.iter().collect::<String>());
+    let _ = writeln!(
+        out,
+        "({} boundaries over {} capacities; 'A' = capacity α_i, '|' = subinterval boundary)",
+        structure.boundaries().len(),
+        caps.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::ratio::Ratio;
+
+    #[test]
+    fn renders_structure() {
+        let rho = Ratio::new(1, 5);
+        let s = IntervalStructure::build(&[10, 13, 17, 22], 8, &rho, 4);
+        let txt = render_intervals(&s, 64);
+        assert!(txt.contains('A'));
+        assert!(txt.contains('|'));
+        assert!(txt.contains("capacities"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # moldable-viz
+//!
+//! ASCII rendering of the paper's figures:
+//!
+//! * Fig. 1 — structure of the 4-Partition reduction schedule (every
+//!   machine loaded to exactly `nB` with four one-processor jobs):
+//!   [`gantt::render_gantt`];
+//! * Fig. 2 — an infeasible two-shelf schedule (S2 overflowing `m`):
+//!   [`shelf::render_two_shelf`];
+//! * Fig. 3 — the three-shelf schedule after the transformation rules:
+//!   [`shelf::render_three_shelf`];
+//! * Fig. 4 — the adaptive-normalization interval structure:
+//!   [`intervals::render_intervals`].
+//!
+//! Plus publication-style SVG output ([`svg`]) for schedules and
+//! simulator traces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gantt;
+pub mod intervals;
+pub mod shelf;
+pub mod svg;
+
+pub use gantt::render_gantt;
+pub use intervals::render_intervals;
+pub use shelf::{render_three_shelf, render_two_shelf};
+pub use svg::{schedule_svg, trace_svg, SvgRow};

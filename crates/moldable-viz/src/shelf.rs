@@ -1,0 +1,123 @@
+//! Shelf-schedule renderings (Figs. 2 and 3).
+//!
+//! Fig. 2 shows the *infeasible* two-shelf schedule produced by the
+//! knapsack phase: shelf S1 (height `d`) fits within `m` processors while
+//! shelf S2 (height `d/2`) may overflow. Fig. 3 shows the three-shelf
+//! schedule after the transformation rules, with S0 running alongside for
+//! the whole horizon.
+
+use moldable_sched::transform::{ShelfJob, ThreeShelf};
+use std::fmt::Write as _;
+
+/// Horizontal bar for a shelf: one `(label, procs)` block per job.
+fn bar(jobs: &[(String, u64)], total: u128, cols: usize) -> String {
+    let mut line = String::new();
+    let mut used_cols = 0usize;
+    for (label, procs) in jobs {
+        let w = ((*procs as u128 * cols as u128) / total.max(1)) as usize;
+        let w = w.max(label.len() + 2).max(3);
+        let inner = format!("{label:^width$}", width = w - 2);
+        line.push('[');
+        line.push_str(&inner);
+        line.push(']');
+        used_cols += w;
+    }
+    let _ = used_cols;
+    line
+}
+
+/// Render the two-shelf schedule of Fig. 2: `s1`/`s2` with processor
+/// counts, marking the overflow beyond `m`.
+pub fn render_two_shelf(s1: &[ShelfJob], s2: &[ShelfJob], m: u64) -> String {
+    let p1: u128 = s1.iter().map(|j| j.procs as u128).sum();
+    let p2: u128 = s2.iter().map(|j| j.procs as u128).sum();
+    let total = p1.max(p2).max(m as u128);
+    let mut out = String::new();
+    let _ = writeln!(out, "two-shelf schedule (m = {m})");
+    let fmt_jobs = |jobs: &[ShelfJob]| -> Vec<(String, u64)> {
+        jobs.iter()
+            .map(|j| (format!("j{}×{}", j.id, j.procs), j.procs))
+            .collect()
+    };
+    let _ = writeln!(
+        out,
+        "S1 (height d  , {p1:>6} procs): {}",
+        bar(&fmt_jobs(s1), total, 72)
+    );
+    let _ = writeln!(
+        out,
+        "S2 (height d/2, {p2:>6} procs): {}{}",
+        bar(&fmt_jobs(s2), total, 72),
+        if p2 > m as u128 {
+            format!("  ← overflows m by {}", p2 - m as u128)
+        } else {
+            String::new()
+        }
+    );
+    out
+}
+
+/// Render the three-shelf schedule of Fig. 3.
+pub fn render_three_shelf(three: &ThreeShelf, m: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "three-shelf schedule (m = {m}, horizon = {}) — p0 = {}, p1 = {}, p2 = {}",
+        three.horizon,
+        three.p0(),
+        three.p1(),
+        three.p2()
+    );
+    let total = m as u128;
+    let s0_jobs: Vec<(String, u64)> = three
+        .s0
+        .iter()
+        .map(|c| {
+            let ids: Vec<String> = c.jobs.iter().map(|j| format!("j{}", j.id)).collect();
+            (format!("{}×{}", ids.join("+"), c.width), c.width)
+        })
+        .collect();
+    let fmt_jobs = |jobs: &[ShelfJob]| -> Vec<(String, u64)> {
+        jobs.iter()
+            .map(|j| (format!("j{}×{}", j.id, j.procs), j.procs))
+            .collect()
+    };
+    let _ = writeln!(out, "S0 (full horizon): {}", bar(&s0_jobs, total, 72));
+    let _ = writeln!(
+        out,
+        "S1 (starts 0)    : {}",
+        bar(&fmt_jobs(&three.s1), total, 72)
+    );
+    let _ = writeln!(
+        out,
+        "S2 (ends horizon): {}",
+        bar(&fmt_jobs(&three.s2), total, 72)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sj(id: u32, procs: u64, time: u64) -> ShelfJob {
+        ShelfJob { id, procs, time }
+    }
+
+    #[test]
+    fn two_shelf_marks_overflow() {
+        let s1 = vec![sj(0, 2, 9)];
+        let s2 = vec![sj(1, 2, 4), sj(2, 2, 4)];
+        let txt = render_two_shelf(&s1, &s2, 3);
+        assert!(txt.contains("overflows m by 1"), "{txt}");
+        assert!(txt.contains("j0×2"));
+    }
+
+    #[test]
+    fn two_shelf_no_overflow_marker_when_feasible() {
+        let s1 = vec![sj(0, 1, 9)];
+        let s2 = vec![sj(1, 1, 4)];
+        let txt = render_two_shelf(&s1, &s2, 3);
+        assert!(!txt.contains("overflows"));
+    }
+}

@@ -1,0 +1,276 @@
+//! SVG rendering of schedules and traces — publication-style figures.
+//!
+//! The ASCII renderers ([`crate::gantt`], [`crate::shelf`]) are for
+//! terminals; this module emits standalone SVG documents for reports.
+//! Plain string assembly, no dependencies. Two entry points:
+//!
+//! * [`schedule_svg`] — draw a planned [`Schedule`] (one rectangle per
+//!   job spanning its processor block, reconstructed greedily as in the
+//!   Gantt renderer);
+//! * [`trace_svg`] — draw a `moldable-sim` style segment list where
+//!   concrete blocks are already known (callers pass rows of
+//!   `(job, proc_lo, proc_len, start, end)` so this crate does not need a
+//!   dependency on the simulator).
+//!
+//! Colors cycle through a fixed qualitative palette keyed by job id, so
+//! the same job has the same color across figures of one document.
+
+use moldable_core::instance::Instance;
+use moldable_core::ratio::Ratio;
+use moldable_sched::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Qualitative 12-color palette (ColorBrewer Set3-like, hand-tuned for
+/// white backgrounds).
+const PALETTE: [&str; 12] = [
+    "#8dd3c7", "#ffed6f", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+    "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffffb3",
+];
+
+/// Color for a job id.
+fn color(job: u32) -> &'static str {
+    PALETTE[(job as usize) % PALETTE.len()]
+}
+
+/// One rectangle of a rendered execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SvgRow {
+    /// Job id (controls color and label).
+    pub job: u32,
+    /// First processor of the block.
+    pub proc_lo: u64,
+    /// Block height in processors.
+    pub proc_len: u64,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Render raw rows into a standalone SVG document.
+///
+/// `m` is the cluster height; the viewport is `width × height` pixels
+/// plus fixed margins for the axes. Returns a complete `<svg>` document.
+pub fn trace_svg(rows: &[SvgRow], m: u64, width: u32, height: u32) -> String {
+    let t_max = rows.iter().map(|r| r.end).fold(0.0f64, f64::max).max(1e-9);
+    let (ml, mt, mr, mb) = (46.0, 10.0, 10.0, 28.0);
+    let w = width as f64;
+    let h = height as f64;
+    let plot_w = w - ml - mr;
+    let plot_h = h - mt - mb;
+    let x = |t: f64| ml + t / t_max * plot_w;
+    let y = |p: f64| mt + p / m as f64 * plot_h;
+
+    let mut out = String::with_capacity(1024 + rows.len() * 160);
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="Helvetica,Arial,sans-serif" font-size="10">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>"##
+    );
+    // Plot frame.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333" stroke-width="1"/>"##,
+        ml, mt
+    );
+    // Job rectangles.
+    for r in rows {
+        debug_assert!(r.end >= r.start);
+        let rx = x(r.start);
+        let rw = (x(r.end) - rx).max(0.5);
+        let ry = y(r.proc_lo as f64);
+        let rh = (y((r.proc_lo + r.proc_len) as f64) - ry).max(0.5);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{rx:.2}" y="{ry:.2}" width="{rw:.2}" height="{rh:.2}" fill="{}" stroke="#333" stroke-width="0.5"/>"##,
+            color(r.job)
+        );
+        // Label when the box is big enough.
+        if rw >= 18.0 && rh >= 10.0 {
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.2}" y="{:.2}" text-anchor="middle" dominant-baseline="middle" fill="#333">{}</text>"##,
+                rx + rw / 2.0,
+                ry + rh / 2.0,
+                r.job
+            );
+        }
+    }
+    // Axes labels: time ticks (0, t/2, t) and machine extents.
+    for (frac, label) in [(0.0, 0.0), (0.5, t_max / 2.0), (1.0, t_max)] {
+        let tx = ml + frac * plot_w;
+        let _ = writeln!(
+            out,
+            r##"<line x1="{tx:.1}" y1="{:.1}" x2="{tx:.1}" y2="{:.1}" stroke="#333"/>"##,
+            mt + plot_h,
+            mt + plot_h + 4.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{tx:.1}" y="{:.1}" text-anchor="middle">{label:.0}</text>"##,
+            mt + plot_h + 16.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        r##"<text x="{:.1}" y="{:.1}" text-anchor="end">m={m}</text>"##,
+        ml - 4.0,
+        mt + 10.0
+    );
+    let _ = writeln!(
+        out,
+        r##"<text x="{:.1}" y="{:.1}" text-anchor="end">0</text>"##,
+        ml - 4.0,
+        mt + plot_h
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render a planned schedule as SVG, reconstructing processor blocks by
+/// the greedy lowest-free-machine sweep (the same construction that makes
+/// demand feasibility sufficient).
+///
+/// Fails with `None` if the schedule is demand-infeasible (a job found
+/// fewer free processors than it needs — run the validator first for a
+/// proper diagnostic).
+pub fn schedule_svg(
+    inst: &Instance,
+    schedule: &Schedule,
+    width: u32,
+    height: u32,
+) -> Option<String> {
+    let m = inst.m();
+    // Sweep assignments by start time, allocating maximal runs of free
+    // machines. Free intervals tracked as (machine, free_from).
+    let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
+    order.sort_by(|&a, &b| {
+        schedule.assignments[a]
+            .start
+            .cmp(&schedule.assignments[b].start)
+    });
+    let mut free_at: Vec<Ratio> = Vec::new(); // only materialize used machines
+    let mut rows: Vec<SvgRow> = Vec::new();
+    for idx in order {
+        let a = &schedule.assignments[idx];
+        let dur = Ratio::from(inst.job(a.job).time(a.procs));
+        let end = a.start.add(&dur);
+        let mut granted: u64 = 0;
+        let mut run_start: Option<u64> = None;
+        let mut mach: u64 = 0;
+        while granted < a.procs {
+            let free = if (mach as usize) < free_at.len() {
+                free_at[mach as usize] <= a.start
+            } else {
+                if mach >= m {
+                    return None; // demand-infeasible
+                }
+                free_at.push(Ratio::zero());
+                true
+            };
+            if free {
+                free_at[mach as usize] = end.clone();
+                granted += 1;
+                if run_start.is_none() {
+                    run_start = Some(mach);
+                }
+            } else if let Some(lo) = run_start.take() {
+                rows.push(SvgRow {
+                    job: a.job,
+                    proc_lo: lo,
+                    proc_len: mach - lo,
+                    start: a.start.to_f64(),
+                    end: end.to_f64(),
+                });
+            }
+            mach += 1;
+            if mach > m && granted < a.procs {
+                return None;
+            }
+        }
+        if let Some(lo) = run_start {
+            rows.push(SvgRow {
+                job: a.job,
+                proc_lo: lo,
+                proc_len: mach - lo,
+                start: a.start.to_f64(),
+                end: end.to_f64(),
+            });
+        }
+    }
+    Some(trace_svg(&rows, m, width, height))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::speedup::SpeedupCurve;
+
+    fn inst() -> Instance {
+        Instance::new(
+            vec![
+                SpeedupCurve::Constant(4),
+                SpeedupCurve::Constant(6),
+                SpeedupCurve::Constant(2),
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let inst = inst();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2);
+        s.push(1, Ratio::zero(), 1);
+        s.push(2, Ratio::from(4u64), 2);
+        let svg = schedule_svg(&inst, &s, 400, 200).expect("feasible schedule renders");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per job block + background + frame.
+        assert!(svg.matches("<rect").count() >= 5);
+        // Balanced tags.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn infeasible_schedule_returns_none() {
+        let inst = inst();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 3);
+        s.push(1, Ratio::zero(), 1); // no machine free
+        assert!(schedule_svg(&inst, &s, 400, 200).is_none());
+    }
+
+    #[test]
+    fn trace_svg_scales_axes() {
+        let rows = vec![SvgRow {
+            job: 7,
+            proc_lo: 0,
+            proc_len: 4,
+            start: 0.0,
+            end: 10.0,
+        }];
+        let svg = trace_svg(&rows, 8, 300, 150);
+        assert!(svg.contains("m=8"));
+        assert!(svg.contains(">10<") || svg.contains(">10</text>"));
+    }
+
+    #[test]
+    fn colors_cycle_deterministically() {
+        assert_eq!(color(0), color(12));
+        assert_ne!(color(0), color(1));
+    }
+
+    #[test]
+    fn empty_schedule_renders_frame_only() {
+        let inst = Instance::new(vec![], 4);
+        let s = Schedule::new();
+        let svg = schedule_svg(&inst, &s, 200, 100).unwrap();
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Speedup-curve families with exact monotonicity.
+//!
+//! Two construction techniques:
+//!
+//! * **Closed form** — [`SpeedupCurve::ideal_with_overhead`]
+//!   (`t(p) = ⌈t1/p⌉ + (p−1)c`): `O(1)` oracle, supports strong speedups
+//!   (`≈ √(t1/c)`); we derive `c` from a sampled target speedup, giving
+//!   power-law-like shapes. This is the compact encoding the paper's
+//!   `log m`-style running times are about.
+//! * **Staircase projection** — ideal curves (Amdahl, logarithmic
+//!   communication overhead) sampled at dense-then-geometric breakpoints and
+//!   clamped into the feasible interval
+//!   `[⌈(p−1)·t_prev/p⌉, t_prev]` (cf. `Staircase::min_feasible_time`).
+//!   A staircase can only shed a factor `p/(p−1)` per breakpoint, so this
+//!   suits *saturating* curves (Amdahl's speedup caps at `1/f`), with dense
+//!   early breakpoints providing the real drop.
+
+use moldable_core::instance::Instance;
+use moldable_core::speedup::{monotone_closure, SpeedupCurve, Staircase};
+use moldable_core::types::{Procs, Time};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Parameters for power-law-like scaling jobs.
+#[derive(Clone, Debug)]
+pub struct PowerLawParams {
+    /// Minimum sequential time `t_j(1)` (inclusive).
+    pub t1_min: Time,
+    /// Maximum sequential time (inclusive).
+    pub t1_max: Time,
+    /// Minimum parallelism exponent α (scaled by 1000; target speedup on
+    /// `m` processors is `≈ m^α`, capped by `√t1`).
+    pub alpha_milli_min: u32,
+    /// Maximum parallelism exponent α (scaled by 1000).
+    pub alpha_milli_max: u32,
+}
+
+impl Default for PowerLawParams {
+    fn default() -> Self {
+        PowerLawParams {
+            t1_min: 1 << 16,
+            t1_max: 1 << 24,
+            alpha_milli_min: 300,
+            alpha_milli_max: 950,
+        }
+    }
+}
+
+/// Breakpoints `1, 2, …, K` then geometric (×2) up to `m`.
+fn dense_then_geometric(m: Procs, dense_to: Procs) -> Vec<Procs> {
+    let k = dense_to.min(m);
+    let mut out: Vec<Procs> = (1..=k).collect();
+    let mut p = k.saturating_mul(2);
+    while p < m {
+        out.push(p);
+        p = p.saturating_mul(2);
+    }
+    if m > k {
+        out.push(m);
+    }
+    out
+}
+
+/// Project sampled ideal times onto a feasible staircase.
+fn project(samples: Vec<(Procs, Time)>) -> Staircase {
+    let mut steps: Vec<(Procs, Time)> = Vec::with_capacity(samples.len());
+    for (p, ideal) in samples {
+        if steps.is_empty() {
+            steps.push((p, ideal.max(1)));
+            continue;
+        }
+        let (_, t_prev) = *steps.last().unwrap();
+        let lo = Staircase::min_feasible_time(p, t_prev);
+        if lo >= t_prev {
+            continue; // no strict drop possible at this breakpoint
+        }
+        let t = ideal.clamp(lo, t_prev - 1).max(1);
+        steps.push((p, t));
+    }
+    Staircase::new(steps).expect("projection yields a valid staircase")
+}
+
+/// A power-law-like scaling job: target speedup `m^α`, realized by the
+/// linear-overhead closed form with `c = max(1, t1/S²)`.
+pub fn power_law_staircase(
+    rng: &mut impl Rng,
+    m: Procs,
+    params: &PowerLawParams,
+) -> SpeedupCurve {
+    let t1 = rng.gen_range(params.t1_min..=params.t1_max);
+    let alpha =
+        rng.gen_range(params.alpha_milli_min..=params.alpha_milli_max) as f64 / 1000.0;
+    let target_speedup = (m as f64).powf(alpha).min((t1 as f64).sqrt()).max(1.0);
+    let c = ((t1 as f64 / (target_speedup * target_speedup)).floor() as Time).max(1);
+    SpeedupCurve::ideal_with_overhead(t1, c, m)
+}
+
+/// An Amdahl job: ideal `t(p) = t1·(f + (1−f)/p)` with serial fraction `f`,
+/// projected onto a staircase with dense breakpoints up to `≈ 4/f` (beyond
+/// which Amdahl saturates anyway).
+pub fn amdahl_staircase(rng: &mut impl Rng, m: Procs, t1: Time) -> SpeedupCurve {
+    let f = rng.gen_range(0.01..0.5);
+    let dense_to = ((4.0 / f) as Procs).clamp(8, 1024);
+    let samples = dense_then_geometric(m, dense_to)
+        .into_iter()
+        .map(|p| {
+            let ideal = (t1 as f64 * (f + (1.0 - f) / p as f64)).round().max(1.0) as Time;
+            (p, ideal)
+        })
+        .collect();
+    SpeedupCurve::Staircase(Arc::new(project(samples)))
+}
+
+/// A communication-overhead job: ideal `t(p) = t1/p + c·log2(p)` — speedup
+/// flattens once the logarithmic coordination term dominates.
+pub fn comm_overhead_staircase(
+    rng: &mut impl Rng,
+    m: Procs,
+    t1: Time,
+) -> SpeedupCurve {
+    let c = rng.gen_range(1..=(t1 / 64).max(2));
+    let samples = dense_then_geometric(m, 512)
+        .into_iter()
+        .map(|p| {
+            let ideal = (t1 as f64 / p as f64 + c as f64 * (p as f64).log2())
+                .round()
+                .max(1.0) as Time;
+            (p, ideal)
+        })
+        .collect();
+    SpeedupCurve::Staircase(Arc::new(project(samples)))
+}
+
+/// An instance of `n` random monotone *table* jobs (explicit encoding; only
+/// for small `m`).
+pub fn random_table_instance(rng: &mut impl Rng, n: usize, m: Procs, t_max: Time) -> Instance {
+    assert!(m <= 1 << 16, "table encoding is O(m) — use staircases");
+    let curves = (0..n)
+        .map(|_| {
+            let mut tbl: Vec<Time> = (0..m as usize)
+                .map(|_| rng.gen_range(1..=t_max))
+                .collect();
+            monotone_closure(&mut tbl);
+            SpeedupCurve::Table(Arc::new(tbl))
+        })
+        .collect();
+    Instance::new(curves, m)
+}
+
+/// A mixed instance: scaling, Amdahl, overhead, and sequential jobs in
+/// roughly equal shares — the general-purpose benchmark workload.
+pub fn random_mixed_instance(rng: &mut impl Rng, n: usize, m: Procs) -> Instance {
+    let params = PowerLawParams::default();
+    let curves = (0..n)
+        .map(|_| {
+            let kind = rng.gen_range(0..4);
+            let t1 = rng.gen_range(params.t1_min..=params.t1_max);
+            match kind {
+                0 => power_law_staircase(rng, m, &params),
+                1 => amdahl_staircase(rng, m, t1),
+                2 => comm_overhead_staircase(rng, m, t1),
+                _ => SpeedupCurve::Constant(rng.gen_range(1..=params.t1_max / 8)),
+            }
+        })
+        .collect();
+    Instance::new(curves, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::monotone::{spot_check_monotone, verify_monotone};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_families_are_exactly_monotone() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let m: Procs = 1 << 12;
+        for _ in 0..30 {
+            let inst = random_mixed_instance(&mut rng, 8, m);
+            for j in inst.jobs() {
+                verify_monotone(j, m).unwrap_or_else(|e| {
+                    panic!("family produced non-monotone job: {e:?}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn staircases_scale_to_astronomical_m() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m: Procs = 1 << 40;
+        let params = PowerLawParams::default();
+        for _ in 0..10 {
+            let c = power_law_staircase(&mut rng, m, &params);
+            let j = moldable_core::job::Job::new(0, c);
+            spot_check_monotone(&j, m, 128).unwrap();
+            assert!(j.time(m) <= j.time(1));
+        }
+    }
+
+    #[test]
+    fn power_law_shape_roughly_follows_alpha() {
+        // With α near 1 the speedup at large p must be substantial.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let params = PowerLawParams {
+            t1_min: 1 << 20,
+            t1_max: 1 << 20,
+            alpha_milli_min: 900,
+            alpha_milli_max: 950,
+        };
+        let c = power_law_staircase(&mut rng, 1 << 10, &params);
+        let speedup = c.time(1) as f64 / c.time(1 << 10) as f64;
+        assert!(speedup > 100.0, "speedup only {speedup}");
+    }
+
+    #[test]
+    fn amdahl_saturates_near_serial_fraction() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let t1 = 1u64 << 20;
+            let c = amdahl_staircase(&mut rng, 1 << 20, t1);
+            // Speedup never exceeds 1/f_min = 100.
+            let speedup = c.time(1) as f64 / c.time(1 << 20) as f64;
+            assert!(speedup <= 110.0, "speedup {speedup} exceeds Amdahl cap");
+            assert!(speedup >= 1.5, "no parallelism at all");
+        }
+    }
+
+    #[test]
+    fn table_instances_valid() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let inst = random_table_instance(&mut rng, 10, 16, 100);
+        assert_eq!(inst.n(), 10);
+        for j in inst.jobs() {
+            verify_monotone(j, 16).unwrap();
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic HPC job mixes and adversarial instances.
+//!
+//! Two generators beyond the curve families of [`crate::families`]:
+//!
+//! * [`hpc_mix_instance`] — a job mix with the qualitative statistics of
+//!   production HPC traces (the motivation workload of the paper's
+//!   introduction): heavy-tailed sequential times (log-uniform over
+//!   several decades) and a bimodal parallelizability split between
+//!   "capability" jobs (scale to large fractions of the machine) and
+//!   "capacity" jobs (small saturation points), plus a fringe of strictly
+//!   sequential pre/post-processing jobs.
+//! * [`adversarial_instance`] — jobs engineered to sit right at the
+//!   algorithmic thresholds (`t_j ≈ d/2`, `≈ 3d/4`, `γ_j(d) ≈ b`): these
+//!   exercise the classification boundaries of the transformation rules
+//!   (Section 4.1.1) and the wide/narrow split (Section 4.2), where
+//!   off-by-one bugs would hide.
+
+use moldable_core::instance::Instance;
+use moldable_core::speedup::SpeedupCurve;
+use moldable_core::types::{Procs, Time};
+use rand::Rng;
+
+/// Parameters of the HPC mix.
+#[derive(Clone, Debug)]
+pub struct HpcMixParams {
+    /// Smallest sequential time (log-uniform lower edge).
+    pub t1_lo: Time,
+    /// Largest sequential time (log-uniform upper edge).
+    pub t1_hi: Time,
+    /// Fraction of capability jobs, in percent (0..=100).
+    pub capability_pct: u32,
+    /// Fraction of sequential jobs, in percent (0..=100).
+    pub sequential_pct: u32,
+}
+
+impl Default for HpcMixParams {
+    fn default() -> Self {
+        HpcMixParams {
+            t1_lo: 1 << 10,
+            t1_hi: 1 << 26,
+            capability_pct: 30,
+            sequential_pct: 10,
+        }
+    }
+}
+
+/// Log-uniform sample in `[lo, hi]` (both ≥ 1).
+fn log_uniform(rng: &mut impl Rng, lo: Time, hi: Time) -> Time {
+    debug_assert!(1 <= lo && lo <= hi);
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let x = rng.gen_range(llo..=lhi);
+    (x.exp() as Time).clamp(lo, hi)
+}
+
+/// A synthetic HPC job mix: heavy-tailed times, bimodal widths.
+pub fn hpc_mix_instance(
+    rng: &mut impl Rng,
+    n: usize,
+    m: Procs,
+    params: &HpcMixParams,
+) -> Instance {
+    assert!(params.capability_pct + params.sequential_pct <= 100);
+    let curves = (0..n)
+        .map(|_| {
+            let t1 = log_uniform(rng, params.t1_lo, params.t1_hi);
+            let roll = rng.gen_range(0..100u32);
+            if roll < params.sequential_pct {
+                // Pre/post-processing: no parallelism at all.
+                SpeedupCurve::Constant(t1)
+            } else if roll < params.sequential_pct + params.capability_pct {
+                // Capability job: low overhead, saturates near the full
+                // machine (cap is clamped by the constructor to the
+                // provably-monotone window).
+                SpeedupCurve::ideal_with_overhead(t1, 1, m)
+            } else {
+                // Capacity job: sizeable overhead, saturates early.
+                let cap = rng.gen_range(2..=64u64);
+                let c = (t1 / (cap * cap * 4)).max(2);
+                SpeedupCurve::ideal_with_overhead(t1, c, cap)
+            }
+        })
+        .collect();
+    Instance::new(curves, m)
+}
+
+/// Jobs straddling the `d/2` / `3d/4` / wide-narrow thresholds for a given
+/// target deadline `d` (integral). Produces `n ≥ 6` jobs cycling through
+/// six threshold archetypes.
+///
+/// The archetypes (times on one processor, all constants or staircases):
+///
+/// 1. `t(1) = d/2` — *exactly* small (boundary of `J_S(d)`);
+/// 2. `t(1) = d/2 + 1` — just big;
+/// 3. `t(1) = 3d/4` and `t(1) = 3d/4 + 1` — rule (i)/(ii) boundary;
+/// 4. `t(1) = d` — fills shelf S1 exactly;
+/// 5. a two-step staircase crossing `d/2` exactly at its breakpoint, so
+///    `γ_j(d) = 1` but `γ_j(d/2)` is the second step;
+/// 6. `t(1) = 3d/2` with a drop to `d/2` at width 3 — wide in both shelves.
+pub fn adversarial_instance(n: usize, m: Procs, d: Time) -> Instance {
+    assert!(d >= 8, "need d ≥ 8 for distinct thresholds");
+    assert!(m >= 8);
+    let half = d / 2;
+    let three_q = 3 * d / 4;
+    let curves = (0..n)
+        .map(|i| match i % 6 {
+            0 => SpeedupCurve::Constant(half),
+            1 => SpeedupCurve::Constant(half + 1),
+            2 => {
+                if i % 12 < 6 {
+                    SpeedupCurve::Constant(three_q)
+                } else {
+                    SpeedupCurve::Constant(three_q + 1)
+                }
+            }
+            3 => SpeedupCurve::Constant(d),
+            4 => {
+                // Steps: t(1) = d (big), t(2) = ⌈d/2⌉+? — choose the
+                // largest feasible second step ≤ d/2 when possible.
+                let lo = moldable_core::speedup::Staircase::min_feasible_time(2, d);
+                let t2 = half.max(lo).min(d - 1);
+                SpeedupCurve::Staircase(std::sync::Arc::new(
+                    moldable_core::speedup::Staircase::new(vec![(1, d), (2, t2)])
+                        .expect("feasible two-step staircase"),
+                ))
+            }
+            _ => {
+                let t1 = 3 * half; // 3d/2
+                let lo3 = moldable_core::speedup::Staircase::min_feasible_time(3, t1);
+                let t3 = half.max(lo3).min(t1 - 1);
+                SpeedupCurve::Staircase(std::sync::Arc::new(
+                    moldable_core::speedup::Staircase::new(vec![(1, t1), (3, t3)])
+                        .expect("feasible wide staircase"),
+                ))
+            }
+        })
+        .collect();
+    Instance::new(curves, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_core::monotone::verify_monotone;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hpc_mix_is_monotone() {
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let m = 1 << 12;
+        let inst = hpc_mix_instance(&mut rng, 40, m, &HpcMixParams::default());
+        assert_eq!(inst.n(), 40);
+        for j in inst.jobs() {
+            verify_monotone(j, m).unwrap();
+        }
+    }
+
+    #[test]
+    fn hpc_mix_has_heavy_tail() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let inst = hpc_mix_instance(&mut rng, 200, 1 << 10, &HpcMixParams::default());
+        let times: Vec<u64> = inst.jobs().iter().map(|j| j.seq_time()).collect();
+        let max = *times.iter().max().unwrap();
+        let min = *times.iter().min().unwrap();
+        // Log-uniform over 16 octaves: spread must be at least 2 decades.
+        assert!(max / min.max(1) > 100, "spread {max}/{min} too narrow");
+    }
+
+    #[test]
+    fn hpc_mix_respects_shares() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let params = HpcMixParams {
+            sequential_pct: 100,
+            capability_pct: 0,
+            ..HpcMixParams::default()
+        };
+        let inst = hpc_mix_instance(&mut rng, 20, 64, &params);
+        for j in inst.jobs() {
+            assert_eq!(j.time(1), j.time(64), "sequential job must not scale");
+        }
+    }
+
+    #[test]
+    fn adversarial_jobs_sit_on_thresholds() {
+        let d = 64;
+        let inst = adversarial_instance(12, 16, d);
+        assert_eq!(inst.n(), 12);
+        for j in inst.jobs() {
+            verify_monotone(j, 16).unwrap();
+        }
+        // Archetype 0: exactly small.
+        assert_eq!(inst.time(0, 1), d / 2);
+        // Archetype 1: just big.
+        assert_eq!(inst.time(1, 1), d / 2 + 1);
+        // Archetype 3: fills S1.
+        assert_eq!(inst.time(3, 1), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "d ≥ 8")]
+    fn adversarial_rejects_tiny_d() {
+        let _ = adversarial_instance(6, 8, 4);
+    }
+}

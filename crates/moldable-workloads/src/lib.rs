@@ -1,0 +1,26 @@
+//! # moldable-workloads
+//!
+//! Synthetic workload generators for the benchmark harness and tests.
+//!
+//! The paper evaluates on a cost model (oracle calls / RAM operations), not
+//! on a testbed, so workloads here serve two purposes: (a) exercising every
+//! algorithm across the regimes the paper distinguishes (`m ≷ 8n/ε`,
+//! `m ≷ 16n`, wide vs narrow jobs), and (b) realistic speedup shapes from
+//! the parallel-computing literature — power-law (Downey-style), Amdahl,
+//! and communication-overhead curves — projected *exactly* onto the
+//! monotone feasible region (see `moldable_core::speedup::Staircase` and
+//! DESIGN.md's substitution notes).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod families;
+pub mod hpc_mix;
+pub mod suite;
+
+pub use families::{
+    amdahl_staircase, comm_overhead_staircase, power_law_staircase, random_mixed_instance,
+    random_table_instance, PowerLawParams,
+};
+pub use hpc_mix::{adversarial_instance, hpc_mix_instance, HpcMixParams};
+pub use suite::{bench_instance, BenchFamily};

@@ -1,0 +1,104 @@
+//! Named benchmark workload families with reproducible seeds — the
+//! parameter grid behind Table 1 and the scaling figures (see DESIGN.md's
+//! experiment index).
+
+use crate::families::{
+    amdahl_staircase, comm_overhead_staircase, power_law_staircase, random_mixed_instance,
+    PowerLawParams,
+};
+use moldable_core::instance::Instance;
+use moldable_core::types::Procs;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The workload families used by the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchFamily {
+    /// Power-law speedups (Downey-style), the paper-default workload.
+    PowerLaw,
+    /// Amdahl curves with random serial fractions.
+    Amdahl,
+    /// Communication-overhead curves that stop scaling.
+    CommOverhead,
+    /// A 4-way mix incl. sequential jobs.
+    Mixed,
+}
+
+impl BenchFamily {
+    /// All families.
+    pub fn all() -> [BenchFamily; 4] {
+        [
+            BenchFamily::PowerLaw,
+            BenchFamily::Amdahl,
+            BenchFamily::CommOverhead,
+            BenchFamily::Mixed,
+        ]
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchFamily::PowerLaw => "power-law",
+            BenchFamily::Amdahl => "amdahl",
+            BenchFamily::CommOverhead => "comm-overhead",
+            BenchFamily::Mixed => "mixed",
+        }
+    }
+}
+
+/// Deterministic bench instance: family × (n, m, seed).
+pub fn bench_instance(family: BenchFamily, n: usize, m: Procs, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (n as u64) << 24 ^ m);
+    match family {
+        BenchFamily::PowerLaw => {
+            let params = PowerLawParams::default();
+            let curves = (0..n)
+                .map(|_| power_law_staircase(&mut rng, m, &params))
+                .collect();
+            Instance::new(curves, m)
+        }
+        BenchFamily::Amdahl => {
+            let curves = (0..n)
+                .map(|_| {
+                    let t1 = rng.gen_range(1u64 << 12..=1 << 20);
+                    amdahl_staircase(&mut rng, m, t1)
+                })
+                .collect();
+            Instance::new(curves, m)
+        }
+        BenchFamily::CommOverhead => {
+            let curves = (0..n)
+                .map(|_| {
+                    let t1 = rng.gen_range(1u64 << 12..=1 << 20);
+                    comm_overhead_staircase(&mut rng, m, t1)
+                })
+                .collect();
+            Instance::new(curves, m)
+        }
+        BenchFamily::Mixed => random_mixed_instance(&mut rng, n, m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = bench_instance(BenchFamily::PowerLaw, 16, 1 << 10, 99);
+        let b = bench_instance(BenchFamily::PowerLaw, 16, 1 << 10, 99);
+        for (x, y) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(x.time(1), y.time(1));
+            assert_eq!(x.time(512), y.time(512));
+        }
+    }
+
+    #[test]
+    fn families_produce_requested_sizes() {
+        for f in BenchFamily::all() {
+            let inst = bench_instance(f, 12, 256, 1);
+            assert_eq!(inst.n(), 12);
+            assert_eq!(inst.m(), 256);
+        }
+    }
+}

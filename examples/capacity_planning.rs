@@ -1,0 +1,69 @@
+//! Capacity planning: how many processors does a workload need?
+//!
+//! A cluster operator has a fixed nightly batch of moldable jobs and asks:
+//! what does the makespan curve look like as the machine grows? Because
+//! the (3/2+ε) planner runs in time *logarithmic* in m, sweeping m over
+//! six orders of magnitude is cheap — exactly the compact-encoding regime
+//! the paper targets (an algorithm polynomial in m could not do this
+//! sweep at all for m = 2^30).
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use moldable::core::bounds::parametric_lower_bound;
+use moldable::prelude::*;
+use moldable::workloads::{hpc_mix_instance, HpcMixParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n = 96;
+    let eps = Ratio::new(1, 8);
+
+    println!("nightly batch: n = {n} moldable jobs (HPC mix)");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12} {:>10}",
+        "m", "makespan", "lower bound", "ratio", "plan time"
+    );
+
+    let mut prev_makespan: Option<f64> = None;
+    for exp in [6u32, 8, 10, 12, 15, 18, 21, 24, 27, 30] {
+        let m: Procs = 1 << exp;
+        // Same seed at every m: the *workload* is fixed; only the cluster
+        // grows. Curves saturate per job, so larger m helps until the
+        // batch's total parallelism is exhausted.
+        let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+        let inst = hpc_mix_instance(&mut rng, n, m, &HpcMixParams::default());
+
+        let t0 = Instant::now();
+        let algo = ImprovedDual::new_linear(eps);
+        let res = approximate(&inst, &algo, &eps);
+        let elapsed = t0.elapsed();
+        validate(&res.schedule, &inst).unwrap();
+
+        let mk = res.schedule.makespan(&inst).to_f64();
+        let lb = parametric_lower_bound(&inst);
+        println!(
+            "{:>12} {:>14.1} {:>14} {:>12.3} {:>9.1?}",
+            format!("2^{exp}"),
+            mk,
+            lb,
+            mk / lb as f64,
+            elapsed
+        );
+
+        if let Some(prev) = prev_makespan {
+            assert!(
+                mk <= prev * 1.60,
+                "makespan must not grow materially with m (got {prev} → {mk})"
+            );
+        }
+        prev_makespan = Some(mk);
+    }
+
+    println!(
+        "\nReading the curve: the knee is where capability jobs saturate;\n\
+         beyond it, extra processors stop helping (Amdahl in aggregate).\n\
+         Planning time stays flat in m — the paper's log(m) dependence."
+    );
+}

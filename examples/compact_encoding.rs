@@ -1,0 +1,50 @@
+//! The point of the paper: scheduling with *compact encodings* where the
+//! machine count is astronomically large (here m = 2^40) and only
+//! `log m`-dependent algorithms are usable at all.
+//!
+//! The FPTAS of Theorem 2 (regime m ≥ 8n/ε) schedules hundreds of jobs on a
+//! trillion-processor machine in milliseconds; an O(m) table algorithm
+//! would need terabytes just to *store* one processing-time table.
+//!
+//! Run with: `cargo run --release --example compact_encoding`
+
+use moldable::core::bounds::{critical_path_bound, parametric_lower_bound};
+use moldable::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let m: Procs = 1 << 40;
+    let n = 256;
+    println!("m = 2^40 = {m} processors, n = {n} jobs (compact oracles)\n");
+
+    let inst = bench_instance(BenchFamily::PowerLaw, n, m, 7);
+    println!(
+        "critical path bound: {}, parametric lower bound: {}",
+        critical_path_bound(&inst),
+        parametric_lower_bound(&inst)
+    );
+
+    for (num, den) in [(1u128, 2u128), (1, 8), (1, 32)] {
+        let eps = Ratio::new(num, den);
+        let t0 = Instant::now();
+        let res = fptas_schedule(&inst, &eps);
+        let elapsed = t0.elapsed();
+        validate(&res.schedule, &inst).unwrap();
+        println!(
+            "FPTAS ε = {num}/{den}: makespan {} in {elapsed:?} ({} dual probes)",
+            res.schedule.makespan(&inst),
+            res.probes
+        );
+    }
+
+    // The PTAS dispatcher picks the right branch automatically.
+    let eps = Ratio::new(1, 4);
+    let t0 = Instant::now();
+    let res = ptas_schedule(&inst, &eps);
+    println!(
+        "\nPTAS dispatcher chose {:?}; makespan {} in {:?}",
+        res.branch,
+        res.schedule.makespan(&inst),
+        t0.elapsed()
+    );
+}

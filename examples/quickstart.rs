@@ -1,0 +1,78 @@
+//! Quickstart: build a moldable instance, run every scheduler in the
+//! library, and compare makespans against the lower bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use moldable::prelude::*;
+use moldable::sched::baselines;
+use moldable::viz::render_gantt;
+
+fn main() {
+    // A small mixed workload: two scalable jobs, one Amdahl-ish staircase,
+    // one stubbornly sequential job; m = 8 machines so we can draw it.
+    let m: Procs = 8;
+    let curves = vec![
+        SpeedupCurve::ideal_with_overhead(96, 1, m),
+        SpeedupCurve::ideal_with_overhead(64, 1, m),
+        SpeedupCurve::Staircase(
+            Staircase::new(vec![(1, 40), (2, 24), (4, 18), (8, 16)])
+                .unwrap()
+                .into(),
+        ),
+        SpeedupCurve::Constant(25),
+    ];
+    let inst = Instance::new(curves, m);
+
+    let lb = moldable::core::bounds::parametric_lower_bound(&inst);
+    println!("n = {}, m = {}, lower bound on OPT = {lb}\n", inst.n(), m);
+
+    let eps = Ratio::new(1, 10);
+    let algos: Vec<Box<dyn DualAlgorithm>> = vec![
+        Box::new(MrtDual),
+        Box::new(CompressibleDual::new(eps)),
+        Box::new(ImprovedDual::new(eps)),
+        Box::new(ImprovedDual::new_linear(eps)),
+    ];
+
+    println!("{:<28} {:>10} {:>12} {:>8}", "algorithm", "makespan", "vs lower bd", "probes");
+    let seq = baselines::sequential(&inst);
+    println!(
+        "{:<28} {:>10} {:>12.3} {:>8}",
+        "sequential",
+        format!("{}", seq.makespan(&inst)),
+        seq.makespan(&inst).to_f64() / lb as f64,
+        "-"
+    );
+    let two = baselines::two_approx(&inst);
+    validate(&two, &inst).unwrap();
+    println!(
+        "{:<28} {:>10} {:>12.3} {:>8}",
+        "2-approx (estimator+list)",
+        format!("{}", two.makespan(&inst)),
+        two.makespan(&inst).to_f64() / lb as f64,
+        "-"
+    );
+    let mut best: Option<(Schedule, String)> = None;
+    for algo in &algos {
+        let res = approximate(&inst, algo.as_ref(), &eps);
+        validate(&res.schedule, &inst).unwrap();
+        let mk = res.schedule.makespan(&inst);
+        println!(
+            "{:<28} {:>10} {:>12.3} {:>8}",
+            algo.name(),
+            format!("{mk}"),
+            mk.to_f64() / lb as f64,
+            res.probes
+        );
+        if best
+            .as_ref()
+            .is_none_or(|(s, _)| mk < s.makespan(&inst))
+        {
+            best = Some((res.schedule, algo.name().to_string()));
+        }
+    }
+
+    let (schedule, name) = best.unwrap();
+    println!("\nbest schedule ({name}):\n");
+    print!("{}", render_gantt(&inst, &schedule, 72));
+}

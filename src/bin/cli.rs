@@ -1,0 +1,264 @@
+//! `moldable` — command-line front end.
+//!
+//! ```text
+//! moldable schedule --input inst.json [--eps N/D] [--algo NAME] [--gantt]
+//! moldable estimate --input inst.json
+//! moldable generate --family NAME --n N --m M [--seed S]    (writes JSON)
+//! moldable validate --input inst.json --schedule sched.json
+//! moldable simulate --input inst.json --schedule sched.json
+//! moldable render   --input inst.json --schedule sched.json --out fig.svg
+//! ```
+//!
+//! Instance files use the compact-descriptor format of
+//! [`moldable::core::io`]; schedules are exported/imported as JSON rows
+//! `{job, start_num, start_den, procs}`.
+
+use moldable::core::io::InstanceSpec;
+use moldable::prelude::*;
+use moldable::sched::baselines;
+use moldable::viz::render_gantt;
+use serde_json::{json, Value};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "schedule" => cmd_schedule(&args[1..]),
+        "estimate" => cmd_estimate(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "render" => cmd_render(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  moldable schedule --input FILE [--eps N/D] [--algo mrt|alg1|alg3|linear|fptas|ptas|two-approx] [--gantt]
+  moldable estimate --input FILE
+  moldable generate --family power-law|amdahl|comm-overhead|mixed --n N --m M [--seed S]
+  moldable validate --input FILE --schedule FILE
+  moldable simulate --input FILE --schedule FILE
+  moldable render   --input FILE --schedule FILE --out FILE.svg [--width W] [--height H]";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_instance(args: &[String]) -> Result<Instance, String> {
+    let path = flag(args, "--input").ok_or("missing --input FILE")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let spec: InstanceSpec =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    spec.build().map_err(|e| e.to_string())
+}
+
+fn parse_eps(args: &[String]) -> Result<Ratio, String> {
+    let raw = flag(args, "--eps").unwrap_or_else(|| "1/4".into());
+    let (num, den) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("--eps must be N/D, got {raw}"))?;
+    let num: u128 = num.parse().map_err(|_| "bad ε numerator")?;
+    let den: u128 = den.parse().map_err(|_| "bad ε denominator")?;
+    if num == 0 || den == 0 || Ratio::new(num, den) > Ratio::one() {
+        return Err("need 0 < ε ≤ 1".into());
+    }
+    Ok(Ratio::new(num, den))
+}
+
+fn schedule_rows(inst: &Instance, s: &Schedule) -> Value {
+    Value::Array(
+        s.assignments
+            .iter()
+            .map(|a| {
+                json!({
+                    "job": a.job,
+                    "start_num": a.start.num().to_string(),
+                    "start_den": a.start.den().to_string(),
+                    "procs": a.procs,
+                    "duration": inst.job(a.job).time(a.procs),
+                })
+            })
+            .collect(),
+    )
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let eps = parse_eps(args)?;
+    let algo_name = flag(args, "--algo").unwrap_or_else(|| "linear".into());
+    let schedule = match algo_name.as_str() {
+        "two-approx" => baselines::two_approx(&inst),
+        "fptas" => fptas_schedule(&inst, &eps).schedule,
+        "ptas" => ptas_schedule(&inst, &eps).schedule,
+        name => {
+            let algo: Box<dyn DualAlgorithm> = match name {
+                "mrt" => Box::new(MrtDual),
+                "alg1" => Box::new(CompressibleDual::new(eps)),
+                "alg3" => Box::new(ImprovedDual::new(eps)),
+                "linear" => Box::new(ImprovedDual::new_linear(eps)),
+                other => return Err(format!("unknown --algo `{other}`")),
+            };
+            approximate(&inst, algo.as_ref(), &eps).schedule
+        }
+    };
+    validate(&schedule, &inst).map_err(|e| e.to_string())?;
+    let out = json!({
+        "algo": algo_name,
+        "makespan": schedule.makespan(&inst).to_f64(),
+        "total_work": schedule.total_work(&inst).to_string(),
+        "assignments": schedule_rows(&inst, &schedule),
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    if has_flag(args, "--gantt") && inst.m() <= 128 {
+        eprintln!("\n{}", render_gantt(&inst, &schedule, 72));
+    }
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let est = estimate(&inst);
+    let out = json!({
+        "omega": est.omega,
+        "opt_lower_bound": est.omega,
+        "opt_upper_bound": 2 * est.omega,
+        "parametric_lower_bound": moldable::core::bounds::parametric_lower_bound(&inst),
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let family = match flag(args, "--family").as_deref() {
+        Some("power-law") | None => BenchFamily::PowerLaw,
+        Some("amdahl") => BenchFamily::Amdahl,
+        Some("comm-overhead") => BenchFamily::CommOverhead,
+        Some("mixed") => BenchFamily::Mixed,
+        Some(other) => return Err(format!("unknown family `{other}`")),
+    };
+    let n: usize = flag(args, "--n")
+        .ok_or("missing --n")?
+        .parse()
+        .map_err(|_| "bad --n")?;
+    let m: u64 = flag(args, "--m")
+        .ok_or("missing --m")?
+        .parse()
+        .map_err(|_| "bad --m")?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0);
+    let inst = bench_instance(family, n, m, seed);
+    let spec = InstanceSpec::from_instance(&inst).ok_or("unserializable instance")?;
+    println!("{}", serde_json::to_string_pretty(&spec).unwrap());
+    Ok(())
+}
+
+fn load_schedule(args: &[String]) -> Result<Schedule, String> {
+    let path = flag(args, "--schedule").ok_or("missing --schedule FILE")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = value
+        .get("assignments")
+        .and_then(Value::as_array)
+        .or_else(|| value.as_array())
+        .ok_or("schedule file must be an array or contain `assignments`")?;
+    let mut s = Schedule::new();
+    for row in rows {
+        let job = row["job"].as_u64().ok_or("row missing job")? as u32;
+        let num: u128 = row["start_num"]
+            .as_str()
+            .ok_or("row missing start_num")?
+            .parse()
+            .map_err(|_| "bad start_num")?;
+        let den: u128 = row["start_den"]
+            .as_str()
+            .ok_or("row missing start_den")?
+            .parse()
+            .map_err(|_| "bad start_den")?;
+        let procs = row["procs"].as_u64().ok_or("row missing procs")?;
+        s.push(job, Ratio::new(num, den), procs);
+    }
+    Ok(s)
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let s = load_schedule(args)?;
+    validate(&s, &inst).map_err(|e| e.to_string())?;
+    println!(
+        "valid schedule: makespan = {}, work = {}",
+        s.makespan(&inst),
+        s.total_work(&inst)
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let s = load_schedule(args)?;
+    let ex = moldable::sim::execute(&inst, &s).map_err(|e| e.to_string())?;
+    ex.trace
+        .check_disjoint()
+        .map_err(|(i, j)| format!("segments {i} and {j} overlap"))?;
+    let metrics = moldable::sim::ClusterMetrics::from_trace(&ex.trace);
+    let out = json!({
+        "makespan": metrics.makespan.to_f64(),
+        "utilization": metrics.utilization.to_f64(),
+        "mean_completion": metrics.mean_completion.to_f64(),
+        "peak_demand": ex.trace.peak_demand(),
+        "jobs_run": ex.jobs_run,
+        "work_conserved": metrics.work_conserved(&inst, &s, &ex.trace),
+        "demand_profile": ex
+            .trace
+            .demand_profile()
+            .iter()
+            .map(|(t, u)| json!([t.to_f64(), u]))
+            .collect::<Vec<_>>(),
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let s = load_schedule(args)?;
+    validate(&s, &inst).map_err(|e| e.to_string())?;
+    let out_path = flag(args, "--out").ok_or("missing --out FILE.svg")?;
+    let width: u32 = flag(args, "--width")
+        .map(|v| v.parse().map_err(|_| "bad --width"))
+        .transpose()?
+        .unwrap_or(800);
+    let height: u32 = flag(args, "--height")
+        .map(|v| v.parse().map_err(|_| "bad --height"))
+        .transpose()?
+        .unwrap_or(400);
+    let svg = moldable::viz::schedule_svg(&inst, &s, width, height)
+        .ok_or("schedule is demand-infeasible")?;
+    std::fs::write(&out_path, svg).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! End-to-end certification of every approximation guarantee against the
+//! exact optimum (Theorem 2 & Theorem 3) on randomized tiny instances.
+
+use moldable::prelude::*;
+use moldable::sched::baselines::two_approx;
+use moldable::sched::exact::optimal_makespan;
+use moldable::workloads::random_table_instance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn tiny_instances(seed: u64, count: usize) -> Vec<Instance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let n = rng.gen_range(1..=4);
+            let m = rng.gen_range(1..=3);
+            random_table_instance(&mut rng, n, m, 25)
+        })
+        .collect()
+}
+
+#[test]
+fn all_dual_algorithms_meet_their_guarantees_vs_opt() {
+    let eps = Ratio::new(1, 4);
+    let algos: Vec<Box<dyn DualAlgorithm>> = vec![
+        Box::new(MrtDual),
+        Box::new(CompressibleDual::new(eps)),
+        Box::new(ImprovedDual::new(eps)),
+        Box::new(ImprovedDual::new_linear(eps)),
+    ];
+    for (i, inst) in tiny_instances(0xA11CE, 60).iter().enumerate() {
+        let opt = optimal_makespan(inst);
+        for algo in &algos {
+            let res = approximate(inst, algo.as_ref(), &eps);
+            validate(&res.schedule, inst)
+                .unwrap_or_else(|e| panic!("{} instance {i}: {e}", algo.name()));
+            let bound = algo.guarantee().mul(&eps.one_plus()).mul(&opt);
+            let mk = res.schedule.makespan(inst);
+            assert!(
+                mk <= bound,
+                "{} instance {i}: makespan {mk} > {bound} (OPT {opt})",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn two_approx_meets_factor_two() {
+    for (i, inst) in tiny_instances(0xB0B, 60).iter().enumerate() {
+        let opt = optimal_makespan(inst);
+        let s = two_approx(inst);
+        validate(&s, inst).unwrap();
+        assert!(
+            s.makespan(inst) <= opt.mul_int(2),
+            "instance {i}: {} > 2·{opt}",
+            s.makespan(inst)
+        );
+    }
+}
+
+#[test]
+fn fptas_meets_one_plus_eps_in_its_regime() {
+    let mut rng = SmallRng::seed_from_u64(0xF47A5);
+    for i in 0..40 {
+        let n = rng.gen_range(1..=3);
+        let inst = random_table_instance(&mut rng, n, 3, 25);
+        // Re-home the jobs on a machine count in the FPTAS regime: table
+        // oracles clamp beyond their length, so monotonicity persists.
+        let big =
+            Instance::new(inst.jobs().iter().map(|j| j.curve().clone()).collect(), 64);
+        let eps = Ratio::new(1, 2); // m = 64 ≥ 8·3/0.5 = 48
+        let res = fptas_schedule(&big, &eps);
+        validate(&res.schedule, &big).unwrap();
+        let opt = optimal_makespan(&big);
+        let bound = eps.one_plus().mul(&eps.one_plus()).mul(&opt);
+        let mk = res.schedule.makespan(&big);
+        assert!(mk <= bound, "instance {i}: {mk} > (1+ε)²·{opt}");
+    }
+}
+
+#[test]
+fn dual_rejection_certifies_infeasibility() {
+    // Whenever an algorithm rejects d, the exact optimum must exceed d.
+    let eps = Ratio::new(1, 4);
+    let algos: Vec<Box<dyn DualAlgorithm>> = vec![
+        Box::new(MrtDual),
+        Box::new(CompressibleDual::new(eps)),
+        Box::new(ImprovedDual::new(eps)),
+        Box::new(ImprovedDual::new_linear(eps)),
+    ];
+    for inst in tiny_instances(0xDEAD, 40) {
+        let opt = optimal_makespan(&inst);
+        let opt_ceil = opt.ceil() as u64;
+        for algo in &algos {
+            for d in 1..=opt_ceil + 2 {
+                if algo.run(&inst, d).is_none() {
+                    assert!(
+                        Ratio::from(d) < opt,
+                        "{} rejected d={d} but OPT={opt}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+}

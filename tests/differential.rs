@@ -1,0 +1,145 @@
+//! Differential tests: independent implementations must agree.
+//!
+//! * All four dual algorithms bracket the same optimum on random
+//!   instances (their makespans differ at most by their guarantee gap).
+//! * The knapsack solvers (capacity DP, pair-list, brute force, and the
+//!   profit-scaling FPTAS with tiny ε) agree on exact optima.
+//! * The oracle-count instrumentation sees what the complexity analysis
+//!   predicts across all algorithms.
+
+use moldable::core::bounds::parametric_lower_bound;
+use moldable::core::counting_instance;
+use moldable::knapsack::{brute::brute_force, dp, solve_fptas, Item};
+use moldable::prelude::*;
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+#[test]
+fn dual_algorithms_agree_within_guarantees() {
+    let eps = Ratio::new(1, 4);
+    for family in BenchFamily::all() {
+        for seed in [1u64, 2, 3] {
+            let inst = bench_instance(family, 20, 48, seed);
+            let lb = parametric_lower_bound(&inst) as f64;
+            let mut spans: Vec<(String, f64)> = Vec::new();
+            let algos: Vec<Box<dyn DualAlgorithm>> = vec![
+                Box::new(MrtDual),
+                Box::new(CompressibleDual::new(eps)),
+                Box::new(ImprovedDual::new(eps)),
+                Box::new(ImprovedDual::new_linear(eps)),
+            ];
+            for algo in algos {
+                let res = approximate(&inst, algo.as_ref(), &eps);
+                validate(&res.schedule, &inst).unwrap();
+                spans.push((
+                    algo.name().to_string(),
+                    res.schedule.makespan(&inst).to_f64(),
+                ));
+            }
+            // All makespans lie in [lb, (3/2+ε)(1+ε)·2·lb] — a crude sanity
+            // envelope — and pairwise within the ratio of their guarantees
+            // against the common certified lower bound.
+            for (name, mk) in &spans {
+                assert!(
+                    *mk >= lb * 0.999,
+                    "{family:?}/{seed}: {name} beat the lower bound: {mk} < {lb}"
+                );
+                assert!(
+                    *mk <= lb * 2.0 * 1.75 * 1.25 + 1.0,
+                    "{family:?}/{seed}: {name} exceeds the sanity envelope"
+                );
+            }
+            let best = spans.iter().map(|(_, mk)| *mk).fold(f64::MAX, f64::min);
+            let worst = spans.iter().map(|(_, mk)| *mk).fold(0.0, f64::max);
+            assert!(
+                worst / best <= 2.5,
+                "{family:?}/{seed}: algorithms disagree too much: {spans:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn knapsack_solvers_cross_validate() {
+    let mut seed = 0xD1FF_D1FF_D1FF_D1FFu64;
+    for round in 0..60 {
+        let n = (xorshift(&mut seed) % 10 + 2) as usize;
+        let items: Vec<Item> = (0..n)
+            .map(|i| {
+                Item::plain(
+                    i as u32,
+                    xorshift(&mut seed) % 15 + 1,
+                    (xorshift(&mut seed) % 500 + 1) as u128,
+                )
+            })
+            .collect();
+        let cap = xorshift(&mut seed) % 50 + 5;
+        let opt = brute_force(&items, cap);
+        let dp_sol = dp::solve(&items, cap);
+        assert_eq!(
+            dp_sol.profit, opt.profit,
+            "round {round}: capacity DP disagrees with brute force"
+        );
+        // FPTAS with ε = 1/1000 and profits ≤ 500: scaling keeps exactness.
+        let fptas = solve_fptas(&items, cap, (1, 1000));
+        assert_eq!(
+            fptas.profit, opt.profit,
+            "round {round}: near-exact FPTAS disagrees with brute force"
+        );
+    }
+}
+
+#[test]
+fn oracle_counts_scale_polylog_in_m_for_linear_algorithm() {
+    // Fix n, sweep m over 2^8..2^36; oracle calls must grow at most
+    // polylogarithmically (power-law exponent ≈ 0 at this scale).
+    let eps = Ratio::new(1, 2);
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for exp in [8u32, 12, 16, 20, 24, 28, 32, 36] {
+        let m = 1u64 << exp;
+        let inst = bench_instance(BenchFamily::PowerLaw, 24, m, 11);
+        let (counted, counter) = counting_instance(&inst);
+        let algo = ImprovedDual::new_linear(eps);
+        let res = approximate(&counted, &algo, &eps);
+        validate(&res.schedule, &inst).unwrap();
+        points.push((m as f64, counter.calls() as f64));
+    }
+    let fit = moldable::analysis::loglog_fit(&points).expect("fit");
+    assert!(
+        fit.slope < 0.25,
+        "oracle calls grow like m^{:.3} — not polylogarithmic (points: {points:?})",
+        fit.slope
+    );
+}
+
+#[test]
+fn oracle_counts_scale_linearly_in_n() {
+    // Fix m, sweep n; oracle calls of the linear algorithm must grow
+    // essentially linearly (slope ≤ ~1.15 allowing harness noise).
+    let eps = Ratio::new(1, 2);
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for n in [16usize, 32, 64, 128, 256, 512] {
+        let inst = bench_instance(BenchFamily::Mixed, n, 1 << 20, 13);
+        let (counted, counter) = counting_instance(&inst);
+        let algo = ImprovedDual::new_linear(eps);
+        let _ = approximate(&counted, &algo, &eps);
+        points.push((n as f64, counter.calls() as f64));
+    }
+    let fit = moldable::analysis::loglog_fit(&points).expect("fit");
+    assert!(
+        fit.slope < 1.25,
+        "oracle calls grow like n^{:.3} — super-linear (points: {points:?})",
+        fit.slope
+    );
+    assert!(
+        fit.slope > 0.5,
+        "oracle calls grow like n^{:.3} — suspiciously sublinear; is the \
+         instrumentation connected? (points: {points:?})",
+        fit.slope
+    );
+}

@@ -1,0 +1,110 @@
+//! Cross-crate end-to-end tests: every algorithm on every workload family,
+//! with independent validation and consistency between algorithms.
+
+use moldable::core::bounds::{parametric_lower_bound, trivial_lower_bound};
+use moldable::prelude::*;
+use moldable::sched::baselines::{sequential, two_approx};
+
+fn families() -> [BenchFamily; 4] {
+    BenchFamily::all()
+}
+
+#[test]
+fn all_algorithms_all_families_produce_valid_schedules() {
+    let eps = Ratio::new(1, 4);
+    for family in families() {
+        for (n, m) in [(12usize, 4u64), (30, 16), (60, 1 << 10)] {
+            let inst = bench_instance(family, n, m, 0xE2E);
+            let lb = parametric_lower_bound(&inst);
+            let algos: Vec<Box<dyn DualAlgorithm>> = vec![
+                Box::new(CompressibleDual::new(eps)),
+                Box::new(ImprovedDual::new(eps)),
+                Box::new(ImprovedDual::new_linear(eps)),
+            ];
+            for algo in algos {
+                let res = approximate(&inst, algo.as_ref(), &eps);
+                validate(&res.schedule, &inst).unwrap_or_else(|e| {
+                    panic!("{} on {}/{n}/{m}: {e}", algo.name(), family.name())
+                });
+                // Certified bracket: lower bound ≤ makespan ≤ c(1+ε)·(certified
+                // lower bound on OPT is `lb`, and the accepted target is a
+                // certified upper bound proxy).
+                let mk = res.schedule.makespan(&inst);
+                assert!(mk >= Ratio::from(lb.min(trivial_lower_bound(&inst))));
+                let guarantee_bound = algo.guarantee().mul_int(res.accepted_d as u128);
+                assert!(
+                    mk <= guarantee_bound,
+                    "{} on {}: {mk} > c·d = {guarantee_bound}",
+                    algo.name(),
+                    family.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithms_beat_or_match_sequential_and_respect_ordering() {
+    let eps = Ratio::new(1, 4);
+    for family in families() {
+        let inst = bench_instance(family, 40, 64, 7);
+        let seq = sequential(&inst).makespan(&inst);
+        let algo = ImprovedDual::new_linear(eps);
+        let res = approximate(&inst, &algo, &eps);
+        let mk = res.schedule.makespan(&inst);
+        // 3/2·(certified makespan target) can never exceed 3/2·2·seq, but
+        // practically the schedule must beat plain sequential here (40 jobs,
+        // 64 machines).
+        assert!(
+            mk <= seq,
+            "{}: linear algorithm ({mk}) worse than sequential ({seq})",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn ptas_dispatcher_covers_all_regimes() {
+    let eps = Ratio::new(1, 2);
+    // Large-m regime.
+    let inst = bench_instance(BenchFamily::PowerLaw, 16, 1 << 20, 1);
+    let res = ptas_schedule(&inst, &eps);
+    assert_eq!(res.branch, moldable::sched::PtasBranch::FptasLargeM);
+    validate(&res.schedule, &inst).unwrap();
+    // Tiny regime.
+    let inst = bench_instance(BenchFamily::Mixed, 4, 3, 2);
+    let res = ptas_schedule(&inst, &eps);
+    assert_eq!(res.branch, moldable::sched::PtasBranch::Exact);
+    validate(&res.schedule, &inst).unwrap();
+    // Fallback regime.
+    let inst = bench_instance(BenchFamily::Mixed, 40, 16, 3);
+    let res = ptas_schedule(&inst, &eps);
+    assert_eq!(res.branch, moldable::sched::PtasBranch::ImprovedFallback);
+    validate(&res.schedule, &inst).unwrap();
+}
+
+#[test]
+fn two_approx_within_twice_lower_bound_proxy() {
+    // ω ≤ OPT and the 2-approx is ≤ 2ω ≤ 2·OPT; against the parametric
+    // lower bound the ratio can only look worse, so assert the certified
+    // makespan ≤ 2·estimate.
+    for family in families() {
+        let inst = bench_instance(family, 50, 128, 99);
+        let est = moldable::sched::estimate(&inst);
+        let s = two_approx(&inst);
+        validate(&s, &inst).unwrap();
+        assert!(s.makespan(&inst) <= Ratio::from(2 * est.omega));
+    }
+}
+
+#[test]
+fn compact_encoding_smoke_m_2_pow_40() {
+    let inst = bench_instance(BenchFamily::PowerLaw, 64, 1 << 40, 4);
+    let eps = Ratio::new(1, 4);
+    let res = fptas_schedule(&inst, &eps);
+    validate(&res.schedule, &inst).unwrap();
+    // And the (3/2+ε) family also handles astronomical m.
+    let algo = ImprovedDual::new_linear(eps);
+    let res2 = approximate(&inst, &algo, &eps);
+    validate(&res2.schedule, &inst).unwrap();
+}

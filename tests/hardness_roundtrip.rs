@@ -1,0 +1,86 @@
+//! Theorem 1 end to end: reduction round-trips and scheduler behaviour on
+//! reduction instances.
+
+use moldable::hardness::four_partition::FourPartitionInstance;
+use moldable::hardness::reduction::{partition_to_schedule, schedule_to_partition};
+use moldable::hardness::{reduce, solve_four_partition};
+use moldable::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn yes_instances_schedule_to_exactly_d() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for n in 2..=6 {
+        let fp = FourPartitionInstance::planted_yes(&mut rng, n, 2);
+        let red = reduce(&fp).unwrap();
+        let groups = solve_four_partition(&fp).unwrap();
+        let s = partition_to_schedule(&red, &groups);
+        validate(&s, &red.instance).unwrap();
+        assert_eq!(s.makespan(&red.instance), Ratio::from(red.d));
+        let back = schedule_to_partition(&red, &s).unwrap();
+        assert_eq!(back.len(), n);
+        for g in back {
+            assert_eq!(g.len(), 4);
+            let sum: u64 = g.iter().map(|&i| red.scaled_numbers[i]).sum();
+            assert_eq!(sum, red.scaled_b);
+        }
+    }
+}
+
+#[test]
+fn exact_solver_agrees_with_partition_solver_on_small_reductions() {
+    // For n = 2 groups (8 jobs on 2 machines) the generic exhaustive solver
+    // must find OPT = d exactly on yes-instances.
+    let mut rng = SmallRng::seed_from_u64(2);
+    let fp = FourPartitionInstance::planted_yes(&mut rng, 2, 1);
+    let red = reduce(&fp).unwrap();
+    let opt = moldable::sched::exact::optimal_makespan(&red.instance);
+    assert_eq!(opt, Ratio::from(red.d));
+}
+
+#[test]
+fn no_instances_force_strictly_larger_makespan() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for n in 2..=4 {
+        let fp = FourPartitionInstance::planted_no(&mut rng, n, 2);
+        assert!(solve_four_partition(&fp).is_none());
+        let red = reduce(&fp).unwrap();
+        // MRT (3/2-dual) at d must either reject or produce makespan > d —
+        // otherwise its schedule would certify a 4-partition.
+        if let Some(s) = MrtDual.run(&red.instance, red.d) {
+            validate(&s, &red.instance).unwrap();
+            if s.makespan(&red.instance) <= Ratio::from(red.d) {
+                let cert = schedule_to_partition(&red, &s)
+                    .expect("makespan ≤ d must map back to a certificate");
+                // Each group would be a quadruple summing to B — impossible.
+                let all_quadruples_sum_b = cert.iter().all(|g| {
+                    g.len() == 4
+                        && g.iter().map(|&i| red.scaled_numbers[i]).sum::<u64>()
+                            == red.scaled_b
+                });
+                assert!(
+                    !all_quadruples_sum_b,
+                    "schedule certified a 4-partition of a provably-no instance"
+                );
+                panic!("no-instance scheduled at makespan ≤ d");
+            }
+        }
+    }
+}
+
+#[test]
+fn strict_monotonicity_of_reduction_jobs_at_scale() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let fp = FourPartitionInstance::planted_yes(&mut rng, 10, 5);
+    let red = reduce(&fp).unwrap();
+    assert_eq!(red.instance.n(), 40);
+    assert_eq!(red.instance.m(), 10);
+    for j in red.instance.jobs() {
+        moldable::core::monotone::verify_monotone(j, red.instance.m()).unwrap();
+    }
+    // Eq. 1's premise: m·a_i ≥ 2m for every job.
+    for &a in &red.scaled_numbers {
+        assert!(a >= 2);
+    }
+}

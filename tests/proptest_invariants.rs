@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) of the paper's core invariants, run on
+//! arbitrary monotone jobs and random knapsack instances.
+
+use moldable::core::compression::Compression;
+use moldable::core::gamma::gamma_int;
+use moldable::core::monotone::verify_monotone;
+use moldable::core::speedup::monotone_closure;
+use moldable::knapsack::brute::brute_force;
+use moldable::knapsack::{
+    compressed_size, dp, solve_compressible, CompressibleParams, Item, PairListKnapsack,
+};
+use moldable::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn monotone_table() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..200, 1..24).prop_map(|mut t| {
+        monotone_closure(&mut t);
+        t
+    })
+}
+
+fn table_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=5, 1u64..=4).prop_flat_map(|(n, m)| {
+        prop::collection::vec(
+            prop::collection::vec(1u64..40, m as usize..=m as usize),
+            n..=n,
+        )
+        .prop_map(move |tables| {
+            let curves = tables
+                .into_iter()
+                .map(|mut t| {
+                    monotone_closure(&mut t);
+                    SpeedupCurve::Table(Arc::new(t))
+                })
+                .collect();
+            Instance::new(curves, m)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `monotone_closure` always lands in the feasible region.
+    #[test]
+    fn closure_is_monotone(table in monotone_table()) {
+        let m = table.len() as u64;
+        let j = Job::new(0, SpeedupCurve::Table(Arc::new(table)));
+        prop_assert!(verify_monotone(&j, m).is_ok());
+    }
+
+    /// γ_j(t) is the *minimal* count meeting the threshold.
+    #[test]
+    fn gamma_is_minimal(table in monotone_table(), thr in 0u64..220) {
+        let m = table.len() as u64;
+        let j = Job::new(0, SpeedupCurve::Table(Arc::new(table.clone())));
+        match gamma_int(&j, thr, m) {
+            None => prop_assert!(table.iter().all(|&t| t > thr)),
+            Some(p) => {
+                prop_assert!(table[p as usize - 1] <= thr);
+                prop_assert!(table[..p as usize - 1].iter().all(|&t| t > thr));
+            }
+        }
+    }
+
+    /// Lemma 4 on arbitrary monotone jobs: compressing a b-wide job by ρ
+    /// stretches its time by at most 1+4ρ.
+    #[test]
+    fn lemma4_compression(table in monotone_table(), den in 4u128..12) {
+        let m = table.len() as u64;
+        let j = Job::new(0, SpeedupCurve::Table(Arc::new(table)));
+        let comp = Compression::new(Ratio::new(1, den));
+        for b in comp.width_threshold()..=m {
+            let (lhs, rhs) = comp.check_lemma4(&j, b);
+            prop_assert!(lhs <= rhs, "b={b}, ρ=1/{den}: {lhs} > {rhs}");
+        }
+    }
+
+    /// The pair-list solver and the capacity-indexed DP agree with brute
+    /// force on arbitrary instances.
+    #[test]
+    fn knapsack_solvers_agree(
+        sizes in prop::collection::vec(1u64..30, 1..10),
+        profits in prop::collection::vec(0u64..100, 10),
+        cap in 0u64..80,
+    ) {
+        let items: Vec<Item> = sizes
+            .iter()
+            .zip(&profits)
+            .enumerate()
+            .map(|(i, (&s, &p))| Item::plain(i as u32, s, p as u128))
+            .collect();
+        let want = brute_force(&items, cap).profit;
+        prop_assert_eq!(dp::solve(&items, cap).profit, want);
+        prop_assert_eq!(PairListKnapsack::run(&items, cap).query(cap).profit, want);
+    }
+
+    /// Theorem 15 on arbitrary instances: Algorithm 2's profit dominates the
+    /// plain optimum and its compressed size fits.
+    #[test]
+    fn theorem15_invariants(
+        comp_sizes in prop::collection::vec(0u64..40, 0..6),
+        inc_sizes in prop::collection::vec(1u64..8, 0..6),
+        cap_extra in 0u64..64,
+        den in 4u128..10,
+    ) {
+        let rho = Ratio::new(1, den);
+        let wide = rho.recip().ceil() as u64;
+        let mut items: Vec<Item> = Vec::new();
+        for (i, &s) in comp_sizes.iter().enumerate() {
+            items.push(Item::compressible(i as u32, wide + s, (s as u128 + 1) * 3));
+        }
+        let base = comp_sizes.len() as u32;
+        for (i, &s) in inc_sizes.iter().enumerate() {
+            items.push(Item::plain(base + i as u32, s, s as u128 * 2 + 1));
+        }
+        let capacity = wide + cap_extra;
+        let params = CompressibleParams {
+            rho,
+            alpha_min: items
+                .iter()
+                .filter(|i| i.compressible)
+                .map(|i| i.size)
+                .min()
+                .unwrap_or(wide),
+            beta_max: capacity,
+            n_bar: capacity / wide + 2,
+        };
+        let res = solve_compressible(&items, capacity, &params);
+        let opt = brute_force(&items, capacity);
+        prop_assert!(res.solution.profit >= opt.profit);
+        prop_assert!(
+            compressed_size(&items, &res.solution.chosen, &res.rho_prime)
+                <= capacity as u128
+        );
+    }
+
+    /// Every dual algorithm produces validator-approved schedules within its
+    /// guarantee, and the full wrapper stays within c(1+ε)·(2ω).
+    #[test]
+    fn schedules_always_validate(inst in table_instance()) {
+        let eps = Ratio::new(1, 3);
+        let algos: Vec<Box<dyn DualAlgorithm>> = vec![
+            Box::new(MrtDual),
+            Box::new(CompressibleDual::new(eps)),
+            Box::new(ImprovedDual::new(eps)),
+            Box::new(ImprovedDual::new_linear(eps)),
+        ];
+        for algo in algos {
+            let res = approximate(&inst, algo.as_ref(), &eps);
+            prop_assert!(validate(&res.schedule, &inst).is_ok());
+            let bound = algo.guarantee().mul_int(res.accepted_d as u128);
+            prop_assert!(res.schedule.makespan(&inst) <= bound);
+        }
+    }
+
+    /// The estimator brackets every schedule produced by any algorithm:
+    /// ω ≤ makespan(two-approx) ≤ 2ω.
+    #[test]
+    fn estimator_brackets(inst in table_instance()) {
+        let est = moldable::sched::estimate(&inst);
+        let s = moldable::sched::baselines::two_approx(&inst);
+        prop_assert!(validate(&s, &inst).is_ok());
+        prop_assert!(s.makespan(&inst) <= Ratio::from(2 * est.omega));
+    }
+}
