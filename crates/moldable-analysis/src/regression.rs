@@ -94,9 +94,7 @@ mod tests {
 
     #[test]
     fn quadratic_has_loglog_slope_two() {
-        let pts: Vec<(f64, f64)> = (1..=20)
-            .map(|i| (i as f64, (i * i) as f64 * 5.0))
-            .collect();
+        let pts: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, (i * i) as f64 * 5.0)).collect();
         let f = loglog_fit(&pts).unwrap();
         assert!((f.slope - 2.0).abs() < 1e-9, "slope = {}", f.slope);
         assert!(f.r_squared > 0.999);
@@ -112,9 +110,7 @@ mod tests {
     #[test]
     fn logarithmic_growth_has_near_zero_loglog_slope_at_scale() {
         // y = log2 x sampled at x = 2^10 .. 2^30: slope well below 0.2.
-        let pts: Vec<(f64, f64)> = (10..=30)
-            .map(|e| ((1u64 << e) as f64, e as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> = (10..=30).map(|e| ((1u64 << e) as f64, e as f64)).collect();
         let f = loglog_fit(&pts).unwrap();
         assert!(f.slope < 0.2, "slope = {}", f.slope);
     }

@@ -48,8 +48,8 @@ impl Summary {
         let stddev = if len < 2 {
             0.0
         } else {
-            let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / (len - 1) as f64;
+            let var =
+                sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (len - 1) as f64;
             var.sqrt()
         };
         Some(Summary {

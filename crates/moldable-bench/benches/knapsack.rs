@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moldable_core::ratio::Ratio;
 use moldable_knapsack::{
-    dp, solve_bounded, solve_compressible, CompressibleParams, Item, ItemType,
-    PairListKnapsack,
+    dp, solve_bounded, solve_compressible, CompressibleParams, Item, ItemType, PairListKnapsack,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

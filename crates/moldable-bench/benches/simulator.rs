@@ -20,18 +20,24 @@ fn bench_simulator(c: &mut Criterion) {
     for n in [256usize, 1024, 4096] {
         let inst = bench_instance(BenchFamily::Mixed, n, 256, 5);
         let res = approximate(&inst, &ImprovedDual::new_linear(eps), &eps);
-        group.bench_with_input(BenchmarkId::new("execute-plan", n), &res.schedule, |b, s| {
-            b.iter(|| execute(&inst, s).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("execute-plan", n),
+            &res.schedule,
+            |b, s| b.iter(|| execute(&inst, s).unwrap()),
+        );
 
         let est = moldable_sched::estimate(&inst);
         let order: Vec<u32> = (0..n as u32).collect();
-        group.bench_with_input(BenchmarkId::new("online-fifo", n), &est.allotment, |b, a| {
-            b.iter(|| online_list_schedule(&inst, a, &order).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("easy-backfill", n), &est.allotment, |b, a| {
-            b.iter(|| backfill_schedule(&inst, a, &order).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("online-fifo", n),
+            &est.allotment,
+            |b, a| b.iter(|| online_list_schedule(&inst, a, &order).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("easy-backfill", n),
+            &est.allotment,
+            |b, a| b.iter(|| backfill_schedule(&inst, a, &order).unwrap()),
+        );
     }
     group.finish();
 }

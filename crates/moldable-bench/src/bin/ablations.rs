@@ -32,7 +32,11 @@ fn main() {
         "capacity", "exact-dp", "algorithm-2", "speedup"
     );
     let mut rng = SmallRng::seed_from_u64(77);
-    let exps: &[u32] = if quick { &[12, 16, 20] } else { &[12, 16, 20, 24] };
+    let exps: &[u32] = if quick {
+        &[12, 16, 20]
+    } else {
+        &[12, 16, 20, 24]
+    };
     for &e in exps {
         let c = 1u64 << e;
         let rho = Ratio::new(1, 8);
@@ -133,8 +137,8 @@ fn main() {
     for &n in &[64usize, 256] {
         let inst = bench_instance(BenchFamily::Mixed, n, 256, 23);
         let d = estimate(&inst).omega * 2;
-        let ctx = moldable_sched::shelves::ShelfContext::build(&inst, d)
-            .expect("d = 2ω is feasible");
+        let ctx =
+            moldable_sched::shelves::ShelfContext::build(&inst, d).expect("d = 2ω is feasible");
         let items: Vec<Item> = ctx
             .knapsack_jobs
             .iter()
@@ -144,8 +148,7 @@ fn main() {
         for &(en, ed) in &[(1u64, 4u64), (1, 2)] {
             let approx = moldable_knapsack::solve_fptas(&items, ctx.capacity, (en, ed));
             let extra_work = exact.profit.saturating_sub(approx.profit);
-            let slack = (inst.m() as u128 * d as u128)
-                .saturating_sub(ctx.small_work(&inst));
+            let slack = (inst.m() as u128 * d as u128).saturating_sub(ctx.small_work(&inst));
             println!(
                 "{n:<8} {:>6} {:>14} {:>14} {:>16} {:>16}",
                 format!("{en}/{ed}"),

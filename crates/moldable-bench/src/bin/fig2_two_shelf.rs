@@ -5,14 +5,14 @@
 //! Run with: `cargo run --release -p moldable-bench --bin fig2_two_shelf`
 
 use moldable_core::gamma::gamma;
+use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
+use moldable_core::speedup::SpeedupCurve;
 use moldable_knapsack::{dp, Item};
 use moldable_sched::estimator::estimate;
 use moldable_sched::shelves::ShelfContext;
 use moldable_sched::transform::ShelfJob;
 use moldable_viz::render_two_shelf;
-use moldable_core::instance::Instance;
-use moldable_core::speedup::SpeedupCurve;
 use std::sync::Arc;
 
 fn main() {

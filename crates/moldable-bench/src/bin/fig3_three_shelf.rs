@@ -4,13 +4,13 @@
 //! Run with: `cargo run --release -p moldable-bench --bin fig3_three_shelf`
 
 use moldable_core::gamma::gamma;
+use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
+use moldable_core::speedup::SpeedupCurve;
 use moldable_knapsack::{dp, Item};
 use moldable_sched::estimator::estimate;
 use moldable_sched::shelves::ShelfContext;
 use moldable_sched::transform::{transform, ShelfJob, TransformMode};
-use moldable_core::instance::Instance;
-use moldable_core::speedup::SpeedupCurve;
 use moldable_viz::{render_three_shelf, render_two_shelf};
 use std::sync::Arc;
 

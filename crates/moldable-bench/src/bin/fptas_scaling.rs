@@ -41,10 +41,7 @@ fn main() {
         row.print();
         rows.push(row);
     }
-    let (x, y): (Vec<f64>, Vec<f64>) = rows
-        .iter()
-        .map(|r| (r.n as f64, r.seconds))
-        .unzip();
+    let (x, y): (Vec<f64>, Vec<f64>) = rows.iter().map(|r| (r.n as f64, r.seconds)).unzip();
     println!("n-exponent (paper: 1): {:.2}", fit_loglog_slope(&x, &y));
 
     // ---- m-sweep -------------------------------------------------------

@@ -55,7 +55,10 @@ fn main() {
         worst_two = worst_two.max(ratio_vs(&two_approx(&inst).makespan(&inst), &opt));
     }
     println!("{:<28} {:>10} {:>10}", "algorithm", "worst", "mean");
-    println!("{:<28} {:>10.4} {:>10}", "2-approx baseline", worst_two, "-");
+    println!(
+        "{:<28} {:>10.4} {:>10}",
+        "2-approx baseline", worst_two, "-"
+    );
     for (k, algo) in algos.iter().enumerate() {
         println!("{:<28} {:>10.4} {:>10.4}", algo.name(), worst[k], mean[k]);
     }
@@ -95,8 +98,7 @@ fn main() {
     println!("\n== Theorem 1 reduction instances (OPT = d known) ==");
     let mut rng = SmallRng::seed_from_u64(9);
     for groups in [3usize, 5, 8] {
-        let fp =
-            moldable_hardness::FourPartitionInstance::planted_yes(&mut rng, groups, 2);
+        let fp = moldable_hardness::FourPartitionInstance::planted_yes(&mut rng, groups, 2);
         let red = moldable_hardness::reduce(&fp).unwrap();
         let opt = Ratio::from(red.d); // yes-instance ⇒ OPT = d
         let algo = MrtDual;

@@ -16,10 +16,10 @@
 //! Run with: `cargo run --release -p moldable-bench --bin table1 [--quick] [--json FILE]`
 
 use moldable_bench::{fit_loglog_slope, median_time, Row};
+use moldable_core::ratio::Ratio;
 use moldable_sched::dual::DualAlgorithm;
 use moldable_sched::estimator::estimate;
 use moldable_sched::{CompressibleDual, ImprovedDual, MrtDual};
-use moldable_core::ratio::Ratio;
 use moldable_workloads::{bench_instance, BenchFamily};
 use std::io::Write as _;
 

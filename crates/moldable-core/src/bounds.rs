@@ -11,7 +11,11 @@ use crate::types::{Time, Work};
 /// `max_j t_j(m)`: no schedule can beat the most parallel execution of the
 /// least parallelizable job.
 pub fn critical_path_bound(inst: &Instance) -> Time {
-    inst.jobs().iter().map(|j| j.time(inst.m())).max().unwrap_or(0)
+    inst.jobs()
+        .iter()
+        .map(|j| j.time(inst.m()))
+        .max()
+        .unwrap_or(0)
 }
 
 /// `⌈Σ_j w_j(1) / m⌉` — total-work bound using each job's *minimum* work.

@@ -214,7 +214,7 @@ mod tests {
         // ρ = 1/60; ρ' = (1/60)(2 − 1/60) = 119/3600
         assert_eq!(*dc.rho(), Ratio::new(1, 60));
         assert_eq!(*dc.rho_prime(), Ratio::new(119, 3600));
-        assert_eq!(dc.b(), (3600u64 + 118) / 119);
+        assert_eq!(dc.b(), 3600u64.div_ceil(119));
         // stretch = 1 + 4ρ' ≤ 1 + δ
         assert!(dc.stretch() <= dc.delta().one_plus());
         // (1+4ρ)² ≤ 1+δ must hold for our rational ρ = δ/12, δ ≤ 1

@@ -168,11 +168,7 @@ mod tests {
 
     #[test]
     fn rounding_to_grid() {
-        let g = vec![
-            Ratio::from_int(2),
-            Ratio::from_int(4),
-            Ratio::from_int(8),
-        ];
+        let g = vec![Ratio::from_int(2), Ratio::from_int(4), Ratio::from_int(8)];
         assert_eq!(
             round_down_to_grid(&Ratio::from_int(5), &g),
             Some(Ratio::from_int(4))

@@ -9,7 +9,7 @@
 //!
 //! * exact rational arithmetic for thresholds ([`ratio`]),
 //! * processing-time oracles incl. compact encodings ([`speedup`], [`job`]),
-//! * canonical allotments `γ_j(t)` ([`gamma`]),
+//! * canonical allotments `γ_j(t)` ([`gamma`](mod@gamma)),
 //! * the compression technique of Lemmas 4 & 16 ([`compression`]),
 //! * geometric grids & rounding of Definition 13 / Lemma 14 ([`geom`]),
 //! * monotonicity verification ([`monotone`]) and makespan lower bounds
@@ -32,9 +32,9 @@ pub mod speedup;
 pub mod types;
 
 pub use compression::{Compression, DoubleCompression};
-pub use io::{CurveSpec, InstanceSpec};
 pub use gamma::{gamma, gamma_int, GammaSet};
 pub use instance::Instance;
+pub use io::{CurveSpec, InstanceSpec};
 pub use job::Job;
 pub use oracle::{counting_instance, CountingOracle, OracleCounter};
 pub use ratio::Ratio;

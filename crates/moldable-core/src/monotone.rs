@@ -34,11 +34,7 @@ pub fn verify_monotone(job: &Job, m: Procs) -> Result<(), MonotoneViolation> {
 
 /// Spot-check monotonicity at `samples` geometrically spread positions plus
 /// both endpoints; `O(samples)` oracle calls, suitable for `m` up to 2^63.
-pub fn spot_check_monotone(
-    job: &Job,
-    m: Procs,
-    samples: u32,
-) -> Result<(), MonotoneViolation> {
+pub fn spot_check_monotone(job: &Job, m: Procs, samples: u32) -> Result<(), MonotoneViolation> {
     if m <= 1 {
         return Ok(());
     }

@@ -127,10 +127,7 @@ mod tests {
     fn gamma_call_count_is_logarithmic_in_m() {
         // γ via binary search must use O(log m) oracle calls.
         let m: Procs = 1 << 30;
-        let inst = Instance::new(
-            vec![SpeedupCurve::ideal_with_overhead(1 << 40, 1, m)],
-            m,
-        );
+        let inst = Instance::new(vec![SpeedupCurve::ideal_with_overhead(1 << 40, 1, m)], m);
         let (counted, counter) = counting_instance(&inst);
         let d = Ratio::from(1u64 << 22);
         let _ = gamma(counted.job(0), &d, m);

@@ -249,7 +249,7 @@ impl Ratio {
     }
 
     fn mul_round(&self, other: &Ratio, bits: u32, up: bool) -> Ratio {
-        debug_assert!(bits >= 2 && bits <= 126);
+        debug_assert!((2..=126).contains(&bits));
         if self.is_zero() || other.is_zero() {
             return Ratio::zero();
         }

@@ -290,9 +290,7 @@ mod tests {
     use super::*;
 
     fn is_monotone(curve: &SpeedupCurve, m: Procs) -> bool {
-        (1..m).all(|p| {
-            curve.time(p + 1) <= curve.time(p) && curve.work(p + 1) >= curve.work(p)
-        })
+        (1..m).all(|p| curve.time(p + 1) <= curve.time(p) && curve.work(p + 1) >= curve.work(p))
     }
 
     #[test]

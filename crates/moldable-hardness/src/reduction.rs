@@ -42,7 +42,11 @@ pub fn reduce(fp: &FourPartitionInstance) -> Option<Reduction> {
         return None;
     }
     // Scale so a_i ≥ 2 (multiply everything by 2 if needed).
-    let scale: u64 = if fp.numbers.iter().any(|&a| a < 2) { 2 } else { 1 };
+    let scale: u64 = if fp.numbers.iter().any(|&a| a < 2) {
+        2
+    } else {
+        1
+    };
     let scaled_numbers: Vec<u64> = fp.numbers.iter().map(|&a| a * scale).collect();
     let scaled_b = fp.b * scale;
     let m: Procs = n;
@@ -64,10 +68,7 @@ pub fn reduce(fp: &FourPartitionInstance) -> Option<Reduction> {
 /// runs on one processor and machines group the jobs into quadruples
 /// summing to `B`. Returns `None` if the schedule's makespan exceeds `d`
 /// (then it certifies nothing).
-pub fn schedule_to_partition(
-    red: &Reduction,
-    schedule: &Schedule,
-) -> Option<Vec<Vec<usize>>> {
+pub fn schedule_to_partition(red: &Reduction, schedule: &Schedule) -> Option<Vec<Vec<usize>>> {
     if schedule.makespan(&red.instance) > Ratio::from(red.d) {
         return None;
     }
@@ -82,11 +83,9 @@ pub fn schedule_to_partition(
     let mut machines: Vec<(Ratio, Vec<usize>)> = Vec::new(); // (busy-until, jobs)
     let mut order: Vec<&moldable_sched::schedule::Assignment> =
         schedule.assignments.iter().collect();
-    order.sort_by(|x, y| x.start.cmp(&y.start));
+    order.sort_by_key(|x| x.start);
     'next: for a in order {
-        let end = a
-            .start
-            .add(&Ratio::from(red.instance.job(a.job).time(1)));
+        let end = a.start.add(&Ratio::from(red.instance.job(a.job).time(1)));
         for slot in machines.iter_mut() {
             if slot.0 <= a.start {
                 slot.0 = end;

@@ -58,12 +58,14 @@ pub fn solve_compressible(
     params: &CompressibleParams,
 ) -> CompressibleSolution {
     let rho = &params.rho;
-    assert!(!rho.is_zero() && *rho <= Ratio::new(1, 4), "need 0 < ρ ≤ 1/4");
+    assert!(
+        !rho.is_zero() && *rho <= Ratio::new(1, 4),
+        "need 0 < ρ ≤ 1/4"
+    );
     let rho_prime = rho.mul(&Ratio::from_int(2).sub(rho)); // 2ρ − ρ²
 
     let compressible: Vec<Item> = items.iter().filter(|i| i.compressible).copied().collect();
-    let incompressible: Vec<Item> =
-        items.iter().filter(|i| !i.compressible).copied().collect();
+    let incompressible: Vec<Item> = items.iter().filter(|i| !i.compressible).copied().collect();
 
     // Line 1: α_min ← max(α_min, C − β_max), clamped positive.
     let alpha_min = params
@@ -301,6 +303,10 @@ mod tests {
             n_bar: 1 << 17,
         };
         let res = solve_compressible(&items, 1 << 20, &params);
-        assert!(res.grid_size > 0 && res.grid_size < 300, "{}", res.grid_size);
+        assert!(
+            res.grid_size > 0 && res.grid_size < 300,
+            "{}",
+            res.grid_size
+        );
     }
 }

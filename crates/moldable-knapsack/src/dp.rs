@@ -79,16 +79,9 @@ mod tests {
             let bf = brute_force(&items, cap);
             assert_eq!(dp.profit, bf.profit, "round {round}: {items:?} cap {cap}");
             // Solution must be self-consistent.
-            let total_size: u64 = dp
-                .chosen
-                .iter()
-                .map(|&id| items[id as usize].size)
-                .sum();
-            let total_profit: Work = dp
-                .chosen
-                .iter()
-                .map(|&id| items[id as usize].profit)
-                .sum();
+            let total_size: u64 = dp.chosen.iter().map(|&id| items[id as usize].size).sum();
+            let total_profit: Work =
+                dp.chosen.iter().map(|&id| items[id as usize].profit).sum();
             assert!(total_size <= cap);
             assert_eq!(total_profit, dp.profit);
         }

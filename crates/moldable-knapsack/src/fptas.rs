@@ -144,13 +144,7 @@ mod tests {
         for trial in 0..50 {
             let n = 3 + (next() % 8) as usize;
             let its: Vec<Item> = (0..n)
-                .map(|i| {
-                    Item::plain(
-                        i as u32,
-                        1 + next() % 20,
-                        (1 + next() % 1000) as Work,
-                    )
-                })
+                .map(|i| Item::plain(i as u32, 1 + next() % 20, (1 + next() % 1000) as Work))
                 .collect();
             let cap = 10 + next() % 40;
             let opt = brute_force(&its, cap).profit;

@@ -187,11 +187,7 @@ mod tests {
             assert_eq!(sol.profit, bf.profit, "round {round}");
             // Verify the backtracked set.
             let size: u64 = sol.chosen.iter().map(|&id| items[id as usize].size).sum();
-            let profit: Work = sol
-                .chosen
-                .iter()
-                .map(|&id| items[id as usize].profit)
-                .sum();
+            let profit: Work = sol.chosen.iter().map(|&id| items[id as usize].profit).sum();
             assert!(size <= cap);
             assert_eq!(profit, sol.profit);
         }

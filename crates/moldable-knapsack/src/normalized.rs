@@ -285,19 +285,14 @@ mod tests {
                     opt.profit
                 );
                 // True size within α/(1−ρ).
-                let true_size: u64 =
-                    sol.chosen.iter().map(|&id| items[id as usize].size).sum();
+                let true_size: u64 = sol.chosen.iter().map(|&id| items[id as usize].size).sum();
                 let bound = Ratio::from(alpha).div(&rho.one_minus());
                 assert!(
                     bound.ge_int(true_size as u128),
                     "round {round}: α={alpha} true size {true_size} > {bound}"
                 );
                 // Profit self-consistent.
-                let p: Work = sol
-                    .chosen
-                    .iter()
-                    .map(|&id| items[id as usize].profit)
-                    .sum();
+                let p: Work = sol.chosen.iter().map(|&id| items[id as usize].profit).sum();
                 assert_eq!(p, sol.profit);
             }
         }

@@ -108,7 +108,11 @@ fn lay_out(inst: &Instance, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>)
         groups.push(MachineGroup {
             count: col.width,
             gap_start: cursor,
-            free: if h >= cursor { h.sub(&cursor) } else { Ratio::zero() },
+            free: if h >= cursor {
+                h.sub(&cursor)
+            } else {
+                Ratio::zero()
+            },
         });
     }
 
@@ -210,10 +214,7 @@ mod tests {
     fn rejects_work_overflow() {
         // Work exceeds m·d′: four sequential jobs of length 10 on one
         // machine with d' = 10 → W = 40 > 10.
-        let inst = Instance::new(
-            vec![SpeedupCurve::Constant(10); 4],
-            1,
-        );
+        let inst = Instance::new(vec![SpeedupCurve::Constant(10); 4], 1);
         let d = Ratio::from(10u64);
         assert!(assemble(&inst, &d, &[0, 1, 2, 3], TransformMode::Exact).is_none());
     }

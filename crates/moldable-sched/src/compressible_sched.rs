@@ -106,7 +106,9 @@ impl DualAlgorithm for CompressibleDual {
         // slack never exceeds capacity/(1−ρ) ≤ 2·capacity; and a solution
         // can never hold more compressible items than exist.
         let n_compressible = items.iter().filter(|i| i.compressible).count() as u64;
-        let n_bar = (2 * capacity / wide.max(1)).min(n_compressible.max(1)).max(1);
+        let n_bar = (2 * capacity / wide.max(1))
+            .min(n_compressible.max(1))
+            .max(1);
         let params = CompressibleParams {
             rho: self.rho.div_int(2),
             alpha_min,

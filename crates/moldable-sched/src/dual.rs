@@ -42,11 +42,7 @@ pub struct ApproxResult {
 /// makespan is at most `guarantee·(1+ε)·OPT`.
 ///
 /// `eps` must be positive.
-pub fn approximate(
-    inst: &Instance,
-    algo: &dyn DualAlgorithm,
-    eps: &Ratio,
-) -> ApproxResult {
+pub fn approximate(inst: &Instance, algo: &dyn DualAlgorithm, eps: &Ratio) -> ApproxResult {
     assert!(!eps.is_zero(), "ε must be positive");
     assert!(inst.n() > 0, "approximate() on empty instance");
     let est = estimate(inst);

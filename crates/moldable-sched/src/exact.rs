@@ -37,14 +37,12 @@ pub fn useful_counts(inst: &Instance, job: JobId) -> Vec<Procs> {
 }
 
 /// Exact optimal schedule by exhaustive search. Panics if the search space
-/// exceeds [`SEARCH_CAP`] (guard for accidental misuse) or the instance is
+/// exceeds `SEARCH_CAP` (guard for accidental misuse) or the instance is
 /// empty.
 pub fn optimal_schedule(inst: &Instance) -> Schedule {
     let n = inst.n();
     assert!(n > 0, "exact solver on empty instance");
-    let candidates: Vec<Vec<Procs>> = (0..n as JobId)
-        .map(|j| useful_counts(inst, j))
-        .collect();
+    let candidates: Vec<Vec<Procs>> = (0..n as JobId).map(|j| useful_counts(inst, j)).collect();
     let mut orders: u128 = 1;
     for k in 2..=n as u128 {
         orders = orders.saturating_mul(k);
@@ -129,10 +127,7 @@ mod tests {
     #[test]
     fn moldability_pays_off() {
         // One perfectly-splittable job (table) and m=2: t = [10, 5].
-        let inst = Instance::new(
-            vec![SpeedupCurve::Table(Arc::new(vec![10, 5]))],
-            2,
-        );
+        let inst = Instance::new(vec![SpeedupCurve::Table(Arc::new(vec![10, 5]))], 2);
         assert_eq!(optimal_makespan(&inst), Ratio::from(5u64));
     }
 
@@ -159,8 +154,7 @@ mod tests {
             let n = (next() % 4 + 1) as usize;
             let curves: Vec<SpeedupCurve> = (0..n)
                 .map(|_| {
-                    let mut tbl: Vec<u64> =
-                        (0..m as usize).map(|_| next() % 20 + 1).collect();
+                    let mut tbl: Vec<u64> = (0..m as usize).map(|_| next() % 20 + 1).collect();
                     monotone_closure(&mut tbl);
                     SpeedupCurve::Table(Arc::new(tbl))
                 })
@@ -176,10 +170,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "too large")]
     fn guards_against_blowup() {
-        let inst = Instance::new(
-            (0..12).map(|_| SpeedupCurve::Constant(1)).collect(),
-            1,
-        );
+        let inst = Instance::new((0..12).map(|_| SpeedupCurve::Constant(1)).collect(), 1);
         let _ = optimal_schedule(&inst);
     }
 }

@@ -166,10 +166,7 @@ mod tests {
         // All four jobs fit side by side at width p1 (4·2^16 ≪ 2^40), so the
         // optimum is essentially t1; allow the (1+ε)² slack.
         let mk = res.schedule.makespan(&inst);
-        let bound = eps
-            .one_plus()
-            .mul(&eps.one_plus())
-            .mul_int(t1 as u128);
+        let bound = eps.one_plus().mul(&eps.one_plus()).mul_int(t1 as u128);
         assert!(mk <= bound, "makespan {mk} > {bound}");
     }
 

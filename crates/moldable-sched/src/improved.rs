@@ -192,9 +192,7 @@ impl DualAlgorithm for ImprovedDual {
             }
         };
         let profit_lo = delta.mul_int(d as u128).div_int(2); // δd/2
-        let profit_hi = Ratio::from_int(b as u128)
-            .mul_int(d as u128)
-            .div_int(2); // bd/2
+        let profit_hi = Ratio::from_int(b as u128).mul_int(d as u128).div_int(2); // bd/2
         let profit_grid = up_grid(&profit_lo, &profit_hi, &delta.div_int(b as u128).one_plus());
 
         // Round every knapsack job to a type (Section 4.3.1).

@@ -4,7 +4,7 @@
 //! Linear Time* (Jansen & Land, IPDPS 2018), plus the substrates they stand
 //! on:
 //!
-//! * [`schedule`] / [`validate`] — schedule representation and an
+//! * [`schedule`] / [`validate`](mod@validate) — schedule representation and an
 //!   independent feasibility checker;
 //! * [`list_scheduling`] — rigid-allotment list scheduling (Garey–Graham);
 //! * [`estimator`] — the factor-2 estimator (Ludwig–Tiwari style);

@@ -10,7 +10,7 @@
 //! * [`greedy_schedule`] — **any fit**: at every event, start every job of
 //!   the remaining list that fits. With the estimator's canonical allotment
 //!   (`W/m ≤ ω` and `t_max ≤ ω`), Garey–Graham-style accounting bounds the
-//!   greedy makespan by `2ω` (Section 3, citing [5]) — this realizes
+//!   greedy makespan by `2ω` (Section 3, citing \[5\]) — this realizes
 //!   `OPT ≤ 2ω` and the classic 2-approximation.
 //!
 //! Event-driven implementations: `O(n log n)` / `O(n²)` worst case for the
@@ -187,9 +187,7 @@ mod tests {
                 })
                 .collect();
             let inst = Instance::new(curves, m);
-            let allot: Vec<u64> = (0..n)
-                .map(|_| xorshift(&mut seed) % m + 1)
-                .collect();
+            let allot: Vec<u64> = (0..n).map(|_| xorshift(&mut seed) % m + 1).collect();
             let order: Vec<u32> = (0..n as u32).collect();
             let s = greedy_schedule(&inst, &allot, &order);
             validate(&s, &inst).unwrap();

@@ -69,9 +69,8 @@ mod tests {
         let n = (xorshift(seed) % max_n + 1) as usize;
         let curves: Vec<SpeedupCurve> = (0..n)
             .map(|_| {
-                let mut tbl: Vec<u64> = (0..m as usize)
-                    .map(|_| xorshift(seed) % 30 + 1)
-                    .collect();
+                let mut tbl: Vec<u64> =
+                    (0..m as usize).map(|_| xorshift(seed) % 30 + 1).collect();
                 monotone_closure(&mut tbl);
                 SpeedupCurve::Table(Arc::new(tbl))
             })
@@ -95,9 +94,8 @@ mod tests {
                     panic!("round {round}: rejected feasible d={d} (OPT={opt})")
                 });
                 let bound = Ratio::new(3, 2).mul_int(d as u128);
-                validate_with_makespan(&s, &inst, &bound).unwrap_or_else(|e| {
-                    panic!("round {round}, d={d}: {e}")
-                });
+                validate_with_makespan(&s, &inst, &bound)
+                    .unwrap_or_else(|e| panic!("round {round}, d={d}: {e}"));
             }
             // Below-lower-bound targets may accept or reject, but accepted
             // schedules must still meet the 3/2·d bound.

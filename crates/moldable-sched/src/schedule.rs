@@ -9,7 +9,7 @@
 //! processor demand never exceeds `m` (any such demand profile can be
 //! realized greedily by start time — when a job starts, at least `procs`
 //! machines are free, and they stay with the job until it completes). The
-//! independent checker in [`crate::validate`] verifies exactly this.
+//! independent checker in [`crate::validate()`] verifies exactly this.
 
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs};
@@ -47,10 +47,7 @@ impl Schedule {
     pub fn makespan(&self, inst: &moldable_core::instance::Instance) -> Ratio {
         self.assignments
             .iter()
-            .map(|a| {
-                a.start
-                    .add(&Ratio::from(inst.job(a.job).time(a.procs)))
-            })
+            .map(|a| a.start.add(&Ratio::from(inst.job(a.job).time(a.procs))))
             .max()
             .unwrap_or(Ratio::zero())
     }

@@ -109,8 +109,8 @@ mod tests {
         // d = 10: small iff t(1) ≤ 5.
         let inst = Instance::new(
             vec![
-                SpeedupCurve::Constant(5),  // small
-                SpeedupCurve::Constant(6),  // big, γ(d)=1, γ(d/2) undefined → forced
+                SpeedupCurve::Constant(5),                 // small
+                SpeedupCurve::Constant(6), // big, γ(d)=1, γ(d/2) undefined → forced
                 SpeedupCurve::Table(Arc::new(vec![8, 4])), // big, γ(10)=1, γ(5)=2
             ],
             4,
@@ -165,8 +165,7 @@ mod tests {
             let n = (next() % 6 + 1) as usize;
             let curves: Vec<SpeedupCurve> = (0..n)
                 .map(|_| {
-                    let mut tbl: Vec<u64> =
-                        (0..m as usize).map(|_| next() % 40 + 1).collect();
+                    let mut tbl: Vec<u64> = (0..m as usize).map(|_| next() % 40 + 1).collect();
                     monotone_closure(&mut tbl);
                     SpeedupCurve::Table(Arc::new(tbl))
                 })

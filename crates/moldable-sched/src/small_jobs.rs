@@ -113,12 +113,8 @@ mod tests {
             2,
         );
         let mut s = Schedule::new();
-        let ok = insert_small_jobs(
-            &inst,
-            &mut s,
-            vec![group(1, 0, 4), group(1, 0, 9)],
-            &[0, 1],
-        );
+        let ok =
+            insert_small_jobs(&inst, &mut s, vec![group(1, 0, 4), group(1, 0, 9)], &[0, 1]);
         assert!(ok);
         // Job 0 on machine 1 ([0,3)); job 1 does not fit in the remaining 1
         // unit → machine discarded → machine 2 ([0,5)).
@@ -131,10 +127,7 @@ mod tests {
     fn group_splitting_preserves_capacity() {
         // 3 identical machines, 4 unit jobs each of length 2, free 2 each:
         // one job per machine fits, fourth job fails.
-        let inst = Instance::new(
-            (0..4).map(|_| SpeedupCurve::Constant(2)).collect(),
-            3,
-        );
+        let inst = Instance::new((0..4).map(|_| SpeedupCurve::Constant(2)).collect(), 3);
         let mut s = Schedule::new();
         let ok = insert_small_jobs(&inst, &mut s, vec![group(3, 1, 2)], &[0, 1, 2, 3]);
         assert!(!ok, "fourth job cannot fit");

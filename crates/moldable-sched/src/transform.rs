@@ -375,10 +375,7 @@ mod tests {
     #[test]
     fn rule_i_moves_wide_short_jobs() {
         // Job 0: t(2) = 6 ≤ ¾·10, t(1) = 12 ≤ 15 → S0 column of width 1.
-        let inst = Instance::new(
-            vec![SpeedupCurve::Table(Arc::new(vec![12, 6]))],
-            4,
-        );
+        let inst = Instance::new(vec![SpeedupCurve::Table(Arc::new(vec![12, 6]))], 4);
         let d = Ratio::from(10u64);
         let out = transform(&inst, &d, vec![sj(0, 2, 6)], vec![], TransformMode::Exact);
         assert_eq!(out.s0.len(), 1);
@@ -391,10 +388,7 @@ mod tests {
     #[test]
     fn rule_ii_pairs_narrow_singles() {
         let inst = Instance::new(
-            vec![
-                SpeedupCurve::Constant(7),
-                SpeedupCurve::Constant(6),
-            ],
+            vec![SpeedupCurve::Constant(7), SpeedupCurve::Constant(6)],
             4,
         );
         let d = Ratio::from(10u64); // ¾d = 7.5 ≥ both
@@ -464,18 +458,9 @@ mod tests {
     fn rule_iii_pulls_s2_job_when_processors_free() {
         // S2 job: t = [14, 9, 5]; q = m = 4 free, t(4) = 5 ≤ 15 → p =
         // γ(15) = 1 (t(1) = 14 ≤ 15), time 14 > d = 10 → S0 single.
-        let inst = Instance::new(
-            vec![SpeedupCurve::Table(Arc::new(vec![14, 9, 5]))],
-            4,
-        );
+        let inst = Instance::new(vec![SpeedupCurve::Table(Arc::new(vec![14, 9, 5]))], 4);
         let d = Ratio::from(10u64);
-        let out = transform(
-            &inst,
-            &d,
-            vec![],
-            vec![sj(0, 3, 5)],
-            TransformMode::Exact,
-        );
+        let out = transform(&inst, &d, vec![], vec![sj(0, 3, 5)], TransformMode::Exact);
         assert_eq!(out.s0.len(), 1);
         assert_eq!(out.s0[0].width, 1);
         assert!(out.s2.is_empty());

@@ -105,8 +105,8 @@ pub fn run_epochs(
         epochs.push(Epoch {
             index,
             jobs: batch,
-            start: clock.clone(),
-            end: end.clone(),
+            start: clock,
+            end,
         });
         traces.push(ex.trace);
         clock = end;

@@ -48,15 +48,15 @@ struct Running {
 /// processors now and the (end, procs) of running jobs.
 fn reservation_time(now: &Ratio, free: Procs, want: Procs, running: &[Running]) -> Ratio {
     if want <= free {
-        return now.clone();
+        return *now;
     }
     let mut ends: Vec<&Running> = running.iter().collect();
-    ends.sort_by(|a, b| a.end.cmp(&b.end));
+    ends.sort_by_key(|a| a.end);
     let mut avail = free;
     for r in ends {
         avail += r.procs;
         if avail >= want {
-            return r.end.clone();
+            return r.end;
         }
     }
     unreachable!("want ≤ m, so all completions must free enough processors");
@@ -110,12 +110,12 @@ pub fn backfill_schedule(
 
     // Start `job` at `now`; updates all bookkeeping.
     let start = |job: u32,
-                     now: &Ratio,
-                     pool: &mut ProcessorPool,
-                     queue: &mut EventQueue,
-                     trace: &mut Trace,
-                     schedule: &mut Schedule,
-                     running: &mut Vec<Running>|
+                 now: &Ratio,
+                 pool: &mut ProcessorPool,
+                 queue: &mut EventQueue,
+                 trace: &mut Trace,
+                 schedule: &mut Schedule,
+                 running: &mut Vec<Running>|
      -> Result<(), SimError> {
         let want = allotment[job as usize];
         let blocks = pool.acquire(job, want, now)?.to_vec();
@@ -124,14 +124,14 @@ pub fn backfill_schedule(
             trace.segments.push(Segment {
                 job,
                 block: b,
-                start: now.clone(),
-                end: end.clone(),
+                start: *now,
+                end,
             });
         }
-        schedule.push(job, now.clone(), want);
+        schedule.push(job, *now, want);
         running.push(Running {
             job,
-            end: end.clone(),
+            end,
             procs: want,
         });
         queue.push(Event {
@@ -165,11 +165,8 @@ pub fn backfill_schedule(
             let need_h = allotment[head as usize];
             let r = reservation_time(&now, pool.free_count(), need_h, &running);
             // How many processors running jobs free strictly by r.
-            let freed_by_r: Procs = running
-                .iter()
-                .filter(|x| x.end <= r)
-                .map(|x| x.procs)
-                .sum();
+            let freed_by_r: Procs =
+                running.iter().filter(|x| x.end <= r).map(|x| x.procs).sum();
             let mut i = 1; // skip the head
             while i < pending.len() {
                 let j = pending[i];
@@ -209,7 +206,7 @@ pub fn backfill_schedule(
         match queue.pop() {
             Some(ev) => {
                 debug_assert_eq!(ev.kind, EventKind::Complete);
-                now = ev.at.clone();
+                now = ev.at;
                 pool.release(ev.job);
                 // Remove by id: at simultaneous completions only the
                 // popped job's processors are back in the pool so far —
@@ -276,8 +273,7 @@ mod tests {
             .iter()
             .find(|a| a.job == 1)
             .unwrap()
-            .start
-            .clone();
+            .start;
         assert_eq!(b_start, Ratio::from(10u64));
         assert_eq!(out.backfilled, 0);
     }

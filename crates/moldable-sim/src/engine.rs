@@ -47,7 +47,7 @@ impl Event {
             EventKind::Complete => 0,
             EventKind::Start => 1,
         };
-        (self.at.clone(), kind, self.job)
+        (self.at, kind, self.job)
     }
 }
 
@@ -242,12 +242,17 @@ impl ProcessorPool {
     /// block is satisfied by several blocks (the machines are
     /// interchangeable, and moldable jobs in this model have no locality
     /// constraint — contiguity is best-effort for readable traces).
-    pub fn acquire(&mut self, job: JobId, want: Procs, at: &Ratio) -> Result<&[Block], SimError> {
+    pub fn acquire(
+        &mut self,
+        job: JobId,
+        want: Procs,
+        at: &Ratio,
+    ) -> Result<&[Block], SimError> {
         let free = self.free_count();
         if want > free {
             return Err(SimError::Oversubscribed {
                 job,
-                at: at.clone(),
+                at: *at,
                 wanted: want,
                 free,
             });

@@ -67,7 +67,7 @@ pub fn execute(inst: &Instance, schedule: &Schedule) -> Result<Execution, SimErr
         if slot.is_some() {
             return Err(SimError::DuplicateJob { job: a.job });
         }
-        *slot = Some((a.start.clone(), a.procs));
+        *slot = Some((a.start, a.procs));
     }
     let missing = assignment.iter().filter(|s| s.is_none()).count();
     if missing > 0 {
@@ -78,7 +78,7 @@ pub fn execute(inst: &Instance, schedule: &Schedule) -> Result<Execution, SimErr
     for (id, slot) in assignment.iter().enumerate() {
         let (start, _) = slot.as_ref().unwrap();
         queue.push(Event {
-            at: start.clone(),
+            at: *start,
             kind: EventKind::Start,
             job: id as u32,
         });
@@ -96,13 +96,13 @@ pub fn execute(inst: &Instance, schedule: &Schedule) -> Result<Execution, SimErr
                 let blocks = pool.acquire(ev.job, *procs, &ev.at)?.to_vec();
                 let dur = inst.time(ev.job, *procs);
                 let end = ev.at.add(&Ratio::from(dur));
-                started[ev.job as usize] = Some(ev.at.clone());
+                started[ev.job as usize] = Some(ev.at);
                 for b in blocks {
                     trace.segments.push(Segment {
                         job: ev.job,
                         block: b,
-                        start: ev.at.clone(),
-                        end: end.clone(),
+                        start: ev.at,
+                        end,
                     });
                 }
                 queue.push(Event {

@@ -50,8 +50,8 @@ impl ClusterMetrics {
         for s in &trace.segments {
             let e = per_job.entry(s.job).or_insert_with(|| JobMetrics {
                 job: s.job,
-                start: s.start.clone(),
-                end: s.end.clone(),
+                start: s.start,
+                end: s.end,
                 procs: 0,
             });
             assert_eq!(e.start, s.start, "job {} has ragged segments", s.job);

@@ -87,11 +87,11 @@ pub fn online_list_schedule(
                 trace.segments.push(Segment {
                     job,
                     block: b,
-                    start: now.clone(),
-                    end: end.clone(),
+                    start: now,
+                    end,
                 });
             }
-            schedule.push(job, now.clone(), want);
+            schedule.push(job, now, want);
             queue.push(Event {
                 at: end,
                 kind: EventKind::Complete,

@@ -63,7 +63,7 @@ impl Trace {
     pub fn makespan(&self) -> Ratio {
         self.segments
             .iter()
-            .map(|s| s.end.clone())
+            .map(|s| s.end)
             .max()
             .unwrap_or_else(Ratio::zero)
     }
@@ -86,15 +86,15 @@ impl Trace {
         // Sweep over ±len deltas at segment starts/ends.
         let mut deltas: Vec<(Ratio, i128)> = Vec::with_capacity(2 * self.segments.len());
         for s in &self.segments {
-            deltas.push((s.start.clone(), s.block.len as i128));
-            deltas.push((s.end.clone(), -(s.block.len as i128)));
+            deltas.push((s.start, s.block.len as i128));
+            deltas.push((s.end, -(s.block.len as i128)));
         }
-        deltas.sort_by(|a, b| a.0.cmp(&b.0));
+        deltas.sort_by_key(|a| a.0);
         let mut profile: Vec<(Ratio, Procs)> = Vec::new();
         let mut usage: i128 = 0;
         let mut i = 0;
         while i < deltas.len() {
-            let t = deltas[i].0.clone();
+            let t = deltas[i].0;
             while i < deltas.len() && deltas[i].0 == t {
                 usage += deltas[i].1;
                 i += 1;
@@ -123,9 +123,9 @@ impl Trace {
             .segments
             .iter()
             .filter(|s| s.block.start <= p && p < s.block.end())
-            .map(|s| (s.job, s.start.clone(), s.end.clone()))
+            .map(|s| (s.job, s.start, s.end))
             .collect();
-        runs.sort_by(|a, b| a.1.cmp(&b.1));
+        runs.sort_by_key(|a| a.1);
         ProcessorTimeline { runs }
     }
 

@@ -66,9 +66,8 @@ pub fn render_gantt(inst: &Instance, schedule: &Schedule, width: usize) -> Strin
     }
     let _ = writeln!(
         out,
-        "     0{}{}  (makespan = {makespan})",
-        " ".repeat(width.saturating_sub(1)),
-        ""
+        "     0{}  (makespan = {makespan})",
+        " ".repeat(width.saturating_sub(1))
     );
     out
 }

@@ -23,8 +23,8 @@ use std::fmt::Write as _;
 /// Qualitative 12-color palette (ColorBrewer Set3-like, hand-tuned for
 /// white backgrounds).
 const PALETTE: [&str; 12] = [
-    "#8dd3c7", "#ffed6f", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
-    "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffffb3",
+    "#8dd3c7", "#ffed6f", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5",
+    "#d9d9d9", "#bc80bd", "#ccebc5", "#ffffb3",
 ];
 
 /// Color for a job id.
@@ -172,7 +172,7 @@ pub fn schedule_svg(
                 true
             };
             if free {
-                free_at[mach as usize] = end.clone();
+                free_at[mach as usize] = end;
                 granted += 1;
                 if run_start.is_none() {
                     run_start = Some(mach);

@@ -88,8 +88,7 @@ pub fn power_law_staircase(
     params: &PowerLawParams,
 ) -> SpeedupCurve {
     let t1 = rng.gen_range(params.t1_min..=params.t1_max);
-    let alpha =
-        rng.gen_range(params.alpha_milli_min..=params.alpha_milli_max) as f64 / 1000.0;
+    let alpha = rng.gen_range(params.alpha_milli_min..=params.alpha_milli_max) as f64 / 1000.0;
     let target_speedup = (m as f64).powf(alpha).min((t1 as f64).sqrt()).max(1.0);
     let c = ((t1 as f64 / (target_speedup * target_speedup)).floor() as Time).max(1);
     SpeedupCurve::ideal_with_overhead(t1, c, m)
@@ -113,11 +112,7 @@ pub fn amdahl_staircase(rng: &mut impl Rng, m: Procs, t1: Time) -> SpeedupCurve 
 
 /// A communication-overhead job: ideal `t(p) = t1/p + c·log2(p)` — speedup
 /// flattens once the logarithmic coordination term dominates.
-pub fn comm_overhead_staircase(
-    rng: &mut impl Rng,
-    m: Procs,
-    t1: Time,
-) -> SpeedupCurve {
+pub fn comm_overhead_staircase(rng: &mut impl Rng, m: Procs, t1: Time) -> SpeedupCurve {
     let c = rng.gen_range(1..=(t1 / 64).max(2));
     let samples = dense_then_geometric(m, 512)
         .into_iter()
@@ -137,9 +132,8 @@ pub fn random_table_instance(rng: &mut impl Rng, n: usize, m: Procs, t_max: Time
     assert!(m <= 1 << 16, "table encoding is O(m) — use staircases");
     let curves = (0..n)
         .map(|_| {
-            let mut tbl: Vec<Time> = (0..m as usize)
-                .map(|_| rng.gen_range(1..=t_max))
-                .collect();
+            let mut tbl: Vec<Time> =
+                (0..m as usize).map(|_| rng.gen_range(1..=t_max)).collect();
             monotone_closure(&mut tbl);
             SpeedupCurve::Table(Arc::new(tbl))
         })
@@ -180,9 +174,8 @@ mod tests {
         for _ in 0..30 {
             let inst = random_mixed_instance(&mut rng, 8, m);
             for j in inst.jobs() {
-                verify_monotone(j, m).unwrap_or_else(|e| {
-                    panic!("family produced non-monotone job: {e:?}")
-                });
+                verify_monotone(j, m)
+                    .unwrap_or_else(|e| panic!("family produced non-monotone job: {e:?}"));
             }
         }
     }

@@ -1,0 +1,146 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A range of collection sizes, convertible from `usize` (exact),
+/// `Range<usize>`, and `RangeInclusive<usize>`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            self.lo + (rng.next_u64() as usize) % (self.hi - self.lo + 1)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generate `Vec`s whose length falls in `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generate `HashSet`s whose size falls in `size` and whose elements come
+/// from `element`.
+///
+/// Sampling retries on duplicates; like real proptest, a domain smaller than
+/// the requested size cannot terminate, so keep ranges comfortably wide.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let len = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(len);
+        let mut attempts = 0usize;
+        while out.len() < len {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+            assert!(
+                attempts < 1000 * (len + 1),
+                "hash_set strategy could not reach size {len}; element domain too small"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::for_test("collection::tests");
+        for _ in 0..100 {
+            assert_eq!(vec(0u64..5, 3).sample(&mut rng).len(), 3);
+            let v = vec(0u64..5, 1..4).sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let v = vec(0u64..5, 2..=6).sample(&mut rng);
+            assert!((2..=6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_requested_size() {
+        let mut rng = TestRng::for_test("collection::tests::hash_set");
+        for _ in 0..50 {
+            let s = hash_set(-1000i32..1000, 3..20).sample(&mut rng);
+            assert!((3..20).contains(&s.len()));
+        }
+    }
+}

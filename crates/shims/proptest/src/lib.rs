@@ -1,0 +1,111 @@
+//! Vendored shim for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The workspace builds hermetically (no registry access), so its
+//! property tests run against this shim. It keeps the authoring surface the
+//! tests use — the [`proptest!`] macro, `Strategy` with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `prop::collection::{vec,
+//! hash_set}`, `ProptestConfig::with_cases`, and the `prop_assert*` macros —
+//! but replaces proptest's shrinking search with plain random sampling from
+//! a deterministic per-test generator: each case draws fresh inputs, and a
+//! failing case panics with the generated inputs' debug representation
+//! (no shrinking to a minimal counterexample).
+//!
+//! Determinism: the RNG seed is derived from the test's name, so a failure
+//! reproduces by re-running the same test binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop` namespace mirrored from real proptest (`prop::collection::vec`
+/// and friends).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+///
+/// Real proptest reports the failure back to the shrinking runner; this shim
+/// simply panics (the harness prints the generated inputs first).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies
+/// [`ProptestConfig::cases`](crate::test_runner::ProptestConfig) times.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one expansion per test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let values = ( $( $crate::strategy::Strategy::sample(&$strat, &mut rng), )+ );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ( $($pat,)+ ) = values.clone();
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest shim: test {} failed at case {}/{} with inputs {:?}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        values,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+}

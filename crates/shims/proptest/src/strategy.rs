@@ -1,0 +1,178 @@
+//! Sampling-only strategies: the value-generation half of proptest's
+//! `Strategy`, without shrink trees.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of an output type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then use it to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Range sampling delegates to the rand shim's `SampleRange`, so the
+// uniform-sampling logic (and its edge cases, like the half-open float
+// boundary) lives in exactly one place.
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+// Only f64 (like the rand shim): an f32 impl would make unsuffixed float
+// literals ambiguous, and the workspace's strategies never sample f32.
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rand::SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rand::SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_combinators_stay_in_bounds() {
+        let mut rng = TestRng::for_test("strategy::tests");
+        for _ in 0..200 {
+            let v = (1u64..10).sample(&mut rng);
+            assert!((1..10).contains(&v));
+            let v = (0i32..=0).sample(&mut rng);
+            assert_eq!(v, 0);
+            let f = (0.5f64..1.0).sample(&mut rng);
+            assert!((0.5..1.0).contains(&f));
+            let (a, b) = (1usize..=5, 10u64..20).sample(&mut rng);
+            assert!((1..=5).contains(&a) && (10..20).contains(&b));
+            let doubled = (1u64..4).prop_map(|x| x * 2).sample(&mut rng);
+            assert!([2, 4, 6].contains(&doubled));
+            let dependent = (1usize..=3)
+                .prop_flat_map(|n| crate::collection::vec(0u64..5, n..=n))
+                .sample(&mut rng);
+            assert!((1..=3).contains(&dependent.len()));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Vendored shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The workspace builds hermetically (no registry access), so the external
+//! dependencies it names in `[workspace.dependencies]` resolve to small local
+//! shims implementing exactly the API subset the tree uses. For `rand` 0.8
+//! that subset is:
+//!
+//! - [`SeedableRng::seed_from_u64`] to construct a deterministic generator,
+//! - [`rngs::SmallRng`] as the concrete generator (xoshiro256++ seeded via
+//!   SplitMix64, the same construction the real `SmallRng` uses on 64-bit
+//!   targets),
+//! - [`Rng::gen_range`] over half-open and inclusive integer and float
+//!   ranges.
+//!
+//! Streams are deterministic for a fixed seed, which is all the tests and
+//! workload generators rely on; no claim of distribution quality beyond
+//! xoshiro256++ itself is made. Integer sampling uses simple rejection-free
+//! modulo reduction: the tiny modulo bias is irrelevant for generating test
+//! workloads and keeps the shim obviously correct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be built from a small seed.
+pub trait SeedableRng: Sized {
+    /// Construct a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range`.
+    ///
+    /// Panics when the range is empty, matching real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// Panics when `p` is outside `[0, 1]`, matching real `rand`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can be sampled to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn wide_u128<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = wide_u128(rng) % span;
+                ((self.start as i128).wrapping_add(off as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let off = wide_u128(rng) % span;
+                ((lo as i128).wrapping_add(off as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// u128 spans can exceed i128 arithmetic; the workspace only samples narrow
+// u128 ranges, so reduce through the span directly.
+impl SampleRange<u128> for core::ops::Range<u128> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + wide_u128(rng) % (self.end - self.start)
+    }
+}
+
+impl SampleRange<u128> for core::ops::RangeInclusive<u128> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi - lo + 1;
+        lo + wide_u128(rng) % span
+    }
+}
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start + (self.end - self.start) * unit as $t;
+                // start + span*unit can round up to the excluded endpoint;
+                // keep the half-open contract.
+                if v < self.end {
+                    v
+                } else {
+                    self.end.next_down()
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Closed interval: dividing by 2^53 − 1 makes unit span
+                // [0, 1] inclusive, so hi itself is reachable. The final
+                // min guards the last-ulp rounding overshoot.
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                (lo + (hi - lo) * unit as $t).min(hi)
+            }
+        }
+    )*};
+}
+
+// Only f64: an f32 impl would make unsuffixed literals like
+// `gen_range(0.01..0.5)` ambiguous, and the workspace never samples f32.
+impl_sample_range_float!(f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small fast generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            // One-ulp-wide range: rounding must not emit the excluded end.
+            let tiny = rng.gen_range(1.0f64..1.0000000000000002);
+            assert_eq!(tiny, 1.0);
+            let closed = rng.gen_range(0.5f64..=1.5);
+            assert!((0.5..=1.5).contains(&closed));
+            let w = rng.gen_range(3u128..=3);
+            assert_eq!(w, 3);
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

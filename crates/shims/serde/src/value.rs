@@ -1,0 +1,323 @@
+//! The in-memory data model shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    U(u128),
+    /// A negative integer.
+    I(i128),
+    /// A float.
+    F(f64),
+}
+
+impl Number {
+    /// Wrap an unsigned integer.
+    pub fn from_u128(n: u128) -> Number {
+        Number::U(n)
+    }
+
+    /// Wrap a signed integer (normalized to `U` when non-negative).
+    pub fn from_i128(n: i128) -> Number {
+        if n >= 0 {
+            Number::U(n as u128)
+        } else {
+            Number::I(n)
+        }
+    }
+
+    /// Wrap a float.
+    pub fn from_f64(f: f64) -> Number {
+        Number::F(f)
+    }
+
+    /// The value as a `u128`, when non-negative and integral.
+    pub fn as_u128(&self) -> Option<u128> {
+        match *self {
+            Number::U(n) => Some(n),
+            Number::I(n) => u128::try_from(n).ok(),
+            // Strict `<`: `u128::MAX as f64` rounds up to 2^128, which
+            // itself does not fit.
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f < u128::MAX as f64 => {
+                Some(f as u128)
+            }
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as an `i128`, when integral.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::U(n) => i128::try_from(n).ok(),
+            Number::I(n) => Some(n),
+            // `i128::MIN as f64` is exactly -2^127 (a valid value), while
+            // `i128::MAX as f64` rounds up to 2^127 (not one) — hence >= / <.
+            Number::F(f)
+                if f.fract() == 0.0 && f >= i128::MIN as f64 && f < i128::MAX as f64 =>
+            {
+                Some(f as i128)
+            }
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as an `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self, other) {
+            (Number::F(_), _) | (_, Number::F(_)) => self.as_f64() == other.as_f64(),
+            _ => match (self.as_u128(), other.as_u128()) {
+                (Some(a), Some(b)) => a == b,
+                // Both unrepresentable as u128 means both are negative.
+                (None, None) => self.as_i128() == other.as_i128(),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(n) => write!(f, "{n}"),
+            Number::I(n) => write!(f, "{n}"),
+            Number::F(x) if x.is_finite() => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            // JSON has no NaN/inf; serde_json serializes them as null.
+            Number::F(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON value tree.
+///
+/// Objects preserve insertion order (a `Vec` of pairs rather than a map):
+/// lookups are linear, which is fine for the small configuration objects
+/// this workspace serializes, and round-trips print fields in their
+/// original order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// `true` when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when the value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number, when the value is one.
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, when it fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_number()
+            .and_then(Number::as_u128)
+            .and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// The number as an `i64`, when it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number()
+            .and_then(Number::as_i128)
+            .and_then(|n| i64::try_from(n).ok())
+    }
+
+    /// The number as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::as_f64)
+    }
+
+    /// The string slice, when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element vector, when the value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The field pairs, when the value is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access that yields `null` for missing keys or non-objects,
+    /// matching `serde_json`'s panic-free indexing.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_from {
+    ($($t:ty => $ctor:expr;)*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                #[allow(clippy::redundant_closure_call)]
+                ($ctor)(v)
+            }
+        }
+    )*};
+}
+
+impl_value_from! {
+    bool => Value::Bool;
+    String => Value::String;
+    &str => |s: &str| Value::String(s.to_string());
+    u8 => |v| Value::Number(Number::from_u128(v as u128));
+    u16 => |v| Value::Number(Number::from_u128(v as u128));
+    u32 => |v| Value::Number(Number::from_u128(v as u128));
+    u64 => |v| Value::Number(Number::from_u128(v as u128));
+    u128 => |v| Value::Number(Number::from_u128(v));
+    usize => |v| Value::Number(Number::from_u128(v as u128));
+    i8 => |v| Value::Number(Number::from_i128(v as i128));
+    i16 => |v| Value::Number(Number::from_i128(v as i128));
+    i32 => |v| Value::Number(Number::from_i128(v as i128));
+    i64 => |v| Value::Number(Number::from_i128(v as i128));
+    i128 => |v| Value::Number(Number::from_i128(v));
+    isize => |v| Value::Number(Number::from_i128(v as i128));
+    f32 => |v| Value::Number(Number::from_f64(v as f64));
+    f64 => |v| Value::Number(Number::from_f64(v));
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_missing_keys_yields_null() {
+        let v = Value::Object(vec![("a".to_string(), Value::Bool(true))]);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"].as_bool(), Some(true));
+        assert!(Value::Null["a"].is_null());
+    }
+
+    #[test]
+    fn number_conversions() {
+        assert_eq!(Number::from_i128(5).as_u128(), Some(5));
+        assert_eq!(Number::from_i128(-5).as_u128(), None);
+        assert_eq!(Number::from_f64(3.0).as_i128(), Some(3));
+        assert_eq!(Number::from_f64(3.5).as_i128(), None);
+        // Floats at the rounded-up MAX boundary must not saturate silently.
+        assert_eq!(Number::from_f64(2f64.powi(128)).as_u128(), None);
+        assert_eq!(Number::from_f64(2f64.powi(127)).as_i128(), None);
+        assert_eq!(
+            Number::from_f64(-(2f64.powi(127))).as_i128(),
+            Some(i128::MIN)
+        );
+    }
+
+    #[test]
+    fn numbers_compare_across_representations() {
+        assert_eq!(Number::from_u128(3), Number::from_f64(3.0));
+        assert_eq!(Number::from_i128(-2), Number::from_f64(-2.0));
+        assert_ne!(Number::from_u128(3), Number::from_f64(3.5));
+    }
+}

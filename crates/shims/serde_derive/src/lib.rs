@@ -1,0 +1,490 @@
+//! Vendored shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without `syn`/`quote` (the workspace builds with no registry access).
+//!
+//! The input item is parsed directly from the token stream and the generated
+//! impls are emitted as source text targeting the `serde` shim's
+//! `Value`-based traits. Supported shapes — the ones this workspace
+//! actually derives on:
+//!
+//! - structs with named fields, honoring
+//!   `#[serde(skip_serializing_if = "path")]` per field;
+//! - enums with unit, newtype, and struct variants in serde's
+//!   externally-tagged representation, honoring
+//!   `#[serde(rename_all = "snake_case")]` on the enum.
+//!
+//! Anything else (generics, tuple structs, multi-field tuple variants,
+//! other `#[serde(...)]` attributes) fails the derive with a compile error
+//! naming this file, so growing the surface is a deliberate act.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => serialize_struct(&item, fields),
+        Shape::Enum(variants) => serialize_enum(&item, variants),
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derive the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => deserialize_struct(&item, fields),
+        Shape::Enum(variants) => deserialize_enum(&item, variants),
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// `rename_all = "snake_case"` present on the container.
+    snake_case: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip_serializing_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_attrs = collect_attrs(&tokens, &mut i);
+    let snake_case = container_attrs
+        .iter()
+        .any(|a| a.key == "rename_all" && a.value == "snake_case");
+    for a in &container_attrs {
+        if a.key != "rename_all" {
+            panic!(
+                "serde_derive shim: unsupported container attribute `{}` \
+                 (see crates/shims/serde_derive)",
+                a.key
+            );
+        }
+    }
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde_derive shim: generic types are unsupported (see crates/shims/serde_derive)"
+        );
+    }
+    let body = expect_brace_group(&tokens, &mut i, &name);
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        snake_case,
+        shape,
+    }
+}
+
+struct SerdeAttr {
+    key: String,
+    value: String,
+}
+
+/// Consume `#[...]` attribute groups at `tokens[*i..]`, returning the parsed
+/// `#[serde(key = "value")]` entries and ignoring doc comments and other
+/// attributes.
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<SerdeAttr> {
+    let mut out = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else {
+            panic!("serde_derive shim: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            let TokenTree::Group(args) = &inner[1] else {
+                panic!("serde_derive shim: malformed #[serde] attribute");
+            };
+            out.extend(parse_serde_args(args.stream()));
+        }
+        *i += 1;
+    }
+    out
+}
+
+fn parse_serde_args(stream: TokenStream) -> Vec<SerdeAttr> {
+    // Grammar actually used: `key = "literal"` entries separated by commas.
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: unexpected token `{other}` in #[serde(...)]"),
+        };
+        i += 1;
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive shim: expected `=` after `{key}` in #[serde(...)]");
+        }
+        i += 1;
+        let value = match &tokens[i] {
+            TokenTree::Literal(l) => {
+                let s = l.to_string();
+                s.trim_matches('"').to_string()
+            }
+            other => {
+                panic!("serde_derive shim: expected string after `{key} =`, got `{other}`")
+            }
+        };
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(SerdeAttr { key, value });
+    }
+    out
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)` and friends carry a parenthesized group.
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_brace_group<'a>(tokens: &'a [TokenTree], i: &mut usize, name: &str) -> &'a TokenTree {
+    // Skip a `where` clause or anything else up to the brace group.
+    while *i < tokens.len() {
+        if matches!(
+            &tokens[*i],
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace
+        ) {
+            return &tokens[*i];
+        }
+        *i += 1;
+    }
+    panic!("serde_derive shim: `{name}` has no braced body (tuple/unit items unsupported)");
+}
+
+/// Parse `name: Type, ...` named fields, recording per-field serde attrs.
+fn parse_fields(body: &TokenTree) -> Vec<Field> {
+    let TokenTree::Group(g) = body else {
+        unreachable!()
+    };
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut i);
+        let mut skip_serializing_if = None;
+        for a in attrs {
+            match a.key.as_str() {
+                "skip_serializing_if" => skip_serializing_if = Some(a.value),
+                other => panic!(
+                    "serde_derive shim: unsupported field attribute `{other}` \
+                     (see crates/shims/serde_derive)"
+                ),
+            }
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            panic!("serde_derive shim: tuple structs are unsupported (field `{name}`)");
+        }
+        // Skip the type: everything up to a top-level comma. Generic
+        // arguments arrive as single `Group`/`Punct` tokens, but `<`/`>`
+        // are bare puncts, so track angle-bracket depth.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name,
+            skip_serializing_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: &TokenTree) -> Vec<Variant> {
+    let TokenTree::Group(g) = body else {
+        unreachable!()
+    };
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut i);
+        if let Some(a) = attrs.first() {
+            panic!(
+                "serde_derive shim: unsupported variant attribute `{}`",
+                a.key
+            );
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_top_level_comma = {
+                    let mut depth = 0i32;
+                    let mut found = false;
+                    for t in g.stream() {
+                        match t {
+                            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                                found = true
+                            }
+                            _ => {}
+                        }
+                    }
+                    found
+                };
+                if has_top_level_comma {
+                    panic!(
+                        "serde_derive shim: multi-field tuple variant `{name}` is unsupported \
+                         (see crates/shims/serde_derive)"
+                    );
+                }
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(&tokens[i]);
+                let _ = g;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text)
+// ---------------------------------------------------------------------------
+
+fn rename(item: &Item, variant: &str) -> String {
+    if item.snake_case {
+        to_snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn push_field_stmts(out: &mut String, fields: &[Field], access_prefix: &str) {
+    for f in fields {
+        let name = &f.name;
+        let push = format!(
+            "fields.push((String::from(\"{name}\"), \
+             ::serde::Serialize::to_value(&{access_prefix}{name})));"
+        );
+        match &f.skip_serializing_if {
+            Some(path) => {
+                out.push_str(&format!(
+                    "if !{path}(&{access_prefix}{name}) {{ {push} }}\n"
+                ));
+            }
+            None => {
+                out.push_str(&push);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn serialize_struct(_item: &Item, fields: &[Field]) -> String {
+    let mut out = String::from("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    push_field_stmts(&mut out, fields, "self.");
+    out.push_str("::serde::Value::Object(fields)");
+    out
+}
+
+fn serialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let tag = rename(item, vname);
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::String(String::from(\"{tag}\")),\n"
+                ));
+            }
+            VariantKind::Newtype => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(inner) => ::serde::Value::Object(vec![(\
+                     String::from(\"{tag}\"), ::serde::Serialize::to_value(inner))]),\n"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut body = String::from(
+                    "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                );
+                push_field_stmts(&mut body, fields, "");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\n{body}\
+                     ::serde::Value::Object(vec![(String::from(\"{tag}\"), \
+                     ::serde::Value::Object(fields))])\n}}\n",
+                    bindings.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn deserialize_struct(item: &Item, fields: &[Field]) -> String {
+    let name = &item.name;
+    let mut out = format!(
+        "let fields = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+         format!(\"expected object for struct `{name}`, found {{}}\", v.kind())))?;\n\
+         Ok({name} {{\n"
+    );
+    for f in &mut fields.iter() {
+        let fname = &f.name;
+        out.push_str(&format!(
+            "{fname}: ::serde::de_field(fields, \"{fname}\")?,\n"
+        ));
+    }
+    out.push_str("})");
+    out
+}
+
+fn deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut string_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let tag = rename(item, vname);
+        match &v.kind {
+            VariantKind::Unit => {
+                string_arms.push_str(&format!("\"{tag}\" => return Ok({name}::{vname}),\n"));
+            }
+            VariantKind::Newtype => {
+                tagged_arms.push_str(&format!(
+                    "\"{tag}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let mut build = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    build.push_str(&format!(
+                        "{fname}: ::serde::de_field(fields, \"{fname}\")?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{tag}\" => {{\n\
+                     let fields = inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                     format!(\"expected object for variant `{tag}` of `{name}`, \
+                     found {{}}\", inner.kind())))?;\n\
+                     Ok({name}::{vname} {{\n{build}}})\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "if let Some(s) = v.as_str() {{\n\
+         match s {{\n{string_arms}\
+         _ => return Err(::serde::Error::custom(format!(\
+         \"unknown variant `{{s}}` of `{name}`\"))),\n}}\n}}\n\
+         let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+         format!(\"expected externally-tagged object for enum `{name}`, \
+         found {{}}\", v.kind())))?;\n\
+         if obj.len() != 1 {{\n\
+         return Err(::serde::Error::custom(format!(\
+         \"expected single-key object for enum `{name}`, found {{}} keys\", obj.len())));\n}}\n\
+         let (tag, inner) = &obj[0];\n\
+         match tag.as_str() {{\n{tagged_arms}\
+         other => Err(::serde::Error::custom(format!(\
+         \"unknown variant `{{other}}` of `{name}`\"))),\n}}"
+    )
+}

@@ -58,7 +58,10 @@ fn main() {
         "  utilization     : {:.1} %",
         metrics.utilization.to_f64() * 100.0
     );
-    println!("  mean completion : {:.1}", metrics.mean_completion.to_f64());
+    println!(
+        "  mean completion : {:.1}",
+        metrics.mean_completion.to_f64()
+    );
     println!(
         "  work conserved  : {}",
         metrics.work_conserved(&inst, &res.schedule, &ex.trace)

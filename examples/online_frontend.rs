@@ -22,7 +22,7 @@ fn main() {
     let mut stream: Vec<ArrivingJob> = Vec::new();
     for wave_start in [0u64, 40_000, 90_000] {
         for _ in 0..12 {
-            let arrival = wave_start + rng.gen_range(0..8_000);
+            let arrival = wave_start + rng.gen_range(0..8_000u64);
             let t1 = rng.gen_range(4_000..40_000u64);
             let curve = if rng.gen_bool(0.3) {
                 SpeedupCurve::Constant(t1 / 4)

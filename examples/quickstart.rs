@@ -34,7 +34,10 @@ fn main() {
         Box::new(ImprovedDual::new_linear(eps)),
     ];
 
-    println!("{:<28} {:>10} {:>12} {:>8}", "algorithm", "makespan", "vs lower bd", "probes");
+    println!(
+        "{:<28} {:>10} {:>12} {:>8}",
+        "algorithm", "makespan", "vs lower bd", "probes"
+    );
     let seq = baselines::sequential(&inst);
     println!(
         "{:<28} {:>10} {:>12.3} {:>8}",
@@ -64,10 +67,7 @@ fn main() {
             mk.to_f64() / lb as f64,
             res.probes
         );
-        if best
-            .as_ref()
-            .is_none_or(|(s, _)| mk < s.makespan(&inst))
-        {
+        if best.as_ref().is_none_or(|(s, _)| mk < s.makespan(&inst)) {
             best = Some((res.schedule, algo.name().to_string()));
         }
     }

@@ -70,8 +70,7 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn load_instance(args: &[String]) -> Result<Instance, String> {
     let path = flag(args, "--input").ok_or("missing --input FILE")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    let spec: InstanceSpec =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let spec: InstanceSpec = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
     spec.build().map_err(|e| e.to_string())
 }
 

@@ -67,8 +67,7 @@ fn fptas_meets_one_plus_eps_in_its_regime() {
         let inst = random_table_instance(&mut rng, n, 3, 25);
         // Re-home the jobs on a machine count in the FPTAS regime: table
         // oracles clamp beyond their length, so monotonicity persists.
-        let big =
-            Instance::new(inst.jobs().iter().map(|j| j.curve().clone()).collect(), 64);
+        let big = Instance::new(inst.jobs().iter().map(|j| j.curve().clone()).collect(), 64);
         let eps = Ratio::new(1, 2); // m = 64 ≥ 8·3/0.5 = 48
         let res = fptas_schedule(&big, &eps);
         validate(&res.schedule, &big).unwrap();

@@ -76,7 +76,10 @@ fn validator_and_simulator_agree_on_corrupt_schedules() {
     s.push(1, Ratio::zero(), 1);
     s.push(9, Ratio::from(5u64), 1);
     assert!(validate(&s, &inst).is_err());
-    assert_eq!(execute(&inst, &s).unwrap_err(), SimError::UnknownJob { job: 9 });
+    assert_eq!(
+        execute(&inst, &s).unwrap_err(),
+        SimError::UnknownJob { job: 9 }
+    );
 
     // Zero-processor allotment.
     let mut s = Schedule::new();

@@ -56,8 +56,7 @@ fn no_instances_force_strictly_larger_makespan() {
                 // Each group would be a quadruple summing to B — impossible.
                 let all_quadruples_sum_b = cert.iter().all(|g| {
                     g.len() == 4
-                        && g.iter().map(|&i| red.scaled_numbers[i]).sum::<u64>()
-                            == red.scaled_b
+                        && g.iter().map(|&i| red.scaled_numbers[i]).sum::<u64>() == red.scaled_b
                 });
                 assert!(
                     !all_quadruples_sum_b,

@@ -84,11 +84,7 @@ fn lemma6_two_shelf_work_bound() {
                 .iter()
                 .map(|bj| inst.job(bj.id).work(bj.gamma_half_d.unwrap()))
                 .sum();
-            let forced: u128 = ctx
-                .forced
-                .iter()
-                .map(|&(id, p)| inst.job(id).work(p))
-                .sum();
+            let forced: u128 = ctx.forced.iter().map(|&(id, p)| inst.job(id).work(p)).sum();
             let w = total_half + forced - sol.profit;
             let slack = inst.m() as u128 * d as u128 - ctx.small_work(&inst);
             assert!(
@@ -97,7 +93,10 @@ fn lemma6_two_shelf_work_bound() {
             );
         }
     }
-    assert!(exercised > 20, "too few instances had big jobs: {exercised}");
+    assert!(
+        exercised > 20,
+        "too few instances had big jobs: {exercised}"
+    );
 }
 
 /// **Lemma 14**: `|geom(L, U, x)| = O(log(U/L)/(x−1))` — grid sizes stay
@@ -175,8 +174,7 @@ fn lemma9_small_jobs_always_inserted() {
         let n_small = (xorshift(&mut seed) % 10 + 5) as usize;
         let mut curves: Vec<SpeedupCurve> = Vec::new();
         for _ in 0..n_big {
-            let mut tbl: Vec<u64> =
-                (0..m).map(|_| xorshift(&mut seed) % 50 + 30).collect();
+            let mut tbl: Vec<u64> = (0..m).map(|_| xorshift(&mut seed) % 50 + 30).collect();
             monotone_closure(&mut tbl);
             curves.push(SpeedupCurve::Table(Arc::new(tbl)));
         }
