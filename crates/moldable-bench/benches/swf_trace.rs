@@ -1,0 +1,42 @@
+//! Criterion benchmarks on trace-shaped inputs: the bundled SWF trace is
+//! bootstrap-resampled to increasing job counts, so the scheduler's
+//! scaling is measured on the processor-count and runtime distributions of
+//! a recorded-workload shape rather than a synthetic family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_core::ratio::Ratio;
+use moldable_sched::dual::approximate;
+use moldable_sched::{ImprovedDual, MrtDual};
+use moldable_workloads::{resampled_instance, SwfTrace, SynthesisParams};
+use std::time::Duration;
+
+fn bench_swf_trace(c: &mut Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/sample.swf");
+    let trace = SwfTrace::from_path(path).expect("bundled trace parses");
+    let m = trace.header.machine_count().expect("header has MaxProcs");
+    let params = SynthesisParams::default();
+    let eps = Ratio::new(1, 4);
+
+    let mut group = c.benchmark_group("swf-trace");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [256usize, 1024, 4096] {
+        let inst = resampled_instance(&trace, n, m, &params, 7);
+        group.bench_with_input(BenchmarkId::new("synthesize", n), &n, |b, &n| {
+            b.iter(|| resampled_instance(&trace, n, m, &params, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &inst, |b, inst| {
+            b.iter(|| approximate(inst, &ImprovedDual::new_linear(eps), &eps))
+        });
+        group.bench_with_input(BenchmarkId::new("mrt", n), &inst, |b, inst| {
+            b.iter(|| approximate(inst, &MrtDual, &eps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swf_trace);
+criterion_main!(benches);

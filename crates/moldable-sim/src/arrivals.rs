@@ -13,7 +13,10 @@
 //!
 //! This module implements that scheme on the simulated cluster with any
 //! [`DualAlgorithm`] as the batch planner, and reports per-epoch planning
-//! decisions so examples and tests can inspect the pipeline.
+//! decisions so examples and tests can inspect the pipeline. Arrival
+//! streams come either from synthetic generators or from recorded traces
+//! via [`TraceReplay`] (deterministic trace replay — the SWF ingestion
+//! path of `moldable-workloads` ends here).
 
 use crate::executor::execute;
 use crate::trace::Trace;
@@ -117,6 +120,72 @@ pub fn run_epochs(
         makespan: clock,
         epochs,
         traces,
+    }
+}
+
+/// A deterministic trace-replay arrival process.
+///
+/// Wraps recorded `(arrival, curve)` pairs — typically an SWF trace lifted
+/// through `moldable_workloads::moldability` — into a sorted, normalized
+/// [`ArrivingJob`] stream ready for [`run_epochs`]. No randomness anywhere:
+/// replaying the same trace twice yields byte-identical streams.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReplay {
+    jobs: Vec<ArrivingJob>,
+}
+
+impl TraceReplay {
+    /// Build a replay from recorded pairs. The pairs are sorted by arrival
+    /// and shifted so the first arrival is at time zero.
+    pub fn new(mut pairs: Vec<(Time, moldable_core::speedup::SpeedupCurve)>) -> Self {
+        pairs.sort_by_key(|&(a, _)| a);
+        let origin = pairs.first().map_or(0, |&(a, _)| a);
+        TraceReplay {
+            jobs: pairs
+                .into_iter()
+                .map(|(a, curve)| ArrivingJob {
+                    curve,
+                    arrival: a - origin,
+                })
+                .collect(),
+        }
+    }
+
+    /// Compress (`den > num`) or dilate (`num > den`) the arrival times by
+    /// the rational factor `num/den` — e.g. `1/60` replays a
+    /// seconds-denominated trace on a minutes clock to raise load.
+    pub fn with_time_scale(mut self, num: u64, den: u64) -> Self {
+        assert!(den > 0, "time scale denominator must be positive");
+        for j in &mut self.jobs {
+            j.arrival = (j.arrival as u128 * num as u128 / den as u128) as Time;
+        }
+        self
+    }
+
+    /// Keep only the first `n` arrivals.
+    pub fn take(mut self, n: usize) -> Self {
+        self.jobs.truncate(n);
+        self
+    }
+
+    /// Number of arrivals in the replay.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Is the replay empty?
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The stream, sorted by arrival — feed this to [`run_epochs`].
+    pub fn stream(&self) -> &[ArrivingJob] {
+        &self.jobs
+    }
+
+    /// Consume the replay, yielding the stream.
+    pub fn into_stream(self) -> Vec<ArrivingJob> {
+        self.jobs
     }
 }
 
@@ -251,5 +320,52 @@ mod tests {
         let out = run_epochs(&[], 4, &ImprovedDual::new_linear(eps), &eps);
         assert!(out.epochs.is_empty());
         assert_eq!(out.makespan, Ratio::zero());
+    }
+
+    #[test]
+    fn replay_sorts_and_normalizes() {
+        let pairs = vec![
+            (700u64, SpeedupCurve::Constant(5)),
+            (100, SpeedupCurve::Constant(3)),
+            (400, SpeedupCurve::Constant(4)),
+        ];
+        let replay = TraceReplay::new(pairs);
+        assert_eq!(replay.len(), 3);
+        let arrivals: Vec<u64> = replay.stream().iter().map(|j| j.arrival).collect();
+        assert_eq!(arrivals, vec![0, 300, 600]);
+        // Normalized stream is directly runnable.
+        let eps = Ratio::new(1, 4);
+        let out = run_epochs(replay.stream(), 2, &ImprovedDual::new_linear(eps), &eps);
+        assert_eq!(out.epochs.len(), 3);
+    }
+
+    #[test]
+    fn replay_time_scale_and_take() {
+        let pairs = vec![
+            (0u64, SpeedupCurve::Constant(1)),
+            (600, SpeedupCurve::Constant(1)),
+            (1200, SpeedupCurve::Constant(1)),
+        ];
+        let replay = TraceReplay::new(pairs).with_time_scale(1, 60).take(2);
+        assert_eq!(replay.len(), 2);
+        let arrivals: Vec<u64> = replay.stream().iter().map(|j| j.arrival).collect();
+        assert_eq!(arrivals, vec![0, 10]);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let mk = || {
+            TraceReplay::new(vec![
+                (5u64, SpeedupCurve::Constant(2)),
+                (1, SpeedupCurve::Constant(9)),
+            ])
+        };
+        let (a, b) = (mk(), mk());
+        for (x, y) in a.stream().iter().zip(b.stream()) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.curve.time(1), y.curve.time(1));
+        }
+        assert!(!mk().is_empty());
+        assert_eq!(mk().into_stream().len(), 2);
     }
 }

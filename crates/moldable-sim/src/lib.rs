@@ -19,7 +19,9 @@
 //! * [`backfill`] — conservative EASY backfilling against the head job's
 //!   reservation, the production-HPC refinement of plain FIFO;
 //! * [`arrivals`] — epoch-based batch scheduling of an arrival stream
-//!   using any offline planner (the classic online-from-offline scheme);
+//!   using any offline planner (the classic online-from-offline scheme),
+//!   plus [`TraceReplay`], the deterministic arrival process that replays
+//!   recorded (e.g. SWF) traces;
 //! * [`trace`] — per-processor timelines, utilization statistics, and
 //!   machine-load profiles;
 //! * [`metrics`] — aggregate statistics (utilization, average waiting time,
@@ -41,7 +43,9 @@ pub mod metrics;
 pub mod online;
 pub mod trace;
 
-pub use arrivals::{clairvoyant_lower_bound, run_epochs, ArrivingJob, Epoch, EpochOutcome};
+pub use arrivals::{
+    clairvoyant_lower_bound, run_epochs, ArrivingJob, Epoch, EpochOutcome, TraceReplay,
+};
 pub use backfill::{backfill_schedule, BackfillOutcome};
 pub use engine::{Event, EventKind, SimError};
 pub use executor::{execute, Execution};

@@ -46,8 +46,11 @@ impl Default for PowerLawParams {
     }
 }
 
-/// Breakpoints `1, 2, …, K` then geometric (×2) up to `m`.
-fn dense_then_geometric(m: Procs, dense_to: Procs) -> Vec<Procs> {
+/// Breakpoints `1, 2, …, K` then geometric (×2) up to `m` — the sampling
+/// grid used before projecting an ideal curve onto a staircase. Dense early
+/// points capture the region where curves actually drop; geometric spacing
+/// keeps the encoding `O(log m)`.
+pub fn dense_then_geometric(m: Procs, dense_to: Procs) -> Vec<Procs> {
     let k = dense_to.min(m);
     let mut out: Vec<Procs> = (1..=k).collect();
     let mut p = k.saturating_mul(2);
@@ -62,7 +65,14 @@ fn dense_then_geometric(m: Procs, dense_to: Procs) -> Vec<Procs> {
 }
 
 /// Project sampled ideal times onto a feasible staircase.
-fn project(samples: Vec<(Procs, Time)>) -> Staircase {
+///
+/// Each sample `(p, t)` is clamped into the monotone-feasible interval
+/// `[⌈(p−1)·t_prev/p⌉, t_prev − 1]` (cf. [`Staircase::min_feasible_time`]);
+/// samples where no strict drop is possible are skipped. The result is an
+/// *exactly* monotone staircase that tracks the ideal curve as closely as
+/// the feasible region permits. Shared by the synthetic families here and
+/// the SWF moldability synthesis in [`crate::moldability`].
+pub fn project(samples: Vec<(Procs, Time)>) -> Staircase {
     let mut steps: Vec<(Procs, Time)> = Vec::with_capacity(samples.len());
     for (p, ideal) in samples {
         if steps.is_empty() {

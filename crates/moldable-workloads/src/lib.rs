@@ -1,26 +1,44 @@
 //! # moldable-workloads
 //!
-//! Synthetic workload generators for the benchmark harness and tests.
+//! Workload backends for the benchmark harness, simulator, and tests.
 //!
 //! The paper evaluates on a cost model (oracle calls / RAM operations), not
-//! on a testbed, so workloads here serve two purposes: (a) exercising every
-//! algorithm across the regimes the paper distinguishes (`m ≷ 8n/ε`,
-//! `m ≷ 16n`, wide vs narrow jobs), and (b) realistic speedup shapes from
-//! the parallel-computing literature — power-law (Downey-style), Amdahl,
-//! and communication-overhead curves — projected *exactly* onto the
-//! monotone feasible region (see `moldable_core::speedup::Staircase` and
-//! DESIGN.md's substitution notes).
+//! on a testbed, so workloads here serve three purposes: (a) exercising
+//! every algorithm across the regimes the paper distinguishes (`m ≷ 8n/ε`,
+//! `m ≷ 16n`, wide vs narrow jobs), (b) realistic speedup shapes from the
+//! parallel-computing literature — power-law (Downey-style), Amdahl, and
+//! communication-overhead curves — projected *exactly* onto the monotone
+//! feasible region (see `moldable_core::speedup::Staircase` and DESIGN.md's
+//! substitution notes), and (c) **real HPC traces** in the Standard
+//! Workload Format, lifted into monotone moldable jobs:
+//!
+//! * [`swf`] — parser for SWF headers and 18-field job records;
+//! * [`moldability`] — fits Downey/Amdahl curves through each record's
+//!   observed `(processors, runtime)` point and projects them onto exact
+//!   staircases;
+//! * [`source`] — the [`WorkloadSource`] backend trait unifying synthetic
+//!   families and traces behind one offline-instance / arrival-stream
+//!   interface.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod families;
 pub mod hpc_mix;
+pub mod moldability;
+pub mod source;
 pub mod suite;
+pub mod swf;
 
 pub use families::{
     amdahl_staircase, comm_overhead_staircase, power_law_staircase, random_mixed_instance,
     random_table_instance, PowerLawParams,
 };
 pub use hpc_mix::{adversarial_instance, hpc_mix_instance, HpcMixParams};
+pub use moldability::{
+    downey_speedup, resampled_instance, synthesize_curve, synthesize_instance,
+    synthesize_stream, FitModel, SynthesisParams,
+};
+pub use source::{SwfSource, SyntheticSource, WorkloadSource};
 pub use suite::{bench_instance, BenchFamily};
+pub use swf::{SwfError, SwfHeader, SwfRecord, SwfTrace};

@@ -1,0 +1,440 @@
+//! Parser for the Standard Workload Format (SWF).
+//!
+//! SWF is the interchange format of the Parallel Workloads Archive
+//! (Feitelson et al.): one line per job, 18 whitespace-separated numeric
+//! fields, with `;`-prefixed header comments carrying cluster metadata
+//! (`MaxProcs`, `UnixStartTime`, …). It is how the moldable-scheduling
+//! literature stress-tests algorithms on real HPC traces rather than
+//! synthetic distributions.
+//!
+//! The parser is deliberately tolerant — real archive traces contain
+//! mid-file comments, trailing blank lines, and records with missing
+//! trailing fields — while still rejecting malformed numerics with a
+//! typed, line-addressed [`SwfError`]:
+//!
+//! ```
+//! use moldable_workloads::swf::SwfTrace;
+//!
+//! let text = "\
+//! ; MaxProcs: 64
+//! ; UnixStartTime: 1092213600
+//! 1  0  12  3600  16  -1 -1  16  7200 -1  1  3  1  1  1  -1 -1 -1
+//! 2  60  0  1800   1  -1 -1   1  1800 -1  1  4  1  2  1  -1 -1 -1
+//! ";
+//! let trace = SwfTrace::parse(text).unwrap();
+//! assert_eq!(trace.header.max_procs, Some(64));
+//! assert_eq!(trace.jobs.len(), 2);
+//! assert_eq!(trace.jobs[0].run_time, 3600.0);
+//! assert_eq!(trace.jobs[0].allocated_procs, 16);
+//! assert_eq!(trace.jobs[1].submit_time, 60.0);
+//! ```
+//!
+//! Records describe *rigid* jobs (one observed `(processors, runtime)`
+//! point); [`crate::moldability`] lifts them into monotone moldable jobs.
+
+use moldable_core::types::Procs;
+use std::fmt;
+use std::path::Path;
+
+/// Number of fields in a full SWF record.
+pub const SWF_FIELDS: usize = 18;
+
+/// A record needs at least the first five fields (job number through
+/// allocated processors) to be usable; later fields default to `-1`.
+pub const SWF_REQUIRED_FIELDS: usize = 5;
+
+/// One SWF job record (fields in archive order; `-1` means "unknown").
+///
+/// Times are `f64` because the format allows fractional seconds; counts
+/// and identifiers are `i64` so the `-1` sentinel survives round trips.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwfRecord {
+    /// 1: job number (usually 1-based and consecutive).
+    pub job_id: i64,
+    /// 2: submit time in seconds from the trace start.
+    pub submit_time: f64,
+    /// 3: wait time in the queue, seconds.
+    pub wait_time: f64,
+    /// 4: actual run time, seconds.
+    pub run_time: f64,
+    /// 5: number of allocated processors.
+    pub allocated_procs: i64,
+    /// 6: average CPU time used per processor, seconds.
+    pub avg_cpu_time: f64,
+    /// 7: used memory per processor, kilobytes.
+    pub used_memory: i64,
+    /// 8: requested number of processors.
+    pub requested_procs: i64,
+    /// 9: requested (wall-clock) time, seconds.
+    pub requested_time: f64,
+    /// 10: requested memory per processor, kilobytes.
+    pub requested_memory: i64,
+    /// 11: completion status (1 = completed, 0 = failed, 5 = cancelled).
+    pub status: i64,
+    /// 12: user id.
+    pub user_id: i64,
+    /// 13: group id.
+    pub group_id: i64,
+    /// 14: executable (application) number.
+    pub executable: i64,
+    /// 15: queue number.
+    pub queue: i64,
+    /// 16: partition number.
+    pub partition: i64,
+    /// 17: preceding job number (dependency), or -1.
+    pub preceding_job: i64,
+    /// 18: think time from the preceding job, seconds.
+    pub think_time: f64,
+}
+
+impl SwfRecord {
+    /// Did this record capture a job that actually ran — positive runtime
+    /// on a positive number of processors? Failed submissions, cancelled
+    /// jobs, and records missing either observable are excluded.
+    pub fn is_usable(&self) -> bool {
+        self.run_time > 0.0 && self.allocated_procs > 0
+    }
+
+    /// The observed processor count clamped to `1..=m`.
+    pub fn procs_clamped(&self, m: Procs) -> Procs {
+        (self.allocated_procs.max(1) as Procs).min(m)
+    }
+}
+
+/// Metadata from the `;`-comment header of an SWF file.
+///
+/// Only the fields the ingestion pipeline consumes are parsed out; every
+/// `; Key: value` pair is retained verbatim in [`SwfHeader::fields`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SwfHeader {
+    /// `MaxProcs`: processors in the cluster the trace was recorded on.
+    pub max_procs: Option<Procs>,
+    /// `MaxNodes`: node count (some traces report nodes, not processors).
+    pub max_nodes: Option<Procs>,
+    /// `MaxJobs`: number of job records the header claims.
+    pub max_jobs: Option<u64>,
+    /// `UnixStartTime`: epoch of the trace's time zero.
+    pub unix_start_time: Option<i64>,
+    /// Every `; Key: value` header pair, in file order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SwfHeader {
+    /// The machine size to schedule against: `MaxProcs` if present,
+    /// falling back to `MaxNodes`.
+    pub fn machine_count(&self) -> Option<Procs> {
+        self.max_procs.or(self.max_nodes)
+    }
+}
+
+/// A parsed SWF trace: header metadata plus job records in file order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SwfTrace {
+    /// Cluster metadata from the comment header.
+    pub header: SwfHeader,
+    /// All job records, including failed/cancelled ones.
+    pub jobs: Vec<SwfRecord>,
+}
+
+impl SwfTrace {
+    /// Parse an SWF document from text. See the [module docs](self) for a
+    /// worked example.
+    pub fn parse(text: &str) -> Result<SwfTrace, SwfError> {
+        let mut header = SwfHeader::default();
+        let mut jobs = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(comment) = trimmed.strip_prefix(';') {
+                parse_header_line(&mut header, comment, line)?;
+                continue;
+            }
+            jobs.push(parse_record(trimmed, line)?);
+        }
+        if jobs.is_empty() {
+            return Err(SwfError::NoRecords);
+        }
+        Ok(SwfTrace { header, jobs })
+    }
+
+    /// Read and parse an SWF file from disk.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<SwfTrace, SwfError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| SwfError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        SwfTrace::parse(&text)
+    }
+
+    /// The records that describe jobs which actually ran
+    /// (see [`SwfRecord::is_usable`]).
+    pub fn usable_jobs(&self) -> impl Iterator<Item = &SwfRecord> {
+        self.jobs.iter().filter(|r| r.is_usable())
+    }
+
+    /// Earliest submit time among usable jobs (the replay origin).
+    pub fn first_submit(&self) -> Option<f64> {
+        self.usable_jobs()
+            .map(|r| r.submit_time)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+}
+
+/// `; Key: value` header line. Lines without a colon are free-text
+/// comments and are ignored; parsed keys with malformed numeric values
+/// are reported, not silently dropped.
+fn parse_header_line(
+    header: &mut SwfHeader,
+    comment: &str,
+    line: usize,
+) -> Result<(), SwfError> {
+    let Some((key, value)) = comment.split_once(':') else {
+        return Ok(());
+    };
+    let key = key.trim();
+    let value = value.trim();
+    header.fields.push((key.to_string(), value.to_string()));
+    let numeric = |v: &str| -> Result<i64, SwfError> {
+        // Archive headers sometimes annotate values ("128 (64 nodes)");
+        // take the leading numeric token.
+        let token = v.split_whitespace().next().unwrap_or("");
+        token.parse::<i64>().map_err(|_| SwfError::BadHeaderValue {
+            line,
+            key: key.to_string(),
+            value: v.to_string(),
+        })
+    };
+    match key.to_ascii_lowercase().as_str() {
+        "maxprocs" => header.max_procs = Some(numeric(value)?.max(0) as Procs),
+        "maxnodes" => header.max_nodes = Some(numeric(value)?.max(0) as Procs),
+        "maxjobs" | "maxrecords" => {
+            let v = numeric(value)?.max(0) as u64;
+            // MaxJobs and MaxRecords may both appear; keep the larger claim.
+            header.max_jobs = Some(header.max_jobs.map_or(v, |old| old.max(v)));
+        }
+        "unixstarttime" => header.unix_start_time = Some(numeric(value)?),
+        _ => {}
+    }
+    Ok(())
+}
+
+fn parse_record(line_text: &str, line: usize) -> Result<SwfRecord, SwfError> {
+    let mut fields = [-1f64; SWF_FIELDS];
+    let mut count = 0usize;
+    for (i, token) in line_text.split_whitespace().enumerate() {
+        if i >= SWF_FIELDS {
+            return Err(SwfError::TooManyFields {
+                line,
+                got: line_text.split_whitespace().count(),
+            });
+        }
+        fields[i] = token.parse::<f64>().map_err(|_| SwfError::BadField {
+            line,
+            field: i + 1,
+            token: token.to_string(),
+        })?;
+        count = i + 1;
+    }
+    if count < SWF_REQUIRED_FIELDS {
+        return Err(SwfError::TooFewFields { line, got: count });
+    }
+    let int = |x: f64| x as i64;
+    Ok(SwfRecord {
+        job_id: int(fields[0]),
+        submit_time: fields[1],
+        wait_time: fields[2],
+        run_time: fields[3],
+        allocated_procs: int(fields[4]),
+        avg_cpu_time: fields[5],
+        used_memory: int(fields[6]),
+        requested_procs: int(fields[7]),
+        requested_time: fields[8],
+        requested_memory: int(fields[9]),
+        status: int(fields[10]),
+        user_id: int(fields[11]),
+        group_id: int(fields[12]),
+        executable: int(fields[13]),
+        queue: int(fields[14]),
+        partition: int(fields[15]),
+        preceding_job: int(fields[16]),
+        think_time: fields[17],
+    })
+}
+
+/// Why an SWF document was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SwfError {
+    /// The file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error text.
+        message: String,
+    },
+    /// A record line held a token that is not a number.
+    BadField {
+        /// 1-based line in the file.
+        line: usize,
+        /// 1-based SWF field index.
+        field: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A record line had fewer than [`SWF_REQUIRED_FIELDS`] fields.
+    TooFewFields {
+        /// 1-based line in the file.
+        line: usize,
+        /// How many fields were present.
+        got: usize,
+    },
+    /// A record line had more than [`SWF_FIELDS`] fields.
+    TooManyFields {
+        /// 1-based line in the file.
+        line: usize,
+        /// How many fields were present.
+        got: usize,
+    },
+    /// A recognized header key carried a non-numeric value.
+    BadHeaderValue {
+        /// 1-based line in the file.
+        line: usize,
+        /// The header key.
+        key: String,
+        /// The unparsable value.
+        value: String,
+    },
+    /// The document contained no job records at all.
+    NoRecords,
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::Io { path, message } => write!(f, "{path}: {message}"),
+            SwfError::BadField { line, field, token } => {
+                write!(f, "line {line}: field {field} is not a number: `{token}`")
+            }
+            SwfError::TooFewFields { line, got } => write!(
+                f,
+                "line {line}: only {got} fields (need at least {SWF_REQUIRED_FIELDS})"
+            ),
+            SwfError::TooManyFields { line, got } => {
+                write!(f, "line {line}: {got} fields (SWF has {SWF_FIELDS})")
+            }
+            SwfError::BadHeaderValue { line, key, value } => {
+                write!(
+                    f,
+                    "line {line}: header `{key}` has non-numeric value `{value}`"
+                )
+            }
+            SwfError::NoRecords => write!(f, "no job records in SWF document"),
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+; Version: 2.2
+; Computer: test cluster
+; MaxJobs: 3
+; MaxProcs: 128 (64 nodes)
+; UnixStartTime: 1000000
+; free-text comment without a colon
+1 0 5 100.5 8 -1 -1 8 200 -1 1 10 2 1 1 -1 -1 -1
+2 30 0 -1 0 -1 -1 4 100 -1 0 11 2 1 1 -1 -1 -1
+; a mid-file comment
+3 60 2 50 1 -1 -1
+";
+
+    #[test]
+    fn parses_header_and_records() {
+        let t = SwfTrace::parse(SMALL).unwrap();
+        assert_eq!(t.header.max_procs, Some(128));
+        assert_eq!(t.header.max_jobs, Some(3));
+        assert_eq!(t.header.unix_start_time, Some(1_000_000));
+        assert_eq!(t.header.machine_count(), Some(128));
+        assert_eq!(t.jobs.len(), 3);
+        assert_eq!(t.jobs[0].run_time, 100.5);
+        assert_eq!(t.jobs[0].allocated_procs, 8);
+        assert_eq!(t.jobs[0].user_id, 10);
+    }
+
+    #[test]
+    fn missing_trailing_fields_default_to_unknown() {
+        let t = SwfTrace::parse(SMALL).unwrap();
+        let short = &t.jobs[2];
+        assert_eq!(short.allocated_procs, 1);
+        assert_eq!(short.requested_procs, -1);
+        assert_eq!(short.status, -1);
+        assert_eq!(short.think_time, -1.0);
+    }
+
+    #[test]
+    fn usable_filter_drops_failed_records() {
+        let t = SwfTrace::parse(SMALL).unwrap();
+        let usable: Vec<i64> = t.usable_jobs().map(|r| r.job_id).collect();
+        // Job 2 never ran (run_time = -1, zero processors).
+        assert_eq!(usable, vec![1, 3]);
+        assert_eq!(t.first_submit(), Some(0.0));
+    }
+
+    #[test]
+    fn rejects_bad_numerics_with_location() {
+        let err =
+            SwfTrace::parse("1 0 0 10 eight -1 -1 -1 -1 -1 1 1 1 1 1 -1 -1 -1").unwrap_err();
+        assert_eq!(
+            err,
+            SwfError::BadField {
+                line: 1,
+                field: 5,
+                token: "eight".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_records() {
+        let err = SwfTrace::parse("7 0 0 10").unwrap_err();
+        assert_eq!(err, SwfError::TooFewFields { line: 1, got: 4 });
+    }
+
+    #[test]
+    fn rejects_overlong_records() {
+        let line = (0..20).map(|_| "1").collect::<Vec<_>>().join(" ");
+        let err = SwfTrace::parse(&line).unwrap_err();
+        assert_eq!(err, SwfError::TooManyFields { line: 1, got: 20 });
+    }
+
+    #[test]
+    fn rejects_empty_documents() {
+        assert_eq!(
+            SwfTrace::parse("; only: comments").unwrap_err(),
+            SwfError::NoRecords
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header_values() {
+        let err =
+            SwfTrace::parse("; MaxProcs: lots\n1 0 0 1 1 -1 -1 -1 -1 -1 1 1 1 1 1 -1 -1 -1")
+                .unwrap_err();
+        assert!(matches!(err, SwfError::BadHeaderValue { line: 1, .. }));
+    }
+
+    #[test]
+    fn procs_clamped_to_machine() {
+        let t = SwfTrace::parse(SMALL).unwrap();
+        assert_eq!(t.jobs[0].procs_clamped(4), 4);
+        assert_eq!(t.jobs[0].procs_clamped(1 << 20), 8);
+        assert_eq!(t.jobs[1].procs_clamped(16), 1);
+    }
+}

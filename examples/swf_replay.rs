@@ -1,0 +1,92 @@
+//! Ingest a real-workload trace (Standard Workload Format) and drive the
+//! full pipeline with it: parse → lift rigid records into monotone
+//! moldable jobs → schedule the whole trace offline → replay the recorded
+//! arrival stream through the online epoch scheme.
+//!
+//! Run with: `cargo run --release --example swf_replay`
+
+use moldable::prelude::*;
+use moldable::sim::{clairvoyant_lower_bound, run_epochs, TraceReplay};
+use moldable::workloads::{FitModel, SwfSource, SwfTrace, SynthesisParams, WorkloadSource};
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/sample.swf");
+    let trace = SwfTrace::parse(&std::fs::read_to_string(path).expect("bundled trace exists"))
+        .expect("bundled trace parses");
+
+    println!("trace: {}", path);
+    println!(
+        "  header: MaxProcs = {:?}, MaxJobs = {:?}, UnixStartTime = {:?}",
+        trace.header.max_procs, trace.header.max_jobs, trace.header.unix_start_time
+    );
+    let usable = trace.usable_jobs().count();
+    println!(
+        "  records: {} total, {} usable (cancelled/failed/zero-proc dropped)\n",
+        trace.jobs.len(),
+        usable
+    );
+
+    // Lift the rigid records into monotone moldable jobs (Downey fit).
+    let source = SwfSource::new(
+        trace,
+        None,
+        SynthesisParams {
+            model: FitModel::Downey,
+            ..SynthesisParams::default()
+        },
+    )
+    .expect("header carries MaxProcs");
+    let m = source.machine_count();
+    let inst = source.offline_instance();
+    println!("moldability synthesis ({}):", source.label());
+    let steps: usize = inst
+        .jobs()
+        .iter()
+        .map(|j| match j.curve() {
+            SpeedupCurve::Staircase(s) => s.steps().len(),
+            _ => 1,
+        })
+        .sum();
+    println!(
+        "  {} jobs on m = {m}, {steps} staircase breakpoints total",
+        inst.n()
+    );
+
+    // Offline: schedule the whole trace as one batch.
+    let eps = Ratio::new(1, 4);
+    let algo = ImprovedDual::new_linear(eps);
+    let res = approximate(&inst, &algo, &eps);
+    validate(&res.schedule, &inst).expect("planner output must be feasible");
+    println!("\noffline (all jobs at time zero, linear-time (3/2+ε) algorithm):");
+    println!("  makespan : {}", res.schedule.makespan(&inst));
+    println!(
+        "  ω interval: [{}, {}]",
+        res.lower_bound,
+        res.schedule.makespan(&inst)
+    );
+
+    // Online: replay the recorded submit times through the epoch scheme.
+    let replay = TraceReplay::new(source.arrival_stream());
+    let out = run_epochs(replay.stream(), m, &algo, &eps);
+    let lb = clairvoyant_lower_bound(replay.stream(), m);
+    println!("\nonline replay (recorded submit times, epoch batching):");
+    println!("  epochs   : {}", out.epochs.len());
+    for e in out.epochs.iter().take(6) {
+        println!(
+            "    epoch {:>2}: {:>3} jobs  [{:>10.0}, {:>10.0})",
+            e.index,
+            e.jobs.len(),
+            e.start.to_f64(),
+            e.end.to_f64()
+        );
+    }
+    if out.epochs.len() > 6 {
+        println!("    … {} more epochs", out.epochs.len() - 6);
+    }
+    println!("  makespan : {}", out.makespan);
+    println!("  clairvoyant lower bound: {lb}");
+    println!(
+        "  online/offline-bound ratio: {:.3}",
+        out.makespan.to_f64() / lb.to_f64()
+    );
+}

@@ -17,6 +17,7 @@ use moldable::core::io::InstanceSpec;
 use moldable::prelude::*;
 use moldable::sched::baselines;
 use moldable::viz::render_gantt;
+use moldable::workloads::{FitModel, SwfSource, SwfTrace, SynthesisParams, WorkloadSource};
 use serde_json::{json, Value};
 use std::process::ExitCode;
 
@@ -52,8 +53,10 @@ const USAGE: &str = "usage:
   moldable schedule --input FILE [--eps N/D] [--algo mrt|alg1|alg3|linear|fptas|ptas|two-approx] [--gantt]
   moldable estimate --input FILE
   moldable generate --family power-law|amdahl|comm-overhead|mixed --n N --m M [--seed S]
+  moldable generate --family swf --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N]
   moldable validate --input FILE --schedule FILE
   moldable simulate --input FILE --schedule FILE
+  moldable simulate --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N] [--eps N/D] [--algo NAME]
   moldable render   --input FILE --schedule FILE --out FILE.svg [--width W] [--height H]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -150,27 +153,66 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let family = match flag(args, "--family").as_deref() {
-        Some("power-law") | None => BenchFamily::PowerLaw,
-        Some("amdahl") => BenchFamily::Amdahl,
-        Some("comm-overhead") => BenchFamily::CommOverhead,
-        Some("mixed") => BenchFamily::Mixed,
-        Some(other) => return Err(format!("unknown family `{other}`")),
+/// Build an [`SwfSource`] from the `--trace`/`--m`/`--model`/`--seed`/
+/// `--max-jobs` flags (shared by `generate --family swf` and
+/// `simulate --trace`).
+fn swf_source(args: &[String]) -> Result<SwfSource, String> {
+    let path = flag(args, "--trace").ok_or("missing --trace FILE.swf")?;
+    let trace = SwfTrace::from_path(&path).map_err(|e| e.to_string())?;
+    let m: Option<u64> = flag(args, "--m")
+        .map(|s| match s.parse() {
+            Ok(0) | Err(_) => Err("bad --m (need an integer ≥ 1)"),
+            Ok(v) => Ok(v),
+        })
+        .transpose()?;
+    let model = match flag(args, "--model").as_deref() {
+        Some("amdahl") => FitModel::Amdahl,
+        Some("downey") | None => FitModel::Downey,
+        Some(other) => return Err(format!("unknown --model `{other}`")),
     };
-    let n: usize = flag(args, "--n")
-        .ok_or("missing --n")?
-        .parse()
-        .map_err(|_| "bad --n")?;
-    let m: u64 = flag(args, "--m")
-        .ok_or("missing --m")?
-        .parse()
-        .map_err(|_| "bad --m")?;
     let seed: u64 = flag(args, "--seed")
         .map(|s| s.parse().map_err(|_| "bad --seed"))
         .transpose()?
         .unwrap_or(0);
-    let inst = bench_instance(family, n, m, seed);
+    let params = SynthesisParams {
+        model,
+        seed,
+        ..SynthesisParams::default()
+    };
+    let mut source = SwfSource::new(trace, m, params)
+        .ok_or("trace header has no MaxProcs/MaxNodes; pass --m M")?;
+    if let Some(max) = flag(args, "--max-jobs") {
+        source = source.with_max_jobs(max.parse().map_err(|_| "bad --max-jobs")?);
+    }
+    Ok(source)
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let inst = match flag(args, "--family").as_deref() {
+        Some("swf") => swf_source(args)?.offline_instance(),
+        family => {
+            let family = match family {
+                Some("power-law") | None => BenchFamily::PowerLaw,
+                Some("amdahl") => BenchFamily::Amdahl,
+                Some("comm-overhead") => BenchFamily::CommOverhead,
+                Some("mixed") => BenchFamily::Mixed,
+                Some(other) => return Err(format!("unknown family `{other}`")),
+            };
+            let n: usize = flag(args, "--n")
+                .ok_or("missing --n")?
+                .parse()
+                .map_err(|_| "bad --n")?;
+            let m: u64 = flag(args, "--m")
+                .ok_or("missing --m")?
+                .parse()
+                .map_err(|_| "bad --m")?;
+            let seed: u64 = flag(args, "--seed")
+                .map(|s| s.parse().map_err(|_| "bad --seed"))
+                .transpose()?
+                .unwrap_or(0);
+            bench_instance(family, n, m, seed)
+        }
+    };
     let spec = InstanceSpec::from_instance(&inst).ok_or("unserializable instance")?;
     println!("{}", serde_json::to_string_pretty(&spec).unwrap());
     Ok(())
@@ -216,7 +258,50 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `simulate --trace`: replay an SWF trace's arrival stream through the
+/// epoch-based online scheme and report what an operator would see.
+fn cmd_simulate_trace(args: &[String]) -> Result<(), String> {
+    let source = swf_source(args)?;
+    let m = source.machine_count();
+    let eps = parse_eps(args)?;
+    let algo_name = flag(args, "--algo").unwrap_or_else(|| "linear".into());
+    let algo: Box<dyn DualAlgorithm> = match algo_name.as_str() {
+        "mrt" => Box::new(MrtDual),
+        "alg1" => Box::new(CompressibleDual::new(eps)),
+        "alg3" => Box::new(ImprovedDual::new(eps)),
+        "linear" => Box::new(ImprovedDual::new_linear(eps)),
+        other => return Err(format!("unknown --algo `{other}`")),
+    };
+    let replay = moldable::sim::TraceReplay::new(source.arrival_stream());
+    let out = moldable::sim::run_epochs(replay.stream(), m, algo.as_ref(), &eps);
+    let lb = moldable::sim::clairvoyant_lower_bound(replay.stream(), m);
+    let report = json!({
+        "source": source.label(),
+        "m": m,
+        "jobs": replay.len(),
+        "algo": algo_name,
+        "epochs": out.epochs.len(),
+        "makespan": out.makespan.to_f64(),
+        "clairvoyant_lower_bound": lb.to_f64(),
+        "epoch_table": out
+            .epochs
+            .iter()
+            .map(|e| json!({
+                "index": e.index,
+                "jobs": e.jobs.len(),
+                "start": e.start.to_f64(),
+                "end": e.end.to_f64(),
+            }))
+            .collect::<Vec<_>>(),
+    });
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    if flag(args, "--trace").is_some() {
+        return cmd_simulate_trace(args);
+    }
     let inst = load_instance(args)?;
     let s = load_schedule(args)?;
     let ex = moldable::sim::execute(&inst, &s).map_err(|e| e.to_string())?;

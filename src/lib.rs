@@ -24,8 +24,8 @@
 //! println!("makespan = {}", result.schedule.makespan(&inst));
 //! ```
 //!
-//! See `DESIGN.md` for the full systems inventory and `EXPERIMENTS.md` for
-//! the paper-vs-measured record of every table and figure.
+//! See [`design`] (rendered from `DESIGN.md`) for the paper-to-code map,
+//! the substitution notes, and the experiment index.
 
 pub use moldable_analysis as analysis;
 pub use moldable_core as core;
@@ -35,6 +35,9 @@ pub use moldable_sched as sched;
 pub use moldable_sim as sim;
 pub use moldable_viz as viz;
 pub use moldable_workloads as workloads;
+
+#[doc = include_str!("../DESIGN.md")]
+pub mod design {}
 
 /// The most common imports in one place.
 pub mod prelude {
