@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moldable_core::ratio::Ratio;
+use moldable_core::view::JobView;
 use moldable_sched::dual::{approximate, DualAlgorithm};
 use moldable_sched::estimator::estimate;
 use moldable_sched::{CompressibleDual, ImprovedDual};
@@ -20,14 +21,15 @@ fn bench_ablations(c: &mut Criterion) {
     // Heap vs buckets on a narrow-machine instance (many 1-proc jobs).
     for n in [1024usize, 4096] {
         let inst = bench_instance(BenchFamily::Mixed, n, 64, 22);
+        let view = JobView::build(&inst);
         let d = 2 * estimate(&inst).omega;
         let heap = ImprovedDual::new(eps);
         let buckets = ImprovedDual::new_linear(eps);
         group.bench_with_input(BenchmarkId::new("transform-heap", n), &d, |b, &d| {
-            b.iter(|| heap.run(&inst, d).unwrap())
+            b.iter(|| heap.run(&view, d).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("transform-buckets", n), &d, |b, &d| {
-            b.iter(|| buckets.run(&inst, d).unwrap())
+            b.iter(|| buckets.run(&view, d).unwrap())
         });
     }
 

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moldable_core::ratio::Ratio;
+use moldable_core::view::JobView;
 use moldable_sched::dual::DualAlgorithm;
 use moldable_sched::estimator::estimate;
 use moldable_sched::{CompressibleDual, ImprovedDual, MrtDual};
@@ -19,6 +20,7 @@ fn bench_duals(c: &mut Criterion) {
     for (n, m_exp) in [(128usize, 16u32), (512, 20), (2048, 20)] {
         let m = 1u64 << m_exp;
         let inst = bench_instance(BenchFamily::PowerLaw, n, m, 1);
+        let view = JobView::build(&inst);
         let d = 2 * estimate(&inst).omega;
         let algos: Vec<Box<dyn DualAlgorithm>> = vec![
             Box::new(CompressibleDual::new(eps)),
@@ -29,7 +31,7 @@ fn bench_duals(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), format!("n{n}_m2^{m_exp}")),
                 &d,
-                |b, &d| b.iter(|| algo.run(&inst, d).unwrap()),
+                |b, &d| b.iter(|| algo.run(&view, d).unwrap()),
             );
         }
         // MRT only where its O(n·m) table is sane.
@@ -37,7 +39,7 @@ fn bench_duals(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("mrt-exact", format!("n{n}_m2^{m_exp}")),
                 &d,
-                |b, &d| b.iter(|| MrtDual.run(&inst, d).unwrap()),
+                |b, &d| b.iter(|| MrtDual.run(&view, d).unwrap()),
             );
         }
     }

@@ -13,6 +13,7 @@
 
 use moldable_bench::median_time;
 use moldable_core::ratio::Ratio;
+use moldable_core::view::JobView;
 use moldable_knapsack::{dp, solve_compressible, CompressibleParams, Item};
 use moldable_sched::dual::DualAlgorithm;
 use moldable_sched::estimator::estimate;
@@ -91,11 +92,12 @@ fn main() {
     };
     for &n in n_values {
         let inst = bench_instance(BenchFamily::PowerLaw, n, m, 21);
+        let view = JobView::build(&inst);
         let d = 2 * estimate(&inst).omega;
         let a1 = CompressibleDual::new(eps);
         let a3 = ImprovedDual::new(eps);
-        let t1 = median_time(runs.min(3), || a1.run(&inst, d).unwrap());
-        let t3 = median_time(runs, || a3.run(&inst, d).unwrap());
+        let t1 = median_time(runs.min(3), || a1.run(&view, d).unwrap());
+        let t3 = median_time(runs, || a3.run(&view, d).unwrap());
         println!(
             "{n:<8} {:>15.6}s {:>15.6}s {:>7.1}x",
             t1.as_secs_f64(),
@@ -109,11 +111,12 @@ fn main() {
     println!("{:<8} {:>16} {:>16}", "n", "heap", "buckets");
     for &n in n_values {
         let inst = bench_instance(BenchFamily::Mixed, n, 64, 22);
+        let view = JobView::build(&inst);
         let d = 2 * estimate(&inst).omega;
         let heap = ImprovedDual::new(eps);
         let buckets = ImprovedDual::new_linear(eps);
-        let th = median_time(runs, || heap.run(&inst, d).unwrap());
-        let tb = median_time(runs, || buckets.run(&inst, d).unwrap());
+        let th = median_time(runs, || heap.run(&view, d).unwrap());
+        let tb = median_time(runs, || buckets.run(&view, d).unwrap());
         println!(
             "{n:<8} {:>15.6}s {:>15.6}s",
             th.as_secs_f64(),
@@ -136,9 +139,10 @@ fn main() {
     );
     for &n in &[64usize, 256] {
         let inst = bench_instance(BenchFamily::Mixed, n, 256, 23);
+        let view = JobView::build(&inst);
         let d = estimate(&inst).omega * 2;
         let ctx =
-            moldable_sched::shelves::ShelfContext::build(&inst, d).expect("d = 2ω is feasible");
+            moldable_sched::shelves::ShelfContext::build(&view, d).expect("d = 2ω is feasible");
         let items: Vec<Item> = ctx
             .knapsack_jobs
             .iter()
@@ -148,7 +152,7 @@ fn main() {
         for &(en, ed) in &[(1u64, 4u64), (1, 2)] {
             let approx = moldable_knapsack::solve_fptas(&items, ctx.capacity, (en, ed));
             let extra_work = exact.profit.saturating_sub(approx.profit);
-            let slack = (inst.m() as u128 * d as u128).saturating_sub(ctx.small_work(&inst));
+            let slack = (inst.m() as u128 * d as u128).saturating_sub(ctx.small_work(&view));
             println!(
                 "{n:<8} {:>6} {:>14} {:>14} {:>16} {:>16}",
                 format!("{en}/{ed}"),

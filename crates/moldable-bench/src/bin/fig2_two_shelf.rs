@@ -8,6 +8,7 @@ use moldable_core::gamma::gamma;
 use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::speedup::SpeedupCurve;
+use moldable_core::view::JobView;
 use moldable_knapsack::{dp, Item};
 use moldable_sched::estimator::estimate;
 use moldable_sched::shelves::ShelfContext;
@@ -24,7 +25,8 @@ fn main() {
     let inst = Instance::new(vec![curve; 8], 6);
     let d = 9u64;
     let _ = estimate(&inst); // (estimator exercised for parity with fig3)
-    let Some(ctx) = ShelfContext::build(&inst, d) else {
+    let view = JobView::build(&inst);
+    let Some(ctx) = ShelfContext::build(&view, d) else {
         println!("target d = {d} rejected outright (γ_j(d) undefined)");
         return;
     };

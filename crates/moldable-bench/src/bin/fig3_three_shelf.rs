@@ -7,6 +7,7 @@ use moldable_core::gamma::gamma;
 use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::speedup::SpeedupCurve;
+use moldable_core::view::JobView;
 use moldable_knapsack::{dp, Item};
 use moldable_sched::estimator::estimate;
 use moldable_sched::shelves::ShelfContext;
@@ -24,7 +25,8 @@ fn main() {
     let inst = Instance::new(vec![curve; 8], 6);
     let _ = estimate(&inst);
     let d = 16u64;
-    let Some(ctx) = ShelfContext::build(&inst, d) else {
+    let view = JobView::build(&inst);
+    let Some(ctx) = ShelfContext::build(&view, d) else {
         println!("target d = {d} rejected outright");
         return;
     };
@@ -70,7 +72,7 @@ fn main() {
 
     println!("before (Fig. 2):\n");
     print!("{}", render_two_shelf(&s1, &s2, inst.m()));
-    let three = transform(&inst, &d_ratio, s1, s2, TransformMode::Exact);
+    let three = transform(&view, &d_ratio, s1, s2, TransformMode::Exact);
     println!("\nafter the transformation rules (Fig. 3):\n");
     print!("{}", render_three_shelf(&three, inst.m()));
     let feasible = three.p0() + three.p1() <= inst.m() as u128

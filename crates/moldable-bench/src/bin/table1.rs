@@ -17,8 +17,8 @@
 
 use moldable_bench::{fit_loglog_slope, median_time, Row};
 use moldable_core::ratio::Ratio;
+use moldable_core::view::JobView;
 use moldable_sched::dual::DualAlgorithm;
-use moldable_sched::estimator::estimate;
 use moldable_sched::{CompressibleDual, ImprovedDual, MrtDual};
 use moldable_workloads::{bench_instance, BenchFamily};
 use std::io::Write as _;
@@ -60,10 +60,11 @@ fn main() {
     let m = 1u64 << 20;
     for &n in &n_values {
         let inst = bench_instance(BenchFamily::PowerLaw, n, m, 1);
-        let d = 2 * estimate(&inst).omega;
+        let view = JobView::build(&inst);
+        let d = 2 * moldable_sched::estimate_view(&view).omega;
         for algo in algos(eps) {
             let t = median_time(runs, || {
-                algo.run(&inst, d).expect("d = 2ω must be accepted")
+                algo.run(&view, d).expect("d = 2ω must be accepted")
             });
             let row = Row {
                 algo: algo.name().into(),
@@ -104,10 +105,11 @@ fn main() {
     for &me in &m_exps {
         let m = 1u64 << me;
         let inst = bench_instance(BenchFamily::PowerLaw, n, m, 2);
-        let d = 2 * estimate(&inst).omega;
+        let view = JobView::build(&inst);
+        let d = 2 * moldable_sched::estimate_view(&view).omega;
         for algo in algos(eps) {
             let t = median_time(runs, || {
-                algo.run(&inst, d).expect("d = 2ω must be accepted")
+                algo.run(&view, d).expect("d = 2ω must be accepted")
             });
             let row = Row {
                 algo: algo.name().into(),
@@ -123,7 +125,7 @@ fn main() {
         // MRT's O(nm) DP only fits small m.
         if me <= 18 {
             let t = median_time(runs.min(3), || {
-                MrtDual.run(&inst, d).expect("d = 2ω must be accepted")
+                MrtDual.run(&view, d).expect("d = 2ω must be accepted")
             });
             let row = Row {
                 algo: "mrt-exact".into(),
@@ -160,7 +162,8 @@ fn main() {
     Row::header();
     let m = 1u64 << 20;
     let inst = bench_instance(BenchFamily::PowerLaw, n, m, 3);
-    let d = 2 * estimate(&inst).omega;
+    let view = JobView::build(&inst);
+    let d = 2 * moldable_sched::estimate_view(&view).omega;
     let eps_list: &[(u128, u128)] = if quick {
         &[(1, 2), (1, 4), (1, 10)]
     } else {
@@ -170,7 +173,7 @@ fn main() {
         let e = Ratio::new(num, den);
         for algo in algos(e) {
             let t = median_time(runs, || {
-                algo.run(&inst, d).expect("d = 2ω must be accepted")
+                algo.run(&view, d).expect("d = 2ω must be accepted")
             });
             let row = Row {
                 algo: algo.name().into(),

@@ -3,10 +3,10 @@
 //! Used by tests and benchmarks to certify approximation quality on instances
 //! too large for the exact solver: `ratio_vs_lower_bound ≥ ratio_vs_OPT`.
 
-use crate::gamma::gamma;
 use crate::instance::Instance;
 use crate::ratio::Ratio;
-use crate::types::{Time, Work};
+use crate::types::{JobId, Time, Work};
+use crate::view::JobView;
 
 /// `max_j t_j(m)`: no schedule can beat the most parallel execution of the
 /// least parallelizable job.
@@ -37,34 +37,11 @@ pub fn trivial_lower_bound(inst: &Instance) -> Time {
 /// monotonicity), or if some `γ_j(d)` is undefined. Returns the largest
 /// integer `d` that is *infeasible by this test* plus one — a valid lower
 /// bound at least as strong as [`trivial_lower_bound`].
+///
+/// Convenience wrapper over [`parametric_lower_bound_view`] (the search
+/// probes `γ` heavily, so it runs on a [`JobView`] snapshot).
 pub fn parametric_lower_bound(inst: &Instance) -> Time {
-    let (mut lo, mut hi) = (0u64, upper_bound_seq(inst).max(1));
-    // Invariant: lo infeasible-by-test ∨ lo == 0; hi feasible-by-test.
-    debug_assert!(feasible_by_test(inst, hi));
-    while hi - lo > 1 {
-        let mid = lo + (hi - lo) / 2;
-        if feasible_by_test(inst, mid) {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    hi
-}
-
-fn feasible_by_test(inst: &Instance, d: Time) -> bool {
-    if d == 0 {
-        return inst.n() == 0;
-    }
-    let thr = Ratio::from(d);
-    let mut total: Work = 0;
-    for j in inst.jobs() {
-        match gamma(j, &thr, inst.m()) {
-            None => return false,
-            Some(p) => total += j.work(p),
-        }
-    }
-    total <= (inst.m() as Work) * (d as Work)
+    parametric_lower_bound_view(&JobView::build(inst))
 }
 
 /// Sum of sequential times — a safe upper bound on OPT (run everything on one
@@ -75,9 +52,49 @@ pub fn upper_bound_seq(inst: &Instance) -> Time {
     total as Time
 }
 
+/// [`upper_bound_seq`] from a [`JobView`] — `O(n)` over the cached
+/// sequential times, no oracle calls.
+pub fn upper_bound_seq_view(view: &JobView) -> Time {
+    let total = view.total_seq_time();
+    debug_assert!(total <= Time::MAX as u128, "instance too large");
+    total as Time
+}
+
+/// [`parametric_lower_bound`] through a prebuilt [`JobView`]: each
+/// probe's `n` γ-queries are served as array lookups.
+pub fn parametric_lower_bound_view(view: &JobView) -> Time {
+    let (mut lo, mut hi) = (0u64, upper_bound_seq_view(view).max(1));
+    debug_assert!(feasible_by_test_view(view, hi));
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible_by_test_view(view, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+fn feasible_by_test_view(view: &JobView, d: Time) -> bool {
+    if d == 0 {
+        return view.n() == 0;
+    }
+    let thr = Ratio::from(d);
+    let mut total: Work = 0;
+    for j in 0..view.n() as JobId {
+        match view.gamma(j, &thr) {
+            None => return false,
+            Some(p) => total += view.work(j, p),
+        }
+    }
+    total <= (view.m() as Work) * (d as Work)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gamma::gamma;
     use crate::speedup::SpeedupCurve;
 
     fn two_constant_jobs() -> Instance {
@@ -133,5 +150,58 @@ mod tests {
         let inst = Instance::new(vec![], 3);
         assert_eq!(trivial_lower_bound(&inst), 0);
         assert_eq!(parametric_lower_bound(&inst), 1); // smallest feasible probe
+    }
+
+    #[test]
+    fn view_bounds_agree_with_oracle_bounds() {
+        use crate::speedup::monotone_closure;
+        use std::sync::Arc;
+        let mut seed = 0x0DDB_A11D_0DDB_A11Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..40 {
+            let m = next() % 12 + 1;
+            let n = (next() % 7 + 1) as usize;
+            let curves: Vec<SpeedupCurve> = (0..n)
+                .map(|_| {
+                    let mut tbl: Vec<u64> = (0..m as usize).map(|_| next() % 40 + 1).collect();
+                    monotone_closure(&mut tbl);
+                    SpeedupCurve::Table(Arc::new(tbl))
+                })
+                .collect();
+            let inst = Instance::new(curves, m);
+            let view = JobView::build(&inst);
+            assert_eq!(upper_bound_seq_view(&view), upper_bound_seq(&inst));
+            // The view path must agree with a direct oracle re-derivation.
+            let oracle_parametric = {
+                let feasible = |d: Time| -> bool {
+                    let thr = Ratio::from(d);
+                    let mut total: Work = 0;
+                    for j in inst.jobs() {
+                        match gamma(j, &thr, inst.m()) {
+                            None => return false,
+                            Some(p) => total += j.work(p),
+                        }
+                    }
+                    total <= (inst.m() as Work) * (d as Work)
+                };
+                let (mut lo, mut hi) = (0u64, upper_bound_seq(&inst).max(1));
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if feasible(mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                hi
+            };
+            assert_eq!(parametric_lower_bound_view(&view), oracle_parametric);
+            assert!(parametric_lower_bound(&inst) >= trivial_lower_bound(&inst));
+        }
     }
 }

@@ -29,18 +29,30 @@ use crate::types::{Procs, Time};
 /// assert_eq!(gamma(&job, &Ratio::from(1u64), 64), None); // unreachable
 /// ```
 pub fn gamma(job: &Job, threshold: &Ratio, m: Procs) -> Option<Procs> {
+    gamma_curve(job.curve(), threshold, m)
+}
+
+/// [`gamma`] directly on a [`crate::speedup::SpeedupCurve`] — the oracle-backed binary
+/// search. [`crate::view::JobView::gamma`] serves the same answer from a
+/// materialized staircase in `O(log k)` with zero oracle calls; this
+/// remains the fallback for non-materialized jobs.
+pub fn gamma_curve(
+    curve: &crate::speedup::SpeedupCurve,
+    threshold: &Ratio,
+    m: Procs,
+) -> Option<Procs> {
     debug_assert!(m >= 1);
-    if !time_le(job.time(m), threshold) {
+    if !time_le(curve.time(m), threshold) {
         return None;
     }
-    if time_le(job.time(1), threshold) {
+    if time_le(curve.time(1), threshold) {
         return Some(1);
     }
     // Invariant: t(lo) > threshold ≥ t(hi).
     let (mut lo, mut hi) = (1, m);
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if time_le(job.time(mid), threshold) {
+        if time_le(curve.time(mid), threshold) {
             hi = mid;
         } else {
             lo = mid;

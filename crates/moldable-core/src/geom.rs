@@ -102,6 +102,17 @@ pub fn igeom_covering(lo: u64, hi: u64, x: &Ratio) -> Vec<u64> {
     out
 }
 
+/// Largest value of an ascending integer grid that is `≤ v`, or `None`
+/// when `v` is below the whole grid — the integer fast path of
+/// [`round_down_to_grid`] used on processor-count grids (the Lemma-14
+/// rounding of Section 4.3.1), where both the grid and the query are
+/// plain `u64`s and no rational arithmetic is needed.
+#[inline]
+pub fn round_down_u64(v: u64, grid: &[u64]) -> Option<u64> {
+    let idx = grid.partition_point(|&g| g <= v);
+    idx.checked_sub(1).map(|i| grid[i])
+}
+
 /// For a *capacity* grid per Section 4.2.5: values `α̃` such that every
 /// `α ∈ [lo, hi]` has some `α̃ ∈ A` with `α ≤ α̃ ≤ α/(1−ρ)`.
 /// Constructed as the integer grid from `⌈lo/(1−ρ)⌉` with factor `1/(1−ρ)`,

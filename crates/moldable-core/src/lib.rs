@@ -13,7 +13,9 @@
 //! * the compression technique of Lemmas 4 & 16 ([`compression`]),
 //! * geometric grids & rounding of Definition 13 / Lemma 14 ([`geom`]),
 //! * monotonicity verification ([`monotone`]) and makespan lower bounds
-//!   ([`bounds`]).
+//!   ([`bounds`]),
+//! * flat struct-of-arrays instance snapshots serving `t_j(p)` and
+//!   `γ_j(t)` as oracle-free array lookups ([`view`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +32,7 @@ pub mod oracle;
 pub mod ratio;
 pub mod speedup;
 pub mod types;
+pub mod view;
 
 pub use compression::{Compression, DoubleCompression};
 pub use gamma::{gamma, gamma_int, GammaSet};
@@ -40,3 +43,4 @@ pub use oracle::{counting_instance, CountingOracle, OracleCounter};
 pub use ratio::Ratio;
 pub use speedup::{monotone_closure, SpeedupCurve, SpeedupModel, Staircase};
 pub use types::{JobId, Procs, Time, Work};
+pub use view::JobView;

@@ -9,10 +9,9 @@
 use crate::schedule::Schedule;
 use crate::small_jobs::{insert_small_jobs, MachineGroup};
 use crate::transform::{transform, ShelfJob, ThreeShelf, TransformMode};
-use moldable_core::gamma::gamma;
-use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Work};
+use moldable_core::view::JobView;
 
 /// Assemble the final schedule from the chosen S1 set.
 ///
@@ -23,14 +22,17 @@ use moldable_core::types::{JobId, Work};
 /// Returns `None` to reject (only possible when no schedule of makespan `d`
 /// exists, per Lemmas 6–9 and Corollary 10).
 pub fn assemble(
-    inst: &Instance,
+    view: &JobView,
     d_prime: &Ratio,
     chosen_s1: &[JobId],
     mode: TransformMode,
 ) -> Option<Schedule> {
-    let m = inst.m();
-    let half = d_prime.div_int(2);
-    let mut in_s1 = vec![false; inst.n()];
+    let m = view.m();
+    // Integer processing times: `t ≤ x ⇔ t ≤ ⌊x⌋` and `γ(x) = γ(⌊x⌋)`,
+    // so the whole classification loop runs on u64 comparisons.
+    let d_floor = d_prime.floor() as moldable_core::types::Time;
+    let half_floor = d_prime.div_int(2).floor() as moldable_core::types::Time;
+    let mut in_s1 = vec![false; view.n()];
     for &j in chosen_s1 {
         in_s1[j as usize] = true;
     }
@@ -42,28 +44,29 @@ pub fn assemble(
     let mut small_work: Work = 0;
     let mut shelf_work: Work = 0;
     let mut p1: u128 = 0;
-    for job in inst.jobs() {
-        if job.is_small(d_prime) {
-            small.push(job.id());
-            small_work += job.seq_time() as Work;
+    for j in 0..view.n() as JobId {
+        // Small iff t_j(1) ≤ d′/2 ⇔ t_j(1) ≤ ⌊d′/2⌋.
+        if view.seq_time(j) <= half_floor {
+            small.push(j);
+            small_work += view.seq_time(j) as Work;
             continue;
         }
-        if in_s1[job.id() as usize] {
-            let p = gamma(job, d_prime, m)?;
+        if in_s1[j as usize] {
+            let p = view.gamma_int(j, d_floor)?;
             p1 += p as u128;
-            shelf_work += job.work(p);
+            shelf_work += view.work(j, p);
             s1.push(ShelfJob {
-                id: job.id(),
+                id: j,
                 procs: p,
-                time: job.time(p),
+                time: view.time(j, p),
             });
         } else {
-            let p = gamma(job, &half, m)?;
-            shelf_work += job.work(p);
+            let p = view.gamma_int(j, half_floor)?;
+            shelf_work += view.work(j, p);
             s2.push(ShelfJob {
-                id: job.id(),
+                id: j,
                 procs: p,
-                time: job.time(p),
+                time: view.time(j, p),
             });
         }
     }
@@ -78,13 +81,13 @@ pub fn assemble(
         return None;
     }
 
-    let three = transform(inst, d_prime, s1, s2, mode);
+    let three = transform(view, d_prime, s1, s2, mode);
     if three.p0() + three.p1() > m as u128 || three.p0() + three.p2() > m as u128 {
         return None; // cannot happen for d ≥ OPT (Lemma 8)
     }
 
-    let (mut schedule, groups) = lay_out(inst, &three);
-    if !insert_small_jobs(inst, &mut schedule, groups, &small) {
+    let (mut schedule, groups) = lay_out(view, &three);
+    if !insert_small_jobs(view, &mut schedule, groups, &small) {
         return None; // cannot happen under the work bound (Lemma 9)
     }
     Some(schedule)
@@ -92,7 +95,7 @@ pub fn assemble(
 
 /// Place the three shelves on machines and report each machine group's
 /// contiguous free interval.
-fn lay_out(inst: &Instance, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>) {
+fn lay_out(view: &JobView, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>) {
     let h = three.horizon;
     let mut schedule = Schedule::new();
     let mut groups: Vec<MachineGroup> = Vec::new();
@@ -100,7 +103,7 @@ fn lay_out(inst: &Instance, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>)
     // S0 columns: stack from time 0; the whole column is busy [0, height).
     for col in &three.s0 {
         let mut cursor = Ratio::zero();
-        for j in &col.jobs {
+        for j in col.jobs() {
             debug_assert_eq!(j.procs, col.width, "column width = member allotment");
             schedule.push(j.id, cursor, j.procs);
             cursor = cursor.add(&Ratio::from(j.time));
@@ -118,7 +121,7 @@ fn lay_out(inst: &Instance, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>)
 
     // S1 at 0, S2 ending at the horizon; overlay the two shelf segment
     // lists over the machines after S0.
-    let m = inst.m() as u128;
+    let m = view.m() as u128;
     let p0 = three.p0();
     let avail = m - p0;
     let mut seg1: Vec<(u128, Ratio)> = Vec::new(); // (machines, busy-from-0)
@@ -174,6 +177,7 @@ fn lay_out(inst: &Instance, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>)
 mod tests {
     use super::*;
     use crate::validate::validate_with_makespan;
+    use moldable_core::instance::Instance;
     use moldable_core::speedup::SpeedupCurve;
     use std::sync::Arc;
 
@@ -191,7 +195,8 @@ mod tests {
             2,
         );
         let d = Ratio::from(11u64);
-        let s = assemble(&inst, &d, &[0], TransformMode::Exact).expect("feasible");
+        let s =
+            assemble(&JobView::build(&inst), &d, &[0], TransformMode::Exact).expect("feasible");
         validate_with_makespan(&s, &inst, &Ratio::new(33, 2)).unwrap();
     }
 
@@ -207,7 +212,7 @@ mod tests {
             2,
         );
         let d = Ratio::from(10u64);
-        assert!(assemble(&inst, &d, &[0, 1], TransformMode::Exact).is_none());
+        assert!(assemble(&JobView::build(&inst), &d, &[0, 1], TransformMode::Exact).is_none());
     }
 
     #[test]
@@ -216,6 +221,12 @@ mod tests {
         // machine with d' = 10 → W = 40 > 10.
         let inst = Instance::new(vec![SpeedupCurve::Constant(10); 4], 1);
         let d = Ratio::from(10u64);
-        assert!(assemble(&inst, &d, &[0, 1, 2, 3], TransformMode::Exact).is_none());
+        assert!(assemble(
+            &JobView::build(&inst),
+            &d,
+            &[0, 1, 2, 3],
+            TransformMode::Exact
+        )
+        .is_none());
     }
 }

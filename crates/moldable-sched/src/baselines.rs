@@ -6,23 +6,35 @@
 //! * [`sequential`] — everything on one processor back to back; the trivial
 //!   upper bound, useful as a sanity anchor in benchmarks.
 
-use crate::estimator::two_approx_schedule;
+use crate::estimator::{two_approx_schedule, two_approx_schedule_view};
 use crate::schedule::Schedule;
 use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
+use moldable_core::types::JobId;
+use moldable_core::view::JobView;
 
 /// The classic 2-approximation (estimator + list scheduling).
 pub fn two_approx(inst: &Instance) -> Schedule {
     two_approx_schedule(inst)
 }
 
+/// [`two_approx`] over a prebuilt [`JobView`].
+pub fn two_approx_view(view: &JobView) -> Schedule {
+    two_approx_schedule_view(view)
+}
+
 /// All jobs on a single processor, back to back.
 pub fn sequential(inst: &Instance) -> Schedule {
+    sequential_view(&JobView::build(inst))
+}
+
+/// [`sequential`] over a prebuilt [`JobView`] (cached sequential times).
+pub fn sequential_view(view: &JobView) -> Schedule {
     let mut s = Schedule::new();
     let mut cursor = Ratio::zero();
-    for j in inst.jobs() {
-        s.push(j.id(), cursor, 1);
-        cursor = cursor.add(&Ratio::from(j.seq_time()));
+    for j in 0..view.n() as JobId {
+        s.push(j, cursor, 1);
+        cursor = cursor.add(&Ratio::from(view.seq_time(j)));
     }
     s
 }

@@ -1,0 +1,221 @@
+//! Batch execution engine: run solvers over many tasks with
+//! deterministic work-stealing across threads.
+//!
+//! Two shapes of scale-out, both built on one primitive:
+//!
+//! * [`solve_many`] — one solver over many instances (the sweep shape:
+//!   a simulation's per-epoch queues, a bench grid, a service backlog);
+//! * [`race`] — many solvers over one instance (the ablation shape: the
+//!   CLI `race` subcommand and the solver-parity CI gate), sharing a
+//!   single prebuilt [`JobView`] across all workers.
+//!
+//! **Determinism.** Workers steal task indices from one shared atomic
+//! cursor, so *which thread* runs a task is scheduling-dependent — but
+//! each task's result is a pure function of its inputs (every solver is
+//! deterministic), and results land in a slot vector indexed by task,
+//! so the returned `Vec` is byte-identical across runs and thread
+//! counts. The only nondeterministic field is the wall-clock
+//! measurement, which is labelled as such.
+//!
+//! The engine uses `std::thread::scope` — plain safe Rust, no executor
+//! dependency — and degrades to a simple loop when `threads ≤ 1`.
+
+use crate::solver::{MakespanSolver, SolveOutcome};
+use moldable_core::instance::Instance;
+use moldable_core::view::JobView;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished batch task.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Index of the task in the submitted batch (results are returned
+    /// sorted by this, regardless of execution order).
+    pub task: usize,
+    /// `solver-name @ instance-label`.
+    pub label: String,
+    /// The solver's outcome.
+    pub outcome: SolveOutcome,
+    /// Wall-clock time of this task on its worker (measurement only —
+    /// not deterministic).
+    pub wall: Duration,
+}
+
+/// Degree of parallelism to use: the machine's available parallelism,
+/// capped by the task count.
+pub fn default_threads(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(tasks.max(1))
+}
+
+/// Run `f(0..tasks)` across `threads` workers stealing indices from a
+/// shared cursor; results return slotted by task index.
+fn run_indexed<F>(tasks: usize, threads: usize, f: F) -> Vec<BatchResult>
+where
+    F: Fn(usize) -> BatchResult + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, tasks);
+    if threads == 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..tasks).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let result = f(i);
+                slots.lock().expect("no worker panicked holding the lock")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every task index was claimed exactly once"))
+        .collect()
+}
+
+/// One solver over many instances. Each worker builds its instance's
+/// [`JobView`] once and runs the solver on it; results come back in
+/// input order.
+pub fn solve_many(
+    solver: &dyn MakespanSolver,
+    instances: &[Instance],
+    threads: usize,
+) -> Vec<BatchResult> {
+    run_indexed(instances.len(), threads, |i| {
+        let inst = &instances[i];
+        let t0 = Instant::now();
+        let view = JobView::build(inst);
+        let outcome = solver.solve(&view, view.m());
+        BatchResult {
+            task: i,
+            label: format!(
+                "{} @ instance[{i}] (n={}, m={})",
+                solver.name(),
+                inst.n(),
+                inst.m()
+            ),
+            outcome,
+            wall: t0.elapsed(),
+        }
+    })
+}
+
+/// Many solvers over one instance (ablation race). The [`JobView`] is
+/// built once and shared read-only by every worker.
+pub fn race(
+    solvers: &[Box<dyn MakespanSolver>],
+    view: &JobView,
+    threads: usize,
+) -> Vec<BatchResult> {
+    run_indexed(solvers.len(), threads, |i| {
+        let solver = solvers[i].as_ref();
+        let t0 = Instant::now();
+        let outcome = solver.solve(view, view.m());
+        BatchResult {
+            task: i,
+            label: solver.name().to_string(),
+            outcome,
+            wall: t0.elapsed(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{race_roster, solver_by_name};
+    use crate::validate::validate;
+    use moldable_core::ratio::Ratio;
+    use moldable_core::speedup::{monotone_closure, SpeedupCurve};
+    use std::sync::Arc;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    fn corpus(count: usize, seed: u64) -> Vec<Instance> {
+        let mut seed = seed;
+        (0..count)
+            .map(|_| {
+                let m = xorshift(&mut seed) % 8 + 1;
+                let n = (xorshift(&mut seed) % 8 + 1) as usize;
+                let curves: Vec<SpeedupCurve> = (0..n)
+                    .map(|_| {
+                        let mut tbl: Vec<u64> = (0..m as usize)
+                            .map(|_| xorshift(&mut seed) % 40 + 1)
+                            .collect();
+                        monotone_closure(&mut tbl);
+                        SpeedupCurve::Table(Arc::new(tbl))
+                    })
+                    .collect();
+                Instance::new(curves, m)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solve_many_is_deterministic_across_thread_counts() {
+        let instances = corpus(12, 0xBA7C_BA7C_BA7C_BA7C);
+        let solver = solver_by_name("linear", &Ratio::new(1, 4)).unwrap();
+        let serial = solve_many(solver.as_ref(), &instances, 1);
+        let parallel = solve_many(solver.as_ref(), &instances, 4);
+        assert_eq!(serial.len(), instances.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.outcome.makespan, b.outcome.makespan);
+            assert_eq!(
+                a.outcome.schedule.assignments, b.outcome.schedule.assignments,
+                "task {} differs across thread counts",
+                a.task
+            );
+            validate(&a.outcome.schedule, &instances[a.task]).unwrap();
+        }
+    }
+
+    #[test]
+    fn race_runs_every_solver_once_in_roster_order() {
+        let instances = corpus(1, 0x0C0FFEE);
+        let view = JobView::build(&instances[0]);
+        let eps = Ratio::new(1, 4);
+        let solvers = race_roster(&view, &eps);
+        let results = race(&solvers, &view, default_threads(solvers.len()));
+        assert_eq!(results.len(), solvers.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.task, i);
+            assert_eq!(r.label, solvers[i].name());
+            validate(&r.outcome.schedule, &instances[0]).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let solver = solver_by_name("two-approx", &Ratio::new(1, 4)).unwrap();
+        assert!(solve_many(solver.as_ref(), &[], 8).is_empty());
+    }
+
+    #[test]
+    fn thread_oversubscription_is_clamped() {
+        let instances = corpus(2, 0xD00D);
+        let solver = solver_by_name("two-approx", &Ratio::new(1, 4)).unwrap();
+        let results = solve_many(solver.as_ref(), &instances, 64);
+        assert_eq!(results.len(), 2);
+        assert!(default_threads(1) == 1);
+    }
+}

@@ -19,9 +19,9 @@ use crate::fptas_large_m::FptasLargeM;
 use crate::schedule::Schedule;
 use crate::shelves::ShelfContext;
 use crate::transform::TransformMode;
-use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs, Time};
+use moldable_core::view::JobView;
 use moldable_knapsack::compressible::{solve_compressible, CompressibleParams};
 use moldable_knapsack::item::Item;
 
@@ -75,15 +75,15 @@ impl DualAlgorithm for CompressibleDual {
         "compressible-knapsack"
     }
 
-    fn run(&self, inst: &Instance, d: Time) -> Option<Schedule> {
+    fn run(&self, view: &JobView, d: Time) -> Option<Schedule> {
         // Section 4.2.5's dispatch: for m ≥ 16n the Theorem-2 FPTAS at
         // ε = 1/2 is already a 3/2-dual algorithm (m ≥ 8n/(1/2)), and the
         // knapsack bounds below (βmax = m = O(n), n̄ = O(εn)) rely on
         // m < 16n.
-        if self.dispatch_large_m && inst.m() >= 16 * inst.n() as u64 {
-            return FptasLargeM::new(Ratio::new(1, 2)).run(inst, d);
+        if self.dispatch_large_m && view.m() >= 16 * view.n() as u64 {
+            return FptasLargeM::new(Ratio::new(1, 2)).run(view, d);
         }
-        let ctx = ShelfContext::build(inst, d)?;
+        let ctx = ShelfContext::build(view, d)?;
         let wide = self.width_threshold();
         let items: Vec<Item> = ctx
             .knapsack_jobs
@@ -125,7 +125,7 @@ impl DualAlgorithm for CompressibleDual {
             .collect();
         // d′ = (1+4ρ)d.
         let d_prime = self.rho.mul_int(4).one_plus().mul_int(d as u128);
-        assemble(inst, &d_prime, &chosen, TransformMode::Exact)
+        assemble(view, &d_prime, &chosen, TransformMode::Exact)
     }
 }
 
@@ -135,6 +135,7 @@ mod tests {
     use crate::dual::approximate;
     use crate::exact::optimal_makespan;
     use crate::validate::{validate, validate_with_makespan};
+    use moldable_core::instance::Instance;
     use moldable_core::speedup::{monotone_closure, SpeedupCurve};
     use std::sync::Arc;
 
@@ -174,8 +175,9 @@ mod tests {
             let inst = random_instance(&mut seed, 3, 4);
             let opt = optimal_makespan(&inst);
             let opt_int = opt.ceil() as Time;
+            let view = JobView::build(&inst);
             for d in opt_int..opt_int + 2 {
-                let s = algo.run(&inst, d).unwrap_or_else(|| {
+                let s = algo.run(&view, d).unwrap_or_else(|| {
                     panic!("round {round}: rejected feasible d={d} (OPT={opt})")
                 });
                 let bound = algo.guarantee().mul_int(d as u128);
@@ -198,7 +200,9 @@ mod tests {
             // Probe d = 2·lb: must accept (OPT ≤ 2ω ≤ 2·lb is not guaranteed,
             // but d ≥ OPT holds because OPT ≤ seq-sum; use seq-sum instead).
             let d = moldable_core::bounds::upper_bound_seq(&inst).max(lb);
-            let s = algo.run(&inst, d).expect("d ≥ OPT must be accepted");
+            let s = algo
+                .run(&JobView::build(&inst), d)
+                .expect("d ≥ OPT must be accepted");
             validate(&s, &inst).unwrap();
         }
     }

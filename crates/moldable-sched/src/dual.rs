@@ -8,11 +8,12 @@
 //! `O(log 1/ε)` probes turns a `c`-dual algorithm into a `c(1+ε)`-approximate
 //! one.
 
-use crate::estimator::estimate;
+use crate::estimator::estimate_view;
 use crate::schedule::Schedule;
 use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::Time;
+use moldable_core::view::JobView;
 
 /// A dual-approximation algorithm with guarantee `c = guarantee()`.
 pub trait DualAlgorithm {
@@ -22,7 +23,13 @@ pub trait DualAlgorithm {
     fn name(&self) -> &'static str;
     /// Attempt target `d`: `Some(schedule)` with makespan ≤ `c·d`, or `None`
     /// (allowed only when no schedule of makespan ≤ `d` exists).
-    fn run(&self, inst: &Instance, d: Time) -> Option<Schedule>;
+    ///
+    /// The instance arrives as a [`JobView`] snapshot: the binary-search
+    /// driver ([`approximate`]) builds it **once** and shares it across
+    /// every probe, so the `t_j(p)`/`γ_j(t)` queries inside the shelf
+    /// machinery are memoized array lookups instead of repeated oracle
+    /// calls.
+    fn run(&self, view: &JobView, d: Time) -> Option<Schedule>;
 }
 
 /// Outcome of [`approximate`].
@@ -41,11 +48,18 @@ pub struct ApproxResult {
 /// Run the standard estimator + binary-search reduction: the result's
 /// makespan is at most `guarantee·(1+ε)·OPT`.
 ///
-/// `eps` must be positive.
+/// `eps` must be positive. Builds the [`JobView`] once and shares it
+/// across the estimator and every dual probe; use [`approximate_view`]
+/// when a view is already at hand.
 pub fn approximate(inst: &Instance, algo: &dyn DualAlgorithm, eps: &Ratio) -> ApproxResult {
+    approximate_view(&JobView::build(inst), algo, eps)
+}
+
+/// [`approximate`] over a prebuilt [`JobView`].
+pub fn approximate_view(view: &JobView, algo: &dyn DualAlgorithm, eps: &Ratio) -> ApproxResult {
     assert!(!eps.is_zero(), "ε must be positive");
-    assert!(inst.n() > 0, "approximate() on empty instance");
-    let est = estimate(inst);
+    assert!(view.n() > 0, "approximate() on empty instance");
+    let est = estimate_view(view);
     let mut lo = est.omega; // certified: OPT ≥ ω (may also stay rejected-d+1)
     let mut hi = 2 * est.omega.max(1); // OPT ≤ 2ω, so the dual must accept
     let mut probes = 0u32;
@@ -64,10 +78,10 @@ pub fn approximate(inst: &Instance, algo: &dyn DualAlgorithm, eps: &Ratio) -> Ap
             lo + (hi - lo) / 2
         };
         probes += 1;
-        match algo.run(inst, mid) {
+        match algo.run(view, mid) {
             Some(s) => {
                 debug_assert!(
-                    s.makespan(inst) <= algo.guarantee().mul_int(mid as u128),
+                    s.makespan_view(view) <= algo.guarantee().mul_int(mid as u128),
                     "{} violated its guarantee at d={mid}",
                     algo.name()
                 );
@@ -85,7 +99,7 @@ pub fn approximate(inst: &Instance, algo: &dyn DualAlgorithm, eps: &Ratio) -> Ap
                 // it must accept because every smaller d was rejected.
                 probes += 1;
                 let s = algo
-                    .run(inst, hi)
+                    .run(view, hi)
                     .expect("dual algorithm must accept d ≥ OPT");
                 best = Some((hi, s));
             }
@@ -105,7 +119,6 @@ pub fn approximate(inst: &Instance, algo: &dyn DualAlgorithm, eps: &Ratio) -> Ap
 mod tests {
     use super::*;
     use crate::list_scheduling::list_schedule;
-    use moldable_core::gamma::gamma_int;
     use moldable_core::speedup::SpeedupCurve;
     use moldable_core::types::{JobId, Procs};
 
@@ -120,19 +133,19 @@ mod tests {
         fn name(&self) -> &'static str {
             "toy"
         }
-        fn run(&self, inst: &Instance, d: Time) -> Option<Schedule> {
+        fn run(&self, view: &JobView, d: Time) -> Option<Schedule> {
             let mut allot: Vec<Procs> = Vec::new();
             let mut work: u128 = 0;
-            for j in inst.jobs() {
-                let p = gamma_int(j, d, inst.m())?;
-                work += j.work(p);
+            for j in 0..view.n() as JobId {
+                let p = view.gamma_int(j, d)?;
+                work += view.work(j, p);
                 allot.push(p);
             }
-            if work > inst.m() as u128 * d as u128 {
+            if work > view.m() as u128 * d as u128 {
                 return None; // no schedule of makespan d can exist
             }
-            let order: Vec<JobId> = (0..inst.n() as JobId).collect();
-            Some(list_schedule(inst, &allot, &order))
+            let order: Vec<JobId> = (0..view.n() as JobId).collect();
+            Some(list_schedule(view, &allot, &order))
         }
     }
 

@@ -15,10 +15,10 @@
 
 use crate::list_scheduling::greedy_schedule;
 use crate::schedule::Schedule;
-use moldable_core::bounds::upper_bound_seq;
-use moldable_core::gamma::gamma_int;
+use moldable_core::bounds::upper_bound_seq_view;
 use moldable_core::instance::Instance;
 use moldable_core::types::{JobId, Procs, Time, Work};
+use moldable_core::view::JobView;
 
 /// Result of the estimator.
 #[derive(Clone, Debug)]
@@ -31,33 +31,43 @@ pub struct Estimate {
 
 /// `ω(a)` numerator pieces at threshold τ: the canonical allotment and its
 /// total work, or `None` if some job cannot meet τ even on `m` processors.
-fn profile_at(inst: &Instance, tau: Time) -> Option<(Vec<Procs>, Work)> {
-    let mut allot = Vec::with_capacity(inst.n());
+fn profile_at(view: &JobView, tau: Time) -> Option<(Vec<Procs>, Work)> {
+    let mut allot = Vec::with_capacity(view.n());
     let mut work: Work = 0;
-    for j in inst.jobs() {
-        let p = gamma_int(j, tau, inst.m())?;
-        work += j.work(p);
+    for j in 0..view.n() as JobId {
+        let p = view.gamma_int(j, tau)?;
+        work += view.work(j, p);
         allot.push(p);
     }
     Some((allot, work))
 }
 
 /// Compute the factor-2 estimate. Panics on empty instances.
+///
+/// Convenience wrapper over [`estimate_view`]; callers doing more than one
+/// query against the same instance should build the [`JobView`] themselves
+/// and share it.
 pub fn estimate(inst: &Instance) -> Estimate {
-    assert!(inst.n() > 0, "estimate of an empty instance");
-    let m = inst.m() as Work;
+    estimate_view(&JobView::build(inst))
+}
+
+/// [`estimate`] over a prebuilt [`JobView`]: each of the `O(log T)` probes
+/// costs `n` γ array lookups instead of `n` oracle binary searches.
+pub fn estimate_view(view: &JobView) -> Estimate {
+    assert!(view.n() > 0, "estimate of an empty instance");
+    let m = view.m() as Work;
     // pred(τ): γ(τ) defined and ⌈W(γ(τ))/m⌉ ≤ τ — monotone in τ.
     let pred = |tau: Time| -> bool {
-        match profile_at(inst, tau) {
+        match profile_at(view, tau) {
             None => false,
             Some((_, w)) => w.div_ceil(m) <= tau as Work,
         }
     };
-    let mut hi = upper_bound_seq(inst).max(1);
+    let mut hi = upper_bound_seq_view(view).max(1);
     debug_assert!(pred(hi));
     let mut lo: Time = 0; // pred(0) false unless trivial; keep invariant loose
     if pred(0) {
-        let (allotment, _) = profile_at(inst, 0).unwrap();
+        let (allotment, _) = profile_at(view, 0).unwrap();
         return Estimate {
             omega: 0,
             allotment,
@@ -73,7 +83,7 @@ pub fn estimate(inst: &Instance) -> Estimate {
     }
     // τ* = hi is the crossing: f(τ*) = τ* and f(τ) > τ* for τ < τ*
     // (for τ < τ*: f(τ) ≥ ⌈W(γ(τ))/m⌉ ≥ τ+1 ≥ ... ≥ τ*), so ω = τ*.
-    let (allotment, _) = profile_at(inst, hi).unwrap();
+    let (allotment, _) = profile_at(view, hi).unwrap();
     Estimate {
         omega: hi,
         allotment,
@@ -84,10 +94,15 @@ pub fn estimate(inst: &Instance) -> Estimate {
 /// estimator's allotment in decreasing-width order (the Turek–Wolf–Yu /
 /// Ludwig–Tiwari baseline the paper compares against). Makespan ≤ 2ω.
 pub fn two_approx_schedule(inst: &Instance) -> Schedule {
-    let est = estimate(inst);
-    let mut order: Vec<JobId> = (0..inst.n() as JobId).collect();
+    two_approx_schedule_view(&JobView::build(inst))
+}
+
+/// [`two_approx_schedule`] over a prebuilt [`JobView`].
+pub fn two_approx_schedule_view(view: &JobView) -> Schedule {
+    let est = estimate_view(view);
+    let mut order: Vec<JobId> = (0..view.n() as JobId).collect();
     order.sort_by_key(|&j| std::cmp::Reverse(est.allotment[j as usize]));
-    greedy_schedule(inst, &est.allotment, &order)
+    greedy_schedule(view, &est.allotment, &order)
 }
 
 #[cfg(test)]

@@ -28,20 +28,34 @@ use crate::schedule::Schedule;
 use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs, Time, Work};
+use moldable_core::view::JobView;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Hard cap on `(#orders) × (#allotment combinations)` explored.
 const SEARCH_CAP: u128 = 50_000_000;
 
+/// Conservative instance-size pre-filter under which the search space is
+/// always within `SEARCH_CAP`: shared by the PTAS dispatcher's exact
+/// branch and [`crate::solver::ExactSolver::fits`], so the callers
+/// cannot drift apart.
+pub const EXACT_N_LIMIT: usize = 6;
+/// Machine-count half of the pre-filter; see [`EXACT_N_LIMIT`].
+pub const EXACT_M_LIMIT: u64 = 6;
+
 /// The useful (Pareto) processor counts of a job over `1..=m`:
 /// counts where the processing time strictly decreases.
-pub fn useful_counts(inst: &Instance, job: JobId) -> Vec<Procs> {
-    let j = inst.job(job);
+///
+/// For materialized jobs these are exactly the view's breakpoint starts
+/// (free); fallback jobs are scanned linearly over `1..=m`.
+pub fn useful_counts(view: &JobView, job: JobId) -> Vec<Procs> {
+    if let Some((procs, _)) = view.steps(job) {
+        return procs.to_vec();
+    }
     let mut out = vec![1];
-    let mut last = j.time(1);
-    for p in 2..=inst.m() {
-        let t = j.time(p);
+    let mut last = view.time(job, 1);
+    for p in 2..=view.m() {
+        let t = view.time(job, p);
         if t < last {
             out.push(p);
             last = t;
@@ -54,9 +68,15 @@ pub fn useful_counts(inst: &Instance, job: JobId) -> Vec<Procs> {
 /// space exceeds `SEARCH_CAP` (guard for accidental misuse) or the
 /// instance is empty.
 pub fn optimal_schedule(inst: &Instance) -> Schedule {
-    let n = inst.n();
+    optimal_schedule_view(&JobView::build(inst))
+}
+
+/// [`optimal_schedule`] over a prebuilt [`JobView`] — the DFS replays
+/// every `(job, count)` placement through array lookups.
+pub fn optimal_schedule_view(view: &JobView) -> Schedule {
+    let n = view.n();
     assert!(n > 0, "exact solver on empty instance");
-    let candidates: Vec<Vec<Procs>> = (0..n as JobId).map(|j| useful_counts(inst, j)).collect();
+    let candidates: Vec<Vec<Procs>> = (0..n as JobId).map(|j| useful_counts(view, j)).collect();
     let mut orders: u128 = 1;
     for k in 2..=n as u128 {
         orders = orders.saturating_mul(k);
@@ -75,7 +95,7 @@ pub fn optimal_schedule(inst: &Instance) -> Schedule {
         .map(|j| {
             candidates[j]
                 .iter()
-                .map(|&p| (p, inst.time(j as JobId, p)))
+                .map(|&p| (p, view.time(j as JobId, p)))
                 .collect()
         })
         .collect();
@@ -96,7 +116,7 @@ pub fn optimal_schedule(inst: &Instance) -> Schedule {
         .map(|j| {
             candidates[j]
                 .iter()
-                .map(|&p| inst.job(j as JobId).work(p))
+                .map(|&p| view.work(j as JobId, p))
                 .min()
                 .expect("useful_counts is non-empty")
         })
@@ -104,7 +124,7 @@ pub fn optimal_schedule(inst: &Instance) -> Schedule {
     let total_min_work: Work = min_work.iter().sum();
 
     let mut search = Search {
-        inst,
+        view,
         candidates: &candidates,
         class_of: &class_of,
         class_count: classes.len(),
@@ -116,7 +136,7 @@ pub fn optimal_schedule(inst: &Instance) -> Schedule {
     };
     let root = State {
         running: BinaryHeap::new(),
-        free: inst.m(),
+        free: view.m(),
         now: 0,
         partial_mk: 0,
         area: 0,
@@ -155,7 +175,7 @@ struct State {
 }
 
 struct Search<'a> {
-    inst: &'a Instance,
+    view: &'a JobView,
     candidates: &'a [Vec<Procs>],
     class_of: &'a [usize],
     class_count: usize,
@@ -174,7 +194,7 @@ impl Search<'_> {
             self.best = self.placed.clone();
             return;
         }
-        let m = self.inst.m() as Work;
+        let m = self.view.m() as Work;
         let mut tried = vec![false; self.class_count];
         for j in 0..self.used.len() {
             if self.used[j] || std::mem::replace(&mut tried[self.class_of[j]], true) {
@@ -200,10 +220,10 @@ impl Search<'_> {
                         }
                     }
                 }
-                let end = now + self.inst.time(id, p);
+                let end = now + self.view.time(id, p);
                 let next = State {
                     partial_mk: state.partial_mk.max(end),
-                    area: state.area + self.inst.job(id).work(p),
+                    area: state.area + self.view.work(id, p),
                     remaining_min_work: state.remaining_min_work - self.min_work[j],
                     running: {
                         running.push(Reverse((end, p)));
@@ -259,7 +279,13 @@ mod tests {
             vec![SpeedupCurve::Table(Arc::new(vec![10, 10, 6, 6, 5]))],
             5,
         );
-        assert_eq!(useful_counts(&inst, 0), vec![1, 3, 5]);
+        let view = JobView::build(&inst);
+        assert_eq!(useful_counts(&view, 0), vec![1, 3, 5]);
+        // The passthrough (oracle-scanning) path must agree.
+        assert_eq!(
+            useful_counts(&JobView::passthrough(&inst), 0),
+            vec![1, 3, 5]
+        );
     }
 
     #[test]

@@ -15,10 +15,10 @@
 
 use crate::dual::{approximate, ApproxResult, DualAlgorithm};
 use crate::schedule::Schedule;
-use moldable_core::gamma::gamma;
 use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
-use moldable_core::types::{Procs, Time};
+use moldable_core::types::{JobId, Procs, Time};
+use moldable_core::view::JobView;
 
 /// The `(1+ε)`-dual algorithm of Theorem 2.
 #[derive(Clone, Debug)]
@@ -40,6 +40,13 @@ impl FptasLargeM {
             .mul_int(inst.m() as u128)
             .ge_int(8 * inst.n() as u128)
     }
+
+    /// [`FptasLargeM::applicable`] from a [`JobView`].
+    pub fn applicable_view(&self, view: &JobView) -> bool {
+        self.eps
+            .mul_int(view.m() as u128)
+            .ge_int(8 * view.n() as u128)
+    }
 }
 
 impl DualAlgorithm for FptasLargeM {
@@ -51,14 +58,14 @@ impl DualAlgorithm for FptasLargeM {
         "fptas-large-m"
     }
 
-    fn run(&self, inst: &Instance, d: Time) -> Option<Schedule> {
+    fn run(&self, view: &JobView, d: Time) -> Option<Schedule> {
         let thr = self.eps.one_plus().mul_int(d as u128);
         let mut total: u128 = 0;
-        let mut allot: Vec<Procs> = Vec::with_capacity(inst.n());
-        for j in inst.jobs() {
-            let p = gamma(j, &thr, inst.m())?;
+        let mut allot: Vec<Procs> = Vec::with_capacity(view.n());
+        for j in 0..view.n() as JobId {
+            let p = view.gamma(j, &thr)?;
             total += p as u128;
-            if total > inst.m() as u128 {
+            if total > view.m() as u128 {
                 return None;
             }
             allot.push(p);

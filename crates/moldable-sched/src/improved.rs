@@ -26,10 +26,10 @@ use crate::schedule::Schedule;
 use crate::shelves::ShelfContext;
 use crate::transform::TransformMode;
 use moldable_core::compression::DoubleCompression;
-use moldable_core::geom::{igeom_covering, rgeom};
-use moldable_core::instance::Instance;
+use moldable_core::geom::{igeom_covering, rgeom, round_down_u64};
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs, Time, Work};
+use moldable_core::view::JobView;
 use moldable_knapsack::bounded::{solve_bounded, ItemType};
 use moldable_knapsack::compressible::CompressibleParams;
 use std::collections::BTreeMap;
@@ -150,15 +150,15 @@ impl DualAlgorithm for ImprovedDual {
         }
     }
 
-    fn run(&self, inst: &Instance, d: Time) -> Option<Schedule> {
+    fn run(&self, view: &JobView, d: Time) -> Option<Schedule> {
         // Section 4.2.5's dispatch (shared by Section 4.3): for m ≥ 16n
         // the Theorem-2 FPTAS at ε = 1/2 is already a 3/2-dual algorithm,
         // and the knapsack bounds below (βmax = m = O(n)) rely on m < 16n.
-        if self.dispatch_large_m && inst.m() >= 16 * inst.n() as u64 {
-            return FptasLargeM::new(Ratio::new(1, 2)).run(inst, d);
+        if self.dispatch_large_m && view.m() >= 16 * view.n() as u64 {
+            return FptasLargeM::new(Ratio::new(1, 2)).run(view, d);
         }
-        let ctx = ShelfContext::build(inst, d)?;
-        let m = inst.m();
+        let ctx = ShelfContext::build(view, d)?;
+        let m = view.m();
         let b = self.b();
         let rho = self.dc.rho();
         let delta = self.delta();
@@ -175,8 +175,8 @@ impl DualAlgorithm for ImprovedDual {
             if p < b {
                 p
             } else {
-                let idx = proc_grid.partition_point(|&g| g <= p);
-                proc_grid[idx.saturating_sub(1).min(proc_grid.len() - 1)]
+                // Integer-grid fast path (p ≥ b = grid[0], so Some).
+                round_down_u64(p, &proc_grid).unwrap_or(proc_grid[0])
             }
         };
         let stretch = rho.mul_int(4).one_plus(); // 1 + 4ρ
@@ -211,8 +211,8 @@ impl DualAlgorithm for ImprovedDual {
                 }
             } else {
                 // Wide in S2: saved work according to rounded values.
-                let t_d = round_time(inst.job(bj.id).time(bj.gamma_d), &time_grid_d);
-                let t_half = round_time(inst.job(bj.id).time(gamma_half), &time_grid_half);
+                let t_d = round_time(view.time(bj.id, bj.gamma_d), &time_grid_d);
+                let t_half = round_time(view.time(bj.id, gamma_half), &time_grid_half);
                 let saved_half = t_half.mul_int(rounded_half as u128);
                 let saved_d = t_d.mul_int(size as u128);
                 if saved_half > saved_d {
@@ -276,7 +276,7 @@ impl DualAlgorithm for ImprovedDual {
             Variant::Heap => TransformMode::Exact,
             Variant::Bucketed => TransformMode::Bucketed { stretch },
         };
-        assemble(inst, &d_prime, &chosen, mode)
+        assemble(view, &d_prime, &chosen, mode)
     }
 }
 
@@ -286,6 +286,7 @@ mod tests {
     use crate::dual::approximate;
     use crate::exact::optimal_makespan;
     use crate::validate::{validate, validate_with_makespan};
+    use moldable_core::instance::Instance;
     use moldable_core::speedup::{monotone_closure, SpeedupCurve};
     use std::sync::Arc;
 
@@ -328,8 +329,9 @@ mod tests {
             let inst = random_instance(&mut seed, 3, 4);
             let opt = optimal_makespan(&inst);
             let opt_int = opt.ceil() as Time;
+            let view = JobView::build(&inst);
             for d in opt_int..opt_int + 2 {
-                let s = algo.run(&inst, d).unwrap_or_else(|| {
+                let s = algo.run(&view, d).unwrap_or_else(|| {
                     panic!("round {round}: rejected feasible d={d} (OPT={opt})")
                 });
                 let bound = algo.guarantee().mul_int(d as u128);
@@ -347,8 +349,9 @@ mod tests {
             let inst = random_instance(&mut seed, 3, 4);
             let opt = optimal_makespan(&inst);
             let opt_int = opt.ceil() as Time;
+            let view = JobView::build(&inst);
             for d in opt_int..opt_int + 2 {
-                let s = algo.run(&inst, d).unwrap_or_else(|| {
+                let s = algo.run(&view, d).unwrap_or_else(|| {
                     panic!("round {round}: rejected feasible d={d} (OPT={opt})")
                 });
                 let bound = algo.guarantee().mul_int(d as u128);
@@ -410,7 +413,9 @@ mod tests {
                 .collect();
             let inst = Instance::new(curves, m);
             let d = moldable_core::bounds::upper_bound_seq(&inst);
-            let s = algo.run(&inst, d).expect("d ≥ OPT accepted");
+            let s = algo
+                .run(&JobView::build(&inst), d)
+                .expect("d ≥ OPT accepted");
             validate(&s, &inst).unwrap();
         }
     }

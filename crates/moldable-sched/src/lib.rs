@@ -20,13 +20,20 @@
 //!   (Section 4.3) and the fully linear variant (Section 4.3.3);
 //! * [`exact`] — exhaustive ground truth for tiny instances (Theorem 1's
 //!   NP-membership procedure);
-//! * [`baselines`] — the 2-approximation and the sequential baseline.
+//! * [`baselines`] — the 2-approximation and the sequential baseline;
+//! * [`solver`] — the [`MakespanSolver`] facade unifying all of the above
+//!   behind one object-safe trait over [`moldable_core::view::JobView`]
+//!   snapshots;
+//! * [`batch`] — the batch-execution engine running solvers across
+//!   instances (or solver rosters across one instance) with
+//!   deterministic work-stealing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod assemble;
 pub mod baselines;
+pub mod batch;
 pub mod compressible_sched;
 pub mod dual;
 pub mod estimator;
@@ -39,15 +46,18 @@ pub mod ptas;
 pub mod schedule;
 pub mod shelves;
 pub mod small_jobs;
+pub mod solver;
 pub mod transform;
 pub mod validate;
 
+pub use batch::{race, solve_many, BatchResult};
 pub use compressible_sched::CompressibleDual;
-pub use dual::{approximate, ApproxResult, DualAlgorithm};
-pub use estimator::{estimate, Estimate};
+pub use dual::{approximate, approximate_view, ApproxResult, DualAlgorithm};
+pub use estimator::{estimate, estimate_view, Estimate};
 pub use fptas_large_m::{fptas_schedule, FptasLargeM};
 pub use improved::{ImprovedDual, Variant};
 pub use mrt::MrtDual;
-pub use ptas::{ptas_schedule, PtasBranch, PtasResult};
+pub use ptas::{ptas_schedule, ptas_schedule_view, PtasBranch, PtasResult};
 pub use schedule::{Assignment, Schedule};
-pub use validate::{validate, validate_with_makespan, ScheduleError};
+pub use solver::{solver_by_name, MakespanSolver, SolveOutcome, SOLVER_NAMES};
+pub use validate::{validate, validate_with_makespan, Overcommit, ScheduleError};

@@ -18,9 +18,9 @@
 //! scale).
 
 use crate::schedule::Schedule;
-use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs, Time};
+use moldable_core::view::JobView;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -29,8 +29,8 @@ use std::collections::BinaryHeap;
 /// `allotment` is indexed by job id; every job in `order` must have an
 /// allotment in `1..=m`. Jobs not listed in `order` are not scheduled
 /// (callers pass a permutation of all ids for a complete schedule).
-pub fn list_schedule(inst: &Instance, allotment: &[Procs], order: &[JobId]) -> Schedule {
-    let m = inst.m();
+pub fn list_schedule(view: &JobView, allotment: &[Procs], order: &[JobId]) -> Schedule {
+    let m = view.m();
     let mut schedule = Schedule::new();
     // Min-heap of (end_time, procs) of running jobs.
     let mut running: BinaryHeap<Reverse<(Time, Procs)>> = BinaryHeap::new();
@@ -53,7 +53,7 @@ pub fn list_schedule(inst: &Instance, allotment: &[Procs], order: &[JobId]) -> S
                 }
             }
         }
-        let dur = inst.job(j).time(need);
+        let dur = view.time(j, need);
         schedule.push(j, Ratio::from(now), need);
         running.push(Reverse((now + dur, need)));
         free -= need;
@@ -64,8 +64,8 @@ pub fn list_schedule(inst: &Instance, allotment: &[Procs], order: &[JobId]) -> S
 /// Any-fit greedy scheduling: at every event, scan the remaining list and
 /// start every job that currently fits. `order` must list each job at most
 /// once; unlisted jobs are not scheduled.
-pub fn greedy_schedule(inst: &Instance, allotment: &[Procs], order: &[JobId]) -> Schedule {
-    let m = inst.m();
+pub fn greedy_schedule(view: &JobView, allotment: &[Procs], order: &[JobId]) -> Schedule {
+    let m = view.m();
     let mut schedule = Schedule::new();
     let mut running: BinaryHeap<Reverse<(Time, Procs)>> = BinaryHeap::new();
     let mut free = m;
@@ -78,7 +78,7 @@ pub fn greedy_schedule(inst: &Instance, allotment: &[Procs], order: &[JobId]) ->
             let need = allotment[j as usize];
             debug_assert!(need >= 1 && need <= m);
             if need <= free {
-                let dur = inst.job(j).time(need);
+                let dur = view.time(j, need);
                 schedule.push(j, Ratio::from(now), need);
                 running.push(Reverse((now + dur, need)));
                 free -= need;
@@ -111,25 +111,22 @@ pub fn greedy_schedule(inst: &Instance, allotment: &[Procs], order: &[JobId]) ->
 
 /// Garey–Graham bound `W/m + max t` for a given allotment — what list
 /// scheduling is guaranteed not to exceed, any order.
-pub fn garey_graham_bound(inst: &Instance, allotment: &[Procs]) -> Ratio {
-    let w: u128 = inst
-        .jobs()
-        .iter()
-        .map(|j| j.work(allotment[j.id() as usize]))
+pub fn garey_graham_bound(view: &JobView, allotment: &[Procs]) -> Ratio {
+    let w: u128 = (0..view.n() as JobId)
+        .map(|j| view.work(j, allotment[j as usize]))
         .sum();
-    let tmax = inst
-        .jobs()
-        .iter()
-        .map(|j| j.time(allotment[j.id() as usize]))
+    let tmax = (0..view.n() as JobId)
+        .map(|j| view.time(j, allotment[j as usize]))
         .max()
         .unwrap_or(0);
-    Ratio::new(w, inst.m() as u128).add(&Ratio::from(tmax))
+    Ratio::new(w, view.m() as u128).add(&Ratio::from(tmax))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::validate::validate;
+    use moldable_core::instance::Instance;
     use moldable_core::speedup::{monotone_closure, SpeedupCurve};
     use std::sync::Arc;
 
@@ -152,7 +149,7 @@ mod tests {
         );
         let allot = vec![1, 1, 1];
         let order = vec![0, 1, 2];
-        let s = list_schedule(&inst, &allot, &order);
+        let s = list_schedule(&JobView::build(&inst), &allot, &order);
         validate(&s, &inst).unwrap();
         // 0 and 1 start at 0; 2 starts when 0 ends (t=3); makespan 5.
         assert_eq!(s.makespan(&inst), Ratio::from(5u64));
@@ -165,7 +162,7 @@ mod tests {
             3,
         );
         let allot = vec![2, 2];
-        let s = list_schedule(&inst, &allot, &[0, 1]);
+        let s = list_schedule(&JobView::build(&inst), &allot, &[0, 1]);
         validate(&s, &inst).unwrap();
         assert_eq!(s.makespan(&inst), Ratio::from(8u64));
     }
@@ -189,7 +186,7 @@ mod tests {
             let inst = Instance::new(curves, m);
             let allot: Vec<u64> = (0..n).map(|_| xorshift(&mut seed) % m + 1).collect();
             let order: Vec<u32> = (0..n as u32).collect();
-            let s = greedy_schedule(&inst, &allot, &order);
+            let s = greedy_schedule(&JobView::build(&inst), &allot, &order);
             validate(&s, &inst).unwrap();
             let w: u128 = inst
                 .jobs()
@@ -230,7 +227,7 @@ mod tests {
             let inst = Instance::new(curves, m);
             let allot: Vec<u64> = (0..n).map(|_| xorshift(&mut seed) % m + 1).collect();
             let order: Vec<u32> = (0..n as u32).collect();
-            let s = list_schedule(&inst, &allot, &order);
+            let s = list_schedule(&JobView::build(&inst), &allot, &order);
             validate(&s, &inst).unwrap();
             assert_eq!(s.len(), n);
         }
@@ -239,7 +236,7 @@ mod tests {
     #[test]
     fn empty_order() {
         let inst = Instance::new(vec![SpeedupCurve::Constant(1)], 1);
-        let s = list_schedule(&inst, &[1], &[]);
+        let s = list_schedule(&JobView::build(&inst), &[1], &[]);
         assert!(s.is_empty());
     }
 }

@@ -11,9 +11,9 @@ use crate::dual::DualAlgorithm;
 use crate::schedule::Schedule;
 use crate::shelves::ShelfContext;
 use crate::transform::TransformMode;
-use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Time};
+use moldable_core::view::JobView;
 use moldable_knapsack::dp;
 use moldable_knapsack::item::Item;
 
@@ -30,8 +30,8 @@ impl DualAlgorithm for MrtDual {
         "mrt-exact"
     }
 
-    fn run(&self, inst: &Instance, d: Time) -> Option<Schedule> {
-        let ctx = ShelfContext::build(inst, d)?;
+    fn run(&self, view: &JobView, d: Time) -> Option<Schedule> {
+        let ctx = ShelfContext::build(view, d)?;
         let items: Vec<Item> = ctx
             .knapsack_jobs
             .iter()
@@ -44,7 +44,7 @@ impl DualAlgorithm for MrtDual {
             .copied()
             .chain(ctx.forced.iter().map(|&(id, _)| id))
             .collect();
-        assemble(inst, &ctx.d, &chosen, TransformMode::Exact)
+        assemble(view, &ctx.d, &chosen, TransformMode::Exact)
     }
 }
 
@@ -54,6 +54,7 @@ mod tests {
     use crate::dual::approximate;
     use crate::exact::optimal_makespan;
     use crate::validate::{validate, validate_with_makespan};
+    use moldable_core::instance::Instance;
     use moldable_core::speedup::{monotone_closure, SpeedupCurve};
     use std::sync::Arc;
 
@@ -88,8 +89,9 @@ mod tests {
             let inst = random_instance(&mut seed, 3, 4);
             let opt = optimal_makespan(&inst);
             let opt_int = opt.ceil() as Time;
+            let view = JobView::build(&inst);
             for d in opt_int..opt_int + 3 {
-                let res = MrtDual.run(&inst, d);
+                let res = MrtDual.run(&view, d);
                 let s = res.unwrap_or_else(|| {
                     panic!("round {round}: rejected feasible d={d} (OPT={opt})")
                 });
@@ -100,7 +102,7 @@ mod tests {
             // Below-lower-bound targets may accept or reject, but accepted
             // schedules must still meet the 3/2·d bound.
             if opt_int > 1 {
-                if let Some(s) = MrtDual.run(&inst, opt_int - 1) {
+                if let Some(s) = MrtDual.run(&view, opt_int - 1) {
                     let bound = Ratio::new(3, 2).mul_int((opt_int - 1) as u128);
                     validate_with_makespan(&s, &inst, &bound).unwrap();
                 }
@@ -130,7 +132,7 @@ mod tests {
     fn handles_all_small_instance() {
         // Every job small at d: pure next-fit path.
         let inst = Instance::new(vec![SpeedupCurve::Constant(2); 6], 3);
-        let s = MrtDual.run(&inst, 10).expect("feasible");
+        let s = MrtDual.run(&JobView::build(&inst), 10).expect("feasible");
         validate_with_makespan(&s, &inst, &Ratio::from(15u64)).unwrap();
     }
 
@@ -138,7 +140,7 @@ mod tests {
     fn handles_single_forced_job() {
         // t(m) ∈ (d/2, d]: the job is forced into S1.
         let inst = Instance::new(vec![SpeedupCurve::Constant(8)], 2);
-        let s = MrtDual.run(&inst, 10).expect("feasible");
+        let s = MrtDual.run(&JobView::build(&inst), 10).expect("feasible");
         validate(&s, &inst).unwrap();
         assert_eq!(s.makespan(&inst), Ratio::from(8u64));
     }

@@ -8,13 +8,14 @@
 //! dispatcher reports which branch ran so callers/benchmarks can account for
 //! the weaker guarantee of the fallback branch.
 
-use crate::dual::{approximate, ApproxResult};
-use crate::exact::optimal_schedule;
+use crate::dual::{approximate_view, ApproxResult};
+use crate::exact::{optimal_schedule_view, EXACT_M_LIMIT, EXACT_N_LIMIT};
 use crate::fptas_large_m::FptasLargeM;
 use crate::improved::ImprovedDual;
 use crate::schedule::Schedule;
 use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
+use moldable_core::view::JobView;
 
 /// Which branch of the dispatcher produced the schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,35 +36,48 @@ pub struct PtasResult {
     pub schedule: Schedule,
     /// Which branch ran.
     pub branch: PtasBranch,
+    /// Dual probes performed (0 for the exact branch).
+    pub probes: u32,
+    /// Certified lower bound on OPT, when the branch derives one.
+    pub lower_bound: Option<moldable_core::types::Time>,
 }
-
-/// Upper limit on the exhaustive branch (`n! · Π|useful counts|` is checked
-/// by the exact solver itself; this is a cheap pre-filter).
-const EXACT_N_LIMIT: usize = 6;
-const EXACT_M_LIMIT: u64 = 6;
 
 /// Schedule with accuracy `ε` via the Section 3.2 dispatch.
 pub fn ptas_schedule(inst: &Instance, eps: &Ratio) -> PtasResult {
+    ptas_schedule_view(&JobView::build(inst), eps)
+}
+
+/// [`ptas_schedule`] over a prebuilt [`JobView`].
+pub fn ptas_schedule_view(view: &JobView, eps: &Ratio) -> PtasResult {
     assert!(!eps.is_zero() && *eps <= Ratio::one(), "need 0 < ε ≤ 1");
     let fptas = FptasLargeM::new(*eps);
-    if fptas.applicable(inst) {
-        let res: ApproxResult = approximate(inst, &fptas, eps);
+    if fptas.applicable_view(view) {
+        let res: ApproxResult = approximate_view(view, &fptas, eps);
         return PtasResult {
             schedule: res.schedule,
             branch: PtasBranch::FptasLargeM,
+            probes: res.probes,
+            lower_bound: Some(res.lower_bound),
         };
     }
-    if inst.n() <= EXACT_N_LIMIT && inst.m() <= EXACT_M_LIMIT {
+    if view.n() <= EXACT_N_LIMIT && view.m() <= EXACT_M_LIMIT {
+        let schedule = optimal_schedule_view(view);
+        let lower_bound =
+            Some(schedule.makespan_view(view).ceil() as moldable_core::types::Time);
         return PtasResult {
-            schedule: optimal_schedule(inst),
+            schedule,
             branch: PtasBranch::Exact,
+            probes: 0,
+            lower_bound,
         };
     }
     let algo = ImprovedDual::new(*eps);
-    let res = approximate(inst, &algo, eps);
+    let res = approximate_view(view, &algo, eps);
     PtasResult {
         schedule: res.schedule,
         branch: PtasBranch::ImprovedFallback,
+        probes: res.probes,
+        lower_bound: Some(res.lower_bound),
     }
 }
 

@@ -52,6 +52,16 @@ impl Schedule {
             .unwrap_or(Ratio::zero())
     }
 
+    /// [`Schedule::makespan`] with durations served by a prebuilt
+    /// [`moldable_core::view::JobView`] — no oracle calls.
+    pub fn makespan_view(&self, view: &moldable_core::view::JobView) -> Ratio {
+        self.assignments
+            .iter()
+            .map(|a| a.start.add(&Ratio::from(view.time(a.job, a.procs))))
+            .max()
+            .unwrap_or(Ratio::zero())
+    }
+
     /// Total work `Σ procs·t_j(procs)`.
     pub fn total_work(&self, inst: &moldable_core::instance::Instance) -> u128 {
         self.assignments

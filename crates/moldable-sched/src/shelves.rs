@@ -7,10 +7,9 @@
 //! `v_j(d) = w_j(γ_j(d/2)) − w_j(γ_j(d))` is the work saved by putting `j`
 //! into the tall shelf.
 
-use moldable_core::gamma::gamma;
-use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs, Time, Work};
+use moldable_core::view::JobView;
 
 /// A big job with its canonical allotments at level `d`.
 #[derive(Clone, Copy, Debug)]
@@ -47,25 +46,30 @@ impl ShelfContext {
     /// Returns `None` (reject) if some job has `t_j(m) > d` or the forced
     /// jobs alone exceed `m` processors — in both cases no schedule of
     /// makespan `d` exists.
-    pub fn build(inst: &Instance, d: Time) -> Option<Self> {
+    ///
+    /// The classification touches every job twice through `γ` — this is a
+    /// hot path, so it runs over a [`JobView`] (array lookups) instead of
+    /// the per-call oracle.
+    pub fn build(view: &JobView, d: Time) -> Option<Self> {
         let d_ratio = Ratio::from(d);
-        let half_d = d_ratio.div_int(2);
-        let m = inst.m();
+        // Integer times: small ⇔ t(1) ≤ ⌊d/2⌋ and γ(d/2) = γ(⌊d/2⌋).
+        let half_floor = d / 2;
+        let m = view.m();
         let mut knapsack_jobs = Vec::new();
         let mut forced = Vec::new();
         let mut small = Vec::new();
         let mut forced_procs: u128 = 0;
-        for j in inst.jobs() {
-            if j.is_small(&d_ratio) {
-                small.push(j.id());
+        for j in 0..view.n() as JobId {
+            if view.seq_time(j) <= half_floor {
+                small.push(j);
                 continue;
             }
-            let gamma_d = gamma(j, &d_ratio, m)?; // t_j(m) > d → reject
-            match gamma(j, &half_d, m) {
+            let gamma_d = view.gamma_int(j, d)?; // t_j(m) > d → reject
+            match view.gamma_int(j, half_floor) {
                 Some(gamma_half) => {
-                    let profit = j.work(gamma_half) - j.work(gamma_d);
+                    let profit = view.work(j, gamma_half) - view.work(j, gamma_d);
                     knapsack_jobs.push(BigJob {
-                        id: j.id(),
+                        id: j,
                         gamma_d,
                         gamma_half_d: Some(gamma_half),
                         profit,
@@ -73,7 +77,7 @@ impl ShelfContext {
                 }
                 None => {
                     forced_procs += gamma_d as u128;
-                    forced.push((j.id(), gamma_d));
+                    forced.push((j, gamma_d));
                 }
             }
         }
@@ -90,17 +94,15 @@ impl ShelfContext {
     }
 
     /// Total sequential work `W_S(d)` of the small jobs.
-    pub fn small_work(&self, inst: &Instance) -> Work {
-        self.small
-            .iter()
-            .map(|&j| inst.job(j).seq_time() as Work)
-            .sum()
+    pub fn small_work(&self, view: &JobView) -> Work {
+        self.small.iter().map(|&j| view.seq_time(j) as Work).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moldable_core::instance::Instance;
     use moldable_core::speedup::{monotone_closure, SpeedupCurve};
     use std::sync::Arc;
 
@@ -115,7 +117,7 @@ mod tests {
             ],
             4,
         );
-        let ctx = ShelfContext::build(&inst, 10).unwrap();
+        let ctx = ShelfContext::build(&JobView::build(&inst), 10).unwrap();
         assert_eq!(ctx.small, vec![0]);
         assert_eq!(ctx.forced, vec![(1, 1)]);
         assert_eq!(ctx.knapsack_jobs.len(), 1);
@@ -126,14 +128,15 @@ mod tests {
         // v = w(γ(d/2)) − w(γ(d)) = 2·4 − 1·8 = 0.
         assert_eq!(bj.profit, 0);
         assert_eq!(ctx.capacity, 3);
-        assert_eq!(ctx.small_work(&inst), 5);
+        assert_eq!(ctx.small_work(&JobView::build(&inst)), 5);
     }
 
     #[test]
     fn rejects_when_some_job_cannot_meet_d() {
         let inst = Instance::new(vec![SpeedupCurve::Constant(20)], 2);
-        assert!(ShelfContext::build(&inst, 10).is_none());
-        assert!(ShelfContext::build(&inst, 20).is_some());
+        let view = JobView::build(&inst);
+        assert!(ShelfContext::build(&view, 10).is_none());
+        assert!(ShelfContext::build(&view, 20).is_some());
     }
 
     #[test]
@@ -148,7 +151,7 @@ mod tests {
             ],
             2,
         );
-        assert!(ShelfContext::build(&inst, 10).is_none());
+        assert!(ShelfContext::build(&JobView::build(&inst), 10).is_none());
     }
 
     #[test]
@@ -172,7 +175,7 @@ mod tests {
                 .collect();
             let inst = Instance::new(curves, m);
             let d = (next() % 40 + 1).max(1);
-            if let Some(ctx) = ShelfContext::build(&inst, d) {
+            if let Some(ctx) = ShelfContext::build(&JobView::build(&inst), d) {
                 // Work's u128 subtraction would have panicked on negative
                 // profit; also γ(d) ≤ γ(d/2).
                 for bj in &ctx.knapsack_jobs {

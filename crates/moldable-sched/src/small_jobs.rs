@@ -13,9 +13,9 @@
 //! the whole pass is linear in the number of small jobs plus groups.
 
 use crate::schedule::Schedule;
-use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::JobId;
+use moldable_core::view::JobView;
 use std::collections::VecDeque;
 
 /// A group of machines with identical contiguous free intervals
@@ -35,20 +35,49 @@ pub struct MachineGroup {
 /// nowhere — by Lemma 9 this cannot happen when the shelf work respects the
 /// `m·d − W_S(d)` bound.
 pub fn insert_small_jobs(
-    inst: &Instance,
+    view: &JobView,
     schedule: &mut Schedule,
     groups: Vec<MachineGroup>,
     small: &[JobId],
 ) -> bool {
-    let mut queue: VecDeque<MachineGroup> = groups.into();
+    // Small-job times are integers while group boundaries are rationals
+    // with a *fixed* denominator per group (adding integers never changes
+    // it), so each group converts once to scaled-integer state and the
+    // per-job loop runs on u128 arithmetic — one multiply and compare
+    // per placement instead of three rational normalizations.
+    struct IntGroup {
+        count: u64,
+        /// Common denominator of `gap_start`/`free`.
+        den: u128,
+        /// `gap_start · den`.
+        gap_num: u128,
+        /// `free · den`.
+        free_num: u128,
+    }
+    let mut queue: VecDeque<IntGroup> = groups
+        .into_iter()
+        .map(|g| {
+            // Bring both boundaries onto one denominator.
+            let gs = g.gap_start;
+            let fr = g.free;
+            let den = gs.den() / gcd(gs.den(), fr.den()) * fr.den();
+            IntGroup {
+                count: g.count,
+                den,
+                gap_num: gs.num() * (den / gs.den()),
+                free_num: fr.num() * (den / fr.den()),
+            }
+        })
+        .collect();
     'jobs: for &j in small {
-        let t = Ratio::from(inst.job(j).seq_time());
+        let t = view.seq_time(j) as u128;
         while let Some(front) = queue.front_mut() {
             if front.count == 0 {
                 queue.pop_front();
                 continue;
             }
-            if front.free < t {
+            let t_scaled = t * front.den;
+            if front.free_num < t_scaled {
                 // Next-fit: discard the group and move on.
                 queue.pop_front();
                 continue;
@@ -56,17 +85,18 @@ pub fn insert_small_jobs(
             // Split one machine off the front and keep filling it.
             if front.count > 1 {
                 front.count -= 1;
-                let single = MachineGroup {
+                let single = IntGroup {
                     count: 1,
-                    gap_start: front.gap_start,
-                    free: front.free,
+                    den: front.den,
+                    gap_num: front.gap_num,
+                    free_num: front.free_num,
                 };
                 queue.push_front(single);
             }
             let machine = queue.front_mut().expect("just ensured non-empty");
-            schedule.push(j, machine.gap_start, 1);
-            machine.gap_start = machine.gap_start.add(&t);
-            machine.free = machine.free.sub(&t);
+            schedule.push(j, Ratio::new(machine.gap_num, machine.den), 1);
+            machine.gap_num += t_scaled;
+            machine.free_num -= t_scaled;
             continue 'jobs;
         }
         return false;
@@ -74,10 +104,20 @@ pub fn insert_small_jobs(
     true
 }
 
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::validate::validate;
+    use moldable_core::instance::Instance;
     use moldable_core::speedup::SpeedupCurve;
 
     fn group(count: u64, gap_start: u64, free: u64) -> MachineGroup {
@@ -99,7 +139,12 @@ mod tests {
             1,
         );
         let mut s = Schedule::new();
-        let ok = insert_small_jobs(&inst, &mut s, vec![group(1, 0, 9)], &[0, 1, 2]);
+        let ok = insert_small_jobs(
+            &JobView::build(&inst),
+            &mut s,
+            vec![group(1, 0, 9)],
+            &[0, 1, 2],
+        );
         assert!(ok);
         validate(&s, &inst).unwrap();
         assert_eq!(s.makespan(&inst), Ratio::from(9u64));
@@ -113,8 +158,12 @@ mod tests {
             2,
         );
         let mut s = Schedule::new();
-        let ok =
-            insert_small_jobs(&inst, &mut s, vec![group(1, 0, 4), group(1, 0, 9)], &[0, 1]);
+        let ok = insert_small_jobs(
+            &JobView::build(&inst),
+            &mut s,
+            vec![group(1, 0, 4), group(1, 0, 9)],
+            &[0, 1],
+        );
         assert!(ok);
         // Job 0 on machine 1 ([0,3)); job 1 does not fit in the remaining 1
         // unit → machine discarded → machine 2 ([0,5)).
@@ -129,7 +178,12 @@ mod tests {
         // one job per machine fits, fourth job fails.
         let inst = Instance::new((0..4).map(|_| SpeedupCurve::Constant(2)).collect(), 3);
         let mut s = Schedule::new();
-        let ok = insert_small_jobs(&inst, &mut s, vec![group(3, 1, 2)], &[0, 1, 2, 3]);
+        let ok = insert_small_jobs(
+            &JobView::build(&inst),
+            &mut s,
+            vec![group(3, 1, 2)],
+            &[0, 1, 2, 3],
+        );
         assert!(!ok, "fourth job cannot fit");
         assert_eq!(s.len(), 3);
     }
@@ -138,7 +192,12 @@ mod tests {
     fn empty_small_set_trivially_succeeds() {
         let inst = Instance::new(vec![SpeedupCurve::Constant(1)], 1);
         let mut s = Schedule::new();
-        assert!(insert_small_jobs(&inst, &mut s, vec![], &[]));
+        assert!(insert_small_jobs(
+            &JobView::build(&inst),
+            &mut s,
+            vec![],
+            &[]
+        ));
     }
 
     #[test]
@@ -146,7 +205,7 @@ mod tests {
         // Machine busy [0, 5): gap starts at 5.
         let inst = Instance::new(vec![SpeedupCurve::Constant(2)], 1);
         let mut s = Schedule::new();
-        let ok = insert_small_jobs(&inst, &mut s, vec![group(1, 5, 3)], &[0]);
+        let ok = insert_small_jobs(&JobView::build(&inst), &mut s, vec![group(1, 5, 3)], &[0]);
         assert!(ok);
         assert_eq!(s.assignments[0].start, Ratio::from(5u64));
     }

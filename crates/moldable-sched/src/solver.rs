@@ -1,0 +1,436 @@
+//! The [`MakespanSolver`] facade: every algorithm in the crate behind one
+//! object-safe trait.
+//!
+//! The paper presents seven route-to-a-schedule algorithms (the `O(nm)`
+//! MRT baseline, Algorithm 1, Algorithm 3 in heap and bucketed variants,
+//! the Theorem-2 FPTAS, the Section-3.2 PTAS dispatch, and the exhaustive
+//! exact solver) plus two classical baselines (the factor-2 estimator
+//! schedule and the sequential anchor). Before this facade each exposed
+//! its own entry point — dual algorithms needed the
+//! [`approximate`](crate::dual::approximate) search wrapped around them,
+//! the FPTAS had an applicability precondition, the PTAS returned a
+//! branch enum — so nothing upstream (simulator, CLI, benches) could
+//! treat "a solver" generically.
+//!
+//! A `MakespanSolver` takes a prebuilt [`JobView`] (the memoized
+//! instance snapshot, built **once** and shared across every internal
+//! probe) and returns a [`SolveOutcome`]: the schedule, its makespan,
+//! the *proven* approximation-ratio bound this particular run carries,
+//! and counters. The [`solver_by_name`] registry makes "add an
+//! algorithm" a one-trait problem, and [`crate::batch`] scales any
+//! solver across instances (or all solvers across one instance) without
+//! knowing which algorithm is behind the name.
+
+use crate::baselines;
+use crate::dual::{approximate_view, DualAlgorithm};
+use crate::exact;
+use crate::fptas_large_m::FptasLargeM;
+use crate::improved::ImprovedDual;
+use crate::mrt::MrtDual;
+use crate::ptas::{ptas_schedule_view, PtasBranch};
+use crate::schedule::Schedule;
+use crate::CompressibleDual;
+use moldable_core::ratio::Ratio;
+use moldable_core::types::{Procs, Time};
+use moldable_core::view::JobView;
+
+/// What a solver hands back: the schedule plus its certificates.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The feasible schedule.
+    pub schedule: Schedule,
+    /// Its makespan (exact rational).
+    pub makespan: Ratio,
+    /// The approximation factor this run *provably* satisfies against
+    /// OPT (e.g. `(3/2+ε)(1+ε)` for a dual search, `1` for the exact
+    /// solver), or `None` when the solver carries no worst-case bound
+    /// (the sequential baseline).
+    pub ratio_bound: Option<Ratio>,
+    /// A certified lower bound on OPT, when the solver derives one
+    /// (dual searches: the largest rejected target + 1).
+    pub lower_bound: Option<Time>,
+    /// Dual probes performed (0 for direct algorithms).
+    pub probes: u32,
+}
+
+/// An object-safe makespan solver over a prebuilt [`JobView`].
+///
+/// `Send + Sync` so [`crate::batch`] can share one solver across its
+/// worker threads. `m` is the machine count to schedule against and must
+/// equal `view.m()` — it is passed explicitly so call sites that juggle
+/// several views cannot silently mix them up.
+pub trait MakespanSolver: Send + Sync {
+    /// Stable name (registry key, bench label, CLI `--algo` value).
+    fn name(&self) -> &'static str;
+
+    /// Produce a feasible schedule for the snapshotted instance.
+    fn solve(&self, view: &JobView, m: Procs) -> SolveOutcome;
+}
+
+/// A [`DualAlgorithm`] lifted to a [`MakespanSolver`] via the standard
+/// estimator + binary-search reduction at accuracy `eps`.
+#[derive(Clone, Debug)]
+pub struct DualSolver<A> {
+    algo: A,
+    eps: Ratio,
+}
+
+impl<A: DualAlgorithm> DualSolver<A> {
+    /// Wrap `algo`; the search adds a `(1+eps)` factor to its guarantee.
+    pub fn new(algo: A, eps: Ratio) -> Self {
+        assert!(!eps.is_zero(), "ε must be positive");
+        DualSolver { algo, eps }
+    }
+}
+
+impl<A: DualAlgorithm + Send + Sync> MakespanSolver for DualSolver<A> {
+    fn name(&self) -> &'static str {
+        self.algo.name()
+    }
+
+    fn solve(&self, view: &JobView, m: Procs) -> SolveOutcome {
+        assert_eq!(m, view.m(), "solver invoked with a mismatched view");
+        let res = approximate_view(view, &self.algo, &self.eps);
+        let makespan = res.schedule.makespan_view(view);
+        SolveOutcome {
+            makespan,
+            ratio_bound: Some(self.algo.guarantee().mul(&self.eps.one_plus())),
+            lower_bound: Some(res.lower_bound),
+            probes: res.probes,
+            schedule: res.schedule,
+        }
+    }
+}
+
+/// The Theorem-2 FPTAS as a solver. Outside its `m ≥ 8n/ε` regime —
+/// where its reject is unsound and Theorem 2 says nothing — it falls
+/// back to the linear Algorithm 3 at the same ε, and the outcome's
+/// `ratio_bound` reports the weaker factor actually achieved.
+#[derive(Clone, Debug)]
+pub struct FptasSolver {
+    eps: Ratio,
+}
+
+impl FptasSolver {
+    /// Create for accuracy `ε ∈ (0, 1]`.
+    pub fn new(eps: Ratio) -> Self {
+        FptasSolver { eps }
+    }
+}
+
+impl MakespanSolver for FptasSolver {
+    fn name(&self) -> &'static str {
+        "fptas"
+    }
+
+    fn solve(&self, view: &JobView, m: Procs) -> SolveOutcome {
+        assert_eq!(m, view.m(), "solver invoked with a mismatched view");
+        let fptas = FptasLargeM::new(self.eps);
+        if fptas.applicable_view(view) {
+            return DualSolver::new(fptas, self.eps).solve(view, m);
+        }
+        DualSolver::new(ImprovedDual::new_linear(self.eps), self.eps).solve(view, m)
+    }
+}
+
+/// The Section-3.2 PTAS dispatcher as a solver; the outcome's
+/// `ratio_bound` is branch-aware (`(1+ε)²`, `1`, or the Algorithm-3
+/// fallback factor — see DESIGN.md's substitution notes).
+#[derive(Clone, Debug)]
+pub struct PtasSolver {
+    eps: Ratio,
+}
+
+impl PtasSolver {
+    /// Create for accuracy `ε ∈ (0, 1]`.
+    pub fn new(eps: Ratio) -> Self {
+        PtasSolver { eps }
+    }
+}
+
+impl MakespanSolver for PtasSolver {
+    fn name(&self) -> &'static str {
+        "ptas"
+    }
+
+    fn solve(&self, view: &JobView, m: Procs) -> SolveOutcome {
+        assert_eq!(m, view.m(), "solver invoked with a mismatched view");
+        let res = ptas_schedule_view(view, &self.eps);
+        let one_plus = self.eps.one_plus();
+        let ratio_bound = match res.branch {
+            PtasBranch::FptasLargeM => one_plus.mul(&one_plus),
+            PtasBranch::Exact => Ratio::one(),
+            PtasBranch::ImprovedFallback => {
+                ImprovedDual::new(self.eps).guarantee().mul(&one_plus)
+            }
+        };
+        let makespan = res.schedule.makespan_view(view);
+        SolveOutcome {
+            makespan,
+            ratio_bound: Some(ratio_bound),
+            lower_bound: res.lower_bound,
+            probes: res.probes,
+            schedule: res.schedule,
+        }
+    }
+}
+
+/// The exhaustive exact solver as a [`MakespanSolver`].
+///
+/// Only valid on instances whose search space fits the branch-and-bound
+/// cap — check [`ExactSolver::fits`] first; `solve` panics beyond it
+/// (same guard as [`exact::optimal_schedule`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactSolver;
+
+impl ExactSolver {
+    /// Is the instance small enough for the exhaustive search? (The
+    /// shared [`exact::EXACT_N_LIMIT`]/[`exact::EXACT_M_LIMIT`]
+    /// pre-filter, same as the PTAS dispatcher's exact branch.)
+    pub fn fits(view: &JobView) -> bool {
+        view.n() <= exact::EXACT_N_LIMIT && view.m() <= exact::EXACT_M_LIMIT
+    }
+}
+
+impl MakespanSolver for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn solve(&self, view: &JobView, m: Procs) -> SolveOutcome {
+        assert_eq!(m, view.m(), "solver invoked with a mismatched view");
+        let schedule = exact::optimal_schedule_view(view);
+        let makespan = schedule.makespan_view(view);
+        let lower_bound = Some(makespan.ceil() as Time);
+        SolveOutcome {
+            makespan,
+            ratio_bound: Some(Ratio::one()),
+            lower_bound,
+            probes: 0,
+            schedule,
+        }
+    }
+}
+
+/// The estimator + list-scheduling 2-approximation as a solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoApproxSolver;
+
+impl MakespanSolver for TwoApproxSolver {
+    fn name(&self) -> &'static str {
+        "two-approx"
+    }
+
+    fn solve(&self, view: &JobView, m: Procs) -> SolveOutcome {
+        assert_eq!(m, view.m(), "solver invoked with a mismatched view");
+        let schedule = baselines::two_approx_view(view);
+        let makespan = schedule.makespan_view(view);
+        SolveOutcome {
+            makespan,
+            ratio_bound: Some(Ratio::from_int(2)),
+            lower_bound: None,
+            probes: 0,
+            schedule,
+        }
+    }
+}
+
+/// Everything on one machine back to back — the sanity anchor. Carries
+/// no ratio bound (it is an `n`-approximation in the worst case).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialSolver;
+
+impl MakespanSolver for SequentialSolver {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn solve(&self, view: &JobView, m: Procs) -> SolveOutcome {
+        assert_eq!(m, view.m(), "solver invoked with a mismatched view");
+        let schedule = baselines::sequential_view(view);
+        let makespan = schedule.makespan_view(view);
+        SolveOutcome {
+            makespan,
+            ratio_bound: None,
+            lower_bound: None,
+            probes: 0,
+            schedule,
+        }
+    }
+}
+
+/// Registry names accepted by [`solver_by_name`], in display order.
+pub const SOLVER_NAMES: &[&str] = &[
+    "mrt",
+    "alg1",
+    "alg3",
+    "linear",
+    "fptas",
+    "ptas",
+    "two-approx",
+    "sequential",
+    "exact",
+];
+
+/// Look a solver up by its registry name (`ε` parameterizes the dual
+/// searches and the FPTAS/PTAS; baselines and the exact solver ignore
+/// it). Returns `None` for unknown names.
+pub fn solver_by_name(name: &str, eps: &Ratio) -> Option<Box<dyn MakespanSolver>> {
+    Some(match name {
+        "mrt" => Box::new(DualSolver::new(MrtDual, *eps)),
+        "alg1" => Box::new(DualSolver::new(CompressibleDual::new(*eps), *eps)),
+        "alg3" => Box::new(DualSolver::new(ImprovedDual::new(*eps), *eps)),
+        "linear" => Box::new(DualSolver::new(ImprovedDual::new_linear(*eps), *eps)),
+        "fptas" => Box::new(FptasSolver::new(*eps)),
+        "ptas" => Box::new(PtasSolver::new(*eps)),
+        "two-approx" => Box::new(TwoApproxSolver),
+        "sequential" => Box::new(SequentialSolver),
+        "exact" => Box::new(ExactSolver),
+        _ => return None,
+    })
+}
+
+/// The full roster for an ablation race over `view`: every registry
+/// solver that is valid on the instance (the exact solver joins only
+/// when [`ExactSolver::fits`]).
+pub fn race_roster(view: &JobView, eps: &Ratio) -> Vec<Box<dyn MakespanSolver>> {
+    SOLVER_NAMES
+        .iter()
+        .filter(|&&name| name != "exact" || ExactSolver::fits(view))
+        .map(|name| solver_by_name(name, eps).expect("registry names resolve"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate_view;
+    use crate::validate::validate_with_makespan;
+    use moldable_core::instance::Instance;
+    use moldable_core::speedup::{monotone_closure, SpeedupCurve};
+    use std::sync::Arc;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    fn random_instance(seed: &mut u64, max_m: u64, max_n: u64) -> Instance {
+        let m = xorshift(seed) % max_m + 1;
+        let n = (xorshift(seed) % max_n + 1) as usize;
+        let curves: Vec<SpeedupCurve> = (0..n)
+            .map(|_| {
+                let mut tbl: Vec<u64> =
+                    (0..m as usize).map(|_| xorshift(seed) % 30 + 1).collect();
+                monotone_closure(&mut tbl);
+                SpeedupCurve::Table(Arc::new(tbl))
+            })
+            .collect();
+        Instance::new(curves, m)
+    }
+
+    #[test]
+    fn registry_resolves_every_name_and_rejects_unknown() {
+        let eps = Ratio::new(1, 4);
+        for &name in SOLVER_NAMES {
+            let s = solver_by_name(name, &eps).expect(name);
+            assert_eq!(s.name(), name_alias(name));
+        }
+        assert!(solver_by_name("no-such-algo", &eps).is_none());
+    }
+
+    /// Dual solvers report the wrapped algorithm's name.
+    fn name_alias(registry: &str) -> &str {
+        match registry {
+            "mrt" => "mrt-exact",
+            "alg1" => "compressible-knapsack",
+            "alg3" => "improved-bounded-knapsack",
+            "linear" => "linear-bounded-knapsack",
+            other => other,
+        }
+    }
+
+    #[test]
+    fn every_solver_meets_its_reported_ratio_bound() {
+        // The parity check CI runs via `cli race`, in unit form: the
+        // makespan never exceeds ratio_bound · 2ω (ω ≤ OPT ≤ 2ω).
+        let mut seed = 0x5AFE_5AFE_5AFE_5AFEu64;
+        let eps = Ratio::new(1, 4);
+        for round in 0..25 {
+            let inst = random_instance(&mut seed, 5, 5);
+            let view = JobView::build(&inst);
+            let omega = estimate_view(&view).omega;
+            for solver in race_roster(&view, &eps) {
+                let out = solver.solve(&view, view.m());
+                assert_eq!(out.makespan, out.schedule.makespan_view(&view));
+                if let Some(bound) = &out.ratio_bound {
+                    let cap = bound.mul_int(2 * omega as u128);
+                    validate_with_makespan(&out.schedule, &inst, &cap)
+                        .unwrap_or_else(|e| panic!("round {round}, {}: {e}", solver.name()));
+                } else {
+                    crate::validate::validate(&out.schedule, &inst).unwrap();
+                }
+                if let Some(lb) = out.lower_bound {
+                    // A certified lower bound never exceeds any feasible
+                    // makespan.
+                    assert!(
+                        out.makespan.ge_int(lb as u128),
+                        "round {round}, {}: lower bound {lb} above makespan {}",
+                        solver.name(),
+                        out.makespan
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_solver_is_optimal_and_bounds_the_rest() {
+        let mut seed = 0x0123_4567_89AB_CDEFu64;
+        let eps = Ratio::new(1, 2);
+        for _ in 0..10 {
+            let inst = random_instance(&mut seed, 3, 4);
+            let view = JobView::build(&inst);
+            assert!(ExactSolver::fits(&view));
+            let opt = ExactSolver.solve(&view, view.m());
+            for solver in race_roster(&view, &eps) {
+                let out = solver.solve(&view, view.m());
+                assert!(
+                    out.makespan >= opt.makespan,
+                    "{} beat the exact optimum",
+                    solver.name()
+                );
+                if let Some(bound) = &out.ratio_bound {
+                    assert!(
+                        out.makespan <= bound.mul(&opt.makespan),
+                        "{}",
+                        solver.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fptas_solver_fallback_reports_weaker_bound() {
+        // m < 8n/ε: the FPTAS regime fails; the solver must fall back and
+        // say so through a bound strictly above (1+ε)².
+        let inst = Instance::new(vec![SpeedupCurve::Constant(5); 12], 8);
+        let view = JobView::build(&inst);
+        let eps = Ratio::new(1, 2);
+        let out = FptasSolver::new(eps).solve(&view, 8);
+        let fptas_bound = eps.one_plus().mul(&eps.one_plus());
+        assert!(out.ratio_bound.unwrap() > fptas_bound);
+        crate::validate::validate(&out.schedule, &inst).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched view")]
+    fn rejects_mismatched_machine_count() {
+        let inst = Instance::new(vec![SpeedupCurve::Constant(5)], 4);
+        let view = JobView::build(&inst);
+        let _ = SequentialSolver.solve(&view, 8);
+    }
+}

@@ -21,10 +21,9 @@
 //! `O(1/δ)` buckets (Section 4.3.3), trading a `(1+4ρ)` horizon stretch for
 //! linear time.
 
-use moldable_core::gamma::gamma;
-use moldable_core::instance::Instance;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs, Time};
+use moldable_core::view::JobView;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -39,19 +38,45 @@ pub struct ShelfJob {
     pub time: Time,
 }
 
-/// A column of shelf S0: `width` processors running `jobs` back to back.
+/// A column of shelf S0: `width` processors running its jobs back to
+/// back. The rules only ever stack one or two jobs per column, so the
+/// jobs live inline (no per-column heap allocation — S0 can hold tens of
+/// thousands of columns on large instances).
 #[derive(Clone, Debug)]
 pub struct S0Column {
     /// Processors used by every job in this column.
     pub width: Procs,
-    /// Stacked jobs, bottom first.
-    pub jobs: Vec<ShelfJob>,
+    buf: [ShelfJob; 2],
+    len: u8,
 }
 
 impl S0Column {
+    /// A column holding one job.
+    pub fn single(width: Procs, job: ShelfJob) -> Self {
+        S0Column {
+            width,
+            buf: [job, job],
+            len: 1,
+        }
+    }
+
+    /// A column stacking `top` on `bottom`.
+    pub fn pair(width: Procs, bottom: ShelfJob, top: ShelfJob) -> Self {
+        S0Column {
+            width,
+            buf: [bottom, top],
+            len: 2,
+        }
+    }
+
+    /// Stacked jobs, bottom first.
+    pub fn jobs(&self) -> &[ShelfJob] {
+        &self.buf[..self.len as usize]
+    }
+
     /// Total height (sum of stacked processing times).
     pub fn height(&self) -> Time {
-        self.jobs.iter().map(|j| j.time).sum()
+        self.jobs().iter().map(|j| j.time).sum()
     }
 }
 
@@ -104,6 +129,9 @@ enum LongSingles {
     /// `buckets[k]` holds jobs whose time rounds down to `grid[k]`.
     Bucketed {
         grid: Vec<Ratio>,
+        /// `⌈grid[k]⌉` — `grid[k] ≤ t` for integer `t` iff
+        /// `ceilings[k] ≤ t`, so bucket lookup is a pure-integer search.
+        ceilings: Vec<Time>,
         buckets: Vec<Vec<(Time, JobId)>>,
         min_nonempty: usize,
     },
@@ -114,12 +142,12 @@ impl LongSingles {
         match self {
             LongSingles::Exact(h) => h.push(Reverse((time, id))),
             LongSingles::Bucketed {
-                grid,
+                ceilings,
                 buckets,
                 min_nonempty,
+                ..
             } => {
-                let v = Ratio::from(time);
-                let k = grid.partition_point(|g| *g <= v).saturating_sub(1);
+                let k = ceilings.partition_point(|&c| c <= time).saturating_sub(1);
                 buckets[k].push((time, id));
                 *min_nonempty = (*min_nonempty).min(k);
             }
@@ -155,11 +183,21 @@ impl LongSingles {
 
 /// State machine applying the rules exhaustively.
 struct Transformer<'a> {
-    inst: &'a Instance,
-    /// Shelf height `d` (the *stretched* target d′ of the caller).
-    d: Ratio,
-    three_quarters_d: Ratio,
+    view: &'a JobView,
     three_halves_d: Ratio,
+    /// Integer thresholds: job times are integers, so `t ≤ x` for
+    /// rational `x` reduces to `t ≤ ⌊x⌋` and `t > x` to `t > ⌊x⌋` —
+    /// the rule conditions run on plain `u64` comparisons.
+    d_floor: Time,
+    three_quarters_floor: Time,
+    three_halves_floor: Time,
+    /// Bucketed mode only: number of grid values `≤ ¾d`.
+    k34: usize,
+    /// Bucketed mode only: `pair_limit[k]` is the number of grid values
+    /// `g'` with `grid[k] + g' ≤ 3d/2` — the rule-(ii) special-case
+    /// check as one integer comparison instead of a rational add
+    /// (grid denominators are 48-bit, so the adds were the hot cost).
+    pair_limit: Vec<usize>,
     mode: TransformMode,
     s0: Vec<S0Column>,
     /// S1 jobs that are definitely staying (multi-proc long jobs).
@@ -177,11 +215,10 @@ impl<'a> Transformer<'a> {
         match &self.mode {
             TransformMode::Exact => Ratio::from(t),
             TransformMode::Bucketed { .. } => {
-                if let LongSingles::Bucketed { grid, .. } = &self.long_singles {
-                    let v = Ratio::from(t);
-                    let k = grid.partition_point(|g| *g <= v);
+                if let LongSingles::Bucketed { grid, ceilings, .. } = &self.long_singles {
+                    let k = ceilings.partition_point(|&c| c <= t);
                     if k == 0 {
-                        v // below the grid (cannot happen for big jobs)
+                        Ratio::from(t) // below the grid (cannot happen for big jobs)
                     } else {
                         grid[k - 1]
                     }
@@ -192,33 +229,57 @@ impl<'a> Transformer<'a> {
         }
     }
 
-    fn move_to_s0(&mut self, width: Procs, jobs: Vec<ShelfJob>, freed_from_s1: u128) {
-        self.p0 += width as u128;
+    /// Is the (keyed) time at most `¾d`? Exact mode compares the integer
+    /// time against `⌊¾d⌋`; bucketed mode compares the *bucket index*
+    /// against `k34` (the number of grid values `≤ ¾d`, computed exactly
+    /// once up front) — no rational arithmetic on the per-job path.
+    fn keyed_le_three_quarters(&self, t: Time) -> bool {
+        match &self.mode {
+            TransformMode::Exact => t <= self.three_quarters_floor,
+            TransformMode::Bucketed { .. } => {
+                if let LongSingles::Bucketed { ceilings, .. } = &self.long_singles {
+                    let k = ceilings.partition_point(|&c| c <= t);
+                    if k == 0 {
+                        // Below the grid: key is the raw integer time.
+                        t <= self.three_quarters_floor
+                    } else {
+                        k <= self.k34
+                    }
+                } else {
+                    unreachable!("mode and pool kind always agree")
+                }
+            }
+        }
+    }
+
+    fn move_to_s0(&mut self, column: S0Column, freed_from_s1: u128) {
+        self.p0 += column.width as u128;
         self.p1 -= freed_from_s1;
-        self.s0.push(S0Column { width, jobs });
+        self.s0.push(column);
     }
 
     /// Classify an S1 job and apply rules (i)/(ii) to it. The job's `procs`
     /// are already counted in `p1`.
     fn process_s1_job(&mut self, job: ShelfJob) {
-        let kt = self.keyed(job.time);
-        if kt <= self.three_quarters_d {
+        if self.keyed_le_three_quarters(job.time) {
             if job.procs > 1 {
                 // Rule (i): one processor fewer, time at most doubles.
                 let new_procs = job.procs - 1;
-                let new_time = self.inst.job(job.id).time(new_procs);
+                let new_time = self.view.time(job.id, new_procs);
                 self.move_to_s0(
-                    new_procs,
-                    vec![ShelfJob {
-                        id: job.id,
-                        procs: new_procs,
-                        time: new_time,
-                    }],
+                    S0Column::single(
+                        new_procs,
+                        ShelfJob {
+                            id: job.id,
+                            procs: new_procs,
+                            time: new_time,
+                        },
+                    ),
                     job.procs as u128,
                 );
             } else if let Some(partner) = self.narrow_pending.take() {
                 // Rule (ii): stack the two narrow singles.
-                self.move_to_s0(1, vec![partner, job], 2);
+                self.move_to_s0(S0Column::pair(1, partner, job), 2);
             } else {
                 self.narrow_pending = Some(job);
             }
@@ -238,15 +299,34 @@ impl<'a> Transformer<'a> {
         let Some((t_long, id_long)) = self.long_singles.pop_min() else {
             return;
         };
-        let sum = self.keyed(narrow.time).add(&self.keyed(t_long));
-        if sum <= self.three_halves_d {
+        let fits = match &self.mode {
+            // Integer times: sum ≤ 3d/2 ⇔ sum ≤ ⌊3d/2⌋.
+            TransformMode::Exact => {
+                narrow.time as u128 + t_long as u128 <= self.three_halves_floor as u128
+            }
+            TransformMode::Bucketed { .. } => {
+                if let LongSingles::Bucketed { ceilings, .. } = &self.long_singles {
+                    let kn = ceilings.partition_point(|&c| c <= narrow.time);
+                    let kl = ceilings.partition_point(|&c| c <= t_long);
+                    if kn == 0 || kl == 0 {
+                        // Below-grid keys are raw times; compare exactly.
+                        self.keyed(narrow.time).add(&self.keyed(t_long)) <= self.three_halves_d
+                    } else {
+                        kl <= self.pair_limit[kn - 1]
+                    }
+                } else {
+                    unreachable!("mode and pool kind always agree")
+                }
+            }
+        };
+        if fits {
             self.narrow_pending = None;
             let bottom = ShelfJob {
                 id: id_long,
                 procs: 1,
                 time: t_long,
             };
-            self.move_to_s0(1, vec![bottom, narrow], 2);
+            self.move_to_s0(S0Column::pair(1, bottom, narrow), 2);
         } else {
             // The shortest candidate fails ⇒ every candidate fails.
             self.long_singles.push(t_long, id_long);
@@ -261,7 +341,7 @@ impl<'a> Transformer<'a> {
 /// `p0+p2 ≤ m` — Lemma 8) are *not* checked here; callers verify and
 /// reject.
 pub fn transform(
-    inst: &Instance,
+    view: &JobView,
     d: &Ratio,
     s1: Vec<ShelfJob>,
     s2: Vec<ShelfJob>,
@@ -273,25 +353,45 @@ pub fn transform(
         TransformMode::Exact => three_halves_d,
         TransformMode::Bucketed { stretch } => three_halves_d.mul(stretch),
     };
+    let mut k34 = 0usize;
+    let mut pair_limit: Vec<usize> = Vec::new();
     let long_singles = match &mode {
         TransformMode::Exact => LongSingles::Exact(BinaryHeap::new()),
         TransformMode::Bucketed { stretch } => {
             // Grid covering every key we can see: (0, 3d/2].
             let grid = moldable_core::geom::rgeom(&d.div_int(4), &three_halves_d, stretch);
+            let ceilings: Vec<Time> = grid.iter().map(|g| g.ceil() as Time).collect();
+            k34 = grid.partition_point(|g| *g <= three_quarters_d);
+            // pair_limit[k]: #grid values g' with grid[k] + g' ≤ 3d/2;
+            // two-pointer over the ascending grid (exact rationals, once).
+            let mut limit = grid.len();
+            pair_limit = grid
+                .iter()
+                .map(|g| {
+                    while limit > 0 && g.add(&grid[limit - 1]) > three_halves_d {
+                        limit -= 1;
+                    }
+                    limit
+                })
+                .collect();
             let buckets = vec![Vec::new(); grid.len()];
             LongSingles::Bucketed {
                 min_nonempty: grid.len(),
                 grid,
+                ceilings,
                 buckets,
             }
         }
     };
     let p1_init: u128 = s1.iter().map(|j| j.procs as u128).sum();
     let mut tr = Transformer {
-        inst,
-        d: *d,
-        three_quarters_d,
+        view,
         three_halves_d,
+        d_floor: d.floor() as Time,
+        three_quarters_floor: three_quarters_d.floor() as Time,
+        three_halves_floor: three_halves_d.floor() as Time,
+        k34,
+        pair_limit,
         mode,
         s0: Vec::new(),
         s1_rest: Vec::new(),
@@ -309,30 +409,34 @@ pub fn transform(
 
     // Phase 2: scan S2 (rule iii). q only shrinks, and t_j(q) grows as q
     // shrinks, so one pass is exhaustive.
-    let m = inst.m() as u128;
+    let m = view.m() as u128;
     let mut s2_rest: Vec<ShelfJob> = Vec::new();
     for job in s2 {
         let q = m.saturating_sub(tr.p0 + tr.p1);
+        // Integer times: `t ≤ 3d/2 ⇔ t ≤ ⌊3d/2⌋` and `γ(3d/2) = γ(⌊3d/2⌋)`.
         let fits = q >= 1
-            && q <= inst.m() as u128
-            && Ratio::from(inst.job(job.id).time(q as Procs)) <= tr.three_halves_d;
+            && q <= view.m() as u128
+            && view.time(job.id, q as Procs) <= tr.three_halves_floor;
         if !fits {
             s2_rest.push(job);
             continue;
         }
-        let p = gamma(inst.job(job.id), &tr.three_halves_d, inst.m())
+        let p = view
+            .gamma_int(job.id, tr.three_halves_floor)
             .expect("t_j(q) ≤ 3d/2 implies γ_j(3d/2) exists");
         debug_assert!(p as u128 <= q, "γ_j(3d/2) must fit in the free processors");
-        let t = inst.job(job.id).time(p);
-        if Ratio::from(t) > tr.d {
+        let t = view.time(job.id, p);
+        if t > tr.d_floor {
             // Straight to S0.
             tr.move_to_s0(
-                p,
-                vec![ShelfJob {
-                    id: job.id,
-                    procs: p,
-                    time: t,
-                }],
+                S0Column::single(
+                    p,
+                    ShelfJob {
+                        id: job.id,
+                        procs: p,
+                        time: t,
+                    },
+                ),
                 0,
             );
         } else {
@@ -366,6 +470,7 @@ mod tests {
     use super::*;
     use moldable_core::instance::Instance;
     use moldable_core::speedup::SpeedupCurve;
+    use moldable_core::view::JobView;
     use std::sync::Arc;
 
     fn sj(id: JobId, procs: Procs, time: Time) -> ShelfJob {
@@ -377,10 +482,16 @@ mod tests {
         // Job 0: t(2) = 6 ≤ ¾·10, t(1) = 12 ≤ 15 → S0 column of width 1.
         let inst = Instance::new(vec![SpeedupCurve::Table(Arc::new(vec![12, 6]))], 4);
         let d = Ratio::from(10u64);
-        let out = transform(&inst, &d, vec![sj(0, 2, 6)], vec![], TransformMode::Exact);
+        let out = transform(
+            &JobView::build(&inst),
+            &d,
+            vec![sj(0, 2, 6)],
+            vec![],
+            TransformMode::Exact,
+        );
         assert_eq!(out.s0.len(), 1);
         assert_eq!(out.s0[0].width, 1);
-        assert_eq!(out.s0[0].jobs[0].time, 12);
+        assert_eq!(out.s0[0].jobs()[0].time, 12);
         assert!(out.s1.is_empty());
         assert!(Ratio::from(out.s0[0].height()) <= out.horizon);
     }
@@ -393,7 +504,7 @@ mod tests {
         );
         let d = Ratio::from(10u64); // ¾d = 7.5 ≥ both
         let out = transform(
-            &inst,
+            &JobView::build(&inst),
             &d,
             vec![sj(0, 1, 7), sj(1, 1, 6)],
             vec![],
@@ -401,7 +512,7 @@ mod tests {
         );
         assert_eq!(out.s0.len(), 1);
         assert_eq!(out.s0[0].width, 1);
-        assert_eq!(out.s0[0].jobs.len(), 2);
+        assert_eq!(out.s0[0].jobs().len(), 2);
         assert_eq!(out.s0[0].height(), 13);
         assert!(out.s1.is_empty());
     }
@@ -416,15 +527,15 @@ mod tests {
         );
         let d = Ratio::from(10u64);
         let out = transform(
-            &inst,
+            &JobView::build(&inst),
             &d,
             vec![sj(0, 1, 6), sj(1, 1, 8)],
             vec![],
             TransformMode::Exact,
         );
         assert_eq!(out.s0.len(), 1);
-        assert_eq!(out.s0[0].jobs[0].id, 1, "long job at the bottom");
-        assert_eq!(out.s0[0].jobs[1].id, 0);
+        assert_eq!(out.s0[0].jobs()[0].id, 1, "long job at the bottom");
+        assert_eq!(out.s0[0].jobs()[1].id, 0);
         assert!(out.s1.is_empty());
     }
 
@@ -442,14 +553,14 @@ mod tests {
         );
         let d = Ratio::from(10u64);
         let out = transform(
-            &inst,
+            &JobView::build(&inst),
             &d,
             vec![sj(0, 1, 7), sj(1, 1, 9), sj(2, 1, 8)],
             vec![],
             TransformMode::Exact,
         );
         assert_eq!(out.s0.len(), 1);
-        assert_eq!(out.s0[0].jobs[0].id, 2);
+        assert_eq!(out.s0[0].jobs()[0].id, 2);
         assert_eq!(out.s1.len(), 1);
         assert_eq!(out.s1[0].id, 1);
     }
@@ -460,7 +571,13 @@ mod tests {
         // γ(15) = 1 (t(1) = 14 ≤ 15), time 14 > d = 10 → S0 single.
         let inst = Instance::new(vec![SpeedupCurve::Table(Arc::new(vec![14, 9, 5]))], 4);
         let d = Ratio::from(10u64);
-        let out = transform(&inst, &d, vec![], vec![sj(0, 3, 5)], TransformMode::Exact);
+        let out = transform(
+            &JobView::build(&inst),
+            &d,
+            vec![],
+            vec![sj(0, 3, 5)],
+            TransformMode::Exact,
+        );
         assert_eq!(out.s0.len(), 1);
         assert_eq!(out.s0[0].width, 1);
         assert!(out.s2.is_empty());
@@ -478,7 +595,7 @@ mod tests {
         );
         let d = Ratio::from(10u64);
         let out = transform(
-            &inst,
+            &JobView::build(&inst),
             &d,
             vec![sj(0, 2, 9)], // 9 > ¾d = 7.5, wide → stays in S1
             vec![sj(1, 2, 5)],
@@ -498,7 +615,7 @@ mod tests {
         let d = Ratio::from(10u64);
         let stretch = Ratio::new(11, 10);
         let out = transform(
-            &inst,
+            &JobView::build(&inst),
             &d,
             vec![sj(0, 1, 7), sj(1, 1, 6)],
             vec![],

@@ -30,14 +30,12 @@ pub enum ScheduleError {
         job: u32,
         /// Its allotment.
         procs: u64,
+        /// The machine count it violates.
+        m: u64,
     },
-    /// Total demand exceeds `m` at some instant.
-    Overcommitted {
-        /// An instant at which demand exceeds `m`.
-        at: Ratio,
-        /// The demand at that instant.
-        demand: u128,
-    },
+    /// Total demand exceeds `m` over some interval (boxed report keeps
+    /// the `Result` small on the non-error path).
+    Overcommitted(Box<Overcommit>),
     /// Makespan exceeds the required target.
     MakespanExceeded {
         /// The observed makespan.
@@ -47,17 +45,51 @@ pub enum ScheduleError {
     },
 }
 
+/// The detailed report behind [`ScheduleError::Overcommitted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overcommit {
+    /// Start of the overcommitted interval (the violating event).
+    pub at: Ratio,
+    /// End of the interval (the next event), when known.
+    pub until: Option<Ratio>,
+    /// The demand over that interval.
+    pub demand: u128,
+    /// The machine count it exceeds.
+    pub m: u64,
+    /// The widest assignments active over the interval, as
+    /// `(job, allotment)` pairs — at most [`OVERCOMMIT_WITNESSES`] of
+    /// them, widest first, so batch-engine failures are debuggable
+    /// straight from logs.
+    pub active: Vec<(u32, u64)>,
+}
+
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::WrongJobMultiplicity { job, count } => {
                 write!(f, "job {job} appears {count} times")
             }
-            ScheduleError::BadAllotment { job, procs } => {
-                write!(f, "job {job} allotted {procs} processors")
+            ScheduleError::BadAllotment { job, procs, m } => {
+                write!(f, "job {job} allotted {procs} processors (m = {m})")
             }
-            ScheduleError::Overcommitted { at, demand } => {
-                write!(f, "demand {demand} exceeds m at time {at}")
+            ScheduleError::Overcommitted(report) => {
+                let Overcommit {
+                    at,
+                    until,
+                    demand,
+                    m,
+                    active,
+                } = report.as_ref();
+                write!(f, "demand {demand} exceeds m = {m} over [{at}, ")?;
+                match until {
+                    Some(u) => write!(f, "{u})")?,
+                    None => write!(f, "…)")?,
+                }
+                write!(f, "; widest active jobs:")?;
+                for (job, procs) in active {
+                    write!(f, " {job}×{procs}")?;
+                }
+                Ok(())
             }
             ScheduleError::MakespanExceeded { makespan, bound } => {
                 write!(f, "makespan {makespan} exceeds bound {bound}")
@@ -96,6 +128,7 @@ pub fn validate(schedule: &Schedule, inst: &Instance) -> Result<(), ScheduleErro
             return Err(ScheduleError::BadAllotment {
                 job: a.job,
                 procs: a.procs,
+                m: inst.m(),
             });
         }
     }
@@ -110,16 +143,52 @@ pub fn validate(schedule: &Schedule, inst: &Instance) -> Result<(), ScheduleErro
     // Ends sort before starts at the same instant (half-open intervals).
     events.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
     let mut demand: i128 = 0;
-    for (at, kind, procs) in events {
+    for (i, &(at, kind, procs)) in events.iter().enumerate() {
         demand += kind as i128 * procs as i128;
         if demand > inst.m() as i128 {
-            return Err(ScheduleError::Overcommitted {
+            return Err(overcommit_witness(
+                inst,
+                schedule,
                 at,
-                demand: demand as u128,
-            });
+                events[i + 1..].iter().map(|&(t, _, _)| t).find(|t| *t > at),
+                demand as u128,
+            ));
         }
     }
     Ok(())
+}
+
+/// Number of active assignments reported in
+/// [`ScheduleError::Overcommitted`].
+pub const OVERCOMMIT_WITNESSES: usize = 8;
+
+/// Build the enriched overcommit report: the violating interval plus the
+/// widest assignments running through it.
+fn overcommit_witness(
+    inst: &Instance,
+    schedule: &Schedule,
+    at: Ratio,
+    until: Option<Ratio>,
+    demand: u128,
+) -> ScheduleError {
+    let mut active: Vec<(u32, u64)> = schedule
+        .assignments
+        .iter()
+        .filter(|a| {
+            let end = a.start.add(&Ratio::from(inst.job(a.job).time(a.procs)));
+            a.start <= at && at < end
+        })
+        .map(|a| (a.job, a.procs))
+        .collect();
+    active.sort_by_key(|&(job, procs)| (std::cmp::Reverse(procs), job));
+    active.truncate(OVERCOMMIT_WITNESSES);
+    ScheduleError::Overcommitted(Box::new(Overcommit {
+        at,
+        until,
+        demand,
+        m: inst.m(),
+        active,
+    }))
 }
 
 /// Validate feasibility *and* a makespan bound.
@@ -168,8 +237,32 @@ mod tests {
         s.push(1, Ratio::zero(), 1);
         assert!(matches!(
             validate(&s, &inst),
-            Err(ScheduleError::Overcommitted { .. })
+            Err(ScheduleError::Overcommitted(_))
         ));
+    }
+
+    #[test]
+    fn overcommit_reports_interval_and_witnesses() {
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2);
+        s.push(1, Ratio::from(1u64), 1); // overlaps job 0 over [1, 4)
+        match validate(&s, &inst) {
+            Err(ScheduleError::Overcommitted(report)) => {
+                assert_eq!(report.at, Ratio::from(1u64));
+                // Next event: job 0 ends at 4.
+                assert_eq!(report.until, Some(Ratio::from(4u64)));
+                assert_eq!(report.demand, 3);
+                assert_eq!(report.m, 2);
+                // Widest first: job 0 holds 2 processors, job 1 holds 1.
+                assert_eq!(report.active, vec![(0, 2), (1, 1)]);
+            }
+            other => panic!("expected enriched overcommit, got {other:?}"),
+        }
+        // And the rendered message carries the context.
+        let msg = validate(&s, &inst).unwrap_err().to_string();
+        assert!(msg.contains("[1, 4)"), "{msg}");
+        assert!(msg.contains("0×2"), "{msg}");
     }
 
     #[test]
@@ -207,7 +300,11 @@ mod tests {
         s.push(1, Ratio::zero(), 1);
         assert!(matches!(
             validate(&s, &inst),
-            Err(ScheduleError::BadAllotment { job: 0, procs: 3 })
+            Err(ScheduleError::BadAllotment {
+                job: 0,
+                procs: 3,
+                m: 2
+            })
         ));
     }
 

@@ -24,7 +24,9 @@ use moldable_core::instance::Instance;
 use moldable_core::job::Job;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Time};
-use moldable_sched::dual::{approximate, DualAlgorithm};
+use moldable_core::view::JobView;
+use moldable_sched::dual::{approximate_view, DualAlgorithm};
+use moldable_sched::solver::MakespanSolver;
 
 /// A job plus its arrival (release) time.
 #[derive(Clone, Debug)]
@@ -57,6 +59,9 @@ pub struct EpochOutcome {
     pub makespan: Ratio,
     /// Concatenated execution traces (job ids are stream indices).
     pub traces: Vec<Trace>,
+    /// Global completion time of each stream job, indexed by its
+    /// position in the arrival stream (epoch start + in-batch finish).
+    pub completions: Vec<Ratio>,
 }
 
 /// Run the epoch scheme: plan each accumulated batch with `planner` on
@@ -65,11 +70,41 @@ pub struct EpochOutcome {
 /// `stream` must be sorted by arrival time (asserted). Returns the global
 /// outcome; competitive-ratio accounting is the caller's business (see
 /// tests for the `2c(1+ε)`-style envelope checks).
+///
+/// The per-epoch planning builds one [`JobView`] per batch and shares it
+/// across the whole dual search — the service-loop incarnation of the
+/// memoized hot path.
 pub fn run_epochs(
     stream: &[ArrivingJob],
     m: u64,
     planner: &dyn DualAlgorithm,
     eps: &Ratio,
+) -> EpochOutcome {
+    run_epochs_with(stream, m, &|inst| {
+        let view = JobView::build(inst);
+        approximate_view(&view, planner, eps).schedule
+    })
+}
+
+/// [`run_epochs`] with any [`MakespanSolver`] from the facade as the
+/// batch planner — what the CLI's `simulate --trace --algo NAME` uses,
+/// so every registry solver is reachable as an online planner.
+pub fn run_epochs_solver(
+    stream: &[ArrivingJob],
+    m: u64,
+    solver: &dyn MakespanSolver,
+) -> EpochOutcome {
+    run_epochs_with(stream, m, &|inst| {
+        let view = JobView::build(inst);
+        solver.solve(&view, view.m()).schedule
+    })
+}
+
+/// The epoch loop itself, parameterized over the batch planner.
+fn run_epochs_with(
+    stream: &[ArrivingJob],
+    m: u64,
+    plan: &dyn Fn(&Instance) -> moldable_sched::Schedule,
 ) -> EpochOutcome {
     assert!(
         stream.windows(2).all(|w| w[0].arrival <= w[1].arrival),
@@ -77,6 +112,7 @@ pub fn run_epochs(
     );
     let mut epochs: Vec<Epoch> = Vec::new();
     let mut traces: Vec<Trace> = Vec::new();
+    let mut completions: Vec<Ratio> = vec![Ratio::zero(); stream.len()];
     let mut clock = Ratio::zero();
     let mut next = 0usize; // cursor into the stream
     let mut index = 0usize;
@@ -101,8 +137,17 @@ pub fn run_epochs(
             .map(|(i, &si)| Job::new(i as JobId, stream[si].curve.clone()))
             .collect();
         let inst = Instance::from_jobs(jobs, m);
-        let res = approximate(&inst, planner, eps);
-        let ex = execute(&inst, &res.schedule).expect("planned batches execute");
+        let schedule = plan(&inst);
+        let ex = execute(&inst, &schedule).expect("planned batches execute");
+
+        // Per-job completions: batch-local job i is stream job batch[i].
+        for seg in &ex.trace.segments {
+            let global_end = clock.add(&seg.end);
+            let slot = &mut completions[batch[seg.job as usize]];
+            if global_end > *slot {
+                *slot = global_end;
+            }
+        }
 
         let end = clock.add(&ex.makespan);
         epochs.push(Epoch {
@@ -120,6 +165,7 @@ pub fn run_epochs(
         makespan: clock,
         epochs,
         traces,
+        completions,
     }
 }
 

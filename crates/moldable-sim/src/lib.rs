@@ -25,7 +25,8 @@
 //! * [`trace`] — per-processor timelines, utilization statistics, and
 //!   machine-load profiles;
 //! * [`metrics`] — aggregate statistics (utilization, average waiting time,
-//!   work conservation) used by examples and experiment reports.
+//!   work conservation) plus per-user fairness reports (stretch and
+//!   weighted flow) used by examples, the CLI, and experiment reports.
 //!
 //! The simulator is an *independent* implementation of feasibility: it
 //! assigns concrete processor ids and verifies no processor runs two jobs
@@ -44,11 +45,15 @@ pub mod online;
 pub mod trace;
 
 pub use arrivals::{
-    clairvoyant_lower_bound, run_epochs, ArrivingJob, Epoch, EpochOutcome, TraceReplay,
+    clairvoyant_lower_bound, run_epochs, run_epochs_solver, ArrivingJob, Epoch, EpochOutcome,
+    TraceReplay,
 };
 pub use backfill::{backfill_schedule, BackfillOutcome};
 pub use engine::{Event, EventKind, SimError};
 pub use executor::{execute, Execution};
-pub use metrics::{ClusterMetrics, JobMetrics};
+pub use metrics::{
+    observations_from_epochs, ClusterMetrics, FairnessReport, JobMetrics, JobObservation,
+    UserFairness,
+};
 pub use online::{online_list_schedule, OnlineOutcome};
 pub use trace::{ProcessorTimeline, Segment, Trace};

@@ -91,6 +91,172 @@ impl ClusterMetrics {
     }
 }
 
+/// One job's observation for fairness accounting: who submitted it, when
+/// it arrived and finished, its *ideal* processing time (the fastest the
+/// cluster could ever run it, `t_j(m)` — the stretch denominator), and
+/// its weight (sequential work `w_j(1)`, the weighted-flow weight).
+#[derive(Clone, Debug)]
+pub struct JobObservation {
+    /// Submitting user (SWF user id; `-1` when unknown).
+    pub user: i64,
+    /// Release time.
+    pub arrival: Ratio,
+    /// Completion time (≥ arrival).
+    pub completion: Ratio,
+    /// `t_j(m)`: the job's fastest possible processing time.
+    pub ideal_time: Ratio,
+    /// `w_j(1)`: sequential work, used as the flow weight.
+    pub weight: u128,
+}
+
+impl JobObservation {
+    /// Flow (response) time `C_j − r_j`.
+    pub fn flow(&self) -> Ratio {
+        self.completion.sub(&self.arrival)
+    }
+
+    /// Stretch `(C_j − r_j) / t_j(m)`: how many times its ideal running
+    /// time the job spent in the system. 1 is perfect service.
+    pub fn stretch(&self) -> Ratio {
+        debug_assert!(!self.ideal_time.is_zero());
+        self.flow().div(&self.ideal_time)
+    }
+}
+
+/// Per-user fairness summary.
+#[derive(Clone, Debug)]
+pub struct UserFairness {
+    /// The user.
+    pub user: i64,
+    /// Number of jobs the user submitted.
+    pub jobs: usize,
+    /// Largest stretch over the user's jobs.
+    pub max_stretch: Ratio,
+    /// Mean stretch over the user's jobs.
+    pub mean_stretch: Ratio,
+    /// Work-weighted mean flow `Σ w_j·F_j / Σ w_j`: big jobs dominate,
+    /// so a user's number is not gamed by a swarm of trivial jobs.
+    pub weighted_flow: Ratio,
+}
+
+/// Cluster-wide fairness report: global stretch statistics plus the
+/// per-user breakdown (ROADMAP follow-up to the SWF replay pipeline —
+/// max/mean stretch and per-user weighted flow).
+///
+/// Max statistics are exact; *sums* (means, weighted flows) accumulate
+/// with denominators rounded down to 48 bits per step — unrelated
+/// per-job denominators would otherwise overflow the exact rationals on
+/// real traces. Relative error is at most `n · 2⁻⁴⁸`, far below
+/// anything a report consumer can see.
+#[derive(Clone, Debug)]
+pub struct FairnessReport {
+    /// Largest stretch over all jobs.
+    pub max_stretch: Ratio,
+    /// Mean stretch over all jobs.
+    pub mean_stretch: Ratio,
+    /// Per-user summaries, sorted by descending weighted flow (the
+    /// worst-served users first).
+    pub users: Vec<UserFairness>,
+}
+
+impl FairnessReport {
+    /// Aggregate a set of observations. Returns all-zero statistics for
+    /// an empty set.
+    pub fn from_observations(obs: &[JobObservation]) -> Self {
+        if obs.is_empty() {
+            return FairnessReport {
+                max_stretch: Ratio::zero(),
+                mean_stretch: Ratio::zero(),
+                users: Vec::new(),
+            };
+        }
+        let mut max_stretch = Ratio::zero();
+        let mut sum_stretch = Ratio::zero();
+        let mut per_user: BTreeMap<i64, Vec<&JobObservation>> = BTreeMap::new();
+        for o in obs {
+            let s = o.stretch();
+            if s > max_stretch {
+                max_stretch = s;
+            }
+            sum_stretch = accumulate(&sum_stretch, &s);
+            per_user.entry(o.user).or_default().push(o);
+        }
+        let mut users: Vec<UserFairness> = per_user
+            .into_iter()
+            .map(|(user, jobs)| {
+                let mut u_max = Ratio::zero();
+                let mut u_sum = Ratio::zero();
+                let mut wf_num = Ratio::zero();
+                let mut wf_den: u128 = 0;
+                for o in &jobs {
+                    let s = o.stretch();
+                    if s > u_max {
+                        u_max = s;
+                    }
+                    u_sum = accumulate(&u_sum, &s);
+                    wf_num = accumulate(&wf_num, &o.flow().mul_int(o.weight));
+                    wf_den += o.weight;
+                }
+                UserFairness {
+                    user,
+                    jobs: jobs.len(),
+                    max_stretch: u_max,
+                    mean_stretch: u_sum.div_int(jobs.len() as u128),
+                    weighted_flow: if wf_den == 0 {
+                        Ratio::zero()
+                    } else {
+                        wf_num.div_int(wf_den)
+                    },
+                }
+            })
+            .collect();
+        users.sort_by(|a, b| {
+            b.weighted_flow
+                .cmp(&a.weighted_flow)
+                .then(a.user.cmp(&b.user))
+        });
+        FairnessReport {
+            max_stretch,
+            mean_stretch: sum_stretch.div_int(obs.len() as u128),
+            users,
+        }
+    }
+}
+
+/// Bounded-precision running sum: both operands are rounded down to
+/// 48-bit denominators before the exact add, so arbitrarily many
+/// unrelated per-job denominators cannot overflow the accumulator.
+fn accumulate(sum: &Ratio, x: &Ratio) -> Ratio {
+    sum.round_down_bits(48).add(&x.round_down_bits(48))
+}
+
+/// Build fairness observations from an epoch run: `stream` and `users`
+/// are aligned by index (pass `&[]` or all `-1` users when identities
+/// are unknown), `outcome` supplies the per-job completions, `m` the
+/// cluster size for the ideal times.
+pub fn observations_from_epochs(
+    stream: &[crate::arrivals::ArrivingJob],
+    users: &[i64],
+    outcome: &crate::arrivals::EpochOutcome,
+    m: u64,
+) -> Vec<JobObservation> {
+    assert_eq!(stream.len(), outcome.completions.len());
+    stream
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let ideal = a.curve.time(m).max(1);
+            JobObservation {
+                user: users.get(i).copied().unwrap_or(-1),
+                arrival: Ratio::from(a.arrival),
+                completion: outcome.completions[i],
+                ideal_time: Ratio::from(ideal),
+                weight: a.curve.time(1) as u128,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +303,80 @@ mod tests {
         assert_eq!(metrics.makespan, Ratio::zero());
         assert_eq!(metrics.utilization, Ratio::zero());
         assert!(metrics.jobs.is_empty());
+    }
+
+    #[test]
+    fn fairness_stretch_and_weighted_flow() {
+        // Two users: user 1 submits one big job served immediately
+        // (stretch 1), user 2 a small job that waits (stretch 3).
+        let obs = vec![
+            JobObservation {
+                user: 1,
+                arrival: Ratio::zero(),
+                completion: Ratio::from(10u64),
+                ideal_time: Ratio::from(10u64),
+                weight: 100,
+            },
+            JobObservation {
+                user: 2,
+                arrival: Ratio::from(2u64),
+                completion: Ratio::from(8u64),
+                ideal_time: Ratio::from(2u64),
+                weight: 4,
+            },
+        ];
+        let report = FairnessReport::from_observations(&obs);
+        assert_eq!(report.max_stretch, Ratio::from(3u64));
+        assert_eq!(report.mean_stretch, Ratio::from(2u64));
+        assert_eq!(report.users.len(), 2);
+        // Sorted by descending weighted flow: user 1's flow is 10,
+        // user 2's is 6.
+        assert_eq!(report.users[0].user, 1);
+        assert_eq!(report.users[0].weighted_flow, Ratio::from(10u64));
+        assert_eq!(report.users[1].user, 2);
+        assert_eq!(report.users[1].weighted_flow, Ratio::from(6u64));
+        assert_eq!(report.users[1].max_stretch, Ratio::from(3u64));
+    }
+
+    #[test]
+    fn fairness_of_empty_set_is_zero() {
+        let report = FairnessReport::from_observations(&[]);
+        assert_eq!(report.max_stretch, Ratio::zero());
+        assert!(report.users.is_empty());
+    }
+
+    #[test]
+    fn observations_align_with_epoch_completions() {
+        use crate::arrivals::{run_epochs, ArrivingJob};
+        use moldable_sched::ImprovedDual;
+        // Job 0 (user 7) runs [0, 10); job 1 (user 8) arrives at 1,
+        // waits for the epoch, runs [10, 13).
+        let stream = vec![
+            ArrivingJob {
+                curve: SpeedupCurve::Constant(10),
+                arrival: 0,
+            },
+            ArrivingJob {
+                curve: SpeedupCurve::Constant(3),
+                arrival: 1,
+            },
+        ];
+        let eps = Ratio::new(1, 4);
+        let out = run_epochs(&stream, 2, &ImprovedDual::new_linear(eps), &eps);
+        assert_eq!(
+            out.completions,
+            vec![Ratio::from(10u64), Ratio::from(13u64)]
+        );
+        let obs = observations_from_epochs(&stream, &[7, 8], &out, 2);
+        assert_eq!(obs[0].user, 7);
+        assert_eq!(obs[0].stretch(), Ratio::one());
+        // Job 1: flow = 13 − 1 = 12, ideal 3 → stretch 4.
+        assert_eq!(obs[1].stretch(), Ratio::from(4u64));
+        let report = FairnessReport::from_observations(&obs);
+        assert_eq!(report.max_stretch, Ratio::from(4u64));
+        // Unknown users default to −1.
+        let anon = observations_from_epochs(&stream, &[], &out, 2);
+        assert!(anon.iter().all(|o| o.user == -1));
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub fn render_three_shelf(three: &ThreeShelf, m: u64) -> String {
         .s0
         .iter()
         .map(|c| {
-            let ids: Vec<String> = c.jobs.iter().map(|j| format!("j{}", j.id)).collect();
+            let ids: Vec<String> = c.jobs().iter().map(|j| format!("j{}", j.id)).collect();
             (format!("{}×{}", ids.join("+"), c.width), c.width)
         })
         .collect();

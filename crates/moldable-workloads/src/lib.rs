@@ -37,7 +37,7 @@ pub use families::{
 pub use hpc_mix::{adversarial_instance, hpc_mix_instance, HpcMixParams};
 pub use moldability::{
     downey_speedup, resampled_instance, synthesize_curve, synthesize_instance,
-    synthesize_stream, FitModel, SynthesisParams,
+    synthesize_stream, synthesize_stream_tagged, FitModel, SynthesisParams,
 };
 pub use source::{SwfSource, SyntheticSource, WorkloadSource};
 pub use suite::{bench_instance, BenchFamily};

@@ -218,8 +218,24 @@ pub fn synthesize_stream(
     params: &SynthesisParams,
     max_jobs: Option<usize>,
 ) -> Vec<(Time, SpeedupCurve)> {
+    synthesize_stream_tagged(trace, m, params, max_jobs)
+        .into_iter()
+        .map(|(a, c, _)| (a, c))
+        .collect()
+}
+
+/// [`synthesize_stream`] with each record's SWF user id carried along as
+/// `(arrival, curve, user)` — the identity per-user fairness metrics
+/// aggregate by. The sort is stable, so the untagged stream is exactly
+/// this one with the ids dropped.
+pub fn synthesize_stream_tagged(
+    trace: &SwfTrace,
+    m: Procs,
+    params: &SynthesisParams,
+    max_jobs: Option<usize>,
+) -> Vec<(Time, SpeedupCurve, i64)> {
     let origin = trace.first_submit().unwrap_or(0.0);
-    let mut out: Vec<(Time, SpeedupCurve)> = trace
+    let mut out: Vec<(Time, SpeedupCurve, i64)> = trace
         .usable_jobs()
         .take(max_jobs.unwrap_or(usize::MAX))
         .enumerate()
@@ -227,10 +243,10 @@ pub fn synthesize_stream(
             let arrival = ((rec.submit_time - origin).max(0.0)
                 * params.time_scale.max(1) as f64)
                 .round() as Time;
-            (arrival, synthesize_curve(rec, m, params, i))
+            (arrival, synthesize_curve(rec, m, params, i), rec.user_id)
         })
         .collect();
-    out.sort_by_key(|&(a, _)| a);
+    out.sort_by_key(|&(a, _, _)| a);
     out
 }
 

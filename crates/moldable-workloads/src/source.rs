@@ -13,7 +13,9 @@
 //! * [`SwfSource`] — a parsed SWF trace lifted through
 //!   [`crate::moldability`], replaying the recorded submit times.
 
-use crate::moldability::{synthesize_instance, synthesize_stream, SynthesisParams};
+use crate::moldability::{
+    synthesize_instance, synthesize_stream, synthesize_stream_tagged, SynthesisParams,
+};
 use crate::suite::{bench_instance, BenchFamily};
 use crate::swf::SwfTrace;
 use moldable_core::instance::Instance;
@@ -123,6 +125,14 @@ pub struct SwfSource {
 }
 
 impl SwfSource {
+    /// The arrival stream with each job's SWF user id:
+    /// `(arrival, curve, user)`, aligned index-by-index with
+    /// [`WorkloadSource::arrival_stream`]. Feeds the per-user fairness
+    /// metrics of `moldable-sim`.
+    pub fn tagged_stream(&self) -> Vec<(Time, SpeedupCurve, i64)> {
+        synthesize_stream_tagged(&self.trace, self.m, &self.params, self.max_jobs)
+    }
+
     /// Build a source from a parsed trace. `m` overrides the header's
     /// machine count; returns `None` when neither is available.
     pub fn new(trace: SwfTrace, m: Option<Procs>, params: SynthesisParams) -> Option<Self> {
@@ -223,6 +233,23 @@ mod tests {
         assert!(SwfSource::new(trace.clone(), None, SynthesisParams::default()).is_none());
         let src = SwfSource::new(trace, Some(16), SynthesisParams::default()).unwrap();
         assert_eq!(src.machine_count(), 16);
+    }
+
+    #[test]
+    fn tagged_stream_aligns_with_plain_stream() {
+        let trace = SwfTrace::parse(TINY).unwrap();
+        let src = SwfSource::new(trace, None, SynthesisParams::default()).unwrap();
+        let plain = src.arrival_stream();
+        let tagged = src.tagged_stream();
+        assert_eq!(plain.len(), tagged.len());
+        for ((a, c), (ta, tc, user)) in plain.iter().zip(&tagged) {
+            assert_eq!(a, ta);
+            assert_eq!(c.time(5), tc.time(5));
+            assert!(*user >= 1, "TINY records carry user ids");
+        }
+        // TINY's users are 1, 2, 3 in submit order.
+        let users: Vec<i64> = tagged.iter().map(|&(_, _, u)| u).collect();
+        assert_eq!(users, vec![1, 2, 3]);
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! targets link against this shim instead of real criterion. It keeps the
 //! same API shape (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
 //! `criterion_group!`, `criterion_main!`) but replaces statistical sampling
-//! with a simple warm-up + median-of-N wall-clock measurement printed as one
-//! line per benchmark — enough to eyeball scaling shapes and to keep
-//! `cargo bench --no-run` compiling every bench target in CI. Swap the
+//! with a warm-up + N timed iterations reported as **min / median / p95**
+//! on one line per benchmark — min approximates the noise-free cost,
+//! median the typical cost, and p95 exposes jitter, which is enough to
+//! compare hot-path variants (e.g. the `JobView` memoization before/after)
+//! and to keep `cargo bench --no-run` compiling every bench target in CI.
+//! Swap the
 //! `[workspace.dependencies]` entry back to registry criterion when
 //! statistically rigorous numbers are needed.
 
@@ -158,10 +161,13 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
         return;
     }
     b.samples.sort();
-    let median = b.samples[b.samples.len() / 2];
+    let n = b.samples.len();
+    let min = b.samples[0];
+    let median = b.samples[n / 2];
+    // Nearest-rank p95: ⌈0.95·n⌉-th order statistic.
+    let p95 = b.samples[((n * 95).div_ceil(100)).clamp(1, n) - 1];
     println!(
-        "{label:<50} median {median:>12.3?} ({} samples)",
-        b.samples.len()
+        "{label:<50} min {min:>10.3?}  median {median:>10.3?}  p95 {p95:>10.3?}  ({n} samples)"
     );
 }
 

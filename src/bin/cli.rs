@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! moldable schedule --input inst.json [--eps N/D] [--algo NAME] [--gantt]
+//! moldable solve    --input inst.json --algo NAME [--eps N/D]   (solver facade)
+//! moldable race     --input inst.json [--eps N/D] [--check] [--threads N]
 //! moldable estimate --input inst.json
 //! moldable generate --family NAME --n N --m M [--seed S]    (writes JSON)
 //! moldable validate --input inst.json --schedule sched.json
@@ -14,8 +16,11 @@
 //! `{job, start_num, start_den, procs}`.
 
 use moldable::core::io::InstanceSpec;
+use moldable::core::view::JobView;
 use moldable::prelude::*;
 use moldable::sched::baselines;
+use moldable::sched::batch;
+use moldable::sched::solver::{race_roster, solver_by_name, SOLVER_NAMES};
 use moldable::viz::render_gantt;
 use moldable::workloads::{FitModel, SwfSource, SwfTrace, SynthesisParams, WorkloadSource};
 use serde_json::{json, Value};
@@ -29,6 +34,8 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "schedule" => cmd_schedule(&args[1..]),
+        "solve" => cmd_solve(&args[1..]),
+        "race" => cmd_race(&args[1..]),
         "estimate" => cmd_estimate(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
@@ -51,6 +58,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   moldable schedule --input FILE [--eps N/D] [--algo mrt|alg1|alg3|linear|fptas|ptas|two-approx] [--gantt]
+  moldable solve    --input FILE --algo mrt|alg1|alg3|linear|fptas|ptas|two-approx|sequential|exact [--eps N/D]
+  moldable race     --input FILE [--eps N/D] [--check] [--threads N]
   moldable estimate --input FILE
   moldable generate --family power-law|amdahl|comm-overhead|mixed --n N --m M [--seed S]
   moldable generate --family swf --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N]
@@ -136,6 +145,104 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
     if has_flag(args, "--gantt") && inst.m() <= 128 {
         eprintln!("\n{}", render_gantt(&inst, &schedule, 72));
+    }
+    Ok(())
+}
+
+/// `solve`: run any registry solver through the [`MakespanSolver`]
+/// facade and report its certificates alongside the schedule.
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let eps = parse_eps(args)?;
+    let name = flag(args, "--algo")
+        .ok_or_else(|| format!("missing --algo (one of: {})", SOLVER_NAMES.join("|")))?;
+    let solver = solver_by_name(&name, &eps).ok_or_else(|| {
+        format!(
+            "unknown --algo `{name}` (one of: {})",
+            SOLVER_NAMES.join("|")
+        )
+    })?;
+    let view = JobView::build(&inst);
+    if name == "exact" && !moldable::sched::solver::ExactSolver::fits(&view) {
+        return Err(format!(
+            "instance too large for the exact solver (n ≤ {}, m ≤ {})",
+            moldable::sched::exact::EXACT_N_LIMIT,
+            moldable::sched::exact::EXACT_M_LIMIT
+        ));
+    }
+    let outcome = solver.solve(&view, view.m());
+    validate(&outcome.schedule, &inst).map_err(|e| e.to_string())?;
+    let out = json!({
+        "algo": name,
+        "solver": solver.name(),
+        "makespan": outcome.makespan.to_f64(),
+        "ratio_bound": outcome.ratio_bound.as_ref().map(Ratio::to_f64),
+        "opt_lower_bound": outcome.lower_bound,
+        "probes": outcome.probes,
+        "total_work": outcome.schedule.total_work(&inst).to_string(),
+        "assignments": schedule_rows(&inst, &outcome.schedule),
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    Ok(())
+}
+
+/// `race`: every applicable registry solver on one instance through the
+/// batch engine. With `--check`, exit non-zero if any solver's makespan
+/// exceeds its proven ratio bound against the factor-2 estimator
+/// (makespan ≤ bound · 2ω must hold because OPT ≤ 2ω) — the CI
+/// solver-parity gate.
+fn cmd_race(args: &[String]) -> Result<(), String> {
+    let inst = load_instance(args)?;
+    let eps = parse_eps(args)?;
+    let threads: usize = flag(args, "--threads")
+        .map(|s| s.parse().map_err(|_| "bad --threads"))
+        .transpose()?
+        .unwrap_or_else(|| batch::default_threads(SOLVER_NAMES.len()));
+    let view = JobView::build(&inst);
+    let omega = moldable::sched::estimate_view(&view).omega;
+    let solvers = race_roster(&view, &eps);
+    let results = batch::race(&solvers, &view, threads);
+    let mut violations: Vec<String> = Vec::new();
+    let rows: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            validate(&r.outcome.schedule, &inst)
+                .map_err(|e| format!("{}: invalid schedule: {e}", r.label))?;
+            let bound_ok = r.outcome.ratio_bound.as_ref().map(|b| {
+                let cap = b.mul_int(2 * omega as u128);
+                let ok = r.outcome.makespan <= cap;
+                if !ok {
+                    violations.push(format!(
+                        "{}: makespan {} exceeds {} · 2ω = {}",
+                        r.label, r.outcome.makespan, b, cap
+                    ));
+                }
+                ok
+            });
+            Ok(json!({
+                "solver": r.label,
+                "makespan": r.outcome.makespan.to_f64(),
+                "ratio_bound": r.outcome.ratio_bound.as_ref().map(Ratio::to_f64),
+                "bound_holds_vs_2omega": bound_ok,
+                "probes": r.outcome.probes,
+                "wall_seconds": r.wall.as_secs_f64(),
+            }))
+        })
+        .collect::<Result<_, String>>()?;
+    let out = json!({
+        "n": inst.n(),
+        "m": inst.m(),
+        "eps": eps.to_f64(),
+        "omega": omega,
+        "threads": threads,
+        "results": rows,
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    if has_flag(args, "--check") && !violations.is_empty() {
+        return Err(format!(
+            "solver-parity check failed:\n  {}",
+            violations.join("\n  ")
+        ));
     }
     Ok(())
 }
@@ -265,16 +372,30 @@ fn cmd_simulate_trace(args: &[String]) -> Result<(), String> {
     let m = source.machine_count();
     let eps = parse_eps(args)?;
     let algo_name = flag(args, "--algo").unwrap_or_else(|| "linear".into());
-    let algo: Box<dyn DualAlgorithm> = match algo_name.as_str() {
-        "mrt" => Box::new(MrtDual),
-        "alg1" => Box::new(CompressibleDual::new(eps)),
-        "alg3" => Box::new(ImprovedDual::new(eps)),
-        "linear" => Box::new(ImprovedDual::new_linear(eps)),
-        other => return Err(format!("unknown --algo `{other}`")),
-    };
-    let replay = moldable::sim::TraceReplay::new(source.arrival_stream());
-    let out = moldable::sim::run_epochs(replay.stream(), m, algo.as_ref(), &eps);
+    if algo_name == "exact" {
+        // Epoch batch sizes are workload-dependent and unbounded; the
+        // exhaustive solver's search-space guard would abort mid-replay.
+        return Err(
+            "--algo exact cannot plan online epochs (batch sizes are unbounded); \
+                    use `solve` on an offline instance instead"
+                .into(),
+        );
+    }
+    let solver = solver_by_name(&algo_name, &eps).ok_or_else(|| {
+        format!(
+            "unknown --algo `{algo_name}` (one of: {})",
+            SOLVER_NAMES.join("|")
+        )
+    })?;
+    // Tagged stream: arrivals aligned with SWF user ids for fairness.
+    let tagged = source.tagged_stream();
+    let users: Vec<i64> = tagged.iter().map(|&(_, _, u)| u).collect();
+    let replay =
+        moldable::sim::TraceReplay::new(tagged.into_iter().map(|(a, c, _)| (a, c)).collect());
+    let out = moldable::sim::run_epochs_solver(replay.stream(), m, solver.as_ref());
     let lb = moldable::sim::clairvoyant_lower_bound(replay.stream(), m);
+    let obs = moldable::sim::observations_from_epochs(replay.stream(), &users, &out, m);
+    let fairness = moldable::sim::FairnessReport::from_observations(&obs);
     let report = json!({
         "source": source.label(),
         "m": m,
@@ -283,6 +404,21 @@ fn cmd_simulate_trace(args: &[String]) -> Result<(), String> {
         "epochs": out.epochs.len(),
         "makespan": out.makespan.to_f64(),
         "clairvoyant_lower_bound": lb.to_f64(),
+        "fairness": json!({
+            "max_stretch": fairness.max_stretch.to_f64(),
+            "mean_stretch": fairness.mean_stretch.to_f64(),
+            "users": fairness
+                .users
+                .iter()
+                .map(|u| json!({
+                    "user": u.user,
+                    "jobs": u.jobs,
+                    "max_stretch": u.max_stretch.to_f64(),
+                    "mean_stretch": u.mean_stretch.to_f64(),
+                    "weighted_flow": u.weighted_flow.to_f64(),
+                }))
+                .collect::<Vec<_>>(),
+        }),
         "epoch_table": out
             .epochs
             .iter()

@@ -91,9 +91,10 @@ fn dual_rejection_certifies_infeasibility() {
     for inst in tiny_instances(0xDEAD, 40) {
         let opt = optimal_makespan(&inst);
         let opt_ceil = opt.ceil() as u64;
+        let view = moldable::core::view::JobView::build(&inst);
         for algo in &algos {
             for d in 1..=opt_ceil + 2 {
-                if algo.run(&inst, d).is_none() {
+                if algo.run(&view, d).is_none() {
                     assert!(
                         Ratio::from(d) < opt,
                         "{} rejected d={d} but OPT={opt}",

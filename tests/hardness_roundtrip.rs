@@ -48,7 +48,9 @@ fn no_instances_force_strictly_larger_makespan() {
         let red = reduce(&fp).unwrap();
         // MRT (3/2-dual) at d must either reject or produce makespan > d —
         // otherwise its schedule would certify a 4-partition.
-        if let Some(s) = MrtDual.run(&red.instance, red.d) {
+        if let Some(s) =
+            MrtDual.run(&moldable::core::view::JobView::build(&red.instance), red.d)
+        {
             validate(&s, &red.instance).unwrap();
             if s.makespan(&red.instance) <= Ratio::from(red.d) {
                 let cert = schedule_to_partition(&red, &s)

@@ -1,0 +1,189 @@
+//! Oracle-equivalence suite for the `JobView` refactor.
+//!
+//! The memoized snapshot is only allowed to change *speed*, never an
+//! answer: these tests pin
+//!
+//! 1. `JobView::{time, gamma, gamma_int}` against the trait-object oracle
+//!    path (property tests over arbitrary monotone tables, plus every
+//!    synthetic bench family and the bundled SWF sample);
+//! 2. every registry [`MakespanSolver`] to **byte-identical** schedules
+//!    between the materialized view and the oracle passthrough (the
+//!    pre-refactor code path) on a pinned seed corpus, and to identical
+//!    schedules across repeated runs (determinism — which the batch
+//!    engine's work stealing relies on);
+//! 3. the build to be oracle-free afterwards: once a view exists, serving
+//!    queries performs zero `t_j(p)` evaluations.
+
+use moldable::core::gamma::{gamma, gamma_int};
+use moldable::core::oracle::counting_instance;
+use moldable::core::speedup::monotone_closure;
+use moldable::core::view::JobView;
+use moldable::prelude::*;
+use moldable::sched::solver::race_roster;
+use moldable::workloads::{SwfSource, SwfTrace, SynthesisParams, WorkloadSource};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn monotone_table() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..300, 1..28).prop_map(|mut t| {
+        monotone_closure(&mut t);
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// View time/γ answers equal the oracle path on arbitrary monotone
+    /// tables, in both materialized and passthrough modes.
+    #[test]
+    fn view_matches_oracle_on_monotone_tables(table in monotone_table(), thr in 0u64..320) {
+        let m = table.len() as u64;
+        let inst = Instance::new(vec![SpeedupCurve::Table(Arc::new(table))], m);
+        let view = JobView::build(&inst);
+        let pass = JobView::passthrough(&inst);
+        for p in 1..=m {
+            prop_assert_eq!(view.time(0, p), inst.time(0, p));
+            prop_assert_eq!(pass.time(0, p), inst.time(0, p));
+        }
+        let want = gamma_int(inst.job(0), thr, m);
+        prop_assert_eq!(view.gamma_int(0, thr), want);
+        prop_assert_eq!(pass.gamma_int(0, thr), want);
+        let r = Ratio::new(thr as u128 * 2 + 1, 2); // half-integral threshold
+        let want = gamma(inst.job(0), &r, m);
+        prop_assert_eq!(view.gamma(0, &r), want);
+        prop_assert_eq!(pass.gamma(0, &r), want);
+    }
+}
+
+/// Thresholds that probe every regime of a job's staircase.
+fn probe_thresholds(inst: &Instance, j: u32) -> Vec<u64> {
+    let lo = inst.time(j, inst.m());
+    let hi = inst.time(j, 1);
+    let mut out = vec![lo.saturating_sub(1), lo, (lo + hi) / 2, hi, hi + 1];
+    out.push(lo + (hi - lo) / 3);
+    out.push(lo + 2 * (hi - lo) / 3);
+    out
+}
+
+#[test]
+fn view_matches_oracle_on_every_synthetic_family() {
+    for family in BenchFamily::all() {
+        let inst = bench_instance(family, 40, 1 << 12, 11);
+        let view = JobView::build(&inst);
+        let pass = JobView::passthrough(&inst);
+        for j in 0..inst.n() as u32 {
+            assert_eq!(view.seq_time(j), inst.job(j).seq_time());
+            assert_eq!(view.min_time(j), inst.time(j, inst.m()));
+            for p in [1u64, 2, 3, 7, 100, 1 << 11, 1 << 12] {
+                assert_eq!(view.time(j, p), inst.time(j, p), "{}", family.name());
+                assert_eq!(pass.time(j, p), inst.time(j, p), "{}", family.name());
+            }
+            for thr in probe_thresholds(&inst, j) {
+                let want = gamma_int(inst.job(j), thr, inst.m());
+                assert_eq!(view.gamma_int(j, thr), want, "{} thr={thr}", family.name());
+                assert_eq!(pass.gamma_int(j, thr), want, "{} thr={thr}", family.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn view_matches_oracle_on_the_bundled_swf_sample() {
+    let trace = SwfTrace::from_path("tests/data/sample.swf").expect("bundled sample parses");
+    let source = SwfSource::new(trace, None, SynthesisParams::default())
+        .expect("sample has a machine count")
+        .with_max_jobs(64);
+    let inst = source.offline_instance();
+    let view = JobView::build(&inst);
+    let pass = JobView::passthrough(&inst);
+    for j in 0..inst.n() as u32 {
+        for p in [1u64, 2, 5, 32, inst.m() / 2, inst.m()] {
+            assert_eq!(view.time(j, p), inst.time(j, p));
+        }
+        for thr in probe_thresholds(&inst, j) {
+            let want = gamma_int(inst.job(j), thr, inst.m());
+            assert_eq!(view.gamma_int(j, thr), want);
+            assert_eq!(pass.gamma_int(j, thr), want);
+        }
+    }
+}
+
+/// The pinned corpus for the solver-identity checks: a spread of shapes
+/// across families and machine counts, all small enough for every
+/// registry solver.
+fn pinned_corpus() -> Vec<Instance> {
+    let mut corpus = Vec::new();
+    for (family, n, m, seed) in [
+        (BenchFamily::PowerLaw, 12usize, 64u64, 101u64),
+        (BenchFamily::Amdahl, 10, 128, 102),
+        (BenchFamily::CommOverhead, 14, 32, 103),
+        (BenchFamily::Mixed, 16, 256, 104),
+        (BenchFamily::Mixed, 5, 6, 105), // exact-solver territory
+    ] {
+        corpus.push(bench_instance(family, n, m, seed));
+    }
+    corpus
+}
+
+#[test]
+fn every_solver_is_identical_pre_and_post_memoization() {
+    let eps = Ratio::new(1, 4);
+    for (i, inst) in pinned_corpus().iter().enumerate() {
+        let view = JobView::build(inst);
+        let pass = JobView::passthrough(inst);
+        for solver in race_roster(&view, &eps) {
+            let a = solver.solve(&view, view.m());
+            let b = solver.solve(&pass, pass.m());
+            assert_eq!(
+                a.schedule.assignments,
+                b.schedule.assignments,
+                "instance {i}, {}: materialized and passthrough schedules differ",
+                solver.name()
+            );
+            assert_eq!(a.makespan, b.makespan, "instance {i}, {}", solver.name());
+            assert_eq!(a.probes, b.probes, "instance {i}, {}", solver.name());
+            moldable::sched::validate(&a.schedule, inst)
+                .unwrap_or_else(|e| panic!("instance {i}, {}: {e}", solver.name()));
+        }
+    }
+}
+
+#[test]
+fn every_solver_is_deterministic_across_runs() {
+    let eps = Ratio::new(1, 4);
+    for inst in pinned_corpus() {
+        let first = JobView::build(&inst);
+        let second = JobView::build(&inst);
+        for solver in race_roster(&first, &eps) {
+            let a = solver.solve(&first, first.m());
+            let b = solver.solve(&second, second.m());
+            assert_eq!(
+                a.schedule.assignments,
+                b.schedule.assignments,
+                "{} is not deterministic",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn queries_after_build_are_oracle_free() {
+    let inst = bench_instance(BenchFamily::Amdahl, 24, 1 << 10, 55);
+    let (counted, counter) = counting_instance(&inst);
+    let view = JobView::build(&counted);
+    counter.reset();
+    for j in 0..counted.n() as u32 {
+        let _ = view.time(j, 17);
+        let _ = view.gamma_int(j, 1000);
+        let _ = view.gamma(j, &Ratio::new(2001, 2));
+        let _ = view.seq_time(j);
+        let _ = view.is_small(j, &Ratio::from(64u64));
+    }
+    assert_eq!(
+        counter.calls(),
+        0,
+        "materialized queries must not touch the oracle"
+    );
+}

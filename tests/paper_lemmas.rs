@@ -63,8 +63,9 @@ fn lemma6_two_shelf_work_bound() {
     for _ in 0..120 {
         let inst = random_instance(&mut seed, 4, 5);
         let opt = optimal_makespan(&inst).ceil() as u64;
+        let view = moldable::core::view::JobView::build(&inst);
         for d in [opt, opt + 2] {
-            let Some(ctx) = ShelfContext::build(&inst, d) else {
+            let Some(ctx) = ShelfContext::build(&view, d) else {
                 panic!("d ≥ OPT must not be rejected by classification");
             };
             if ctx.knapsack_jobs.is_empty() {
@@ -86,7 +87,7 @@ fn lemma6_two_shelf_work_bound() {
                 .sum();
             let forced: u128 = ctx.forced.iter().map(|&(id, p)| inst.job(id).work(p)).sum();
             let w = total_half + forced - sol.profit;
-            let slack = inst.m() as u128 * d as u128 - ctx.small_work(&inst);
+            let slack = inst.m() as u128 * d as u128 - ctx.small_work(&view);
             assert!(
                 w <= slack,
                 "W(J′,{d}) = {w} > md − W_S(d) = {slack} (OPT = {opt})"
@@ -134,7 +135,8 @@ fn lemma17_heights_exceed_half_shelf() {
         let inst = random_instance(&mut seed, 6, 6);
         let opt = optimal_makespan(&inst).ceil() as u64;
         let d = opt + 1;
-        let Some(ctx) = ShelfContext::build(&inst, d) else {
+        let Some(ctx) = ShelfContext::build(&moldable::core::view::JobView::build(&inst), d)
+        else {
             continue;
         };
         for bj in &ctx.knapsack_jobs {

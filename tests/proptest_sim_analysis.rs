@@ -69,7 +69,11 @@ proptest! {
             let j = (next() % (i as u64 + 1)) as usize;
             order.swap(i, j);
         }
-        let analytic = moldable::sched::list_scheduling::list_schedule(&inst, &allot, &order);
+        let analytic = moldable::sched::list_scheduling::list_schedule(
+            &moldable::core::view::JobView::build(&inst),
+            &allot,
+            &order,
+        );
         let sim = online_list_schedule(&inst, &allot, &order).unwrap();
         prop_assert_eq!(sim.makespan, analytic.makespan(&inst));
         prop_assert!(sim.trace.check_disjoint().is_ok());

@@ -77,8 +77,11 @@ fn online_executor_matches_analytic_list_scheduler() {
         let inst = hpc_mix_instance(&mut rng, n, m, &HpcMixParams::default());
         let est = moldable::sched::estimate(&inst);
         let order: Vec<u32> = (0..n as u32).collect();
-        let analytic =
-            moldable::sched::list_scheduling::list_schedule(&inst, &est.allotment, &order);
+        let analytic = moldable::sched::list_scheduling::list_schedule(
+            &moldable::core::view::JobView::build(&inst),
+            &est.allotment,
+            &order,
+        );
         let sim = online_list_schedule(&inst, &est.allotment, &order).unwrap();
         assert_eq!(
             sim.makespan,
