@@ -1,0 +1,71 @@
+//! Scaling of the streaming event-driven simulator on Lublin–Feitelson
+//! model streams: generator throughput alone, the full event loop at
+//! increasing job counts, and the event engine head-to-head against the
+//! materializing epoch scheme at a size both can hold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_core::ratio::Ratio;
+use moldable_sched::solver::solver_by_name;
+use moldable_sim::{run_epochs_solver, run_stream, ArrivingJob, StreamJob, StreamOptions};
+use moldable_workloads::{LublinGenerator, LublinParams};
+use std::time::Duration;
+
+fn stream_of(params: &LublinParams) -> impl Iterator<Item = StreamJob> {
+    LublinGenerator::new(params.clone()).map(|(arrival, curve, user)| StreamJob {
+        curve,
+        arrival,
+        user,
+    })
+}
+
+fn bench_stream_sim(c: &mut Criterion) {
+    let eps = Ratio::new(1, 4);
+    let solver = solver_by_name("linear", &eps).expect("registry has linear");
+    let opts = StreamOptions {
+        max_batch: Some(8192),
+    };
+
+    let mut group = c.benchmark_group("stream-sim");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for n in [2_000usize, 8_000, 32_000] {
+        let params = LublinParams::new(256, n, 7);
+        group.bench_with_input(BenchmarkId::new("lublin-generate", n), &params, |b, p| {
+            b.iter(|| LublinGenerator::new(p.clone()).count())
+        });
+        group.bench_with_input(BenchmarkId::new("event-engine", n), &params, |b, p| {
+            b.iter(|| {
+                run_stream(stream_of(p), p.m, solver.as_ref(), &opts, |_, _| {})
+                    .expect("generated streams are sorted")
+            })
+        });
+    }
+
+    // Head-to-head at a size the epoch scheme comfortably materializes.
+    let params = LublinParams::new(256, 4_000, 7);
+    let materialized: Vec<ArrivingJob> = LublinGenerator::new(params.clone())
+        .map(|(arrival, curve, _)| ArrivingJob { curve, arrival })
+        .collect();
+    group.bench_function("epoch-engine/4000", |b| {
+        b.iter(|| run_epochs_solver(&materialized, params.m, solver.as_ref()).unwrap())
+    });
+    group.bench_function("event-engine-unbounded/4000", |b| {
+        b.iter(|| {
+            run_stream(
+                stream_of(&params),
+                params.m,
+                solver.as_ref(),
+                &StreamOptions::default(),
+                |_, _| {},
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_sim);
+criterion_main!(benches);

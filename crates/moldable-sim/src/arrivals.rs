@@ -18,6 +18,7 @@
 //! via [`TraceReplay`] (deterministic trace replay — the SWF ingestion
 //! path of `moldable-workloads` ends here).
 
+use crate::engine::SimError;
 use crate::executor::execute;
 use crate::trace::Trace;
 use moldable_core::instance::Instance;
@@ -67,9 +68,12 @@ pub struct EpochOutcome {
 /// Run the epoch scheme: plan each accumulated batch with `planner` on
 /// `m` machines and execute it to completion before planning the next.
 ///
-/// `stream` must be sorted by arrival time (asserted). Returns the global
-/// outcome; competitive-ratio accounting is the caller's business (see
-/// tests for the `2c(1+ε)`-style envelope checks).
+/// `stream` must be sorted by arrival time; an out-of-order stream —
+/// reachable from library callers feeding raw traces — returns
+/// [`SimError::UnsortedStream`] with the first offending index instead
+/// of panicking. Returns the global outcome; competitive-ratio
+/// accounting is the caller's business (see tests for the
+/// `2c(1+ε)`-style envelope checks).
 ///
 /// The per-epoch planning builds one [`JobView`] per batch and shares it
 /// across the whole dual search — the service-loop incarnation of the
@@ -79,7 +83,7 @@ pub fn run_epochs(
     m: u64,
     planner: &dyn DualAlgorithm,
     eps: &Ratio,
-) -> EpochOutcome {
+) -> Result<EpochOutcome, SimError> {
     run_epochs_with(stream, m, &|inst| {
         let view = JobView::build(inst);
         approximate_view(&view, planner, eps).schedule
@@ -93,11 +97,20 @@ pub fn run_epochs_solver(
     stream: &[ArrivingJob],
     m: u64,
     solver: &dyn MakespanSolver,
-) -> EpochOutcome {
+) -> Result<EpochOutcome, SimError> {
     run_epochs_with(stream, m, &|inst| {
         let view = JobView::build(inst);
         solver.solve(&view, view.m()).schedule
     })
+}
+
+/// Return the index of the first out-of-order job, if any. `O(n)` over
+/// `Time` pairs — negligible next to one planning probe.
+pub(crate) fn first_unsorted(stream: &[ArrivingJob]) -> Option<usize> {
+    stream
+        .windows(2)
+        .position(|w| w[0].arrival > w[1].arrival)
+        .map(|i| i + 1)
 }
 
 /// The epoch loop itself, parameterized over the batch planner.
@@ -105,11 +118,10 @@ fn run_epochs_with(
     stream: &[ArrivingJob],
     m: u64,
     plan: &dyn Fn(&Instance) -> moldable_sched::Schedule,
-) -> EpochOutcome {
-    assert!(
-        stream.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-        "arrival stream must be sorted"
-    );
+) -> Result<EpochOutcome, SimError> {
+    if let Some(index) = first_unsorted(stream) {
+        return Err(SimError::UnsortedStream { index });
+    }
     let mut epochs: Vec<Epoch> = Vec::new();
     let mut traces: Vec<Trace> = Vec::new();
     let mut completions: Vec<Ratio> = vec![Ratio::zero(); stream.len()];
@@ -161,12 +173,12 @@ fn run_epochs_with(
         index += 1;
     }
 
-    EpochOutcome {
+    Ok(EpochOutcome {
         makespan: clock,
         epochs,
         traces,
         completions,
-    }
+    })
 }
 
 /// A deterministic trace-replay arrival process.
@@ -280,7 +292,7 @@ mod tests {
     fn single_batch_when_all_arrive_at_zero() {
         let s = stream(&[(0, 4), (0, 4), (0, 4), (0, 4)]);
         let eps = Ratio::new(1, 4);
-        let out = run_epochs(&s, 4, &ImprovedDual::new_linear(eps), &eps);
+        let out = run_epochs(&s, 4, &ImprovedDual::new_linear(eps), &eps).unwrap();
         assert_eq!(out.epochs.len(), 1);
         assert_eq!(out.epochs[0].jobs, vec![0, 1, 2, 3]);
         // OPT = 4 (one wave); the (3/2+ε)(1+ε) planner may use two waves
@@ -293,7 +305,7 @@ mod tests {
     fn late_arrival_forms_second_epoch() {
         let s = stream(&[(0, 10), (1, 3)]);
         let eps = Ratio::new(1, 4);
-        let out = run_epochs(&s, 2, &ImprovedDual::new_linear(eps), &eps);
+        let out = run_epochs(&s, 2, &ImprovedDual::new_linear(eps), &eps).unwrap();
         // Job 1 arrives while epoch 0 (job 0) runs → planned afterwards.
         assert_eq!(out.epochs.len(), 2);
         assert_eq!(out.epochs[0].jobs, vec![0]);
@@ -305,7 +317,7 @@ mod tests {
     fn idle_gap_jumps_to_next_arrival() {
         let s = stream(&[(0, 2), (100, 2)]);
         let eps = Ratio::new(1, 4);
-        let out = run_epochs(&s, 2, &ImprovedDual::new_linear(eps), &eps);
+        let out = run_epochs(&s, 2, &ImprovedDual::new_linear(eps), &eps).unwrap();
         assert_eq!(out.epochs.len(), 2);
         assert_eq!(out.epochs[1].start, Ratio::from(100u64));
         assert_eq!(out.makespan, Ratio::from(102u64));
@@ -335,7 +347,7 @@ mod tests {
                     arrival: a,
                 })
                 .collect();
-            let out = run_epochs(&s, 4, &planner, &eps);
+            let out = run_epochs(&s, 4, &planner, &eps).unwrap();
             let lb = clairvoyant_lower_bound(&s, 4);
             let c = planner.guarantee().mul(&eps.one_plus());
             let envelope = c.mul_int(2).add(&Ratio::one()).mul(&lb);
@@ -353,17 +365,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sorted")]
-    fn rejects_unsorted_stream() {
-        let s = stream(&[(5, 1), (0, 1)]);
+    fn rejects_unsorted_stream_with_typed_error() {
+        let s = stream(&[(5, 1), (0, 1), (7, 1)]);
         let eps = Ratio::new(1, 4);
-        let _ = run_epochs(&s, 1, &ImprovedDual::new_linear(eps), &eps);
+        let err = run_epochs(&s, 1, &ImprovedDual::new_linear(eps), &eps).unwrap_err();
+        assert_eq!(err, SimError::UnsortedStream { index: 1 });
+        assert!(err.to_string().contains("not sorted"));
+        // Solver front-end takes the same path.
+        let solver = moldable_sched::solver::solver_by_name("linear", &eps).unwrap();
+        let err = run_epochs_solver(&s, 1, solver.as_ref()).unwrap_err();
+        assert_eq!(err, SimError::UnsortedStream { index: 1 });
     }
 
     #[test]
     fn empty_stream() {
         let eps = Ratio::new(1, 4);
-        let out = run_epochs(&[], 4, &ImprovedDual::new_linear(eps), &eps);
+        let out = run_epochs(&[], 4, &ImprovedDual::new_linear(eps), &eps).unwrap();
         assert!(out.epochs.is_empty());
         assert_eq!(out.makespan, Ratio::zero());
     }
@@ -381,7 +398,7 @@ mod tests {
         assert_eq!(arrivals, vec![0, 300, 600]);
         // Normalized stream is directly runnable.
         let eps = Ratio::new(1, 4);
-        let out = run_epochs(replay.stream(), 2, &ImprovedDual::new_linear(eps), &eps);
+        let out = run_epochs(replay.stream(), 2, &ImprovedDual::new_linear(eps), &eps).unwrap();
         assert_eq!(out.epochs.len(), 3);
     }
 

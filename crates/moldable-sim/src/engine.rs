@@ -137,6 +137,15 @@ pub enum SimError {
         /// How many jobs the plan left out.
         count: usize,
     },
+    /// An arrival stream fed to the epoch scheme or the streaming engine
+    /// was not sorted by arrival time. Raw traces reach these entry
+    /// points from library callers, so this is a typed error, not a
+    /// panic.
+    UnsortedStream {
+        /// Index of the first out-of-order job (its arrival precedes its
+        /// predecessor's).
+        index: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -157,6 +166,11 @@ impl fmt::Display for SimError {
             SimError::DuplicateJob { job } => write!(f, "job {job} placed twice"),
             SimError::UnknownJob { job } => write!(f, "job {job} not in the instance"),
             SimError::MissingJobs { count } => write!(f, "{count} job(s) never placed"),
+            SimError::UnsortedStream { index } => write!(
+                f,
+                "arrival stream not sorted: job {index} arrives before its predecessor \
+                 (sort the stream, e.g. via TraceReplay::new)"
+            ),
         }
     }
 }

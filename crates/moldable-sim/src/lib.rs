@@ -22,11 +22,20 @@
 //!   using any offline planner (the classic online-from-offline scheme),
 //!   plus [`TraceReplay`], the deterministic arrival process that replays
 //!   recorded (e.g. SWF) traces;
+//! * [`stream`] — the streaming, event-driven incarnation of the epoch
+//!   scheme: jobs consumed lazily from an iterator, bounded pending-queue
+//!   snapshots planned through the [`MakespanSolver`] facade, per-job
+//!   observations emitted incrementally — memory `O(pending)`, not
+//!   `O(stream)`, so million-job sources fit;
 //! * [`trace`] — per-processor timelines, utilization statistics, and
 //!   machine-load profiles;
 //! * [`metrics`] — aggregate statistics (utilization, average waiting time,
 //!   work conservation) plus per-user fairness reports (stretch and
-//!   weighted flow) used by examples, the CLI, and experiment reports.
+//!   weighted flow), with online accumulators ([`RunningSum`],
+//!   [`RunningFairness`]) used by the streaming engine, examples, the
+//!   CLI, and experiment reports.
+//!
+//! [`MakespanSolver`]: moldable_sched::solver::MakespanSolver
 //!
 //! The simulator is an *independent* implementation of feasibility: it
 //! assigns concrete processor ids and verifies no processor runs two jobs
@@ -42,6 +51,7 @@ pub mod engine;
 pub mod executor;
 pub mod metrics;
 pub mod online;
+pub mod stream;
 pub mod trace;
 
 pub use arrivals::{
@@ -53,7 +63,8 @@ pub use engine::{Event, EventKind, SimError};
 pub use executor::{execute, Execution};
 pub use metrics::{
     observations_from_epochs, ClusterMetrics, FairnessReport, JobMetrics, JobObservation,
-    UserFairness,
+    RunningFairness, RunningSum, UserFairness,
 };
 pub use online::{online_list_schedule, OnlineOutcome};
+pub use stream::{run_stream, StreamJob, StreamOptions, StreamOutcome};
 pub use trace::{ProcessorTimeline, Segment, Trace};

@@ -144,10 +144,13 @@ pub struct UserFairness {
 /// max/mean stretch and per-user weighted flow).
 ///
 /// Max statistics are exact; *sums* (means, weighted flows) accumulate
-/// with denominators rounded down to 48 bits per step — unrelated
-/// per-job denominators would otherwise overflow the exact rationals on
-/// real traces. Relative error is at most `n · 2⁻⁴⁸`, far below
-/// anything a report consumer can see.
+/// through [`RunningSum`], which rounds each incoming term down to a
+/// 48-bit dyadic denominator — unrelated per-job denominators would
+/// otherwise overflow the exact rationals on real traces. Total drift is
+/// bounded by the sum of the per-term roundings (`≤ Σxᵢ·2⁻⁴⁸`), far
+/// below anything a report consumer can see, and — unlike rounding the
+/// running sum itself on every add — it does not compound with stream
+/// length.
 #[derive(Clone, Debug)]
 pub struct FairnessReport {
     /// Largest stretch over all jobs.
@@ -161,53 +164,220 @@ pub struct FairnessReport {
 
 impl FairnessReport {
     /// Aggregate a set of observations. Returns all-zero statistics for
-    /// an empty set.
+    /// an empty set. Buffered front-end over [`RunningFairness`]; the
+    /// streaming engine feeds the accumulator one observation at a time
+    /// instead.
     pub fn from_observations(obs: &[JobObservation]) -> Self {
-        if obs.is_empty() {
-            return FairnessReport {
-                max_stretch: Ratio::zero(),
-                mean_stretch: Ratio::zero(),
-                users: Vec::new(),
-            };
-        }
-        let mut max_stretch = Ratio::zero();
-        let mut sum_stretch = Ratio::zero();
-        let mut per_user: BTreeMap<i64, Vec<&JobObservation>> = BTreeMap::new();
+        let mut acc = RunningFairness::new();
         for o in obs {
-            let s = o.stretch();
-            if s > max_stretch {
-                max_stretch = s;
-            }
-            sum_stretch = accumulate(&sum_stretch, &s);
-            per_user.entry(o.user).or_default().push(o);
+            acc.observe(o);
         }
-        let mut users: Vec<UserFairness> = per_user
-            .into_iter()
-            .map(|(user, jobs)| {
-                let mut u_max = Ratio::zero();
-                let mut u_sum = Ratio::zero();
-                let mut wf_num = Ratio::zero();
-                let mut wf_den: u128 = 0;
-                for o in &jobs {
-                    let s = o.stretch();
-                    if s > u_max {
-                        u_max = s;
-                    }
-                    u_sum = accumulate(&u_sum, &s);
-                    wf_num = accumulate(&wf_num, &o.flow().mul_int(o.weight));
-                    wf_den += o.weight;
-                }
-                UserFairness {
-                    user,
-                    jobs: jobs.len(),
-                    max_stretch: u_max,
-                    mean_stretch: u_sum.div_int(jobs.len() as u128),
-                    weighted_flow: if wf_den == 0 {
-                        Ratio::zero()
-                    } else {
-                        wf_num.div_int(wf_den)
-                    },
-                }
+        acc.report()
+    }
+}
+
+/// Dyadic grid every incoming term is rounded down onto: denominators
+/// divide `2^48`, so fractional parts of any stream length add exactly
+/// (the lcm of dyadic denominators never exceeds the grid).
+const TERM_BITS: u32 = 48;
+
+/// How often [`RunningSum`] normalizes the accumulator: every
+/// `NORMALIZE_EVERY` pushes the fractional part's integer carry moves
+/// into the wide integer lane. Between normalizations the fraction grows
+/// by less than one per push, so its numerator stays below
+/// `2^(48+12) + 2^48` — nowhere near `u128`.
+const NORMALIZE_EVERY: u64 = 1 << 12;
+
+/// Value threshold past which `whole + frac` no longer fits next to a
+/// 48-bit denominator in a `u128` numerator; beyond it [`RunningSum`]
+/// reports the integer part alone (relative error under `2^-78`).
+const EXACT_WHOLE_LIMIT: u128 = 1 << 78;
+
+/// Bounded-precision running sum over exact rationals.
+///
+/// Each incoming term is rounded **down** onto the `2^-48` dyadic grid
+/// and split: its integer part accumulates in a plain `u128` lane, its
+/// fraction adds *exactly* to a dyadic sub-one accumulator whose integer
+/// carry is folded back into the wide lane at a fixed cadence
+/// (`NORMALIZE_EVERY` = 2¹² pushes). The running sum is never re-rounded per add,
+/// so truncation does not compound with stream length: total drift is at
+/// most the sum of per-term roundings, `Σ xᵢ·2⁻⁴⁸`, plus — only once the
+/// total exceeds `2^78` — a dropped fraction under one unit (relative
+/// `< 2^-78`). The old `accumulate` helper instead re-rounded the
+/// full running sum on every add, which re-quantized an ever-growing
+/// value onto an ever-coarser grid once totals left the 78-bit range —
+/// error compounding with stream length — and overflowed the `u128`
+/// numerator outright on work-weighted flows of `10^4`-job streams.
+#[derive(Clone, Debug)]
+pub struct RunningSum {
+    /// Integer lane: `⌊Σ⌋` up to the pending fractional carry.
+    whole: u128,
+    /// Fractional lane: dyadic (denominator divides `2^48`), kept below
+    /// `NORMALIZE_EVERY + 1` between cadence normalizations.
+    frac: Ratio,
+    count: u64,
+}
+
+impl Default for RunningSum {
+    fn default() -> Self {
+        RunningSum {
+            whole: 0,
+            frac: Ratio::zero(),
+            count: 0,
+        }
+    }
+}
+
+impl RunningSum {
+    /// An empty sum.
+    pub fn new() -> Self {
+        RunningSum::default()
+    }
+
+    /// Add one term (rounded down to the term grid; see the type docs).
+    pub fn push(&mut self, x: &Ratio) {
+        // First cap the denominator (`round_down_bits` leaves small
+        // denominators untouched), then snap the sub-one remainder onto
+        // the dyadic grid *exactly* — `k/2^48 ≤ frac` — so fractional
+        // lanes share one denominator family and add without lcm growth.
+        let x = x.round_down_bits(TERM_BITS);
+        let w = x.floor();
+        self.whole += w;
+        let f = x.sub(&Ratio::from_int(w));
+        debug_assert!(f.num() < f.den() && f.den() <= 1 << TERM_BITS);
+        let dyadic = Ratio::new((f.num() << TERM_BITS) / f.den(), 1u128 << TERM_BITS);
+        self.frac = self.frac.add(&dyadic);
+        self.count += 1;
+        if self.count.is_multiple_of(NORMALIZE_EVERY) {
+            self.carry();
+        }
+    }
+
+    /// Fold the fractional lane's integer part into the wide lane.
+    fn carry(&mut self) {
+        let w = self.frac.floor();
+        if w > 0 {
+            self.whole += w;
+            self.frac = self.frac.sub(&Ratio::from_int(w));
+        }
+    }
+
+    /// The accumulated sum. Exact over the rounded terms while the total
+    /// is below `2^78`; beyond that the sub-one fraction is dropped
+    /// (relative error `< 2^-78` — the `u128` numerator cannot carry a
+    /// 48-bit denominator next to a larger value).
+    pub fn value(&self) -> Ratio {
+        let whole = self.whole + self.frac.floor();
+        if whole < EXACT_WHOLE_LIMIT {
+            let frac = self.frac.sub(&Ratio::from_int(self.frac.floor()));
+            Ratio::from_int(whole).add(&frac)
+        } else {
+            Ratio::from_int(whole)
+        }
+    }
+
+    /// Number of terms pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean over the pushed terms; zero for an empty sum.
+    pub fn mean(&self) -> Ratio {
+        if self.count == 0 {
+            Ratio::zero()
+        } else {
+            self.value().div_int(self.count as u128)
+        }
+    }
+}
+
+/// Per-user accumulator state of [`RunningFairness`].
+#[derive(Clone, Debug)]
+struct UserAcc {
+    jobs: usize,
+    max_stretch: Ratio,
+    stretch: RunningSum,
+    wf_num: RunningSum,
+    wf_den: u128,
+}
+
+impl Default for UserAcc {
+    fn default() -> Self {
+        UserAcc {
+            jobs: 0,
+            max_stretch: Ratio::zero(),
+            stretch: RunningSum::new(),
+            wf_num: RunningSum::new(),
+            wf_den: 0,
+        }
+    }
+}
+
+/// Online fairness accumulator: consumes [`JobObservation`]s one at a
+/// time and produces a [`FairnessReport`] on demand, holding
+/// `O(#users)` state — never the observations themselves. This is what
+/// lets the streaming engine ([`crate::stream`]) report fairness on
+/// million-job runs without buffering a `Vec<JobObservation>`.
+#[derive(Clone, Debug)]
+pub struct RunningFairness {
+    max_stretch: Ratio,
+    stretch: RunningSum,
+    per_user: BTreeMap<i64, UserAcc>,
+}
+
+impl Default for RunningFairness {
+    fn default() -> Self {
+        RunningFairness {
+            max_stretch: Ratio::zero(),
+            stretch: RunningSum::new(),
+            per_user: BTreeMap::new(),
+        }
+    }
+}
+
+impl RunningFairness {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningFairness::default()
+    }
+
+    /// Number of observations consumed so far.
+    pub fn jobs(&self) -> u64 {
+        self.stretch.count()
+    }
+
+    /// Fold one completed job into the statistics.
+    pub fn observe(&mut self, o: &JobObservation) {
+        let s = o.stretch();
+        if s > self.max_stretch {
+            self.max_stretch = s;
+        }
+        self.stretch.push(&s);
+        let u = self.per_user.entry(o.user).or_default();
+        u.jobs += 1;
+        if s > u.max_stretch {
+            u.max_stretch = s;
+        }
+        u.stretch.push(&s);
+        u.wf_num.push(&o.flow().mul_int(o.weight));
+        u.wf_den += o.weight;
+    }
+
+    /// Snapshot the report (all-zero statistics when nothing observed).
+    pub fn report(&self) -> FairnessReport {
+        let mut users: Vec<UserFairness> = self
+            .per_user
+            .iter()
+            .map(|(&user, u)| UserFairness {
+                user,
+                jobs: u.jobs,
+                max_stretch: u.max_stretch,
+                mean_stretch: u.stretch.mean(),
+                weighted_flow: if u.wf_den == 0 {
+                    Ratio::zero()
+                } else {
+                    u.wf_num.value().div_int(u.wf_den)
+                },
             })
             .collect();
         users.sort_by(|a, b| {
@@ -216,18 +386,11 @@ impl FairnessReport {
                 .then(a.user.cmp(&b.user))
         });
         FairnessReport {
-            max_stretch,
-            mean_stretch: sum_stretch.div_int(obs.len() as u128),
+            max_stretch: self.max_stretch,
+            mean_stretch: self.stretch.mean(),
             users,
         }
     }
-}
-
-/// Bounded-precision running sum: both operands are rounded down to
-/// 48-bit denominators before the exact add, so arbitrarily many
-/// unrelated per-job denominators cannot overflow the accumulator.
-fn accumulate(sum: &Ratio, x: &Ratio) -> Ratio {
-    sum.round_down_bits(48).add(&x.round_down_bits(48))
 }
 
 /// Build fairness observations from an epoch run: `stream` and `users`
@@ -339,6 +502,76 @@ mod tests {
     }
 
     #[test]
+    fn running_sum_drift_bounded_on_1e5_term_sum() {
+        // Regression for the old `accumulate` helper, which re-rounded the
+        // *running sum* on every add: total drift must stay within the sum
+        // of per-term roundings, n·2⁻⁴⁸, not compound with stream length.
+        let n: u128 = 100_000;
+        let term = Ratio::new(1, 3); // non-dyadic: every push rounds
+        let mut acc = RunningSum::new();
+        for _ in 0..n {
+            acc.push(&term);
+        }
+        assert_eq!(acc.count(), n as u64);
+        let exact = Ratio::new(n, 3);
+        assert!(acc.value() <= exact, "rounding is downward");
+        let drift = exact.sub(&acc.value());
+        let bound = Ratio::new(n, 1u128 << 48);
+        assert!(drift <= bound, "drift {} exceeds n·2⁻⁴⁸ = {}", drift, bound);
+        // Mean inherits the bound.
+        let mean_drift = Ratio::new(1, 3).sub(&acc.mean());
+        assert!(mean_drift <= Ratio::new(1, 1u128 << 48));
+    }
+
+    #[test]
+    fn running_sum_survives_huge_totals() {
+        // Work-weighted flow sums on million-job traces leave the range
+        // where value·2⁴⁸ fits in u128; the cadence renormalization must
+        // keep adding (no overflow panic) with bounded relative drift.
+        let n: u128 = 20_000;
+        let term = Ratio::from_int(1u128 << 70).add(&Ratio::new(1, 3));
+        let mut acc = RunningSum::new();
+        for _ in 0..n {
+            acc.push(&term);
+        }
+        let exact = Ratio::new(n * 3 * (1u128 << 70) + n, 3);
+        let drift = exact.sub(&acc.value());
+        // Per-term roundings ≤ Σxᵢ·2⁻⁴⁸ plus a handful of cadence
+        // re-griddings of the (huge) total: comfortably under 10⁻⁹.
+        assert!(drift.div(&exact) <= Ratio::new(1, 1_000_000_000));
+    }
+
+    #[test]
+    fn running_fairness_matches_buffered_report() {
+        let obs: Vec<JobObservation> = (0..50)
+            .map(|i| JobObservation {
+                user: i % 7,
+                arrival: Ratio::from(i as u64),
+                completion: Ratio::from(3 * i as u64 + 5),
+                ideal_time: Ratio::from(i as u64 % 3 + 1),
+                weight: (i as u128 % 11) + 1,
+            })
+            .collect();
+        let buffered = FairnessReport::from_observations(&obs);
+        let mut acc = RunningFairness::new();
+        for o in &obs {
+            acc.observe(o);
+        }
+        assert_eq!(acc.jobs(), 50);
+        let online = acc.report();
+        assert_eq!(online.max_stretch, buffered.max_stretch);
+        assert_eq!(online.mean_stretch, buffered.mean_stretch);
+        assert_eq!(online.users.len(), buffered.users.len());
+        for (a, b) in online.users.iter().zip(&buffered.users) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.max_stretch, b.max_stretch);
+            assert_eq!(a.mean_stretch, b.mean_stretch);
+            assert_eq!(a.weighted_flow, b.weighted_flow);
+        }
+    }
+
+    #[test]
     fn fairness_of_empty_set_is_zero() {
         let report = FairnessReport::from_observations(&[]);
         assert_eq!(report.max_stretch, Ratio::zero());
@@ -362,7 +595,7 @@ mod tests {
             },
         ];
         let eps = Ratio::new(1, 4);
-        let out = run_epochs(&stream, 2, &ImprovedDual::new_linear(eps), &eps);
+        let out = run_epochs(&stream, 2, &ImprovedDual::new_linear(eps), &eps).unwrap();
         assert_eq!(
             out.completions,
             vec![Ratio::from(10u64), Ratio::from(13u64)]

@@ -1,0 +1,556 @@
+//! Streaming, event-driven simulation of unbounded arrival streams.
+//!
+//! [`crate::arrivals::run_epochs`] is a *batch* front-end: it takes the
+//! whole arrival stream as a slice, keeps every execution trace, and
+//! returns a completion vector indexed by stream position — all `O(n)`
+//! memory, which caps online experiments far below the million-job
+//! regimes of the Feitelson trace literature. This module is the
+//! streaming incarnation of the same epoch discipline:
+//!
+//! * jobs are consumed **lazily** from an iterator (one look-ahead job is
+//!   held at a time), so a generator-backed source never materializes
+//!   the stream;
+//! * a binary-heap event loop drives three event kinds — job
+//!   **completions**, job **arrivals**, and **re-plan** triggers — over
+//!   exact rational timestamps;
+//! * each re-plan snapshots a bounded prefix of the pending queue
+//!   ([`StreamOptions::max_batch`]), plans it through any
+//!   [`MakespanSolver`] from the facade, and discards the batch's
+//!   instance, view, and trace as soon as its completion events are
+//!   queued;
+//! * per-job [`JobObservation`]s are emitted **incrementally**, in
+//!   completion-time order, to a caller-supplied sink, and fairness is
+//!   folded online through [`RunningFairness`] — nothing accumulates
+//!   with stream length.
+//!
+//! Memory is `O(pending + running + #users)`: the pending queue, the
+//! in-flight batch's events, and the per-user fairness state. With an
+//! unbounded `max_batch` the engine reproduces [`run_epochs`] *exactly* —
+//! same batches, same planner calls, same completion times
+//! (`tests/stream_equivalence.rs` pins this across solvers).
+//!
+//! [`run_epochs`]: crate::arrivals::run_epochs
+
+use crate::engine::SimError;
+use crate::executor::execute;
+use crate::metrics::{FairnessReport, JobObservation, RunningFairness};
+use moldable_core::instance::Instance;
+use moldable_core::job::Job;
+use moldable_core::ratio::Ratio;
+use moldable_core::speedup::SpeedupCurve;
+use moldable_core::types::{JobId, Procs, Time};
+use moldable_core::view::JobView;
+use moldable_sched::solver::MakespanSolver;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One job of a streaming workload: a speedup curve, an arrival time,
+/// and the submitting user (`-1` when unknown) for fairness accounting.
+#[derive(Clone, Debug)]
+pub struct StreamJob {
+    /// The job's speedup curve.
+    pub curve: SpeedupCurve,
+    /// When the job becomes known to the scheduler (integer ticks).
+    pub arrival: Time,
+    /// Submitting user, or `-1`.
+    pub user: i64,
+}
+
+impl StreamJob {
+    /// A job with no user identity.
+    pub fn untagged(curve: SpeedupCurve, arrival: Time) -> Self {
+        StreamJob {
+            curve,
+            arrival,
+            user: -1,
+        }
+    }
+}
+
+impl From<crate::arrivals::ArrivingJob> for StreamJob {
+    fn from(a: crate::arrivals::ArrivingJob) -> Self {
+        StreamJob::untagged(a.curve, a.arrival)
+    }
+}
+
+/// Knobs of the streaming engine.
+#[derive(Clone, Debug, Default)]
+pub struct StreamOptions {
+    /// Largest pending-queue snapshot handed to the planner per re-plan
+    /// (FIFO prefix; the rest stays queued for the next epoch). `None`
+    /// plans the whole pending set — the exact [`run_epochs`] discipline.
+    /// Overloaded streams grow their pending queue without bound either
+    /// way; the cap bounds the *planner's* per-epoch cost, which is what
+    /// keeps million-job runs tractable.
+    ///
+    /// [`run_epochs`]: crate::arrivals::run_epochs
+    pub max_batch: Option<usize>,
+}
+
+/// What the streaming engine reports after draining a source. Everything
+/// here is `O(#users)` or scalar — per-job data left through the sink.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// Jobs consumed from the source.
+    pub jobs: u64,
+    /// Planning epochs executed.
+    pub epochs: u64,
+    /// Completion time of the last job (zero for an empty source).
+    pub makespan: Ratio,
+    /// High-water mark of the pending queue (jobs arrived but not yet
+    /// handed to a planner) — the witness that memory tracked the
+    /// pending set, not the stream.
+    pub peak_pending: usize,
+    /// Fairness statistics folded online over every completion.
+    pub fairness: FairnessReport,
+}
+
+/// Event ranks at equal timestamps. Completions fire first (processors
+/// and statistics settle), then arrivals (a job arriving exactly at an
+/// epoch boundary joins the next batch — the `run_epochs` contract),
+/// then the re-plan trigger.
+const RANK_DONE: u8 = 0;
+const RANK_ARRIVAL: u8 = 1;
+const RANK_REPLAN: u8 = 2;
+
+/// Everything a completion event needs to emit its observation without
+/// touching per-stream storage.
+#[derive(Clone, Debug)]
+struct DoneInfo {
+    index: u64,
+    user: i64,
+    arrival: Ratio,
+    ideal: Time,
+    weight: u128,
+}
+
+/// A heap entry: ordered by `(at, rank, seq)`; `seq` is a monotone
+/// tiebreak so completions within one batch pop deterministically.
+#[derive(Clone, Debug)]
+struct StreamEvent {
+    at: Ratio,
+    rank: u8,
+    seq: u64,
+    done: Option<DoneInfo>,
+}
+
+impl StreamEvent {
+    fn key(&self) -> (Ratio, u8, u64) {
+        (self.at, self.rank, self.seq)
+    }
+}
+
+impl PartialEq for StreamEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for StreamEvent {}
+
+impl Ord for StreamEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap pops the maximum, we want the earliest.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl PartialOrd for StreamEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Run the event-driven simulation to exhaustion.
+///
+/// Pulls jobs lazily from `source` (must be sorted by arrival; the first
+/// out-of-order job aborts with [`SimError::UnsortedStream`]), plans
+/// pending-queue snapshots on `m` machines through `solver`, and calls
+/// `sink(stream_index, &observation)` once per job, in completion-time
+/// order. The sink is where per-job outputs leave the engine — pass a
+/// no-op closure when only the aggregate [`StreamOutcome`] matters.
+pub fn run_stream<I, F>(
+    source: I,
+    m: Procs,
+    solver: &dyn MakespanSolver,
+    opts: &StreamOptions,
+    mut sink: F,
+) -> Result<StreamOutcome, SimError>
+where
+    I: IntoIterator<Item = StreamJob>,
+    F: FnMut(u64, &JobObservation),
+{
+    let mut src = source.into_iter();
+    let mut heap: BinaryHeap<StreamEvent> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<StreamEvent>,
+                seq: &mut u64,
+                at: Ratio,
+                rank: u8,
+                done: Option<DoneInfo>| {
+        heap.push(StreamEvent {
+            at,
+            rank,
+            seq: *seq,
+            done,
+        });
+        *seq += 1;
+    };
+
+    // One look-ahead job: the next arrival's payload lives here while its
+    // event is in the heap — the heap itself stays payload-free for
+    // arrivals, and the iterator is only advanced when the event fires.
+    let mut lookahead: Option<(u64, StreamJob)> = None;
+    let mut next_index: u64 = 0;
+    let mut last_arrival: Time = 0;
+    if let Some(job) = src.next() {
+        push(
+            &mut heap,
+            &mut seq,
+            Ratio::from(job.arrival),
+            RANK_ARRIVAL,
+            None,
+        );
+        last_arrival = job.arrival;
+        lookahead = Some((0, job));
+        next_index = 1;
+    }
+
+    let mut pending: VecDeque<(u64, StreamJob)> = VecDeque::new();
+    let mut busy = false;
+    let mut replan_queued = false;
+    let mut clock = Ratio::zero();
+    let mut jobs: u64 = 0;
+    let mut epochs: u64 = 0;
+    let mut peak_pending: usize = 0;
+    let mut fairness = RunningFairness::new();
+
+    while let Some(ev) = heap.pop() {
+        debug_assert!(ev.at >= clock, "event time went backwards");
+        clock = ev.at;
+        match ev.rank {
+            RANK_DONE => {
+                let d = ev.done.expect("completion events carry their job");
+                let obs = JobObservation {
+                    user: d.user,
+                    arrival: d.arrival,
+                    completion: clock,
+                    ideal_time: Ratio::from(d.ideal),
+                    weight: d.weight,
+                };
+                fairness.observe(&obs);
+                sink(d.index, &obs);
+            }
+            RANK_ARRIVAL => {
+                let (index, job) = lookahead.take().expect("arrival without look-ahead");
+                debug_assert_eq!(Ratio::from(job.arrival), clock);
+                pending.push_back((index, job));
+                peak_pending = peak_pending.max(pending.len());
+                jobs += 1;
+                if let Some(nj) = src.next() {
+                    if nj.arrival < last_arrival {
+                        return Err(SimError::UnsortedStream {
+                            index: next_index as usize,
+                        });
+                    }
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        Ratio::from(nj.arrival),
+                        RANK_ARRIVAL,
+                        None,
+                    );
+                    last_arrival = nj.arrival;
+                    lookahead = Some((next_index, nj));
+                    next_index += 1;
+                }
+                // An idle cluster re-plans at the arrival itself; the
+                // trigger ranks after arrivals, so every same-instant
+                // arrival joins the batch first.
+                if !busy && !replan_queued {
+                    push(&mut heap, &mut seq, clock, RANK_REPLAN, None);
+                    replan_queued = true;
+                }
+            }
+            _ => {
+                replan_queued = false;
+                busy = false;
+                if pending.is_empty() {
+                    // Idle until the next arrival (if any) queues a new
+                    // trigger — the clock jump of the epoch scheme.
+                    continue;
+                }
+                // Snapshot a bounded FIFO prefix of the pending queue and
+                // plan it as a fresh offline instance.
+                let take = opts
+                    .max_batch
+                    .map_or(pending.len(), |b| b.max(1).min(pending.len()));
+                let batch: Vec<(u64, StreamJob)> = pending.drain(..take).collect();
+                let planned: Vec<Job> = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, sj))| Job::new(i as JobId, sj.curve.clone()))
+                    .collect();
+                let inst = Instance::from_jobs(planned, m);
+                let view = JobView::build(&inst);
+                let schedule = solver.solve(&view, m).schedule;
+                let ex = execute(&inst, &schedule).expect("planned batches execute");
+                // Queue one completion event per batch job; the instance,
+                // view, and trace die at the end of this arm.
+                let mut ends: Vec<Ratio> = vec![Ratio::zero(); batch.len()];
+                for seg in &ex.trace.segments {
+                    let end = &mut ends[seg.job as usize];
+                    if seg.end > *end {
+                        *end = seg.end;
+                    }
+                }
+                for (local, (index, sj)) in batch.iter().enumerate() {
+                    let info = DoneInfo {
+                        index: *index,
+                        user: sj.user,
+                        arrival: Ratio::from(sj.arrival),
+                        ideal: sj.curve.time(m).max(1),
+                        weight: sj.curve.time(1) as u128,
+                    };
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        clock.add(&ends[local]),
+                        RANK_DONE,
+                        Some(info),
+                    );
+                }
+                push(
+                    &mut heap,
+                    &mut seq,
+                    clock.add(&ex.makespan),
+                    RANK_REPLAN,
+                    None,
+                );
+                replan_queued = true;
+                busy = true;
+                epochs += 1;
+            }
+        }
+    }
+
+    Ok(StreamOutcome {
+        jobs,
+        epochs,
+        makespan: clock,
+        peak_pending,
+        fairness: fairness.report(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{run_epochs_solver, ArrivingJob};
+    use moldable_sched::solver::solver_by_name;
+
+    fn solver() -> Box<dyn MakespanSolver> {
+        solver_by_name("linear", &Ratio::new(1, 4)).unwrap()
+    }
+
+    fn jobs(spec: &[(u64, u64)]) -> Vec<StreamJob> {
+        spec.iter()
+            .map(|&(arrival, t1)| StreamJob::untagged(SpeedupCurve::Constant(t1), arrival))
+            .collect()
+    }
+
+    fn completions(stream: &[StreamJob], m: Procs, opts: &StreamOptions) -> Vec<(u64, Ratio)> {
+        let mut got = Vec::new();
+        run_stream(
+            stream.to_vec(),
+            m,
+            solver().as_ref(),
+            opts,
+            |i, o: &JobObservation| got.push((i, o.completion)),
+        )
+        .unwrap();
+        got.sort_by_key(|&(i, _)| i);
+        got
+    }
+
+    #[test]
+    fn empty_source_is_a_zero_outcome() {
+        let out = run_stream(
+            Vec::<StreamJob>::new(),
+            4,
+            solver().as_ref(),
+            &StreamOptions::default(),
+            |_, _| panic!("no observations expected"),
+        )
+        .unwrap();
+        assert_eq!(out.jobs, 0);
+        assert_eq!(out.epochs, 0);
+        assert_eq!(out.makespan, Ratio::zero());
+        assert_eq!(out.peak_pending, 0);
+    }
+
+    #[test]
+    fn matches_run_epochs_on_mixed_streams() {
+        // Late arrivals, idle gaps, same-instant bursts — the equivalence
+        // corpus of arrival patterns, checked completion-by-completion.
+        let corpora: Vec<Vec<(u64, u64)>> = vec![
+            vec![(0, 4), (0, 4), (0, 4), (0, 4)],
+            vec![(0, 10), (1, 3)],
+            vec![(0, 2), (100, 2)],
+            vec![(5, 7), (5, 3), (5, 9), (6, 1), (40, 2), (40, 2)],
+            vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)],
+        ];
+        for spec in corpora {
+            let stream = jobs(&spec);
+            let arriving: Vec<ArrivingJob> = spec
+                .iter()
+                .map(|&(arrival, t1)| ArrivingJob {
+                    curve: SpeedupCurve::Constant(t1),
+                    arrival,
+                })
+                .collect();
+            for m in [1u64, 2, 4] {
+                let s = solver();
+                let epoch = run_epochs_solver(&arriving, m, s.as_ref()).unwrap();
+                let got = completions(&stream, m, &StreamOptions::default());
+                assert_eq!(got.len(), epoch.completions.len(), "{spec:?} m={m}");
+                for (i, (idx, c)) in got.iter().enumerate() {
+                    assert_eq!(*idx, i as u64);
+                    assert_eq!(*c, epoch.completions[i], "{spec:?} m={m} job {i}");
+                }
+                let out = run_stream(
+                    stream.clone(),
+                    m,
+                    s.as_ref(),
+                    &StreamOptions::default(),
+                    |_, _| {},
+                )
+                .unwrap();
+                assert_eq!(out.makespan, epoch.makespan, "{spec:?} m={m}");
+                assert_eq!(out.epochs as usize, epoch.epochs.len(), "{spec:?} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn observations_arrive_in_completion_order() {
+        let stream = jobs(&[(0, 10), (0, 2), (3, 1)]);
+        let mut last = Ratio::zero();
+        let mut count = 0;
+        run_stream(
+            stream,
+            2,
+            solver().as_ref(),
+            &StreamOptions::default(),
+            |_, o| {
+                assert!(o.completion >= last);
+                last = o.completion;
+                count += 1;
+            },
+        )
+        .unwrap();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn bounded_batches_split_a_burst() {
+        // Six same-instant jobs with max_batch = 2 → three epochs of two,
+        // planned in FIFO arrival order.
+        let stream = jobs(&[(0, 4); 6]);
+        let out = run_stream(
+            stream.clone(),
+            2,
+            solver().as_ref(),
+            &StreamOptions { max_batch: Some(2) },
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(out.epochs, 3);
+        // Three back-to-back epochs, each at least one job long and within
+        // the planner's certified envelope for a two-job batch.
+        assert!(out.makespan >= Ratio::from(12u64));
+        assert!(out.makespan <= Ratio::from(27u64), "{}", out.makespan);
+        // Unbounded plans one epoch.
+        let all = run_stream(
+            stream,
+            2,
+            solver().as_ref(),
+            &StreamOptions::default(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(all.epochs, 1);
+    }
+
+    #[test]
+    fn unsorted_source_returns_typed_error_mid_stream() {
+        let stream = jobs(&[(4, 1), (9, 1), (2, 1)]);
+        let err = run_stream(
+            stream,
+            1,
+            solver().as_ref(),
+            &StreamOptions::default(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::UnsortedStream { index: 2 });
+    }
+
+    #[test]
+    fn pending_stays_small_on_a_trickle_stream() {
+        // 500 jobs arriving far apart: the pending queue never holds more
+        // than the burst width even though the stream is long — the
+        // O(pending) memory witness.
+        let stream: Vec<StreamJob> = (0..500)
+            .map(|i| StreamJob::untagged(SpeedupCurve::Constant(3), 10 * i))
+            .collect();
+        let out = run_stream(
+            stream,
+            2,
+            solver().as_ref(),
+            &StreamOptions::default(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(out.jobs, 500);
+        assert!(out.peak_pending <= 2, "peak {}", out.peak_pending);
+        assert_eq!(out.fairness.users.len(), 1); // all untagged (-1)
+        assert_eq!(out.fairness.mean_stretch, Ratio::one()); // never waits
+    }
+
+    #[test]
+    fn fairness_matches_epoch_observations() {
+        use crate::metrics::observations_from_epochs;
+        let spec = [(0u64, 10u64), (1, 3), (1, 5), (20, 2)];
+        let stream: Vec<StreamJob> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival, t1))| StreamJob {
+                curve: SpeedupCurve::Constant(t1),
+                arrival,
+                user: (i % 2) as i64,
+            })
+            .collect();
+        let arriving: Vec<ArrivingJob> = spec
+            .iter()
+            .map(|&(arrival, t1)| ArrivingJob {
+                curve: SpeedupCurve::Constant(t1),
+                arrival,
+            })
+            .collect();
+        let users: Vec<i64> = (0..spec.len()).map(|i| (i % 2) as i64).collect();
+        let s = solver();
+        let epoch = run_epochs_solver(&arriving, 2, s.as_ref()).unwrap();
+        let obs = observations_from_epochs(&arriving, &users, &epoch, 2);
+        let buffered = FairnessReport::from_observations(&obs);
+        let out =
+            run_stream(stream, 2, s.as_ref(), &StreamOptions::default(), |_, _| {}).unwrap();
+        assert_eq!(out.fairness.max_stretch, buffered.max_stretch);
+        assert_eq!(out.fairness.mean_stretch, buffered.mean_stretch);
+        assert_eq!(out.fairness.users.len(), buffered.users.len());
+        for (a, b) in out.fairness.users.iter().zip(&buffered.users) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.weighted_flow, b.weighted_flow);
+        }
+    }
+}

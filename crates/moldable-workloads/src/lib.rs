@@ -14,17 +14,23 @@
 //!
 //! * [`swf`] — parser for SWF headers and 18-field job records;
 //! * [`moldability`] — fits Downey/Amdahl curves through each record's
-//!   observed `(processors, runtime)` point and projects them onto exact
+//!   observed `(processors, runtime)` point (under a single admission
+//!   policy for degenerate records) and projects them onto exact
 //!   staircases;
+//! * [`lublin`] — the Lublin–Feitelson workload *model*: hyper-gamma
+//!   runtimes, two-stage uniform log₂ sizes, daily-cycle arrivals — a
+//!   lazy, deterministic generator that synthesizes million-job streams
+//!   without a trace file;
 //! * [`source`] — the [`WorkloadSource`] backend trait unifying synthetic
-//!   families and traces behind one offline-instance / arrival-stream
-//!   interface.
+//!   families, traces, and model generators behind one offline-instance /
+//!   arrival-stream / lazy-stream interface.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod families;
 pub mod hpc_mix;
+pub mod lublin;
 pub mod moldability;
 pub mod source;
 pub mod suite;
@@ -35,8 +41,10 @@ pub use families::{
     random_table_instance, PowerLawParams,
 };
 pub use hpc_mix::{adversarial_instance, hpc_mix_instance, HpcMixParams};
+pub use lublin::{LublinGenerator, LublinParams, LublinSource};
 pub use moldability::{
-    downey_speedup, resampled_instance, synthesize_curve, synthesize_instance,
+    admissible_records, admit_procs, admit_submit, downey_speedup, effective_procs,
+    fit_curve_through, resampled_instance, synthesize_curve, synthesize_instance,
     synthesize_stream, synthesize_stream_tagged, FitModel, SynthesisParams,
 };
 pub use source::{SwfSource, SyntheticSource, WorkloadSource};

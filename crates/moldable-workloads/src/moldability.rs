@@ -86,6 +86,52 @@ impl Default for SynthesisParams {
     }
 }
 
+/// The admission policy for degenerate SWF records — the single place
+/// where raw-trace pathologies are clamped or rejected before anything
+/// reaches curve synthesis or `TraceReplay`:
+///
+/// * **rejected**: records that never ran (`run_time ≤ 0`) or carry no
+///   positive processor count at all (`allocated_procs ≤ 0` *and*
+///   `requested_procs ≤ 0`);
+/// * **clamped**: a zero/unknown allocation with a positive request
+///   falls back to `requested_procs` (the scheduler's sizing intent);
+///   negative submit times clamp to the trace origin (time zero).
+///
+/// Returns the effective observed processor count, or `None` when the
+/// record is rejected.
+pub fn admit_procs(rec: &SwfRecord) -> Option<Procs> {
+    if rec.run_time <= 0.0 {
+        return None;
+    }
+    effective_procs(rec)
+}
+
+/// The allocation-falling-back-to-request half of the admission policy,
+/// independent of whether the record ran — what
+/// [`SwfRecord::procs_clamped`](crate::swf::SwfRecord::procs_clamped)
+/// reads out.
+pub fn effective_procs(rec: &SwfRecord) -> Option<Procs> {
+    if rec.allocated_procs > 0 {
+        Some(rec.allocated_procs as Procs)
+    } else if rec.requested_procs > 0 {
+        Some(rec.requested_procs as Procs)
+    } else {
+        None
+    }
+}
+
+/// A record's submit time under the admission policy: clamped to the
+/// non-negative timeline (archive traces occasionally carry negative
+/// submits from clock skew at the recording boundary).
+pub fn admit_submit(rec: &SwfRecord) -> f64 {
+    rec.submit_time.max(0.0)
+}
+
+/// The records the synthesis admits, in file order (see [`admit_procs`]).
+pub fn admissible_records(trace: &SwfTrace) -> impl Iterator<Item = &SwfRecord> {
+    trace.jobs.iter().filter(|r| admit_procs(r).is_some())
+}
+
 /// Downey's speedup function `S(n)` for average parallelism `a ≥ 1` and
 /// variance `sigma ≥ 0` (low- and high-variance branches, continuous at
 /// `sigma = 1`; `S(1) = 1` and `S(n) = a` past saturation).
@@ -107,10 +153,11 @@ pub fn downey_speedup(n: f64, a: f64, sigma: f64) -> f64 {
     s.clamp(1.0, a.max(1.0))
 }
 
-/// Observed `(processors, ticks)` point of a record, clamped to `1..=m`
-/// processors and at least one time unit.
+/// Observed `(processors, ticks)` point of a record, under the admission
+/// policy ([`admit_procs`] fallback), clamped to `1..=m` processors and
+/// at least one time unit.
 fn observed_point(rec: &SwfRecord, m: Procs, time_scale: Time) -> (Procs, Time) {
-    let p = rec.procs_clamped(m);
+    let p = admit_procs(rec).unwrap_or(1).min(m).max(1);
     let t = (rec.run_time * time_scale.max(1) as f64).round().max(1.0) as Time;
     (p, t)
 }
@@ -124,6 +171,23 @@ pub fn synthesize_curve(
     index: usize,
 ) -> SpeedupCurve {
     let (p_obs, t_obs) = observed_point(rec, m, params.time_scale);
+    fit_curve_through(p_obs, t_obs, m, params, index)
+}
+
+/// Fit a parametric speedup model through one observed
+/// `(processors, ticks)` point and project it onto an exact monotone
+/// staircase — the core of the SWF lift, shared by the Lublin–Feitelson
+/// model generator ([`crate::lublin`]), which synthesizes its observed
+/// points instead of reading them from a trace. `index` seeds the
+/// per-job parameter sampling (deterministic for a fixed
+/// `(params.seed, index)`).
+pub fn fit_curve_through(
+    p_obs: Procs,
+    t_obs: Time,
+    m: Procs,
+    params: &SynthesisParams,
+    index: usize,
+) -> SpeedupCurve {
     let mut rng = SmallRng::seed_from_u64(
         params
             .seed
@@ -200,8 +264,7 @@ pub fn synthesize_instance(
     params: &SynthesisParams,
     max_jobs: Option<usize>,
 ) -> Instance {
-    let curves = trace
-        .usable_jobs()
+    let curves = admissible_records(trace)
         .take(max_jobs.unwrap_or(usize::MAX))
         .enumerate()
         .map(|(i, rec)| synthesize_curve(rec, m, params, i))
@@ -234,13 +297,18 @@ pub fn synthesize_stream_tagged(
     params: &SynthesisParams,
     max_jobs: Option<usize>,
 ) -> Vec<(Time, SpeedupCurve, i64)> {
-    let origin = trace.first_submit().unwrap_or(0.0);
-    let mut out: Vec<(Time, SpeedupCurve, i64)> = trace
-        .usable_jobs()
+    // Origin of the replay timeline: the earliest *clamped* submit among
+    // admitted records, so negative submits (rejected by the admission
+    // policy's clamp) cannot drag every other arrival later.
+    let origin = admissible_records(trace)
+        .map(admit_submit)
+        .min_by(|a, b| a.total_cmp(b))
+        .unwrap_or(0.0);
+    let mut out: Vec<(Time, SpeedupCurve, i64)> = admissible_records(trace)
         .take(max_jobs.unwrap_or(usize::MAX))
         .enumerate()
         .map(|(i, rec)| {
-            let arrival = ((rec.submit_time - origin).max(0.0)
+            let arrival = ((admit_submit(rec) - origin).max(0.0)
                 * params.time_scale.max(1) as f64)
                 .round() as Time;
             (arrival, synthesize_curve(rec, m, params, i), rec.user_id)
@@ -260,8 +328,8 @@ pub fn resampled_instance(
     params: &SynthesisParams,
     seed: u64,
 ) -> Instance {
-    let records: Vec<&SwfRecord> = trace.usable_jobs().collect();
-    assert!(!records.is_empty(), "trace has no usable records");
+    let records: Vec<&SwfRecord> = admissible_records(trace).collect();
+    assert!(!records.is_empty(), "trace has no admissible records");
     let mut rng = SmallRng::seed_from_u64(seed);
     let curves = (0..n)
         .map(|i| {
@@ -305,6 +373,60 @@ mod tests {
             header: Default::default(),
             jobs: records,
         }
+    }
+
+    #[test]
+    fn admission_rejects_procless_and_never_ran_records() {
+        // Never ran: rejected regardless of processor fields.
+        let mut r = record(0.0, -1.0, 64);
+        assert_eq!(admit_procs(&r), None);
+        r.run_time = 0.0;
+        assert_eq!(admit_procs(&r), None);
+        // Ran, but no positive processor count anywhere: rejected.
+        let mut r = record(0.0, 100.0, 0);
+        r.requested_procs = 0;
+        assert_eq!(admit_procs(&r), None);
+        r.requested_procs = -1;
+        assert_eq!(admit_procs(&r), None);
+    }
+
+    #[test]
+    fn admission_clamps_zero_allocation_to_requested_procs() {
+        let mut r = record(0.0, 100.0, 0);
+        r.requested_procs = 16;
+        assert_eq!(admit_procs(&r), Some(16));
+        // The synthesized curve reproduces the observation at the
+        // fallback count, same as a normally-allocated record.
+        let params = SynthesisParams {
+            sequential_pct: 0,
+            ..Default::default()
+        };
+        let c = synthesize_curve(&r, 64, &params, 0);
+        let got = c.time(16) as f64;
+        let want = 100.0 * params.time_scale as f64;
+        assert!((got - want).abs() / want < 0.02, "t(16) = {got}");
+        // Allocation wins when both are present.
+        let r = record(0.0, 100.0, 8);
+        assert_eq!(admit_procs(&r), Some(8));
+    }
+
+    #[test]
+    fn admission_clamps_negative_submit_times_to_the_origin() {
+        // Clock skew at the recording boundary: a −50 s submit clamps to
+        // zero, so the other arrivals keep their recorded offsets rather
+        // than all shifting 50 s later.
+        let t = trace(vec![
+            record(-50.0, 100.0, 4),
+            record(0.0, 50.0, 2),
+            record(10.0, 10.0, 1),
+        ]);
+        let s = synthesize_stream(&t, 32, &SynthesisParams::default(), None);
+        let arrivals: Vec<Time> = s.iter().map(|&(a, _)| a).collect();
+        assert_eq!(arrivals, vec![0, 0, 10_000]);
+        // All-negative submits: everything lands at the origin.
+        let t = trace(vec![record(-9.0, 5.0, 1), record(-1.0, 5.0, 1)]);
+        let s = synthesize_stream(&t, 8, &SynthesisParams::default(), None);
+        assert!(s.iter().all(|&(a, _)| a == 0));
     }
 
     #[test]

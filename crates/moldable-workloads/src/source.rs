@@ -41,6 +41,19 @@ pub trait WorkloadSource {
     /// The job set as a timed arrival stream: `(arrival, curve)` pairs
     /// sorted by arrival, with the first arrival at time zero.
     fn arrival_stream(&self) -> Vec<(Time, SpeedupCurve)>;
+
+    /// The stream as a **lazy** iterator of `(arrival, curve, user)`
+    /// triples (user `-1` when the backend has no identities), sorted by
+    /// arrival. The default materializes [`arrival_stream`] — correct
+    /// for every backend, `O(n)` memory; generator backends (the
+    /// Lublin–Feitelson model) override it to synthesize one job at a
+    /// time, which is what lets the streaming simulator consume
+    /// million-job sources in `O(pending)` memory.
+    ///
+    /// [`arrival_stream`]: WorkloadSource::arrival_stream
+    fn stream_iter(&self) -> Box<dyn Iterator<Item = (Time, SpeedupCurve, i64)> + '_> {
+        Box::new(self.arrival_stream().into_iter().map(|(a, c)| (a, c, -1)))
+    }
 }
 
 /// A synthetic-family backend: the curves of [`bench_instance`] plus a
@@ -158,8 +171,7 @@ impl WorkloadSource for SwfSource {
     fn label(&self) -> String {
         format!(
             "swf({} jobs, m={}, {})",
-            self.trace
-                .usable_jobs()
+            crate::moldability::admissible_records(&self.trace)
                 .count()
                 .min(self.max_jobs.unwrap_or(usize::MAX)),
             self.m,
@@ -177,6 +189,12 @@ impl WorkloadSource for SwfSource {
 
     fn arrival_stream(&self) -> Vec<(Time, SpeedupCurve)> {
         synthesize_stream(&self.trace, self.m, &self.params, self.max_jobs)
+    }
+
+    fn stream_iter(&self) -> Box<dyn Iterator<Item = (Time, SpeedupCurve, i64)> + '_> {
+        // Materialized (the sort needs the whole trace anyway), but with
+        // the SWF user ids carried through for fairness accounting.
+        Box::new(self.tagged_stream().into_iter())
     }
 }
 

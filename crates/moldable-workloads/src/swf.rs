@@ -88,16 +88,24 @@ pub struct SwfRecord {
 }
 
 impl SwfRecord {
-    /// Did this record capture a job that actually ran — positive runtime
-    /// on a positive number of processors? Failed submissions, cancelled
-    /// jobs, and records missing either observable are excluded.
+    /// Did this record capture a job that actually ran? Delegates to the
+    /// admission policy ([`crate::moldability::admit_procs`]) so the
+    /// parser-level filter and the synthesis pipeline can never disagree
+    /// about which records count: positive runtime plus a positive
+    /// processor count somewhere (allocation, falling back to the
+    /// request). Failed submissions, cancelled jobs, and records missing
+    /// both observables are excluded.
     pub fn is_usable(&self) -> bool {
-        self.run_time > 0.0 && self.allocated_procs > 0
+        crate::moldability::admit_procs(self).is_some()
     }
 
-    /// The observed processor count clamped to `1..=m`.
+    /// The observed processor count under the admission policy
+    /// (allocation, falling back to the request), clamped to `1..=m`.
     pub fn procs_clamped(&self, m: Procs) -> Procs {
-        (self.allocated_procs.max(1) as Procs).min(m)
+        crate::moldability::effective_procs(self)
+            .unwrap_or(1)
+            .min(m)
+            .max(1)
     }
 }
 
@@ -176,10 +184,12 @@ impl SwfTrace {
         self.jobs.iter().filter(|r| r.is_usable())
     }
 
-    /// Earliest submit time among usable jobs (the replay origin).
+    /// Earliest submit time among usable jobs (the replay origin), under
+    /// the admission policy's negative-submit clamp
+    /// ([`crate::moldability::admit_submit`]).
     pub fn first_submit(&self) -> Option<f64> {
         self.usable_jobs()
-            .map(|r| r.submit_time)
+            .map(crate::moldability::admit_submit)
             .min_by(|a, b| a.total_cmp(b))
     }
 }
@@ -435,6 +445,9 @@ mod tests {
         let t = SwfTrace::parse(SMALL).unwrap();
         assert_eq!(t.jobs[0].procs_clamped(4), 4);
         assert_eq!(t.jobs[0].procs_clamped(1 << 20), 8);
-        assert_eq!(t.jobs[1].procs_clamped(16), 1);
+        // Zero allocation falls back to the requested count (admission
+        // policy), still clamped to the machine.
+        assert_eq!(t.jobs[1].procs_clamped(16), 4);
+        assert_eq!(t.jobs[1].procs_clamped(2), 2);
     }
 }

@@ -36,7 +36,7 @@ fn main() {
 
     let eps = Ratio::new(1, 8);
     let planner = ImprovedDual::new_linear(eps);
-    let out = run_epochs(&stream, m, &planner, &eps);
+    let out = run_epochs(&stream, m, &planner, &eps).expect("stream is sorted");
     let lb = clairvoyant_lower_bound(&stream, m);
 
     println!(

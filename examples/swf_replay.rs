@@ -67,7 +67,7 @@ fn main() {
 
     // Online: replay the recorded submit times through the epoch scheme.
     let replay = TraceReplay::new(source.arrival_stream());
-    let out = run_epochs(replay.stream(), m, &algo, &eps);
+    let out = run_epochs(replay.stream(), m, &algo, &eps).expect("replay streams are sorted");
     let lb = clairvoyant_lower_bound(replay.stream(), m);
     println!("\nonline replay (recorded submit times, epoch batching):");
     println!("  epochs   : {}", out.epochs.len());

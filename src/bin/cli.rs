@@ -22,7 +22,9 @@ use moldable::sched::baselines;
 use moldable::sched::batch;
 use moldable::sched::solver::{race_roster, solver_by_name, SOLVER_NAMES};
 use moldable::viz::render_gantt;
-use moldable::workloads::{FitModel, SwfSource, SwfTrace, SynthesisParams, WorkloadSource};
+use moldable::workloads::{
+    FitModel, LublinParams, LublinSource, SwfSource, SwfTrace, SynthesisParams, WorkloadSource,
+};
 use serde_json::{json, Value};
 use std::process::ExitCode;
 
@@ -65,7 +67,8 @@ const USAGE: &str = "usage:
   moldable generate --family swf --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N]
   moldable validate --input FILE --schedule FILE
   moldable simulate --input FILE --schedule FILE
-  moldable simulate --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N] [--eps N/D] [--algo NAME]
+  moldable simulate --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N] [--eps N/D] [--algo NAME] [--engine event|epoch]
+  moldable simulate --model lublin --n N [--m M] [--seed S] [--gap SECONDS] [--users U] [--fit amdahl|downey] [--engine event|epoch] [--max-batch B] [--eps N/D] [--algo NAME]
   moldable render   --input FILE --schedule FILE --out FILE.svg [--width W] [--height H]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -365,34 +368,192 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve the `--algo` flag to a facade solver, rejecting `exact`
+/// (epoch/stream batch sizes are workload-dependent and unbounded; the
+/// exhaustive solver's search-space guard would abort mid-run).
+fn online_solver(
+    args: &[String],
+    eps: &Ratio,
+) -> Result<(String, Box<dyn moldable::sched::solver::MakespanSolver>), String> {
+    let algo_name = flag(args, "--algo").unwrap_or_else(|| "linear".into());
+    if algo_name == "exact" {
+        return Err(
+            "--algo exact cannot plan online batches (batch sizes are unbounded); \
+             use `solve` on an offline instance instead"
+                .into(),
+        );
+    }
+    let solver = solver_by_name(&algo_name, eps).ok_or_else(|| {
+        format!(
+            "unknown --algo `{algo_name}` (one of: {})",
+            SOLVER_NAMES.join("|")
+        )
+    })?;
+    Ok((algo_name, solver))
+}
+
+/// Fairness block of a simulate report (top `cap` users by weighted flow).
+fn fairness_json(fairness: &moldable::sim::FairnessReport, cap: usize) -> Value {
+    json!({
+        "max_stretch": fairness.max_stretch.to_f64(),
+        "mean_stretch": fairness.mean_stretch.to_f64(),
+        "users_reported": fairness.users.len().min(cap),
+        "users_total": fairness.users.len(),
+        "users": fairness
+            .users
+            .iter()
+            .take(cap)
+            .map(|u| json!({
+                "user": u.user,
+                "jobs": u.jobs,
+                "max_stretch": u.max_stretch.to_f64(),
+                "mean_stretch": u.mean_stretch.to_f64(),
+                "weighted_flow": u.weighted_flow.to_f64(),
+            }))
+            .collect::<Vec<_>>(),
+    })
+}
+
+/// `simulate --model lublin` / `simulate --engine event`: drive a lazily
+/// generated or trace-backed arrival stream through the streaming
+/// event-driven engine (or, with `--engine epoch`, the batch epoch
+/// scheme for cross-checking). Metrics are computed online; no per-job
+/// data is buffered on the `event` path.
+fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
+    let eps = parse_eps(args)?;
+    let (algo_name, solver) = online_solver(args, &eps)?;
+    let engine = flag(args, "--engine").unwrap_or_else(|| "event".into());
+
+    // The workload source: the Lublin–Feitelson model, or an SWF trace.
+    let source: Box<dyn WorkloadSource> = if flag(args, "--model").as_deref() == Some("lublin")
+    {
+        if flag(args, "--trace").is_some() {
+            return Err("--model lublin and --trace are mutually exclusive".into());
+        }
+        let n: usize = flag(args, "--n")
+            .ok_or("missing --n (jobs to synthesize)")?
+            .parse()
+            .map_err(|_| "bad --n")?;
+        let m: u64 = flag(args, "--m")
+            .map(|s| match s.parse() {
+                Ok(v) if v >= 2 => Ok(v),
+                _ => Err("bad --m (lublin needs an integer ≥ 2)"),
+            })
+            .transpose()?
+            .unwrap_or(256);
+        let seed: u64 = flag(args, "--seed")
+            .map(|s| s.parse().map_err(|_| "bad --seed"))
+            .transpose()?
+            .unwrap_or(0);
+        let mut params = LublinParams::new(m, n, seed);
+        if let Some(gap) = flag(args, "--gap") {
+            let gap: f64 = gap.parse().map_err(|_| "bad --gap (seconds)")?;
+            if gap <= 0.0 {
+                return Err("--gap must be positive".into());
+            }
+            params = params.with_mean_interarrival(gap);
+        }
+        if let Some(users) = flag(args, "--users") {
+            params.users = users.parse().map_err(|_| "bad --users")?;
+        }
+        params.fit_model = match flag(args, "--fit").as_deref() {
+            Some("amdahl") => FitModel::Amdahl,
+            Some("downey") | None => FitModel::Downey,
+            Some(other) => return Err(format!("unknown --fit `{other}`")),
+        };
+        Box::new(LublinSource::new(params))
+    } else if flag(args, "--trace").is_some() {
+        Box::new(swf_source(args)?)
+    } else {
+        return Err("streaming simulate needs --model lublin or --trace FILE.swf".into());
+    };
+    let m = source.machine_count();
+    let label = source.label();
+
+    let started = std::time::Instant::now();
+    let report = match engine.as_str() {
+        "event" => {
+            let max_batch = match flag(args, "--max-batch") {
+                Some(s) => match s.parse::<usize>().map_err(|_| "bad --max-batch")? {
+                    0 => None, // 0 = unbounded (the exact epoch discipline)
+                    b => Some(b),
+                },
+                None => Some(8192),
+            };
+            let opts = moldable::sim::StreamOptions { max_batch };
+            let jobs =
+                source
+                    .stream_iter()
+                    .map(|(arrival, curve, user)| moldable::sim::StreamJob {
+                        curve,
+                        arrival,
+                        user,
+                    });
+            let out = moldable::sim::run_stream(jobs, m, solver.as_ref(), &opts, |_, _| {})
+                .map_err(|e| e.to_string())?;
+            json!({
+                "source": label,
+                "engine": "event",
+                "m": m,
+                "algo": algo_name,
+                "jobs": out.jobs,
+                "epochs": out.epochs,
+                "max_batch": max_batch,
+                "makespan": out.makespan.to_f64(),
+                "peak_pending": out.peak_pending,
+                "wall_seconds": started.elapsed().as_secs_f64(),
+                "fairness": fairness_json(&out.fairness, 16),
+            })
+        }
+        "epoch" => {
+            if flag(args, "--max-batch").is_some() {
+                // Silently unbounded batches would make an event-vs-epoch
+                // cross-check look like an engine divergence.
+                return Err("--max-batch only applies to --engine event".into());
+            }
+            let tagged: Vec<(u64, moldable::core::SpeedupCurve, i64)> =
+                source.stream_iter().collect();
+            let users: Vec<i64> = tagged.iter().map(|&(_, _, u)| u).collect();
+            let stream: Vec<moldable::sim::ArrivingJob> = tagged
+                .into_iter()
+                .map(|(arrival, curve, _)| moldable::sim::ArrivingJob { curve, arrival })
+                .collect();
+            let out = moldable::sim::run_epochs_solver(&stream, m, solver.as_ref())
+                .map_err(|e| e.to_string())?;
+            let obs = moldable::sim::observations_from_epochs(&stream, &users, &out, m);
+            let fairness = moldable::sim::FairnessReport::from_observations(&obs);
+            json!({
+                "source": label,
+                "engine": "epoch",
+                "m": m,
+                "algo": algo_name,
+                "jobs": stream.len(),
+                "epochs": out.epochs.len(),
+                "makespan": out.makespan.to_f64(),
+                "wall_seconds": started.elapsed().as_secs_f64(),
+                "fairness": fairness_json(&fairness, 16),
+            })
+        }
+        other => return Err(format!("unknown --engine `{other}` (event|epoch)")),
+    };
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    Ok(())
+}
+
 /// `simulate --trace`: replay an SWF trace's arrival stream through the
 /// epoch-based online scheme and report what an operator would see.
 fn cmd_simulate_trace(args: &[String]) -> Result<(), String> {
     let source = swf_source(args)?;
     let m = source.machine_count();
     let eps = parse_eps(args)?;
-    let algo_name = flag(args, "--algo").unwrap_or_else(|| "linear".into());
-    if algo_name == "exact" {
-        // Epoch batch sizes are workload-dependent and unbounded; the
-        // exhaustive solver's search-space guard would abort mid-replay.
-        return Err(
-            "--algo exact cannot plan online epochs (batch sizes are unbounded); \
-                    use `solve` on an offline instance instead"
-                .into(),
-        );
-    }
-    let solver = solver_by_name(&algo_name, &eps).ok_or_else(|| {
-        format!(
-            "unknown --algo `{algo_name}` (one of: {})",
-            SOLVER_NAMES.join("|")
-        )
-    })?;
+    let (algo_name, solver) = online_solver(args, &eps)?;
     // Tagged stream: arrivals aligned with SWF user ids for fairness.
     let tagged = source.tagged_stream();
     let users: Vec<i64> = tagged.iter().map(|&(_, _, u)| u).collect();
     let replay =
         moldable::sim::TraceReplay::new(tagged.into_iter().map(|(a, c, _)| (a, c)).collect());
-    let out = moldable::sim::run_epochs_solver(replay.stream(), m, solver.as_ref());
+    let out = moldable::sim::run_epochs_solver(replay.stream(), m, solver.as_ref())
+        .map_err(|e| e.to_string())?;
     let lb = moldable::sim::clairvoyant_lower_bound(replay.stream(), m);
     let obs = moldable::sim::observations_from_epochs(replay.stream(), &users, &out, m);
     let fairness = moldable::sim::FairnessReport::from_observations(&obs);
@@ -404,21 +565,7 @@ fn cmd_simulate_trace(args: &[String]) -> Result<(), String> {
         "epochs": out.epochs.len(),
         "makespan": out.makespan.to_f64(),
         "clairvoyant_lower_bound": lb.to_f64(),
-        "fairness": json!({
-            "max_stretch": fairness.max_stretch.to_f64(),
-            "mean_stretch": fairness.mean_stretch.to_f64(),
-            "users": fairness
-                .users
-                .iter()
-                .map(|u| json!({
-                    "user": u.user,
-                    "jobs": u.jobs,
-                    "max_stretch": u.max_stretch.to_f64(),
-                    "mean_stretch": u.mean_stretch.to_f64(),
-                    "weighted_flow": u.weighted_flow.to_f64(),
-                }))
-                .collect::<Vec<_>>(),
-        }),
+        "fairness": fairness_json(&fairness, usize::MAX),
         "epoch_table": out
             .epochs
             .iter()
@@ -435,6 +582,11 @@ fn cmd_simulate_trace(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    // Streaming paths: the Lublin–Feitelson model, or any source driven
+    // through an explicit --engine choice.
+    if flag(args, "--model").as_deref() == Some("lublin") || flag(args, "--engine").is_some() {
+        return cmd_simulate_stream(args);
+    }
     if flag(args, "--trace").is_some() {
         return cmd_simulate_trace(args);
     }

@@ -1,0 +1,140 @@
+//! The streaming event-driven engine must be *observationally identical*
+//! to the epoch batch scheme: same batches, same planner calls, same
+//! completion times, same fairness — `run_stream` with an unbounded
+//! `max_batch` is `run_epochs` minus the `O(n)` buffers. Property-tested
+//! across arrival patterns and solver choices (the ISSUE-4 acceptance
+//! equivalence corpus).
+
+use moldable::prelude::*;
+use moldable::sched::solver::solver_by_name;
+use moldable::sim::{
+    observations_from_epochs, run_epochs_solver, run_stream, ArrivingJob, FairnessReport,
+    StreamJob, StreamOptions,
+};
+use proptest::prelude::*;
+
+/// Solvers exercised as online planners (exact is rejected by design;
+/// ptas/fptas fold into their dispatch branches).
+const SOLVERS: &[&str] = &["linear", "alg3", "mrt", "two-approx", "sequential"];
+
+fn arrival_stream() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    // (gap to previous arrival, sequential time, width hint) per job;
+    // cumulative gaps keep the stream sorted by construction.
+    prop::collection::vec((0u64..30, 1u64..25, 1u64..6), 1..12)
+}
+
+fn curves(spec: &[(u64, u64, u64)]) -> Vec<(u64, SpeedupCurve)> {
+    let mut clock = 0u64;
+    spec.iter()
+        .map(|&(gap, t1, width)| {
+            clock += gap;
+            // Mix rigid and moldable shapes: ideal-with-overhead curves
+            // give the planner real allotment choices.
+            let curve = if width == 1 {
+                SpeedupCurve::Constant(t1)
+            } else {
+                SpeedupCurve::ideal_with_overhead(t1 * 8, 2, width)
+            };
+            (clock, curve)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Event engine ≡ epoch scheme: completions, makespan, epoch count,
+    /// and fairness agree exactly for every solver.
+    #[test]
+    fn event_engine_matches_epoch_scheme(
+        spec in arrival_stream(),
+        m in 1u64..6,
+        solver_idx in 0usize..SOLVERS.len(),
+    ) {
+        let jobs = curves(&spec);
+        let arriving: Vec<ArrivingJob> = jobs
+            .iter()
+            .map(|(a, c)| ArrivingJob { curve: c.clone(), arrival: *a })
+            .collect();
+        let stream: Vec<StreamJob> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (a, c))| StreamJob {
+                curve: c.clone(),
+                arrival: *a,
+                user: (i % 3) as i64,
+            })
+            .collect();
+        let users: Vec<i64> = (0..jobs.len()).map(|i| (i % 3) as i64).collect();
+        let eps = Ratio::new(1, 4);
+        let solver = solver_by_name(SOLVERS[solver_idx], &eps).unwrap();
+
+        let epoch = run_epochs_solver(&arriving, m, solver.as_ref()).unwrap();
+        let mut completions: Vec<(u64, Ratio)> = Vec::new();
+        let out = run_stream(
+            stream,
+            m,
+            solver.as_ref(),
+            &StreamOptions::default(),
+            |i, o| completions.push((i, o.completion)),
+        )
+        .unwrap();
+
+        prop_assert_eq!(out.jobs as usize, jobs.len());
+        prop_assert_eq!(out.makespan, epoch.makespan);
+        prop_assert_eq!(out.epochs as usize, epoch.epochs.len());
+        completions.sort_by_key(|&(i, _)| i);
+        prop_assert_eq!(completions.len(), epoch.completions.len());
+        for (i, (idx, c)) in completions.iter().enumerate() {
+            prop_assert_eq!(*idx as usize, i);
+            prop_assert_eq!(*c, epoch.completions[i]);
+        }
+
+        // Fairness: the online accumulator over streamed observations
+        // equals the buffered report over the epoch observations.
+        let obs = observations_from_epochs(&arriving, &users, &epoch, m);
+        let buffered = FairnessReport::from_observations(&obs);
+        prop_assert_eq!(out.fairness.max_stretch, buffered.max_stretch);
+        prop_assert_eq!(out.fairness.mean_stretch, buffered.mean_stretch);
+        prop_assert_eq!(out.fairness.users.len(), buffered.users.len());
+        for (a, b) in out.fairness.users.iter().zip(&buffered.users) {
+            prop_assert_eq!(a.user, b.user);
+            prop_assert_eq!(a.jobs, b.jobs);
+            prop_assert_eq!(a.max_stretch, b.max_stretch);
+            prop_assert_eq!(a.mean_stretch, b.mean_stretch);
+            prop_assert_eq!(a.weighted_flow, b.weighted_flow);
+        }
+    }
+
+    /// A bounded batch cap never loses or duplicates jobs, and the
+    /// engine still emits exactly one observation per stream index.
+    #[test]
+    fn bounded_batches_conserve_jobs(
+        spec in arrival_stream(),
+        m in 1u64..6,
+        cap in 1usize..4,
+    ) {
+        let jobs = curves(&spec);
+        let stream: Vec<StreamJob> = jobs
+            .iter()
+            .map(|(a, c)| StreamJob::untagged(c.clone(), *a))
+            .collect();
+        let eps = Ratio::new(1, 4);
+        let solver = solver_by_name("linear", &eps).unwrap();
+        let mut seen = vec![0usize; jobs.len()];
+        let out = run_stream(
+            stream,
+            m,
+            solver.as_ref(),
+            &StreamOptions { max_batch: Some(cap) },
+            |i, o| {
+                seen[i as usize] += 1;
+                assert!(o.completion >= o.arrival);
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(out.jobs as usize, jobs.len());
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        prop_assert!(out.epochs as usize >= jobs.len().div_ceil(cap.max(1)) - 1);
+    }
+}

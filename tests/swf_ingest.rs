@@ -36,6 +36,39 @@ fn swf_ingest_bundled_trace_parses_with_expected_shape() {
 }
 
 #[test]
+fn swf_ingest_admission_policy_pins_degenerate_rows() {
+    use moldable::workloads::{admissible_records, admit_procs, admit_submit};
+    let trace = bundled_trace();
+    // The two zero-processor records (the cancelled job 41 and the failed
+    // job 98) also never ran — rejected by the admission policy, so the
+    // admitted set matches the parser-level usable set on this trace.
+    assert_eq!(admissible_records(&trace).count(), 201);
+    for rec in trace.jobs.iter().filter(|r| r.allocated_procs == 0) {
+        assert!(rec.run_time <= 0.0, "sample.swf zero-proc rows never ran");
+        assert_eq!(admit_procs(rec), None);
+        assert!(
+            rec.requested_procs > 0,
+            "the degenerate rows do carry a request — only the runtime \
+             keeps them out"
+        );
+    }
+    // The truncated record (job 151) is admitted through its allocation.
+    let truncated = &trace.jobs[150];
+    assert_eq!(admit_procs(truncated), Some(8));
+    // Every admitted record reaches TraceReplay with a non-negative,
+    // sorted arrival and a positive processor count.
+    for rec in admissible_records(&trace) {
+        assert!(admit_procs(rec).unwrap() >= 1);
+        assert!(admit_submit(rec) >= 0.0);
+    }
+    let stream =
+        moldable::workloads::synthesize_stream(&trace, 128, &SynthesisParams::default(), None);
+    assert_eq!(stream.len(), 201);
+    assert_eq!(stream[0].0, 0);
+    assert!(stream.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+#[test]
 fn swf_ingest_every_synthesized_curve_is_monotone_under_both_models() {
     let trace = bundled_trace();
     for model in [FitModel::Amdahl, FitModel::Downey] {
@@ -117,7 +150,7 @@ fn swf_ingest_replay_runs_the_online_pipeline() {
     let replay = TraceReplay::new(source.arrival_stream());
     assert_eq!(replay.len(), 64);
     let planner = ImprovedDual::new_linear(eps);
-    let out = run_epochs(replay.stream(), source.machine_count(), &planner, &eps);
+    let out = run_epochs(replay.stream(), source.machine_count(), &planner, &eps).unwrap();
     let lb = clairvoyant_lower_bound(replay.stream(), source.machine_count());
     assert!(out.makespan >= lb);
     // Epochs tile the timeline without overlap.
