@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the criterion shim's JSON output.
+
+The criterion shim (crates/shims/criterion) writes one JSON object per
+bench binary when CRITERION_JSON=path is set:
+
+    {"service/solve/16": {"min_ns": ..., "median_ns": ..., "p95_ns": ..., "samples": ...}, ...}
+
+This script diffs one or more of those files against the committed
+baseline (benches/baseline.json) and fails when any benchmark's median
+regresses beyond the tolerance factor. Medians are compared (min is
+noise-floor, p95 is jitter); the tolerance is deliberately generous
+(default 2.0x) because CI runners are shared and the baseline may have
+been recorded on different hardware — the gate exists to catch
+algorithmic regressions (O(n) -> O(n^2), a lost memoization), not 10%
+drift.
+
+Usage:
+    # compare (the CI job):
+    python3 ci/bench_gate.py --baseline benches/baseline.json out1.json out2.json
+
+    # re-baseline after an intentional perf change or a bench rename:
+    CRITERION_JSON=/tmp/jobview.json cargo bench -p moldable-bench --bench jobview
+    CRITERION_JSON=/tmp/stream.json  cargo bench -p moldable-bench --bench stream_sim
+    CRITERION_JSON=/tmp/service.json cargo bench -p moldable-bench --bench service
+    python3 ci/bench_gate.py --update --baseline benches/baseline.json \
+        /tmp/jobview.json /tmp/stream.json /tmp/service.json
+
+Exit status: 0 when every baselined benchmark is present and within
+tolerance, 1 otherwise. Benchmarks present in the current run but not
+in the baseline are reported as NEW and do not fail the gate (commit a
+refreshed baseline to start tracking them).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_results(paths):
+    merged = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for name, record in data.items():
+            if name in merged:
+                print(f"error: benchmark `{name}` appears in more than one input file")
+                sys.exit(1)
+            merged[name] = record
+    return merged
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f}us"
+    return f"{ns}ns"
+
+
+def compare(baseline, current, tolerance):
+    rows = []
+    failures = []
+    for name in sorted(baseline):
+        base_median = baseline[name]["median_ns"]
+        if name not in current:
+            failures.append(f"{name}: present in baseline but missing from this run "
+                            f"(bench renamed or removed? re-baseline with --update)")
+            rows.append((name, fmt_ns(base_median), "-", "-", "MISSING"))
+            continue
+        cur_median = current[name]["median_ns"]
+        ratio = cur_median / base_median if base_median else float("inf")
+        status = "ok" if ratio <= tolerance else "FAIL"
+        if status == "FAIL":
+            failures.append(f"{name}: median {fmt_ns(cur_median)} is {ratio:.2f}x the "
+                            f"baseline {fmt_ns(base_median)} (tolerance {tolerance:.2f}x)")
+        rows.append((name, fmt_ns(base_median), fmt_ns(cur_median), f"{ratio:.2f}x", status))
+    for name in sorted(set(current) - set(baseline)):
+        rows.append((name, "-", fmt_ns(current[name]["median_ns"]), "-", "NEW"))
+
+    widths = [max(len(r[i]) for r in rows + [("benchmark", "baseline", "current", "ratio", "status")])
+              for i in range(5)]
+    header = ("benchmark", "baseline median", "current median", "ratio", "status")
+    widths = [max(w, len(h)) for w, h in zip(widths, header)]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", default="benches/baseline.json",
+                        help="committed baseline file (default: benches/baseline.json)")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("BENCH_GATE_TOLERANCE", "2.0")),
+                        help="max allowed current/baseline median ratio "
+                             "(default: 2.0, or $BENCH_GATE_TOLERANCE)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current results instead of comparing")
+    parser.add_argument("results", nargs="+", help="CRITERION_JSON output files")
+    args = parser.parse_args()
+
+    current = load_results(args.results)
+    if not current:
+        print("error: no benchmark results in the input files")
+        return 1
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump({name: current[name] for name in sorted(current)}, f, indent=2)
+            f.write("\n")
+        print(f"wrote {len(current)} benchmark baselines to {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    failures = compare(baseline, current, args.tolerance)
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbench gate passed: {len(baseline)} benchmarks within {args.tolerance:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Assertions over a `moldable-loadgen` report for the CI service smoke:
+zero failed requests and sustained throughput above a floor.
+
+Usage: python3 ci/loadgen_assert.py REPORT.json [--min-rps 1000]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="JSON report printed by moldable-loadgen")
+    parser.add_argument("--min-rps", type=float, default=1000.0,
+                        help="minimum sustained requests/second (default: 1000)")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+
+    assert report["requests_failed"] == 0, \
+        f"{report['requests_failed']} failed requests"
+    assert report["requests_ok"] > 0, "no successful requests"
+    assert report["throughput_rps"] >= args.min_rps, \
+        f"throughput {report['throughput_rps']:.0f} rps below the {args.min_rps:.0f} rps floor"
+    print(f"loadgen ok: {report['requests_ok']} requests, "
+          f"{report['throughput_rps']:.0f} rps, "
+          f"p50 {report['latency']['p50_ms']:.2f} ms, "
+          f"p95 {report['latency']['p95_ms']:.2f} ms over "
+          f"{report['elapsed_seconds']:.1f}s x {report['threads']} threads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

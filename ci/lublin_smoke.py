@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Assertions for the streaming-scale CI smoke.
+
+Reads the JSON report `moldable simulate --engine event --model lublin`
+wrote and checks the run's shape: all jobs streamed, the event engine
+was used, and the pending-queue high-water mark stayed a tiny fraction
+of the stream (the O(pending) memory witness).
+
+Usage: python3 ci/lublin_smoke.py REPORT.json [--jobs N] [--max-pending P]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="JSON report from `moldable simulate --engine event`")
+    parser.add_argument("--jobs", type=int, default=100_000,
+                        help="expected job count (default: 100000)")
+    parser.add_argument("--max-pending", type=int, default=10_000,
+                        help="max allowed pending-queue high-water mark (default: 10000)")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+
+    assert report["jobs"] == args.jobs, f"jobs: {report['jobs']} != {args.jobs}"
+    assert report["engine"] == "event", f"engine: {report['engine']}"
+    assert report["peak_pending"] < args.max_pending, \
+        f"peak_pending {report['peak_pending']} >= {args.max_pending}"
+    print("streamed", report["jobs"], "jobs in", report["wall_seconds"], "s;",
+          "epochs:", report["epochs"], "peak pending:", report["peak_pending"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

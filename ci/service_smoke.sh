@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# End-to-end service smoke for CI (also runnable locally):
+#   1. start `moldable-svc` in the background on an ephemeral port,
+#   2. hit /healthz,
+#   3. POST a generated instance to /v1/solve and assert the answer is
+#      byte-identical to CLI `solve` on the same instance,
+#   4. run a short closed-loop `moldable-loadgen` burst and assert zero
+#      errors and sustained throughput,
+#   5. read /metrics back.
+#
+# Usage: ci/service_smoke.sh [BURST_SECONDS] [MIN_RPS]
+# Expects release binaries in target/release (cargo build --release first).
+# Leaves the loadgen report at /tmp/loadgen_report.json for artifact upload.
+set -euo pipefail
+
+BURST_SECONDS="${1:-5}"
+MIN_RPS="${2:-1000}"
+BIN=target/release
+
+$BIN/moldable generate --family mixed --n 12 --m 256 --seed 21 > /tmp/svc_inst.json
+
+$BIN/moldable-svc --addr 127.0.0.1:0 --workers 2 > /tmp/svc_addr.json 2>/tmp/svc_err.log &
+SVC_PID=$!
+trap 'kill "$SVC_PID" 2>/dev/null || true' EXIT
+
+# The first stdout line is {"listening": "HOST:PORT", ...}.
+for _ in $(seq 1 100); do
+    [ -s /tmp/svc_addr.json ] && break
+    sleep 0.1
+done
+[ -s /tmp/svc_addr.json ] || { echo "service never came up"; cat /tmp/svc_err.log; exit 1; }
+ADDR=$(python3 -c "import json; print(json.load(open('/tmp/svc_addr.json'))['listening'])")
+echo "service listening on $ADDR"
+
+curl -fsS "http://$ADDR/healthz"
+echo
+
+$BIN/moldable solve --input /tmp/svc_inst.json --algo linear --eps 1/4 > /tmp/cli_solve.json
+python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_solve.json --algo linear --eps 1/4
+
+$BIN/moldable-loadgen --addr "$ADDR" --threads 2 --seconds "$BURST_SECONDS" \
+    --family mixed --n 16 --m 256 --count 8 > /tmp/loadgen_report.json
+python3 ci/loadgen_assert.py /tmp/loadgen_report.json --min-rps "$MIN_RPS"
+
+echo "service metrics after the burst:"
+curl -fsS "http://$ADDR/metrics"
+echo

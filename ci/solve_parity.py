@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Service/CLI parity check for the CI smoke.
+
+Builds a `/v1/solve` body from an instance file, POSTs it to a running
+`moldable-svc`, and asserts the service's answer matches the CLI `solve`
+output for the same instance/algo/eps: identical makespan (byte-for-byte
+on the serialized token) and identical assignment rows.
+
+Usage: python3 ci/solve_parity.py ADDR INSTANCE.json CLI_SOLVE_OUTPUT.json
+       [--algo linear] [--eps 1/4]
+"""
+
+import argparse
+import json
+import re
+import sys
+import urllib.request
+
+
+def makespan_token(text):
+    """The raw serialized makespan value, for byte-level comparison."""
+    match = re.search(r'"makespan"\s*:\s*([^,}\s]+)', text)
+    assert match, f"no makespan field in: {text[:200]}"
+    return match.group(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("addr", help="service address, HOST:PORT")
+    parser.add_argument("instance", help="instance JSON file (CLI `generate` output)")
+    parser.add_argument("cli_output", help="CLI `solve` JSON output for the same instance")
+    parser.add_argument("--algo", default="linear")
+    parser.add_argument("--eps", default="1/4")
+    args = parser.parse_args()
+
+    with open(args.instance) as f:
+        instance = json.load(f)
+    body = json.dumps({"instance": instance, "algo": args.algo, "eps": args.eps}).encode()
+    request = urllib.request.Request(
+        f"http://{args.addr}/v1/solve", data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        assert resp.status == 200, f"/v1/solve returned {resp.status}"
+        svc_text = resp.read().decode()
+    svc = json.loads(svc_text)
+
+    with open(args.cli_output) as f:
+        cli_text = f.read()
+    cli = json.loads(cli_text)
+
+    svc_token, cli_token = makespan_token(svc_text), makespan_token(cli_text)
+    assert svc_token == cli_token, \
+        f"serialized makespans differ: service {svc_token} vs CLI {cli_token}"
+    assert svc["makespan"] == cli["makespan"]
+    assert svc["assignments"] == cli["assignments"], "assignment rows differ"
+    assert svc["probes"] == cli["probes"], \
+        f"probe counts differ: {svc['probes']} vs {cli['probes']}"
+    print(f"parity ok: makespan {svc_token}, {len(svc['assignments'])} assignments, "
+          f"{svc['probes']} probes (algo {args.algo}, eps {args.eps})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,5 +59,5 @@ pub use improved::{ImprovedDual, Variant};
 pub use mrt::MrtDual;
 pub use ptas::{ptas_schedule, ptas_schedule_view, PtasBranch, PtasResult};
 pub use schedule::{Assignment, Schedule};
-pub use solver::{solver_by_name, MakespanSolver, SolveOutcome, SOLVER_NAMES};
+pub use solver::{solver_by_name, MakespanSolver, SolveOutcome, UnknownSolver, SOLVER_NAMES};
 pub use validate::{validate, validate_with_makespan, Overcommit, ScheduleError};

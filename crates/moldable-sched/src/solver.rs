@@ -272,11 +272,37 @@ pub const SOLVER_NAMES: &[&str] = &[
     "exact",
 ];
 
+/// Error returned by [`solver_by_name`] for a name outside the
+/// registry. Its `Display` form lists every valid name so callers (the
+/// CLI, the HTTP service) can surface it verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownSolver {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown solver `{}` (valid names: {})",
+            self.name,
+            SOLVER_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownSolver {}
+
 /// Look a solver up by its registry name (`ε` parameterizes the dual
 /// searches and the FPTAS/PTAS; baselines and the exact solver ignore
-/// it). Returns `None` for unknown names.
-pub fn solver_by_name(name: &str, eps: &Ratio) -> Option<Box<dyn MakespanSolver>> {
-    Some(match name {
+/// it). Unknown names return an [`UnknownSolver`] error listing the
+/// valid registry names.
+pub fn solver_by_name(
+    name: &str,
+    eps: &Ratio,
+) -> Result<Box<dyn MakespanSolver>, UnknownSolver> {
+    Ok(match name {
         "mrt" => Box::new(DualSolver::new(MrtDual, *eps)),
         "alg1" => Box::new(DualSolver::new(CompressibleDual::new(*eps), *eps)),
         "alg3" => Box::new(DualSolver::new(ImprovedDual::new(*eps), *eps)),
@@ -286,7 +312,11 @@ pub fn solver_by_name(name: &str, eps: &Ratio) -> Option<Box<dyn MakespanSolver>
         "two-approx" => Box::new(TwoApproxSolver),
         "sequential" => Box::new(SequentialSolver),
         "exact" => Box::new(ExactSolver),
-        _ => return None,
+        other => {
+            return Err(UnknownSolver {
+                name: other.to_string(),
+            })
+        }
     })
 }
 
@@ -338,7 +368,19 @@ mod tests {
             let s = solver_by_name(name, &eps).expect(name);
             assert_eq!(s.name(), name_alias(name));
         }
-        assert!(solver_by_name("no-such-algo", &eps).is_none());
+        let err = match solver_by_name("no-such-algo", &eps) {
+            Err(e) => e,
+            Ok(s) => panic!("`no-such-algo` resolved to {}", s.name()),
+        };
+        assert_eq!(err.name, "no-such-algo");
+        // The message carries the offending name and *every* valid
+        // registry name, verbatim — the CLI and the HTTP service both
+        // print it as-is.
+        let msg = err.to_string();
+        assert!(msg.contains("unknown solver `no-such-algo`"), "{msg}");
+        for &name in SOLVER_NAMES {
+            assert!(msg.contains(name), "message misses `{name}`: {msg}");
+        }
     }
 
     /// Dual solvers report the wrapped algorithm's name.

@@ -1,0 +1,463 @@
+//! The service's request router and handlers, as a pure function from
+//! [`Request`] to [`Response`].
+//!
+//! [`App::respond`] is transport-free: the TCP server drives it per
+//! connection, `benches/service.rs` times it directly (parse → view
+//! build → solve → serialize, no sockets), and the concurrency tests
+//! compare its responses byte-for-byte. Everything nondeterministic
+//! (wall-clock measurements) is confined to `GET /metrics`, so `/v1/*`
+//! responses are pure functions of the request body — the property the
+//! CI parity gate and the concurrent-client test both lean on.
+//!
+//! | Endpoint | Body | Reply |
+//! |---|---|---|
+//! | `POST /v1/solve` | `{"instance": spec, "algo"?, "eps"?}` | one [`SolveOutcome`] |
+//! | `POST /v1/race` | `{"instance": spec, "eps"?}` | roster results + parity verdict |
+//! | `GET /healthz` | — | `{"status":"ok", "solvers":[…]}` |
+//! | `GET /metrics` | — | counters + latency percentiles |
+//!
+//! [`SolveOutcome`]: moldable_sched::solver::SolveOutcome
+
+use crate::http::{Request, Response};
+use crate::metrics::{Endpoint, ServiceMetrics};
+use moldable_core::instance::Instance;
+use moldable_core::io::InstanceSpec;
+use moldable_core::ratio::Ratio;
+use moldable_core::view::JobView;
+use moldable_sched::batch;
+use moldable_sched::exact::{EXACT_M_LIMIT, EXACT_N_LIMIT};
+use moldable_sched::solver::{race_roster, solver_by_name, ExactSolver};
+use moldable_sched::validate;
+use moldable_sched::SOLVER_NAMES;
+use serde::Deserialize;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Service-level limits and defaults.
+#[derive(Clone, Debug)]
+pub struct AppConfig {
+    /// ε used when a request omits `"eps"`.
+    pub default_eps: Ratio,
+    /// Request-body cap in bytes (enforced before buffering).
+    pub max_body: usize,
+    /// Worker threads handed to the batch engine for `/v1/race`.
+    pub race_threads: usize,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        AppConfig {
+            default_eps: Ratio::new(1, 4),
+            max_body: 8 * 1024 * 1024,
+            race_threads: 1,
+        }
+    }
+}
+
+/// Shared application state: config plus metrics. One per server; safe
+/// to share across worker threads (`&self` handlers only).
+pub struct App {
+    config: AppConfig,
+    metrics: ServiceMetrics,
+}
+
+/// A handler failure: status code plus a message that travels verbatim
+/// into the `{"error": …}` body.
+type Failure = (u16, String);
+
+impl App {
+    /// Build the application state.
+    pub fn new(config: AppConfig) -> App {
+        App {
+            config,
+            metrics: ServiceMetrics::new(),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &AppConfig {
+        &self.config
+    }
+
+    /// The request metrics (exposed for the server and for tests).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Route one request, record its metrics, and produce the response.
+    pub fn respond(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let (endpoint, result) = self.route(req);
+        let response = match result {
+            Ok(value) => Response::json(
+                serde_json::to_string(&value).expect("shim serialization is infallible"),
+            ),
+            Err((status, message)) => Response::error(status, &message),
+        };
+        self.metrics.record(endpoint, response.status, t0.elapsed());
+        response
+    }
+
+    fn route(&self, req: &Request) -> (Endpoint, Result<Value, Failure>) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/v1/solve") => (Endpoint::Solve, self.handle_solve(&req.body)),
+            ("POST", "/v1/race") => (Endpoint::Race, self.handle_race(&req.body)),
+            ("GET", "/healthz") => (Endpoint::Healthz, Ok(self.handle_healthz())),
+            ("GET", "/metrics") => (Endpoint::Metrics, Ok(self.metrics.snapshot())),
+            (_, "/v1/solve" | "/v1/race" | "/healthz" | "/metrics") => (
+                Endpoint::Other,
+                Err((405, format!("method {} not allowed here", req.method))),
+            ),
+            (_, path) => (Endpoint::Other, Err((404, format!("no route for {path}")))),
+        }
+    }
+
+    fn handle_healthz(&self) -> Value {
+        json!({ "status": "ok", "solvers": SOLVER_NAMES })
+    }
+
+    /// `POST /v1/solve`: one registry solver on one instance, through a
+    /// single shared [`JobView`] build.
+    fn handle_solve(&self, body: &[u8]) -> Result<Value, Failure> {
+        let (request, instance) = parse_instance_request(body)?;
+        let algo = match request.get("algo") {
+            None => "linear".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| bad_request("`algo` must be a string"))?
+                .to_string(),
+        };
+        let eps = request_eps(&request, &self.config.default_eps)?;
+        // The error Display lists every registry name; surface verbatim.
+        let solver = solver_by_name(&algo, &eps).map_err(|e| (400, e.to_string()))?;
+        let view = JobView::build(&instance);
+        if algo == "exact" && !ExactSolver::fits(&view) {
+            // Mirrors the CLI `solve` guard: the exhaustive search would
+            // blow its branch-and-bound cap mid-request.
+            return Err((
+                400,
+                format!(
+                    "instance too large for the exact solver (n ≤ {EXACT_N_LIMIT}, m ≤ {EXACT_M_LIMIT})"
+                ),
+            ));
+        }
+        let outcome = solver.solve(&view, view.m());
+        validate(&outcome.schedule, &instance)
+            .map_err(|e| (500, format!("solver produced an invalid schedule: {e}")))?;
+        Ok(json!({
+            "algo": algo,
+            "solver": solver.name(),
+            "n": instance.n(),
+            "m": instance.m(),
+            "eps": eps.to_f64(),
+            "makespan": outcome.makespan.to_f64(),
+            "ratio_bound": outcome.ratio_bound.as_ref().map(Ratio::to_f64),
+            "opt_lower_bound": outcome.lower_bound,
+            "probes": outcome.probes,
+            "assignments": assignment_rows(&instance, &outcome.schedule),
+        }))
+    }
+
+    /// `POST /v1/race`: the full applicable roster on one instance via
+    /// the batch engine, with the CLI `race --check` parity verdict.
+    fn handle_race(&self, body: &[u8]) -> Result<Value, Failure> {
+        let (request, instance) = parse_instance_request(body)?;
+        let eps = request_eps(&request, &self.config.default_eps)?;
+        let view = JobView::build(&instance);
+        let omega = moldable_sched::estimate_view(&view).omega;
+        let solvers = race_roster(&view, &eps);
+        let results = batch::race(&solvers, &view, self.config.race_threads);
+        let mut all_bounds_hold = true;
+        let rows: Vec<Value> = results
+            .iter()
+            .map(|r| {
+                validate(&r.outcome.schedule, &instance).map_err(|e| {
+                    (
+                        500,
+                        format!("{}: solver produced an invalid schedule: {e}", r.label),
+                    )
+                })?;
+                let bound_ok = r.outcome.ratio_bound.as_ref().map(|b| {
+                    let holds = r.outcome.makespan <= b.mul_int(2 * omega as u128);
+                    all_bounds_hold &= holds;
+                    holds
+                });
+                Ok(json!({
+                    "solver": r.label,
+                    "makespan": r.outcome.makespan.to_f64(),
+                    "ratio_bound": r.outcome.ratio_bound.as_ref().map(Ratio::to_f64),
+                    "bound_holds_vs_2omega": bound_ok,
+                    "probes": r.outcome.probes,
+                }))
+            })
+            .collect::<Result<_, Failure>>()?;
+        Ok(json!({
+            "n": instance.n(),
+            "m": instance.m(),
+            "eps": eps.to_f64(),
+            "omega": omega,
+            "all_bounds_hold": all_bounds_hold,
+            "results": rows,
+        }))
+    }
+}
+
+fn bad_request(message: &str) -> Failure {
+    (400, message.to_string())
+}
+
+/// Parse `{"instance": spec, …}` and build the instance.
+fn parse_instance_request(body: &[u8]) -> Result<(Value, Instance), Failure> {
+    let text = std::str::from_utf8(body).map_err(|_| bad_request("body is not UTF-8"))?;
+    let request: Value =
+        serde_json::from_str(text).map_err(|e| (400, format!("invalid JSON body: {e}")))?;
+    let spec_value = request
+        .get("instance")
+        .ok_or_else(|| bad_request("missing `instance`"))?;
+    let spec = InstanceSpec::from_value(spec_value)
+        .map_err(|e| (400, format!("invalid `instance`: {e}")))?;
+    let instance = spec
+        .build()
+        .map_err(|e| (400, format!("invalid `instance`: {e}")))?;
+    Ok((request, instance))
+}
+
+/// Read the optional `"eps": "N/D"` field (same grammar as the CLI flag).
+fn request_eps(request: &Value, default_eps: &Ratio) -> Result<Ratio, Failure> {
+    let Some(raw) = request.get("eps") else {
+        return Ok(*default_eps);
+    };
+    let raw = raw
+        .as_str()
+        .ok_or_else(|| bad_request("`eps` must be a string like \"1/4\""))?;
+    parse_eps(raw).map_err(|e| (400, e))
+}
+
+/// Parse `"N/D"` into a ratio in `(0, 1]` — shared by the service's
+/// `"eps"` field and the CLI `--eps` flag so the two front ends accept
+/// exactly the same grammar.
+pub fn parse_eps(raw: &str) -> Result<Ratio, String> {
+    let (num, den) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("eps must be N/D, got `{raw}`"))?;
+    let num: u128 = num.parse().map_err(|_| "bad eps numerator".to_string())?;
+    let den: u128 = den.parse().map_err(|_| "bad eps denominator".to_string())?;
+    if num == 0 || den == 0 || Ratio::new(num, den) > Ratio::one() {
+        return Err("need 0 < eps <= 1".to_string());
+    }
+    Ok(Ratio::new(num, den))
+}
+
+/// Assignment rows in the `solve` JSON shape — the **single** serializer
+/// behind the service, the CLI `solve`/`schedule` output, and
+/// `benches/service.rs`, so the CI byte-parity gate
+/// (`ci/solve_parity.py`) can never be diverged by a drifted copy.
+pub fn assignment_rows(inst: &Instance, s: &moldable_sched::Schedule) -> Value {
+    Value::Array(
+        s.assignments
+            .iter()
+            .map(|a| {
+                json!({
+                    "job": a.job,
+                    "start_num": a.start.num().to_string(),
+                    "start_den": a.start.den().to_string(),
+                    "procs": a.procs,
+                    "duration": inst.job(a.job).time(a.procs),
+                })
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_sched::solver::UnknownSolver;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn app() -> App {
+        App::new(AppConfig::default())
+    }
+
+    const INSTANCE: &str = r#"{"m": 64, "jobs": [
+        {"constant": 9},
+        {"staircase": [[1, 100], [2, 60], [4, 50]]},
+        {"ideal_with_overhead": {"t1": 500, "c": 2, "cap": 64}},
+        {"table": [70, 40, 30]}
+    ]}"#;
+
+    fn body_text(resp: &Response) -> String {
+        String::from_utf8(resp.body.clone()).unwrap()
+    }
+
+    fn json_of(resp: &Response) -> Value {
+        serde_json::from_str(&body_text(resp)).unwrap()
+    }
+
+    #[test]
+    fn solve_returns_certificates_and_assignments() {
+        let app = app();
+        let req = post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}, "algo": "linear", "eps": "1/4"}}"#),
+        );
+        let resp = app.respond(&req);
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let v = json_of(&resp);
+        assert_eq!(v["algo"].as_str(), Some("linear"));
+        assert_eq!(v["n"].as_u64(), Some(4));
+        assert_eq!(v["m"].as_u64(), Some(64));
+        assert!(v["makespan"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["assignments"].as_array().unwrap().len(), 4);
+        // The dual search's bound at ε=1/4 is at most (3/2+ε)(1+ε).
+        let bound = v["ratio_bound"].as_f64().unwrap();
+        assert!(bound > 1.0 && bound <= 2.1875 + 1e-12, "bound = {bound}");
+    }
+
+    #[test]
+    fn solve_default_algo_and_eps() {
+        let app = app();
+        let resp = app.respond(&post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}}}"#),
+        ));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let v = json_of(&resp);
+        assert_eq!(v["algo"].as_str(), Some("linear"));
+        assert_eq!(v["eps"].as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn unknown_solver_error_surfaces_registry_names_verbatim() {
+        let app = app();
+        let resp = app.respond(&post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}, "algo": "quantum"}}"#),
+        ));
+        assert_eq!(resp.status, 400);
+        let expected = UnknownSolver {
+            name: "quantum".into(),
+        }
+        .to_string();
+        assert_eq!(json_of(&resp)["error"].as_str(), Some(expected.as_str()));
+    }
+
+    #[test]
+    fn exact_guard_mirrors_the_cli() {
+        let app = app();
+        // 64 machines ≫ EXACT_M_LIMIT: the service must refuse, not hang.
+        let resp = app.respond(&post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}, "algo": "exact"}}"#),
+        ));
+        assert_eq!(resp.status, 400);
+        assert!(body_text(&resp).contains("too large for the exact solver"));
+        // A tiny instance goes through.
+        let resp = app.respond(&post(
+            "/v1/solve",
+            r#"{"instance": {"m": 2, "jobs": [{"constant": 3}, {"table": [8, 5]}]}, "algo": "exact"}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        assert_eq!(json_of(&resp)["ratio_bound"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn race_reports_roster_and_parity_verdict() {
+        let app = app();
+        let resp = app.respond(&post("/v1/race", &format!(r#"{{"instance": {INSTANCE}}}"#)));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let v = json_of(&resp);
+        assert_eq!(v["all_bounds_hold"].as_bool(), Some(true));
+        let results = v["results"].as_array().unwrap();
+        // m = 64 > EXACT_M_LIMIT, so the roster is everything but `exact`.
+        assert_eq!(results.len(), SOLVER_NAMES.len() - 1);
+        for row in results {
+            assert!(row["makespan"].as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_bad_requests() {
+        let app = app();
+        for (body, needle) in [
+            ("{", "invalid JSON body"),
+            ("{}", "missing `instance`"),
+            (
+                r#"{"instance": {"m": 0, "jobs": []}}"#,
+                "invalid `instance`",
+            ),
+            (
+                &format!(r#"{{"instance": {INSTANCE}, "eps": "0/4"}}"#),
+                "eps",
+            ),
+            (
+                &format!(r#"{{"instance": {INSTANCE}, "eps": "3/2"}}"#),
+                "eps",
+            ),
+            (&format!(r#"{{"instance": {INSTANCE}, "algo": 7}}"#), "algo"),
+        ] {
+            let resp = app.respond(&post("/v1/solve", body));
+            assert_eq!(resp.status, 400, "body {body} -> {}", body_text(&resp));
+            assert!(
+                body_text(&resp).contains(needle),
+                "body {body} -> {}",
+                body_text(&resp)
+            );
+        }
+    }
+
+    #[test]
+    fn routing_404_405_and_healthz() {
+        let app = app();
+        assert_eq!(app.respond(&get("/nope")).status, 404);
+        assert_eq!(app.respond(&get("/v1/solve")).status, 405);
+        assert_eq!(app.respond(&post("/healthz", "")).status, 405);
+        let health = app.respond(&get("/healthz"));
+        assert_eq!(health.status, 200);
+        let v = json_of(&health);
+        assert_eq!(v["status"].as_str(), Some("ok"));
+        assert_eq!(v["solvers"].as_array().unwrap().len(), SOLVER_NAMES.len());
+    }
+
+    #[test]
+    fn metrics_count_prior_requests() {
+        let app = app();
+        app.respond(&get("/healthz"));
+        app.respond(&get("/nope"));
+        let resp = app.respond(&get("/metrics"));
+        assert_eq!(resp.status, 200);
+        let v = json_of(&resp);
+        assert_eq!(v["requests_total"].as_u64(), Some(2));
+        assert_eq!(v["errors_total"].as_u64(), Some(1));
+        assert_eq!(v["endpoints"]["healthz"]["requests"].as_u64(), Some(1));
+        assert_eq!(v["endpoints"]["other"]["requests"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn solve_responses_are_deterministic() {
+        // The property the concurrency parity test scales up: same body,
+        // byte-identical response.
+        let app = app();
+        let req = post("/v1/solve", &format!(r#"{{"instance": {INSTANCE}}}"#));
+        let a = app.respond(&req);
+        let b = app.respond(&req);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,449 @@
+//! Minimal HTTP/1.1 framing, hand-rolled the way `crates/shims/` hand-roll
+//! serde: exactly the subset the scheduling service and its load generator
+//! speak, with no external dependency.
+//!
+//! Server side: [`read_request`] parses a request head plus a
+//! `Content-Length`-delimited body off any [`BufRead`], enforcing a body
+//! cap *before* buffering; [`Response::write_to`] frames the reply.
+//! Client side: [`write_request`] and [`read_response`] are the mirror
+//! pair the load generator uses over a keep-alive connection. Both
+//! directions are pure functions of byte streams, so the unit tests below
+//! run over in-memory buffers — no sockets.
+//!
+//! Out of scope (the service never needs them): chunked transfer encoding,
+//! multi-line headers, request query strings, and anything TLS.
+
+use std::io::{BufRead, Write};
+
+/// Hard cap on the request-head size (request line + headers), independent
+/// of the configurable body cap: a client that never sends a blank line
+/// must not grow server memory.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard cap on response bodies the *client* side will buffer
+/// ([`read_response`]): a misconfigured peer advertising an absurd
+/// `Content-Length` must produce a clean error, not a giant allocation.
+const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request (the subset the service routes on).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, e.g. `/v1/solve` (query strings are not split off).
+    pub path: String,
+    /// The `Content-Length`-delimited body (empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 defaults to yes; `Connection: close` opts out).
+    pub keep_alive: bool,
+}
+
+/// Everything that can go wrong reading a request or response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending anything
+    /// (the normal end of a keep-alive session, not a fault).
+    Closed,
+    /// The bytes on the wire are not the HTTP subset this module speaks.
+    Malformed(&'static str),
+    /// The declared `Content-Length` exceeds the configured cap.
+    BodyTooLarge {
+        /// Declared length.
+        declared: usize,
+        /// Configured cap.
+        limit: usize,
+    },
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Malformed(what) => write!(f, "malformed HTTP: {what}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, bounding total head size.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if line.is_empty() {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::Malformed("unterminated header line"));
+        }
+        let (consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        if consumed > *budget {
+            return Err(HttpError::Malformed("request head too large"));
+        }
+        *budget -= consumed;
+        line.extend_from_slice(&chunk[..consumed]);
+        reader.consume(consumed);
+        if done {
+            break;
+        }
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header"))
+}
+
+/// Parse one request off `reader`. `max_body` bounds the body buffer; a
+/// larger declared `Content-Length` fails *before* any body byte is read,
+/// so the caller can answer `413` and drop the connection.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line missing path"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let http11 = version == "HTTP/1.1";
+    if method.is_empty() || path.is_empty() {
+        return Err(HttpError::Malformed("empty method or path"));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = http11;
+    loop {
+        let line = match read_line(reader, &mut budget) {
+            Ok(l) => l,
+            Err(HttpError::Closed) => {
+                return Err(HttpError::Malformed("connection closed mid-headers"))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line missing colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::Malformed("transfer-encoding not supported"));
+        }
+    }
+
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// A response ready to frame: a status code and a JSON body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the service always speaks `application/json`).
+    pub body: Vec<u8>,
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response whose body is `{"error": message}` — the message
+    /// travels verbatim (e.g. the [`UnknownSolver`] registry listing).
+    ///
+    /// [`UnknownSolver`]: moldable_sched::solver::UnknownSolver
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = serde_json::to_string(&serde_json::json!({ "error": message }))
+            .expect("shim serialization is infallible");
+        Response {
+            status,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Frame the response onto `writer`. `keep_alive` echoes the
+    /// request's connection disposition.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// Client side: frame a request onto `writer` (keep-alive by default).
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: moldable\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len(),
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Client side: parse a status line + headers + `Content-Length` body.
+pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_line(reader, &mut budget)?;
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("bad status code"))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_RESPONSE_BODY {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: MAX_RESPONSE_BODY,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes), max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            b"POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_and_http10_default() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 64).unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n", 64).unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 64).unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn oversized_body_rejected_before_buffering() {
+        // Only the head is on the wire: the error must fire from the
+        // declared length alone, without waiting for body bytes.
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 100).unwrap_err();
+        match err {
+            HttpError::BodyTooLarge { declared, limit } => {
+                assert_eq!((declared, limit), (999, 100));
+            }
+            other => panic!("expected BodyTooLarge, got {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(matches!(parse(b"", 64), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/3\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbad header line\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        // Unterminated head: must fail, not spin or allocate unboundedly.
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nHeader-without-end", 64),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn head_size_is_bounded() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        assert!(matches!(
+            parse(&raw, 64),
+            Err(HttpError::Malformed("request head too large"))
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_through_client_parser() {
+        let resp = Response::json("{\"ok\":true}".to_string());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let back = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn request_round_trips_through_server_parser() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/race", b"{\"m\":4}").unwrap();
+        let back = parse(&wire, 1024).unwrap();
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.path, "/v1/race");
+        assert_eq!(back.body, b"{\"m\":4}");
+    }
+
+    #[test]
+    fn client_rejects_absurd_response_content_length() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 99999999999\r\n\r\n";
+        let err = read_response(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert!(
+            matches!(err, HttpError::BodyTooLarge { .. }),
+            "expected BodyTooLarge, got {err}"
+        );
+    }
+
+    #[test]
+    fn error_response_carries_message_verbatim() {
+        let resp = Response::error(400, "unknown solver `x` (valid names: a, b)");
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("unknown solver `x` (valid names: a, b)"));
+    }
+
+    #[test]
+    fn keep_alive_session_parses_back_to_back_requests() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/a", b"one").unwrap();
+        write_request(&mut wire, "POST", "/b", b"two!").unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let first = read_request(&mut reader, 64).unwrap();
+        let second = read_request(&mut reader, 64).unwrap();
+        assert_eq!(
+            (first.path.as_str(), first.body.as_slice()),
+            ("/a", &b"one"[..])
+        );
+        assert_eq!(
+            (second.path.as_str(), second.body.as_slice()),
+            ("/b", &b"two!"[..])
+        );
+        assert!(matches!(
+            read_request(&mut reader, 64),
+            Err(HttpError::Closed)
+        ));
+    }
+}

@@ -13,14 +13,79 @@
 //! Swap the
 //! `[workspace.dependencies]` entry back to registry criterion when
 //! statistically rigorous numbers are needed.
+//!
+//! **Machine-readable results.** When the `CRITERION_JSON` environment
+//! variable names a file, [`criterion_main!`]'s generated `main` also
+//! writes every benchmark's min/median/p95 (nanoseconds) and sample
+//! count there as one JSON object keyed by benchmark label — the format
+//! `ci/bench_gate.py` diffs against `benches/baseline.json` for the CI
+//! perf-regression gate. Re-baseline with
+//! `ci/bench_gate.py --update` (see that script's `--help`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark's summary, collected for `CRITERION_JSON`.
+struct BenchRecord {
+    label: String,
+    min_ns: u128,
+    median_ns: u128,
+    p95_ns: u128,
+    samples: usize,
+}
+
+/// Every benchmark summary recorded so far in this process.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Minimal JSON string escaping for benchmark labels.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// If `CRITERION_JSON` names a file, write every recorded benchmark
+/// there as `{label: {min_ns, median_ns, p95_ns, samples}}`. Called by
+/// the `main` that [`criterion_main!`] generates after all groups run;
+/// harmless to call when the variable is unset.
+pub fn flush_json_results() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().expect("no bench panicked holding the lock");
+    let mut out = String::from("{\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  \"{}\": {{\"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"samples\": {}}}{comma}\n",
+            escape_json(&r.label),
+            r.min_ns,
+            r.median_ns,
+            r.p95_ns,
+            r.samples,
+        ));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!(
+            "criterion shim: cannot write {}: {e}",
+            path.to_string_lossy()
+        );
+    }
+}
 
 /// Entry point handed to every benchmark function.
 pub struct Criterion {
@@ -169,6 +234,16 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     println!(
         "{label:<50} min {min:>10.3?}  median {median:>10.3?}  p95 {p95:>10.3?}  ({n} samples)"
     );
+    RECORDS
+        .lock()
+        .expect("no bench panicked holding the lock")
+        .push(BenchRecord {
+            label: label.to_string(),
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            p95_ns: p95.as_nanos(),
+            samples: n,
+        });
 }
 
 /// Bundle benchmark functions into one runnable group, mirroring
@@ -183,12 +258,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the named groups.
+/// Generate `main` running the named groups, then writing the
+/// machine-readable summary if `CRITERION_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_json_results();
         }
     };
 }
@@ -215,5 +292,32 @@ mod tests {
         group.finish();
         // One warm-up plus three samples.
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn json_results_written_when_env_set() {
+        let path = std::env::temp_dir()
+            .join(format!("criterion_shim_test_{}.json", std::process::id()));
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default();
+        c.bench_function("shim/json-smoke", |b| b.iter(|| 2 + 2));
+        flush_json_results();
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"shim/json-smoke\""), "{text}");
+        for key in ["min_ns", "median_ns", "p95_ns", "samples"] {
+            assert!(text.contains(key), "missing {key}: {text}");
+        }
+        // Well-formed JSON object: balanced braces, no trailing comma.
+        assert!(text.trim_start().starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(!text.contains(",\n}"), "trailing comma: {text}");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a/b"), "a/b");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("a\nb"), "a\\u000ab");
     }
 }

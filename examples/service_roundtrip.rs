@@ -1,0 +1,76 @@
+//! End-to-end service round trip, all in one process: bind `moldable-svc`
+//! on an ephemeral port, POST an instance to `/v1/solve` over real TCP,
+//! and check the returned makespan against a direct in-process call to
+//! the same registry solver.
+//!
+//! ```sh
+//! cargo run --release --example service_roundtrip
+//! ```
+
+use moldable::core::io::InstanceSpec;
+use moldable::core::view::JobView;
+use moldable::prelude::*;
+use moldable::sched::solver::solver_by_name;
+use moldable::svc::http::{read_response, write_request};
+use moldable::svc::{Server, ServerConfig};
+use serde_json::{json, Value};
+use std::io::BufReader;
+use std::net::TcpStream;
+
+fn main() {
+    // A small mixed instance from the synthetic generator.
+    let inst = bench_instance(BenchFamily::Mixed, 8, 256, 42);
+    let spec = InstanceSpec::from_instance(&inst).expect("generated curves are serializable");
+    let body = serde_json::to_string(&json!({
+        "instance": serde_json::to_value(&spec),
+        "algo": "linear",
+        "eps": "1/4",
+    }))
+    .expect("shim serialization is infallible");
+
+    // The service, on an ephemeral port with a small worker pool.
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+    println!("service listening on http://{addr}");
+
+    // One keep-alive connection: healthz, then solve.
+    let stream = TcpStream::connect(addr).expect("connecting to the service");
+    let mut writer = stream.try_clone().expect("cloning the stream");
+    let mut reader = BufReader::new(stream);
+
+    write_request(&mut writer, "GET", "/healthz", b"").unwrap();
+    let health = read_response(&mut reader).unwrap();
+    println!(
+        "GET /healthz -> {} {}",
+        health.status,
+        String::from_utf8_lossy(&health.body)
+    );
+
+    write_request(&mut writer, "POST", "/v1/solve", body.as_bytes()).unwrap();
+    let resp = read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let v: Value = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let served = v["makespan"].as_f64().unwrap();
+    let probes = v["probes"].as_u64().unwrap_or(0);
+    println!(
+        "POST /v1/solve -> {} (makespan {served}, {probes} probes)",
+        resp.status
+    );
+
+    // The same solve, directly through the facade.
+    let eps = Ratio::new(1, 4);
+    let solver = solver_by_name("linear", &eps).expect("registry has linear");
+    let view = JobView::build(&inst);
+    let direct = solver.solve(&view, view.m()).makespan.to_f64();
+    assert_eq!(served, direct, "service and in-process makespans differ");
+    println!("in-process facade agrees: makespan {direct}");
+
+    drop(writer);
+    drop(reader);
+    server.shutdown();
+    println!("server drained and shut down");
+}

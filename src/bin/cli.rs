@@ -89,34 +89,12 @@ fn load_instance(args: &[String]) -> Result<Instance, String> {
     spec.build().map_err(|e| e.to_string())
 }
 
+/// `--eps` flag through the service's shared `(0, 1]` fraction grammar
+/// ([`moldable::svc::app::parse_eps`]) so CLI and HTTP front ends accept
+/// and reject identically.
 fn parse_eps(args: &[String]) -> Result<Ratio, String> {
     let raw = flag(args, "--eps").unwrap_or_else(|| "1/4".into());
-    let (num, den) = raw
-        .split_once('/')
-        .ok_or_else(|| format!("--eps must be N/D, got {raw}"))?;
-    let num: u128 = num.parse().map_err(|_| "bad ε numerator")?;
-    let den: u128 = den.parse().map_err(|_| "bad ε denominator")?;
-    if num == 0 || den == 0 || Ratio::new(num, den) > Ratio::one() {
-        return Err("need 0 < ε ≤ 1".into());
-    }
-    Ok(Ratio::new(num, den))
-}
-
-fn schedule_rows(inst: &Instance, s: &Schedule) -> Value {
-    Value::Array(
-        s.assignments
-            .iter()
-            .map(|a| {
-                json!({
-                    "job": a.job,
-                    "start_num": a.start.num().to_string(),
-                    "start_den": a.start.den().to_string(),
-                    "procs": a.procs,
-                    "duration": inst.job(a.job).time(a.procs),
-                })
-            })
-            .collect(),
-    )
+    moldable::svc::app::parse_eps(&raw)
 }
 
 fn cmd_schedule(args: &[String]) -> Result<(), String> {
@@ -143,7 +121,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         "algo": algo_name,
         "makespan": schedule.makespan(&inst).to_f64(),
         "total_work": schedule.total_work(&inst).to_string(),
-        "assignments": schedule_rows(&inst, &schedule),
+        "assignments": moldable::svc::app::assignment_rows(&inst, &schedule),
     });
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
     if has_flag(args, "--gantt") && inst.m() <= 128 {
@@ -159,12 +137,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let eps = parse_eps(args)?;
     let name = flag(args, "--algo")
         .ok_or_else(|| format!("missing --algo (one of: {})", SOLVER_NAMES.join("|")))?;
-    let solver = solver_by_name(&name, &eps).ok_or_else(|| {
-        format!(
-            "unknown --algo `{name}` (one of: {})",
-            SOLVER_NAMES.join("|")
-        )
-    })?;
+    let solver = solver_by_name(&name, &eps).map_err(|e| e.to_string())?;
     let view = JobView::build(&inst);
     if name == "exact" && !moldable::sched::solver::ExactSolver::fits(&view) {
         return Err(format!(
@@ -183,7 +156,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         "opt_lower_bound": outcome.lower_bound,
         "probes": outcome.probes,
         "total_work": outcome.schedule.total_work(&inst).to_string(),
-        "assignments": schedule_rows(&inst, &outcome.schedule),
+        "assignments": moldable::svc::app::assignment_rows(&inst, &outcome.schedule),
     });
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
     Ok(())
@@ -383,12 +356,7 @@ fn online_solver(
                 .into(),
         );
     }
-    let solver = solver_by_name(&algo_name, eps).ok_or_else(|| {
-        format!(
-            "unknown --algo `{algo_name}` (one of: {})",
-            SOLVER_NAMES.join("|")
-        )
-    })?;
+    let solver = solver_by_name(&algo_name, eps).map_err(|e| e.to_string())?;
     Ok((algo_name, solver))
 }
 

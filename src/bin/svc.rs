@@ -1,0 +1,104 @@
+//! `moldable-svc` — serve the scheduling service over HTTP.
+//!
+//! ```text
+//! moldable-svc [--addr HOST:PORT] [--workers N] [--eps N/D]
+//!              [--max-body BYTES] [--race-threads N] [--idle-timeout SECONDS]
+//! ```
+//!
+//! Prints one JSON line `{"listening": "HOST:PORT", "workers": N}` to
+//! stdout once the listener is live (port 0 resolves to the actual
+//! ephemeral port — scripts read the address from this line), then
+//! serves until killed. Endpoints: `POST /v1/solve`, `POST /v1/race`,
+//! `GET /healthz`, `GET /metrics` — see DESIGN.md's "Service front-end".
+
+use moldable::sched::batch;
+use moldable::svc::app::parse_eps;
+use moldable::svc::{AppConfig, Server, ServerConfig};
+use serde_json::json;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  moldable-svc [--addr HOST:PORT] [--workers N] [--eps N/D] [--max-body BYTES] [--race-threads N] [--idle-timeout SECONDS]";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        ..ServerConfig::default()
+    };
+    if let Some(workers) = flag(args, "--workers") {
+        config.workers = match workers.parse() {
+            Ok(0) | Err(_) => return Err("bad --workers (need an integer >= 1)".into()),
+            Ok(w) => w,
+        };
+    }
+    if let Some(secs) = flag(args, "--idle-timeout") {
+        let secs: u64 = secs.parse().map_err(|_| "bad --idle-timeout (seconds)")?;
+        config.idle_timeout = Duration::from_secs(secs.max(1));
+    }
+    let mut app = AppConfig {
+        race_threads: batch::default_threads(moldable::sched::SOLVER_NAMES.len()),
+        ..AppConfig::default()
+    };
+    if let Some(eps) = flag(args, "--eps") {
+        app.default_eps = parse_eps(&eps)?;
+    }
+    if let Some(max_body) = flag(args, "--max-body") {
+        app.max_body = match max_body.parse() {
+            Ok(0) | Err(_) => return Err("bad --max-body (need bytes >= 1)".into()),
+            Ok(b) => b,
+        };
+    }
+    if let Some(threads) = flag(args, "--race-threads") {
+        app.race_threads = match threads.parse() {
+            Ok(0) | Err(_) => return Err("bad --race-threads (need an integer >= 1)".into()),
+            Ok(t) => t,
+        };
+    }
+    config.app = app;
+    let workers = config.workers;
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!(
+        "{}",
+        serde_json::to_string(&json!({
+            "listening": server.local_addr().to_string(),
+            "workers": workers,
+        }))
+        .expect("shim serialization is infallible")
+    );
+    // Flush so a pipe reader sees the address before the first request.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "moldable-svc listening on http://{} ({} workers); endpoints: POST /v1/solve, POST /v1/race, GET /healthz, GET /metrics",
+        server.local_addr(),
+        workers,
+    );
+    // Serve until the process is killed: park this thread forever while
+    // the worker pool runs.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

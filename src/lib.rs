@@ -33,6 +33,7 @@ pub use moldable_hardness as hardness;
 pub use moldable_knapsack as knapsack;
 pub use moldable_sched as sched;
 pub use moldable_sim as sim;
+pub use moldable_svc as svc;
 pub use moldable_viz as viz;
 pub use moldable_workloads as workloads;
 

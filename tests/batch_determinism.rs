@@ -1,0 +1,111 @@
+//! The batch engine must be a pure function of its inputs regardless of
+//! parallelism: `solve_many` and `race` return identical results across
+//! 1, 2, and 8 worker threads — the property the HTTP service leans on
+//! when concurrent requests hit the same shared registry solvers (the
+//! ISSUE-5 service-workload determinism gate).
+
+use moldable::core::speedup::monotone_closure;
+use moldable::core::view::JobView;
+use moldable::prelude::*;
+use moldable::sched::batch::{race, solve_many, BatchResult};
+use moldable::sched::solver::race_roster;
+use moldable::sched::solver::solver_by_name;
+use moldable::sched::SOLVER_NAMES;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Instances from per-job time tables, monotonized so every curve is a
+/// valid monotone moldable job.
+fn instance_from(m: u64, tables: &[Vec<u64>]) -> Instance {
+    let curves: Vec<SpeedupCurve> = tables
+        .iter()
+        .map(|tbl| {
+            let mut tbl = tbl.clone();
+            tbl.truncate(m as usize);
+            monotone_closure(&mut tbl);
+            SpeedupCurve::Table(Arc::new(tbl))
+        })
+        .collect();
+    Instance::new(curves, m)
+}
+
+/// Every deterministic field of two batch runs must agree exactly.
+fn assert_identical(a: &[BatchResult], b: &[BatchResult], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: result counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.task, y.task, "{what}: task order differs");
+        assert_eq!(x.label, y.label, "{what}: labels differ");
+        assert_eq!(
+            x.outcome.makespan, y.outcome.makespan,
+            "{what}, task {}: makespans differ",
+            x.task
+        );
+        assert_eq!(
+            x.outcome.schedule.assignments, y.outcome.schedule.assignments,
+            "{what}, task {}: schedules differ",
+            x.task
+        );
+        assert_eq!(
+            (x.outcome.probes, x.outcome.lower_bound),
+            (y.outcome.probes, y.outcome.lower_bound),
+            "{what}, task {}: certificates differ",
+            x.task
+        );
+    }
+}
+
+fn corpus_strategy() -> impl Strategy<Value = (u64, Vec<Vec<u64>>)> {
+    (1u64..8).prop_flat_map(|m| {
+        (
+            Just(m),
+            prop::collection::vec(
+                prop::collection::vec(1u64..40, m as usize..=m as usize),
+                1..7,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One solver over many instances: thread count is invisible.
+    #[test]
+    fn solve_many_identical_across_1_2_8_threads(
+        corpora in prop::collection::vec(corpus_strategy(), 1..6),
+        solver_idx in 0usize..4,
+    ) {
+        // The dual solvers (probes > 0) are the interesting ones here.
+        let name = ["linear", "alg3", "mrt", "two-approx"][solver_idx];
+        let eps = Ratio::new(1, 4);
+        let solver = solver_by_name(name, &eps).expect("registry name");
+        let instances: Vec<Instance> = corpora
+            .iter()
+            .map(|(m, tables)| instance_from(*m, tables))
+            .collect();
+        let serial = solve_many(solver.as_ref(), &instances, 1);
+        for threads in [2usize, 8] {
+            let parallel = solve_many(solver.as_ref(), &instances, threads);
+            assert_identical(&serial, &parallel, &format!("solve_many x{threads}"));
+        }
+    }
+
+    /// Many solvers over one shared view: same invariance.
+    #[test]
+    fn race_identical_across_1_2_8_threads(
+        (m, tables) in corpus_strategy(),
+    ) {
+        let inst = instance_from(m, &tables);
+        let view = JobView::build(&inst);
+        let eps = Ratio::new(1, 4);
+        let solvers = race_roster(&view, &eps);
+        let serial = race(&solvers, &view, 1);
+        // The roster includes `exact` on these small instances, so the
+        // parity covers every registry solver.
+        assert!(serial.len() >= SOLVER_NAMES.len() - 1);
+        for threads in [2usize, 8] {
+            let parallel = race(&solvers, &view, threads);
+            assert_identical(&serial, &parallel, &format!("race x{threads}"));
+        }
+    }
+}

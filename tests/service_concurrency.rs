@@ -1,0 +1,137 @@
+//! Concurrent clients must observe exactly the responses a sequential
+//! client gets: `/v1/solve` and `/v1/race` are pure functions of the
+//! request body, so hammering one live server from many threads at once
+//! returns byte-identical bodies — the end-to-end form of the batch
+//! engine's determinism guarantee (see `tests/batch_determinism.rs`).
+
+use moldable::core::io::InstanceSpec;
+use moldable::prelude::*;
+use moldable::svc::http::{read_response, write_request, Response};
+use moldable::svc::{Server, ServerConfig};
+use serde_json::json;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+
+fn solve_body(seed: u64) -> String {
+    let inst = bench_instance(BenchFamily::Mixed, 10, 128, seed);
+    let spec = InstanceSpec::from_instance(&inst).expect("generated curves are serializable");
+    serde_json::to_string(&json!({
+        "instance": serde_json::to_value(&spec),
+        "algo": "linear",
+        "eps": "1/4",
+    }))
+    .expect("shim serialization is infallible")
+}
+
+/// One keep-alive connection issuing `bodies` in order.
+fn post_all(addr: SocketAddr, path: &str, bodies: &[String]) -> Vec<Response> {
+    let stream = TcpStream::connect(addr).expect("connecting to the test server");
+    let mut writer = stream.try_clone().expect("cloning the stream");
+    let mut reader = BufReader::new(stream);
+    bodies
+        .iter()
+        .map(|body| {
+            write_request(&mut writer, "POST", path, body.as_bytes()).expect("request written");
+            read_response(&mut reader).expect("response read")
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_solves_match_sequential_byte_for_byte() {
+    let server = Server::bind(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+    let bodies: Vec<String> = (0..6).map(solve_body).collect();
+
+    // Ground truth: one client, strictly sequential.
+    let sequential = post_all(addr, "/v1/solve", &bodies);
+    for resp in &sequential {
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    // 8 concurrent clients, each replaying every body 3 times on its own
+    // keep-alive connection, all in flight against the 4 workers at once.
+    let concurrent: Vec<Vec<Response>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut rotated: Vec<String> = Vec::new();
+                    for round in 0..3 {
+                        // Offset per thread & round so different bodies
+                        // overlap in time across clients.
+                        for i in 0..bodies.len() {
+                            rotated.push(bodies[(t + round + i) % bodies.len()].clone());
+                        }
+                    }
+                    let responses = post_all(addr, "/v1/solve", &rotated);
+                    responses
+                        .into_iter()
+                        .zip(rotated)
+                        .map(|(resp, body)| {
+                            // Map each response back to which body produced it.
+                            let idx = bodies.iter().position(|b| *b == body).unwrap();
+                            (idx, resp)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("client thread panicked")
+                    .into_iter()
+                    .map(|(idx, resp)| {
+                        assert_eq!(resp, sequential[idx], "concurrent response diverged");
+                        resp
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    let total: usize = concurrent.iter().map(Vec::len).sum();
+    assert_eq!(total, 8 * 3 * bodies.len());
+    assert_eq!(
+        server.app().metrics().total_requests(),
+        (total + sequential.len()) as u64
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_races_match_sequential() {
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral port");
+    let addr = server.local_addr();
+    let body = {
+        let inst = bench_instance(BenchFamily::Mixed, 6, 64, 3);
+        let spec = InstanceSpec::from_instance(&inst).unwrap();
+        serde_json::to_string(&json!({
+            "instance": serde_json::to_value(&spec),
+            "eps": "1/4",
+        }))
+        .unwrap()
+    };
+    let expected = post_all(addr, "/v1/race", std::slice::from_ref(&body));
+    assert_eq!(expected[0].status, 200);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let body = &body;
+            let expected = &expected;
+            scope.spawn(move || {
+                let got = post_all(addr, "/v1/race", std::slice::from_ref(body));
+                assert_eq!(got[0], expected[0], "race response diverged");
+            });
+        }
+    });
+    server.shutdown();
+}
