@@ -23,8 +23,9 @@ Usage:
     CRITERION_JSON=/tmp/jobview.json cargo bench -p moldable-bench --bench jobview
     CRITERION_JSON=/tmp/stream.json  cargo bench -p moldable-bench --bench stream_sim
     CRITERION_JSON=/tmp/service.json cargo bench -p moldable-bench --bench service
+    CRITERION_JSON=/tmp/placement.json cargo bench -p moldable-bench --bench placement
     python3 ci/bench_gate.py --update --baseline benches/baseline.json \
-        /tmp/jobview.json /tmp/stream.json /tmp/service.json
+        /tmp/jobview.json /tmp/stream.json /tmp/service.json /tmp/placement.json
 
 Exit status: 0 when every baselined benchmark is present and within
 tolerance, 1 otherwise. Benchmarks present in the current run but not

@@ -3,7 +3,9 @@
 #   1. start `moldable-svc` in the background on an ephemeral port,
 #   2. hit /healthz,
 #   3. POST a generated instance to /v1/solve and assert the answer is
-#      byte-identical to CLI `solve` on the same instance,
+#      byte-identical to CLI `solve` on the same instance — once in the
+#      v1 shape, once requesting wire-format v2 placement rows (which
+#      are also validated structurally: disjoint, sized, in range),
 #   4. run a short closed-loop `moldable-loadgen` burst and assert zero
 #      errors and sustained throughput,
 #   5. read /metrics back.
@@ -37,6 +39,12 @@ echo
 
 $BIN/moldable solve --input /tmp/svc_inst.json --algo linear --eps 1/4 > /tmp/cli_solve.json
 python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_solve.json --algo linear --eps 1/4
+
+# Wire-format v2: ask the contiguous solver for concrete processor sets
+# and validate the placement rows (CLI/service parity + disjointness).
+$BIN/moldable solve --input /tmp/svc_inst.json --algo contiguous-73-50 --eps 1/4 --place > /tmp/cli_place.json
+python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_place.json \
+    --algo contiguous-73-50 --eps 1/4 --placements
 
 $BIN/moldable-loadgen --addr "$ADDR" --threads 2 --seconds "$BURST_SECONDS" \
     --family mixed --n 16 --m 256 --count 8 > /tmp/loadgen_report.json

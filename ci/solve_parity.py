@@ -6,8 +6,14 @@ Builds a `/v1/solve` body from an instance file, POSTs it to a running
 output for the same instance/algo/eps: identical makespan (byte-for-byte
 on the serialized token) and identical assignment rows.
 
+With --placements, the request asks for wire-format v2 placement rows
+(the body gains `"placements": true`, the CLI run must have used
+`--place`) and the script additionally validates them structurally:
+every job's processor-set size equals its allotment, the ranges are
+within [0, m), and no two jobs overlapping in time share a processor.
+
 Usage: python3 ci/solve_parity.py ADDR INSTANCE.json CLI_SOLVE_OUTPUT.json
-       [--algo linear] [--eps 1/4]
+       [--algo linear] [--eps 1/4] [--placements]
 """
 
 import argparse
@@ -15,6 +21,7 @@ import json
 import re
 import sys
 import urllib.request
+from fractions import Fraction
 
 
 def makespan_token(text):
@@ -24,6 +31,33 @@ def makespan_token(text):
     return match.group(1)
 
 
+def check_placements(reply, m):
+    """Structural validity of a v2 `placements` array."""
+    placements = reply["placements"]
+    assignments = {row["job"]: row for row in reply["assignments"]}
+    assert len(placements) == len(assignments), \
+        f"{len(placements)} placement rows for {len(assignments)} assignments"
+    spans = []
+    for row in placements:
+        procs = set()
+        for lo, hi in row["procs"]:
+            assert 0 <= lo <= hi < m, f"job {row['job']}: range [{lo}, {hi}] outside [0, {m})"
+            procs |= set(range(lo, hi + 1))
+        assigned = assignments[row["job"]]
+        assert len(procs) == assigned["procs"], \
+            f"job {row['job']}: {len(procs)} processors placed, allotment {assigned['procs']}"
+        start = Fraction(int(row["start_num"]), int(row["start_den"]))
+        end = Fraction(int(row["end_num"]), int(row["end_den"]))
+        assert start < end, f"job {row['job']}: empty interval"
+        spans.append((row["job"], start, end, procs))
+    for i, (job_a, start_a, end_a, procs_a) in enumerate(spans):
+        for job_b, start_b, end_b, procs_b in spans[i + 1:]:
+            if start_a < end_b and start_b < end_a:
+                shared = procs_a & procs_b
+                assert not shared, \
+                    f"jobs {job_a} and {job_b} share processors {sorted(shared)[:8]}"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("addr", help="service address, HOST:PORT")
@@ -31,11 +65,16 @@ def main():
     parser.add_argument("cli_output", help="CLI `solve` JSON output for the same instance")
     parser.add_argument("--algo", default="linear")
     parser.add_argument("--eps", default="1/4")
+    parser.add_argument("--placements", action="store_true",
+                        help="request and validate wire-format v2 placement rows")
     args = parser.parse_args()
 
     with open(args.instance) as f:
         instance = json.load(f)
-    body = json.dumps({"instance": instance, "algo": args.algo, "eps": args.eps}).encode()
+    request_body = {"instance": instance, "algo": args.algo, "eps": args.eps}
+    if args.placements:
+        request_body["placements"] = True
+    body = json.dumps(request_body).encode()
     request = urllib.request.Request(
         f"http://{args.addr}/v1/solve", data=body,
         headers={"Content-Type": "application/json"}, method="POST")
@@ -55,6 +94,14 @@ def main():
     assert svc["assignments"] == cli["assignments"], "assignment rows differ"
     assert svc["probes"] == cli["probes"], \
         f"probe counts differ: {svc['probes']} vs {cli['probes']}"
+    assert svc["schema"] == 2, f"unexpected schema: {svc.get('schema')}"
+    if args.placements:
+        assert svc["placements"] == cli["placements"], "placement rows differ"
+        check_placements(svc, instance["m"])
+        print(f"placement parity ok: {len(svc['placements'])} rows validated "
+              f"(disjoint, sized, in range)")
+    else:
+        assert "placements" not in svc, "placements present without being requested"
     print(f"parity ok: makespan {svc_token}, {len(svc['assignments'])} assignments, "
           f"{svc['probes']} probes (algo {args.algo}, eps {args.eps})")
     return 0

@@ -15,7 +15,11 @@
 //! * monotonicity verification ([`monotone`]) and makespan lower bounds
 //!   ([`bounds`]),
 //! * flat struct-of-arrays instance snapshots serving `t_j(p)` and
-//!   `γ_j(t)` as oracle-free array lookups ([`view`]).
+//!   `γ_j(t)` as oracle-free array lookups ([`view`]),
+//! * the placement substrate: interval sets of processor indices
+//!   ([`procset`]), the free-processor timeline ([`slotset`]), and the
+//!   `job → (interval, processor set)` layer with its validator
+//!   ([`placement`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,7 +33,10 @@ pub mod io;
 pub mod job;
 pub mod monotone;
 pub mod oracle;
+pub mod placement;
+pub mod procset;
 pub mod ratio;
+pub mod slotset;
 pub mod speedup;
 pub mod types;
 pub mod view;
@@ -40,7 +47,12 @@ pub use instance::Instance;
 pub use io::{CurveSpec, InstanceSpec};
 pub use job::Job;
 pub use oracle::{counting_instance, CountingOracle, OracleCounter};
+pub use placement::{
+    PlacedJob, Placement, PlacementError, PlacementIntervalMismatch, PlacementOverlap,
+};
+pub use procset::ProcSet;
 pub use ratio::Ratio;
+pub use slotset::{Slot, SlotSet};
 pub use speedup::{monotone_closure, SpeedupCurve, SpeedupModel, Staircase};
 pub use types::{JobId, Procs, Time, Work};
 pub use view::JobView;

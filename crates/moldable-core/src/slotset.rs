@@ -1,0 +1,306 @@
+//! A timeline of free processors, as time-ordered slots.
+//!
+//! A [`SlotSet`] covers `[0, ∞)` with contiguous [`Slot`]s, each holding
+//! the [`ProcSet`] of processors free over its interval — the slot/
+//! hierarchy design of production schedulers (OAR's slot sets), where
+//! allocating a job **splits** the covering slots and subtracts its
+//! processors, and releasing unions them back and **merges** adjacent
+//! slots whose free sets became equal again. Slots are time-ordered, so
+//! every operation binary-searches for its first covering slot and then
+//! touches only the slots its interval actually covers — never the
+//! whole timeline, never `m`, never time. That locality is what keeps
+//! the placement pass linear-ish: claims arriving in start order only
+//! ever walk the live tail of the timeline.
+//!
+//! [`SlotSet::free_over`] — the intersection of the free sets across an
+//! interval — is the primitive the placement pass builds on: a job fits
+//! at `(start, width)` iff `free_over(start, end)` has a wide-enough
+//! member set ([`ProcSet::first_fit`]).
+
+use crate::procset::ProcSet;
+use crate::ratio::Ratio;
+
+/// One timeline slot: the processors free over `[start, end)`
+/// (`end = None` means unbounded — the last slot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// Slot start.
+    pub start: Ratio,
+    /// Slot end (exclusive); `None` for the final, unbounded slot.
+    pub end: Option<Ratio>,
+    /// Processors free over the whole slot.
+    pub free: ProcSet,
+}
+
+impl Slot {
+    /// Does the slot cover instant `t`?
+    fn covers(&self, t: &Ratio) -> bool {
+        self.start <= *t && self.end.as_ref().is_none_or(|e| t < e)
+    }
+
+    /// Does the slot intersect `[start, end)`?
+    fn intersects(&self, start: &Ratio, end: &Ratio) -> bool {
+        self.start < *end && self.end.as_ref().is_none_or(|e| start < e)
+    }
+}
+
+/// A free-processor timeline over `[0, ∞)` on `m` machines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotSet {
+    m: u64,
+    /// Contiguous, time-ordered; the last slot is unbounded.
+    slots: Vec<Slot>,
+}
+
+impl SlotSet {
+    /// A fully free timeline on `m` machines.
+    pub fn new(m: u64) -> Self {
+        SlotSet {
+            m,
+            slots: vec![Slot {
+                start: Ratio::zero(),
+                end: None,
+                free: ProcSet::full(m),
+            }],
+        }
+    }
+
+    /// The machine count.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// The slots, time-ordered and contiguous.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of slots (grows with live claims, shrinks on merge).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A fresh slot set has exactly one slot; this is never true after
+    /// a claim and before the matching release.
+    pub fn is_empty(&self) -> bool {
+        self.slots.len() == 1 && self.slots[0].free == ProcSet::full(self.m)
+    }
+
+    /// Index of the slot covering instant `t`: the last slot whose start
+    /// is `≤ t` (the timeline is contiguous from 0, so it always covers).
+    fn covering(&self, t: &Ratio) -> usize {
+        self.slots
+            .partition_point(|s| s.start <= *t)
+            .saturating_sub(1)
+    }
+
+    /// Ensure a slot boundary exists at `t` (splits the covering slot).
+    fn split_at(&mut self, t: &Ratio) {
+        let i = self.covering(t);
+        if self.slots[i].start == *t || !self.slots[i].covers(t) {
+            return; // boundary already there, or t precedes the timeline
+        }
+        let mut tail = self.slots[i].clone();
+        tail.start = *t;
+        self.slots[i].end = Some(*t);
+        self.slots.insert(i + 1, tail);
+    }
+
+    /// Merge adjacent equal-free slots among indices `[from, to]` (the
+    /// neighborhood a release touched) — never the whole timeline.
+    fn coalesce_range(&mut self, mut i: usize, mut to: usize) {
+        while i < to && i + 1 < self.slots.len() {
+            if self.slots[i].free == self.slots[i + 1].free {
+                self.slots[i].end = self.slots[i + 1].end;
+                self.slots.remove(i + 1);
+                to -= 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Processors free over the whole interval `[start, end)`: the
+    /// intersection of the free sets of every covering slot. The empty
+    /// interval is vacuously fully free.
+    pub fn free_over(&self, start: &Ratio, end: &Ratio) -> ProcSet {
+        if end <= start {
+            return ProcSet::full(self.m);
+        }
+        let mut acc = ProcSet::full(self.m);
+        for s in &self.slots[self.covering(start)..] {
+            if s.start >= *end {
+                break;
+            }
+            if s.intersects(start, end) {
+                acc = acc.intersect(&s.free);
+            }
+        }
+        acc
+    }
+
+    /// Claim `procs` over `[start, end)`: split the boundary slots and
+    /// subtract the set from every covering slot. Returns `false` (and
+    /// leaves the timeline untouched) when some covering slot does not
+    /// hold the whole set — check [`SlotSet::free_over`] first or treat
+    /// `false` as a double-booking.
+    pub fn claim(&mut self, start: &Ratio, end: &Ratio, procs: &ProcSet) -> bool {
+        if end <= start || !self.free_over(start, end).is_superset(procs) {
+            return false;
+        }
+        self.split_at(start);
+        self.split_at(end);
+        let lo = self.covering(start);
+        for s in &mut self.slots[lo..] {
+            if s.start >= *end {
+                break;
+            }
+            s.free = s.free.subtract(procs);
+        }
+        true
+    }
+
+    /// Release `procs` over `[start, end)`: union the set back into every
+    /// covering slot and merge adjacent slots that became identical.
+    /// (Releasing processors that were never claimed is a no-op union.)
+    pub fn release(&mut self, start: &Ratio, end: &Ratio, procs: &ProcSet) {
+        if end <= start {
+            return;
+        }
+        self.split_at(start);
+        self.split_at(end);
+        let lo = self.covering(start);
+        let mut hi = lo;
+        for (i, s) in self.slots.iter_mut().enumerate().skip(lo) {
+            if s.start >= *end {
+                break;
+            }
+            s.free = s.free.union(procs);
+            hi = i;
+        }
+        // Both edges of the touched run may now equal their neighbors.
+        self.coalesce_range(lo.saturating_sub(1), hi + 1);
+    }
+
+    /// Earliest start `t ≥ from` at which a contiguous run of `width`
+    /// processors is free for `duration`, with the run's lowest index.
+    /// Free sets only change at slot boundaries, so candidate starts are
+    /// `from` and each later slot start.
+    pub fn find_first_fit(
+        &self,
+        from: &Ratio,
+        duration: &Ratio,
+        width: u64,
+    ) -> Option<(Ratio, u64)> {
+        if width == 0 || width > self.m {
+            return None;
+        }
+        let candidates = std::iter::once(*from)
+            .chain(self.slots.iter().map(|s| s.start).filter(|s| s > from));
+        for t in candidates {
+            let end = t.add(duration);
+            if let Some(lo) = self.free_over(&t, &end).first_fit(width) {
+                return Some((t, lo));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u64) -> Ratio {
+        Ratio::from(v)
+    }
+
+    #[test]
+    fn claim_splits_and_release_merges_back() {
+        let mut ss = SlotSet::new(8);
+        assert_eq!(ss.len(), 1);
+        let set = ProcSet::range(2, 5);
+        assert!(ss.claim(&r(3), &r(7), &set));
+        // [0,3) free 0-7 | [3,7) free 0-1,6-7 | [7,∞) free 0-7.
+        assert_eq!(ss.len(), 3);
+        assert_eq!(
+            ss.free_over(&r(3), &r(7)),
+            ProcSet::from_ranges([(0, 1), (6, 7)])
+        );
+        assert_eq!(ss.free_over(&r(0), &r(3)), ProcSet::full(8));
+        ss.release(&r(3), &r(7), &set);
+        assert_eq!(ss.len(), 1);
+        assert!(ss.is_empty());
+    }
+
+    #[test]
+    fn claim_refuses_double_booking_without_mutating() {
+        let mut ss = SlotSet::new(4);
+        assert!(ss.claim(&r(0), &r(10), &ProcSet::range(0, 1)));
+        let before = ss.clone();
+        // Processor 1 is taken over [5, 8) ⊂ [0, 10).
+        assert!(!ss.claim(&r(5), &r(8), &ProcSet::range(1, 2)));
+        assert_eq!(ss, before);
+        // Disjoint processors over the same window are fine.
+        assert!(ss.claim(&r(5), &r(8), &ProcSet::range(2, 3)));
+    }
+
+    #[test]
+    fn free_over_intersects_across_slots() {
+        let mut ss = SlotSet::new(8);
+        assert!(ss.claim(&r(0), &r(4), &ProcSet::range(0, 3)));
+        assert!(ss.claim(&r(4), &r(8), &ProcSet::range(2, 5)));
+        // Over [0, 8) only 6-7 stay free throughout.
+        assert_eq!(ss.free_over(&r(0), &r(8)), ProcSet::range(6, 7));
+        // Empty window is vacuously free.
+        assert_eq!(ss.free_over(&r(5), &r(5)), ProcSet::full(8));
+    }
+
+    #[test]
+    fn first_fit_skips_busy_windows() {
+        let mut ss = SlotSet::new(4);
+        // All four machines busy over [0, 6); two over [6, 9).
+        assert!(ss.claim(&r(0), &r(6), &ProcSet::range(0, 3)));
+        assert!(ss.claim(&r(6), &r(9), &ProcSet::range(0, 1)));
+        // Width 2 fits at t = 6 on 2-3; width 3 must wait for t = 9.
+        assert_eq!(ss.find_first_fit(&r(0), &r(2), 2), Some((r(6), 2)));
+        assert_eq!(ss.find_first_fit(&r(0), &r(2), 3), Some((r(9), 0)));
+        assert_eq!(ss.find_first_fit(&r(7), &r(1), 2), Some((r(7), 2)));
+        assert_eq!(ss.find_first_fit(&r(0), &r(1), 5), None);
+        assert_eq!(ss.find_first_fit(&r(0), &r(1), 0), None);
+    }
+
+    #[test]
+    fn interleaved_claims_release_to_a_clean_timeline() {
+        // Churn: overlapping windows, out-of-order releases — the
+        // timeline must come back to one fully free slot.
+        let mut ss = SlotSet::new(16);
+        let claims = [
+            (0u64, 5u64, ProcSet::range(0, 7)),
+            (2, 9, ProcSet::range(8, 11)),
+            (4, 6, ProcSet::range(12, 15)),
+            (5, 12, ProcSet::range(0, 3)),
+        ];
+        for (s, e, set) in &claims {
+            assert!(ss.claim(&r(*s), &r(*e), set), "claim [{s},{e}) {set}");
+        }
+        assert!(ss.len() > 1);
+        for (s, e, set) in claims.iter().rev() {
+            ss.release(&r(*s), &r(*e), set);
+        }
+        assert!(ss.is_empty(), "{:?}", ss.slots());
+    }
+
+    #[test]
+    fn rational_boundaries_split_exactly() {
+        // Half-integral starts are the three-shelf normal case (S2 sits
+        // at 3d/2 − t); boundaries must be exact, not rounded.
+        let mut ss = SlotSet::new(2);
+        let half = Ratio::new(7, 2);
+        let end = Ratio::new(9, 2);
+        assert!(ss.claim(&half, &end, &ProcSet::range(0, 0)));
+        assert_eq!(ss.slots()[1].start, half);
+        assert_eq!(ss.slots()[1].end, Some(end));
+        assert_eq!(ss.free_over(&half, &end), ProcSet::range(1, 1));
+    }
+}

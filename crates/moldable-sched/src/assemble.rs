@@ -9,6 +9,8 @@
 use crate::schedule::Schedule;
 use crate::small_jobs::{insert_small_jobs, MachineGroup};
 use crate::transform::{transform, ShelfJob, ThreeShelf, TransformMode};
+use moldable_core::placement::Placement;
+use moldable_core::procset::ProcSet;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Work};
 use moldable_core::view::JobView;
@@ -86,30 +88,42 @@ pub fn assemble(
         return None; // cannot happen for d ≥ OPT (Lemma 8)
     }
 
-    let (mut schedule, groups) = lay_out(view, &three);
-    if !insert_small_jobs(view, &mut schedule, groups, &small) {
+    let (mut schedule, groups, mut placement) = lay_out(view, &three);
+    if !insert_small_jobs(view, &mut schedule, &mut placement, groups, &small) {
         return None; // cannot happen under the work bound (Lemma 9)
     }
+    schedule.placement = Some(placement);
     Some(schedule)
 }
 
 /// Place the three shelves on machines and report each machine group's
-/// contiguous free interval.
-fn lay_out(view: &JobView, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>) {
+/// contiguous free interval. Machine indices are concrete: S0 columns
+/// occupy `[0, p0)` column by column, and the machines above `p0` carry
+/// shelf S1 left-packed from below and shelf S2 left-packed from above,
+/// so every shelf job lands on one contiguous run — the construction is
+/// natively contiguous, recorded in the returned [`Placement`].
+fn lay_out(view: &JobView, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>, Placement) {
     let h = three.horizon;
     let mut schedule = Schedule::new();
+    let mut placement = Placement::new();
     let mut groups: Vec<MachineGroup> = Vec::new();
 
-    // S0 columns: stack from time 0; the whole column is busy [0, height).
+    // S0 columns: stack from time 0; the whole column is busy [0, height)
+    // and occupies machines [off, off + width).
+    let mut off: u64 = 0;
     for col in &three.s0 {
         let mut cursor = Ratio::zero();
+        let span = ProcSet::range(off, off + col.width - 1);
         for j in col.jobs() {
             debug_assert_eq!(j.procs, col.width, "column width = member allotment");
             schedule.push(j.id, cursor, j.procs);
-            cursor = cursor.add(&Ratio::from(j.time));
+            let end = cursor.add(&Ratio::from(j.time));
+            placement.push(j.id, cursor, end, span.clone());
+            cursor = end;
         }
         groups.push(MachineGroup {
             count: col.width,
+            first: off,
             gap_start: cursor,
             free: if h >= cursor {
                 h.sub(&cursor)
@@ -117,32 +131,47 @@ fn lay_out(view: &JobView, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>) 
                 Ratio::zero()
             },
         });
+        off += col.width;
     }
 
     // S1 at 0, S2 ending at the horizon; overlay the two shelf segment
-    // lists over the machines after S0.
+    // lists over the machines after S0, both left-packed from p0.
     let m = view.m() as u128;
     let p0 = three.p0();
+    debug_assert_eq!(off as u128, p0, "S0 columns fill exactly p0 machines");
     let avail = m - p0;
     let mut seg1: Vec<(u128, Ratio)> = Vec::new(); // (machines, busy-from-0)
+    let mut cur1 = off;
     for j in &three.s1 {
         schedule.push(j.id, Ratio::zero(), j.procs);
+        placement.push(
+            j.id,
+            Ratio::zero(),
+            Ratio::from(j.time),
+            ProcSet::range(cur1, cur1 + j.procs - 1),
+        );
+        cur1 += j.procs;
         seg1.push((j.procs as u128, Ratio::from(j.time)));
     }
     let used1: u128 = three.p1();
     seg1.push((avail - used1, Ratio::zero()));
     let mut seg2: Vec<(u128, Ratio)> = Vec::new(); // (machines, busy-to-horizon)
+    let mut cur2 = off;
     for j in &three.s2 {
         let start = h.sub(&Ratio::from(j.time));
         schedule.push(j.id, start, j.procs);
+        placement.push(j.id, start, h, ProcSet::range(cur2, cur2 + j.procs - 1));
+        cur2 += j.procs;
         seg2.push((j.procs as u128, Ratio::from(j.time)));
     }
     let used2: u128 = three.p2();
     seg2.push((avail - used2, Ratio::zero()));
 
-    // Merge the two segment lists into machine groups.
+    // Merge the two segment lists into machine groups; `pos` tracks the
+    // group's lowest machine index as the walk advances.
     let (mut i1, mut i2) = (0usize, 0usize);
     let (mut rem1, mut rem2) = (seg1[0].0, seg2[0].0);
+    let mut pos: u128 = p0;
     while i1 < seg1.len() && i2 < seg2.len() {
         let take = rem1.min(rem2);
         if take > 0 {
@@ -151,9 +180,11 @@ fn lay_out(view: &JobView, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>) 
             let free = h.sub(&busy_low).sub(&busy_high);
             groups.push(MachineGroup {
                 count: take as u64,
+                first: pos as u64,
                 gap_start: busy_low,
                 free,
             });
+            pos += take;
         }
         rem1 -= take;
         rem2 -= take;
@@ -170,7 +201,7 @@ fn lay_out(view: &JobView, three: &ThreeShelf) -> (Schedule, Vec<MachineGroup>) 
             }
         }
     }
-    (schedule, groups)
+    (schedule, groups, placement)
 }
 
 #[cfg(test)]
@@ -198,6 +229,13 @@ mod tests {
         let s =
             assemble(&JobView::build(&inst), &d, &[0], TransformMode::Exact).expect("feasible");
         validate_with_makespan(&s, &inst, &Ratio::new(33, 2)).unwrap();
+        // The construction is natively contiguous: every job holds one
+        // contiguous machine run, checked by the full validator above.
+        let placement = s.placement.as_ref().expect("assemble emits a placement");
+        assert_eq!(placement.jobs.len(), 3);
+        for p in &placement.jobs {
+            assert!(p.procs.is_contiguous(), "job {} got {}", p.job, p.procs);
+        }
     }
 
     #[test]

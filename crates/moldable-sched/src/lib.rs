@@ -35,6 +35,7 @@ pub mod assemble;
 pub mod baselines;
 pub mod batch;
 pub mod compressible_sched;
+pub mod contiguous;
 pub mod dual;
 pub mod estimator;
 pub mod exact;
@@ -42,6 +43,7 @@ pub mod fptas_large_m;
 pub mod improved;
 pub mod list_scheduling;
 pub mod mrt;
+pub mod place;
 pub mod ptas;
 pub mod schedule;
 pub mod shelves;
@@ -52,11 +54,13 @@ pub mod validate;
 
 pub use batch::{race, solve_many, BatchResult};
 pub use compressible_sched::CompressibleDual;
+pub use contiguous::ContiguousSolver;
 pub use dual::{approximate, approximate_view, ApproxResult, DualAlgorithm};
 pub use estimator::{estimate, estimate_view, Estimate};
 pub use fptas_large_m::{fptas_schedule, FptasLargeM};
 pub use improved::{ImprovedDual, Variant};
 pub use mrt::MrtDual;
+pub use place::place_contiguous;
 pub use ptas::{ptas_schedule, ptas_schedule_view, PtasBranch, PtasResult};
 pub use schedule::{Assignment, Schedule};
 pub use solver::{solver_by_name, MakespanSolver, SolveOutcome, UnknownSolver, SOLVER_NAMES};

@@ -1,0 +1,174 @@
+//! Lowering an allotment schedule onto concrete processors.
+//!
+//! The paper's algorithms emit `job → (start, processor count)`; this
+//! pass assigns each job an actual [`ProcSet`] on a [`SlotSet`]
+//! timeline. Jobs are placed in start order; each takes the lowest
+//! *contiguous* run of free processors wide enough ([`ProcSet::first_fit`])
+//! and falls back to the lowest free indices ([`ProcSet::take_first`])
+//! when the free set is fragmented.
+//!
+//! The pass is total for demand-feasible schedules: placing in start
+//! order, every already-placed job overlapping `[start, end)` is already
+//! running at `start`, so the free set over the window equals the free
+//! set at the start instant — whose size is at least the job's allotment
+//! whenever demand never exceeds `m`. An overcommitted schedule instead
+//! surfaces as [`PlacementError::Overlap`] naming the window and the
+//! placements crowding it out.
+
+use moldable_core::placement::{
+    Placement, PlacementError, PlacementOverlap, OVERLAP_WITNESSES,
+};
+use moldable_core::procset::ProcSet;
+use moldable_core::ratio::Ratio;
+use moldable_core::slotset::SlotSet;
+use moldable_core::view::JobView;
+
+use crate::schedule::Schedule;
+
+/// Lower `schedule` onto concrete processors of the `view`'s machine
+/// park. Returns one placed row per assignment, pairwise disjoint per
+/// instant, each row's set exactly as wide as the job's allotment and
+/// contiguous whenever a wide-enough contiguous run is free.
+///
+/// Fails with [`PlacementError::Overlap`] only when the schedule itself
+/// overcommits the machines (the schedule validator's `Overcommitted`
+/// case); any demand-feasible schedule lowers successfully.
+pub fn place_contiguous(
+    view: &JobView,
+    schedule: &Schedule,
+) -> Result<Placement, PlacementError> {
+    let m = view.m();
+    let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
+    order.sort_by(|&x, &y| {
+        let (a, b) = (&schedule.assignments[x], &schedule.assignments[y]);
+        a.start.cmp(&b.start).then(a.job.cmp(&b.job))
+    });
+    let mut timeline = SlotSet::new(m);
+    let mut placement = Placement::new();
+    for i in order {
+        let a = &schedule.assignments[i];
+        let end = a.start.add(&Ratio::from(view.time(a.job, a.procs)));
+        let free = timeline.free_over(&a.start, &end);
+        let procs = match free.first_fit(a.procs) {
+            Some(lo) => ProcSet::range(lo, lo + a.procs - 1),
+            None => match free.take_first(a.procs) {
+                Some(set) => set,
+                None => return Err(overcommit_report(&placement, a.start, end, m)),
+            },
+        };
+        let claimed = timeline.claim(&a.start, &end, &procs);
+        debug_assert!(claimed, "free_over produced a non-free set");
+        placement.push(a.job, a.start, end, procs);
+    }
+    Ok(placement)
+}
+
+/// Build the [`PlacementError::Overlap`] report for a job that found
+/// fewer free processors than its allotment: the placements already
+/// holding machines over its window, widest sets first.
+fn overcommit_report(placed: &Placement, start: Ratio, end: Ratio, m: u64) -> PlacementError {
+    let mut jobs: Vec<_> = placed
+        .jobs
+        .iter()
+        .filter(|p| p.start < end && start < p.end)
+        .map(|p| (p.job, p.procs.clone()))
+        .collect();
+    jobs.sort_by_key(|(job, procs)| (std::cmp::Reverse(procs.size()), *job));
+    jobs.truncate(OVERLAP_WITNESSES);
+    PlacementError::Overlap(Box::new(PlacementOverlap {
+        at: start,
+        until: Some(end),
+        m,
+        jobs,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use moldable_core::instance::Instance;
+    use moldable_core::speedup::SpeedupCurve;
+
+    fn constant_instance(times: &[u64], m: u64) -> Instance {
+        Instance::new(
+            times.iter().map(|&t| SpeedupCurve::Constant(t)).collect(),
+            m,
+        )
+    }
+
+    #[test]
+    fn lowers_a_feasible_schedule_and_validates() {
+        let inst = constant_instance(&[6, 6, 4, 4, 2], 4);
+        let view = JobView::build(&inst);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2); // [0,6) × 2
+        s.push(1, Ratio::zero(), 2); // [0,6) × 2
+        s.push(2, Ratio::from(6u64), 3); // [6,10) × 3
+        s.push(3, Ratio::from(6u64), 1); // [6,10) × 1
+        s.push(4, Ratio::from(10u64), 4); // [10,12) × 4
+        let placement = place_contiguous(&view, &s).expect("feasible schedule lowers");
+        assert_eq!(placement.jobs.len(), 5);
+        // Every set is contiguous here (free sets never fragment).
+        for p in &placement.jobs {
+            assert!(p.procs.is_contiguous(), "job {} got {}", p.job, p.procs);
+        }
+        // The lowered schedule passes the full validator, placement and all.
+        let s = s.with_placement(placement);
+        assert!(validate(&s, &inst).is_ok());
+    }
+
+    #[test]
+    fn falls_back_to_fragmented_sets_when_needed() {
+        // Jobs 0 and 2 pin processors 0-1 and 3 over [0,4); job 3 then
+        // needs two machines over [2,6) and only {2, 4} remain.
+        let inst = constant_instance(&[4, 2, 4, 4], 5);
+        let view = JobView::build(&inst);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2);
+        s.push(1, Ratio::zero(), 1);
+        s.push(2, Ratio::zero(), 1);
+        s.push(3, Ratio::from(2u64), 2);
+        let placement = place_contiguous(&view, &s).expect("demand never exceeds m");
+        // Job 1 ends at 2 releasing processor 2; job 3 must bridge the
+        // hole between jobs 0 (0-1) and 2 (3) — {2, 4} is fragmented.
+        let p3 = placement.get(3).unwrap();
+        assert_eq!(p3.procs, ProcSet::from_ranges([(2, 2), (4, 4)]));
+        assert!(!p3.procs.is_contiguous());
+        let s = s.with_placement(placement);
+        assert!(validate(&s, &inst).is_ok());
+    }
+
+    #[test]
+    fn overcommitted_schedule_reports_the_window() {
+        let inst = constant_instance(&[4, 4], 3);
+        let view = JobView::build(&inst);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2);
+        s.push(1, Ratio::zero(), 2); // 4 > m = 3
+        match place_contiguous(&view, &s) {
+            Err(PlacementError::Overlap(report)) => {
+                assert_eq!(report.at, Ratio::zero());
+                assert_eq!(report.m, 3);
+                assert_eq!(report.jobs, vec![(0, ProcSet::range(0, 1))]);
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rational_starts_place_exactly() {
+        // Half-integral starts (the three-shelf S2 shape).
+        let inst = constant_instance(&[3, 3], 2);
+        let view = JobView::build(&inst);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::new(3, 2), 1);
+        let placement = place_contiguous(&view, &s).unwrap();
+        assert_eq!(placement.get(0).unwrap().procs, ProcSet::range(0, 0));
+        assert_eq!(placement.get(1).unwrap().procs, ProcSet::range(1, 1));
+        assert_eq!(placement.get(1).unwrap().end, Ratio::new(9, 2));
+        let s = s.with_placement(placement);
+        assert!(validate(&s, &inst).is_ok());
+    }
+}

@@ -11,6 +11,7 @@
 //! machines are free, and they stay with the job until it completes). The
 //! independent checker in [`crate::validate()`] verifies exactly this.
 
+use moldable_core::placement::Placement;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::{JobId, Procs};
 
@@ -25,11 +26,19 @@ pub struct Assignment {
     pub procs: Procs,
 }
 
-/// A complete schedule: one assignment per job.
+/// A complete schedule: one assignment per job, optionally refined by a
+/// concrete [`Placement`].
 #[derive(Clone, Debug, Default)]
 pub struct Schedule {
-    /// Placements, in no particular order.
+    /// Assignments, in no particular order.
     pub assignments: Vec<Assignment>,
+    /// The placement layer, when the producing algorithm emits one
+    /// (the three-shelf construction does natively;
+    /// [`crate::place::place_contiguous`] lowers any feasible schedule).
+    /// When present, [`crate::validate()`] also checks it against the
+    /// assignments: matching intervals, set sizes equal to allotments,
+    /// and no processor double-booked.
+    pub placement: Option<Placement>,
 }
 
 impl Schedule {
@@ -78,6 +87,17 @@ impl Schedule {
     /// Is the schedule empty?
     pub fn is_empty(&self) -> bool {
         self.assignments.is_empty()
+    }
+
+    /// Attach a placement layer (consuming builder form).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// The placement layer, if one was produced.
+    pub fn placement(&self) -> Option<&Placement> {
+        self.placement.as_ref()
     }
 }
 

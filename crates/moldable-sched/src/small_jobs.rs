@@ -13,17 +13,22 @@
 //! the whole pass is linear in the number of small jobs plus groups.
 
 use crate::schedule::Schedule;
+use moldable_core::placement::Placement;
+use moldable_core::procset::ProcSet;
 use moldable_core::ratio::Ratio;
 use moldable_core::types::JobId;
 use moldable_core::view::JobView;
 use std::collections::VecDeque;
 
 /// A group of machines with identical contiguous free intervals
-/// `[gap_start, gap_start + free)`.
+/// `[gap_start, gap_start + free)`, occupying the contiguous machine
+/// range `[first, first + count)`.
 #[derive(Clone, Debug)]
 pub struct MachineGroup {
     /// Number of machines in the group (may be astronomically large).
     pub count: u64,
+    /// Lowest machine index of the group's contiguous run.
+    pub first: u64,
     /// Start of the free interval.
     pub gap_start: Ratio,
     /// Length of the free interval.
@@ -31,12 +36,14 @@ pub struct MachineGroup {
 }
 
 /// Place every small job into the free gaps by next-fit, appending
-/// placements to `schedule`. Returns `false` (reject) if some job fits
-/// nowhere — by Lemma 9 this cannot happen when the shelf work respects the
+/// placements to `schedule` and one single-machine row per job to
+/// `placement`. Returns `false` (reject) if some job fits nowhere — by
+/// Lemma 9 this cannot happen when the shelf work respects the
 /// `m·d − W_S(d)` bound.
 pub fn insert_small_jobs(
     view: &JobView,
     schedule: &mut Schedule,
+    placement: &mut Placement,
     groups: Vec<MachineGroup>,
     small: &[JobId],
 ) -> bool {
@@ -47,6 +54,7 @@ pub fn insert_small_jobs(
     // per placement instead of three rational normalizations.
     struct IntGroup {
         count: u64,
+        first: u64,
         /// Common denominator of `gap_start`/`free`.
         den: u128,
         /// `gap_start · den`.
@@ -63,6 +71,7 @@ pub fn insert_small_jobs(
             let den = gs.den() / gcd(gs.den(), fr.den()) * fr.den();
             IntGroup {
                 count: g.count,
+                first: g.first,
                 den,
                 gap_num: gs.num() * (den / gs.den()),
                 free_num: fr.num() * (den / fr.den()),
@@ -82,19 +91,25 @@ pub fn insert_small_jobs(
                 queue.pop_front();
                 continue;
             }
-            // Split one machine off the front and keep filling it.
+            // Split one machine (the group's lowest index) off the front
+            // and keep filling it.
             if front.count > 1 {
-                front.count -= 1;
                 let single = IntGroup {
                     count: 1,
+                    first: front.first,
                     den: front.den,
                     gap_num: front.gap_num,
                     free_num: front.free_num,
                 };
+                front.count -= 1;
+                front.first += 1;
                 queue.push_front(single);
             }
             let machine = queue.front_mut().expect("just ensured non-empty");
-            schedule.push(j, Ratio::new(machine.gap_num, machine.den), 1);
+            let start = Ratio::new(machine.gap_num, machine.den);
+            schedule.push(j, start, 1);
+            let end = Ratio::new(machine.gap_num + t_scaled, machine.den);
+            placement.push(j, start, end, ProcSet::range(machine.first, machine.first));
             machine.gap_num += t_scaled;
             machine.free_num -= t_scaled;
             continue 'jobs;
@@ -120,9 +135,10 @@ mod tests {
     use moldable_core::instance::Instance;
     use moldable_core::speedup::SpeedupCurve;
 
-    fn group(count: u64, gap_start: u64, free: u64) -> MachineGroup {
+    fn group(count: u64, first: u64, gap_start: u64, free: u64) -> MachineGroup {
         MachineGroup {
             count,
+            first,
             gap_start: Ratio::from(gap_start),
             free: Ratio::from(free),
         }
@@ -139,15 +155,23 @@ mod tests {
             1,
         );
         let mut s = Schedule::new();
+        let mut pl = Placement::new();
         let ok = insert_small_jobs(
             &JobView::build(&inst),
             &mut s,
-            vec![group(1, 0, 9)],
+            &mut pl,
+            vec![group(1, 0, 0, 9)],
             &[0, 1, 2],
         );
         assert!(ok);
+        s.placement = Some(pl);
         validate(&s, &inst).unwrap();
         assert_eq!(s.makespan(&inst), Ratio::from(9u64));
+        // All three jobs share machine 0, back to back.
+        let pl = s.placement.as_ref().unwrap();
+        for p in &pl.jobs {
+            assert_eq!(p.procs, ProcSet::range(0, 0));
+        }
     }
 
     #[test]
@@ -158,17 +182,22 @@ mod tests {
             2,
         );
         let mut s = Schedule::new();
+        let mut pl = Placement::new();
         let ok = insert_small_jobs(
             &JobView::build(&inst),
             &mut s,
-            vec![group(1, 0, 4), group(1, 0, 9)],
+            &mut pl,
+            vec![group(1, 0, 0, 4), group(1, 1, 0, 9)],
             &[0, 1],
         );
         assert!(ok);
-        // Job 0 on machine 1 ([0,3)); job 1 does not fit in the remaining 1
-        // unit → machine discarded → machine 2 ([0,5)).
+        // Job 0 on machine 0 ([0,3)); job 1 does not fit in the remaining 1
+        // unit → machine discarded → machine 1 ([0,5)).
         assert_eq!(s.assignments[0].start, Ratio::zero());
         assert_eq!(s.assignments[1].start, Ratio::zero());
+        assert_eq!(pl.get(0).unwrap().procs, ProcSet::range(0, 0));
+        assert_eq!(pl.get(1).unwrap().procs, ProcSet::range(1, 1));
+        s.placement = Some(pl);
         validate(&s, &inst).unwrap();
     }
 
@@ -178,23 +207,30 @@ mod tests {
         // one job per machine fits, fourth job fails.
         let inst = Instance::new((0..4).map(|_| SpeedupCurve::Constant(2)).collect(), 3);
         let mut s = Schedule::new();
+        let mut pl = Placement::new();
         let ok = insert_small_jobs(
             &JobView::build(&inst),
             &mut s,
-            vec![group(3, 1, 2)],
+            &mut pl,
+            vec![group(3, 0, 1, 2)],
             &[0, 1, 2, 3],
         );
         assert!(!ok, "fourth job cannot fit");
         assert_eq!(s.len(), 3);
+        // Split-off singles walk up the machine range: 0, 1, 2.
+        let machines: Vec<_> = pl.jobs.iter().map(|p| p.procs.min().unwrap()).collect();
+        assert_eq!(machines, vec![0, 1, 2]);
     }
 
     #[test]
     fn empty_small_set_trivially_succeeds() {
         let inst = Instance::new(vec![SpeedupCurve::Constant(1)], 1);
         let mut s = Schedule::new();
+        let mut pl = Placement::new();
         assert!(insert_small_jobs(
             &JobView::build(&inst),
             &mut s,
+            &mut pl,
             vec![],
             &[]
         ));
@@ -205,8 +241,16 @@ mod tests {
         // Machine busy [0, 5): gap starts at 5.
         let inst = Instance::new(vec![SpeedupCurve::Constant(2)], 1);
         let mut s = Schedule::new();
-        let ok = insert_small_jobs(&JobView::build(&inst), &mut s, vec![group(1, 5, 3)], &[0]);
+        let mut pl = Placement::new();
+        let ok = insert_small_jobs(
+            &JobView::build(&inst),
+            &mut s,
+            &mut pl,
+            vec![group(1, 0, 5, 3)],
+            &[0],
+        );
         assert!(ok);
         assert_eq!(s.assignments[0].start, Ratio::from(5u64));
+        assert_eq!(pl.get(0).unwrap().end, Ratio::from(7u64));
     }
 }

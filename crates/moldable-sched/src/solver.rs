@@ -22,6 +22,7 @@
 //! knowing which algorithm is behind the name.
 
 use crate::baselines;
+use crate::contiguous::ContiguousSolver;
 use crate::dual::{approximate_view, DualAlgorithm};
 use crate::exact;
 use crate::fptas_large_m::FptasLargeM;
@@ -265,6 +266,7 @@ pub const SOLVER_NAMES: &[&str] = &[
     "alg1",
     "alg3",
     "linear",
+    "contiguous-73-50",
     "fptas",
     "ptas",
     "two-approx",
@@ -307,6 +309,7 @@ pub fn solver_by_name(
         "alg1" => Box::new(DualSolver::new(CompressibleDual::new(*eps), *eps)),
         "alg3" => Box::new(DualSolver::new(ImprovedDual::new(*eps), *eps)),
         "linear" => Box::new(DualSolver::new(ImprovedDual::new_linear(*eps), *eps)),
+        "contiguous-73-50" => Box::new(ContiguousSolver::new(*eps)),
         "fptas" => Box::new(FptasSolver::new(*eps)),
         "ptas" => Box::new(PtasSolver::new(*eps)),
         "two-approx" => Box::new(TwoApproxSolver),

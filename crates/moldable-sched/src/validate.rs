@@ -8,10 +8,17 @@
 //! 2. every allotment is in `1..=m`;
 //! 3. at every instant, the total processor demand is at most `m`
 //!    (sufficient for realizability with interchangeable machines);
-//! 4. optionally, the makespan does not exceed a target.
+//! 4. when the schedule carries a [`Placement`] layer, that layer is
+//!    consistent with the assignments (matching intervals, set sizes
+//!    equal to allotments) and machine-feasible (sets inside `0..m`,
+//!    no processor double-booked);
+//! 5. optionally, the makespan does not exceed a target.
+//!
+//! [`Placement`]: moldable_core::placement::Placement
 
 use crate::schedule::Schedule;
 use moldable_core::instance::Instance;
+use moldable_core::placement::PlacementError;
 use moldable_core::ratio::Ratio;
 
 /// Why a schedule is infeasible.
@@ -36,6 +43,9 @@ pub enum ScheduleError {
     /// Total demand exceeds `m` over some interval (boxed report keeps
     /// the `Result` small on the non-error path).
     Overcommitted(Box<Overcommit>),
+    /// The schedule's placement layer is inconsistent or infeasible
+    /// (carries the detailed [`PlacementError`], surfaced verbatim).
+    Placement(Box<PlacementError>),
     /// Makespan exceeds the required target.
     MakespanExceeded {
         /// The observed makespan.
@@ -91,6 +101,7 @@ impl std::fmt::Display for ScheduleError {
                 }
                 Ok(())
             }
+            ScheduleError::Placement(err) => write!(f, "invalid placement: {err}"),
             ScheduleError::MakespanExceeded { makespan, bound } => {
                 write!(f, "makespan {makespan} exceeds bound {bound}")
             }
@@ -155,7 +166,59 @@ pub fn validate(schedule: &Schedule, inst: &Instance) -> Result<(), ScheduleErro
             ));
         }
     }
+    // 4. placement layer, when present.
+    if let Some(placement) = &schedule.placement {
+        validate_placement(placement, schedule, inst)
+            .map_err(|e| ScheduleError::Placement(Box::new(e)))?;
+    }
     Ok(())
+}
+
+/// Check a placement layer against the schedule's assignments: exactly
+/// one row per assignment, each with the assignment's interval and a
+/// processor set of exactly its allotment — then the machine-level
+/// invariants (ranges inside `0..m`, no double-booking) via
+/// [`moldable_core::placement::Placement::validate`].
+fn validate_placement(
+    placement: &moldable_core::placement::Placement,
+    schedule: &Schedule,
+    inst: &Instance,
+) -> Result<(), PlacementError> {
+    // Multiplicity already passed, so `job` is a unique key here.
+    let mut matched = vec![false; inst.n()];
+    for p in &placement.jobs {
+        let Some(a) = schedule
+            .assignments
+            .iter()
+            .find(|a| a.job == p.job && !matched[a.job as usize])
+        else {
+            return Err(PlacementError::UnknownJob { job: p.job });
+        };
+        matched[a.job as usize] = true;
+        let expected_end = a.start.add(&Ratio::from(inst.job(a.job).time(a.procs)));
+        if p.start != a.start || p.end != expected_end {
+            return Err(PlacementError::IntervalMismatch(Box::new(
+                moldable_core::placement::PlacementIntervalMismatch {
+                    job: p.job,
+                    start: p.start,
+                    end: p.end,
+                    expected_start: a.start,
+                    expected_end,
+                },
+            )));
+        }
+        if p.procs.size() != a.procs {
+            return Err(PlacementError::SizeMismatch {
+                job: p.job,
+                placed: p.procs.size(),
+                allotment: a.procs,
+            });
+        }
+    }
+    if let Some(job) = matched.iter().position(|&done| !done) {
+        return Err(PlacementError::MissingJob { job: job as u32 });
+    }
+    placement.validate(inst.m())
 }
 
 /// Number of active assignments reported in
@@ -305,6 +368,68 @@ mod tests {
                 procs: 3,
                 m: 2
             })
+        ));
+    }
+
+    #[test]
+    fn placement_layer_checked_when_present() {
+        use moldable_core::placement::{Placement, PlacementError};
+        use moldable_core::procset::ProcSet;
+        let inst = inst2();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 1);
+        s.push(1, Ratio::zero(), 1);
+        // A consistent placement passes.
+        let mut good = Placement::new();
+        good.push(0, Ratio::zero(), Ratio::from(4u64), ProcSet::range(0, 0));
+        good.push(1, Ratio::zero(), Ratio::from(4u64), ProcSet::range(1, 1));
+        s.placement = Some(good.clone());
+        assert!(validate(&s, &inst).is_ok());
+        // Wrong set size.
+        let mut sized = good.clone();
+        sized.jobs[0].procs = ProcSet::range(0, 1);
+        s.placement = Some(sized);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::Placement(e))
+                if matches!(*e, PlacementError::SizeMismatch { job: 0, placed: 2, allotment: 1 })
+        ));
+        // Wrong interval.
+        let mut shifted = good.clone();
+        shifted.jobs[1].end = Ratio::from(5u64);
+        s.placement = Some(shifted);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::Placement(e))
+                if matches!(&*e, PlacementError::IntervalMismatch(d) if d.job == 1)
+        ));
+        // Double-booked processor.
+        let mut clash = good.clone();
+        clash.jobs[1].procs = ProcSet::range(0, 0);
+        s.placement = Some(clash);
+        let err = validate(&s, &inst).unwrap_err();
+        assert!(matches!(
+            &err,
+            ScheduleError::Placement(e) if matches!(**e, PlacementError::Overlap(_))
+        ));
+        // The Display form surfaces the inner report verbatim.
+        let msg = err.to_string();
+        assert!(msg.starts_with("invalid placement:"), "{msg}");
+        assert!(msg.contains("double-booked"), "{msg}");
+        // Missing and unknown rows.
+        let mut missing = good.clone();
+        missing.jobs.pop();
+        s.placement = Some(missing);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::Placement(e)) if matches!(*e, PlacementError::MissingJob { job: 1 })
+        ));
+        let mut unknown = good;
+        unknown.push(7, Ratio::zero(), Ratio::one(), ProcSet::range(0, 0));
+        s.placement = Some(unknown);
+        assert!(matches!(
+            validate(&s, &inst),
+            Err(ScheduleError::Placement(e)) if matches!(*e, PlacementError::UnknownJob { job: 7 })
         ));
     }
 

@@ -63,6 +63,10 @@ pub struct EpochOutcome {
     /// Global completion time of each stream job, indexed by its
     /// position in the arrival stream (epoch start + in-batch finish).
     pub completions: Vec<Ratio>,
+    /// The concrete processors the planner assigned each stream job,
+    /// aligned with `completions` — `Some` when the job's batch schedule
+    /// carried a placement layer, `None` for allotment-only planners.
+    pub placements: Vec<Option<moldable_core::procset::ProcSet>>,
 }
 
 /// Run the epoch scheme: plan each accumulated batch with `planner` on
@@ -125,6 +129,7 @@ fn run_epochs_with(
     let mut epochs: Vec<Epoch> = Vec::new();
     let mut traces: Vec<Trace> = Vec::new();
     let mut completions: Vec<Ratio> = vec![Ratio::zero(); stream.len()];
+    let mut placements: Vec<Option<moldable_core::procset::ProcSet>> = vec![None; stream.len()];
     let mut clock = Ratio::zero();
     let mut next = 0usize; // cursor into the stream
     let mut index = 0usize;
@@ -152,6 +157,14 @@ fn run_epochs_with(
         let schedule = plan(&inst);
         let ex = execute(&inst, &schedule).expect("planned batches execute");
 
+        // Placements, when the planner emitted them: batch-local ids map
+        // to stream indices the same way as completions below.
+        if let Some(pl) = &schedule.placement {
+            for p in &pl.jobs {
+                placements[batch[p.job as usize]] = Some(p.procs.clone());
+            }
+        }
+
         // Per-job completions: batch-local job i is stream job batch[i].
         for seg in &ex.trace.segments {
             let global_end = clock.add(&seg.end);
@@ -178,6 +191,7 @@ fn run_epochs_with(
         epochs,
         traces,
         completions,
+        placements,
     })
 }
 
@@ -361,6 +375,24 @@ mod tests {
             for w in out.epochs.windows(2) {
                 assert!(w[0].end <= w[1].start);
             }
+        }
+    }
+
+    #[test]
+    fn placements_thread_through_epochs() {
+        // The linear planner's three-shelf construction emits a native
+        // placement; every stream job must surface its processor set,
+        // sized to the allotment (constant curves: always 1 machine or
+        // more, never empty).
+        let s = stream(&[(0, 6), (0, 6), (9, 3)]);
+        let eps = Ratio::new(1, 4);
+        let solver = moldable_sched::solver::solver_by_name("linear", &eps).unwrap();
+        let out = run_epochs_solver(&s, 2, solver.as_ref()).unwrap();
+        assert_eq!(out.placements.len(), 3);
+        for (i, p) in out.placements.iter().enumerate() {
+            let set = p.as_ref().unwrap_or_else(|| panic!("job {i} unplaced"));
+            assert!(!set.is_empty());
+            assert!(set.max().unwrap() < 2);
         }
     }
 

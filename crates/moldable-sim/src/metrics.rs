@@ -107,6 +107,10 @@ pub struct JobObservation {
     pub ideal_time: Ratio,
     /// `w_j(1)`: sequential work, used as the flow weight.
     pub weight: u128,
+    /// The concrete processors the planner assigned the job, when its
+    /// batch schedule carried a placement layer (`None` for planners
+    /// that emit allotments only).
+    pub placed: Option<moldable_core::procset::ProcSet>,
 }
 
 impl JobObservation {
@@ -415,6 +419,7 @@ pub fn observations_from_epochs(
                 completion: outcome.completions[i],
                 ideal_time: Ratio::from(ideal),
                 weight: a.curve.time(1) as u128,
+                placed: outcome.placements.get(i).cloned().flatten(),
             }
         })
         .collect()
@@ -479,6 +484,7 @@ mod tests {
                 completion: Ratio::from(10u64),
                 ideal_time: Ratio::from(10u64),
                 weight: 100,
+                placed: None,
             },
             JobObservation {
                 user: 2,
@@ -486,6 +492,7 @@ mod tests {
                 completion: Ratio::from(8u64),
                 ideal_time: Ratio::from(2u64),
                 weight: 4,
+                placed: None,
             },
         ];
         let report = FairnessReport::from_observations(&obs);
@@ -550,6 +557,7 @@ mod tests {
                 completion: Ratio::from(3 * i as u64 + 5),
                 ideal_time: Ratio::from(i as u64 % 3 + 1),
                 weight: (i as u128 % 11) + 1,
+                placed: None,
             })
             .collect();
         let buffered = FairnessReport::from_observations(&obs);

@@ -122,6 +122,7 @@ struct DoneInfo {
     arrival: Ratio,
     ideal: Time,
     weight: u128,
+    placed: Option<moldable_core::procset::ProcSet>,
 }
 
 /// A heap entry: ordered by `(at, rank, seq)`; `seq` is a monotone
@@ -237,6 +238,7 @@ where
                     completion: clock,
                     ideal_time: Ratio::from(d.ideal),
                     weight: d.weight,
+                    placed: d.placed,
                 };
                 fairness.observe(&obs);
                 sink(d.index, &obs);
@@ -304,6 +306,14 @@ where
                         *end = seg.end;
                     }
                 }
+                // Per-local-job processor sets, when the planner placed.
+                let mut placed: Vec<Option<moldable_core::procset::ProcSet>> =
+                    vec![None; batch.len()];
+                if let Some(pl) = &schedule.placement {
+                    for p in &pl.jobs {
+                        placed[p.job as usize] = Some(p.procs.clone());
+                    }
+                }
                 for (local, (index, sj)) in batch.iter().enumerate() {
                     let info = DoneInfo {
                         index: *index,
@@ -311,6 +321,7 @@ where
                         arrival: Ratio::from(sj.arrival),
                         ideal: sj.curve.time(m).max(1),
                         weight: sj.curve.time(1) as u128,
+                        placed: placed[local].take(),
                     };
                     push(
                         &mut heap,

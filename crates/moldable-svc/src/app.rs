@@ -20,12 +20,15 @@
 
 use crate::http::{Request, Response};
 use crate::metrics::{Endpoint, ServiceMetrics};
+use crate::request::SolveRequest;
 use moldable_core::instance::Instance;
 use moldable_core::io::InstanceSpec;
+use moldable_core::placement::Placement;
 use moldable_core::ratio::Ratio;
 use moldable_core::view::JobView;
 use moldable_sched::batch;
 use moldable_sched::exact::{EXACT_M_LIMIT, EXACT_N_LIMIT};
+use moldable_sched::place::place_contiguous;
 use moldable_sched::solver::{race_roster, solver_by_name, ExactSolver};
 use moldable_sched::validate;
 use moldable_sched::SOLVER_NAMES;
@@ -120,18 +123,12 @@ impl App {
     /// single shared [`JobView`] build.
     fn handle_solve(&self, body: &[u8]) -> Result<Value, Failure> {
         let (request, instance) = parse_instance_request(body)?;
-        let algo = match request.get("algo") {
-            None => "linear".to_string(),
-            Some(v) => v
-                .as_str()
-                .ok_or_else(|| bad_request("`algo` must be a string"))?
-                .to_string(),
-        };
-        let eps = request_eps(&request, &self.config.default_eps)?;
+        let sr = SolveRequest::from_json(&request, &self.config.default_eps)
+            .map_err(|e| (400, e))?;
         // The error Display lists every registry name; surface verbatim.
-        let solver = solver_by_name(&algo, &eps).map_err(|e| (400, e.to_string()))?;
+        let solver = solver_by_name(&sr.algo, &sr.eps).map_err(|e| (400, e.to_string()))?;
         let view = JobView::build(&instance);
-        if algo == "exact" && !ExactSolver::fits(&view) {
+        if sr.algo == "exact" && !ExactSolver::fits(&view) {
             // Mirrors the CLI `solve` guard: the exhaustive search would
             // blow its branch-and-bound cap mid-request.
             return Err((
@@ -141,28 +138,44 @@ impl App {
                 ),
             ));
         }
-        let outcome = solver.solve(&view, view.m());
+        let mut outcome = solver.solve(&view, view.m());
+        if sr.placements && outcome.schedule.placement.is_none() {
+            // Lower the allotment schedule onto concrete processors; the
+            // error Display travels verbatim (it only fires on a solver
+            // bug — any demand-feasible schedule lowers).
+            let placement = place_contiguous(&view, &outcome.schedule)
+                .map_err(|e| (500, format!("placement failed: {e}")))?;
+            outcome.schedule.placement = Some(placement);
+        }
         validate(&outcome.schedule, &instance)
             .map_err(|e| (500, format!("solver produced an invalid schedule: {e}")))?;
-        Ok(json!({
-            "algo": algo,
+        let mut reply = json!({
+            "schema": 2,
+            "algo": sr.algo,
             "solver": solver.name(),
             "n": instance.n(),
             "m": instance.m(),
-            "eps": eps.to_f64(),
+            "eps": sr.eps.to_f64(),
             "makespan": outcome.makespan.to_f64(),
             "ratio_bound": outcome.ratio_bound.as_ref().map(Ratio::to_f64),
             "opt_lower_bound": outcome.lower_bound,
             "probes": outcome.probes,
             "assignments": assignment_rows(&instance, &outcome.schedule),
-        }))
+        });
+        if sr.placements {
+            let placement = outcome.schedule.placement.as_ref().expect("placed above");
+            push_field(&mut reply, "placements", placement_rows(placement));
+        }
+        Ok(reply)
     }
 
     /// `POST /v1/race`: the full applicable roster on one instance via
     /// the batch engine, with the CLI `race --check` parity verdict.
     fn handle_race(&self, body: &[u8]) -> Result<Value, Failure> {
         let (request, instance) = parse_instance_request(body)?;
-        let eps = request_eps(&request, &self.config.default_eps)?;
+        let sr = SolveRequest::from_json(&request, &self.config.default_eps)
+            .map_err(|e| (400, e))?;
+        let eps = sr.eps;
         let view = JobView::build(&instance);
         let omega = moldable_sched::estimate_view(&view).omega;
         let solvers = race_roster(&view, &eps);
@@ -171,7 +184,13 @@ impl App {
         let rows: Vec<Value> = results
             .iter()
             .map(|r| {
-                validate(&r.outcome.schedule, &instance).map_err(|e| {
+                let mut schedule = r.outcome.schedule.clone();
+                if sr.placements && schedule.placement.is_none() {
+                    let placement = place_contiguous(&view, &schedule)
+                        .map_err(|e| (500, format!("{}: placement failed: {e}", r.label)))?;
+                    schedule.placement = Some(placement);
+                }
+                validate(&schedule, &instance).map_err(|e| {
                     (
                         500,
                         format!("{}: solver produced an invalid schedule: {e}", r.label),
@@ -182,16 +201,22 @@ impl App {
                     all_bounds_hold &= holds;
                     holds
                 });
-                Ok(json!({
+                let mut row = json!({
                     "solver": r.label,
                     "makespan": r.outcome.makespan.to_f64(),
                     "ratio_bound": r.outcome.ratio_bound.as_ref().map(Ratio::to_f64),
                     "bound_holds_vs_2omega": bound_ok,
                     "probes": r.outcome.probes,
-                }))
+                });
+                if sr.placements {
+                    let placement = schedule.placement.as_ref().expect("placed above");
+                    push_field(&mut row, "placements", placement_rows(placement));
+                }
+                Ok(row)
             })
             .collect::<Result<_, Failure>>()?;
         Ok(json!({
+            "schema": 2,
             "n": instance.n(),
             "m": instance.m(),
             "eps": eps.to_f64(),
@@ -222,15 +247,13 @@ fn parse_instance_request(body: &[u8]) -> Result<(Value, Instance), Failure> {
     Ok((request, instance))
 }
 
-/// Read the optional `"eps": "N/D"` field (same grammar as the CLI flag).
-fn request_eps(request: &Value, default_eps: &Ratio) -> Result<Ratio, Failure> {
-    let Some(raw) = request.get("eps") else {
-        return Ok(*default_eps);
-    };
-    let raw = raw
-        .as_str()
-        .ok_or_else(|| bad_request("`eps` must be a string like \"1/4\""))?;
-    parse_eps(raw).map_err(|e| (400, e))
+/// Append one field to a JSON object (the shim's `Value::Object` keeps
+/// insertion order, so optional fields always serialize last).
+fn push_field(value: &mut Value, key: &str, field: Value) {
+    match value {
+        Value::Object(fields) => fields.push((key.to_string(), field)),
+        _ => unreachable!("handlers build object replies"),
+    }
 }
 
 /// Parse `"N/D"` into a ratio in `(0, 1]` — shared by the service's
@@ -263,6 +286,34 @@ pub fn assignment_rows(inst: &Instance, s: &moldable_sched::Schedule) -> Value {
                     "start_den": a.start.den().to_string(),
                     "procs": a.procs,
                     "duration": inst.job(a.job).time(a.procs),
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Placement rows in the wire-format v2 shape — like [`assignment_rows`],
+/// the single serializer behind the service and the CLI `--place`
+/// output. Each row carries the exact rational interval (numerator/
+/// denominator strings, same convention as assignment starts) and the
+/// processor set as inclusive `[lo, hi]` ranges.
+pub fn placement_rows(placement: &Placement) -> Value {
+    Value::Array(
+        placement
+            .jobs
+            .iter()
+            .map(|p| {
+                json!({
+                    "job": p.job,
+                    "start_num": p.start.num().to_string(),
+                    "start_den": p.start.den().to_string(),
+                    "end_num": p.end.num().to_string(),
+                    "end_den": p.end.den().to_string(),
+                    "procs": p.procs
+                        .ranges()
+                        .iter()
+                        .map(|&(lo, hi)| json!([lo, hi]))
+                        .collect::<Vec<Value>>(),
                 })
             })
             .collect(),
@@ -412,6 +463,10 @@ mod tests {
                 "eps",
             ),
             (&format!(r#"{{"instance": {INSTANCE}, "algo": 7}}"#), "algo"),
+            (
+                &format!(r#"{{"instance": {INSTANCE}, "placements": "yes"}}"#),
+                "placements",
+            ),
         ] {
             let resp = app.respond(&post("/v1/solve", body));
             assert_eq!(resp.status, 400, "body {body} -> {}", body_text(&resp));
@@ -448,6 +503,75 @@ mod tests {
         assert_eq!(v["errors_total"].as_u64(), Some(1));
         assert_eq!(v["endpoints"]["healthz"]["requests"].as_u64(), Some(1));
         assert_eq!(v["endpoints"]["other"]["requests"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn solve_placements_consistent_with_assignments() {
+        let app = app();
+        let req = post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}, "placements": true}}"#),
+        );
+        let resp = app.respond(&req);
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let v = json_of(&resp);
+        assert_eq!(v["schema"].as_u64(), Some(2));
+        let assignments = v["assignments"].as_array().unwrap();
+        let placements = v["placements"].as_array().unwrap();
+        assert_eq!(placements.len(), assignments.len());
+        for row in placements {
+            let job = row["job"].as_u64().unwrap();
+            // Set size equals the allotment of the matching assignment.
+            let procs: u64 = row["procs"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|r| r[1].as_u64().unwrap() - r[0].as_u64().unwrap() + 1)
+                .sum();
+            let assigned = assignments
+                .iter()
+                .find(|a| a["job"].as_u64() == Some(job))
+                .unwrap();
+            assert_eq!(procs, assigned["procs"].as_u64().unwrap(), "job {job}");
+            // The interval matches start + duration.
+            assert_eq!(row["start_num"], assigned["start_num"]);
+            assert_eq!(row["start_den"], assigned["start_den"]);
+        }
+        // Placement responses are as deterministic as plain ones.
+        assert_eq!(app.respond(&req), app.respond(&req));
+    }
+
+    #[test]
+    fn solve_without_placements_keeps_v1_shape() {
+        let app = app();
+        let resp = app.respond(&post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}}}"#),
+        ));
+        let v = json_of(&resp);
+        assert_eq!(v["schema"].as_u64(), Some(2));
+        assert!(v.get("placements").is_none());
+    }
+
+    #[test]
+    fn race_placements_cover_every_solver_row() {
+        let app = app();
+        let resp = app.respond(&post(
+            "/v1/race",
+            &format!(r#"{{"instance": {INSTANCE}, "placements": true}}"#),
+        ));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let v = json_of(&resp);
+        assert_eq!(v["schema"].as_u64(), Some(2));
+        for row in v["results"].as_array().unwrap() {
+            let placements = row["placements"].as_array().unwrap();
+            assert_eq!(placements.len(), 4, "{}", row["solver"].as_str().unwrap());
+        }
+        // Without the flag the rows stay v1-shaped.
+        let resp = app.respond(&post("/v1/race", &format!(r#"{{"instance": {INSTANCE}}}"#)));
+        for row in json_of(&resp)["results"].as_array().unwrap() {
+            assert!(row.get("placements").is_none());
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`http`] — minimal HTTP/1.1 request/response framing (both sides).
 //! * [`app`] — the transport-free router: `POST /v1/solve`,
 //!   `POST /v1/race`, `GET /healthz`, `GET /metrics`.
+//! * [`request`] — the shared [`SolveRequest`]: one struct parsed
+//!   identically from CLI flags and JSON bodies.
 //! * [`server`] — `std::net::TcpListener` + a fixed worker-thread accept
 //!   pool with keep-alive connections and cooperative shutdown.
 //! * [`metrics`] — per-endpoint counters and latency percentiles, with
@@ -35,10 +37,12 @@ pub mod app;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod request;
 pub mod server;
 
 pub use app::{App, AppConfig};
 pub use http::{Request, Response};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::ServiceMetrics;
+pub use request::SolveRequest;
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,155 @@
+//! The shared solve-request shape: one struct, two parsers.
+//!
+//! The CLI (`solve`/`race` flags) and the HTTP service (`/v1/solve`/
+//! `/v1/race` JSON bodies) accept the same three knobs — solver name,
+//! accuracy, and whether to return a placement layer. [`SolveRequest`]
+//! is the single source of truth for their names, defaults, and
+//! grammars: [`SolveRequest::from_json`] reads a parsed request body,
+//! [`SolveRequest::from_args`] reads an argv slice, and both produce the
+//! identical struct (the unit tests pin them field for field), so the
+//! front ends can never drift apart.
+
+use crate::app::parse_eps;
+use moldable_core::ratio::Ratio;
+use serde_json::Value;
+
+/// What a solve-shaped request asks for, front-end independent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolveRequest {
+    /// Registry solver name (JSON `"algo"` / CLI `--algo`); defaults to
+    /// `linear` in both front ends.
+    pub algo: String,
+    /// Accuracy `ε ∈ (0, 1]` (JSON `"eps"` / CLI `--eps`, both in the
+    /// `N/D` grammar of [`parse_eps`]).
+    pub eps: Ratio,
+    /// Return the concrete-processor placement layer (JSON
+    /// `"placements": true` / CLI `--place`); off by default — the
+    /// wire-format v1 shape.
+    pub placements: bool,
+}
+
+impl SolveRequest {
+    /// Read the shared fields from a parsed JSON request body. Unknown
+    /// fields are ignored (the instance itself is parsed separately).
+    pub fn from_json(request: &Value, default_eps: &Ratio) -> Result<SolveRequest, String> {
+        let algo = match request.get("algo") {
+            None => "linear".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| "`algo` must be a string".to_string())?
+                .to_string(),
+        };
+        let eps = match request.get("eps") {
+            None => *default_eps,
+            Some(v) => {
+                let raw = v
+                    .as_str()
+                    .ok_or_else(|| "`eps` must be a string like \"1/4\"".to_string())?;
+                parse_eps(raw)?
+            }
+        };
+        let placements = match request.get("placements") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "`placements` must be a boolean".to_string())?,
+        };
+        Ok(SolveRequest {
+            algo,
+            eps,
+            placements,
+        })
+    }
+
+    /// Read the shared fields from CLI arguments: `--algo NAME`,
+    /// `--eps N/D`, and the boolean `--place`.
+    pub fn from_args(args: &[String], default_eps: &Ratio) -> Result<SolveRequest, String> {
+        let value_of = |name: &str| -> Result<Option<&String>, String> {
+            match args.iter().position(|a| a == name) {
+                None => Ok(None),
+                Some(i) => args
+                    .get(i + 1)
+                    .map(Some)
+                    .ok_or_else(|| format!("{name} needs a value")),
+            }
+        };
+        let algo = value_of("--algo")?
+            .cloned()
+            .unwrap_or_else(|| "linear".to_string());
+        let eps = match value_of("--eps")? {
+            None => *default_eps,
+            Some(raw) => parse_eps(raw)?,
+        };
+        let placements = args.iter().any(|a| a == "--place");
+        Ok(SolveRequest {
+            algo,
+            eps,
+            placements,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn both_parsers_agree_field_for_field() {
+        let default_eps = Ratio::new(1, 4);
+        // (json body, argv) pairs that must produce identical requests.
+        let cases: Vec<(Value, Vec<String>)> = vec![
+            (json!({}), strings(&[])),
+            (
+                json!({"algo": "contiguous-73-50"}),
+                strings(&["--algo", "contiguous-73-50"]),
+            ),
+            (json!({"eps": "1/8"}), strings(&["--eps", "1/8"])),
+            (json!({"placements": true}), strings(&["--place"])),
+            (
+                json!({"algo": "mrt", "eps": "1/2", "placements": true}),
+                strings(&["--algo", "mrt", "--eps", "1/2", "--place"]),
+            ),
+            (json!({"placements": false}), strings(&[])),
+        ];
+        for (body, argv) in cases {
+            let a = SolveRequest::from_json(&body, &default_eps).unwrap();
+            let b = SolveRequest::from_args(&argv, &default_eps).unwrap();
+            assert_eq!(a.algo, b.algo, "{body:?}");
+            assert_eq!(a.eps, b.eps, "{body:?}");
+            assert_eq!(a.placements, b.placements, "{body:?}");
+        }
+    }
+
+    #[test]
+    fn defaults_are_linear_quarter_no_placements() {
+        let r = SolveRequest::from_json(&json!({}), &Ratio::new(1, 4)).unwrap();
+        assert_eq!(r.algo, "linear");
+        assert_eq!(r.eps, Ratio::new(1, 4));
+        assert!(!r.placements);
+    }
+
+    #[test]
+    fn type_errors_name_the_field() {
+        let default_eps = Ratio::new(1, 4);
+        for (body, needle) in [
+            (json!({"algo": 7}), "algo"),
+            (json!({"eps": 0.25}), "eps"),
+            (json!({"eps": "3/2"}), "eps"),
+            (json!({"placements": "yes"}), "placements"),
+        ] {
+            let err = SolveRequest::from_json(&body, &default_eps).unwrap_err();
+            assert!(err.contains(needle), "{body:?} -> {err}");
+        }
+        // Argv forms fail the same way.
+        let err = SolveRequest::from_args(&strings(&["--eps"]), &default_eps).unwrap_err();
+        assert!(err.contains("--eps"), "{err}");
+        let err =
+            SolveRequest::from_args(&strings(&["--eps", "0/4"]), &default_eps).unwrap_err();
+        assert!(err.contains("eps"), "{err}");
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! moldable schedule --input inst.json [--eps N/D] [--algo NAME] [--gantt]
-//! moldable solve    --input inst.json --algo NAME [--eps N/D]   (solver facade)
-//! moldable race     --input inst.json [--eps N/D] [--check] [--threads N]
+//! moldable solve    --input inst.json [--algo NAME] [--eps N/D] [--place]
+//! moldable race     --input inst.json [--eps N/D] [--place] [--check] [--threads N]
 //! moldable estimate --input inst.json
 //! moldable generate --family NAME --n N --m M [--seed S]    (writes JSON)
 //! moldable validate --input inst.json --schedule sched.json
@@ -60,8 +60,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   moldable schedule --input FILE [--eps N/D] [--algo mrt|alg1|alg3|linear|fptas|ptas|two-approx] [--gantt]
-  moldable solve    --input FILE --algo mrt|alg1|alg3|linear|fptas|ptas|two-approx|sequential|exact [--eps N/D]
-  moldable race     --input FILE [--eps N/D] [--check] [--threads N]
+  moldable solve    --input FILE [--algo mrt|alg1|alg3|linear|contiguous-73-50|fptas|ptas|two-approx|sequential|exact] [--eps N/D] [--place]
+  moldable race     --input FILE [--eps N/D] [--place] [--check] [--threads N]
   moldable estimate --input FILE
   moldable generate --family power-law|amdahl|comm-overhead|mixed --n N --m M [--seed S]
   moldable generate --family swf --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N]
@@ -130,26 +130,57 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Append a key to a `json!`-built object reply (the shim `Value` keeps
+/// insertion order, so optional fields always serialize last).
+fn push_field(value: &mut Value, key: &str, field: Value) {
+    match value {
+        Value::Object(fields) => fields.push((key.to_string(), field)),
+        _ => unreachable!("reports are built as objects"),
+    }
+}
+
+/// Attach a placement to a schedule when `--place` asked for one and the
+/// solver did not produce a native layer, mirroring the service handler.
+fn ensure_placement(
+    view: &JobView,
+    schedule: &mut Schedule,
+    label: Option<&str>,
+) -> Result<(), String> {
+    if schedule.placement.is_some() {
+        return Ok(());
+    }
+    let placement =
+        moldable::sched::place_contiguous(view, schedule).map_err(|e| match label {
+            Some(l) => format!("{l}: placement failed: {e}"),
+            None => format!("placement failed: {e}"),
+        })?;
+    schedule.placement = Some(placement);
+    Ok(())
+}
+
 /// `solve`: run any registry solver through the [`MakespanSolver`]
-/// facade and report its certificates alongside the schedule.
+/// facade and report its certificates alongside the schedule. `--place`
+/// adds the wire-format v2 `placements` rows (concrete processor sets).
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let inst = load_instance(args)?;
-    let eps = parse_eps(args)?;
-    let name = flag(args, "--algo")
-        .ok_or_else(|| format!("missing --algo (one of: {})", SOLVER_NAMES.join("|")))?;
-    let solver = solver_by_name(&name, &eps).map_err(|e| e.to_string())?;
+    let req = moldable::svc::SolveRequest::from_args(args, &Ratio::new(1, 4))?;
+    let solver = solver_by_name(&req.algo, &req.eps).map_err(|e| e.to_string())?;
     let view = JobView::build(&inst);
-    if name == "exact" && !moldable::sched::solver::ExactSolver::fits(&view) {
+    if req.algo == "exact" && !moldable::sched::solver::ExactSolver::fits(&view) {
         return Err(format!(
             "instance too large for the exact solver (n ≤ {}, m ≤ {})",
             moldable::sched::exact::EXACT_N_LIMIT,
             moldable::sched::exact::EXACT_M_LIMIT
         ));
     }
-    let outcome = solver.solve(&view, view.m());
+    let mut outcome = solver.solve(&view, view.m());
+    if req.placements {
+        ensure_placement(&view, &mut outcome.schedule, None)?;
+    }
     validate(&outcome.schedule, &inst).map_err(|e| e.to_string())?;
-    let out = json!({
-        "algo": name,
+    let mut out = json!({
+        "schema": 2,
+        "algo": req.algo,
         "solver": solver.name(),
         "makespan": outcome.makespan.to_f64(),
         "ratio_bound": outcome.ratio_bound.as_ref().map(Ratio::to_f64),
@@ -158,6 +189,14 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         "total_work": outcome.schedule.total_work(&inst).to_string(),
         "assignments": moldable::svc::app::assignment_rows(&inst, &outcome.schedule),
     });
+    if req.placements {
+        let placement = outcome.schedule.placement.as_ref().expect("placed above");
+        push_field(
+            &mut out,
+            "placements",
+            moldable::svc::app::placement_rows(placement),
+        );
+    }
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
     Ok(())
 }
@@ -169,7 +208,8 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
 /// solver-parity gate.
 fn cmd_race(args: &[String]) -> Result<(), String> {
     let inst = load_instance(args)?;
-    let eps = parse_eps(args)?;
+    let req = moldable::svc::SolveRequest::from_args(args, &Ratio::new(1, 4))?;
+    let eps = req.eps;
     let threads: usize = flag(args, "--threads")
         .map(|s| s.parse().map_err(|_| "bad --threads"))
         .transpose()?
@@ -182,7 +222,11 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
     let rows: Vec<Value> = results
         .iter()
         .map(|r| {
-            validate(&r.outcome.schedule, &inst)
+            let mut schedule = r.outcome.schedule.clone();
+            if req.placements {
+                ensure_placement(&view, &mut schedule, Some(&r.label))?;
+            }
+            validate(&schedule, &inst)
                 .map_err(|e| format!("{}: invalid schedule: {e}", r.label))?;
             let bound_ok = r.outcome.ratio_bound.as_ref().map(|b| {
                 let cap = b.mul_int(2 * omega as u128);
@@ -195,17 +239,27 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
                 }
                 ok
             });
-            Ok(json!({
+            let mut row = json!({
                 "solver": r.label,
                 "makespan": r.outcome.makespan.to_f64(),
                 "ratio_bound": r.outcome.ratio_bound.as_ref().map(Ratio::to_f64),
                 "bound_holds_vs_2omega": bound_ok,
                 "probes": r.outcome.probes,
                 "wall_seconds": r.wall.as_secs_f64(),
-            }))
+            });
+            if req.placements {
+                let placement = schedule.placement.as_ref().expect("placed above");
+                push_field(
+                    &mut row,
+                    "placements",
+                    moldable::svc::app::placement_rows(placement),
+                );
+            }
+            Ok(row)
         })
         .collect::<Result<_, String>>()?;
     let out = json!({
+        "schema": 2,
         "n": inst.n(),
         "m": inst.m(),
         "eps": eps.to_f64(),

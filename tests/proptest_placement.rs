@@ -1,0 +1,158 @@
+//! Property-based tests of the placement layer: every registry solver's
+//! schedule lowers to a valid placement (pairwise-disjoint processor
+//! sets per time slot, set size equal to the allotment), the
+//! `contiguous-73-50` solver's native placement is contiguous, and
+//! `SlotSet` claim/release round-trips back to a fully free timeline.
+
+use moldable::core::procset::ProcSet;
+use moldable::core::slotset::SlotSet;
+use moldable::core::speedup::monotone_closure;
+use moldable::core::view::JobView;
+use moldable::prelude::*;
+use moldable::sched::place_contiguous;
+use moldable::sched::solver::{solver_by_name, ExactSolver, SOLVER_NAMES};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random monotone table instances, sized so every registry solver
+/// (including `exact`) applies.
+fn table_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=5, 1u64..=4).prop_flat_map(|(n, m)| {
+        prop::collection::vec(
+            prop::collection::vec(1u64..40, m as usize..=m as usize),
+            n..=n,
+        )
+        .prop_map(move |tables| {
+            let curves = tables
+                .into_iter()
+                .map(|mut t| {
+                    monotone_closure(&mut t);
+                    SpeedupCurve::Table(Arc::new(t))
+                })
+                .collect();
+            Instance::new(curves, m)
+        })
+    })
+}
+
+/// Pairwise disjointness, spelled out independently of
+/// `Placement::validate`'s event sweep: any two placements whose time
+/// intervals overlap must use disjoint processor sets.
+fn assert_pairwise_disjoint(placement: &moldable::core::placement::Placement) {
+    for (i, a) in placement.jobs.iter().enumerate() {
+        for b in &placement.jobs[i + 1..] {
+            if a.start < b.end && b.start < a.end {
+                assert!(
+                    a.procs.is_disjoint(&b.procs),
+                    "jobs {} and {} share processors over an overlapping interval",
+                    a.job,
+                    b.job
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every registry solver's schedule admits a placement (native or via
+    /// `place_contiguous`) that passes full validation: one row per job,
+    /// `ProcSet` size equal to the allotment, sets within `[0, m)`, and
+    /// no processor double-booked — `validate` checks the join against
+    /// the assignments, and the pairwise sweep here re-proves
+    /// disjointness from scratch.
+    #[test]
+    fn every_solver_lowers_to_a_valid_placement(inst in table_instance()) {
+        let view = JobView::build(&inst);
+        let eps = Ratio::new(1, 4);
+        for name in SOLVER_NAMES {
+            if *name == "exact" && !ExactSolver::fits(&view) {
+                continue;
+            }
+            let solver = solver_by_name(name, &eps).expect("registry name");
+            let mut outcome = solver.solve(&view, view.m());
+            if outcome.schedule.placement.is_none() {
+                let placement = place_contiguous(&view, &outcome.schedule)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                outcome.schedule.placement = Some(placement);
+            }
+            prop_assert!(
+                validate(&outcome.schedule, &inst).is_ok(),
+                "{name}: {:?}",
+                validate(&outcome.schedule, &inst)
+            );
+            let placement = outcome.schedule.placement.as_ref().unwrap();
+            prop_assert_eq!(placement.jobs.len(), inst.n(), "{}", name);
+            for p in &placement.jobs {
+                let a = outcome
+                    .schedule
+                    .assignments
+                    .iter()
+                    .find(|a| a.job == p.job)
+                    .expect("placement rows mirror assignments");
+                prop_assert_eq!(p.procs.size(), a.procs, "{} job {}", name, p.job);
+            }
+            assert_pairwise_disjoint(placement);
+        }
+    }
+
+    /// The `contiguous-73-50` solver always returns a native placement
+    /// in which every job occupies one contiguous machine interval.
+    #[test]
+    fn contiguous_solver_placements_are_contiguous(inst in table_instance()) {
+        let view = JobView::build(&inst);
+        let solver = solver_by_name("contiguous-73-50", &Ratio::new(1, 4)).unwrap();
+        let outcome = solver.solve(&view, view.m());
+        prop_assert!(validate(&outcome.schedule, &inst).is_ok());
+        let placement = outcome.schedule.placement.as_ref().expect("native placement");
+        prop_assert_eq!(placement.jobs.len(), inst.n());
+        for p in &placement.jobs {
+            prop_assert!(
+                p.procs.is_contiguous(),
+                "job {} placed on fragmented set {}",
+                p.job,
+                p.procs
+            );
+        }
+        assert_pairwise_disjoint(placement);
+    }
+
+    /// SlotSet claim/release round-trip: claiming what `free_over`
+    /// offers always succeeds, claims are never available twice, and
+    /// releasing everything coalesces back to a single fully-free slot.
+    #[test]
+    fn slotset_claims_release_back_to_free(
+        m in 1u64..=16,
+        ops in prop::collection::vec((0u64..40, 1u64..20, 1u64..8), 1..24),
+    ) {
+        let mut timeline = SlotSet::new(m);
+        let mut claimed: Vec<(Ratio, Ratio, ProcSet)> = Vec::new();
+        for (start, dur, width) in ops {
+            let width = width.min(m);
+            let start = Ratio::from(start);
+            let end = start.add(&Ratio::from(dur));
+            let free = timeline.free_over(&start, &end);
+            if free.size() < width {
+                continue; // window too busy for this op
+            }
+            let procs = free.take_first(width).expect("size checked above");
+            prop_assert_eq!(procs.size(), width);
+            prop_assert!(timeline.claim(&start, &end, &procs), "free set must claim");
+            // The same processors are no longer free over that window.
+            prop_assert!(timeline.free_over(&start, &end).is_disjoint(&procs));
+            claimed.push((start, end, procs));
+        }
+        // Release in a scrambled order (reverse is enough to de-pair the
+        // claim order) and require full coalescing at the end.
+        claimed.reverse();
+        for (start, end, procs) in claimed {
+            timeline.release(&start, &end, &procs);
+        }
+        prop_assert_eq!(timeline.len(), 1);
+        prop_assert_eq!(
+            timeline.free_over(&Ratio::from(0u64), &Ratio::from(1000u64)).size(),
+            m
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Wire-format v2 golden tests: `/v1/solve` and `/v1/race` response
+//! bodies are pinned byte for byte, in both shapes — a v1-compatible
+//! request (no `placements` key; the body must be unchanged except for
+//! the additive `"schema": 2` field) and a v2 request
+//! (`"placements": true`; the body gains a trailing `placements` array
+//! per result). Any serialization drift — field order, number
+//! formatting, placement layout — fails these tests and is a wire-format
+//! break that DESIGN.md says must bump the schema number.
+
+use moldable::svc::http::Request;
+use moldable::svc::{App, AppConfig};
+
+/// Tiny instance with one non-trivial curve so the layout exercises
+/// shelves without making the pinned body unreadable.
+const INSTANCE: &str = r#"{"m": 8, "jobs": [
+    {"constant": 9},
+    {"staircase": [[1, 12], [2, 7], [4, 6]]},
+    {"table": [10, 6, 4]}
+]}"#;
+
+fn post(path: &str, body: String) -> Request {
+    Request {
+        method: "POST".into(),
+        path: path.into(),
+        body: body.into_bytes(),
+        keep_alive: true,
+    }
+}
+
+fn body_of(path: &str, request: String) -> String {
+    let app = App::new(AppConfig::default());
+    let resp = app.respond(&post(path, request));
+    let body = String::from_utf8(resp.body).expect("service replies are UTF-8");
+    assert_eq!(resp.status, 200, "{body}");
+    body
+}
+
+#[test]
+fn solve_v1_compatible_body_is_pinned() {
+    let body = body_of(
+        "/v1/solve",
+        format!(r#"{{"instance": {INSTANCE}, "algo": "mrt", "eps": "1/4"}}"#),
+    );
+    assert_eq!(body, GOLDEN_SOLVE_V1);
+}
+
+#[test]
+fn solve_v2_placements_body_is_pinned() {
+    let body = body_of(
+        "/v1/solve",
+        format!(
+            r#"{{"instance": {INSTANCE}, "algo": "mrt", "eps": "1/4", "placements": true}}"#
+        ),
+    );
+    assert_eq!(body, GOLDEN_SOLVE_V2);
+}
+
+#[test]
+fn race_v2_placements_body_is_pinned() {
+    let body = body_of(
+        "/v1/race",
+        format!(r#"{{"instance": {INSTANCE}, "eps": "1/4", "placements": true}}"#),
+    );
+    assert_eq!(body, GOLDEN_RACE_V2);
+}
+
+// Exact bytes the service returned when these tests were written. If a
+// deliberate wire-format change lands, re-capture the bodies AND bump
+// the schema number in `app.rs` + DESIGN.md together.
+const GOLDEN_SOLVE_V1: &str = r#"{"schema":2,"algo":"mrt","solver":"mrt-exact","n":3,"m":8,"eps":0.25,"makespan":12.0,"ratio_bound":1.875,"opt_lower_bound":9,"probes":3,"assignments":[{"job":1,"start_num":"0","start_den":"1","procs":1,"duration":12},{"job":0,"start_num":"0","start_den":"1","procs":1,"duration":9},{"job":2,"start_num":"0","start_den":"1","procs":1,"duration":10}]}"#;
+
+const GOLDEN_SOLVE_V2: &str = r#"{"schema":2,"algo":"mrt","solver":"mrt-exact","n":3,"m":8,"eps":0.25,"makespan":12.0,"ratio_bound":1.875,"opt_lower_bound":9,"probes":3,"assignments":[{"job":1,"start_num":"0","start_den":"1","procs":1,"duration":12},{"job":0,"start_num":"0","start_den":"1","procs":1,"duration":9},{"job":2,"start_num":"0","start_den":"1","procs":1,"duration":10}],"placements":[{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[1,1]]},{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[2,2]]}]}"#;
+
+const GOLDEN_RACE_V2: &str = r#"{"schema":2,"n":3,"m":8,"eps":0.25,"omega":9,"all_bounds_hold":true,"results":[{"solver":"mrt-exact","makespan":12.0,"ratio_bound":1.875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[1,1]]},{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[2,2]]}]},{"solver":"compressible-knapsack","makespan":19.0,"ratio_bound":2.1875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"10","start_den":"1","end_num":"19","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]}]},{"solver":"improved-bounded-knapsack","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"linear-bounded-knapsack","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"contiguous-73-50","makespan":12.0,"ratio_bound":1.3333333333333333,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"fptas","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"ptas","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"two-approx","makespan":9.0,"ratio_bound":2.0,"bound_holds_vs_2omega":true,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"7","end_den":"1","procs":[[1,2]]},{"job":2,"start_num":"0","start_den":"1","end_num":"6","end_den":"1","procs":[[3,4]]}]},{"solver":"sequential","makespan":31.0,"ratio_bound":null,"bound_holds_vs_2omega":null,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"9","start_den":"1","end_num":"21","end_den":"1","procs":[[0,0]]},{"job":2,"start_num":"21","start_den":"1","end_num":"31","end_den":"1","procs":[[0,0]]}]}]}"#;
