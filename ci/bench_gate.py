@@ -9,11 +9,17 @@ bench binary when CRITERION_JSON=path is set:
 This script diffs one or more of those files against the committed
 baseline (benches/baseline.json) and fails when any benchmark's median
 regresses beyond the tolerance factor. Medians are compared (min is
-noise-floor, p95 is jitter); the tolerance is deliberately generous
-(default 2.0x) because CI runners are shared and the baseline may have
-been recorded on different hardware — the gate exists to catch
-algorithmic regressions (O(n) -> O(n^2), a lost memoization), not 10%
-drift.
+noise-floor, p95 is jitter). The tolerance is variance-aware: the shim
+records a bootstrap 95% confidence interval on each median
+(median_ci_lo_ns / median_ci_hi_ns), and benchmarks whose *baseline*
+interval is tight — width under 10% of the median — get the strict
+tolerance (default 1.5x), because a >1.5x move on a benchmark that
+reproducibly sits in a narrow band is a real regression, not noise.
+Benchmarks with wide or missing intervals keep the generous default
+(2.0x): CI runners are shared and the baseline may have been recorded
+on different hardware, so for noisy benchmarks the gate only exists to
+catch algorithmic regressions (O(n) -> O(n^2), a lost memoization),
+not 10% drift.
 
 Usage:
     # compare (the CI job):
@@ -24,8 +30,10 @@ Usage:
     CRITERION_JSON=/tmp/stream.json  cargo bench -p moldable-bench --bench stream_sim
     CRITERION_JSON=/tmp/service.json cargo bench -p moldable-bench --bench service
     CRITERION_JSON=/tmp/placement.json cargo bench -p moldable-bench --bench placement
+    CRITERION_JSON=/tmp/convolve.json cargo bench -p moldable-bench --bench convolve
     python3 ci/bench_gate.py --update --baseline benches/baseline.json \
-        /tmp/jobview.json /tmp/stream.json /tmp/service.json /tmp/placement.json
+        /tmp/jobview.json /tmp/stream.json /tmp/service.json /tmp/placement.json \
+        /tmp/convolve.json
 
 Exit status: 0 when every baselined benchmark is present and within
 tolerance, 1 otherwise. Benchmarks present in the current run but not
@@ -62,15 +70,30 @@ def fmt_ns(ns):
     return f"{ns}ns"
 
 
-def compare(baseline, current, tolerance):
+def tolerance_for(record, loose, tight):
+    """Pick the per-benchmark tolerance from the baseline record's
+    bootstrap CI: tight when the interval width is under 10% of the
+    median, loose when it is wide or absent (old-format baselines)."""
+    median = record.get("median_ns", 0)
+    lo = record.get("median_ci_lo_ns")
+    hi = record.get("median_ci_hi_ns")
+    if lo is None or hi is None or not median:
+        return loose
+    if (hi - lo) / median < 0.10:
+        return tight
+    return loose
+
+
+def compare(baseline, current, loose_tol, tight_tol):
     rows = []
     failures = []
     for name in sorted(baseline):
         base_median = baseline[name]["median_ns"]
+        tolerance = tolerance_for(baseline[name], loose_tol, tight_tol)
         if name not in current:
             failures.append(f"{name}: present in baseline but missing from this run "
                             f"(bench renamed or removed? re-baseline with --update)")
-            rows.append((name, fmt_ns(base_median), "-", "-", "MISSING"))
+            rows.append((name, fmt_ns(base_median), "-", "-", "-", "MISSING"))
             continue
         cur_median = current[name]["median_ns"]
         ratio = cur_median / base_median if base_median else float("inf")
@@ -78,14 +101,13 @@ def compare(baseline, current, tolerance):
         if status == "FAIL":
             failures.append(f"{name}: median {fmt_ns(cur_median)} is {ratio:.2f}x the "
                             f"baseline {fmt_ns(base_median)} (tolerance {tolerance:.2f}x)")
-        rows.append((name, fmt_ns(base_median), fmt_ns(cur_median), f"{ratio:.2f}x", status))
+        rows.append((name, fmt_ns(base_median), fmt_ns(cur_median), f"{ratio:.2f}x",
+                     f"{tolerance:.2f}x", status))
     for name in sorted(set(current) - set(baseline)):
-        rows.append((name, "-", fmt_ns(current[name]["median_ns"]), "-", "NEW"))
+        rows.append((name, "-", fmt_ns(current[name]["median_ns"]), "-", "-", "NEW"))
 
-    widths = [max(len(r[i]) for r in rows + [("benchmark", "baseline", "current", "ratio", "status")])
-              for i in range(5)]
-    header = ("benchmark", "baseline median", "current median", "ratio", "status")
-    widths = [max(w, len(h)) for w, h in zip(widths, header)]
+    header = ("benchmark", "baseline median", "current median", "ratio", "tolerance", "status")
+    widths = [max(len(r[i]) for r in rows + [header]) for i in range(6)]
     line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
     print(line)
     print("-" * len(line))
@@ -101,8 +123,13 @@ def main():
                         help="committed baseline file (default: benches/baseline.json)")
     parser.add_argument("--tolerance", type=float,
                         default=float(os.environ.get("BENCH_GATE_TOLERANCE", "2.0")),
-                        help="max allowed current/baseline median ratio "
-                             "(default: 2.0, or $BENCH_GATE_TOLERANCE)")
+                        help="max allowed current/baseline median ratio for noisy "
+                             "benchmarks (default: 2.0, or $BENCH_GATE_TOLERANCE)")
+    parser.add_argument("--tight-tolerance", type=float,
+                        default=float(os.environ.get("BENCH_GATE_TIGHT_TOLERANCE", "1.5")),
+                        help="tolerance for benchmarks whose baseline bootstrap CI "
+                             "width is under 10%% of the median "
+                             "(default: 1.5, or $BENCH_GATE_TIGHT_TOLERANCE)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current results instead of comparing")
     parser.add_argument("results", nargs="+", help="CRITERION_JSON output files")
@@ -122,13 +149,17 @@ def main():
 
     with open(args.baseline) as f:
         baseline = json.load(f)
-    failures = compare(baseline, current, args.tolerance)
+    failures = compare(baseline, current, args.tolerance, args.tight_tolerance)
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} problem(s)):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nbench gate passed: {len(baseline)} benchmarks within {args.tolerance:.2f}x")
+    tight = sum(1 for r in baseline.values()
+                if tolerance_for(r, args.tolerance, args.tight_tolerance) == args.tight_tolerance)
+    print(f"\nbench gate passed: {len(baseline)} benchmarks "
+          f"({tight} at the {args.tight_tolerance:.2f}x tight bar, "
+          f"the rest within {args.tolerance:.2f}x)")
     return 0
 
 

@@ -46,6 +46,12 @@ $BIN/moldable solve --input /tmp/svc_inst.json --algo contiguous-73-50 --eps 1/4
 python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_place.json \
     --algo contiguous-73-50 --eps 1/4 --placements
 
+# Compression+convolution solver: CLI/service parity with placements, so
+# the (max,+) kernel path is exercised end-to-end through the wire format.
+$BIN/moldable solve --input /tmp/svc_inst.json --algo conv-fptas --eps 1/4 --place > /tmp/cli_conv.json
+python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_conv.json \
+    --algo conv-fptas --eps 1/4 --placements
+
 $BIN/moldable-loadgen --addr "$ADDR" --threads 2 --seconds "$BURST_SECONDS" \
     --family mixed --n 16 --m 256 --count 8 > /tmp/loadgen_report.json
 python3 ci/loadgen_assert.py /tmp/loadgen_report.json --min-rps "$MIN_RPS"

@@ -1,0 +1,91 @@
+//! The (max,+) kernel benchmark — the repo's first bench-gated dense
+//! compute hot path — plus the compression+convolution solver end to end.
+//!
+//! `scalar` is the output-major reference loop
+//! ([`moldable_sched::convolve::maxplus_ref`]), `blocked` the cache-blocked
+//! auto-vectorized kernel ([`moldable_sched::convolve::maxplus_blocked`]).
+//! The acceptance bar (ISSUE 7, enforced by `ci/bench_gate.py` against
+//! `benches/baseline.json`) is blocked ≥ 2× faster than scalar at the
+//! square 2^14 length. Operand lengths cover 2^12–2^16, including the
+//! asymmetric shape (long accumulator × short staircase) the solver's
+//! fold actually produces.
+//!
+//! Outside the timed region the two kernels are asserted byte-identical
+//! on every shape — the speedup is not allowed to change one lane.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_core::ratio::Ratio;
+use moldable_core::view::JobView;
+use moldable_sched::convolve::{maxplus_blocked, maxplus_ref};
+use moldable_sched::solver::solver_by_name;
+use moldable_workloads::{bench_instance, BenchFamily};
+use std::time::Duration;
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+fn profits(seed: &mut u64, len: usize) -> Vec<u64> {
+    // Monotone staircases, like the solver's per-size operands.
+    let mut v: Vec<u64> = (0..len).map(|_| xorshift(seed) % (1 << 24)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut seed = 0xB10C_0C0B_u64;
+    // (a-len, b-len): squares at 2^12 and 2^14, and the fold's
+    // asymmetric long-accumulator shape at 2^16.
+    let shapes: [(usize, usize, &str); 3] = [
+        (1 << 12, 1 << 12, "4096"),
+        (1 << 14, 1 << 14, "16384"),
+        (1 << 16, 1 << 11, "65536x2048"),
+    ];
+    let mut group = c.benchmark_group("convolve");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (la, lb, label) in shapes {
+        let a = profits(&mut seed, la);
+        let b = profits(&mut seed, lb);
+        let cap = la + lb - 1;
+        assert_eq!(
+            maxplus_ref(&a, &b, cap),
+            maxplus_blocked(&a, &b, cap),
+            "kernels diverged at {label}"
+        );
+        group.bench_with_input(BenchmarkId::new("scalar", label), &label, |bch, _| {
+            bch.iter(|| maxplus_ref(&a, &b, cap))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", label), &label, |bch, _| {
+            bch.iter(|| maxplus_blocked(&a, &b, cap))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    // End to end at n = 10^5 on a narrow machine (m < 16n keeps every
+    // probe on the convolution path rather than the large-m FPTAS).
+    const N: usize = 100_000;
+    const M: u64 = 512;
+    let inst = bench_instance(BenchFamily::Mixed, N, M, 11);
+    let view = JobView::build(&inst);
+    let solver = solver_by_name("conv-fptas", &Ratio::new(1, 2)).expect("registry name");
+    let mut group = c.benchmark_group("convolve");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("solver-conv-fptas", N), |b| {
+        b.iter(|| solver.solve(&view, M))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel, bench_solver);
+criterion_main!(benches);

@@ -15,6 +15,7 @@
 //! (ρ = Θ(δ) still holds), never weakens a guarantee. This substitution is
 //! recorded in DESIGN.md.
 
+use crate::geom::{igeom_covering, round_down_u64};
 use crate::job::Job;
 use crate::ratio::Ratio;
 use crate::types::Procs;
@@ -155,6 +156,61 @@ impl DoubleCompression {
     }
 }
 
+/// The size-class table of Section 4.3.1: processor counts rounded onto
+/// `O(1/δ · log m)` classes.
+///
+/// Allotments below the width threshold `b` stay **exact** (those jobs
+/// cannot be compressed, so their sizes must not be perturbed); allotments
+/// `≥ b` are rounded **down** onto the geometric grid
+/// `igeom(b, m, 1+ρ)`. The table is shared by every knapsack-based solver
+/// — Algorithm 3's bounded knapsack and the compression+convolution
+/// solver both group jobs by the classes defined here, so their rounded
+/// instances are identical by construction.
+#[derive(Clone, Debug)]
+pub struct SizeClassGrid {
+    b: Procs,
+    grid: Vec<Procs>,
+}
+
+impl SizeClassGrid {
+    /// Build the table for machines of width `m` under `dc`'s parameters.
+    pub fn build(dc: &DoubleCompression, m: Procs) -> Self {
+        let b = dc.b();
+        let grid = if m > b {
+            igeom_covering(b, m, &dc.rho().one_plus())
+        } else {
+            vec![b]
+        };
+        SizeClassGrid { b, grid }
+    }
+
+    /// The width threshold `b`: sizes below it are kept exact.
+    pub fn b(&self) -> Procs {
+        self.b
+    }
+
+    /// The geometric grid the compressible sizes land on (first value `b`).
+    pub fn grid(&self) -> &[Procs] {
+        &self.grid
+    }
+
+    /// Round an allotment down to its size class (identity below `b`).
+    pub fn round_down(&self, p: Procs) -> Procs {
+        if p < self.b {
+            p
+        } else {
+            // p ≥ b = grid[0], so the lookup always succeeds.
+            round_down_u64(p, &self.grid).unwrap_or(self.grid[0])
+        }
+    }
+
+    /// Upper bound on the number of distinct rounded sizes:
+    /// `b` exact classes plus the grid — `O(1/δ + log_{1+ρ} m)`.
+    pub fn class_count(&self) -> usize {
+        self.b as usize + self.grid.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +288,38 @@ mod tests {
         let two_step = target.mul(&target).mul_int(b as u128);
         assert!(Ratio::from(compressed) <= two_step);
         assert!(Ratio::from(compressed + 1) > two_step.sub(&Ratio::one()));
+    }
+
+    #[test]
+    fn size_class_grid_rounds_down_within_factor() {
+        let dc = DoubleCompression::for_delta(Ratio::new(1, 2));
+        let m = 4096;
+        let g = SizeClassGrid::build(&dc, m);
+        assert_eq!(g.grid()[0], g.b());
+        assert!(*g.grid().last().unwrap() >= m);
+        for p in 1..=m {
+            let r = g.round_down(p);
+            assert!(r <= p, "rounding must go down");
+            assert_eq!(g.round_down(r), r, "rounding must be idempotent");
+            if p < g.b() {
+                assert_eq!(r, p, "sizes below b stay exact");
+            } else {
+                // The covering grid loses at most the 1+ρ step factor.
+                assert!(r >= g.b());
+                assert!(Ratio::from(p) <= dc.rho().one_plus().mul_int(r as u128));
+            }
+        }
+        assert!(g.class_count() > g.b() as usize);
+    }
+
+    #[test]
+    fn size_class_grid_narrow_machine() {
+        // m ≤ b: every size is below the threshold and stays exact.
+        let dc = DoubleCompression::for_delta(Ratio::one());
+        let g = SizeClassGrid::build(&dc, 4);
+        for p in 1..=4 {
+            assert_eq!(g.round_down(p), p);
+        }
     }
 
     #[test]

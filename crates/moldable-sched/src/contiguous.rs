@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn contiguous_on_random_instances() {
-        let mut seed = 0xC0117160_0115u64;
+        let mut seed = 0xC011_7160_0115_u64;
         for round in 0..20 {
             let m = xorshift(&mut seed) % 12 + 1;
             let n = (xorshift(&mut seed) % 8 + 1) as usize;

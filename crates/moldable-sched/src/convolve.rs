@@ -1,0 +1,210 @@
+//! Dense `(max,+)`-convolution kernels — the inner loop of the
+//! compression+convolution solver ([`crate::conv_fptas`], after
+//! Grage–Jansen–Ohnesorge, arXiv:2303.01414).
+//!
+//! The `(max,+)` (tropical) convolution of two profit arrays is
+//!
+//! ```text
+//! out[k] = max { a[i] + b[j] : i + j = k },   0 ≤ k < la + lb − 1,
+//! ```
+//!
+//! optionally truncated to a capacity cap (the knapsack never asks about
+//! capacities beyond `m`). Two implementations share one contract:
+//!
+//! * [`maxplus_ref`] — the textbook output-major scalar loop. One pass
+//!   per output cell, reading `b` backwards; the loop-carried `max`
+//!   dependency and the reversed stream keep it scalar. This is the
+//!   readable reference the property tests pin the fast kernel against.
+//! * [`maxplus_blocked`] — the cache-blocked, auto-vectorization-friendly
+//!   kernel. The outer loop tiles `a` into [`BLOCK`]-element chunks
+//!   (8 KiB — a tile stays resident in L1d across the whole `b` sweep);
+//!   for each fixed `j` the inner loop is a forward
+//!   `out[k] = max(out[k], a[i] + bj)` stream over contiguous slices with
+//!   no carried dependency, which LLVM turns into packed u64 add +
+//!   compare/blend. Tiling cuts the `a`-traffic per output element by a
+//!   factor of [`BLOCK`] versus the output-major loop.
+//!
+//! Both kernels are **exact** and byte-identical on every input (pinned
+//! by `tests/proptest_convolve.rs` including non-multiple-of-[`BLOCK`]
+//! tails); `benches/convolve.rs` gates the speedup in CI.
+//!
+//! **Overflow contract.** Entries are plain `u64` lanes; callers must
+//! guarantee `a[i] + b[j]` cannot overflow (the solver checks total
+//! profit mass before choosing this path — see
+//! [`crate::conv_fptas`]). Debug builds assert it.
+
+use moldable_core::types::Work;
+
+/// `a`-tile size (elements) of the blocked kernel: 8 KiB of u64, small
+/// enough that a tile plus the streaming `out`/`b` lines stay in a
+/// typical 32 KiB L1d.
+pub const BLOCK: usize = 1024;
+
+/// Output length of a `(max,+)` convolution truncated at `cap` entries.
+#[inline]
+pub fn maxplus_len(la: usize, lb: usize, cap: usize) -> usize {
+    if la == 0 || lb == 0 {
+        return 0;
+    }
+    (la + lb - 1).min(cap)
+}
+
+/// Reference scalar `(max,+)` convolution, truncated to `cap` entries.
+///
+/// Output-major: `out[k] = max_{i+j=k} a[i] + b[j]` computed cell by
+/// cell. `O(la·lb)` adds. Empty inputs (or `cap == 0`) give an empty
+/// output.
+pub fn maxplus_ref(a: &[u64], b: &[u64], cap: usize) -> Vec<u64> {
+    let out_len = maxplus_len(a.len(), b.len(), cap);
+    let mut out = Vec::with_capacity(out_len);
+    for k in 0..out_len {
+        // Valid i range: 0 ≤ i < la and 0 ≤ k − i < lb.
+        let ilo = (k + 1).saturating_sub(b.len());
+        let ihi = k.min(a.len() - 1);
+        let mut best = 0u64;
+        for i in ilo..=ihi {
+            let v = a[i] + b[k - i];
+            debug_assert!(v >= a[i], "maxplus overflow at i={i}, k={k}");
+            if v > best {
+                best = v;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Cache-blocked `(max,+)` convolution, truncated to `cap` entries.
+/// Byte-identical to [`maxplus_ref`] on every input; see the module docs
+/// for the blocking scheme.
+pub fn maxplus_blocked(a: &[u64], b: &[u64], cap: usize) -> Vec<u64> {
+    let out_len = maxplus_len(a.len(), b.len(), cap);
+    let mut out = vec![0u64; out_len];
+    if out_len == 0 {
+        return out;
+    }
+    for tile_start in (0..a.len()).step_by(BLOCK) {
+        let tile = &a[tile_start..(tile_start + BLOCK).min(a.len())];
+        for (j, &bj) in b.iter().enumerate() {
+            let k0 = tile_start + j;
+            if k0 >= out_len {
+                break; // later j only move further past the cap
+            }
+            let len = tile.len().min(out_len - k0);
+            // Contiguous forward streams with no carried dependency:
+            // LLVM auto-vectorizes the add + max.
+            for (dst, &ai) in out[k0..k0 + len].iter_mut().zip(&tile[..len]) {
+                let v = ai + bj;
+                if v > *dst {
+                    *dst = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Greedy per-size profit staircase: `out[c] = prefix[min(c / size, K)]`
+/// for `c ≤ cap − 1`, where `prefix[k]` is the best total profit of any
+/// `k` units (`prefix` must be a prefix-sum of unit profits sorted
+/// non-increasing — taking the top `k` units of one size is exact
+/// because equal-size units are interchangeable). The result is the
+/// dense operand the solver feeds to the kernel for one size class.
+pub fn size_class_profits(size: u64, prefix: &[Work], cap: usize) -> Vec<u64> {
+    debug_assert!(size >= 1, "size classes start at one processor");
+    debug_assert!(!prefix.is_empty() && prefix[0] == 0, "prefix[0] must be 0");
+    let units = prefix.len() - 1;
+    let full = (units as u128 * size as u128).saturating_add(1);
+    let len = (full.min(cap as u128)) as usize;
+    let mut out = Vec::with_capacity(len);
+    for c in 0..len as u64 {
+        let k = ((c / size) as usize).min(units);
+        let p = prefix[k];
+        debug_assert!(u64::try_from(p).is_ok(), "profit exceeds the u64 lane");
+        out.push(p as u64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    fn random_vec(seed: &mut u64, len: usize, max: u64) -> Vec<u64> {
+        (0..len).map(|_| xorshift(seed) % max).collect()
+    }
+
+    #[test]
+    fn matches_reference_across_block_tails() {
+        // Lengths straddling the tile boundary: 1, BLOCK−1, BLOCK,
+        // BLOCK+1, 2·BLOCK+17 — every tail shape the blocked loops see.
+        let mut seed = 0xC04Au64 ^ 0xC0417;
+        let lens = [1usize, 7, BLOCK - 1, BLOCK, BLOCK + 1, 2 * BLOCK + 17];
+        for &la in &lens {
+            for &lb in &[1usize, 3, BLOCK, BLOCK + 5] {
+                let a = random_vec(&mut seed, la, 1 << 20);
+                let b = random_vec(&mut seed, lb, 1 << 20);
+                for cap in [usize::MAX, la + lb - 1, la, 1] {
+                    assert_eq!(
+                        maxplus_blocked(&a, &b, cap),
+                        maxplus_ref(&a, &b, cap),
+                        "la={la} lb={lb} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_small_convolution() {
+        // out[k] = max(a[i] + b[k-i]): hand-checked.
+        let a = [0, 5, 6];
+        let b = [0, 3];
+        assert_eq!(maxplus_ref(&a, &b, usize::MAX), vec![0, 5, 8, 9]);
+        assert_eq!(maxplus_blocked(&a, &b, usize::MAX), vec![0, 5, 8, 9]);
+        assert_eq!(maxplus_blocked(&a, &b, 2), vec![0, 5]);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        assert!(maxplus_ref(&[], &[1, 2], usize::MAX).is_empty());
+        assert!(maxplus_blocked(&[1, 2], &[], usize::MAX).is_empty());
+        assert!(maxplus_blocked(&[1], &[1], 0).is_empty());
+    }
+
+    #[test]
+    fn monotone_inputs_give_monotone_output() {
+        let mut seed = 0x0Au64 ^ 0x40404;
+        for _ in 0..20 {
+            let mut a = random_vec(&mut seed, 200, 1000);
+            let mut b = random_vec(&mut seed, 57, 1000);
+            a.sort_unstable();
+            b.sort_unstable();
+            let out = maxplus_blocked(&a, &b, usize::MAX);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn size_class_profit_staircase() {
+        // 3 units of size 4, profits 10 ≥ 7 ≥ 1 → prefix [0,10,17,18].
+        let stairs = size_class_profits(4, &[0, 10, 17, 18], usize::MAX);
+        assert_eq!(stairs.len(), 13);
+        assert_eq!(&stairs[0..4], &[0, 0, 0, 0]);
+        assert_eq!(&stairs[4..8], &[10, 10, 10, 10]);
+        assert_eq!(stairs[8], 17);
+        assert_eq!(stairs[12], 18);
+        // Truncation keeps only capacities below the cap.
+        assert_eq!(
+            size_class_profits(4, &[0, 10, 17, 18], 5),
+            vec![0, 0, 0, 0, 10]
+        );
+    }
+}

@@ -22,17 +22,16 @@
 use crate::assemble::assemble;
 use crate::dual::DualAlgorithm;
 use crate::fptas_large_m::FptasLargeM;
+use crate::rounding::{round_knapsack_types, RoundedTypes};
 use crate::schedule::Schedule;
 use crate::shelves::ShelfContext;
 use crate::transform::TransformMode;
 use moldable_core::compression::DoubleCompression;
-use moldable_core::geom::{igeom_covering, rgeom, round_down_u64};
 use moldable_core::ratio::Ratio;
-use moldable_core::types::{JobId, Procs, Time, Work};
+use moldable_core::types::{JobId, Procs, Time};
 use moldable_core::view::JobView;
-use moldable_knapsack::bounded::{solve_bounded, ItemType};
+use moldable_knapsack::bounded::solve_bounded;
 use moldable_knapsack::compressible::CompressibleParams;
-use std::collections::BTreeMap;
 
 /// Which transformation discipline the final assembly uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,27 +108,44 @@ impl ImprovedDual {
         let one_plus_delta = self.delta().one_plus();
         one_plus_delta.mul(&one_plus_delta).mul_int(d as u128)
     }
-}
 
-/// Integer "round-up" geometric grid: first value ≥ lo, factor x, covering hi.
-fn up_grid(lo: &Ratio, hi: &Ratio, x: &Ratio) -> Vec<u128> {
-    let mut g = vec![lo.ceil().max(1)];
-    while Ratio::from_int(*g.last().unwrap()) < *hi {
-        let cur = *g.last().unwrap();
-        let nxt = (x.mul_int(cur).ceil()).max(cur + 1);
-        g.push(nxt);
-    }
-    g
-}
+    /// Algorithm 3's S1 choice over pre-rounded types (Section 4.3.2):
+    /// the compressible bounded knapsack, expanded back to concrete jobs.
+    /// Shared with [`crate::conv_fptas`], which races this choice against
+    /// its exact convolution choice probe by probe.
+    pub(crate) fn bounded_choice(&self, rounded: &RoundedTypes, capacity: Procs) -> Vec<JobId> {
+        let b = self.b();
+        let rho = self.dc.rho();
+        let types = &rounded.types;
+        let alpha_min = types
+            .iter()
+            .filter(|t| t.compressible)
+            .map(|t| t.size)
+            .min()
+            .unwrap_or(b);
+        // A solution never holds more compressible jobs than exist.
+        let n_compressible: u64 = types
+            .iter()
+            .filter(|t| t.compressible)
+            .map(|t| t.count)
+            .sum();
+        let params = CompressibleParams {
+            rho: rho.div_int(2),
+            alpha_min,
+            beta_max: capacity,
+            n_bar: (2 * capacity / b.max(1)).min(n_compressible.max(1)).max(1),
+        };
+        let bounded = solve_bounded(types, capacity, &params);
 
-/// Smallest grid value ≥ v (grids from [`up_grid`] always cover their range;
-/// extend defensively if v exceeds the top).
-fn round_up_int(v: u128, grid: &[u128]) -> u128 {
-    let idx = grid.partition_point(|&g| g < v);
-    if idx < grid.len() {
-        grid[idx]
-    } else {
-        v // beyond the analyzed range — keep exact (defensive)
+        // Expand type counts back to concrete jobs (jobs of a type are
+        // interchangeable after rounding — Lemma 19 accounts for the
+        // error).
+        let mut chosen: Vec<JobId> = Vec::new();
+        for &(type_id, units) in &bounded.counts {
+            let jobs = &rounded.jobs_by_type[type_id as usize];
+            chosen.extend(jobs.iter().take(units as usize));
+        }
+        chosen
     }
 }
 
@@ -158,117 +174,13 @@ impl DualAlgorithm for ImprovedDual {
             return FptasLargeM::new(Ratio::new(1, 2)).run(view, d);
         }
         let ctx = ShelfContext::build(view, d)?;
-        let m = view.m();
-        let b = self.b();
-        let rho = self.dc.rho();
-        let delta = self.delta();
-        let d_ratio = Ratio::from(d);
-        let half_d = d_ratio.div_int(2);
+        let stretch = self.dc.rho().mul_int(4).one_plus(); // 1 + 4ρ
 
-        // Rounding grids (Section 4.3.1).
-        let proc_grid: Vec<u64> = if m > b {
-            igeom_covering(b, m, &rho.one_plus())
-        } else {
-            vec![b]
-        };
-        let round_proc = |p: Procs| -> Procs {
-            if p < b {
-                p
-            } else {
-                // Integer-grid fast path (p ≥ b = grid[0], so Some).
-                round_down_u64(p, &proc_grid).unwrap_or(proc_grid[0])
-            }
-        };
-        let stretch = rho.mul_int(4).one_plus(); // 1 + 4ρ
-        let time_grid_d = rgeom(&d_ratio.div_int(2), &d_ratio, &stretch);
-        let time_grid_half = rgeom(&d_ratio.div_int(4), &half_d, &stretch);
-        let round_time = |t: Time, grid: &[Ratio]| -> Ratio {
-            let v = Ratio::from(t);
-            let idx = grid.partition_point(|g| *g <= v);
-            if idx == 0 {
-                grid[0]
-            } else {
-                grid[idx - 1]
-            }
-        };
-        let profit_lo = delta.mul_int(d as u128).div_int(2); // δd/2
-        let profit_hi = Ratio::from_int(b as u128).mul_int(d as u128).div_int(2); // bd/2
-        let profit_grid = up_grid(&profit_lo, &profit_hi, &delta.div_int(b as u128).one_plus());
-
-        // Round every knapsack job to a type (Section 4.3.1).
-        let mut groups: BTreeMap<(u64, Work, bool), Vec<JobId>> = BTreeMap::new();
-        for bj in &ctx.knapsack_jobs {
-            let gamma_half = bj.gamma_half_d.expect("knapsack jobs have γ(d/2)");
-            let size = round_proc(bj.gamma_d);
-            let compressible = bj.gamma_d >= b;
-            let rounded_half = round_proc(gamma_half);
-            let profit: Work = if rounded_half < b {
-                // Narrow in S2: round the original profit.
-                if Ratio::from_int(bj.profit) < profit_lo {
-                    0
-                } else {
-                    round_up_int(bj.profit, &profit_grid)
-                }
-            } else {
-                // Wide in S2: saved work according to rounded values.
-                let t_d = round_time(view.time(bj.id, bj.gamma_d), &time_grid_d);
-                let t_half = round_time(view.time(bj.id, gamma_half), &time_grid_half);
-                let saved_half = t_half.mul_int(rounded_half as u128);
-                let saved_d = t_d.mul_int(size as u128);
-                if saved_half > saved_d {
-                    saved_half.sub(&saved_d).floor()
-                } else {
-                    0
-                }
-            };
-            groups
-                .entry((size, profit, compressible))
-                .or_default()
-                .push(bj.id);
-        }
-
-        // Bounded knapsack over the types (Section 4.3.2).
-        let types: Vec<ItemType> = groups
-            .iter()
-            .enumerate()
-            .map(|(i, (&(size, profit, compressible), jobs))| ItemType {
-                type_id: i as u32,
-                size,
-                profit,
-                count: jobs.len() as u64,
-                compressible,
-            })
-            .collect();
-        let type_jobs: Vec<&Vec<JobId>> = groups.values().collect();
-        let alpha_min = types
-            .iter()
-            .filter(|t| t.compressible)
-            .map(|t| t.size)
-            .min()
-            .unwrap_or(b);
-        // A solution never holds more compressible jobs than exist.
-        let n_compressible: u64 = types
-            .iter()
-            .filter(|t| t.compressible)
-            .map(|t| t.count)
-            .sum();
-        let params = CompressibleParams {
-            rho: rho.div_int(2),
-            alpha_min,
-            beta_max: ctx.capacity,
-            n_bar: (2 * ctx.capacity / b.max(1))
-                .min(n_compressible.max(1))
-                .max(1),
-        };
-        let bounded = solve_bounded(&types, ctx.capacity, &params);
-
-        // Expand type counts back to concrete jobs (jobs of a type are
-        // interchangeable after rounding — Lemma 19 accounts for the error).
-        let mut chosen: Vec<JobId> = Vec::new();
-        for &(type_id, units) in &bounded.counts {
-            let jobs = type_jobs[type_id as usize];
-            chosen.extend(jobs.iter().take(units as usize));
-        }
+        // Round every knapsack job to a type (Section 4.3.1, shared with
+        // the convolution solver — see `crate::rounding`), then pick the
+        // S1 set via the compressible bounded knapsack (Section 4.3.2).
+        let rounded = round_knapsack_types(view, &ctx, &self.dc, d);
+        let mut chosen = self.bounded_choice(&rounded, ctx.capacity);
         chosen.extend(ctx.forced.iter().map(|&(id, _)| id));
 
         let d_prime = self.d_prime(d);

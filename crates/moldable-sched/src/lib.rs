@@ -18,6 +18,11 @@
 //!   items (Section 4.2);
 //! * [`improved`] — Algorithm 3 via item-type rounding + bounded knapsack
 //!   (Section 4.3) and the fully linear variant (Section 4.3.3);
+//! * [`rounding`] — the Section 4.3.1 item-type rounding pass, shared by
+//!   every knapsack-based solver;
+//! * [`convolve`] / [`conv_fptas`] — the cache-blocked (max,+) kernel and
+//!   the compression+convolution solver built on it
+//!   (Grage–Jansen–Ohnesorge, arXiv:2303.01414);
 //! * [`exact`] — exhaustive ground truth for tiny instances (Theorem 1's
 //!   NP-membership procedure);
 //! * [`baselines`] — the 2-approximation and the sequential baseline;
@@ -36,6 +41,8 @@ pub mod baselines;
 pub mod batch;
 pub mod compressible_sched;
 pub mod contiguous;
+pub mod conv_fptas;
+pub mod convolve;
 pub mod dual;
 pub mod estimator;
 pub mod exact;
@@ -45,6 +52,7 @@ pub mod list_scheduling;
 pub mod mrt;
 pub mod place;
 pub mod ptas;
+pub mod rounding;
 pub mod schedule;
 pub mod shelves;
 pub mod small_jobs;
@@ -55,6 +63,8 @@ pub mod validate;
 pub use batch::{race, solve_many, BatchResult};
 pub use compressible_sched::CompressibleDual;
 pub use contiguous::ContiguousSolver;
+pub use conv_fptas::{ConvDual, ConvFptasSolver};
+pub use convolve::{maxplus_blocked, maxplus_ref, BLOCK};
 pub use dual::{approximate, approximate_view, ApproxResult, DualAlgorithm};
 pub use estimator::{estimate, estimate_view, Estimate};
 pub use fptas_large_m::{fptas_schedule, FptasLargeM};

@@ -23,6 +23,7 @@
 
 use crate::baselines;
 use crate::contiguous::ContiguousSolver;
+use crate::conv_fptas::ConvFptasSolver;
 use crate::dual::{approximate_view, DualAlgorithm};
 use crate::exact;
 use crate::fptas_large_m::FptasLargeM;
@@ -267,6 +268,7 @@ pub const SOLVER_NAMES: &[&str] = &[
     "alg3",
     "linear",
     "contiguous-73-50",
+    "conv-fptas",
     "fptas",
     "ptas",
     "two-approx",
@@ -310,6 +312,7 @@ pub fn solver_by_name(
         "alg3" => Box::new(DualSolver::new(ImprovedDual::new(*eps), *eps)),
         "linear" => Box::new(DualSolver::new(ImprovedDual::new_linear(*eps), *eps)),
         "contiguous-73-50" => Box::new(ContiguousSolver::new(*eps)),
+        "conv-fptas" => Box::new(ConvFptasSolver::new(*eps)),
         "fptas" => Box::new(FptasSolver::new(*eps)),
         "ptas" => Box::new(PtasSolver::new(*eps)),
         "two-approx" => Box::new(TwoApproxSolver),

@@ -5,21 +5,32 @@
 //! targets link against this shim instead of real criterion. It keeps the
 //! same API shape (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
 //! `criterion_group!`, `criterion_main!`) but replaces statistical sampling
-//! with a warm-up + N timed iterations reported as **min / median / p95**
-//! on one line per benchmark — min approximates the noise-free cost,
-//! median the typical cost, and p95 exposes jitter, which is enough to
-//! compare hot-path variants (e.g. the `JobView` memoization before/after)
-//! and to keep `cargo bench --no-run` compiling every bench target in CI.
-//! Swap the
+//! with an adaptive warm-up + N timed iterations reported as
+//! **min / median / p95** on one line per benchmark — min approximates
+//! the noise-free cost, median the typical cost, and p95 exposes jitter,
+//! which is enough to compare hot-path variants (e.g. the `JobView`
+//! memoization before/after) and to keep `cargo bench --no-run` compiling
+//! every bench target in CI. Swap the
 //! `[workspace.dependencies]` entry back to registry criterion when
 //! statistically rigorous numbers are needed.
 //!
+//! **Warm-up detection.** Instead of exactly one untimed run, the shim
+//! keeps warming until two consecutive runs agree within 20% (or
+//! [`WARMUP_CAP`] runs elapse), so cold caches, lazy statics, and page
+//! faults settle before the first counted sample. The number of warm-up
+//! iterations actually used is reported per benchmark.
+//!
 //! **Machine-readable results.** When the `CRITERION_JSON` environment
 //! variable names a file, [`criterion_main!`]'s generated `main` also
-//! writes every benchmark's min/median/p95 (nanoseconds) and sample
-//! count there as one JSON object keyed by benchmark label — the format
-//! `ci/bench_gate.py` diffs against `benches/baseline.json` for the CI
-//! perf-regression gate. Re-baseline with
+//! writes every benchmark's min/median/p95 (nanoseconds), a bootstrap
+//! 95% confidence interval on the median (`median_ci_lo_ns` /
+//! `median_ci_hi_ns`, 200 resamples with a fixed-seed PRNG), the warm-up
+//! iteration count, and the sample count as one JSON object keyed by
+//! benchmark label — the format `ci/bench_gate.py` diffs against
+//! `benches/baseline.json` for the CI perf-regression gate. The gate
+//! uses the CI width to pick its tolerance: benchmarks whose baseline
+//! interval is tight (< 10% of the median) get the strict 1.5× bar,
+//! noisy ones keep the generous 2.0× default. Re-baseline with
 //! `ci/bench_gate.py --update` (see that script's `--help`).
 
 #![forbid(unsafe_code)]
@@ -31,12 +42,21 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Upper bound on adaptive warm-up runs before sampling starts anyway.
+pub const WARMUP_CAP: usize = 5;
+
+/// Bootstrap resamples behind the reported median confidence interval.
+const BOOTSTRAP_RESAMPLES: usize = 200;
+
 /// One finished benchmark's summary, collected for `CRITERION_JSON`.
 struct BenchRecord {
     label: String,
     min_ns: u128,
     median_ns: u128,
     p95_ns: u128,
+    median_ci_lo_ns: u128,
+    median_ci_hi_ns: u128,
+    warmup_iters: usize,
     samples: usize,
 }
 
@@ -70,11 +90,16 @@ pub fn flush_json_results() {
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
         out.push_str(&format!(
-            "  \"{}\": {{\"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"samples\": {}}}{comma}\n",
+            "  \"{}\": {{\"min_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \
+             \"median_ci_lo_ns\": {}, \"median_ci_hi_ns\": {}, \
+             \"warmup_iters\": {}, \"samples\": {}}}{comma}\n",
             escape_json(&r.label),
             r.min_ns,
             r.median_ns,
             r.p95_ns,
+            r.median_ci_lo_ns,
+            r.median_ci_hi_ns,
+            r.warmup_iters,
             r.samples,
         ));
     }
@@ -201,12 +226,32 @@ impl Display for BenchmarkId {
 pub struct Bencher {
     samples: Vec<Duration>,
     per_sample: usize,
+    warmup_iters: usize,
 }
 
 impl Bencher {
-    /// Time `f`, once untimed to warm up and then `sample_size` timed runs.
+    /// Time `f`: adaptive warm-up until two consecutive runs agree
+    /// within 20% (capped at [`WARMUP_CAP`] runs), then `sample_size`
+    /// timed runs.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f());
+        let mut prev: Option<Duration> = None;
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            let t = start.elapsed();
+            self.warmup_iters += 1;
+            if let Some(p) = prev {
+                let (lo, hi) = if t < p {
+                    (t.as_nanos(), p.as_nanos())
+                } else {
+                    (p.as_nanos(), t.as_nanos())
+                };
+                if hi <= lo + lo / 5 || self.warmup_iters >= WARMUP_CAP {
+                    break;
+                }
+            }
+            prev = Some(t);
+        }
         for _ in 0..self.per_sample {
             let start = Instant::now();
             black_box(f());
@@ -215,10 +260,38 @@ impl Bencher {
     }
 }
 
+/// Percentile bootstrap 95% CI on the median: resample the sorted
+/// sample set `BOOTSTRAP_RESAMPLES` times with replacement (fixed-seed
+/// xorshift64, so reruns on identical samples reproduce the interval)
+/// and take the 2.5th/97.5th percentiles of the resampled medians.
+fn bootstrap_median_ci(sorted: &[Duration]) -> (u128, u128) {
+    let n = sorted.len();
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut medians: Vec<u128> = (0..BOOTSTRAP_RESAMPLES)
+        .map(|_| {
+            let mut resample: Vec<u128> = (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    sorted[(state % n as u64) as usize].as_nanos()
+                })
+                .collect();
+            resample.sort_unstable();
+            resample[n / 2]
+        })
+        .collect();
+    medians.sort_unstable();
+    let lo = medians[BOOTSTRAP_RESAMPLES * 25 / 1000];
+    let hi = medians[BOOTSTRAP_RESAMPLES * 975 / 1000 - 1];
+    (lo, hi)
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     let mut b = Bencher {
         samples: Vec::new(),
         per_sample: sample_size,
+        warmup_iters: 0,
     };
     f(&mut b);
     if b.samples.is_empty() {
@@ -231,8 +304,11 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     let median = b.samples[n / 2];
     // Nearest-rank p95: ⌈0.95·n⌉-th order statistic.
     let p95 = b.samples[((n * 95).div_ceil(100)).clamp(1, n) - 1];
+    let (ci_lo, ci_hi) = bootstrap_median_ci(&b.samples);
     println!(
-        "{label:<50} min {min:>10.3?}  median {median:>10.3?}  p95 {p95:>10.3?}  ({n} samples)"
+        "{label:<50} min {min:>10.3?}  median {median:>10.3?}  p95 {p95:>10.3?}  \
+         ({n} samples, {} warmups)",
+        b.warmup_iters
     );
     RECORDS
         .lock()
@@ -242,6 +318,9 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
             min_ns: min.as_nanos(),
             median_ns: median.as_nanos(),
             p95_ns: p95.as_nanos(),
+            median_ci_lo_ns: ci_lo,
+            median_ci_hi_ns: ci_hi,
+            warmup_iters: b.warmup_iters,
             samples: n,
         });
 }
@@ -290,8 +369,24 @@ mod tests {
             })
         });
         group.finish();
-        // One warm-up plus three samples.
-        assert_eq!(calls, 4);
+        // Between 2 and WARMUP_CAP adaptive warm-ups plus three samples.
+        assert!(
+            (2 + 3..=WARMUP_CAP + 3).contains(&calls),
+            "unexpected call count {calls}"
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_median() {
+        let samples: Vec<Duration> = [10u64, 11, 12, 12, 13, 14, 90]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        let (lo, hi) = bootstrap_median_ci(&samples);
+        let median = samples[samples.len() / 2].as_nanos();
+        assert!(lo <= median && median <= hi, "[{lo}, {hi}] misses {median}");
+        // Deterministic: same samples, same interval.
+        assert_eq!((lo, hi), bootstrap_median_ci(&samples));
     }
 
     #[test]
@@ -306,7 +401,15 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert!(text.contains("\"shim/json-smoke\""), "{text}");
-        for key in ["min_ns", "median_ns", "p95_ns", "samples"] {
+        for key in [
+            "min_ns",
+            "median_ns",
+            "p95_ns",
+            "median_ci_lo_ns",
+            "median_ci_hi_ns",
+            "warmup_iters",
+            "samples",
+        ] {
             assert!(text.contains(key), "missing {key}: {text}");
         }
         // Well-formed JSON object: balanced braces, no trailing comma.

@@ -1,12 +1,18 @@
 //! End-to-end certification of every approximation guarantee against the
-//! exact optimum (Theorem 2 & Theorem 3) on randomized tiny instances.
+//! exact optimum (Theorem 2 & Theorem 3) on randomized tiny instances,
+//! plus proptest coverage of the per-run ratio certificates the solver
+//! facade reports (`makespan ≤ ratio_bound · lower_bound`).
 
+use moldable::core::view::JobView;
 use moldable::prelude::*;
 use moldable::sched::baselines::two_approx;
 use moldable::sched::exact::optimal_makespan;
+use moldable::sched::solver::solver_by_name;
 use moldable::workloads::random_table_instance;
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 fn tiny_instances(seed: u64, count: usize) -> Vec<Instance> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -75,6 +81,75 @@ fn fptas_meets_one_plus_eps_in_its_regime() {
         let bound = eps.one_plus().mul(&eps.one_plus()).mul(&opt);
         let mk = res.schedule.makespan(&big);
         assert!(mk <= bound, "instance {i}: {mk} > (1+ε)²·{opt}");
+    }
+}
+
+fn certificate_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=6, 1u64..=8).prop_flat_map(|(n, m)| {
+        prop::collection::vec(
+            prop::collection::vec(1u64..120, m as usize..=m as usize),
+            n..=n,
+        )
+        .prop_map(move |tables| {
+            let curves = tables
+                .into_iter()
+                .map(|mut t| {
+                    moldable::core::speedup::monotone_closure(&mut t);
+                    SpeedupCurve::Table(Arc::new(t))
+                })
+                .collect();
+            Instance::new(curves, m)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The per-run certificates the placement-aware solvers report are
+    /// sound: the schedule is feasible, and `makespan ≤ ratio_bound ·
+    /// lower_bound` holds for the pair the solver itself hands back —
+    /// the exact inequality `moldable race` and `/v1/race` display to
+    /// users as `bound_holds`.
+    #[test]
+    fn reported_certificates_are_sound(inst in certificate_instance()) {
+        let eps = Ratio::new(1, 4);
+        let view = JobView::build(&inst);
+        for name in ["conv-fptas", "contiguous-73-50"] {
+            let solver = solver_by_name(name, &eps).unwrap();
+            let out = solver.solve(&view, inst.m());
+            validate(&out.schedule, &inst)
+                .unwrap_or_else(|e| panic!("{name}: infeasible schedule: {e}"));
+            prop_assert_eq!(
+                &out.makespan,
+                &out.schedule.makespan(&inst),
+                "{} misreports its makespan", name
+            );
+            let bound = out.ratio_bound.unwrap_or_else(|| panic!("{name}: no ratio bound"));
+            let lb = out.lower_bound.unwrap_or_else(|| panic!("{name}: no lower bound"));
+            prop_assert!(
+                out.makespan <= bound.mul_int(lb.into()),
+                "{}: makespan {} > {} · lb {}", name, out.makespan, bound, lb
+            );
+        }
+    }
+
+    /// Certificates never overstate quality: the certified lower bound
+    /// really is a lower bound on the exact optimum.
+    #[test]
+    fn certified_lower_bounds_never_exceed_opt(inst in certificate_instance()) {
+        let eps = Ratio::new(1, 4);
+        let opt = optimal_makespan(&inst);
+        let view = JobView::build(&inst);
+        for name in ["conv-fptas", "contiguous-73-50"] {
+            let solver = solver_by_name(name, &eps).unwrap();
+            let out = solver.solve(&view, inst.m());
+            let lb = out.lower_bound.unwrap();
+            prop_assert!(
+                Ratio::from(lb) <= opt,
+                "{}: claimed lower bound {} exceeds OPT {}", name, lb, opt
+            );
+        }
     }
 }
 

@@ -1,5 +1,10 @@
 //! Differential tests: independent implementations must agree.
 //!
+//! * Every registry solver is raced on a pinned mixed corpus (synthetic
+//!   families plus the bundled SWF sample) against the exact solver's
+//!   optimum on small instances and its own certified ratio bound on
+//!   large ones; `conv-fptas` answers are pinned byte for byte and must
+//!   beat or match Algorithm 3 on ≥95% of the corpus.
 //! * All four dual algorithms bracket the same optimum on random
 //!   instances (their makespans differ at most by their guarantee gap).
 //! * The knapsack solvers (capacity DP, pair-list, brute force, and the
@@ -9,8 +14,13 @@
 
 use moldable::core::bounds::parametric_lower_bound;
 use moldable::core::counting_instance;
+use moldable::core::view::JobView;
 use moldable::knapsack::{brute::brute_force, dp, solve_fptas, Item};
 use moldable::prelude::*;
+use moldable::sched::solver::{
+    race_roster, solver_by_name, ExactSolver, MakespanSolver, SOLVER_NAMES,
+};
+use moldable::workloads::{SwfSource, SwfTrace, SynthesisParams, WorkloadSource};
 
 fn xorshift(seed: &mut u64) -> u64 {
     *seed ^= *seed << 13;
@@ -18,6 +28,196 @@ fn xorshift(seed: &mut u64) -> u64 {
     *seed ^= *seed << 17;
     *seed
 }
+
+/// The pinned mixed corpus for the registry-wide differential harness:
+/// every synthetic family at shapes from exhaustively-checkable to
+/// rounding-grid-exercising, plus the bundled SWF sample. Labels are
+/// stable — the `conv-fptas` pinning below keys on them.
+fn differential_corpus() -> Vec<(String, Instance)> {
+    let mut corpus = Vec::new();
+    for family in BenchFamily::all() {
+        for &(n, m, seed) in &[
+            // Small: the exact solver joins the race (n ≤ 6, m ≤ 6).
+            (4usize, 3u64, 1u64),
+            (5, 4, 2),
+            (6, 6, 3),
+            // Large: certified ratio bounds are the oracle.
+            (24, 32, 4),
+            (60, 256, 5),
+            (120, 1024, 6),
+        ] {
+            corpus.push((
+                format!("{}/n{n}/m{m}/s{seed}", family.name()),
+                bench_instance(family, n, m, seed),
+            ));
+        }
+    }
+    let trace = SwfTrace::from_path("tests/data/sample.swf").expect("bundled sample parses");
+    let source = SwfSource::new(trace, None, SynthesisParams::default())
+        .expect("sample has a machine count")
+        .with_max_jobs(48);
+    corpus.push(("swf/sample48".into(), source.offline_instance()));
+    corpus
+}
+
+#[test]
+fn registry_race_on_pinned_corpus() {
+    // Every registry solver (11 names), every corpus instance: feasible,
+    // and correct against the strongest available oracle — the exact
+    // optimum where the exhaustive search fits, the solver's own
+    // certified ratio bound everywhere else.
+    let eps = Ratio::new(1, 4);
+    for (label, inst) in differential_corpus() {
+        let view = JobView::build(&inst);
+        let roster = race_roster(&view, &eps);
+        let expected = if ExactSolver::fits(&view) {
+            SOLVER_NAMES.len()
+        } else {
+            SOLVER_NAMES.len() - 1
+        };
+        assert_eq!(roster.len(), expected, "{label}: roster size");
+        let opt = ExactSolver::fits(&view).then(|| ExactSolver.solve(&view, view.m()).makespan);
+        for solver in &roster {
+            let out = solver.solve(&view, view.m());
+            validate(&out.schedule, &inst)
+                .unwrap_or_else(|e| panic!("{label}/{}: {e}", solver.name()));
+            assert_eq!(
+                out.makespan,
+                out.schedule.makespan_view(&view),
+                "{label}/{}: reported makespan drifts from the schedule",
+                solver.name()
+            );
+            if let Some(opt) = &opt {
+                assert!(
+                    out.makespan >= *opt,
+                    "{label}/{}: beat the exact optimum",
+                    solver.name()
+                );
+                if let Some(bound) = &out.ratio_bound {
+                    assert!(
+                        out.makespan <= bound.mul(opt),
+                        "{label}/{}: makespan {} above certified {} × OPT {}",
+                        solver.name(),
+                        out.makespan,
+                        bound,
+                        opt
+                    );
+                }
+            }
+            // Certified-ratio oracle, available at every size: the dual
+            // searches prove L ≤ OPT, so makespan ≤ bound·L must hold.
+            if let (Some(bound), Some(lb)) = (&out.ratio_bound, out.lower_bound) {
+                assert!(
+                    out.makespan <= bound.mul_int(lb as u128),
+                    "{label}/{}: certificate unsound ({} > {} × {lb})",
+                    solver.name(),
+                    out.makespan,
+                    bound
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conv_fptas_beats_or_matches_improved_on_corpus() {
+    // The exact (max,+) knapsack saves at least as much work per probe
+    // as the approximate bounded knapsack, so conv-fptas must beat or
+    // match Algorithm 3's makespan on ≥ 95% of the corpus.
+    let eps = Ratio::new(1, 4);
+    let conv = solver_by_name("conv-fptas", &eps).unwrap();
+    let alg3 = solver_by_name("alg3", &eps).unwrap();
+    let mut total = 0usize;
+    let mut wins = 0usize;
+    let mut losses: Vec<String> = Vec::new();
+    for (label, inst) in differential_corpus() {
+        let view = JobView::build(&inst);
+        let c = conv.solve(&view, view.m());
+        let a = alg3.solve(&view, view.m());
+        total += 1;
+        if c.makespan <= a.makespan {
+            wins += 1;
+        } else {
+            losses.push(format!(
+                "{label}: conv {} vs alg3 {}",
+                c.makespan, a.makespan
+            ));
+        }
+    }
+    assert!(
+        wins * 100 >= total * 95,
+        "conv-fptas beat alg3 on only {wins}/{total} corpus instances: {losses:?}"
+    );
+}
+
+#[test]
+fn conv_fptas_answers_are_pinned() {
+    // Byte-identical determinism: two independent runs must agree on the
+    // makespan, every assignment, and every placement — and the makespans
+    // themselves are pinned against the recorded values below (exact
+    // rationals; any drift in rounding, kernel, fold order, or
+    // backtracking shows up here).
+    let eps = Ratio::new(1, 4);
+    let solver = solver_by_name("conv-fptas", &eps).unwrap();
+    let mut got: Vec<(String, String)> = Vec::new();
+    for (label, inst) in differential_corpus() {
+        let view = JobView::build(&inst);
+        let a = solver.solve(&view, view.m());
+        let b = solver.solve(&view, view.m());
+        assert_eq!(a.makespan, b.makespan, "{label}: nondeterministic makespan");
+        assert_eq!(a.probes, b.probes, "{label}: nondeterministic search");
+        assert_eq!(
+            format!("{:?}", a.schedule.assignments),
+            format!("{:?}", b.schedule.assignments),
+            "{label}: nondeterministic assignments"
+        );
+        assert_eq!(
+            format!("{:?}", a.schedule.placement),
+            format!("{:?}", b.schedule.placement),
+            "{label}: nondeterministic placement"
+        );
+        got.push((label, a.makespan.to_string()));
+    }
+    let want: Vec<(String, String)> = PINNED_CONV_FPTAS_MAKESPANS
+        .iter()
+        .map(|&(l, m)| (l.to_string(), m.to_string()))
+        .collect();
+    assert_eq!(
+        got, want,
+        "conv-fptas makespans drifted from the pinned table; if the change \
+         is deliberate, re-record PINNED_CONV_FPTAS_MAKESPANS:\n{got:#?}"
+    );
+}
+
+/// Recorded `conv-fptas` makespans (ε = 1/4) on the differential corpus.
+/// See [`conv_fptas_answers_are_pinned`] for the re-record procedure.
+const PINNED_CONV_FPTAS_MAKESPANS: &[(&str, &str)] = &[
+    ("power-law/n4/m3/s1", "28551000"),
+    ("power-law/n5/m4/s2", "18046145"),
+    ("power-law/n6/m6/s3", "22408393"),
+    ("power-law/n24/m32/s4", "13894558"),
+    ("power-law/n60/m256/s5", "9866356"),
+    ("power-law/n120/m1024/s6", "5384191"),
+    ("amdahl/n4/m3/s1", "1878429"),
+    ("amdahl/n5/m4/s2", "1447590"),
+    ("amdahl/n6/m6/s3", "1088946"),
+    ("amdahl/n24/m32/s4", "1150749"),
+    ("amdahl/n60/m256/s5", "873313"),
+    ("amdahl/n120/m1024/s6", "1040922"),
+    ("comm-overhead/n4/m3/s1", "927138"),
+    ("comm-overhead/n5/m4/s2", "1196156"),
+    ("comm-overhead/n6/m6/s3", "1081515"),
+    ("comm-overhead/n24/m32/s4", "758135"),
+    ("comm-overhead/n60/m256/s5", "277684"),
+    ("comm-overhead/n120/m1024/s6", "221649"),
+    ("mixed/n4/m3/s1", "16117120"),
+    ("mixed/n5/m4/s2", "23109051"),
+    ("mixed/n6/m6/s3", "18405828"),
+    ("mixed/n24/m32/s4", "14234422"),
+    ("mixed/n60/m256/s5", "12094897"),
+    ("mixed/n120/m1024/s6", "12196849"),
+    ("swf/sample48", "184211854"),
+];
 
 #[test]
 fn dual_algorithms_agree_within_guarantees() {

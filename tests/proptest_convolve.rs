@@ -1,0 +1,69 @@
+//! Property-based tests of the (max,+) convolution kernels: the
+//! cache-blocked kernel must be byte-identical to the scalar reference on
+//! arbitrary lengths and caps — including tails that are not a multiple
+//! of the block size — and must preserve monotonicity of its inputs.
+
+use moldable::sched::convolve::{maxplus_blocked, maxplus_ref, BLOCK};
+use proptest::prelude::*;
+
+fn lane() -> impl Strategy<Value = Vec<u64>> {
+    // Lengths straddle the block boundary so tile tails get exercised
+    // alongside the tiny cases the unit tests already pin.
+    prop::collection::vec(0u64..1_000_000, 0..(2 * BLOCK + 64))
+}
+
+fn monotone_lane() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..10_000, 0..(BLOCK + 48)).prop_map(|deltas| {
+        deltas
+            .into_iter()
+            .scan(0u64, |acc, d| {
+                *acc += d;
+                Some(*acc)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The blocked kernel is a pure optimization: identical output to the
+    /// scalar reference for every length/cap combination.
+    #[test]
+    fn blocked_matches_reference(a in lane(), b in lane(), cap in 0usize..(4 * BLOCK)) {
+        prop_assert_eq!(maxplus_blocked(&a, &b, cap), maxplus_ref(&a, &b, cap));
+    }
+
+    /// Block-tail alignment: force `a` to end mid-tile with an exact
+    /// offset from the block boundary, where a wrong tile bound would
+    /// drop or duplicate lanes.
+    #[test]
+    fn blocked_matches_reference_at_block_tails(
+        tail in 1usize..64,
+        b in lane(),
+        seed in 0u64..1_000_000,
+    ) {
+        let len = BLOCK + tail;
+        let a: Vec<u64> = (0..len as u64).map(|i| (i * 2654435761 + seed) % 999_983).collect();
+        let cap = len + b.len();
+        prop_assert_eq!(maxplus_blocked(&a, &b, cap), maxplus_ref(&a, &b, cap));
+    }
+
+    /// (max,+) convolution of monotone non-decreasing lanes is monotone
+    /// non-decreasing — the staircase structure the solver relies on when
+    /// backtracking through fold snapshots.
+    #[test]
+    fn monotone_inputs_give_monotone_output(a in monotone_lane(), b in monotone_lane()) {
+        let out = maxplus_blocked(&a, &b, a.len() + b.len());
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {out:?}");
+    }
+
+    /// Truncation by `cap` is a pure prefix: the capped result equals the
+    /// leading `cap` entries of the uncapped one.
+    #[test]
+    fn cap_is_a_prefix(a in lane(), b in lane(), cap in 0usize..(2 * BLOCK)) {
+        let full = maxplus_blocked(&a, &b, usize::MAX);
+        let capped = maxplus_blocked(&a, &b, cap);
+        prop_assert_eq!(&capped[..], &full[..capped.len()]);
+    }
+}

@@ -71,4 +71,4 @@ const GOLDEN_SOLVE_V1: &str = r#"{"schema":2,"algo":"mrt","solver":"mrt-exact","
 
 const GOLDEN_SOLVE_V2: &str = r#"{"schema":2,"algo":"mrt","solver":"mrt-exact","n":3,"m":8,"eps":0.25,"makespan":12.0,"ratio_bound":1.875,"opt_lower_bound":9,"probes":3,"assignments":[{"job":1,"start_num":"0","start_den":"1","procs":1,"duration":12},{"job":0,"start_num":"0","start_den":"1","procs":1,"duration":9},{"job":2,"start_num":"0","start_den":"1","procs":1,"duration":10}],"placements":[{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[1,1]]},{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[2,2]]}]}"#;
 
-const GOLDEN_RACE_V2: &str = r#"{"schema":2,"n":3,"m":8,"eps":0.25,"omega":9,"all_bounds_hold":true,"results":[{"solver":"mrt-exact","makespan":12.0,"ratio_bound":1.875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[1,1]]},{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[2,2]]}]},{"solver":"compressible-knapsack","makespan":19.0,"ratio_bound":2.1875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"10","start_den":"1","end_num":"19","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]}]},{"solver":"improved-bounded-knapsack","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"linear-bounded-knapsack","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"contiguous-73-50","makespan":12.0,"ratio_bound":1.3333333333333333,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"fptas","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"ptas","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"two-approx","makespan":9.0,"ratio_bound":2.0,"bound_holds_vs_2omega":true,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"7","end_den":"1","procs":[[1,2]]},{"job":2,"start_num":"0","start_den":"1","end_num":"6","end_den":"1","procs":[[3,4]]}]},{"solver":"sequential","makespan":31.0,"ratio_bound":null,"bound_holds_vs_2omega":null,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"9","start_den":"1","end_num":"21","end_den":"1","procs":[[0,0]]},{"job":2,"start_num":"21","start_den":"1","end_num":"31","end_den":"1","procs":[[0,0]]}]}]}"#;
+const GOLDEN_RACE_V2: &str = r#"{"schema":2,"n":3,"m":8,"eps":0.25,"omega":9,"all_bounds_hold":true,"results":[{"solver":"mrt-exact","makespan":12.0,"ratio_bound":1.875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[1,1]]},{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[2,2]]}]},{"solver":"compressible-knapsack","makespan":19.0,"ratio_bound":2.1875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"10","start_den":"1","end_num":"19","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]}]},{"solver":"improved-bounded-knapsack","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"linear-bounded-knapsack","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"contiguous-73-50","makespan":12.0,"ratio_bound":1.3333333333333333,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"conv-fptas","makespan":12.0,"ratio_bound":1.3333333333333333,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"fptas","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"ptas","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"two-approx","makespan":9.0,"ratio_bound":2.0,"bound_holds_vs_2omega":true,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"7","end_den":"1","procs":[[1,2]]},{"job":2,"start_num":"0","start_den":"1","end_num":"6","end_den":"1","procs":[[3,4]]}]},{"solver":"sequential","makespan":31.0,"ratio_bound":null,"bound_holds_vs_2omega":null,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"9","start_den":"1","end_num":"21","end_den":"1","procs":[[0,0]]},{"job":2,"start_num":"21","start_den":"1","end_num":"31","end_den":"1","procs":[[0,0]]}]}]}"#;
