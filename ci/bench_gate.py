@@ -131,7 +131,13 @@ def main():
                              "width is under 10%% of the median "
                              "(default: 1.5, or $BENCH_GATE_TIGHT_TOLERANCE)")
     parser.add_argument("--update", action="store_true",
-                        help="rewrite the baseline from the current results instead of comparing")
+                        help="rewrite the baseline from the current results instead of "
+                             "comparing; refused if any shared benchmark regressed beyond "
+                             "tolerance (see --force)")
+    parser.add_argument("--force", action="store_true",
+                        help="with --update: accept the new baseline even when it is a "
+                             "regression against the old one (an intentional trade-off "
+                             "being ratified, not an accident)")
     parser.add_argument("results", nargs="+", help="CRITERION_JSON output files")
     args = parser.parse_args()
 
@@ -141,6 +147,35 @@ def main():
         return 1
 
     if args.update:
+        # A baseline refresh must not quietly ratify a regression: diff
+        # the shared benchmarks first and refuse if any one of them is
+        # beyond tolerance, unless the caller insists with --force.
+        # (Renamed/removed benchmarks never block an update — retiring
+        # stale rows is exactly what --update is for.)
+        try:
+            with open(args.baseline) as f:
+                old = json.load(f)
+        except FileNotFoundError:
+            old = {}
+        regressions = []
+        for name in sorted(set(old) & set(current)):
+            base_median = old[name]["median_ns"]
+            cur_median = current[name]["median_ns"]
+            tolerance = tolerance_for(old[name], args.tolerance, args.tight_tolerance)
+            ratio = cur_median / base_median if base_median else float("inf")
+            if ratio > tolerance:
+                regressions.append(f"{name}: median {fmt_ns(cur_median)} is {ratio:.2f}x "
+                                   f"the old baseline {fmt_ns(base_median)} "
+                                   f"(tolerance {tolerance:.2f}x)")
+        if regressions and not args.force:
+            print(f"refusing --update: the new results regress {len(regressions)} "
+                  f"benchmark(s) beyond tolerance:")
+            for regression in regressions:
+                print(f"  - {regression}")
+            print("re-run with --force to ratify an intentional regression")
+            return 1
+        if regressions:
+            print(f"--force: accepting {len(regressions)} regression(s) into the baseline")
         with open(args.baseline, "w") as f:
             json.dump({name: current[name] for name in sorted(current)}, f, indent=2)
             f.write("\n")

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # End-to-end service smoke for CI (also runnable locally):
-#   1. start `moldable-svc` in the background on an ephemeral port,
+#   1. start `moldable-svc` in the background on two listener shards
+#      with ephemeral ports,
 #   2. hit /healthz,
 #   3. POST a generated instance to /v1/solve and assert the answer is
 #      byte-identical to CLI `solve` on the same instance — once in the
 #      v1 shape, once requesting wire-format v2 placement rows (which
 #      are also validated structurally: disjoint, sized, in range),
-#   4. run a short closed-loop `moldable-loadgen` burst and assert zero
-#      errors and sustained throughput,
-#   5. read /metrics back.
+#   4. cache consistency: POST the same body twice and assert the
+#      responses are byte-identical and /metrics counted a cache hit,
+#   5. run a short closed-loop `moldable-loadgen` burst against both
+#      shards on a repeated-instance (cache-hit) workload and assert
+#      zero errors and sustained throughput,
+#   6. read the fleet-merged /metrics back.
 #
 # Usage: ci/service_smoke.sh [BURST_SECONDS] [MIN_RPS]
 # Expects release binaries in target/release (cargo build --release first).
@@ -16,23 +20,24 @@
 set -euo pipefail
 
 BURST_SECONDS="${1:-5}"
-MIN_RPS="${2:-1000}"
+MIN_RPS="${2:-10000}"
 BIN=target/release
 
 $BIN/moldable generate --family mixed --n 12 --m 256 --seed 21 > /tmp/svc_inst.json
 
-$BIN/moldable-svc --addr 127.0.0.1:0 --workers 2 > /tmp/svc_addr.json 2>/tmp/svc_err.log &
+$BIN/moldable-svc --addr 127.0.0.1:0 --workers 2 --shards 2 > /tmp/svc_addr.json 2>/tmp/svc_err.log &
 SVC_PID=$!
 trap 'kill "$SVC_PID" 2>/dev/null || true' EXIT
 
-# The first stdout line is {"listening": "HOST:PORT", ...}.
+# The first stdout line is {"listening": "HOST:PORT", "shards": [...], ...}.
 for _ in $(seq 1 100); do
     [ -s /tmp/svc_addr.json ] && break
     sleep 0.1
 done
 [ -s /tmp/svc_addr.json ] || { echo "service never came up"; cat /tmp/svc_err.log; exit 1; }
 ADDR=$(python3 -c "import json; print(json.load(open('/tmp/svc_addr.json'))['listening'])")
-echo "service listening on $ADDR"
+SHARDS=$(python3 -c "import json; print(','.join(json.load(open('/tmp/svc_addr.json'))['shards']))")
+echo "service listening on $ADDR (shards: $SHARDS)"
 
 curl -fsS "http://$ADDR/healthz"
 echo
@@ -52,10 +57,37 @@ $BIN/moldable solve --input /tmp/svc_inst.json --algo conv-fptas --eps 1/4 --pla
 python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_conv.json \
     --algo conv-fptas --eps 1/4 --placements
 
-$BIN/moldable-loadgen --addr "$ADDR" --threads 2 --seconds "$BURST_SECONDS" \
-    --family mixed --n 16 --m 256 --count 8 > /tmp/loadgen_report.json
+# Cache consistency: the same body served twice must be byte-identical,
+# and /metrics must show the repeat was answered from the cache.
+python3 - "$ADDR" <<'EOF'
+import json, urllib.request
+addr = __import__("sys").argv[1]
+inst = json.load(open("/tmp/svc_inst.json"))
+body = json.dumps({"instance": inst, "algo": "linear", "eps": "1/4"}).encode()
+
+def post(path):
+    req = urllib.request.Request(f"http://{addr}{path}", data=body, method="POST")
+    with urllib.request.urlopen(req) as resp:
+        return resp.read()
+
+first, second = post("/v1/solve"), post("/v1/solve")
+assert first == second, "repeated body produced different response bytes"
+with urllib.request.urlopen(f"http://{addr}/metrics") as resp:
+    cache = json.load(resp)["cache"]
+assert cache["enabled"], "response cache is disabled in the smoke"
+hits = cache["hits"] + cache["body_hits"]
+assert hits >= 1, f"no cache hit after a repeated body: {cache}"
+print(f"cache consistency ok: identical bytes, {hits} cache hit(s) "
+      f"({cache['body_hits']} exact-body, {cache['hits']} canonical)")
+EOF
+
+# Repeated-instance burst (--count 1): after the first request every body
+# is a byte-identical repeat, so this measures the cache-hit serving path
+# across both listener shards.
+$BIN/moldable-loadgen --addr "$SHARDS" --threads 2 --seconds "$BURST_SECONDS" \
+    --family mixed --n 16 --m 256 --count 1 > /tmp/loadgen_report.json
 python3 ci/loadgen_assert.py /tmp/loadgen_report.json --min-rps "$MIN_RPS"
 
-echo "service metrics after the burst:"
+echo "fleet-merged service metrics after the burst:"
 curl -fsS "http://$ADDR/metrics"
 echo

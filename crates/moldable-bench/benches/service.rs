@@ -1,7 +1,10 @@
 //! The service request hot path, stage by stage and end to end:
-//! body parse → [`JobView`] build → solve → serialize, plus the full
-//! [`App::respond`] router — everything `POST /v1/solve` does except
-//! the socket I/O.
+//! body parse (tree and zero-copy) → [`JobView`] build → solve →
+//! serialize, plus the full [`App::respond`] router — everything
+//! `POST /v1/solve` does except the socket I/O. The `respond` row runs
+//! with the response cache disabled (the full compute path);
+//! `respond-hit` is the same request against a warm canonical-instance
+//! cache, so the pair pins both sides of the hit/miss split.
 //!
 //! These are the request-latency benches the CI perf-regression gate
 //! tracks (`ci/bench_gate.py` against `benches/baseline.json`): the
@@ -40,7 +43,13 @@ fn bench_service(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(2));
 
-    let app = App::new(AppConfig::default());
+    // `respond` measures the full compute path; the cached app serves
+    // `respond-hit` from the canonical-instance cache.
+    let app = App::new(AppConfig {
+        cache_entries: 0,
+        ..AppConfig::default()
+    });
+    let cached_app = App::new(AppConfig::default());
     let eps = Ratio::new(1, 4);
     let solver = solver_by_name("linear", &eps).expect("registry has linear");
 
@@ -60,6 +69,15 @@ fn bench_service(c: &mut Criterion) {
                 let spec = InstanceSpec::from_value(v.get("instance").expect("instance key"))
                     .expect("spec deserializes");
                 spec.build().expect("spec builds")
+            })
+        });
+
+        // Stage 1, zero-copy: borrowed tokens straight off the request
+        // bytes, no owned Value tree (what the service actually runs).
+        group.bench_with_input(BenchmarkId::new("parse-zerocopy", n), &body, |b, body| {
+            b.iter(|| {
+                moldable_svc::request::parse_solve_body(body.as_bytes(), &eps)
+                    .expect("body is valid")
             })
         });
 
@@ -93,7 +111,8 @@ fn bench_service(c: &mut Criterion) {
             })
         });
 
-        // End to end: everything the worker thread does per request.
+        // End to end, cache miss: everything the worker thread does per
+        // request when it must compute.
         group.bench_with_input(BenchmarkId::new("respond", n), &request, |b, request| {
             b.iter(|| {
                 let resp = app.respond(request);
@@ -101,6 +120,22 @@ fn bench_service(c: &mut Criterion) {
                 resp
             })
         });
+
+        // End to end, cache hit: same request against a warm canonical-
+        // instance cache — parse + key + serve the memoized bytes.
+        let warm = cached_app.respond(&request);
+        assert_eq!(warm.status, 200);
+        group.bench_with_input(
+            BenchmarkId::new("respond-hit", n),
+            &request,
+            |b, request| {
+                b.iter(|| {
+                    let resp = cached_app.respond(request);
+                    assert_eq!(resp.status, 200);
+                    resp
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -28,6 +28,7 @@ pub mod bounds;
 pub mod compression;
 pub mod gamma;
 pub mod geom;
+pub mod hash;
 pub mod instance;
 pub mod io;
 pub mod job;
@@ -43,6 +44,7 @@ pub mod view;
 
 pub use compression::{Compression, DoubleCompression};
 pub use gamma::{gamma, gamma_int, GammaSet};
+pub use hash::StableHasher;
 pub use instance::Instance;
 pub use io::{CurveSpec, InstanceSpec};
 pub use job::Job;

@@ -18,11 +18,12 @@
 //!
 //! [`SolveOutcome`]: moldable_sched::solver::SolveOutcome
 
+use crate::cache::ResponseCache;
 use crate::http::{Request, Response};
 use crate::metrics::{Endpoint, ServiceMetrics};
-use crate::request::SolveRequest;
+use crate::request::{parse_solve_body, SolveRequest};
+use moldable_core::hash::StableHasher;
 use moldable_core::instance::Instance;
-use moldable_core::io::InstanceSpec;
 use moldable_core::placement::Placement;
 use moldable_core::ratio::Ratio;
 use moldable_core::view::JobView;
@@ -32,8 +33,8 @@ use moldable_sched::place::place_contiguous;
 use moldable_sched::solver::{race_roster, solver_by_name, ExactSolver};
 use moldable_sched::validate;
 use moldable_sched::SOLVER_NAMES;
-use serde::Deserialize;
 use serde_json::{json, Value};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Service-level limits and defaults.
@@ -45,6 +46,11 @@ pub struct AppConfig {
     pub max_body: usize,
     /// Worker threads handed to the batch engine for `/v1/race`.
     pub race_threads: usize,
+    /// Canonical-instance cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Lock shards inside the response cache (rounded up to a power of
+    /// two; irrelevant when the cache is disabled).
+    pub cache_shards: usize,
 }
 
 impl Default for AppConfig {
@@ -53,28 +59,123 @@ impl Default for AppConfig {
             default_eps: Ratio::new(1, 4),
             max_body: 8 * 1024 * 1024,
             race_threads: 1,
+            cache_entries: 4096,
+            cache_shards: 8,
         }
     }
 }
 
-/// Shared application state: config plus metrics. One per server; safe
-/// to share across worker threads (`&self` handlers only).
+/// Shared application state: config, metrics, and the canonical-instance
+/// response cache. One per listener shard; safe to share across worker
+/// threads (`&self` handlers only). Shards built through
+/// [`App::shard_group`] share one cache and see each other's metrics, so
+/// `GET /metrics` on any port reports the whole fleet.
 pub struct App {
     config: AppConfig,
-    metrics: ServiceMetrics,
+    metrics: Arc<ServiceMetrics>,
+    /// Every shard's metrics (including this one's), set by
+    /// [`App::shard_group`]; empty for a standalone app.
+    peers: Vec<Arc<ServiceMetrics>>,
+    cache: Option<Arc<ResponseCache>>,
+    /// Exact-bytes front memo: endpoint tag + raw request body → served
+    /// response. A repeated byte-identical body (the loadgen cache-hit
+    /// workload, a client retry) short-circuits *before* JSON parsing —
+    /// the whole request costs one hash of the body plus one LRU probe.
+    /// Sound because `/v1/*` responses are pure functions of the body.
+    /// Misses fall through to the canonical-instance cache, which still
+    /// dedups semantically-equal bodies that differ in formatting.
+    body_cache: Option<Arc<ResponseCache>>,
 }
 
 /// A handler failure: status code plus a message that travels verbatim
 /// into the `{"error": …}` body.
 type Failure = (u16, String);
 
+/// 128-bit digest of an exact request body, keying the front memo.
+///
+/// Unlike the canonical key this never leaves the process and carries no
+/// cross-version stability contract, so it trades [`StableHasher`]'s
+/// byte-at-a-time FNV for a 16-bytes-per-step multiply–xor: on the tight
+/// CPU budget of a cache-hit request, hashing a ~10 KiB body byte-wise
+/// would cost more than the rest of the hit path combined. A collision
+/// would serve the wrong cached response, but at 128 bits of state the
+/// chance is negligible for any realistic cache population.
+fn body_hash(tag: u64, bytes: &[u8]) -> u128 {
+    const K: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835;
+    // Fold the endpoint tag and the length in up front: equal prefixes
+    // of different lengths (zero-padded tails) stay distinct.
+    let mut h = (u128::from(tag).rotate_left(64) ^ (bytes.len() as u128)).wrapping_mul(K);
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        let v = u128::from_le_bytes(chunk.try_into().expect("16-byte chunk"));
+        h = (h ^ v).wrapping_mul(K);
+        h ^= h >> 64;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 16];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u128::from_le_bytes(tail)).wrapping_mul(K);
+        h ^= h >> 64;
+    }
+    h.wrapping_mul(K)
+}
+
 impl App {
     /// Build the application state.
     pub fn new(config: AppConfig) -> App {
+        let cache = (config.cache_entries > 0).then(|| {
+            Arc::new(ResponseCache::new(
+                config.cache_entries,
+                config.cache_shards,
+            ))
+        });
+        let body_cache = (config.cache_entries > 0).then(|| {
+            Arc::new(ResponseCache::new(
+                config.cache_entries,
+                config.cache_shards,
+            ))
+        });
         App {
             config,
-            metrics: ServiceMetrics::new(),
+            metrics: Arc::new(ServiceMetrics::new()),
+            peers: Vec::new(),
+            cache,
+            body_cache,
         }
+    }
+
+    /// Build `shards` apps that serve as one fleet: each has its own
+    /// metrics handle (no cross-shard lock traffic while serving), all
+    /// share one response cache, and each holds the full peer list so
+    /// `GET /metrics` merges the fleet wherever it lands.
+    pub fn shard_group(config: AppConfig, shards: usize) -> Vec<App> {
+        let shards = shards.max(1);
+        let cache = (config.cache_entries > 0).then(|| {
+            Arc::new(ResponseCache::new(
+                config.cache_entries,
+                config.cache_shards,
+            ))
+        });
+        let body_cache = (config.cache_entries > 0).then(|| {
+            Arc::new(ResponseCache::new(
+                config.cache_entries,
+                config.cache_shards,
+            ))
+        });
+        let handles: Vec<Arc<ServiceMetrics>> = (0..shards)
+            .map(|_| Arc::new(ServiceMetrics::new()))
+            .collect();
+        handles
+            .iter()
+            .map(|metrics| App {
+                config: config.clone(),
+                metrics: Arc::clone(metrics),
+                peers: handles.clone(),
+                cache: cache.clone(),
+                body_cache: body_cache.clone(),
+            })
+            .collect()
     }
 
     /// The configured limits.
@@ -87,29 +188,58 @@ impl App {
         &self.metrics
     }
 
+    /// The response cache, when enabled (exposed for tests).
+    pub fn cache(&self) -> Option<&ResponseCache> {
+        self.cache.as_deref()
+    }
+
+    /// The exact-bytes front memo, when enabled (exposed for tests).
+    pub fn body_cache(&self) -> Option<&ResponseCache> {
+        self.body_cache.as_deref()
+    }
+
     /// Route one request, record its metrics, and produce the response.
     pub fn respond(&self, req: &Request) -> Response {
+        self.respond_parts(&req.method, &req.path, &req.body)
+    }
+
+    /// [`App::respond`] over borrowed request pieces — the entry point
+    /// the server's connection loop uses so a keep-alive connection's
+    /// reused read buffers ([`RequestReader`]) never get copied into an
+    /// owned [`Request`].
+    ///
+    /// [`RequestReader`]: crate::http::RequestReader
+    pub fn respond_parts(&self, method: &str, path: &str, body: &[u8]) -> Response {
         let t0 = Instant::now();
-        let (endpoint, result) = self.route(req);
+        let (endpoint, result) = self.route(method, path, body);
         let response = match result {
-            Ok(value) => Response::json(
-                serde_json::to_string(&value).expect("shim serialization is infallible"),
-            ),
+            Ok(body) => Response::json(body),
             Err((status, message)) => Response::error(status, &message),
         };
         self.metrics.record(endpoint, response.status, t0.elapsed());
         response
     }
 
-    fn route(&self, req: &Request) -> (Endpoint, Result<Value, Failure>) {
-        match (req.method.as_str(), req.path.as_str()) {
-            ("POST", "/v1/solve") => (Endpoint::Solve, self.handle_solve(&req.body)),
-            ("POST", "/v1/race") => (Endpoint::Race, self.handle_race(&req.body)),
-            ("GET", "/healthz") => (Endpoint::Healthz, Ok(self.handle_healthz())),
-            ("GET", "/metrics") => (Endpoint::Metrics, Ok(self.metrics.snapshot())),
+    fn route(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> (Endpoint, Result<String, Failure>) {
+        match (method, path) {
+            ("POST", "/v1/solve") => (
+                Endpoint::Solve,
+                self.body_memoized(1, body, |body| self.handle_solve(body)),
+            ),
+            ("POST", "/v1/race") => (
+                Endpoint::Race,
+                self.body_memoized(2, body, |body| self.handle_race(body)),
+            ),
+            ("GET", "/healthz") => (Endpoint::Healthz, Ok(serialize(&self.handle_healthz()))),
+            ("GET", "/metrics") => (Endpoint::Metrics, Ok(serialize(&self.handle_metrics()))),
             (_, "/v1/solve" | "/v1/race" | "/healthz" | "/metrics") => (
                 Endpoint::Other,
-                Err((405, format!("method {} not allowed here", req.method))),
+                Err((405, format!("method {method} not allowed here"))),
             ),
             (_, path) => (Endpoint::Other, Err((404, format!("no route for {path}")))),
         }
@@ -119,64 +249,184 @@ impl App {
         json!({ "status": "ok", "solvers": SOLVER_NAMES })
     }
 
+    /// `GET /metrics`: the fleet-merged request metrics plus the shared
+    /// cache's counters.
+    fn handle_metrics(&self) -> Value {
+        let mut snap = if self.peers.is_empty() {
+            self.metrics.snapshot()
+        } else {
+            ServiceMetrics::snapshot_merged(self.peers.iter().map(Arc::as_ref))
+        };
+        let (hits, misses, evictions) = self
+            .cache
+            .as_ref()
+            .map(|c| c.counters())
+            .unwrap_or((0, 0, 0));
+        let (body_hits, body_misses, body_evictions) = self
+            .body_cache
+            .as_ref()
+            .map(|c| c.counters())
+            .unwrap_or((0, 0, 0));
+        push_field(
+            &mut snap,
+            "cache",
+            json!({
+                "enabled": self.cache.is_some(),
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "entries": self.cache.as_ref().map(|c| c.len()).unwrap_or(0),
+                "body_hits": body_hits,
+                "body_misses": body_misses,
+                "body_evictions": body_evictions,
+                "body_entries": self.body_cache.as_ref().map(|c| c.len()).unwrap_or(0),
+            }),
+        );
+        snap
+    }
+
+    /// The canonical cache key for a solve-shaped request, or `None`
+    /// when the request is uncacheable (cache disabled, or the instance
+    /// has no canonical form). The key covers everything the response
+    /// bytes depend on: the endpoint, the echoed solver name (`/v1/solve`
+    /// only — `/v1/race` ignores `algo`), the exact ε rational, the
+    /// placement flag, and the instance's semantic digest.
+    fn cache_key(
+        &self,
+        endpoint: Endpoint,
+        sr: &SolveRequest,
+        instance: &Instance,
+    ) -> Option<u128> {
+        self.cache.as_ref()?;
+        let instance_digest = instance.canonical_hash()?;
+        let mut h = StableHasher::new();
+        match endpoint {
+            Endpoint::Solve => {
+                h.write_u64(1);
+                h.write_str(&sr.algo);
+            }
+            Endpoint::Race => h.write_u64(2),
+            _ => return None,
+        }
+        h.write_u128(sr.eps.num());
+        h.write_u128(sr.eps.den());
+        h.write_u64(sr.placements as u64);
+        h.write_u128(instance_digest);
+        Some(h.finish())
+    }
+
+    /// Serve a byte-identical repeat of an earlier request straight from
+    /// the exact-bytes memo — no JSON parse at all — or run `fill` (the
+    /// full handler, canonical cache included) and remember the served
+    /// bytes under the body hash. The key covers the endpoint tag and
+    /// every request byte, so two bodies that differ in any way (even
+    /// whitespace) take the miss path and rely on the canonical cache
+    /// for semantic dedup. Error responses are never memoized.
+    fn body_memoized(
+        &self,
+        endpoint_tag: u64,
+        body: &[u8],
+        fill: impl FnOnce(&[u8]) -> Result<String, Failure>,
+    ) -> Result<String, Failure> {
+        let cache = match self.body_cache.as_ref() {
+            Some(cache) => cache,
+            None => return fill(body),
+        };
+        let key = body_hash(endpoint_tag, body);
+        if let Some(served) = cache.get(key) {
+            return Ok(served.to_string());
+        }
+        let served = fill(body)?;
+        cache.insert(key, Arc::from(served.as_str()));
+        Ok(served)
+    }
+
+    /// Serve from the cache, or compute via `fill` and remember the
+    /// serialized bytes. Only 200 responses reach this point — failures
+    /// return early through `?` before any insert.
+    fn cached(
+        &self,
+        key: Option<u128>,
+        fill: impl FnOnce() -> Result<String, Failure>,
+    ) -> Result<String, Failure> {
+        let (cache, key) = match (self.cache.as_ref(), key) {
+            (Some(cache), Some(key)) => (cache, key),
+            _ => return fill(),
+        };
+        if let Some(body) = cache.get(key) {
+            return Ok(body.to_string());
+        }
+        let body = fill()?;
+        cache.insert(key, Arc::from(body.as_str()));
+        Ok(body)
+    }
+
     /// `POST /v1/solve`: one registry solver on one instance, through a
-    /// single shared [`JobView`] build.
-    fn handle_solve(&self, body: &[u8]) -> Result<Value, Failure> {
-        let (request, instance) = parse_instance_request(body)?;
-        let sr = SolveRequest::from_json(&request, &self.config.default_eps)
-            .map_err(|e| (400, e))?;
+    /// single shared [`JobView`] build — short-circuited by the
+    /// canonical-instance cache when an identical request was already
+    /// served.
+    fn handle_solve(&self, body: &[u8]) -> Result<String, Failure> {
+        let (sr, instance) =
+            parse_solve_body(body, &self.config.default_eps).map_err(|e| (400, e))?;
         // The error Display lists every registry name; surface verbatim.
         let solver = solver_by_name(&sr.algo, &sr.eps).map_err(|e| (400, e.to_string()))?;
-        let view = JobView::build(&instance);
-        if sr.algo == "exact" && !ExactSolver::fits(&view) {
-            // Mirrors the CLI `solve` guard: the exhaustive search would
-            // blow its branch-and-bound cap mid-request.
-            return Err((
-                400,
-                format!(
-                    "instance too large for the exact solver (n ≤ {EXACT_N_LIMIT}, m ≤ {EXACT_M_LIMIT})"
-                ),
-            ));
-        }
-        let mut outcome = solver.solve(&view, view.m());
-        if sr.placements && outcome.schedule.placement.is_none() {
-            // Lower the allotment schedule onto concrete processors; the
-            // error Display travels verbatim (it only fires on a solver
-            // bug — any demand-feasible schedule lowers).
-            let placement = place_contiguous(&view, &outcome.schedule)
-                .map_err(|e| (500, format!("placement failed: {e}")))?;
-            outcome.schedule.placement = Some(placement);
-        }
-        validate(&outcome.schedule, &instance)
-            .map_err(|e| (500, format!("solver produced an invalid schedule: {e}")))?;
-        let mut reply = json!({
-            "schema": 2,
-            "algo": sr.algo,
-            "solver": solver.name(),
-            "n": instance.n(),
-            "m": instance.m(),
-            "eps": sr.eps.to_f64(),
-            "makespan": outcome.makespan.to_f64(),
-            "ratio_bound": outcome.ratio_bound.as_ref().map(Ratio::to_f64),
-            "opt_lower_bound": outcome.lower_bound,
-            "probes": outcome.probes,
-            "assignments": assignment_rows(&instance, &outcome.schedule),
-        });
-        if sr.placements {
-            let placement = outcome.schedule.placement.as_ref().expect("placed above");
-            push_field(&mut reply, "placements", placement_rows(placement));
-        }
-        Ok(reply)
+        let key = self.cache_key(Endpoint::Solve, &sr, &instance);
+        self.cached(key, || {
+            let view = JobView::build(&instance);
+            if sr.algo == "exact" && !ExactSolver::fits(&view) {
+                // Mirrors the CLI `solve` guard: the exhaustive search would
+                // blow its branch-and-bound cap mid-request.
+                return Err((
+                    400,
+                    format!(
+                        "instance too large for the exact solver (n ≤ {EXACT_N_LIMIT}, m ≤ {EXACT_M_LIMIT})"
+                    ),
+                ));
+            }
+            let mut outcome = solver.solve(&view, view.m());
+            if sr.placements && outcome.schedule.placement.is_none() {
+                // Lower the allotment schedule onto concrete processors; the
+                // error Display travels verbatim (it only fires on a solver
+                // bug — any demand-feasible schedule lowers).
+                let placement = place_contiguous(&view, &outcome.schedule)
+                    .map_err(|e| (500, format!("placement failed: {e}")))?;
+                outcome.schedule.placement = Some(placement);
+            }
+            validate(&outcome.schedule, &instance)
+                .map_err(|e| (500, format!("solver produced an invalid schedule: {e}")))?;
+            let mut reply = json!({
+                "schema": 2,
+                "algo": sr.algo,
+                "solver": solver.name(),
+                "n": instance.n(),
+                "m": instance.m(),
+                "eps": sr.eps.to_f64(),
+                "makespan": outcome.makespan.to_f64(),
+                "ratio_bound": outcome.ratio_bound.as_ref().map(Ratio::to_f64),
+                "opt_lower_bound": outcome.lower_bound,
+                "probes": outcome.probes,
+                "assignments": assignment_rows(&instance, &outcome.schedule),
+            });
+            if sr.placements {
+                let placement = outcome.schedule.placement.as_ref().expect("placed above");
+                push_field(&mut reply, "placements", placement_rows(placement));
+            }
+            Ok(serialize(&reply))
+        })
     }
 
     /// `POST /v1/race`: the full applicable roster on one instance via
     /// the batch engine, with the CLI `race --check` parity verdict.
-    fn handle_race(&self, body: &[u8]) -> Result<Value, Failure> {
-        let (request, instance) = parse_instance_request(body)?;
-        let sr = SolveRequest::from_json(&request, &self.config.default_eps)
-            .map_err(|e| (400, e))?;
+    fn handle_race(&self, body: &[u8]) -> Result<String, Failure> {
+        let (sr, instance) =
+            parse_solve_body(body, &self.config.default_eps).map_err(|e| (400, e))?;
+        let key = self.cache_key(Endpoint::Race, &sr, &instance);
+        self.cached(key, || self.race_uncached(&sr, &instance))
+    }
+
+    fn race_uncached(&self, sr: &SolveRequest, instance: &Instance) -> Result<String, Failure> {
         let eps = sr.eps;
-        let view = JobView::build(&instance);
+        let view = JobView::build(instance);
         let omega = moldable_sched::estimate_view(&view).omega;
         let solvers = race_roster(&view, &eps);
         let results = batch::race(&solvers, &view, self.config.race_threads);
@@ -190,7 +440,7 @@ impl App {
                         .map_err(|e| (500, format!("{}: placement failed: {e}", r.label)))?;
                     schedule.placement = Some(placement);
                 }
-                validate(&schedule, &instance).map_err(|e| {
+                validate(&schedule, instance).map_err(|e| {
                     (
                         500,
                         format!("{}: solver produced an invalid schedule: {e}", r.label),
@@ -215,7 +465,7 @@ impl App {
                 Ok(row)
             })
             .collect::<Result<_, Failure>>()?;
-        Ok(json!({
+        Ok(serialize(&json!({
             "schema": 2,
             "n": instance.n(),
             "m": instance.m(),
@@ -223,28 +473,14 @@ impl App {
             "omega": omega,
             "all_bounds_hold": all_bounds_hold,
             "results": rows,
-        }))
+        })))
     }
 }
 
-fn bad_request(message: &str) -> Failure {
-    (400, message.to_string())
-}
-
-/// Parse `{"instance": spec, …}` and build the instance.
-fn parse_instance_request(body: &[u8]) -> Result<(Value, Instance), Failure> {
-    let text = std::str::from_utf8(body).map_err(|_| bad_request("body is not UTF-8"))?;
-    let request: Value =
-        serde_json::from_str(text).map_err(|e| (400, format!("invalid JSON body: {e}")))?;
-    let spec_value = request
-        .get("instance")
-        .ok_or_else(|| bad_request("missing `instance`"))?;
-    let spec = InstanceSpec::from_value(spec_value)
-        .map_err(|e| (400, format!("invalid `instance`: {e}")))?;
-    let instance = spec
-        .build()
-        .map_err(|e| (400, format!("invalid `instance`: {e}")))?;
-    Ok((request, instance))
+/// Compact-serialize a reply tree (the shim is infallible for its own
+/// data model; the `Result` only exists for signature compatibility).
+fn serialize(value: &Value) -> String {
+    serde_json::to_string(value).expect("shim serialization is infallible")
 }
 
 /// Append one field to a JSON object (the shim's `Value::Object` keeps

@@ -2,9 +2,12 @@
 //! serde: exactly the subset the scheduling service and its load generator
 //! speak, with no external dependency.
 //!
-//! Server side: [`read_request`] parses a request head plus a
+//! Server side: [`RequestReader`] parses a request head plus a
 //! `Content-Length`-delimited body off any [`BufRead`], enforcing a body
-//! cap *before* buffering; [`Response::write_to`] frames the reply.
+//! cap *before* buffering and reusing its head/body buffers across the
+//! keep-alive requests of one connection (zero steady-state allocation
+//! on the hot path); [`read_request`] is the allocate-per-request
+//! convenience wrapper. [`Response::write_to`] frames the reply.
 //! Client side: [`write_request`] and [`read_response`] are the mirror
 //! pair the load generator uses over a keep-alive connection. Both
 //! directions are pure functions of byte streams, so the unit tests below
@@ -82,9 +85,14 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Read one CRLF- (or bare-LF-) terminated line, bounding total head size.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
-    let mut line = Vec::new();
+/// Read one CRLF- (or bare-LF-) terminated line into `line` (cleared
+/// first, capacity kept), bounding total head size.
+fn read_line_into(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    line: &mut Vec<u8>,
+) -> Result<(), HttpError> {
+    line.clear();
     loop {
         let chunk = reader.fill_buf()?;
         if chunk.is_empty() {
@@ -110,78 +118,153 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, Ht
     while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
         line.pop();
     }
-    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header"))
+    Ok(())
 }
 
-/// Parse one request off `reader`. `max_body` bounds the body buffer; a
-/// larger declared `Content-Length` fails *before* any body byte is read,
-/// so the caller can answer `413` and drop the connection.
+/// UTF-8-check a just-read header line.
+fn line_str(line: &[u8]) -> Result<&str, HttpError> {
+    std::str::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header"))
+}
+
+/// One request, borrowed from a [`RequestReader`]'s buffers — the
+/// allocation-free view the server's connection loop routes on.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestParts<'a> {
+    /// Request method, uppercase as received (`GET`, `POST`, …).
+    pub method: &'a str,
+    /// Request path, e.g. `/v1/solve` (query strings are not split off).
+    pub path: &'a str,
+    /// The `Content-Length`-delimited body (empty when absent).
+    pub body: &'a [u8],
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl RequestParts<'_> {
+    /// Copy into an owned [`Request`].
+    pub fn to_owned(self) -> Request {
+        Request {
+            method: self.method.to_string(),
+            path: self.path.to_string(),
+            body: self.body.to_vec(),
+            keep_alive: self.keep_alive,
+        }
+    }
+}
+
+/// Per-connection request parser: owns the request-line, header-scratch,
+/// and body buffers and reuses them for every keep-alive request on the
+/// connection, so the steady-state read path allocates nothing. Each
+/// [`RequestReader::read`] overwrites the previous request's bytes — the
+/// returned [`RequestParts`] borrows the reader and must be dropped
+/// before the next read (the borrow checker enforces this).
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    /// The current request line (`METHOD PATH VERSION`).
+    head: Vec<u8>,
+    /// Scratch for one header line at a time.
+    scratch: Vec<u8>,
+    /// The current request body.
+    body: Vec<u8>,
+}
+
+impl RequestReader {
+    /// Fresh reader with empty buffers (they grow to the connection's
+    /// working set and stay).
+    pub fn new() -> RequestReader {
+        RequestReader::default()
+    }
+
+    /// Parse one request off `reader`. `max_body` bounds the body
+    /// buffer; a larger declared `Content-Length` fails *before* any
+    /// body byte is read, so the caller can answer `413` and drop the
+    /// connection.
+    pub fn read<'a>(
+        &'a mut self,
+        reader: &mut impl BufRead,
+        max_body: usize,
+    ) -> Result<RequestParts<'a>, HttpError> {
+        let mut budget = MAX_HEAD_BYTES;
+        read_line_into(reader, &mut budget, &mut self.head)?;
+        // Parse the request line as byte ranges into `head` so the
+        // borrows can be rebuilt after the header/body reads below.
+        let request_line = line_str(&self.head)?;
+        let mut parts = request_line.split(' ');
+        let method_len = parts.next().unwrap_or("").len();
+        let path_len = parts
+            .next()
+            .ok_or(HttpError::Malformed("request line missing path"))?
+            .len();
+        let version = parts
+            .next()
+            .ok_or(HttpError::Malformed("request line missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        let http11 = version == "HTTP/1.1";
+        if method_len == 0 || path_len == 0 {
+            return Err(HttpError::Malformed("empty method or path"));
+        }
+
+        let mut content_length = 0usize;
+        let mut keep_alive = http11;
+        loop {
+            match read_line_into(reader, &mut budget, &mut self.scratch) {
+                Ok(()) => {}
+                Err(HttpError::Closed) => {
+                    return Err(HttpError::Malformed("connection closed mid-headers"))
+                }
+                Err(e) => return Err(e),
+            }
+            let line = line_str(&self.scratch)?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::Malformed("header line missing colon"));
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError::Malformed("transfer-encoding not supported"));
+            }
+        }
+
+        if content_length > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared: content_length,
+                limit: max_body,
+            });
+        }
+        self.body.clear();
+        self.body.resize(content_length, 0);
+        reader.read_exact(&mut self.body)?;
+        Ok(RequestParts {
+            method: std::str::from_utf8(&self.head[..method_len]).expect("checked above"),
+            path: std::str::from_utf8(&self.head[method_len + 1..method_len + 1 + path_len])
+                .expect("checked above"),
+            body: &self.body,
+            keep_alive,
+        })
+    }
+}
+
+/// Parse one request off `reader` into an owned [`Request`] — a
+/// convenience wrapper over a throwaway [`RequestReader`] for tests and
+/// one-shot callers; connection loops hold a reader instead.
 pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
-    let mut budget = MAX_HEAD_BYTES;
-    let request_line = read_line(reader, &mut budget)?;
-    let mut parts = request_line.split(' ');
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts
-        .next()
-        .ok_or(HttpError::Malformed("request line missing path"))?
-        .to_string();
-    let version = parts
-        .next()
-        .ok_or(HttpError::Malformed("request line missing version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed("unsupported HTTP version"));
-    }
-    let http11 = version == "HTTP/1.1";
-    if method.is_empty() || path.is_empty() {
-        return Err(HttpError::Malformed("empty method or path"));
-    }
-
-    let mut content_length = 0usize;
-    let mut keep_alive = http11;
-    loop {
-        let line = match read_line(reader, &mut budget) {
-            Ok(l) => l,
-            Err(HttpError::Closed) => {
-                return Err(HttpError::Malformed("connection closed mid-headers"))
-            }
-            Err(e) => return Err(e),
-        };
-        if line.is_empty() {
-            break;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed("header line missing colon"));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
-            }
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(HttpError::Malformed("transfer-encoding not supported"));
-        }
-    }
-
-    if content_length > max_body {
-        return Err(HttpError::BodyTooLarge {
-            declared: content_length,
-            limit: max_body,
-        });
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-    })
+    RequestReader::new()
+        .read(reader, max_body)
+        .map(RequestParts::to_owned)
 }
 
 /// A response ready to frame: a status code and a JSON body.
@@ -263,7 +346,9 @@ pub fn write_request(
 /// Client side: parse a status line + headers + `Content-Length` body.
 pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
     let mut budget = MAX_HEAD_BYTES;
-    let status_line = read_line(reader, &mut budget)?;
+    let mut raw = Vec::new();
+    read_line_into(reader, &mut budget, &mut raw)?;
+    let status_line = line_str(&raw)?;
     let mut parts = status_line.split(' ');
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
@@ -275,7 +360,8 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
         .ok_or(HttpError::Malformed("bad status code"))?;
     let mut content_length = 0usize;
     loop {
-        let line = read_line(reader, &mut budget)?;
+        read_line_into(reader, &mut budget, &mut raw)?;
+        let line = line_str(&raw)?;
         if line.is_empty() {
             break;
         }
@@ -423,6 +509,44 @@ mod tests {
         assert_eq!(resp.status, 400);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("unknown solver `x` (valid names: a, b)"));
+    }
+
+    #[test]
+    fn request_reader_reuses_buffers_across_keep_alive_requests() {
+        let mut wire = Vec::new();
+        // A large first body forces the buffers up; the rest of the
+        // session must reuse that capacity, never reallocate.
+        let big = "x".repeat(4096);
+        write_request(&mut wire, "POST", "/v1/solve", big.as_bytes()).unwrap();
+        for i in 0..8 {
+            write_request(
+                &mut wire,
+                "POST",
+                "/v1/race",
+                format!("body-{i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        let mut reader = BufReader::new(wire.as_slice());
+        let mut parser = RequestReader::new();
+        let first = parser.read(&mut reader, 8192).unwrap();
+        assert_eq!(first.body.len(), 4096);
+        let body_ptr = first.body.as_ptr();
+        let head_ptr = first.method.as_ptr();
+        for i in 0..8 {
+            let req = parser.read(&mut reader, 8192).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/race");
+            assert_eq!(req.body, format!("body-{i}").as_bytes());
+            assert!(req.keep_alive);
+            // Same backing storage every time: the buffers were reused.
+            assert_eq!(req.body.as_ptr(), body_ptr, "body buffer reallocated");
+            assert_eq!(req.method.as_ptr(), head_ptr, "head buffer reallocated");
+        }
+        assert!(matches!(
+            parser.read(&mut reader, 8192),
+            Err(HttpError::Closed)
+        ));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod cache;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
@@ -41,8 +42,9 @@ pub mod request;
 pub mod server;
 
 pub use app::{App, AppConfig};
-pub use http::{Request, Response};
+pub use cache::ResponseCache;
+pub use http::{Request, RequestParts, RequestReader, Response};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::ServiceMetrics;
 pub use request::SolveRequest;
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ShardedServer};

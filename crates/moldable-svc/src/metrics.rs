@@ -116,14 +116,45 @@ impl ServiceMetrics {
 
     /// Snapshot as the `GET /metrics` JSON document.
     pub fn snapshot(&self) -> Value {
-        let inner = self.inner.lock().expect("metrics lock never poisoned");
-        let mut window: Vec<f64> = inner.window.clone();
+        Self::snapshot_merged(std::iter::once(self))
+    }
+
+    /// One `GET /metrics` document over several metrics handles — the
+    /// sharded server gives every listener shard its own handle (no
+    /// cross-shard lock traffic on the hot path) and merges here at read
+    /// time: counters sum, latency windows concatenate before the
+    /// percentile ranking, the all-time max is the max of maxes, and the
+    /// exact busy totals add. A single handle produces byte-identical
+    /// output to the pre-sharding `snapshot`.
+    pub fn snapshot_merged<'a>(handles: impl Iterator<Item = &'a ServiceMetrics>) -> Value {
+        let mut requests = [0u64; 5];
+        let mut errors = [0u64; 5];
+        let mut window: Vec<f64> = Vec::new();
+        let mut max_seconds = 0.0f64;
+        let mut busy = Ratio::zero();
+        let mut pushes: u64 = 0;
+        for handle in handles {
+            let inner = handle.inner.lock().expect("metrics lock never poisoned");
+            for e in 0..5 {
+                requests[e] += inner.requests[e];
+                errors[e] += inner.errors[e];
+            }
+            window.extend_from_slice(&inner.window);
+            max_seconds = max_seconds.max(inner.max_seconds);
+            busy = busy.add(&inner.busy.value());
+            pushes += inner.busy.count();
+        }
         window.sort_by(|a, b| a.partial_cmp(b).expect("service times are finite"));
-        let total: u64 = inner.requests.iter().sum();
-        let errors: u64 = inner.errors.iter().sum();
+        let total: u64 = requests.iter().sum();
+        let total_errors: u64 = errors.iter().sum();
+        let mean = if pushes == 0 {
+            Ratio::zero()
+        } else {
+            busy.div_int(pushes as u128)
+        };
         json!({
             "requests_total": total,
-            "errors_total": errors,
+            "errors_total": total_errors,
             "endpoints": Value::Object(
                 Endpoint::ALL
                     .iter()
@@ -131,8 +162,8 @@ impl ServiceMetrics {
                         (
                             e.label().to_string(),
                             json!({
-                                "requests": inner.requests[e.index()],
-                                "errors": inner.errors[e.index()],
+                                "requests": requests[e.index()],
+                                "errors": errors[e.index()],
                             }),
                         )
                     })
@@ -142,9 +173,9 @@ impl ServiceMetrics {
                 "window": window.len(),
                 "p50_seconds": nearest_rank(&window, 50),
                 "p95_seconds": nearest_rank(&window, 95),
-                "max_seconds": inner.max_seconds,
-                "busy_seconds_total": inner.busy.value().to_f64(),
-                "mean_seconds": inner.busy.mean().to_f64(),
+                "max_seconds": max_seconds,
+                "busy_seconds_total": busy.to_f64(),
+                "mean_seconds": mean.to_f64(),
             }),
         })
     }
@@ -224,5 +255,35 @@ mod tests {
         let snap = ServiceMetrics::new().snapshot();
         assert_eq!(snap["requests_total"].as_u64(), Some(0));
         assert_eq!(snap["service_time"]["p50_seconds"].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn merged_snapshot_sums_shards() {
+        let a = ServiceMetrics::new();
+        let b = ServiceMetrics::new();
+        for i in 1..=50u64 {
+            a.record(Endpoint::Solve, 200, Duration::from_millis(i));
+        }
+        for i in 51..=100u64 {
+            b.record(Endpoint::Solve, 200, Duration::from_millis(i));
+        }
+        b.record(Endpoint::Healthz, 500, Duration::from_secs(9));
+        let snap = ServiceMetrics::snapshot_merged([&a, &b].into_iter());
+        assert_eq!(snap["requests_total"].as_u64(), Some(101));
+        assert_eq!(snap["errors_total"].as_u64(), Some(1));
+        assert_eq!(snap["endpoints"]["solve"]["requests"].as_u64(), Some(100));
+        assert_eq!(snap["endpoints"]["healthz"]["errors"].as_u64(), Some(1));
+        // Percentiles rank over the union of both shards' windows.
+        assert_eq!(snap["service_time"]["window"].as_u64(), Some(101));
+        let max = snap["service_time"]["max_seconds"].as_f64().unwrap();
+        assert!((max - 9.0).abs() < 1e-9, "max = {max}");
+        // Busy totals add exactly: Σ 1..=100 ms + 9 s = 14.05 s.
+        let busy = snap["service_time"]["busy_seconds_total"].as_f64().unwrap();
+        assert!((busy - 14.05).abs() < 1e-9, "busy = {busy}");
+        // A merge over one handle is byte-identical to snapshot().
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&ServiceMetrics::snapshot_merged([&a].into_iter())).unwrap()
+        );
     }
 }

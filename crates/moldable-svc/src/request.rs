@@ -1,4 +1,4 @@
-//! The shared solve-request shape: one struct, two parsers.
+//! The shared solve-request shape: one struct, three parsers.
 //!
 //! The CLI (`solve`/`race` flags) and the HTTP service (`/v1/solve`/
 //! `/v1/race` JSON bodies) accept the same three knobs — solver name,
@@ -8,9 +8,23 @@
 //! [`SolveRequest::from_args`] reads an argv slice, and both produce the
 //! identical struct (the unit tests pin them field for field), so the
 //! front ends can never drift apart.
+//!
+//! The service hot path adds a third parser: [`parse_solve_body`] reads
+//! the whole `{"instance": …, "algo"?, "eps"?, "placements"?}` body
+//! through the serde_json shim's zero-copy [`BorrowedValue`] tree —
+//! string keys and values stay borrowed from the request buffer, and the
+//! `InstanceSpec`/`CurveSpec` shapes are mirrored by hand instead of
+//! materializing an owned `Value` tree. [`parse_solve_body_tree`] is the
+//! same pipeline over the original tree parser; it is kept as the
+//! equivalence oracle (`tests/proptest_zerocopy.rs` pins the two to
+//! byte-identical `Result`s on arbitrary bodies), never as a fallback.
 
 use crate::app::parse_eps;
+use moldable_core::instance::Instance;
+use moldable_core::io::{CurveSpec, InstanceSpec};
 use moldable_core::ratio::Ratio;
+use serde::Deserialize;
+use serde_json::borrow::{from_str_borrowed, BorrowedValue};
 use serde_json::Value;
 
 /// What a solve-shaped request asks for, front-end independent.
@@ -32,6 +46,42 @@ impl SolveRequest {
     /// Read the shared fields from a parsed JSON request body. Unknown
     /// fields are ignored (the instance itself is parsed separately).
     pub fn from_json(request: &Value, default_eps: &Ratio) -> Result<SolveRequest, String> {
+        let algo = match request.get("algo") {
+            None => "linear".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| "`algo` must be a string".to_string())?
+                .to_string(),
+        };
+        let eps = match request.get("eps") {
+            None => *default_eps,
+            Some(v) => {
+                let raw = v
+                    .as_str()
+                    .ok_or_else(|| "`eps` must be a string like \"1/4\"".to_string())?;
+                parse_eps(raw)?
+            }
+        };
+        let placements = match request.get("placements") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "`placements` must be a boolean".to_string())?,
+        };
+        Ok(SolveRequest {
+            algo,
+            eps,
+            placements,
+        })
+    }
+
+    /// Read the shared fields from a zero-copy parsed body — the
+    /// borrowed twin of [`SolveRequest::from_json`], same field names,
+    /// defaults, and error texts.
+    pub fn from_borrowed(
+        request: &BorrowedValue<'_>,
+        default_eps: &Ratio,
+    ) -> Result<SolveRequest, String> {
         let algo = match request.get("algo") {
             None => "linear".to_string(),
             Some(v) => v
@@ -86,6 +136,193 @@ impl SolveRequest {
             eps,
             placements,
         })
+    }
+}
+
+/// Parse a complete `/v1/solve`-shaped body on the zero-copy path:
+/// UTF-8 check, borrowed JSON tree, hand-mirrored `InstanceSpec`, then
+/// [`SolveRequest::from_borrowed`] — no owned `Value` tree anywhere.
+///
+/// Error strings are byte-identical to [`parse_solve_body_tree`]'s (the
+/// proptest oracle compares the full `Result`), and the stage order
+/// matches too: body syntax, `instance` presence, instance validity,
+/// then the request knobs.
+pub fn parse_solve_body(
+    body: &[u8],
+    default_eps: &Ratio,
+) -> Result<(SolveRequest, Instance), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let root = from_str_borrowed(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let spec_value = root
+        .get("instance")
+        .ok_or_else(|| "missing `instance`".to_string())?;
+    let instance = spec_from_borrowed(spec_value)
+        .and_then(|spec| spec.build().map_err(|e| e.to_string()))
+        .map_err(|e| format!("invalid `instance`: {e}"))?;
+    let request = SolveRequest::from_borrowed(&root, default_eps)?;
+    Ok((request, instance))
+}
+
+/// The tree-parser twin of [`parse_solve_body`]: same body grammar, same
+/// stage order, same error strings, but through `serde_json::from_str`
+/// and the derived `InstanceSpec` deserializer. This is the equivalence
+/// oracle the zero-copy path is tested against — it must stay the
+/// straightforward spelling.
+pub fn parse_solve_body_tree(
+    body: &[u8],
+    default_eps: &Ratio,
+) -> Result<(SolveRequest, Instance), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let root: Value =
+        serde_json::from_str(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let spec_value = root
+        .get("instance")
+        .ok_or_else(|| "missing `instance`".to_string())?;
+    let instance = InstanceSpec::from_value(spec_value)
+        .map_err(|e| e.to_string())
+        .and_then(|spec| spec.build().map_err(|e| e.to_string()))
+        .map_err(|e| format!("invalid `instance`: {e}"))?;
+    let request = SolveRequest::from_json(&root, default_eps)?;
+    Ok((request, instance))
+}
+
+/// `u64` from a borrowed value, mirroring the serde shim's integer
+/// deserializer (same `Number` coercions, same error text). The direct
+/// match is the walk's hottest instruction path — every table entry and
+/// staircase coordinate lands here — so the layered coercion chain
+/// (negative integers, integral floats, and both error shapes) is kept
+/// out of line.
+#[inline]
+fn u64_from_borrowed(v: &BorrowedValue<'_>) -> Result<u64, String> {
+    if let BorrowedValue::Number(serde_json::Number::U(n)) = v {
+        if let Ok(u) = u64::try_from(*n) {
+            return Ok(u);
+        }
+    }
+    u64_from_borrowed_slow(v)
+}
+
+/// The coercion-and-error tail of [`u64_from_borrowed`].
+fn u64_from_borrowed_slow(v: &BorrowedValue<'_>) -> Result<u64, String> {
+    let n = v
+        .as_number()
+        .and_then(serde_json::Number::as_u128)
+        .ok_or_else(|| format!("expected u64, found {}", v.kind()))?;
+    u64::try_from(n).map_err(|_| format!("{n} out of range for u64"))
+}
+
+/// Object-field lookup mirroring `serde::de_field`: first match wins,
+/// element errors are wrapped with the field name, absence is reported
+/// as a missing field (no `Option` fields exist in these shapes).
+fn field_from_borrowed<'a, 'b>(
+    fields: &'a [(std::borrow::Cow<'b, str>, BorrowedValue<'b>)],
+    key: &str,
+) -> Result<&'a BorrowedValue<'b>, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// `InstanceSpec` from a borrowed value — the hand-written mirror of the
+/// derived deserializer (struct with `m` and `jobs`, unknown fields
+/// ignored, duplicate keys resolved first-wins).
+fn spec_from_borrowed(v: &BorrowedValue<'_>) -> Result<InstanceSpec, String> {
+    let fields = v.as_object().ok_or_else(|| {
+        format!(
+            "expected object for struct `InstanceSpec`, found {}",
+            v.kind()
+        )
+    })?;
+    let m = u64_from_borrowed(field_from_borrowed(fields, "m")?)
+        .map_err(|e| format!("field `m`: {e}"))?;
+    let jobs_value = field_from_borrowed(fields, "jobs")?;
+    let jobs = jobs_value
+        .as_array()
+        .ok_or_else(|| format!("expected array, found {}", jobs_value.kind()))
+        .and_then(|rows| rows.iter().map(curve_from_borrowed).collect())
+        .map_err(|e| format!("field `jobs`: {e}"))?;
+    Ok(InstanceSpec { m, jobs })
+}
+
+/// `CurveSpec` from a borrowed value — the externally-tagged enum shape
+/// (`{"constant": 9}`, `{"staircase": [[1,100],[4,80]]}`, …) with the
+/// derive's error texts.
+fn curve_from_borrowed(v: &BorrowedValue<'_>) -> Result<CurveSpec, String> {
+    if let Some(s) = v.as_str() {
+        return Err(format!("unknown variant `{s}` of `CurveSpec`"));
+    }
+    let obj = v.as_object().ok_or_else(|| {
+        format!(
+            "expected externally-tagged object for enum `CurveSpec`, found {}",
+            v.kind()
+        )
+    })?;
+    if obj.len() != 1 {
+        return Err(format!(
+            "expected single-key object for enum `CurveSpec`, found {} keys",
+            obj.len()
+        ));
+    }
+    let (tag, inner) = &obj[0];
+    match tag.as_ref() {
+        "constant" => Ok(CurveSpec::Constant(u64_from_borrowed(inner)?)),
+        "affine_decreasing" => {
+            let fields = inner.as_object().ok_or_else(|| {
+                format!(
+                    "expected object for variant `affine_decreasing` of `CurveSpec`, found {}",
+                    inner.kind()
+                )
+            })?;
+            let base = u64_from_borrowed(field_from_borrowed(fields, "base")?)
+                .map_err(|e| format!("field `base`: {e}"))?;
+            Ok(CurveSpec::AffineDecreasing { base })
+        }
+        "table" => {
+            let rows = inner
+                .as_array()
+                .ok_or_else(|| format!("expected array, found {}", inner.kind()))?;
+            let mut table = Vec::with_capacity(rows.len());
+            for row in rows {
+                table.push(u64_from_borrowed(row)?);
+            }
+            Ok(CurveSpec::Table(table))
+        }
+        "staircase" => {
+            let rows = inner
+                .as_array()
+                .ok_or_else(|| format!("expected array, found {}", inner.kind()))?;
+            let mut steps = Vec::with_capacity(rows.len());
+            for row in rows {
+                let pair = row
+                    .as_array()
+                    .ok_or_else(|| format!("expected tuple, found {}", row.kind()))?;
+                if pair.len() != 2 {
+                    return Err(format!("expected array of length 2, got {}", pair.len()));
+                }
+                steps.push((u64_from_borrowed(&pair[0])?, u64_from_borrowed(&pair[1])?));
+            }
+            Ok(CurveSpec::Staircase(steps))
+        }
+        "ideal_with_overhead" => {
+            let fields = inner.as_object().ok_or_else(|| {
+                format!(
+                    "expected object for variant `ideal_with_overhead` of `CurveSpec`, found {}",
+                    inner.kind()
+                )
+            })?;
+            let get = |key: &str| {
+                u64_from_borrowed(field_from_borrowed(fields, key)?)
+                    .map_err(|e| format!("field `{key}`: {e}"))
+            };
+            Ok(CurveSpec::IdealWithOverhead {
+                t1: get("t1")?,
+                c: get("c")?,
+                cap: get("cap")?,
+            })
+        }
+        other => Err(format!("unknown variant `{other}` of `CurveSpec`")),
     }
 }
 
@@ -151,5 +388,74 @@ mod tests {
         let err =
             SolveRequest::from_args(&strings(&["--eps", "0/4"]), &default_eps).unwrap_err();
         assert!(err.contains("eps"), "{err}");
+    }
+
+    /// Both body parsers must agree `Result`-for-`Result`: identical
+    /// requests and instances on accept, identical error strings on
+    /// reject. `tests/proptest_zerocopy.rs` widens this to arbitrary
+    /// bodies; this corpus pins the interesting shapes deterministically.
+    #[test]
+    fn zerocopy_and_tree_parsers_agree() {
+        let default_eps = Ratio::new(1, 4);
+        let bodies: Vec<Vec<u8>> = vec![
+            // Every curve family, all knobs.
+            br#"{"instance": {"m": 64, "jobs": [
+                {"constant": 9},
+                {"affine_decreasing": {"base": 4000}},
+                {"table": [70, 40, 30]},
+                {"staircase": [[1, 100], [2, 60], [4, 50]]},
+                {"ideal_with_overhead": {"t1": 500, "c": 2, "cap": 64}}
+            ]}, "algo": "linear", "eps": "1/8", "placements": true}"#
+                .to_vec(),
+            // Defaults only; duplicate keys (first wins).
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "algo": "mrt", "algo": "linear"}"#.to_vec(),
+            // Escapes and unicode in strings.
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "algo": "linear"}"#.to_vec(),
+            // Rejections: syntax, missing/invalid instance, bad knobs.
+            b"{".to_vec(),
+            b"{}".to_vec(),
+            br#"{"instance": null}"#.to_vec(),
+            br#"{"instance": {"m": 0, "jobs": []}}"#.to_vec(),
+            br#"{"instance": {"jobs": []}}"#.to_vec(),
+            br#"{"instance": {"m": 2}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 0}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"table": []}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"staircase": [[2, 5]]}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"staircase": [[1]]}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"warp": 1}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": ["constant"]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 1, "table": [1]}]}}"#.to_vec(),
+            br#"{"instance": {"m": 1.5, "jobs": []}}"#.to_vec(),
+            br#"{"instance": {"m": 340282366920938463463374607431768211455, "jobs": []}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "eps": "3/2"}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "algo": 7}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "placements": "yes"}"#.to_vec(),
+            vec![0xff, 0xfe, b'{', b'}'],
+        ];
+        for body in &bodies {
+            let fast = parse_solve_body(body, &default_eps);
+            let tree = parse_solve_body_tree(body, &default_eps);
+            match (&fast, &tree) {
+                (Ok((fr, fi)), Ok((tr, ti))) => {
+                    assert_eq!(fr, tr, "{}", String::from_utf8_lossy(body));
+                    assert_eq!(
+                        InstanceSpec::from_instance(fi),
+                        InstanceSpec::from_instance(ti),
+                        "{}",
+                        String::from_utf8_lossy(body)
+                    );
+                }
+                (Err(fe), Err(te)) => {
+                    assert_eq!(fe, te, "{}", String::from_utf8_lossy(body));
+                }
+                _ => panic!(
+                    "parsers disagree on {}: fast {:?}, tree {:?}",
+                    String::from_utf8_lossy(body),
+                    fast.as_ref().map(|_| "ok"),
+                    tree.as_ref().map(|_| "ok"),
+                ),
+            }
+        }
     }
 }

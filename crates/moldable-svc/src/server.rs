@@ -23,7 +23,7 @@
 //! [`JobView`]: moldable_core::view::JobView
 
 use crate::app::{App, AppConfig};
-use crate::http::{read_request, HttpError, Response};
+use crate::http::{HttpError, RequestReader, Response};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -110,9 +110,16 @@ impl Server {
     /// Bind `config.addr` and spawn the worker pool. Returns once the
     /// listener is live — requests can be sent immediately.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let app = Arc::new(App::new(config.app.clone()));
+        Server::bind_with_app(&config, app)
+    }
+
+    /// Like [`Server::bind`] but serving a caller-built [`App`] — the
+    /// hook [`ShardedServer`] uses to put each listener shard behind its
+    /// own member of an [`App::shard_group`].
+    pub fn bind_with_app(config: &ServerConfig, app: Arc<App>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let app = Arc::new(App::new(config.app.clone()));
         let stop = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(ConnRegistry::default());
         let listener = Arc::new(listener);
@@ -166,6 +173,75 @@ impl Server {
     }
 }
 
+/// `shards` independent listeners serving one fleet: each shard owns a
+/// port, a worker pool, and a metrics handle (no cross-shard lock
+/// traffic on the hot path), while all shards share one canonical-
+/// instance response cache. `GET /metrics` on **any** shard reports the
+/// merged fleet (see [`ServiceMetrics::snapshot_merged`]).
+///
+/// Port layout: with an explicit port `P` in `config.addr`, shard `i`
+/// binds `P + i`; with port 0 every shard takes its own ephemeral port.
+/// Clients spread themselves across [`ShardedServer::addrs`] — the
+/// load generator's multi-target mode does this round-robin per thread.
+///
+/// [`ServiceMetrics::snapshot_merged`]: crate::metrics::ServiceMetrics::snapshot_merged
+pub struct ShardedServer {
+    servers: Vec<Server>,
+}
+
+impl ShardedServer {
+    /// Bind `shards` listeners (clamped to ≥ 1) over one
+    /// [`App::shard_group`]. Fails if any port in the range is taken —
+    /// already-bound shards are shut down before the error returns.
+    pub fn bind(config: ServerConfig, shards: usize) -> std::io::Result<ShardedServer> {
+        let shards = shards.max(1);
+        let apps = App::shard_group(config.app.clone(), shards);
+        let base: Option<(String, u16)> = config
+            .addr
+            .rsplit_once(':')
+            .and_then(|(host, port)| Some((host.to_string(), port.parse::<u16>().ok()?)))
+            .filter(|&(_, port)| port != 0);
+        let mut servers: Vec<Server> = Vec::with_capacity(shards);
+        for (i, app) in apps.into_iter().enumerate() {
+            let shard_config = ServerConfig {
+                addr: match &base {
+                    Some((host, port)) => format!("{host}:{}", port + i as u16),
+                    None => config.addr.clone(),
+                },
+                ..config.clone()
+            };
+            match Server::bind_with_app(&shard_config, Arc::new(app)) {
+                Ok(server) => servers.push(server),
+                Err(e) => {
+                    for server in servers {
+                        server.shutdown();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ShardedServer { servers })
+    }
+
+    /// Every shard's bound address, in shard order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(Server::local_addr).collect()
+    }
+
+    /// The shards themselves (shard 0 is the primary — scripts read its
+    /// address from the `{"listening": …}` line).
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Shut every shard down and join all worker pools.
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}
+
 fn worker_loop(
     listener: &TcpListener,
     app: &App,
@@ -206,13 +282,17 @@ fn serve_connection(stream: TcpStream, app: &App, stop: &AtomicBool, idle: Durat
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
     let max_body = app.config().max_body;
+    // One parser per connection: its head/body buffers are reused across
+    // every keep-alive request, so the steady-state read path allocates
+    // nothing.
+    let mut parser = RequestReader::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        match read_request(&mut reader, max_body) {
+        match parser.read(&mut reader, max_body) {
             Ok(request) => {
-                let response = app.respond(&request);
+                let response = app.respond_parts(request.method, request.path, request.body);
                 let keep = request.keep_alive && !stop.load(Ordering::SeqCst);
                 if response.write_to(&mut writer, keep).is_err() || !keep {
                     return;
@@ -339,6 +419,67 @@ mod tests {
             "shutdown stalled {:?} behind an idle connection",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn sharded_server_merges_metrics_and_shares_the_cache() {
+        let fleet = ShardedServer::bind(
+            ServerConfig {
+                workers: 1,
+                idle_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
+            },
+            3,
+        )
+        .expect("binding three ephemeral shards");
+        let addrs = fleet.addrs();
+        assert_eq!(addrs.len(), 3);
+        // Same body to every shard: the first solve is the fleet's only
+        // cache miss, the other two hit the shared cache and answer
+        // byte-identically.
+        let responses: Vec<Response> = addrs
+            .iter()
+            .map(|&addr| roundtrip(addr, "POST", "/v1/solve", BODY.as_bytes()))
+            .collect();
+        for resp in &responses {
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+            assert_eq!(resp.body, responses[0].body);
+        }
+        // /metrics on ANY shard sees all three solves plus the shared
+        // caches' counters: the byte-identical repeats land in the
+        // exact-bytes memo (1 miss from shard 0, 2 hits from the rest),
+        // so the canonical cache under it sees only the single miss.
+        for &addr in &addrs {
+            let metrics = roundtrip(addr, "GET", "/metrics", b"");
+            let v: Value =
+                serde_json::from_str(std::str::from_utf8(&metrics.body).unwrap()).unwrap();
+            assert_eq!(v["endpoints"]["solve"]["requests"].as_u64(), Some(3));
+            assert_eq!(v["cache"]["body_hits"].as_u64(), Some(2));
+            assert_eq!(v["cache"]["body_misses"].as_u64(), Some(1));
+            assert_eq!(v["cache"]["hits"].as_u64(), Some(0));
+            assert_eq!(v["cache"]["misses"].as_u64(), Some(1));
+        }
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn sharded_server_uses_consecutive_ports_from_an_explicit_base() {
+        // Retry a few bases in case a port in the range is taken.
+        for base in [38651u16, 47353, 52741] {
+            let config = ServerConfig {
+                addr: format!("127.0.0.1:{base}"),
+                workers: 1,
+                idle_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
+            };
+            if let Ok(fleet) = ShardedServer::bind(config, 2) {
+                let ports: Vec<u16> = fleet.addrs().iter().map(SocketAddr::port).collect();
+                assert_eq!(ports, vec![base, base + 1]);
+                fleet.shutdown();
+                return;
+            }
+        }
+        panic!("all candidate port ranges were taken");
     }
 
     #[test]

@@ -16,11 +16,13 @@ pub enum Number {
 
 impl Number {
     /// Wrap an unsigned integer.
+    #[inline]
     pub fn from_u128(n: u128) -> Number {
         Number::U(n)
     }
 
     /// Wrap a signed integer (normalized to `U` when non-negative).
+    #[inline]
     pub fn from_i128(n: i128) -> Number {
         if n >= 0 {
             Number::U(n as u128)
@@ -30,11 +32,13 @@ impl Number {
     }
 
     /// Wrap a float.
+    #[inline]
     pub fn from_f64(f: f64) -> Number {
         Number::F(f)
     }
 
     /// The value as a `u128`, when non-negative and integral.
+    #[inline]
     pub fn as_u128(&self) -> Option<u128> {
         match *self {
             Number::U(n) => Some(n),
@@ -49,6 +53,7 @@ impl Number {
     }
 
     /// The value as an `i128`, when integral.
+    #[inline]
     pub fn as_i128(&self) -> Option<i128> {
         match *self {
             Number::U(n) => i128::try_from(n).ok(),
@@ -65,6 +70,7 @@ impl Number {
     }
 
     /// The value as an `f64` (lossy for huge integers).
+    #[inline]
     pub fn as_f64(&self) -> f64 {
         match *self {
             Number::U(n) => n as f64,

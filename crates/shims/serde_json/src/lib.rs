@@ -5,14 +5,20 @@
 //! [`to_string_pretty`], [`from_str`], [`to_value`], the [`json!`] macro,
 //! and [`Value`] itself (re-exported from the `serde` shim, where it lives
 //! so the derive macros can target it without a circular dependency).
+//! The [`borrow`] module adds the zero-copy parser ([`from_slice`] →
+//! [`BorrowedValue`]) the service hot path uses; the tree parser remains
+//! its semantic oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde::{Error, Number, Value};
 
+pub mod borrow;
 mod parse;
 mod print;
+
+pub use borrow::{from_slice, BorrowedValue};
 
 /// Render any serializable value into a [`Value`] tree.
 pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {

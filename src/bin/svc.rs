@@ -1,25 +1,30 @@
 //! `moldable-svc` — serve the scheduling service over HTTP.
 //!
 //! ```text
-//! moldable-svc [--addr HOST:PORT] [--workers N] [--eps N/D]
+//! moldable-svc [--addr HOST:PORT] [--workers N] [--shards N] [--eps N/D]
 //!              [--max-body BYTES] [--race-threads N] [--idle-timeout SECONDS]
+//!              [--cache-entries N] [--cache-shards N]
 //! ```
 //!
-//! Prints one JSON line `{"listening": "HOST:PORT", "workers": N}` to
-//! stdout once the listener is live (port 0 resolves to the actual
-//! ephemeral port — scripts read the address from this line), then
-//! serves until killed. Endpoints: `POST /v1/solve`, `POST /v1/race`,
-//! `GET /healthz`, `GET /metrics` — see DESIGN.md's "Service front-end".
+//! Prints one JSON line `{"listening": "HOST:PORT", "workers": N,
+//! "shards": ["HOST:PORT", …]}` to stdout once every listener is live
+//! (port 0 resolves to the actual ephemeral ports — scripts read the
+//! primary address from `"listening"`; `--shards N` binds N consecutive
+//! ports from the base, each with its own worker pool, sharing one
+//! response cache). Serves until killed. Endpoints: `POST /v1/solve`,
+//! `POST /v1/race`, `GET /healthz`, `GET /metrics` — see DESIGN.md's
+//! "Service front-end".
 
 use moldable::sched::batch;
 use moldable::svc::app::parse_eps;
-use moldable::svc::{AppConfig, Server, ServerConfig};
+use moldable::svc::{AppConfig, ServerConfig, ShardedServer};
 use serde_json::json;
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage:
-  moldable-svc [--addr HOST:PORT] [--workers N] [--eps N/D] [--max-body BYTES] [--race-threads N] [--idle-timeout SECONDS]";
+  moldable-svc [--addr HOST:PORT] [--workers N] [--shards N] [--eps N/D] [--max-body BYTES]
+               [--race-threads N] [--idle-timeout SECONDS] [--cache-entries N] [--cache-shards N]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -62,14 +67,35 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(t) => t,
         };
     }
+    if let Some(entries) = flag(args, "--cache-entries") {
+        // 0 is legal: it disables the response cache entirely.
+        app.cache_entries = entries
+            .parse()
+            .map_err(|_| "bad --cache-entries (need an integer >= 0)")?;
+    }
+    if let Some(shards) = flag(args, "--cache-shards") {
+        app.cache_shards = match shards.parse() {
+            Ok(0) | Err(_) => return Err("bad --cache-shards (need an integer >= 1)".into()),
+            Ok(s) => s,
+        };
+    }
+    let shards: usize = match flag(args, "--shards") {
+        None => 1,
+        Some(raw) => match raw.parse() {
+            Ok(0) | Err(_) => return Err("bad --shards (need an integer >= 1)".into()),
+            Ok(s) => s,
+        },
+    };
     config.app = app;
     let workers = config.workers;
-    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    let fleet = ShardedServer::bind(config, shards).map_err(|e| format!("bind failed: {e}"))?;
+    let addrs: Vec<String> = fleet.addrs().iter().map(|a| a.to_string()).collect();
     println!(
         "{}",
         serde_json::to_string(&json!({
-            "listening": server.local_addr().to_string(),
+            "listening": addrs[0],
             "workers": workers,
+            "shards": addrs,
         }))
         .expect("shim serialization is infallible")
     );
@@ -77,8 +103,9 @@ fn run(args: &[String]) -> Result<(), String> {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     eprintln!(
-        "moldable-svc listening on http://{} ({} workers); endpoints: POST /v1/solve, POST /v1/race, GET /healthz, GET /metrics",
-        server.local_addr(),
+        "moldable-svc listening on http://{} ({} shards x {} workers); endpoints: POST /v1/solve, POST /v1/race, GET /healthz, GET /metrics",
+        addrs.join(" http://"),
+        addrs.len(),
         workers,
     );
     // Serve until the process is killed: park this thread forever while

@@ -1,0 +1,140 @@
+//! Property test: the zero-copy `/v1/solve` body parser and the
+//! tree-building oracle are *extensionally equal* — on any byte string,
+//! valid or not, they return the same parsed request (algo, ε,
+//! placements flag, instance semantics) or the same error text. The
+//! service serves the zero-copy path; this is the guarantee that lets
+//! it.
+
+use moldable::core::io::InstanceSpec;
+use moldable::prelude::*;
+use moldable::svc::request::{parse_solve_body, parse_solve_body_tree};
+use proptest::prelude::*;
+
+/// Compare both parsers on one body: full `Result` agreement, with
+/// instances compared through their canonical spec serialization.
+fn assert_parsers_agree(body: &[u8]) {
+    let eps = Ratio::new(1, 4);
+    let zero_copy = parse_solve_body(body, &eps);
+    let tree = parse_solve_body_tree(body, &eps);
+    match (zero_copy, tree) {
+        (Ok((a, inst_a)), Ok((b, inst_b))) => {
+            assert_eq!(a.algo, b.algo, "algo diverged");
+            assert_eq!(a.eps, b.eps, "eps diverged");
+            assert_eq!(a.placements, b.placements, "placements flag diverged");
+            let spec_a = InstanceSpec::from_instance(&inst_a).expect("parsed curves serialize");
+            let spec_b = InstanceSpec::from_instance(&inst_b).expect("parsed curves serialize");
+            assert_eq!(
+                serde_json::to_string(&serde_json::to_value(&spec_a)).unwrap(),
+                serde_json::to_string(&serde_json::to_value(&spec_b)).unwrap(),
+                "instance semantics diverged"
+            );
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "error texts diverged"),
+        (a, b) => panic!(
+            "parsers disagree on validity for {:?}:\n zero-copy: {:?}\n tree: {:?}",
+            String::from_utf8_lossy(body),
+            a.map(|(sr, _)| sr),
+            b.map(|(sr, _)| sr),
+        ),
+    }
+}
+
+/// One curve spec as JSON text, spanning every wire family. Some draws
+/// are deliberately invalid (empty tables, work-dropping staircases):
+/// the property is parser *agreement*, not body validity.
+fn curve_json() -> impl Strategy<Value = String> {
+    (0usize..6, 1u64..60, 1u64..8, 0u64..6).prop_map(|(kind, t, c, cap)| match kind {
+        0 => format!(r#"{{"constant": {t}}}"#),
+        1 => format!(r#"{{"table": [{}, {}, {}]}}"#, t + 20, t + 10, t),
+        2 => format!(
+            r#"{{"table": [{t}, {}, {}]}}"#,
+            t + 7,
+            t.saturating_sub(1).max(1)
+        ),
+        3 => format!(r#"{{"staircase": [[1, {}], [{}, {t}]]}}"#, t + 10, c + 1),
+        4 => format!(r#"{{"affine_decreasing": {{"base": {t}}}}}"#),
+        _ => format!(
+            r#"{{"ideal_with_overhead": {{"t1": {}, "c": {c}, "cap": {cap}}}}}"#,
+            t * 10
+        ),
+    })
+}
+
+/// A solve-request body assembled from generated parts; optional fields
+/// appear probabilistically, and `eps`/`algo` draws include malformed
+/// values.
+fn body_json() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(curve_json(), 0..5),
+        0u64..20,
+        0usize..5,
+        0usize..4,
+        0usize..3,
+    )
+        .prop_map(|(curves, m, algo_pick, eps_pick, flag_pick)| {
+            let mut fields = vec![format!(
+                r#""instance": {{"m": {m}, "jobs": [{}]}}"#,
+                curves.join(", ")
+            )];
+            match algo_pick {
+                0 => {}
+                1 => fields.push(r#""algo": "linear""#.to_string()),
+                2 => fields.push(r#""algo": "dual-fptas""#.to_string()),
+                3 => fields.push(r#""algo": "quantum""#.to_string()),
+                _ => fields.push(r#""algo": 7"#.to_string()),
+            }
+            match eps_pick {
+                0 => {}
+                1 => fields.push(r#""eps": "1/4""#.to_string()),
+                2 => fields.push(r#""eps": "3/2""#.to_string()),
+                _ => fields.push(r#""eps": 0.25"#.to_string()),
+            }
+            match flag_pick {
+                0 => {}
+                1 => fields.push(r#""placements": true"#.to_string()),
+                _ => fields.push(r#""placements": "yes""#.to_string()),
+            }
+            format!("{{{}}}", fields.join(", "))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structured bodies — mostly valid, some rejected by spec/eps/flag
+    /// validation — parse identically down the two pipelines.
+    #[test]
+    fn zerocopy_matches_tree_on_structured_bodies(body in body_json()) {
+        assert_parsers_agree(body.as_bytes());
+    }
+
+    /// Mutilated bodies (truncated, byte-flipped, or byte-inserted valid
+    /// bodies) still produce byte-identical outcomes — this is where
+    /// tokenizer error paths diverge if anything does.
+    #[test]
+    fn zerocopy_matches_tree_on_mutated_bodies(
+        body in body_json(),
+        at in 0usize..512,
+        byte in 0u8..=255,
+        op in 0usize..3,
+    ) {
+        let mut bytes = body.into_bytes();
+        let at = at % (bytes.len() + 1);
+        match op {
+            0 => bytes.truncate(at),
+            1 => bytes.insert(at, byte),
+            _ if at < bytes.len() => bytes[at] = byte,
+            _ => {}
+        }
+        assert_parsers_agree(&bytes);
+    }
+
+    /// Raw byte soup — overwhelmingly invalid JSON, often invalid UTF-8:
+    /// both parsers must refuse with the same message.
+    #[test]
+    fn zerocopy_matches_tree_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..160),
+    ) {
+        assert_parsers_agree(&bytes);
+    }
+}

@@ -1,0 +1,232 @@
+//! The response caches must be invisible in the response bytes: for
+//! every registry solver, both wire-format shapes (with and without
+//! `placements`), and both endpoints, a cache-hit response — whether it
+//! came from the exact-bytes front memo (byte-identical repeat) or the
+//! canonical-instance cache (reformatted body) — is byte-identical to
+//! the cache-miss response, which is byte-identical to what a
+//! cache-disabled app serves. Also pins the semantic-key behavior:
+//! equivalent curve encodings share one entry, `Custom`-free instances
+//! are all cacheable, and both layers' counters move independently.
+
+use moldable::sched::SOLVER_NAMES;
+use moldable::svc::http::{Request, Response};
+use moldable::svc::{App, AppConfig};
+
+fn post(path: &str, body: &str) -> Request {
+    Request {
+        method: "POST".into(),
+        path: path.into(),
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+    }
+}
+
+fn get(path: &str) -> Request {
+    Request {
+        method: "GET".into(),
+        path: path.into(),
+        body: Vec::new(),
+        keep_alive: true,
+    }
+}
+
+fn cached_app() -> App {
+    App::new(AppConfig::default())
+}
+
+fn uncached_app() -> App {
+    App::new(AppConfig {
+        cache_entries: 0,
+        ..AppConfig::default()
+    })
+}
+
+fn body_text(resp: &Response) -> String {
+    String::from_utf8(resp.body.clone()).unwrap()
+}
+
+/// Small enough for the exact solver (n ≤ 6, m ≤ 6) so every registry
+/// name answers 200, with all curve families the wire speaks.
+const SMALL: &str = r#"{"m": 4, "jobs": [
+    {"constant": 9},
+    {"staircase": [[1, 20], [2, 12]]},
+    {"table": [15, 9, 7]},
+    {"ideal_with_overhead": {"t1": 24, "c": 1, "cap": 4}}
+]}"#;
+
+#[test]
+fn cached_responses_match_uncached_for_every_solver_and_shape() {
+    let cached = cached_app();
+    let uncached = uncached_app();
+    assert!(cached.cache().is_some());
+    assert!(uncached.cache().is_none());
+    for algo in SOLVER_NAMES {
+        for placements in [false, true] {
+            let body = format!(
+                r#"{{"instance": {SMALL}, "algo": "{algo}", "eps": "1/4", "placements": {placements}}}"#
+            );
+            let req = post("/v1/solve", &body);
+            let reference = uncached.respond(&req);
+            assert_eq!(reference.status, 200, "{algo}: {}", body_text(&reference));
+            let miss = cached.respond(&req);
+            // Byte-identical repeat: served by the exact-bytes memo.
+            let body_hit = cached.respond(&req);
+            // Same request with extra whitespace: misses the memo but
+            // hits the canonical-instance cache underneath.
+            let reformatted = post("/v1/solve", &format!(" {body}"));
+            let canonical_hit = cached.respond(&reformatted);
+            assert_eq!(
+                miss, reference,
+                "{algo} (placements={placements}): miss diverged"
+            );
+            assert_eq!(
+                body_hit, reference,
+                "{algo} (placements={placements}): body hit diverged"
+            );
+            assert_eq!(
+                canonical_hit, reference,
+                "{algo} (placements={placements}): canonical hit diverged"
+            );
+        }
+    }
+    // Every (algo, placements) pair is its own entry in both layers: per
+    // pair the canonical cache saw one miss (first request) and one hit
+    // (the reformatted body), the exact-bytes memo one hit (the repeat)
+    // and two misses (two distinct byte strings).
+    let pairs = (SOLVER_NAMES.len() * 2) as u64;
+    let (hits, misses, evictions) = cached.cache().unwrap().counters();
+    assert_eq!((hits, misses, evictions), (pairs, pairs, 0));
+    let (body_hits, body_misses, body_evictions) = cached.body_cache().unwrap().counters();
+    assert_eq!(
+        (body_hits, body_misses, body_evictions),
+        (pairs, 2 * pairs, 0)
+    );
+}
+
+#[test]
+fn race_responses_cache_and_match_uncached() {
+    let cached = cached_app();
+    let uncached = uncached_app();
+    for placements in [false, true] {
+        let body = format!(r#"{{"instance": {SMALL}, "placements": {placements}}}"#);
+        let req = post("/v1/race", &body);
+        let reference = uncached.respond(&req);
+        assert_eq!(reference.status, 200, "{}", body_text(&reference));
+        let miss = cached.respond(&req);
+        let hit = cached.respond(&req);
+        assert_eq!(miss, reference, "placements={placements}: miss diverged");
+        assert_eq!(hit, reference, "placements={placements}: hit diverged");
+    }
+    // `/v1/race` ignores `algo`, so bodies differing only in `algo`
+    // share one canonical entry (both are exact-bytes misses: the memo
+    // only serves byte-identical repeats).
+    let body = format!(r#"{{"instance": {SMALL}, "algo": "dual-fptas"}}"#);
+    let with_algo = cached.respond(&post("/v1/race", &body));
+    let plain = cached.respond(&post("/v1/race", &format!(r#"{{"instance": {SMALL}}}"#)));
+    assert_eq!(with_algo, plain);
+    // Canonical: 2 misses from the loop, 2 hits from the algo variants.
+    // Memo: 2 hits from the loop's repeats, 4 distinct byte strings.
+    let (hits, misses, _) = cached.cache().unwrap().counters();
+    assert_eq!((hits, misses), (2, 2));
+    let (body_hits, body_misses, _) = cached.body_cache().unwrap().counters();
+    assert_eq!((body_hits, body_misses), (2, 4));
+}
+
+#[test]
+fn equivalent_encodings_share_one_cache_entry() {
+    let app = cached_app();
+    // A non-increasing table and its canonical staircase are the same
+    // curve on [1, m] — one entry, second request is a hit.
+    let table = r#"{"instance": {"m": 8, "jobs": [{"table": [10, 6, 6, 5, 5, 5, 5, 5]}]}, "algo": "linear"}"#;
+    let stair = r#"{"instance": {"m": 8, "jobs": [{"staircase": [[1, 10], [2, 6], [4, 5]]}]}, "algo": "linear"}"#;
+    let a = app.respond(&post("/v1/solve", table));
+    let b = app.respond(&post("/v1/solve", stair));
+    assert_eq!(a.status, 200, "{}", body_text(&a));
+    assert_eq!(a.body, b.body, "equivalent encodings answered differently");
+    let (hits, misses, _) = app.cache().unwrap().counters();
+    assert_eq!((hits, misses), (1, 1), "encodings did not share an entry");
+    // Different ε is a different key even on the same instance.
+    let other_eps = r#"{"instance": {"m": 8, "jobs": [{"table": [10, 6, 6, 5, 5, 5, 5, 5]}]}, "algo": "linear", "eps": "1/8"}"#;
+    app.respond(&post("/v1/solve", other_eps));
+    let (hits, misses, _) = app.cache().unwrap().counters();
+    assert_eq!((hits, misses), (1, 2), "eps leaked into a shared entry");
+}
+
+#[test]
+fn errors_are_never_cached() {
+    let app = cached_app();
+    for _ in 0..2 {
+        let resp = app.respond(&post("/v1/solve", r#"{"instance": {"m": 0, "jobs": []}}"#));
+        assert_eq!(resp.status, 400);
+        let resp = app.respond(&post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {SMALL}, "algo": "quantum"}}"#),
+        ));
+        assert_eq!(resp.status, 400);
+    }
+    let cache = app.cache().unwrap();
+    assert!(cache.is_empty(), "a failed request left a cache entry");
+    assert_eq!(cache.counters().0, 0, "a failed request scored a hit");
+    let body_cache = app.body_cache().unwrap();
+    assert!(
+        body_cache.is_empty(),
+        "a failed request was memoized by body"
+    );
+    assert_eq!(
+        body_cache.counters().0,
+        0,
+        "a failed repeat scored a memo hit"
+    );
+}
+
+#[test]
+fn metrics_expose_cache_counters() {
+    let app = cached_app();
+    let req = post("/v1/solve", &format!(r#"{{"instance": {SMALL}}}"#));
+    app.respond(&req);
+    app.respond(&req);
+    let metrics = app.respond(&get("/metrics"));
+    let v: serde_json::Value = serde_json::from_str(&body_text(&metrics)).unwrap();
+    assert_eq!(v["cache"]["enabled"].as_bool(), Some(true));
+    // The byte-identical repeat is an exact-bytes memo hit; only the
+    // first request ever reached the canonical cache (one miss).
+    assert_eq!(v["cache"]["hits"].as_u64(), Some(0));
+    assert_eq!(v["cache"]["misses"].as_u64(), Some(1));
+    assert_eq!(v["cache"]["entries"].as_u64(), Some(1));
+    assert_eq!(v["cache"]["body_hits"].as_u64(), Some(1));
+    assert_eq!(v["cache"]["body_misses"].as_u64(), Some(1));
+    assert_eq!(v["cache"]["body_entries"].as_u64(), Some(1));
+    let disabled = uncached_app().respond(&get("/metrics"));
+    let v: serde_json::Value = serde_json::from_str(&body_text(&disabled)).unwrap();
+    assert_eq!(v["cache"]["enabled"].as_bool(), Some(false));
+}
+
+#[test]
+fn tiny_cache_evicts_but_stays_correct() {
+    let app = App::new(AppConfig {
+        cache_entries: 2,
+        cache_shards: 1,
+        ..AppConfig::default()
+    });
+    let uncached = uncached_app();
+    let bodies: Vec<String> = (1..=6u64)
+        .map(|t| {
+            format!(
+                r#"{{"instance": {{"m": 4, "jobs": [{{"constant": {t}}}]}}, "algo": "linear"}}"#
+            )
+        })
+        .collect();
+    // Two passes over 6 distinct instances through 2 slots: constant
+    // eviction churn, every response still byte-exact.
+    for _ in 0..2 {
+        for body in &bodies {
+            let req = post("/v1/solve", body);
+            assert_eq!(app.respond(&req), uncached.respond(&req));
+        }
+    }
+    let cache = app.cache().unwrap();
+    let (_, misses, evictions) = cache.counters();
+    assert!(evictions > 0, "no eviction despite 6 keys in 2 slots");
+    assert!(misses >= 6, "second pass should keep missing under churn");
+    assert!(cache.len() <= 2, "capacity bound violated: {}", cache.len());
+}
