@@ -13,7 +13,7 @@ noise-floor, p95 is jitter). The tolerance is variance-aware: the shim
 records a bootstrap 95% confidence interval on each median
 (median_ci_lo_ns / median_ci_hi_ns), and benchmarks whose *baseline*
 interval is tight — width under 10% of the median — get the strict
-tolerance (default 1.5x), because a >1.5x move on a benchmark that
+tolerance (default 1.3x), because a >1.3x move on a benchmark that
 reproducibly sits in a narrow band is a real regression, not noise.
 Benchmarks with wide or missing intervals keep the generous default
 (2.0x): CI runners are shared and the baseline may have been recorded
@@ -84,6 +84,35 @@ def tolerance_for(record, loose, tight):
     return loose
 
 
+def check_ratios(current, specs):
+    """Relational checks between two benchmarks of the same run:
+    `NAME:BASE:R` requires median(NAME) <= R * median(BASE). Both sides
+    come from the current results, so runner speed cancels out — this
+    pins algorithmic relationships (e.g. hierarchical lowering within
+    2x of the flat pass) that absolute baselines cannot express."""
+    failures = []
+    for spec in specs:
+        try:
+            name, base, factor = spec.rsplit(":", 2)
+            factor = float(factor)
+        except ValueError:
+            failures.append(f"--max-ratio `{spec}`: expected NAME:BASE:R")
+            continue
+        missing = [bench for bench in (name, base) if bench not in current]
+        if missing:
+            failures.append(f"--max-ratio `{spec}`: missing benchmark(s) "
+                            f"{', '.join(missing)} in this run")
+            continue
+        lhs, rhs = current[name]["median_ns"], current[base]["median_ns"]
+        ratio = lhs / rhs if rhs else float("inf")
+        status = "ok" if ratio <= factor else "FAIL"
+        print(f"ratio {name} / {base}: {ratio:.2f}x (bar {factor:.2f}x) {status}")
+        if status == "FAIL":
+            failures.append(f"{name}: median {fmt_ns(lhs)} is {ratio:.2f}x the median "
+                            f"of {base} ({fmt_ns(rhs)}); bar is {factor:.2f}x")
+    return failures
+
+
 def compare(baseline, current, loose_tol, tight_tol):
     rows = []
     failures = []
@@ -126,10 +155,17 @@ def main():
                         help="max allowed current/baseline median ratio for noisy "
                              "benchmarks (default: 2.0, or $BENCH_GATE_TOLERANCE)")
     parser.add_argument("--tight-tolerance", type=float,
-                        default=float(os.environ.get("BENCH_GATE_TIGHT_TOLERANCE", "1.5")),
+                        default=float(os.environ.get("BENCH_GATE_TIGHT_TOLERANCE", "1.3")),
                         help="tolerance for benchmarks whose baseline bootstrap CI "
                              "width is under 10%% of the median "
-                             "(default: 1.5, or $BENCH_GATE_TIGHT_TOLERANCE)")
+                             "(default: 1.3, or $BENCH_GATE_TIGHT_TOLERANCE)")
+    parser.add_argument("--max-ratio", action="append", default=[],
+                        metavar="NAME:BASE:R",
+                        help="relational bar checked within the *current* run (no "
+                             "baseline involved): median(NAME) must be <= R x "
+                             "median(BASE). Repeatable. Same-run medians share the "
+                             "runner, so R is an algorithmic bound, not a noise "
+                             "tolerance.")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current results instead of "
                              "comparing; refused if any shared benchmark regressed beyond "
@@ -185,6 +221,7 @@ def main():
     with open(args.baseline) as f:
         baseline = json.load(f)
     failures = compare(baseline, current, args.tolerance, args.tight_tolerance)
+    failures += check_ratios(current, args.max_ratio)
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} problem(s)):")
         for failure in failures:

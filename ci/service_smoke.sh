@@ -6,7 +6,9 @@
 #   3. POST a generated instance to /v1/solve and assert the answer is
 #      byte-identical to CLI `solve` on the same instance — once in the
 #      v1 shape, once requesting wire-format v2 placement rows (which
-#      are also validated structurally: disjoint, sized, in range),
+#      are also validated structurally: disjoint, sized, in range), and
+#      once in the v3 topology shape (packed policy on a 4x2x32
+#      hierarchy; every job must stay inside one node),
 #   4. cache consistency: POST the same body twice and assert the
 #      responses are byte-identical and /metrics counted a cache hit,
 #   5. run a short closed-loop `moldable-loadgen` burst against both
@@ -56,6 +58,15 @@ python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_place.json \
 $BIN/moldable solve --input /tmp/svc_inst.json --algo conv-fptas --eps 1/4 --place > /tmp/cli_conv.json
 python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_conv.json \
     --algo conv-fptas --eps 1/4 --placements
+
+# Wire-format v3: topology-aware lowering. CLI `solve --topology` and
+# `/v1/solve` with a topology must agree on every v3 field, and the
+# packed policy must keep every job inside one node of the 4x2x32
+# hierarchy (the locality contract the policy exists for).
+$BIN/moldable solve --input /tmp/svc_inst.json --algo linear --eps 1/4 \
+    --topology "4*2*32" --policy packed > /tmp/cli_topo.json
+python3 ci/solve_parity.py "$ADDR" /tmp/svc_inst.json /tmp/cli_topo.json \
+    --algo linear --eps 1/4 --topology "4*2*32" --policy packed --max-level-span node:1
 
 # Cache consistency: the same body served twice must be byte-identical,
 # and /metrics must show the repeat was answered from the cache.

@@ -12,8 +12,17 @@ With --placements, the request asks for wire-format v2 placement rows
 every job's processor-set size equals its allotment, the ranges are
 within [0, m), and no two jobs overlapping in time share a processor.
 
+With --topology SPEC (plus optional --policy P), the request carries
+the wire-format v3 topology fields (the CLI run must have used the same
+--topology/--policy flags), the expected schema becomes 3, and the
+placements/topology/policy/fragmentation fields must match the CLI
+output exactly. --max-level-span LEVEL:N additionally bounds every
+placement row's locality at LEVEL (e.g. `node:1` asserts a packed
+placement never crosses a node).
+
 Usage: python3 ci/solve_parity.py ADDR INSTANCE.json CLI_SOLVE_OUTPUT.json
        [--algo linear] [--eps 1/4] [--placements]
+       [--topology SPEC] [--policy P] [--max-level-span LEVEL:N]
 """
 
 import argparse
@@ -67,6 +76,12 @@ def main():
     parser.add_argument("--eps", default="1/4")
     parser.add_argument("--placements", action="store_true",
                         help="request and validate wire-format v2 placement rows")
+    parser.add_argument("--topology", default=None,
+                        help="wire-format v3 topology spec (e.g. 4*2*32)")
+    parser.add_argument("--policy", default=None,
+                        help="placement policy sent with --topology")
+    parser.add_argument("--max-level-span", default=None, metavar="LEVEL:N",
+                        help="assert every placement's locality at LEVEL is <= N")
     args = parser.parse_args()
 
     with open(args.instance) as f:
@@ -74,6 +89,10 @@ def main():
     request_body = {"instance": instance, "algo": args.algo, "eps": args.eps}
     if args.placements:
         request_body["placements"] = True
+    if args.topology:
+        request_body["topology"] = args.topology
+        if args.policy:
+            request_body["policy"] = args.policy
     body = json.dumps(request_body).encode()
     request = urllib.request.Request(
         f"http://{args.addr}/v1/solve", data=body,
@@ -94,8 +113,23 @@ def main():
     assert svc["assignments"] == cli["assignments"], "assignment rows differ"
     assert svc["probes"] == cli["probes"], \
         f"probe counts differ: {svc['probes']} vs {cli['probes']}"
-    assert svc["schema"] == 2, f"unexpected schema: {svc.get('schema')}"
-    if args.placements:
+    expected_schema = 3 if args.topology else 2
+    assert svc["schema"] == expected_schema, f"unexpected schema: {svc.get('schema')}"
+    if args.topology:
+        for field in ("placements", "topology", "policy", "fragmentation"):
+            assert svc[field] == cli[field], f"v3 `{field}` differs between CLI and service"
+        check_placements(svc, instance["m"])
+        if args.max_level_span:
+            level, bound = args.max_level_span.rsplit(":", 1)
+            bound = int(bound)
+            for row in svc["placements"]:
+                span = row["locality"][level]
+                assert span <= bound, \
+                    f"job {row['job']} spans {span} {level} blocks (bound {bound})"
+            print(f"locality ok: every placement within {bound} {level} block(s)")
+        print(f"topology parity ok: schema 3, policy {svc['policy']}, "
+              f"{len(svc['placements'])} placed rows match the CLI byte-for-byte")
+    elif args.placements:
         assert svc["placements"] == cli["placements"], "placement rows differ"
         check_placements(svc, instance["m"])
         print(f"placement parity ok: {len(svc['placements'])} rows validated "

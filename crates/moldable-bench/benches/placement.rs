@@ -1,19 +1,26 @@
 //! The placement layer under load: `SlotSet` claim/release churn at
 //! 10⁵ operations (the timeline's split/subtract/union/coalesce hot
-//! path), and the `place_contiguous` lowering pass over a 10⁵-job
+//! path), the `place_contiguous` lowering pass over a 10⁵-job
 //! linear-solver schedule — the cost of turning allotments into
 //! concrete processor sets, which `/v1/solve` pays per request when a
-//! client asks for `"placements": true`.
+//! client asks for `"placements": true` — and the hierarchical lowering
+//! of the same scale onto a 64 nodes × 2 sockets × 32 cores topology
+//! under each `PlacementPolicy` (the wire-format v3 `topology` path).
 //!
-//! Both are tracked by the CI perf-regression gate (`ci/bench_gate.py`
-//! against `benches/baseline.json`).
+//! All rows are tracked by the CI perf-regression gate
+//! (`ci/bench_gate.py` against `benches/baseline.json`); the gate's
+//! `--max-ratio` bars additionally hold every hierarchical row within
+//! 2x of the flat `place-flat` median (same schedule, same m = 4096
+//! machine) from the same run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_core::hierarchy::Topology;
 use moldable_core::procset::ProcSet;
 use moldable_core::ratio::Ratio;
 use moldable_core::slotset::SlotSet;
 use moldable_core::view::JobView;
-use moldable_sched::place::place_contiguous;
+use moldable_sched::place::{place_contiguous, place_with};
+use moldable_sched::policy::PlacementPolicy;
 use moldable_sched::solver::solver_by_name;
 use moldable_workloads::{bench_instance, BenchFamily};
 use std::collections::VecDeque;
@@ -81,6 +88,43 @@ fn bench_placement(c: &mut Criterion) {
             placement
         })
     });
+
+    // Hierarchical lowering at the same job scale, on a realistic
+    // 64 × 2 × 32 machine (m = 4096): the same schedule walked through
+    // `place_with` under each policy. One solve outside the timer; the
+    // timed region is exactly the lowering pass the v3 wire format pays.
+    let topology = Topology::uniform(&[64, 2, 32]).expect("64*2*32 = 4096 fits u64");
+    let hier_inst = bench_instance(BenchFamily::Mixed, n, topology.m(), 7);
+    let hier_view = JobView::build(&hier_inst);
+    let hier_outcome = solver.solve(&hier_view, hier_view.m());
+    // Flat lowering of the same schedule on the same m = 4096 machine —
+    // the like-for-like base the gate's `--max-ratio` bars hold the
+    // hierarchical rows against (the m = 256 row above keeps its own
+    // absolute baseline but isn't a fair denominator at 16× the park).
+    group.bench_function(BenchmarkId::new("place-flat", n), |b| {
+        b.iter(|| {
+            let placement = place_contiguous(&hier_view, &hier_outcome.schedule)
+                .expect("schedule is demand-feasible");
+            assert_eq!(placement.jobs.len(), n);
+            placement
+        })
+    });
+    let policies = [
+        ("place-hier-contiguous", PlacementPolicy::Contiguous),
+        ("place-hier-packed", PlacementPolicy::Packed { level: 0 }),
+        ("place-hier-spread", PlacementPolicy::Spread { level: 0 }),
+    ];
+    for (label, policy) in policies {
+        group.bench_function(BenchmarkId::new(label, n), |b| {
+            b.iter(|| {
+                let placement =
+                    place_with(&hier_view, &hier_outcome.schedule, &topology, &policy)
+                        .expect("schedule is demand-feasible");
+                assert_eq!(placement.jobs.len(), n);
+                placement
+            })
+        });
+    }
 
     group.finish();
 }

@@ -23,6 +23,7 @@ fn bench_stream_sim(c: &mut Criterion) {
     let solver = solver_by_name("linear", &eps).expect("registry has linear");
     let opts = StreamOptions {
         max_batch: Some(8192),
+        ..StreamOptions::default()
     };
 
     let mut group = c.benchmark_group("stream-sim");

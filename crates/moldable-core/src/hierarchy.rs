@@ -1,0 +1,622 @@
+//! The machine as a tree: nodes × sockets × cores instead of a flat
+//! index space.
+//!
+//! The paper's schedules assign *counts* of identical processors, but
+//! real clusters are hierarchies where a job scattered across nodes
+//! pays in latency. A [`Topology`] names the levels of that hierarchy
+//! (coarsest first, e.g. `node / socket / core`) and partitions the
+//! flat index space `0..m` into blocks at every level — the model OAR
+//! uses for its resource hierarchy, kept as [`ProcSet`] blocks so every
+//! operation stays linear in the number of *ranges*, never in `m`.
+//!
+//! Three primitives build on the tree:
+//!
+//! * [`Topology::find_hierarchical`] — OAR-style whole-block claiming:
+//!   given the free set and one count per level (`[2, 1]` = "2 nodes,
+//!   1 socket in each"), claim entirely-free blocks level by level,
+//!   recursing inside each claimed block.
+//! * [`Topology::span_blocks`] — locality scoring: how many blocks at a
+//!   level a processor set touches (1 = perfectly packed).
+//! * [`FragmentationReport`] — per-placement aggregate of spans at every
+//!   level, the metric the service surfaces and the stream simulator
+//!   tracks over time.
+
+use std::fmt;
+
+use crate::hash::StableHasher;
+use crate::placement::Placement;
+use crate::procset::ProcSet;
+
+/// One level of the hierarchy: a name and the blocks partitioning the
+/// machine at that granularity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Level {
+    /// Level name (`"node"`, `"socket"`, `"core"`, …).
+    pub name: String,
+    /// The blocks at this level, sorted by lowest index; pairwise
+    /// disjoint, and together they cover exactly `0..m`.
+    pub blocks: Vec<ProcSet>,
+}
+
+/// A validated machine hierarchy over the flat index space `0..m`.
+///
+/// Invariants (checked by every constructor):
+/// * each level's blocks are non-empty, pairwise disjoint, sorted by
+///   minimum index, and their union is exactly `full(m)`;
+/// * each block at level `k+1` lies inside exactly one block at level
+///   `k` (child blocks refine their parents, never straddle them).
+///
+/// The one-level topology [`Topology::flat`] makes the hierarchy-free
+/// world a special case: one level `"machine"` holding the single block
+/// `0..m`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    m: u64,
+    levels: Vec<Level>,
+}
+
+/// Why a [`Topology`] failed to validate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The machine is empty or a level has no blocks.
+    Empty,
+    /// A level's blocks overlap or fail to cover `0..m` exactly.
+    NotAPartition {
+        /// Name of the offending level.
+        level: String,
+    },
+    /// A block straddles two parent blocks of the coarser level above.
+    StraddlesParent {
+        /// Name of the offending (child) level.
+        level: String,
+    },
+    /// A spec string (`"64*2*32"` or a block list) failed to parse.
+    BadSpec(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology must have at least one processor"),
+            TopologyError::NotAPartition { level } => {
+                write!(f, "level `{level}` does not partition the machine")
+            }
+            TopologyError::StraddlesParent { level } => {
+                write!(
+                    f,
+                    "level `{level}` has a block straddling two parent blocks"
+                )
+            }
+            TopologyError::BadSpec(msg) => write!(f, "bad topology spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Default level names for spec-built topologies, coarsest first. Specs
+/// deeper than three levels continue as `level3`, `level4`, ….
+const SPEC_LEVEL_NAMES: [&str; 3] = ["node", "socket", "core"];
+
+impl Topology {
+    /// The trivial one-level hierarchy: a single `"machine"` block
+    /// covering `0..m`. Lowering onto it reproduces the flat placement
+    /// pass exactly.
+    pub fn flat(m: u64) -> Topology {
+        Topology {
+            m,
+            levels: vec![Level {
+                name: "machine".to_string(),
+                blocks: vec![ProcSet::full(m)],
+            }],
+        }
+    }
+
+    /// A uniform hierarchy from per-level arities, coarsest first:
+    /// `[64, 2, 32]` is 64 nodes × 2 sockets × 32 cores (m = 4096),
+    /// with blocks as consecutive index ranges. Level names default to
+    /// `node`/`socket`/`core` (then `level3`, …).
+    pub fn uniform(arities: &[u64]) -> Result<Topology, TopologyError> {
+        if arities.is_empty() || arities.contains(&0) {
+            return Err(TopologyError::Empty);
+        }
+        let mut m = 1u64;
+        for &a in arities {
+            m = m
+                .checked_mul(a)
+                .ok_or_else(|| TopologyError::BadSpec("arity product overflows u64".into()))?;
+        }
+        let mut levels = Vec::with_capacity(arities.len());
+        let mut blocks_so_far = 1u64;
+        for (depth, &a) in arities.iter().enumerate() {
+            blocks_so_far *= a;
+            let width = m / blocks_so_far;
+            let name = SPEC_LEVEL_NAMES
+                .get(depth)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("level{depth}"));
+            let blocks = (0..blocks_so_far)
+                .map(|b| ProcSet::range(b * width, b * width + width - 1))
+                .collect();
+            levels.push(Level { name, blocks });
+        }
+        Topology::from_levels(m, levels)
+    }
+
+    /// Build from explicit levels, validating every invariant.
+    pub fn from_levels(m: u64, levels: Vec<Level>) -> Result<Topology, TopologyError> {
+        if m == 0 || levels.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let full = ProcSet::full(m);
+        for level in &levels {
+            if level.blocks.is_empty() || level.blocks.iter().any(ProcSet::is_empty) {
+                return Err(TopologyError::Empty);
+            }
+            let mut union = ProcSet::new();
+            let mut total = 0u64;
+            for block in &level.blocks {
+                total = total.saturating_add(block.size());
+                union = union.union(block);
+            }
+            // Disjointness + coverage in one check: the union equals the
+            // machine iff total size matches (no overlap) and covers it.
+            if total != m || union != full {
+                return Err(TopologyError::NotAPartition {
+                    level: level.name.clone(),
+                });
+            }
+            let sorted = level.blocks.windows(2).all(|w| w[0].min() < w[1].min());
+            if !sorted {
+                return Err(TopologyError::NotAPartition {
+                    level: level.name.clone(),
+                });
+            }
+        }
+        for pair in levels.windows(2) {
+            let (parent, child) = (&pair[0], &pair[1]);
+            for block in &child.blocks {
+                let inside_one = parent.blocks.iter().any(|p| p.is_superset(block));
+                if !inside_one {
+                    return Err(TopologyError::StraddlesParent {
+                        level: child.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Topology { m, levels })
+    }
+
+    /// Parse a spec string: either arities `"64*2*32"` (uniform tree,
+    /// `node`/`socket`/`core` names) or explicit block lists separated
+    /// by `;` with blocks separated by `|` in [`ProcSet`] notation, one
+    /// group per level coarsest-first — e.g. `"0-3|4-7;0-1|2-3|4-5|6-7"`.
+    pub fn parse(spec: &str) -> Result<Topology, TopologyError> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err(TopologyError::BadSpec("empty spec".into()));
+        }
+        if spec.contains('|') || spec.contains(';') || spec.contains('-') || spec.contains(',')
+        {
+            let mut levels = Vec::new();
+            for (depth, group) in spec.split(';').enumerate() {
+                let name = SPEC_LEVEL_NAMES
+                    .get(depth)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("level{depth}"));
+                let blocks: Vec<ProcSet> = group
+                    .split('|')
+                    .map(|b| {
+                        b.trim()
+                            .parse::<ProcSet>()
+                            .map_err(|e| TopologyError::BadSpec(e.to_string()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                levels.push(Level { name, blocks });
+            }
+            let m = levels
+                .first()
+                .map(|l| l.blocks.iter().map(ProcSet::size).sum())
+                .unwrap_or(0);
+            Topology::from_levels(m, levels)
+        } else {
+            let arities: Vec<u64> = spec
+                .split('*')
+                .map(|p| {
+                    p.trim()
+                        .parse::<u64>()
+                        .map_err(|_| TopologyError::BadSpec(format!("bad arity `{p}`")))
+                })
+                .collect::<Result<_, _>>()?;
+            Topology::uniform(&arities)
+        }
+    }
+
+    /// Total processors `m`.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// The validated levels, coarsest first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Index of the level with this name, if present.
+    pub fn level_index(&self, name: &str) -> Option<usize> {
+        self.levels.iter().position(|l| l.name == name)
+    }
+
+    /// Is this the trivial one-level `flat` hierarchy?
+    pub fn is_flat(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0].blocks.len() == 1
+    }
+
+    /// OAR-style hierarchical claim: `requests[k]` whole blocks at level
+    /// `k`, each claimed block recursing into the next level. All the
+    /// claimed leaf blocks must be entirely free in `free`. Returns the
+    /// union of claimed leaves, or `None` when not enough entirely-free
+    /// blocks exist at some level.
+    ///
+    /// `requests` may be shorter than the level count (the recursion
+    /// stops there and claims whole blocks of the last requested level);
+    /// an empty request claims nothing (`Some(∅)`).
+    pub fn find_hierarchical(&self, free: &ProcSet, requests: &[u64]) -> Option<ProcSet> {
+        if requests.is_empty() {
+            return Some(ProcSet::new());
+        }
+        self.claim_level(free, &ProcSet::full(self.m), 0, requests)
+    }
+
+    /// Claim `requests[depth]` entirely-free blocks of level `depth`
+    /// inside `within`, recursing per claimed block.
+    fn claim_level(
+        &self,
+        free: &ProcSet,
+        within: &ProcSet,
+        depth: usize,
+        requests: &[u64],
+    ) -> Option<ProcSet> {
+        let want = requests[depth];
+        let last = depth + 1 >= requests.len() || depth + 1 >= self.levels.len();
+        let mut claimed = ProcSet::new();
+        let mut got = 0u64;
+        for block in &self.levels[depth].blocks {
+            if got == want {
+                break;
+            }
+            if !within.is_superset(block) {
+                continue;
+            }
+            if last {
+                // Leaf of the request: the whole block must be free.
+                if free.is_superset(block) {
+                    claimed = claimed.union(block);
+                    got += 1;
+                }
+            } else if let Some(inner) = self.claim_level(free, block, depth + 1, requests) {
+                claimed = claimed.union(&inner);
+                got += 1;
+            }
+        }
+        (got == want).then_some(claimed)
+    }
+
+    /// How many blocks at level `index` the set touches — the locality
+    /// score (1 = fully packed inside one block). Empty sets span 0.
+    pub fn span_blocks(&self, index: usize, procs: &ProcSet) -> u64 {
+        self.levels[index]
+            .blocks
+            .iter()
+            .filter(|b| !b.is_disjoint(procs))
+            .count() as u64
+    }
+
+    /// Feed the tree's full structure — `m`, level names, every block's
+    /// ranges — into a [`StableHasher`], so two topologies hash equal
+    /// exactly when they are structurally equal (a `"2*2"` spec and its
+    /// explicit block-list spelling collide on purpose). Used by the
+    /// service's canonical cache key.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.m);
+        h.write_u64(self.levels.len() as u64);
+        for level in &self.levels {
+            h.write_str(&level.name);
+            h.write_u64(level.blocks.len() as u64);
+            for block in &level.blocks {
+                h.write_u64(block.ranges().len() as u64);
+                for &(lo, hi) in block.ranges() {
+                    h.write_u64(lo);
+                    h.write_u64(hi);
+                }
+            }
+        }
+    }
+
+    /// Per-placement fragmentation metrics at every level.
+    pub fn fragmentation(&self, placement: &Placement) -> FragmentationReport {
+        let levels = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, level)| {
+                let mut total = 0u64;
+                let mut max = 0u64;
+                for p in &placement.jobs {
+                    let span = self.span_blocks(i, &p.procs);
+                    total += span;
+                    max = max.max(span);
+                }
+                let jobs = placement.jobs.len() as u64;
+                LevelFragmentation {
+                    level: level.name.clone(),
+                    blocks: level.blocks.len() as u64,
+                    total_spans: total,
+                    max_span: max,
+                    jobs,
+                }
+            })
+            .collect();
+        FragmentationReport { levels }
+    }
+}
+
+/// Fragmentation of one placement at one level of the hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelFragmentation {
+    /// Level name.
+    pub level: String,
+    /// Number of blocks at this level.
+    pub blocks: u64,
+    /// Sum of `span_blocks` over the placement's jobs.
+    pub total_spans: u64,
+    /// Largest single-job span.
+    pub max_span: u64,
+    /// Number of jobs aggregated.
+    pub jobs: u64,
+}
+
+impl LevelFragmentation {
+    /// Mean blocks spanned per job (0 when the placement is empty).
+    pub fn mean_span(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_spans as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// Locality metrics for a whole placement, one row per hierarchy level
+/// (coarsest first). Produced by [`Topology::fragmentation`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragmentationReport {
+    /// Per-level aggregates, same order as [`Topology::levels`].
+    pub levels: Vec<LevelFragmentation>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+
+    #[test]
+    fn flat_is_one_machine_block() {
+        let t = Topology::flat(8);
+        assert!(t.is_flat());
+        assert_eq!(t.m(), 8);
+        assert_eq!(t.levels().len(), 1);
+        assert_eq!(t.levels()[0].name, "machine");
+        assert_eq!(t.levels()[0].blocks, vec![ProcSet::full(8)]);
+    }
+
+    #[test]
+    fn uniform_builds_consecutive_blocks() {
+        let t = Topology::uniform(&[2, 2, 2]).unwrap();
+        assert_eq!(t.m(), 8);
+        let names: Vec<&str> = t.levels().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["node", "socket", "core"]);
+        assert_eq!(t.levels()[0].blocks.len(), 2);
+        assert_eq!(t.levels()[1].blocks.len(), 4);
+        assert_eq!(t.levels()[2].blocks.len(), 8);
+        assert_eq!(t.levels()[0].blocks[1], ProcSet::range(4, 7));
+        assert_eq!(t.levels()[1].blocks[2], ProcSet::range(4, 5));
+        assert!(!t.is_flat());
+    }
+
+    #[test]
+    fn parse_accepts_arities_and_block_lists() {
+        assert_eq!(
+            Topology::parse("2*2*2").unwrap(),
+            Topology::uniform(&[2, 2, 2]).unwrap()
+        );
+        assert_eq!(
+            Topology::parse(" 4 * 2 ").unwrap(),
+            Topology::uniform(&[4, 2]).unwrap()
+        );
+        let t = Topology::parse("0-3|4-7;0-1|2-3|4-5|6-7").unwrap();
+        assert_eq!(t.m(), 8);
+        assert_eq!(t.levels()[0].name, "node");
+        assert_eq!(t.levels()[0].blocks[0], ProcSet::range(0, 3));
+        assert_eq!(t.levels()[1].blocks.len(), 4);
+        // Single explicit level, uneven blocks.
+        let t = Topology::parse("0-2|3-7").unwrap();
+        assert_eq!(t.m(), 8);
+        assert_eq!(t.levels()[0].blocks[1], ProcSet::range(3, 7));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for spec in [
+            "",
+            "0",
+            "2*0",
+            "abc",
+            "2*x",
+            "0-3|3-7",
+            "0-3|5-7",
+            "0-3|4-7;0-5|6-7;x",
+        ] {
+            assert!(Topology::parse(spec).is_err(), "{spec:?} should fail");
+        }
+        // 18446744073709551615 * 2 overflows.
+        assert!(matches!(
+            Topology::parse("18446744073709551615*2"),
+            Err(TopologyError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_partitions() {
+        // Overlapping blocks.
+        let err = Topology::from_levels(
+            4,
+            vec![Level {
+                name: "node".into(),
+                blocks: vec![ProcSet::range(0, 2), ProcSet::range(2, 3)],
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TopologyError::NotAPartition { .. }));
+        // Gap.
+        let err = Topology::from_levels(
+            4,
+            vec![Level {
+                name: "node".into(),
+                blocks: vec![ProcSet::range(0, 1), ProcSet::range(3, 3)],
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TopologyError::NotAPartition { .. }));
+        // Child straddles two parents.
+        let err = Topology::from_levels(
+            4,
+            vec![
+                Level {
+                    name: "node".into(),
+                    blocks: vec![ProcSet::range(0, 1), ProcSet::range(2, 3)],
+                },
+                Level {
+                    name: "core".into(),
+                    blocks: vec![
+                        ProcSet::range(0, 0),
+                        ProcSet::range(1, 2),
+                        ProcSet::range(3, 3),
+                    ],
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TopologyError::StraddlesParent { .. }));
+        assert!(Topology::from_levels(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn error_display_names_the_level() {
+        let e = TopologyError::NotAPartition {
+            level: "socket".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "level `socket` does not partition the machine"
+        );
+        let e = TopologyError::StraddlesParent {
+            level: "core".into(),
+        };
+        assert!(e.to_string().contains("core"));
+        assert!(TopologyError::Empty.to_string().contains("at least one"));
+        assert!(TopologyError::BadSpec("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn find_hierarchical_claims_whole_blocks() {
+        let t = Topology::uniform(&[2, 2, 2]).unwrap();
+        let free = ProcSet::full(8);
+        // One node = 4 processors.
+        assert_eq!(t.find_hierarchical(&free, &[1]), Some(ProcSet::range(0, 3)));
+        // One node, one socket inside it = 2 processors.
+        assert_eq!(
+            t.find_hierarchical(&free, &[1, 1]),
+            Some(ProcSet::range(0, 1))
+        );
+        // Two nodes, one socket each = {0-1, 4-5}.
+        assert_eq!(
+            t.find_hierarchical(&free, &[2, 1]),
+            Some(ProcSet::from_ranges([(0, 1), (4, 5)]))
+        );
+        // Empty request claims nothing.
+        assert_eq!(t.find_hierarchical(&free, &[]), Some(ProcSet::new()));
+    }
+
+    #[test]
+    fn find_hierarchical_skips_busy_blocks() {
+        let t = Topology::uniform(&[2, 2, 2]).unwrap();
+        // Processor 1 busy: socket 0-1 unusable, node 0 unusable whole.
+        let free = ProcSet::full(8).subtract(&ProcSet::range(1, 1));
+        assert_eq!(t.find_hierarchical(&free, &[1]), Some(ProcSet::range(4, 7)));
+        // A socket inside node 0 is still claimable: 2-3 is free.
+        assert_eq!(
+            t.find_hierarchical(&free, &[1, 1]),
+            Some(ProcSet::range(2, 3))
+        );
+        // Two whole nodes no longer exist.
+        assert_eq!(t.find_hierarchical(&free, &[2]), None);
+        // Three free sockets exist: 2-3, 4-5, 6-7.
+        assert_eq!(
+            t.find_hierarchical(&free, &[2, 1]),
+            Some(ProcSet::from_ranges([(2, 3), (4, 5)]))
+        );
+    }
+
+    #[test]
+    fn span_blocks_counts_touched_blocks() {
+        let t = Topology::uniform(&[2, 2, 2]).unwrap();
+        assert_eq!(t.span_blocks(0, &ProcSet::range(0, 3)), 1);
+        assert_eq!(t.span_blocks(0, &ProcSet::range(3, 4)), 2);
+        assert_eq!(t.span_blocks(1, &ProcSet::range(3, 4)), 2);
+        assert_eq!(t.span_blocks(2, &ProcSet::range(3, 4)), 2);
+        assert_eq!(t.span_blocks(0, &ProcSet::new()), 0);
+        assert_eq!(t.span_blocks(1, &ProcSet::from_ranges([(0, 0), (7, 7)])), 2);
+    }
+
+    #[test]
+    fn fragmentation_aggregates_spans() {
+        let t = Topology::uniform(&[2, 4]).unwrap();
+        let mut p = Placement::new();
+        p.push(0, Ratio::zero(), Ratio::one(), ProcSet::range(0, 3)); // exactly node 0
+        p.push(1, Ratio::zero(), Ratio::one(), ProcSet::range(2, 5)); // straddles both nodes
+        let report = t.fragmentation(&p);
+        assert_eq!(report.levels.len(), 2);
+        let node = &report.levels[0];
+        assert_eq!(node.level, "node");
+        assert_eq!(node.blocks, 2);
+        assert_eq!(node.total_spans, 1 + 2);
+        assert_eq!(node.max_span, 2);
+        assert_eq!(node.jobs, 2);
+        assert!((node.mean_span() - 1.5).abs() < 1e-12);
+        let empty = t.fragmentation(&Placement::new());
+        assert_eq!(empty.levels[0].mean_span(), 0.0);
+    }
+
+    #[test]
+    fn hash_into_is_structural() {
+        let digest = |t: &Topology| {
+            let mut h = StableHasher::new();
+            t.hash_into(&mut h);
+            h.finish()
+        };
+        let spec = Topology::parse("2*2").unwrap();
+        let explicit = Topology::parse("0-1|2-3;0|1|2|3").unwrap();
+        assert_eq!(digest(&spec), digest(&explicit));
+        assert_ne!(digest(&spec), digest(&Topology::parse("4*1").unwrap()));
+        assert_ne!(digest(&spec), digest(&Topology::flat(4)));
+    }
+
+    #[test]
+    fn level_index_lookup() {
+        let t = Topology::uniform(&[2, 2, 2]).unwrap();
+        assert_eq!(t.level_index("node"), Some(0));
+        assert_eq!(t.level_index("core"), Some(2));
+        assert_eq!(t.level_index("rack"), None);
+    }
+}

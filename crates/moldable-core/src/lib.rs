@@ -17,9 +17,10 @@
 //! * flat struct-of-arrays instance snapshots serving `t_j(p)` and
 //!   `γ_j(t)` as oracle-free array lookups ([`view`]),
 //! * the placement substrate: interval sets of processor indices
-//!   ([`procset`]), the free-processor timeline ([`slotset`]), and the
+//!   ([`procset`]), the free-processor timeline ([`slotset`]), the
 //!   `job → (interval, processor set)` layer with its validator
-//!   ([`placement`]).
+//!   ([`placement`]), and the machine-as-a-tree model with hierarchical
+//!   claiming and fragmentation metrics ([`hierarchy`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +30,7 @@ pub mod compression;
 pub mod gamma;
 pub mod geom;
 pub mod hash;
+pub mod hierarchy;
 pub mod instance;
 pub mod io;
 pub mod job;
@@ -45,6 +47,7 @@ pub mod view;
 pub use compression::{Compression, DoubleCompression};
 pub use gamma::{gamma, gamma_int, GammaSet};
 pub use hash::StableHasher;
+pub use hierarchy::{FragmentationReport, Level, LevelFragmentation, Topology, TopologyError};
 pub use instance::Instance;
 pub use io::{CurveSpec, InstanceSpec};
 pub use job::Job;

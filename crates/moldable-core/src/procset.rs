@@ -225,6 +225,61 @@ impl ProcSet {
     }
 }
 
+/// Why a [`ProcSet`] string failed to parse — see the
+/// [`FromStr`](std::str::FromStr) impl for the grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseProcSetError {
+    /// The offending piece of the input.
+    piece: String,
+}
+
+impl fmt::Display for ParseProcSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid processor set piece `{}`", self.piece)
+    }
+}
+
+impl std::error::Error for ParseProcSetError {}
+
+impl std::str::FromStr for ProcSet {
+    type Err = ParseProcSetError;
+
+    /// Parse the `Display` notation back: comma-separated pieces, each
+    /// a single index (`7`) or an inclusive range (`0-3`); `∅` (or the
+    /// empty string) is the empty set. Whitespace around pieces is
+    /// tolerated; reversed ranges (`5-3`) are rejected rather than
+    /// silently dropped so typos in `--topology` specs surface.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "∅" {
+            return Ok(ProcSet::new());
+        }
+        let err = |piece: &str| ParseProcSetError {
+            piece: piece.to_string(),
+        };
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for piece in s.split(',') {
+            let piece = piece.trim();
+            let (lo, hi) = match piece.split_once('-') {
+                None => {
+                    let p: u64 = piece.parse().map_err(|_| err(piece))?;
+                    (p, p)
+                }
+                Some((lo, hi)) => {
+                    let lo: u64 = lo.trim().parse().map_err(|_| err(piece))?;
+                    let hi: u64 = hi.trim().parse().map_err(|_| err(piece))?;
+                    if lo > hi {
+                        return Err(err(piece));
+                    }
+                    (lo, hi)
+                }
+            };
+            ranges.push((lo, hi));
+        }
+        Ok(ProcSet::from_ranges(ranges))
+    }
+}
+
 impl fmt::Display for ProcSet {
     /// The conventional notation: `0-3,7,9-12`; the empty set prints
     /// as `∅`.
@@ -333,6 +388,36 @@ mod tests {
         let taken = s.take_first(3).unwrap();
         assert!(s.is_superset(&taken));
         assert_eq!(taken.size(), 3);
+    }
+
+    #[test]
+    fn from_str_parses_display_notation() {
+        let cases: Vec<ProcSet> = vec![
+            ProcSet::new(),
+            ProcSet::range(0, 0),
+            ProcSet::range(0, 3),
+            ProcSet::from_ranges([(0, 3), (7, 7), (9, 12)]),
+            ProcSet::full(1 << 40),
+        ];
+        for s in cases {
+            assert_eq!(s.to_string().parse::<ProcSet>(), Ok(s.clone()), "{s}");
+        }
+        // Tolerated inputs that normalize.
+        assert_eq!(" 3 , 1-2 ".parse::<ProcSet>(), Ok(ProcSet::range(1, 3)));
+        assert_eq!("".parse::<ProcSet>(), Ok(ProcSet::new()));
+        assert_eq!("∅".parse::<ProcSet>(), Ok(ProcSet::new()));
+        assert_eq!("5,5,5".parse::<ProcSet>(), Ok(ProcSet::range(5, 5)));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_pieces() {
+        for bad in ["x", "1-", "-1", "1-2-3", "5-3", "1,,2", "1;2", "1.5"] {
+            let err = bad.parse::<ProcSet>().unwrap_err();
+            assert!(
+                err.to_string().contains("invalid processor set piece"),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

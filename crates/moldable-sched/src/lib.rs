@@ -26,6 +26,10 @@
 //! * [`exact`] — exhaustive ground truth for tiny instances (Theorem 1's
 //!   NP-membership procedure);
 //! * [`baselines`] — the 2-approximation and the sequential baseline;
+//! * [`place`] / [`policy`] — the lowering pipeline from allotment
+//!   schedules to concrete processor sets, parameterized by a machine
+//!   [`Topology`](moldable_core::hierarchy::Topology) and a
+//!   [`PlacementPolicy`];
 //! * [`solver`] — the [`MakespanSolver`] facade unifying all of the above
 //!   behind one object-safe trait over [`moldable_core::view::JobView`]
 //!   snapshots;
@@ -51,6 +55,7 @@ pub mod improved;
 pub mod list_scheduling;
 pub mod mrt;
 pub mod place;
+pub mod policy;
 pub mod ptas;
 pub mod rounding;
 pub mod schedule;
@@ -70,7 +75,8 @@ pub use estimator::{estimate, estimate_view, Estimate};
 pub use fptas_large_m::{fptas_schedule, FptasLargeM};
 pub use improved::{ImprovedDual, Variant};
 pub use mrt::MrtDual;
-pub use place::place_contiguous;
+pub use place::{place_contiguous, place_with};
+pub use policy::PlacementPolicy;
 pub use ptas::{ptas_schedule, ptas_schedule_view, PtasBranch, PtasResult};
 pub use schedule::{Assignment, Schedule};
 pub use solver::{solver_by_name, MakespanSolver, SolveOutcome, UnknownSolver, SOLVER_NAMES};

@@ -1,66 +1,330 @@
 //! Lowering an allotment schedule onto concrete processors.
 //!
 //! The paper's algorithms emit `job → (start, processor count)`; this
-//! pass assigns each job an actual [`ProcSet`] on a [`SlotSet`]
-//! timeline. Jobs are placed in start order; each takes the lowest
-//! *contiguous* run of free processors wide enough ([`ProcSet::first_fit`])
-//! and falls back to the lowest free indices ([`ProcSet::take_first`])
-//! when the free set is fragmented.
-//!
-//! The pass is total for demand-feasible schedules: placing in start
-//! order, every already-placed job overlapping `[start, end)` is already
+//! pass assigns each job an actual [`ProcSet`] by an event sweep over
+//! the claims in start order — an instantaneous free set plus a
+//! min-heap of running jobs, one union per job end and one subtract
+//! per job start. Jobs are placed in start order under a
+//! [`PlacementPolicy`]: the flat [`Contiguous`] strategy takes the
+//! lowest contiguous run ([`ProcSet::first_fit`]) and falls back to the
+//! lowest free indices ([`ProcSet::take_first`]); [`Packed`] first
+//! tries to fit the whole job inside one block of a [`Topology`] level,
+//! and [`Spread`] splits it round-robin across the level's blocks. Both
+//! hierarchical strategies fall back to the flat one, so the pass stays
+//! **total for demand-feasible schedules**: placing in start order,
+//! every already-placed job overlapping `[start, end)` is already
 //! running at `start`, so the free set over the window equals the free
-//! set at the start instant — whose size is at least the job's allotment
-//! whenever demand never exceeds `m`. An overcommitted schedule instead
-//! surfaces as [`PlacementError::Overlap`] naming the window and the
-//! placements crowding it out.
+//! set at the start instant — whose size is at least the job's
+//! allotment whenever demand never exceeds `m`. An overcommitted
+//! schedule instead surfaces as [`PlacementError::Overlap`] naming the
+//! window and the placements crowding it out.
+//!
+//! [`Contiguous`]: PlacementPolicy::Contiguous
+//! [`Packed`]: PlacementPolicy::Packed
+//! [`Spread`]: PlacementPolicy::Spread
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use moldable_core::hierarchy::Topology;
 use moldable_core::placement::{
     Placement, PlacementError, PlacementOverlap, OVERLAP_WITNESSES,
 };
 use moldable_core::procset::ProcSet;
 use moldable_core::ratio::Ratio;
-use moldable_core::slotset::SlotSet;
 use moldable_core::view::JobView;
 
+use crate::policy::PlacementPolicy;
 use crate::schedule::Schedule;
 
-/// Lower `schedule` onto concrete processors of the `view`'s machine
-/// park. Returns one placed row per assignment, pairwise disjoint per
-/// instant, each row's set exactly as wide as the job's allotment and
-/// contiguous whenever a wide-enough contiguous run is free.
-///
-/// Fails with [`PlacementError::Overlap`] only when the schedule itself
-/// overcommits the machines (the schedule validator's `Overcommitted`
-/// case); any demand-feasible schedule lowers successfully.
+/// Lower `schedule` onto the flat machine park — the PR 6 entry point,
+/// now a thin wrapper over [`place_with`] with the one-level topology
+/// and the [`PlacementPolicy::Contiguous`] strategy. Byte-for-byte the
+/// same placements as before the hierarchy existed.
 pub fn place_contiguous(
     view: &JobView,
     schedule: &Schedule,
 ) -> Result<Placement, PlacementError> {
+    place_with(
+        view,
+        schedule,
+        &Topology::flat(view.m()),
+        &PlacementPolicy::Contiguous,
+    )
+}
+
+/// Lower `schedule` onto concrete processors of `topology` (which must
+/// cover the `view`'s machine park: `topology.m() == view.m()`) under
+/// `policy`. Returns one placed row per assignment, pairwise disjoint
+/// per instant, each row's set exactly as wide as the job's allotment.
+///
+/// Fails with [`PlacementError::Overlap`] only when the schedule itself
+/// overcommits the machines (the schedule validator's `Overcommitted`
+/// case); any demand-feasible schedule lowers successfully under every
+/// policy, because both hierarchical strategies fall back to the
+/// fragmented flat take when no block-shaped choice exists.
+pub fn place_with(
+    view: &JobView,
+    schedule: &Schedule,
+    topology: &Topology,
+    policy: &PlacementPolicy,
+) -> Result<Placement, PlacementError> {
     let m = view.m();
+    debug_assert_eq!(topology.m(), m, "topology must cover the machine park");
     let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
     order.sort_by(|&x, &y| {
         let (a, b) = (&schedule.assignments[x], &schedule.assignments[y]);
         a.start.cmp(&b.start).then(a.job.cmp(&b.job))
     });
-    let mut timeline = SlotSet::new(m);
+    // Event sweep over the start-ordered claims: `free` is the
+    // instantaneous free set, `running` a min-heap of (end, placed row)
+    // for in-flight jobs. Placing in start order, every placed job
+    // overlapping the next window is already running at its start, so
+    // the instantaneous free set *is* the free set over the whole
+    // window. This replaces a `SlotSet` walk that re-intersected every
+    // slot a window covered — quadratic in the number of concurrent
+    // jobs, which made the 64×2×32 (m = 4096) bench rows take minutes
+    // per pass; the sweep is one union per job end and one subtract per
+    // job start.
+    let mut free = ProcSet::full(m);
+    let mut running: BinaryHeap<Reverse<(Ratio, usize)>> = BinaryHeap::new();
     let mut placement = Placement::new();
+    // Rotating start block for the spread strategy, advanced per job so
+    // consecutive jobs open different blocks.
+    let mut cursor = 0usize;
+    let mut spread = match policy {
+        PlacementPolicy::Spread { level } => Some(SpreadState::new(topology, *level)),
+        _ => None,
+    };
     for i in order {
         let a = &schedule.assignments[i];
         let end = a.start.add(&Ratio::from(view.time(a.job, a.procs)));
-        let free = timeline.free_over(&a.start, &end);
-        let procs = match free.first_fit(a.procs) {
-            Some(lo) => ProcSet::range(lo, lo + a.procs - 1),
-            None => match free.take_first(a.procs) {
-                Some(set) => set,
-                None => return Err(overcommit_report(&placement, a.start, end, m)),
-            },
+        while let Some(&Reverse((done, row))) = running.peek() {
+            if done > a.start {
+                break;
+            }
+            let released = &placement.jobs[row].procs;
+            match spread.as_mut() {
+                Some(state) => state.release(released),
+                None => free = free.union(released),
+            }
+            running.pop();
+        }
+        let chosen = match policy {
+            PlacementPolicy::Contiguous => choose_flat(&free, a.procs),
+            PlacementPolicy::Packed { level } => {
+                choose_packed(&free, a.procs, topology, *level)
+            }
+            PlacementPolicy::Spread { .. } => {
+                let state = spread.as_ref().expect("built for spread above");
+                let c = choose_spread(a.procs, state, cursor);
+                cursor += 1;
+                c
+            }
         };
-        let claimed = timeline.claim(&a.start, &end, &procs);
-        debug_assert!(claimed, "free_over produced a non-free set");
+        let procs = match chosen {
+            Some(set) => set,
+            None => return Err(overcommit_report(&placement, a.start, end, m)),
+        };
+        match spread.as_mut() {
+            Some(state) => state.claim(&procs),
+            None => free = free.subtract(&procs),
+        }
+        running.push(Reverse((end, placement.jobs.len())));
         placement.push(a.job, a.start, end, procs);
     }
     Ok(placement)
+}
+
+/// The flat strategy: lowest contiguous run, else lowest free indices.
+fn choose_flat(free: &ProcSet, width: u64) -> Option<ProcSet> {
+    match free.first_fit(width) {
+        Some(lo) => Some(ProcSet::range(lo, lo + width - 1)),
+        None => free.take_first(width),
+    }
+}
+
+/// Packed: the first block at `level` whose free portion holds the
+/// whole job hosts it (contiguous inside the block when possible).
+/// Jobs wider than any block's free portion fall back to the flat
+/// strategy over the whole free set.
+fn choose_packed(
+    free: &ProcSet,
+    width: u64,
+    topology: &Topology,
+    level: usize,
+) -> Option<ProcSet> {
+    for block in &topology.levels()[level].blocks {
+        let portion = free.intersect(block);
+        if portion.size() >= width {
+            return choose_flat(&portion, width);
+        }
+    }
+    choose_flat(free, width)
+}
+
+/// Precomputed flat view of one level's blocks: every `(lo, hi)` range
+/// of every block, sorted by start — a level's ranges partition `0..m`
+/// by the topology invariants. Built once per lowering pass; backs the
+/// [`SpreadCounts`] bookkeeping that replaced one
+/// [`ProcSet::intersect`] per block per job (the cost that made spread
+/// lowering ~30× slower than flat at m = 4096).
+struct BlockIndex {
+    /// Number of blocks at the level.
+    blocks: usize,
+    /// `(lo, hi, block)` for every range of every block, sorted by `lo`.
+    ranges: Vec<(u64, u64, usize)>,
+}
+
+impl BlockIndex {
+    fn new(topology: &Topology, level: usize) -> BlockIndex {
+        let blocks = &topology.levels()[level].blocks;
+        let mut ranges: Vec<(u64, u64, usize)> = Vec::new();
+        for (b, set) in blocks.iter().enumerate() {
+            for &(lo, hi) in set.ranges() {
+                ranges.push((lo, hi, b));
+            }
+        }
+        ranges.sort_unstable_by_key(|&(lo, _, _)| lo);
+        BlockIndex {
+            blocks: blocks.len(),
+            ranges,
+        }
+    }
+
+    /// Call `f(block, lo, hi)` for every maximal piece of `procs`
+    /// inside one block's range — one pass over `procs`'s fragments,
+    /// O(fragments + blocks spanned).
+    fn split(&self, procs: &ProcSet, mut f: impl FnMut(usize, u64, u64)) {
+        let mut j = 0usize;
+        for &(flo, fhi) in procs.ranges() {
+            while self.ranges[j].1 < flo {
+                j += 1;
+            }
+            let mut cur = flo;
+            let mut jj = j;
+            while cur <= fhi {
+                let (_, bhi, b) = self.ranges[jj];
+                let piece_hi = fhi.min(bhi);
+                f(b, cur, piece_hi);
+                if piece_hi == fhi {
+                    break;
+                }
+                cur = piece_hi + 1;
+                jj += 1;
+            }
+        }
+    }
+}
+
+/// The spread strategy's view of the free set: one [`ProcSet`] per
+/// block of the level, maintained in lockstep with the sweep (one
+/// [`BlockIndex::split`] walk per claim and release). Spread's
+/// round-robin holes fragment a *global* free set into one range per
+/// busy processor — O(busy) work per union/subtract — while each
+/// block-local set stays compact, so claims and releases cost
+/// O(local fragments) and empty blocks are skipped in O(1).
+struct SpreadState {
+    index: BlockIndex,
+    /// Free processors inside each block; `free ∩ block`, exactly.
+    per_block: Vec<ProcSet>,
+    /// Total free processors across all blocks.
+    free_total: u64,
+    /// Blocks with any free processor — the even-split divisor.
+    nonzero: usize,
+}
+
+impl SpreadState {
+    fn new(topology: &Topology, level: usize) -> SpreadState {
+        let per_block = topology.levels()[level].blocks.to_vec();
+        SpreadState {
+            index: BlockIndex::new(topology, level),
+            nonzero: per_block.iter().filter(|p| !p.is_empty()).count(),
+            free_total: per_block.iter().map(|p| p.size()).sum(),
+            per_block,
+        }
+    }
+
+    fn release(&mut self, procs: &ProcSet) {
+        let SpreadState {
+            index,
+            per_block,
+            free_total,
+            nonzero,
+        } = self;
+        index.split(procs, |b, lo, hi| {
+            if per_block[b].is_empty() {
+                *nonzero += 1;
+            }
+            per_block[b] = per_block[b].union(&ProcSet::range(lo, hi));
+            *free_total += hi - lo + 1;
+        });
+    }
+
+    fn claim(&mut self, procs: &ProcSet) {
+        let SpreadState {
+            index,
+            per_block,
+            free_total,
+            nonzero,
+        } = self;
+        index.split(procs, |b, lo, hi| {
+            per_block[b] = per_block[b].subtract(&ProcSet::range(lo, hi));
+            if per_block[b].is_empty() {
+                *nonzero -= 1;
+            }
+            *free_total -= hi - lo + 1;
+        });
+    }
+}
+
+/// Spread: split the job as evenly as possible across the level's
+/// blocks with free capacity, starting from the rotating `cursor`. Two
+/// passes — an even-quota pass, then a greedy top-up for blocks whose
+/// capacity fell short of their quota — so any free set with `width`
+/// processors total succeeds.
+fn choose_spread(width: u64, state: &SpreadState, cursor: usize) -> Option<ProcSet> {
+    if state.free_total < width {
+        return None;
+    }
+    let k = state.index.blocks;
+    let mut need = width;
+    let mut chosen_ranges: Vec<(u64, u64)> = Vec::new();
+    let mut leftovers: Vec<ProcSet> = Vec::new();
+    // Blocks in rotated order, skipping empty ones in O(1); the early
+    // break means a narrow job touches one block's set no matter how
+    // many blocks the machine has.
+    let mut remaining = state.nonzero as u64;
+    for i in 0..k {
+        if need == 0 {
+            break;
+        }
+        let portion = &state.per_block[(cursor + i) % k];
+        if portion.is_empty() {
+            continue;
+        }
+        let quota = need.div_ceil(remaining).min(portion.size());
+        let taken = portion.take_first(quota).expect("quota bounded by size");
+        if quota < portion.size() {
+            leftovers.push(portion.subtract(&taken));
+        }
+        chosen_ranges.extend(taken.ranges().iter().copied());
+        need -= quota;
+        remaining -= 1;
+    }
+    // Top-up: small early blocks may have left part of the even share
+    // unplaced; the leftovers hold the slack (total free ≥ width).
+    for portion in leftovers {
+        if need == 0 {
+            break;
+        }
+        let take = need.min(portion.size());
+        let taken = portion.take_first(take).expect("bounded");
+        chosen_ranges.extend(taken.ranges().iter().copied());
+        need -= take;
+    }
+    debug_assert_eq!(need, 0, "free.size() >= width guarantees completion");
+    Some(ProcSet::from_ranges(chosen_ranges))
 }
 
 /// Build the [`PlacementError::Overlap`] report for a job that found
@@ -170,5 +434,115 @@ mod tests {
         assert_eq!(placement.get(1).unwrap().end, Ratio::new(9, 2));
         let s = s.with_placement(placement);
         assert!(validate(&s, &inst).is_ok());
+    }
+
+    #[test]
+    fn packed_prefers_one_block_per_job() {
+        // 2 nodes × 4 cores; two width-3 jobs at t=0. Contiguous would
+        // give 0-2 and 3-5 (job 1 straddling nodes); packed gives each
+        // job its own node.
+        let inst = constant_instance(&[4, 4], 8);
+        let view = JobView::build(&inst);
+        let topo = Topology::uniform(&[2, 4]).unwrap();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 3);
+        s.push(1, Ratio::zero(), 3);
+        let packed =
+            place_with(&view, &s, &topo, &PlacementPolicy::Packed { level: 0 }).unwrap();
+        assert_eq!(packed.get(0).unwrap().procs, ProcSet::range(0, 2));
+        assert_eq!(packed.get(1).unwrap().procs, ProcSet::range(4, 6));
+        assert_eq!(topo.span_blocks(0, &packed.get(1).unwrap().procs), 1);
+        let flat = place_with(&view, &s, &topo, &PlacementPolicy::Contiguous).unwrap();
+        assert_eq!(flat.get(1).unwrap().procs, ProcSet::range(3, 5));
+        assert_eq!(topo.span_blocks(0, &flat.get(1).unwrap().procs), 2);
+    }
+
+    #[test]
+    fn packed_falls_back_for_jobs_wider_than_a_block() {
+        let inst = constant_instance(&[4], 8);
+        let view = JobView::build(&inst);
+        let topo = Topology::uniform(&[2, 4]).unwrap();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 6); // wider than any 4-wide node
+        let p = place_with(&view, &s, &topo, &PlacementPolicy::Packed { level: 0 }).unwrap();
+        assert_eq!(p.get(0).unwrap().procs, ProcSet::range(0, 5));
+    }
+
+    #[test]
+    fn spread_splits_across_blocks() {
+        let inst = constant_instance(&[4], 8);
+        let view = JobView::build(&inst);
+        let topo = Topology::uniform(&[2, 4]).unwrap();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 4);
+        let p = place_with(&view, &s, &topo, &PlacementPolicy::Spread { level: 0 }).unwrap();
+        // Two from each node, not four from one.
+        assert_eq!(
+            p.get(0).unwrap().procs,
+            ProcSet::from_ranges([(0, 1), (4, 5)])
+        );
+        assert_eq!(topo.span_blocks(0, &p.get(0).unwrap().procs), 2);
+    }
+
+    #[test]
+    fn spread_tops_up_when_blocks_run_short() {
+        // Uneven blocks 0-5 | 6-7: a width-7 job's even split asks the
+        // 2-wide block for more than it holds (quota ⌈3/1⌉ = 3 > 2); the
+        // top-up pass must reclaim the slack from the wide block.
+        let inst = constant_instance(&[4], 8);
+        let view = JobView::build(&inst);
+        let topo = Topology::parse("0-5|6-7").unwrap();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 7);
+        let p = place_with(&view, &s, &topo, &PlacementPolicy::Spread { level: 0 }).unwrap();
+        let procs = &p.get(0).unwrap().procs;
+        assert_eq!(procs.size(), 7);
+        assert_eq!(topo.span_blocks(0, procs), 2);
+        let s = s.with_placement(p);
+        assert!(validate(&s, &inst).is_ok());
+    }
+
+    #[test]
+    fn every_policy_is_total_for_feasible_schedules() {
+        let inst = constant_instance(&[6, 6, 4, 4, 2, 3, 3, 5], 8);
+        let view = JobView::build(&inst);
+        let topo = Topology::uniform(&[2, 2, 2]).unwrap();
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 3);
+        s.push(1, Ratio::zero(), 5);
+        s.push(2, Ratio::from(6u64), 2);
+        s.push(3, Ratio::from(6u64), 6);
+        s.push(4, Ratio::from(10u64), 8);
+        s.push(5, Ratio::from(12u64), 1);
+        s.push(6, Ratio::from(12u64), 7);
+        s.push(7, Ratio::from(15u64), 4);
+        for policy in [
+            PlacementPolicy::Contiguous,
+            PlacementPolicy::Packed { level: 0 },
+            PlacementPolicy::Packed { level: 1 },
+            PlacementPolicy::Spread { level: 0 },
+            PlacementPolicy::Spread { level: 2 },
+        ] {
+            let placement = place_with(&view, &s, &topo, &policy)
+                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+            let checked = s.clone().with_placement(placement);
+            assert!(validate(&checked, &inst).is_ok(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn flat_topology_makes_all_policies_agree() {
+        let inst = constant_instance(&[4, 2, 4, 4], 5);
+        let view = JobView::build(&inst);
+        let topo = Topology::flat(5);
+        let mut s = Schedule::new();
+        s.push(0, Ratio::zero(), 2);
+        s.push(1, Ratio::zero(), 1);
+        s.push(2, Ratio::zero(), 1);
+        s.push(3, Ratio::from(2u64), 2);
+        let flat = place_contiguous(&view, &s).unwrap();
+        let packed =
+            place_with(&view, &s, &topo, &PlacementPolicy::Packed { level: 0 }).unwrap();
+        assert_eq!(flat, packed);
     }
 }

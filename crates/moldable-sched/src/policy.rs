@@ -1,0 +1,151 @@
+//! Placement policies: how an allotment lowers onto a [`Topology`].
+//!
+//! The flat pass of PR 6 always preferred the lowest contiguous run.
+//! With a machine hierarchy there is a real choice: *pack* a job into
+//! as few blocks as possible (locality — cheap intra-node traffic) or
+//! *spread* it across blocks (per-block headroom, thermal balance).
+//! [`PlacementPolicy`] names the three strategies the lowering pass
+//! ([`place_with`](crate::place::place_with)) implements; every
+//! registry solver composes with every policy because the pass only
+//! consumes the solver-independent `(start, allotment)` rows.
+//!
+//! The textual grammar (`contiguous`, `packed`, `packed:LEVEL`,
+//! `spread`, `spread:LEVEL`) is shared verbatim by the CLI `--policy`
+//! flag and the service's `"policy"` field, resolved against the
+//! request's topology so unknown level names fail fast.
+
+use moldable_core::hierarchy::Topology;
+
+/// How to choose concrete processors for each job when lowering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// The flat strategy: lowest contiguous run wide enough, falling
+    /// back to the lowest free indices. Ignores the hierarchy.
+    Contiguous,
+    /// Fill as few blocks of the given level (index into
+    /// [`Topology::levels`]) as possible: the first block whose free
+    /// portion fits the whole job hosts it; only jobs too wide for any
+    /// single block fall back to the flat strategy.
+    Packed {
+        /// Level index the packing is measured at.
+        level: usize,
+    },
+    /// Round-robin across the blocks of the given level: each job's
+    /// processors are split as evenly as possible over the blocks with
+    /// free capacity, starting from a cursor that rotates per job.
+    Spread {
+        /// Level index the spreading is measured at.
+        level: usize,
+    },
+}
+
+impl PlacementPolicy {
+    /// Parse the shared CLI/JSON grammar against a topology:
+    /// `contiguous`, `packed[:LEVEL]`, `spread[:LEVEL]` where `LEVEL`
+    /// is a level name of `topology` (default: the coarsest level).
+    pub fn parse(raw: &str, topology: &Topology) -> Result<PlacementPolicy, String> {
+        let (head, level) = match raw.split_once(':') {
+            None => (raw, None),
+            Some((head, name)) => {
+                let index = topology.level_index(name).ok_or_else(|| {
+                    let known: Vec<&str> =
+                        topology.levels().iter().map(|l| l.name.as_str()).collect();
+                    format!(
+                        "unknown topology level `{name}` (levels: {})",
+                        known.join(", ")
+                    )
+                })?;
+                (head, Some(index))
+            }
+        };
+        match head {
+            "contiguous" if level.is_none() => Ok(PlacementPolicy::Contiguous),
+            "packed" => Ok(PlacementPolicy::Packed {
+                level: level.unwrap_or(0),
+            }),
+            "spread" => Ok(PlacementPolicy::Spread {
+                level: level.unwrap_or(0),
+            }),
+            _ => Err(format!(
+                "unknown placement policy `{raw}` (expected contiguous, packed[:LEVEL], or spread[:LEVEL])"
+            )),
+        }
+    }
+
+    /// The canonical spelling, resolving the level back to its name —
+    /// what the service echoes and the cache key hashes.
+    pub fn label(&self, topology: &Topology) -> String {
+        match self {
+            PlacementPolicy::Contiguous => "contiguous".to_string(),
+            PlacementPolicy::Packed { level } => {
+                format!("packed:{}", topology.levels()[*level].name)
+            }
+            PlacementPolicy::Spread { level } => {
+                format!("spread:{}", topology.levels()[*level].name)
+            }
+        }
+    }
+}
+
+impl Default for PlacementPolicy {
+    /// [`PlacementPolicy::Contiguous`] — the PR 6 behavior, and what
+    /// every request without a `policy` knob gets.
+    fn default() -> Self {
+        PlacementPolicy::Contiguous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::uniform(&[2, 2, 2]).unwrap()
+    }
+
+    #[test]
+    fn parses_the_shared_grammar() {
+        let t = topo();
+        assert_eq!(
+            PlacementPolicy::parse("contiguous", &t).unwrap(),
+            PlacementPolicy::Contiguous
+        );
+        assert_eq!(
+            PlacementPolicy::parse("packed", &t).unwrap(),
+            PlacementPolicy::Packed { level: 0 }
+        );
+        assert_eq!(
+            PlacementPolicy::parse("packed:socket", &t).unwrap(),
+            PlacementPolicy::Packed { level: 1 }
+        );
+        assert_eq!(
+            PlacementPolicy::parse("spread:core", &t).unwrap(),
+            PlacementPolicy::Spread { level: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_policies_and_levels() {
+        let t = topo();
+        let err = PlacementPolicy::parse("scatter", &t).unwrap_err();
+        assert!(err.contains("unknown placement policy"), "{err}");
+        let err = PlacementPolicy::parse("packed:rack", &t).unwrap_err();
+        assert!(err.contains("unknown topology level `rack`"), "{err}");
+        assert!(err.contains("node, socket, core"), "{err}");
+        // Contiguous takes no level.
+        assert!(PlacementPolicy::parse("contiguous:node", &t).is_err());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let t = topo();
+        for raw in ["contiguous", "packed:node", "spread:socket"] {
+            let p = PlacementPolicy::parse(raw, &t).unwrap();
+            assert_eq!(p.label(&t), raw);
+            assert_eq!(PlacementPolicy::parse(&p.label(&t), &t).unwrap(), p);
+        }
+        // Bare forms canonicalize to the coarsest level.
+        let p = PlacementPolicy::parse("packed", &t).unwrap();
+        assert_eq!(p.label(&t), "packed:node");
+    }
+}

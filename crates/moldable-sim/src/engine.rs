@@ -146,6 +146,15 @@ pub enum SimError {
         /// predecessor's).
         index: usize,
     },
+    /// A streaming run was given a topology whose leaves do not cover
+    /// the machine (the per-epoch lowering would place jobs onto
+    /// processors that don't exist, or leave real ones unreachable).
+    TopologyMismatch {
+        /// Processors covered by the topology's leaf level.
+        topology_m: Procs,
+        /// The machine size the stream is planned on.
+        m: Procs,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -170,6 +179,10 @@ impl fmt::Display for SimError {
                 f,
                 "arrival stream not sorted: job {index} arrives before its predecessor \
                  (sort the stream, e.g. via TraceReplay::new)"
+            ),
+            SimError::TopologyMismatch { topology_m, m } => write!(
+                f,
+                "topology covers {topology_m} processors but the stream runs on m = {m}"
             ),
         }
     }

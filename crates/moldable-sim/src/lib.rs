@@ -66,5 +66,7 @@ pub use metrics::{
     RunningFairness, RunningSum, UserFairness,
 };
 pub use online::{online_list_schedule, OnlineOutcome};
-pub use stream::{run_stream, StreamJob, StreamOptions, StreamOutcome};
+pub use stream::{
+    run_stream, LevelTrend, StreamFragmentation, StreamJob, StreamOptions, StreamOutcome,
+};
 pub use trace::{ProcessorTimeline, Segment, Trace};

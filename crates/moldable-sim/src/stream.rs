@@ -34,13 +34,16 @@
 use crate::engine::SimError;
 use crate::executor::execute;
 use crate::metrics::{FairnessReport, JobObservation, RunningFairness};
+use moldable_core::hierarchy::Topology;
 use moldable_core::instance::Instance;
 use moldable_core::job::Job;
 use moldable_core::ratio::Ratio;
 use moldable_core::speedup::SpeedupCurve;
 use moldable_core::types::{JobId, Procs, Time};
 use moldable_core::view::JobView;
+use moldable_sched::place_with;
 use moldable_sched::solver::MakespanSolver;
+use moldable_sched::PlacementPolicy;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -85,6 +88,17 @@ pub struct StreamOptions {
     ///
     /// [`run_epochs`]: crate::arrivals::run_epochs
     pub max_batch: Option<usize>,
+    /// Lower every epoch's schedule onto this processor hierarchy
+    /// (leaves must cover exactly `m`). The engine then carries one
+    /// [`SlotSet`] per epoch through [`place_with`] and folds a running
+    /// [`StreamFragmentation`] tally, so a million-job replay reports
+    /// how locality degrades over time in `O(levels)` memory.
+    ///
+    /// [`SlotSet`]: moldable_core::slotset::SlotSet
+    pub topology: Option<Topology>,
+    /// Placement policy for the per-epoch lowering (ignored without a
+    /// topology). Level indices refer to `topology`'s levels.
+    pub policy: PlacementPolicy,
 }
 
 /// What the streaming engine reports after draining a source. Everything
@@ -103,6 +117,80 @@ pub struct StreamOutcome {
     pub peak_pending: usize,
     /// Fairness statistics folded online over every completion.
     pub fairness: FairnessReport,
+    /// Running fragmentation tally over every placed epoch — `Some`
+    /// exactly when [`StreamOptions::topology`] was set.
+    pub fragmentation: Option<StreamFragmentation>,
+}
+
+/// Locality of a whole streaming run, folded epoch by epoch. Unlike the
+/// offline [`FragmentationReport`] (one placement, full resolution),
+/// this is a constant-memory trend: per level it keeps the lifetime
+/// totals plus the worst single epoch, which is the "did locality decay
+/// under churn" signal an operator actually reads off a replay.
+///
+/// [`FragmentationReport`]: moldable_core::hierarchy::FragmentationReport
+#[derive(Clone, Debug)]
+pub struct StreamFragmentation {
+    /// Epochs whose placements fed the tally.
+    pub epochs: u64,
+    /// One trend per topology level, coarsest first.
+    pub levels: Vec<LevelTrend>,
+}
+
+/// Per-level slice of a [`StreamFragmentation`].
+#[derive(Clone, Debug)]
+pub struct LevelTrend {
+    /// Level name (`"node"`, `"socket"`, …).
+    pub level: String,
+    /// Jobs placed across the whole run.
+    pub jobs: u64,
+    /// Sum over all placed jobs of the blocks each spanned.
+    pub total_spans: u64,
+    /// Widest single placement of the run, in blocks.
+    pub max_span: u64,
+    /// Largest per-epoch mean span seen — the worst scheduling instant,
+    /// which a lifetime mean would smooth away.
+    pub peak_epoch_mean: f64,
+}
+
+impl LevelTrend {
+    /// Mean blocks spanned per job over the whole run.
+    pub fn mean_span(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_spans as f64 / self.jobs as f64
+        }
+    }
+}
+
+impl StreamFragmentation {
+    fn new(topology: &Topology) -> Self {
+        StreamFragmentation {
+            epochs: 0,
+            levels: topology
+                .levels()
+                .iter()
+                .map(|level| LevelTrend {
+                    level: level.name.clone(),
+                    jobs: 0,
+                    total_spans: 0,
+                    max_span: 0,
+                    peak_epoch_mean: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn observe(&mut self, report: &moldable_core::hierarchy::FragmentationReport) {
+        self.epochs += 1;
+        for (trend, level) in self.levels.iter_mut().zip(&report.levels) {
+            trend.jobs += level.jobs;
+            trend.total_spans += level.total_spans;
+            trend.max_span = trend.max_span.max(level.max_span);
+            trend.peak_epoch_mean = trend.peak_epoch_mean.max(level.mean_span());
+        }
+    }
 }
 
 /// Event ranks at equal timestamps. Completions fire first (processors
@@ -181,6 +269,18 @@ where
     I: IntoIterator<Item = StreamJob>,
     F: FnMut(u64, &JobObservation),
 {
+    let mut fragmentation = match &opts.topology {
+        Some(topology) => {
+            if topology.m() != m {
+                return Err(SimError::TopologyMismatch {
+                    topology_m: topology.m(),
+                    m,
+                });
+            }
+            Some(StreamFragmentation::new(topology))
+        }
+        None => None,
+    };
     let mut src = source.into_iter();
     let mut heap: BinaryHeap<StreamEvent> = BinaryHeap::new();
     let mut seq: u64 = 0;
@@ -295,7 +395,20 @@ where
                     .collect();
                 let inst = Instance::from_jobs(planned, m);
                 let view = JobView::build(&inst);
-                let schedule = solver.solve(&view, m).schedule;
+                let mut schedule = solver.solve(&view, m).schedule;
+                if let Some(topology) = &opts.topology {
+                    // Fresh SlotSet per epoch inside `place_with`: the
+                    // machine is empty at every re-plan (the epoch
+                    // discipline runs batches to completion), so each
+                    // batch is lowered on its own timeline and only the
+                    // fragmentation *trend* survives the epoch.
+                    let placement = place_with(&view, &schedule, topology, &opts.policy)
+                        .expect("planned batches lower onto the topology");
+                    if let Some(frag) = &mut fragmentation {
+                        frag.observe(&topology.fragmentation(&placement));
+                    }
+                    schedule.placement = Some(placement);
+                }
                 let ex = execute(&inst, &schedule).expect("planned batches execute");
                 // Queue one completion event per batch job; the instance,
                 // view, and trace die at the end of this arm.
@@ -351,6 +464,7 @@ where
         makespan: clock,
         peak_pending,
         fairness: fairness.report(),
+        fragmentation,
     })
 }
 
@@ -472,7 +586,10 @@ mod tests {
             stream.clone(),
             2,
             solver().as_ref(),
-            &StreamOptions { max_batch: Some(2) },
+            &StreamOptions {
+                max_batch: Some(2),
+                ..StreamOptions::default()
+            },
             |_, _| {},
         )
         .unwrap();
@@ -527,6 +644,89 @@ mod tests {
         assert!(out.peak_pending <= 2, "peak {}", out.peak_pending);
         assert_eq!(out.fairness.users.len(), 1); // all untagged (-1)
         assert_eq!(out.fairness.mean_stretch, Ratio::one()); // never waits
+    }
+
+    #[test]
+    fn topology_must_cover_the_machine() {
+        let err = run_stream(
+            jobs(&[(0, 1)]),
+            4,
+            solver().as_ref(),
+            &StreamOptions {
+                topology: Some(Topology::parse("2*4").unwrap()),
+                ..StreamOptions::default()
+            },
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::TopologyMismatch {
+                topology_m: 8,
+                m: 4
+            }
+        );
+    }
+
+    #[test]
+    fn topology_replay_reports_fragmentation_and_places_every_job() {
+        // 12 unit jobs in three bursts on 2 nodes × 4 cores: every
+        // completion carries a concrete processor set and the trend
+        // counts every job at every level.
+        let stream = jobs(&[
+            (0, 3),
+            (0, 3),
+            (0, 3),
+            (0, 3),
+            (9, 2),
+            (9, 2),
+            (20, 5),
+            (20, 5),
+        ]);
+        let opts = StreamOptions {
+            topology: Some(Topology::parse("2*4").unwrap()),
+            policy: PlacementPolicy::Packed { level: 0 },
+            ..StreamOptions::default()
+        };
+        let mut placed = 0;
+        let out = run_stream(stream, 8, solver().as_ref(), &opts, |_, o| {
+            let procs = o.placed.as_ref().expect("topology runs place every job");
+            assert!(procs.size() >= 1);
+            placed += 1;
+        })
+        .unwrap();
+        assert_eq!(placed, 8);
+        let frag = out.fragmentation.expect("topology set");
+        assert_eq!(frag.epochs, out.epochs);
+        assert_eq!(frag.levels.len(), 2);
+        let nodes = &frag.levels[0];
+        assert_eq!(nodes.level, "node");
+        assert_eq!(nodes.jobs, 8);
+        assert!(nodes.total_spans >= 8);
+        assert!(nodes.max_span >= 1 && nodes.max_span <= 2);
+        assert!(nodes.peak_epoch_mean >= 1.0);
+        assert!(nodes.mean_span() <= nodes.peak_epoch_mean + 1e-9);
+        // The lowering must not disturb the completion-time semantics.
+        let plain = run_stream(
+            jobs(&[
+                (0, 3),
+                (0, 3),
+                (0, 3),
+                (0, 3),
+                (9, 2),
+                (9, 2),
+                (20, 5),
+                (20, 5),
+            ]),
+            8,
+            solver().as_ref(),
+            &StreamOptions::default(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(out.makespan, plain.makespan);
+        assert_eq!(out.epochs, plain.epochs);
+        assert!(plain.fragmentation.is_none());
     }
 
     #[test]

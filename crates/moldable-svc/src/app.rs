@@ -23,13 +23,14 @@ use crate::http::{Request, Response};
 use crate::metrics::{Endpoint, ServiceMetrics};
 use crate::request::{parse_solve_body, SolveRequest};
 use moldable_core::hash::StableHasher;
+use moldable_core::hierarchy::Topology;
 use moldable_core::instance::Instance;
 use moldable_core::placement::Placement;
 use moldable_core::ratio::Ratio;
 use moldable_core::view::JobView;
 use moldable_sched::batch;
 use moldable_sched::exact::{EXACT_M_LIMIT, EXACT_N_LIMIT};
-use moldable_sched::place::place_contiguous;
+use moldable_sched::place::{place_contiguous, place_with};
 use moldable_sched::solver::{race_roster, solver_by_name, ExactSolver};
 use moldable_sched::validate;
 use moldable_sched::SOLVER_NAMES;
@@ -290,7 +291,15 @@ impl App {
     /// has no canonical form). The key covers everything the response
     /// bytes depend on: the endpoint, the echoed solver name (`/v1/solve`
     /// only — `/v1/race` ignores `algo`), the exact ε rational, the
-    /// placement flag, and the instance's semantic digest.
+    /// placement flag, the topology and resolved policy when present,
+    /// and the instance's semantic digest.
+    ///
+    /// **Forward safety:** new request fields only feed the hasher when
+    /// they are actually present, behind a version marker no older
+    /// request shape can produce — so a request without `topology`
+    /// hashes exactly as it did before v3 existed, and an omitted field
+    /// can never collide with an explicit non-default one. Pinned by
+    /// the cache-equivalence tests in `tests/service_cache.rs`.
     fn cache_key(
         &self,
         endpoint: Endpoint,
@@ -311,6 +320,13 @@ impl App {
         h.write_u128(sr.eps.num());
         h.write_u128(sr.eps.den());
         h.write_u64(sr.placements as u64);
+        if let Some(topology) = &sr.topology {
+            h.write_u64(3);
+            topology.hash_into(&mut h);
+            // The canonical label, so an omitted policy and an explicit
+            // `"contiguous"` (or `packed` vs `packed:node`) hash equal.
+            h.write_str(&sr.policy.label(topology));
+        }
         h.write_u128(instance_digest);
         Some(h.finish())
     }
@@ -384,7 +400,14 @@ impl App {
                 ));
             }
             let mut outcome = solver.solve(&view, view.m());
-            if sr.placements && outcome.schedule.placement.is_none() {
+            if let Some(topology) = &sr.topology {
+                // A topology request re-lowers even solver-provided
+                // placements, so the policy is honored uniformly across
+                // the whole registry.
+                let placement = place_with(&view, &outcome.schedule, topology, &sr.policy)
+                    .map_err(|e| (500, format!("placement failed: {e}")))?;
+                outcome.schedule.placement = Some(placement);
+            } else if sr.placements && outcome.schedule.placement.is_none() {
                 // Lower the allotment schedule onto concrete processors; the
                 // error Display travels verbatim (it only fires on a solver
                 // bug — any demand-feasible schedule lowers).
@@ -395,7 +418,7 @@ impl App {
             validate(&outcome.schedule, &instance)
                 .map_err(|e| (500, format!("solver produced an invalid schedule: {e}")))?;
             let mut reply = json!({
-                "schema": 2,
+                "schema": if sr.topology.is_some() { 3 } else { 2 },
                 "algo": sr.algo,
                 "solver": solver.name(),
                 "n": instance.n(),
@@ -407,9 +430,27 @@ impl App {
                 "probes": outcome.probes,
                 "assignments": assignment_rows(&instance, &outcome.schedule),
             });
-            if sr.placements {
+            if sr.placements || sr.topology.is_some() {
                 let placement = outcome.schedule.placement.as_ref().expect("placed above");
-                push_field(&mut reply, "placements", placement_rows(placement));
+                push_field(
+                    &mut reply,
+                    "placements",
+                    placement_rows_on(placement, sr.topology.as_ref()),
+                );
+            }
+            if let Some(topology) = &sr.topology {
+                let placement = outcome.schedule.placement.as_ref().expect("placed above");
+                push_field(&mut reply, "topology", topology_rows(topology));
+                push_field(
+                    &mut reply,
+                    "policy",
+                    Value::String(sr.policy.label(topology)),
+                );
+                push_field(
+                    &mut reply,
+                    "fragmentation",
+                    fragmentation_summary(topology, placement),
+                );
             }
             Ok(serialize(&reply))
         })
@@ -435,7 +476,11 @@ impl App {
             .iter()
             .map(|r| {
                 let mut schedule = r.outcome.schedule.clone();
-                if sr.placements && schedule.placement.is_none() {
+                if let Some(topology) = &sr.topology {
+                    let placement = place_with(&view, &schedule, topology, &sr.policy)
+                        .map_err(|e| (500, format!("{}: placement failed: {e}", r.label)))?;
+                    schedule.placement = Some(placement);
+                } else if sr.placements && schedule.placement.is_none() {
                     let placement = place_contiguous(&view, &schedule)
                         .map_err(|e| (500, format!("{}: placement failed: {e}", r.label)))?;
                     schedule.placement = Some(placement);
@@ -458,22 +503,43 @@ impl App {
                     "bound_holds_vs_2omega": bound_ok,
                     "probes": r.outcome.probes,
                 });
-                if sr.placements {
+                if sr.placements || sr.topology.is_some() {
                     let placement = schedule.placement.as_ref().expect("placed above");
-                    push_field(&mut row, "placements", placement_rows(placement));
+                    push_field(
+                        &mut row,
+                        "placements",
+                        placement_rows_on(placement, sr.topology.as_ref()),
+                    );
+                }
+                if let Some(topology) = &sr.topology {
+                    let placement = schedule.placement.as_ref().expect("placed above");
+                    push_field(
+                        &mut row,
+                        "fragmentation",
+                        fragmentation_summary(topology, placement),
+                    );
                 }
                 Ok(row)
             })
             .collect::<Result<_, Failure>>()?;
-        Ok(serialize(&json!({
-            "schema": 2,
+        let mut reply = json!({
+            "schema": if sr.topology.is_some() { 3 } else { 2 },
             "n": instance.n(),
             "m": instance.m(),
             "eps": eps.to_f64(),
             "omega": omega,
             "all_bounds_hold": all_bounds_hold,
-            "results": rows,
-        })))
+        });
+        if let Some(topology) = &sr.topology {
+            push_field(&mut reply, "topology", topology_rows(topology));
+            push_field(
+                &mut reply,
+                "policy",
+                Value::String(sr.policy.label(topology)),
+            );
+        }
+        push_field(&mut reply, "results", Value::Array(rows));
+        Ok(serialize(&reply))
     }
 }
 
@@ -534,12 +600,20 @@ pub fn assignment_rows(inst: &Instance, s: &moldable_sched::Schedule) -> Value {
 /// denominator strings, same convention as assignment starts) and the
 /// processor set as inclusive `[lo, hi]` ranges.
 pub fn placement_rows(placement: &Placement) -> Value {
+    placement_rows_on(placement, None)
+}
+
+/// [`placement_rows`] with the wire-format v3 extension: when a
+/// topology is given, each row gains a trailing `"locality"` object
+/// mapping every level name to the number of blocks the job's set
+/// spans there. Without one, the rows are byte-identical to v2.
+pub fn placement_rows_on(placement: &Placement, topology: Option<&Topology>) -> Value {
     Value::Array(
         placement
             .jobs
             .iter()
             .map(|p| {
-                json!({
+                let mut row = json!({
                     "job": p.job,
                     "start_num": p.start.num().to_string(),
                     "start_den": p.start.den().to_string(),
@@ -550,7 +624,59 @@ pub fn placement_rows(placement: &Placement) -> Value {
                         .iter()
                         .map(|&(lo, hi)| json!([lo, hi]))
                         .collect::<Vec<Value>>(),
+                });
+                if let Some(t) = topology {
+                    let locality: Vec<(String, Value)> = t
+                        .levels()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, level)| {
+                            (level.name.clone(), json!(t.span_blocks(i, &p.procs)))
+                        })
+                        .collect();
+                    push_field(&mut row, "locality", Value::Object(locality));
+                }
+                row
+            })
+            .collect(),
+    )
+}
+
+/// The topology echo in v3 replies: one row per level, coarsest first,
+/// carrying the level name and its block count.
+pub fn topology_rows(topology: &Topology) -> Value {
+    Value::Array(
+        topology
+            .levels()
+            .iter()
+            .map(|level| {
+                json!({
+                    "name": level.name,
+                    "blocks": level.blocks.len() as u64,
                 })
+            })
+            .collect(),
+    )
+}
+
+/// The v3 fragmentation summary: per level (keyed by name, coarsest
+/// first), the block count and the placement's mean/max blocks-spanned.
+pub fn fragmentation_summary(topology: &Topology, placement: &Placement) -> Value {
+    let report = topology.fragmentation(placement);
+    Value::Object(
+        report
+            .levels
+            .iter()
+            .map(|l| {
+                (
+                    l.level.clone(),
+                    json!({
+                        "blocks": l.blocks,
+                        "jobs": l.jobs,
+                        "mean_span": l.mean_span(),
+                        "max_span": l.max_span,
+                    }),
+                )
             })
             .collect(),
     )
@@ -807,6 +933,96 @@ mod tests {
         let resp = app.respond(&post("/v1/race", &format!(r#"{{"instance": {INSTANCE}}}"#)));
         for row in json_of(&resp)["results"].as_array().unwrap() {
             assert!(row.get("placements").is_none());
+        }
+    }
+
+    #[test]
+    fn solve_topology_switches_to_v3_with_locality_and_fragmentation() {
+        let app = app();
+        let req = post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}, "topology": "8*2*4", "policy": "packed"}}"#),
+        );
+        let resp = app.respond(&req);
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let v = json_of(&resp);
+        assert_eq!(v["schema"].as_u64(), Some(3));
+        assert_eq!(v["policy"].as_str(), Some("packed:node"));
+        let topo = v["topology"].as_array().unwrap();
+        assert_eq!(topo.len(), 3);
+        assert_eq!(topo[0]["name"].as_str(), Some("node"));
+        assert_eq!(topo[0]["blocks"].as_u64(), Some(8));
+        assert_eq!(topo[2]["blocks"].as_u64(), Some(64));
+        // Placements come without asking: a topology implies them, and
+        // every row carries a per-level locality object.
+        let placements = v["placements"].as_array().unwrap();
+        assert_eq!(placements.len(), v["assignments"].as_array().unwrap().len());
+        for row in placements {
+            let loc = &row["locality"];
+            for level in ["node", "socket", "core"] {
+                assert!(loc[level].as_u64().unwrap() >= 1, "{row:?}");
+            }
+        }
+        let frag = &v["fragmentation"];
+        assert_eq!(frag["node"]["blocks"].as_u64(), Some(8));
+        assert!(frag["node"]["mean_span"].as_f64().unwrap() >= 1.0);
+        assert!(frag["core"]["max_span"].as_u64().unwrap() >= 1);
+        // Deterministic like every other response.
+        assert_eq!(app.respond(&req), app.respond(&req));
+    }
+
+    #[test]
+    fn topology_must_match_the_instance_m() {
+        let app = app();
+        let resp = app.respond(&post(
+            "/v1/solve",
+            &format!(r#"{{"instance": {INSTANCE}, "topology": "2*2"}}"#),
+        ));
+        assert_eq!(resp.status, 400, "{}", body_text(&resp));
+        assert!(body_text(&resp).contains("covers 4 processors"));
+        assert!(body_text(&resp).contains("m = 64"));
+    }
+
+    #[test]
+    fn race_topology_rows_carry_fragmentation() {
+        let app = app();
+        let resp = app.respond(&post(
+            "/v1/race",
+            &format!(r#"{{"instance": {INSTANCE}, "topology": "8*8", "policy": "spread"}}"#),
+        ));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let v = json_of(&resp);
+        assert_eq!(v["schema"].as_u64(), Some(3));
+        assert_eq!(v["policy"].as_str(), Some("spread:node"));
+        for row in v["results"].as_array().unwrap() {
+            assert!(!row["placements"].as_array().unwrap().is_empty());
+            assert!(row["fragmentation"]["node"]["mean_span"].as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn packed_policy_beats_contiguous_on_node_spans() {
+        // Width-3 jobs on 2×4: contiguous lowering straddles nodes,
+        // packed never does.
+        let app = app();
+        let instance = r#"{"m": 8, "jobs": [{"constant": 5}, {"constant": 5}]}"#;
+        let spans = |policy: &str| -> Vec<u64> {
+            let resp = app.respond(&post(
+                "/v1/solve",
+                &format!(
+                    r#"{{"instance": {instance}, "algo": "two-approx", "topology": "2*4", "policy": "{policy}"}}"#
+                ),
+            ));
+            assert_eq!(resp.status, 200, "{}", body_text(&resp));
+            json_of(&resp)["placements"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|row| row["locality"]["node"].as_u64().unwrap())
+                .collect()
+        };
+        for span in spans("packed") {
+            assert_eq!(span, 1, "packed placement crossed a node");
         }
     }
 

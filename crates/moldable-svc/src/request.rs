@@ -1,8 +1,9 @@
 //! The shared solve-request shape: one struct, three parsers.
 //!
 //! The CLI (`solve`/`race` flags) and the HTTP service (`/v1/solve`/
-//! `/v1/race` JSON bodies) accept the same three knobs — solver name,
-//! accuracy, and whether to return a placement layer. [`SolveRequest`]
+//! `/v1/race` JSON bodies) accept the same knobs — solver name,
+//! accuracy, whether to return a placement layer, and since wire-format
+//! v3 an optional machine topology plus placement policy. [`SolveRequest`]
 //! is the single source of truth for their names, defaults, and
 //! grammars: [`SolveRequest::from_json`] reads a parsed request body,
 //! [`SolveRequest::from_args`] reads an argv slice, and both produce the
@@ -10,7 +11,8 @@
 //! front ends can never drift apart.
 //!
 //! The service hot path adds a third parser: [`parse_solve_body`] reads
-//! the whole `{"instance": …, "algo"?, "eps"?, "placements"?}` body
+//! the whole `{"instance": …, "algo"?, "eps"?, "placements"?,
+//! "topology"?, "policy"?}` body
 //! through the serde_json shim's zero-copy [`BorrowedValue`] tree —
 //! string keys and values stay borrowed from the request buffer, and the
 //! `InstanceSpec`/`CurveSpec` shapes are mirrored by hand instead of
@@ -20,9 +22,11 @@
 //! byte-identical `Result`s on arbitrary bodies), never as a fallback.
 
 use crate::app::parse_eps;
+use moldable_core::hierarchy::Topology;
 use moldable_core::instance::Instance;
 use moldable_core::io::{CurveSpec, InstanceSpec};
 use moldable_core::ratio::Ratio;
+use moldable_sched::policy::PlacementPolicy;
 use serde::Deserialize;
 use serde_json::borrow::{from_str_borrowed, BorrowedValue};
 use serde_json::Value;
@@ -40,6 +44,18 @@ pub struct SolveRequest {
     /// `"placements": true` / CLI `--place`); off by default — the
     /// wire-format v1 shape.
     pub placements: bool,
+    /// Machine hierarchy to lower onto (JSON `"topology"` / CLI
+    /// `--topology`, both the [`Topology::parse`] spec grammar). `None`
+    /// keeps the flat machine and the v2 wire shape; `Some` switches
+    /// the response to wire-format v3 (placements with locality rows
+    /// plus a fragmentation summary) and must cover exactly the
+    /// instance's `m` ([`SolveRequest::check_topology`]).
+    pub topology: Option<Topology>,
+    /// Placement strategy (JSON `"policy"` / CLI `--policy`, the
+    /// [`PlacementPolicy::parse`] grammar resolved against `topology`);
+    /// only meaningful — and only accepted — alongside a topology.
+    /// Defaults to [`PlacementPolicy::Contiguous`].
+    pub policy: PlacementPolicy,
 }
 
 impl SolveRequest {
@@ -68,10 +84,26 @@ impl SolveRequest {
                 .as_bool()
                 .ok_or_else(|| "`placements` must be a boolean".to_string())?,
         };
+        let topology = match request.get("topology") {
+            None => None,
+            Some(v) => {
+                let raw = v.as_str().ok_or_else(|| TOPOLOGY_TYPE_ERROR.to_string())?;
+                Some(parse_topology(raw)?)
+            }
+        };
+        let policy = match request.get("policy") {
+            None => PlacementPolicy::Contiguous,
+            Some(v) => {
+                let raw = v.as_str().ok_or_else(|| POLICY_TYPE_ERROR.to_string())?;
+                parse_policy(raw, topology.as_ref())?
+            }
+        };
         Ok(SolveRequest {
             algo,
             eps,
             placements,
+            topology,
+            policy,
         })
     }
 
@@ -104,15 +136,32 @@ impl SolveRequest {
                 .as_bool()
                 .ok_or_else(|| "`placements` must be a boolean".to_string())?,
         };
+        let topology = match request.get("topology") {
+            None => None,
+            Some(v) => {
+                let raw = v.as_str().ok_or_else(|| TOPOLOGY_TYPE_ERROR.to_string())?;
+                Some(parse_topology(raw)?)
+            }
+        };
+        let policy = match request.get("policy") {
+            None => PlacementPolicy::Contiguous,
+            Some(v) => {
+                let raw = v.as_str().ok_or_else(|| POLICY_TYPE_ERROR.to_string())?;
+                parse_policy(raw, topology.as_ref())?
+            }
+        };
         Ok(SolveRequest {
             algo,
             eps,
             placements,
+            topology,
+            policy,
         })
     }
 
     /// Read the shared fields from CLI arguments: `--algo NAME`,
-    /// `--eps N/D`, and the boolean `--place`.
+    /// `--eps N/D`, the boolean `--place`, `--topology SPEC`, and
+    /// `--policy P`.
     pub fn from_args(args: &[String], default_eps: &Ratio) -> Result<SolveRequest, String> {
         let value_of = |name: &str| -> Result<Option<&String>, String> {
             match args.iter().position(|a| a == name) {
@@ -131,12 +180,57 @@ impl SolveRequest {
             Some(raw) => parse_eps(raw)?,
         };
         let placements = args.iter().any(|a| a == "--place");
+        let topology = match value_of("--topology")? {
+            None => None,
+            Some(raw) => Some(parse_topology(raw)?),
+        };
+        let policy = match value_of("--policy")? {
+            None => PlacementPolicy::Contiguous,
+            Some(raw) => parse_policy(raw, topology.as_ref())?,
+        };
         Ok(SolveRequest {
             algo,
             eps,
             placements,
+            topology,
+            policy,
         })
     }
+
+    /// Cross-field check both front ends run once the instance is known:
+    /// a requested topology must cover exactly the instance's machine
+    /// park, or every lowered index would be meaningless.
+    pub fn check_topology(&self, instance_m: u64) -> Result<(), String> {
+        match &self.topology {
+            Some(t) if t.m() != instance_m => Err(format!(
+                "`topology` covers {} processors but the instance has m = {}",
+                t.m(),
+                instance_m
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Error text for a non-string `topology` field, shared by every parser.
+const TOPOLOGY_TYPE_ERROR: &str =
+    "`topology` must be a string spec like \"64*2*32\" or \"0-3|4-7\"";
+
+/// Error text for a non-string `policy` field, shared by every parser.
+const POLICY_TYPE_ERROR: &str = "`policy` must be a string like \"packed:node\"";
+
+/// Parse a `topology` value through [`Topology::parse`], wrapping the
+/// error with the field name — identical text on every front end.
+fn parse_topology(raw: &str) -> Result<Topology, String> {
+    Topology::parse(raw).map_err(|e| format!("invalid `topology`: {e}"))
+}
+
+/// Parse a `policy` value against the request's topology; a policy
+/// without a topology is rejected (there is nothing to resolve level
+/// names against, and the flat pass is always `contiguous`).
+fn parse_policy(raw: &str, topology: Option<&Topology>) -> Result<PlacementPolicy, String> {
+    let topology = topology.ok_or_else(|| "`policy` requires `topology`".to_string())?;
+    PlacementPolicy::parse(raw, topology).map_err(|e| format!("invalid `policy`: {e}"))
 }
 
 /// Parse a complete `/v1/solve`-shaped body on the zero-copy path:
@@ -146,7 +240,7 @@ impl SolveRequest {
 /// Error strings are byte-identical to [`parse_solve_body_tree`]'s (the
 /// proptest oracle compares the full `Result`), and the stage order
 /// matches too: body syntax, `instance` presence, instance validity,
-/// then the request knobs.
+/// the request knobs, then the topology-vs-`m` cross-check.
 pub fn parse_solve_body(
     body: &[u8],
     default_eps: &Ratio,
@@ -160,6 +254,7 @@ pub fn parse_solve_body(
         .and_then(|spec| spec.build().map_err(|e| e.to_string()))
         .map_err(|e| format!("invalid `instance`: {e}"))?;
     let request = SolveRequest::from_borrowed(&root, default_eps)?;
+    request.check_topology(instance.m())?;
     Ok((request, instance))
 }
 
@@ -183,6 +278,7 @@ pub fn parse_solve_body_tree(
         .and_then(|spec| spec.build().map_err(|e| e.to_string()))
         .map_err(|e| format!("invalid `instance`: {e}"))?;
     let request = SolveRequest::from_json(&root, default_eps)?;
+    request.check_topology(instance.m())?;
     Ok((request, instance))
 }
 
@@ -352,6 +448,18 @@ mod tests {
                 strings(&["--algo", "mrt", "--eps", "1/2", "--place"]),
             ),
             (json!({"placements": false}), strings(&[])),
+            (
+                json!({"topology": "2*2*2"}),
+                strings(&["--topology", "2*2*2"]),
+            ),
+            (
+                json!({"topology": "0-3|4-7", "policy": "packed:node"}),
+                strings(&["--topology", "0-3|4-7", "--policy", "packed:node"]),
+            ),
+            (
+                json!({"topology": "2*4", "policy": "spread:socket"}),
+                strings(&["--topology", "2*4", "--policy", "spread:socket"]),
+            ),
         ];
         for (body, argv) in cases {
             let a = SolveRequest::from_json(&body, &default_eps).unwrap();
@@ -359,7 +467,51 @@ mod tests {
             assert_eq!(a.algo, b.algo, "{body:?}");
             assert_eq!(a.eps, b.eps, "{body:?}");
             assert_eq!(a.placements, b.placements, "{body:?}");
+            assert_eq!(a.topology, b.topology, "{body:?}");
+            assert_eq!(a.policy, b.policy, "{body:?}");
         }
+    }
+
+    #[test]
+    fn topology_and_policy_defaults_and_errors() {
+        let default_eps = Ratio::new(1, 4);
+        let r = SolveRequest::from_json(&json!({}), &default_eps).unwrap();
+        assert!(r.topology.is_none());
+        assert_eq!(r.policy, PlacementPolicy::Contiguous);
+        assert!(r.check_topology(64).is_ok());
+        // A topology must cover the instance's m exactly.
+        let r = SolveRequest::from_json(&json!({"topology": "2*2*2"}), &default_eps).unwrap();
+        assert!(r.check_topology(8).is_ok());
+        let err = r.check_topology(64).unwrap_err();
+        assert!(err.contains("covers 8 processors"), "{err}");
+        assert!(err.contains("m = 64"), "{err}");
+        // Field-level rejections, identical across front ends.
+        for (body, needle) in [
+            (json!({"topology": 7}), "`topology` must be a string"),
+            (json!({"topology": "2*0"}), "invalid `topology`"),
+            (
+                json!({"policy": true, "topology": "2*2"}),
+                "`policy` must be a string",
+            ),
+            (json!({"policy": "packed"}), "`policy` requires `topology`"),
+            (
+                json!({"topology": "2*2", "policy": "packed:rack"}),
+                "unknown topology level",
+            ),
+            (
+                json!({"topology": "2*2", "policy": "scatter"}),
+                "unknown placement policy",
+            ),
+        ] {
+            let err = SolveRequest::from_json(&body, &default_eps).unwrap_err();
+            assert!(err.contains(needle), "{body:?} -> {err}");
+        }
+        let err = SolveRequest::from_args(&strings(&["--policy", "packed"]), &default_eps)
+            .unwrap_err();
+        assert_eq!(err, "`policy` requires `topology`");
+        let err = SolveRequest::from_args(&strings(&["--topology", "nope*2"]), &default_eps)
+            .unwrap_err();
+        assert!(err.contains("invalid `topology`"), "{err}");
     }
 
     #[test]
@@ -431,6 +583,15 @@ mod tests {
             br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "eps": "3/2"}"#.to_vec(),
             br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "algo": 7}"#.to_vec(),
             br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "placements": "yes"}"#.to_vec(),
+            // Wire-format v3 knobs: accepted shapes and every rejection.
+            br#"{"instance": {"m": 8, "jobs": [{"constant": 3}]}, "topology": "2*2*2"}"#.to_vec(),
+            br#"{"instance": {"m": 8, "jobs": [{"constant": 3}]}, "topology": "0-3|4-7", "policy": "spread:node"}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "topology": "2*2*2"}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "topology": 7}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "topology": "2*0"}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "policy": "packed"}"#.to_vec(),
+            br#"{"instance": {"m": 4, "jobs": [{"constant": 3}]}, "topology": "2*2", "policy": "packed:rack"}"#.to_vec(),
+            br#"{"instance": {"m": 4, "jobs": [{"constant": 3}]}, "topology": "2*2", "policy": false}"#.to_vec(),
             vec![0xff, 0xfe, b'{', b'}'],
         ];
         for body in &bodies {

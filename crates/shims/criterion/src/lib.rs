@@ -30,20 +30,43 @@
 //! `benches/baseline.json` for the CI perf-regression gate. The gate
 //! uses the CI width to pick its tolerance: benchmarks whose baseline
 //! interval is tight (< 10% of the median) get the strict 1.5× bar,
-//! noisy ones keep the generous 2.0× default. Re-baseline with
+//! noisy ones keep the generous default. Re-baseline with
 //! `ci/bench_gate.py --update` (see that script's `--help`).
+//!
+//! **Sample floor.** `CRITERION_SAMPLES=N` raises every benchmark's
+//! sample count to at least `N`, whatever the bench source asked for —
+//! sources tune `sample_size` for quick local runs, while the CI bench
+//! gate exports a higher floor so medians and their bootstrap CIs are
+//! tight enough for the strict tolerance tier.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 /// Upper bound on adaptive warm-up runs before sampling starts anyway.
 pub const WARMUP_CAP: usize = 5;
+
+/// Parse a `CRITERION_SAMPLES` value into a per-benchmark sample floor
+/// (`0` = no floor; unparsable values are ignored rather than aborting
+/// a long bench run).
+fn parse_sample_floor(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse().ok()).unwrap_or(0)
+}
+
+/// The process-wide sample floor from `CRITERION_SAMPLES`, read once.
+/// Bench sources tune `sample_size` for quick local runs; the CI bench
+/// gate exports a higher floor so baseline medians (and their bootstrap
+/// CIs) are tight enough for the strict tolerance to be meaningful.
+fn sample_floor() -> usize {
+    static FLOOR: OnceLock<usize> = OnceLock::new();
+    *FLOOR
+        .get_or_init(|| parse_sample_floor(std::env::var("CRITERION_SAMPLES").ok().as_deref()))
+}
 
 /// Bootstrap resamples behind the reported median confidence interval.
 const BOOTSTRAP_RESAMPLES: usize = 200;
@@ -290,7 +313,7 @@ fn bootstrap_median_ci(sorted: &[Duration]) -> (u128, u128) {
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     let mut b = Bencher {
         samples: Vec::new(),
-        per_sample: sample_size,
+        per_sample: sample_size.max(sample_floor()),
         warmup_iters: 0,
     };
     f(&mut b);
@@ -415,6 +438,16 @@ mod tests {
         // Well-formed JSON object: balanced braces, no trailing comma.
         assert!(text.trim_start().starts_with('{') && text.trim_end().ends_with('}'));
         assert!(!text.contains(",\n}"), "trailing comma: {text}");
+    }
+
+    #[test]
+    fn sample_floor_parsing_is_lenient() {
+        assert_eq!(parse_sample_floor(None), 0);
+        assert_eq!(parse_sample_floor(Some("25")), 25);
+        assert_eq!(parse_sample_floor(Some(" 40 ")), 40);
+        assert_eq!(parse_sample_floor(Some("")), 0);
+        assert_eq!(parse_sample_floor(Some("lots")), 0);
+        assert_eq!(parse_sample_floor(Some("-3")), 0);
     }
 
     #[test]

@@ -60,16 +60,20 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   moldable schedule --input FILE [--eps N/D] [--algo mrt|alg1|alg3|linear|fptas|ptas|two-approx] [--gantt]
-  moldable solve    --input FILE [--algo mrt|alg1|alg3|linear|contiguous-73-50|fptas|ptas|two-approx|sequential|exact] [--eps N/D] [--place]
-  moldable race     --input FILE [--eps N/D] [--place] [--check] [--threads N]
+  moldable solve    --input FILE [--algo mrt|alg1|alg3|linear|contiguous-73-50|fptas|ptas|two-approx|sequential|exact] [--eps N/D] [--place] [--topology SPEC] [--policy P]
+  moldable race     --input FILE [--eps N/D] [--place] [--check] [--threads N] [--topology SPEC] [--policy P]
   moldable estimate --input FILE
   moldable generate --family power-law|amdahl|comm-overhead|mixed --n N --m M [--seed S]
   moldable generate --family swf --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N]
   moldable validate --input FILE --schedule FILE
   moldable simulate --input FILE --schedule FILE
   moldable simulate --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N] [--eps N/D] [--algo NAME] [--engine event|epoch]
-  moldable simulate --model lublin --n N [--m M] [--seed S] [--gap SECONDS] [--users U] [--fit amdahl|downey] [--engine event|epoch] [--max-batch B] [--eps N/D] [--algo NAME]
-  moldable render   --input FILE --schedule FILE --out FILE.svg [--width W] [--height H]";
+  moldable simulate --model lublin --n N [--m M] [--seed S] [--gap SECONDS] [--users U] [--fit amdahl|downey] [--engine event|epoch] [--max-batch B] [--eps N/D] [--algo NAME] [--topology SPEC] [--policy P]
+  moldable render   --input FILE --schedule FILE --out FILE.svg [--width W] [--height H]
+
+topology SPEC is an arity product (\"64*2*32\" = nodes*sockets*cores) or
+explicit block lists (\"0-3|4-7;0-1|2-3|4-5|6-7\"); policy P is
+contiguous, packed[:LEVEL], or spread[:LEVEL] (default contiguous).";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -160,10 +164,14 @@ fn ensure_placement(
 
 /// `solve`: run any registry solver through the [`MakespanSolver`]
 /// facade and report its certificates alongside the schedule. `--place`
-/// adds the wire-format v2 `placements` rows (concrete processor sets).
+/// adds the wire-format v2 `placements` rows (concrete processor sets);
+/// `--topology SPEC [--policy P]` lowers through the hierarchy-aware
+/// pipeline and emits the wire-format v3 fields through the service's
+/// own serializers, so the CI parity gate can diff the two front ends.
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let inst = load_instance(args)?;
     let req = moldable::svc::SolveRequest::from_args(args, &Ratio::new(1, 4))?;
+    req.check_topology(inst.m())?;
     let solver = solver_by_name(&req.algo, &req.eps).map_err(|e| e.to_string())?;
     let view = JobView::build(&inst);
     if req.algo == "exact" && !moldable::sched::solver::ExactSolver::fits(&view) {
@@ -174,12 +182,19 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         ));
     }
     let mut outcome = solver.solve(&view, view.m());
-    if req.placements {
+    if let Some(topology) = &req.topology {
+        // A topology re-lowers even solver-provided placements — same
+        // rule as the service, so the two front ends answer alike.
+        let placement =
+            moldable::sched::place_with(&view, &outcome.schedule, topology, &req.policy)
+                .map_err(|e| format!("placement failed: {e}"))?;
+        outcome.schedule.placement = Some(placement);
+    } else if req.placements {
         ensure_placement(&view, &mut outcome.schedule, None)?;
     }
     validate(&outcome.schedule, &inst).map_err(|e| e.to_string())?;
     let mut out = json!({
-        "schema": 2,
+        "schema": if req.topology.is_some() { 3 } else { 2 },
         "algo": req.algo,
         "solver": solver.name(),
         "makespan": outcome.makespan.to_f64(),
@@ -189,12 +204,30 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         "total_work": outcome.schedule.total_work(&inst).to_string(),
         "assignments": moldable::svc::app::assignment_rows(&inst, &outcome.schedule),
     });
-    if req.placements {
+    if req.placements || req.topology.is_some() {
         let placement = outcome.schedule.placement.as_ref().expect("placed above");
         push_field(
             &mut out,
             "placements",
-            moldable::svc::app::placement_rows(placement),
+            moldable::svc::app::placement_rows_on(placement, req.topology.as_ref()),
+        );
+    }
+    if let Some(topology) = &req.topology {
+        let placement = outcome.schedule.placement.as_ref().expect("placed above");
+        push_field(
+            &mut out,
+            "topology",
+            moldable::svc::app::topology_rows(topology),
+        );
+        push_field(
+            &mut out,
+            "policy",
+            Value::String(req.policy.label(topology)),
+        );
+        push_field(
+            &mut out,
+            "fragmentation",
+            moldable::svc::app::fragmentation_summary(topology, placement),
         );
     }
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
@@ -209,6 +242,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
 fn cmd_race(args: &[String]) -> Result<(), String> {
     let inst = load_instance(args)?;
     let req = moldable::svc::SolveRequest::from_args(args, &Ratio::new(1, 4))?;
+    req.check_topology(inst.m())?;
     let eps = req.eps;
     let threads: usize = flag(args, "--threads")
         .map(|s| s.parse().map_err(|_| "bad --threads"))
@@ -223,7 +257,12 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|r| {
             let mut schedule = r.outcome.schedule.clone();
-            if req.placements {
+            if let Some(topology) = &req.topology {
+                let placement =
+                    moldable::sched::place_with(&view, &schedule, topology, &req.policy)
+                        .map_err(|e| format!("{}: placement failed: {e}", r.label))?;
+                schedule.placement = Some(placement);
+            } else if req.placements {
                 ensure_placement(&view, &mut schedule, Some(&r.label))?;
             }
             validate(&schedule, &inst)
@@ -247,26 +286,46 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
                 "probes": r.outcome.probes,
                 "wall_seconds": r.wall.as_secs_f64(),
             });
-            if req.placements {
+            if req.placements || req.topology.is_some() {
                 let placement = schedule.placement.as_ref().expect("placed above");
                 push_field(
                     &mut row,
                     "placements",
-                    moldable::svc::app::placement_rows(placement),
+                    moldable::svc::app::placement_rows_on(placement, req.topology.as_ref()),
+                );
+            }
+            if let Some(topology) = &req.topology {
+                let placement = schedule.placement.as_ref().expect("placed above");
+                push_field(
+                    &mut row,
+                    "fragmentation",
+                    moldable::svc::app::fragmentation_summary(topology, placement),
                 );
             }
             Ok(row)
         })
         .collect::<Result<_, String>>()?;
-    let out = json!({
-        "schema": 2,
+    let mut out = json!({
+        "schema": if req.topology.is_some() { 3 } else { 2 },
         "n": inst.n(),
         "m": inst.m(),
         "eps": eps.to_f64(),
         "omega": omega,
         "threads": threads,
-        "results": rows,
     });
+    if let Some(topology) = &req.topology {
+        push_field(
+            &mut out,
+            "topology",
+            moldable::svc::app::topology_rows(topology),
+        );
+        push_field(
+            &mut out,
+            "policy",
+            Value::String(req.policy.label(topology)),
+        );
+    }
+    push_field(&mut out, "results", Value::Array(rows));
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
     if has_flag(args, "--check") && !violations.is_empty() {
         return Err(format!(
@@ -436,6 +495,61 @@ fn fairness_json(fairness: &moldable::sim::FairnessReport, cap: usize) -> Value 
     })
 }
 
+/// `--topology SPEC [--policy P]` for the streaming engine: parse the
+/// hierarchy, reject a machine-size mismatch up front (the engine would
+/// too, but the CLI error names the flag), and resolve the policy
+/// against the topology's level names.
+fn stream_topology(
+    args: &[String],
+    m: u64,
+) -> Result<
+    (
+        Option<moldable::core::hierarchy::Topology>,
+        moldable::sched::PlacementPolicy,
+    ),
+    String,
+> {
+    let Some(spec) = flag(args, "--topology") else {
+        if flag(args, "--policy").is_some() {
+            return Err("--policy requires --topology".into());
+        }
+        return Ok((None, moldable::sched::PlacementPolicy::default()));
+    };
+    let topology = moldable::core::hierarchy::Topology::parse(&spec)
+        .map_err(|e| format!("bad --topology: {e}"))?;
+    if topology.m() != m {
+        return Err(format!(
+            "--topology covers {} processors but the workload runs on m = {m}",
+            topology.m()
+        ));
+    }
+    let policy = match flag(args, "--policy") {
+        Some(raw) => moldable::sched::PlacementPolicy::parse(&raw, &topology)
+            .map_err(|e| format!("bad --policy: {e}"))?,
+        None => moldable::sched::PlacementPolicy::default(),
+    };
+    Ok((Some(topology), policy))
+}
+
+/// Fragmentation block of a streaming simulate report: one row per
+/// topology level with the run-lifetime locality trend.
+fn stream_fragmentation_json(frag: &moldable::sim::StreamFragmentation) -> Value {
+    json!({
+        "epochs": frag.epochs,
+        "levels": frag
+            .levels
+            .iter()
+            .map(|l| json!({
+                "level": l.level,
+                "jobs": l.jobs,
+                "mean_span": l.mean_span(),
+                "max_span": l.max_span,
+                "peak_epoch_mean": l.peak_epoch_mean,
+            }))
+            .collect::<Vec<_>>(),
+    })
+}
+
 /// `simulate --model lublin` / `simulate --engine event`: drive a lazily
 /// generated or trace-backed arrival stream through the streaming
 /// event-driven engine (or, with `--engine epoch`, the batch epoch
@@ -502,7 +616,12 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                 },
                 None => Some(8192),
             };
-            let opts = moldable::sim::StreamOptions { max_batch };
+            let (topology, policy) = stream_topology(args, m)?;
+            let opts = moldable::sim::StreamOptions {
+                max_batch,
+                topology,
+                policy,
+            };
             let jobs =
                 source
                     .stream_iter()
@@ -513,7 +632,7 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                     });
             let out = moldable::sim::run_stream(jobs, m, solver.as_ref(), &opts, |_, _| {})
                 .map_err(|e| e.to_string())?;
-            json!({
+            let mut report = json!({
                 "source": label,
                 "engine": "event",
                 "m": m,
@@ -525,9 +644,20 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                 "peak_pending": out.peak_pending,
                 "wall_seconds": started.elapsed().as_secs_f64(),
                 "fairness": fairness_json(&out.fairness, 16),
-            })
+            });
+            if let Some(frag) = &out.fragmentation {
+                push_field(
+                    &mut report,
+                    "fragmentation",
+                    stream_fragmentation_json(frag),
+                );
+            }
+            report
         }
         "epoch" => {
+            if flag(args, "--topology").is_some() {
+                return Err("--topology only applies to --engine event".into());
+            }
             if flag(args, "--max-batch").is_some() {
                 // Silently unbounded batches would make an event-vs-epoch
                 // cross-check look like an engine divergence.
@@ -604,9 +734,13 @@ fn cmd_simulate_trace(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    // Streaming paths: the Lublin–Feitelson model, or any source driven
-    // through an explicit --engine choice.
-    if flag(args, "--model").as_deref() == Some("lublin") || flag(args, "--engine").is_some() {
+    // Streaming paths: the Lublin–Feitelson model, any source driven
+    // through an explicit --engine choice, or a topology-aware replay
+    // (only the streaming engine lowers placements).
+    if flag(args, "--model").as_deref() == Some("lublin")
+        || flag(args, "--engine").is_some()
+        || flag(args, "--topology").is_some()
+    {
         return cmd_simulate_stream(args);
     }
     if flag(args, "--trace").is_some() {

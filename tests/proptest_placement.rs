@@ -4,13 +4,14 @@
 //! `contiguous-73-50` solver's native placement is contiguous, and
 //! `SlotSet` claim/release round-trips back to a fully free timeline.
 
+use moldable::core::hierarchy::Topology;
 use moldable::core::procset::ProcSet;
 use moldable::core::slotset::SlotSet;
 use moldable::core::speedup::monotone_closure;
 use moldable::core::view::JobView;
 use moldable::prelude::*;
-use moldable::sched::place_contiguous;
 use moldable::sched::solver::{solver_by_name, ExactSolver, SOLVER_NAMES};
+use moldable::sched::{place_contiguous, place_with, PlacementPolicy};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -118,6 +119,70 @@ proptest! {
         assert_pairwise_disjoint(placement);
     }
 
+    /// Every registry solver's schedule lowers onto a non-trivial
+    /// two-level topology under every placement policy: full validation
+    /// passes, every job's set has exactly its allotted size, and the
+    /// pairwise sweep re-proves disjointness from scratch.
+    #[test]
+    fn every_solver_lowers_onto_a_topology(inst in table_instance()) {
+        let view = JobView::build(&inst);
+        let m = view.m();
+        // Blocks of uneven sizes whenever m allows: [0, ceil(m/2)) and
+        // the rest — non-trivial for every m ≥ 2, flat for m = 1.
+        let topology = if m >= 2 {
+            Topology::from_levels(
+                m,
+                vec![moldable::core::hierarchy::Level {
+                    name: "node".into(),
+                    blocks: vec![
+                        ProcSet::range(0, m.div_ceil(2) - 1),
+                        ProcSet::range(m.div_ceil(2), m - 1),
+                    ],
+                }],
+            )
+            .expect("two blocks partition [0, m)")
+        } else {
+            Topology::flat(m)
+        };
+        let policies = [
+            PlacementPolicy::Contiguous,
+            PlacementPolicy::Packed { level: 0 },
+            PlacementPolicy::Spread { level: 0 },
+        ];
+        let eps = Ratio::new(1, 4);
+        for name in SOLVER_NAMES {
+            if *name == "exact" && !ExactSolver::fits(&view) {
+                continue;
+            }
+            let solver = solver_by_name(name, &eps).expect("registry name");
+            let mut outcome = solver.solve(&view, view.m());
+            for policy in &policies {
+                let placement = place_with(&view, &outcome.schedule, &topology, policy)
+                    .unwrap_or_else(|e| panic!("{name}/{policy:?}: {e}"));
+                prop_assert_eq!(placement.jobs.len(), inst.n(), "{} {:?}", name, policy);
+                for p in &placement.jobs {
+                    let a = outcome
+                        .schedule
+                        .assignments
+                        .iter()
+                        .find(|a| a.job == p.job)
+                        .expect("placement rows mirror assignments");
+                    prop_assert_eq!(
+                        p.procs.size(), a.procs,
+                        "{} {:?} job {}", name, policy, p.job
+                    );
+                }
+                assert_pairwise_disjoint(&placement);
+                outcome.schedule.placement = Some(placement);
+                prop_assert!(
+                    validate(&outcome.schedule, &inst).is_ok(),
+                    "{} {:?}: {:?}",
+                    name, policy, validate(&outcome.schedule, &inst)
+                );
+            }
+        }
+    }
+
     /// SlotSet claim/release round-trip: claiming what `free_over`
     /// offers always succeeds, claims are never available twice, and
     /// releasing everything coalesces back to a single fully-free slot.
@@ -155,4 +220,38 @@ proptest! {
             m
         );
     }
+}
+
+/// Packed locality beats Spread where it is supposed to: lowering the
+/// same schedule corpus onto the same topology, Packed's mean
+/// node-blocks-spanned is *strictly* below Spread's (Spread buys its
+/// even load by splitting jobs across blocks; Packed pays load balance
+/// for single-block placements).
+#[test]
+fn packed_has_strictly_fewer_mean_spans_than_spread() {
+    let topology = Topology::uniform(&[4, 16]).unwrap(); // 4 nodes × 16 cores
+    let mut packed_total = 0.0;
+    let mut spread_total = 0.0;
+    for seed in 0..4u64 {
+        let inst = bench_instance(BenchFamily::PowerLaw, 24, 64, seed);
+        let view = JobView::build(&inst);
+        let solver = solver_by_name("linear", &Ratio::new(1, 4)).unwrap();
+        let schedule = solver.solve(&view, view.m()).schedule;
+        let mean = |policy: &PlacementPolicy| -> f64 {
+            let placement = place_with(&view, &schedule, &topology, policy).unwrap();
+            topology.fragmentation(&placement).levels[0].mean_span()
+        };
+        let packed = mean(&PlacementPolicy::Packed { level: 0 });
+        let spread = mean(&PlacementPolicy::Spread { level: 0 });
+        assert!(
+            packed <= spread,
+            "seed {seed}: packed {packed} > spread {spread}"
+        );
+        packed_total += packed;
+        spread_total += spread;
+    }
+    assert!(
+        packed_total < spread_total,
+        "packed mean {packed_total} not strictly below spread mean {spread_total} over the corpus"
+    );
 }

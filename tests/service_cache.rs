@@ -152,6 +152,69 @@ fn equivalent_encodings_share_one_cache_entry() {
     assert_eq!((hits, misses), (1, 2), "eps leaked into a shared entry");
 }
 
+/// The forward-safety contract for cache keys: a field that is omitted
+/// and a field set to its default (or to an equivalent spelling) must
+/// hash to the same canonical key — otherwise the arrival of new v3
+/// request fields would silently split (or worse, collide) entries for
+/// semantically identical requests.
+#[test]
+fn omitted_and_default_fields_share_one_cache_key() {
+    let app = cached_app();
+    let hits = || app.cache().unwrap().counters().0;
+    let misses = || app.cache().unwrap().counters().1;
+    // v2 shape: explicit `"placements": false` ≡ omitted.
+    let plain = app.respond(&post(
+        "/v1/solve",
+        &format!(r#"{{"instance": {SMALL}, "algo": "linear"}}"#),
+    ));
+    let explicit = app.respond(&post(
+        "/v1/solve",
+        &format!(r#"{{"instance": {SMALL}, "algo": "linear", "placements": false}}"#),
+    ));
+    assert_eq!(plain.body, explicit.body);
+    assert_eq!(
+        (hits(), misses()),
+        (1, 1),
+        "default placements split the key"
+    );
+    // v3 shape: omitted policy ≡ explicit default `"contiguous"`.
+    let topo = app.respond(&post(
+        "/v1/solve",
+        &format!(r#"{{"instance": {SMALL}, "algo": "linear", "topology": "2*2"}}"#),
+    ));
+    assert_eq!(topo.status, 200, "{}", body_text(&topo));
+    assert_eq!((hits(), misses()), (1, 2), "topology must be a fresh key");
+    let topo_explicit = app.respond(&post(
+        "/v1/solve",
+        &format!(
+            r#"{{"instance": {SMALL}, "algo": "linear", "topology": "2*2", "policy": "contiguous"}}"#
+        ),
+    ));
+    assert_eq!(topo.body, topo_explicit.body);
+    assert_eq!((hits(), misses()), (2, 2), "default policy split the key");
+    // Equivalent topology spellings (arity spec vs explicit blocks)
+    // and policy spellings (`packed` vs `packed:node`) share entries.
+    let packed_bare = app.respond(&post(
+        "/v1/solve",
+        &format!(
+            r#"{{"instance": {SMALL}, "algo": "linear", "topology": "2*2", "policy": "packed"}}"#
+        ),
+    ));
+    let packed_named = app.respond(&post(
+        "/v1/solve",
+        &format!(
+            r#"{{"instance": {SMALL}, "algo": "linear", "topology": "0-1|2-3;0|1|2|3", "policy": "packed:node"}}"#
+        ),
+    ));
+    assert_eq!(packed_bare.body, packed_named.body);
+    assert_eq!((hits(), misses()), (3, 3), "equivalent v3 spellings split");
+    // And the v2/v3 shapes never collide: the flat response stayed v2.
+    let v: serde_json::Value = serde_json::from_str(&body_text(&plain)).unwrap();
+    assert_eq!(v["schema"].as_u64(), Some(2));
+    let v: serde_json::Value = serde_json::from_str(&body_text(&topo)).unwrap();
+    assert_eq!(v["schema"].as_u64(), Some(3));
+}
+
 #[test]
 fn errors_are_never_cached() {
     let app = cached_app();

@@ -126,7 +126,10 @@ proptest! {
             stream,
             m,
             solver.as_ref(),
-            &StreamOptions { max_batch: Some(cap) },
+            &StreamOptions {
+                max_batch: Some(cap),
+                ..StreamOptions::default()
+            },
             |i, o| {
                 seen[i as usize] += 1;
                 assert!(o.completion >= o.arrival);
