@@ -11,10 +11,15 @@
 #      hierarchy; every job must stay inside one node),
 #   4. cache consistency: POST the same body twice and assert the
 #      responses are byte-identical and /metrics counted a cache hit,
-#   5. run a short closed-loop `moldable-loadgen` burst against both
+#   5. wire-format v4 admission: an over-quota tenant-tagged solve gets
+#      a typed 429 naming the violated rule, the same request under a
+#      generous cap answers 200 with bytes identical to the untagged
+#      reply modulo the schema bump + tenant echo, and /metrics carries
+#      the per-tenant admit/deny counters,
+#   6. run a short closed-loop `moldable-loadgen` burst against both
 #      shards on a repeated-instance (cache-hit) workload and assert
 #      zero errors and sustained throughput,
-#   6. read the fleet-merged /metrics back.
+#   7. read the fleet-merged /metrics back.
 #
 # Usage: ci/service_smoke.sh [BURST_SECONDS] [MIN_RPS]
 # Expects release binaries in target/release (cargo build --release first).
@@ -90,6 +95,49 @@ hits = cache["hits"] + cache["body_hits"]
 assert hits >= 1, f"no cache hit after a repeated body: {cache}"
 print(f"cache consistency ok: identical bytes, {hits} cache hit(s) "
       f"({cache['body_hits']} exact-body, {cache['hits']} canonical)")
+EOF
+
+# Wire-format v4 admission: a tenant-tagged request carrying a quota set
+# far below the instance's demand must get a typed 429 naming the rule;
+# the same request under a generous cap must answer 200 with a body that
+# is the untagged reply plus only the schema bump and the tenant echo.
+python3 - "$ADDR" <<'EOF'
+import json, urllib.error, urllib.request
+addr = __import__("sys").argv[1]
+inst = json.load(open("/tmp/svc_inst.json"))
+
+def post(payload):
+    body = json.dumps(payload).encode()
+    req = urllib.request.Request(f"http://{addr}/v1/solve", data=body, method="POST")
+    with urllib.request.urlopen(req) as resp:
+        return resp.status, json.loads(resp.read())
+
+base = {"instance": inst, "algo": "linear", "eps": "1/4"}
+tight = dict(base, tenant={"user": "smoke"},
+             quotas={"rules": [{"user": "smoke", "max_procs": 1}]})
+try:
+    post(tight)
+    raise SystemExit("over-quota request was admitted")
+except urllib.error.HTTPError as e:
+    assert e.code == 429, f"expected 429, got {e.code}"
+    envelope = json.loads(e.read())["error"]
+    assert envelope["kind"] == "quota-denied", envelope
+    assert "smoke/*/*{procs<=1}" in envelope["detail"], envelope
+
+generous = dict(base, tenant={"user": "smoke"},
+                quotas={"rules": [{"user": "smoke", "max_procs": inst["m"]}]})
+status, tagged = post(generous)
+assert status == 200 and tagged["schema"] == 4, tagged
+assert tagged["tenant"] == {"user": "smoke", "project": "default", "class": "default"}
+_, untagged = post(base)
+stripped = {k: v for k, v in tagged.items() if k not in ("schema", "tenant")}
+assert stripped == {k: v for k, v in untagged.items() if k != "schema"}, \
+    "tenant tag changed the solve beyond schema+echo"
+with urllib.request.urlopen(f"http://{addr}/metrics") as resp:
+    tenants = json.load(resp)["tenants"]
+row = tenants["smoke/default/default"]
+assert row["admitted"] >= 1 and row["denied"] >= 1, tenants
+print(f"admission ok: typed 429 then identical 200; per-tenant counters {row}")
 EOF
 
 # Repeated-instance burst (--count 1): after the first request every body

@@ -76,7 +76,7 @@ fn bench_service(c: &mut Criterion) {
         // bytes, no owned Value tree (what the service actually runs).
         group.bench_with_input(BenchmarkId::new("parse-zerocopy", n), &body, |b, body| {
             b.iter(|| {
-                moldable_svc::request::parse_solve_body(body.as_bytes(), &eps)
+                moldable_svc::wire::parse_solve_body(body.as_bytes(), &eps)
                     .expect("body is valid")
             })
         });

@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moldable_core::ratio::Ratio;
 use moldable_sched::solver::solver_by_name;
-use moldable_sim::{run_epochs_solver, run_stream, ArrivingJob, StreamJob, StreamOptions};
+use moldable_sim::{
+    run_epochs_solver, run_stream, ArrivingJob, FairshareOptions, StreamJob, StreamOptions,
+};
 use moldable_workloads::{LublinGenerator, LublinParams};
 use std::time::Duration;
 
@@ -44,6 +46,28 @@ fn bench_stream_sim(c: &mut Criterion) {
             })
         });
     }
+
+    // Fair-share on the same stream: the priority-ordered snapshot
+    // (decayed-usage weights + partial sort) instead of the FIFO
+    // prefix. The CI gate holds this within 1.5x of the FIFO row
+    // relationally, so the weight iteration can never quietly become
+    // the stream bottleneck.
+    let fair_opts = StreamOptions {
+        max_batch: Some(8192),
+        fairshare: Some(FairshareOptions::default()),
+        ..StreamOptions::default()
+    };
+    let fair_params = LublinParams::new(256, 8_000, 7);
+    group.bench_with_input(
+        BenchmarkId::new("event-engine-fairshare", 8_000),
+        &fair_params,
+        |b, p| {
+            b.iter(|| {
+                run_stream(stream_of(p), p.m, solver.as_ref(), &fair_opts, |_, _| {})
+                    .expect("generated streams are sorted")
+            })
+        },
+    );
 
     // Head-to-head at a size the epoch scheme comfortably materializes.
     let params = LublinParams::new(256, 4_000, 7);

@@ -34,6 +34,7 @@ pub mod hierarchy;
 pub mod instance;
 pub mod io;
 pub mod job;
+pub mod metrics;
 pub mod monotone;
 pub mod oracle;
 pub mod placement;
@@ -51,6 +52,7 @@ pub use hierarchy::{FragmentationReport, Level, LevelFragmentation, Topology, To
 pub use instance::Instance;
 pub use io::{CurveSpec, InstanceSpec};
 pub use job::Job;
+pub use metrics::RunningSum;
 pub use oracle::{counting_instance, CountingOracle, OracleCounter};
 pub use placement::{
     PlacedJob, Placement, PlacementError, PlacementIntervalMismatch, PlacementOverlap,

@@ -1,0 +1,170 @@
+//! Bounded-precision accumulators shared by the simulator's fairness
+//! reports and the scheduler's fair-share engine.
+//!
+//! [`RunningSum`] used to live in `moldable-sim::metrics`; it moved here
+//! so `moldable-sched` (which `moldable-sim` depends on — the dependency
+//! cannot point the other way) can accumulate decayed per-tenant usage
+//! on the same drift-bounded substrate. `moldable_sim::metrics` keeps a
+//! re-export, so existing imports are unaffected.
+
+use crate::ratio::Ratio;
+
+/// Dyadic grid every incoming term is rounded down onto: denominators
+/// divide `2^48`, so fractional parts of any stream length add exactly
+/// (the lcm of dyadic denominators never exceeds the grid).
+const TERM_BITS: u32 = 48;
+
+/// How often [`RunningSum`] normalizes the accumulator: every
+/// `NORMALIZE_EVERY` pushes the fractional part's integer carry moves
+/// into the wide integer lane. Between normalizations the fraction grows
+/// by less than one per push, so its numerator stays below
+/// `2^(48+12) + 2^48` — nowhere near `u128`.
+const NORMALIZE_EVERY: u64 = 1 << 12;
+
+/// Value threshold past which `whole + frac` no longer fits next to a
+/// 48-bit denominator in a `u128` numerator; beyond it [`RunningSum`]
+/// reports the integer part alone (relative error under `2^-78`).
+const EXACT_WHOLE_LIMIT: u128 = 1 << 78;
+
+/// Bounded-precision running sum over exact rationals.
+///
+/// Each incoming term is rounded **down** onto the `2^-48` dyadic grid
+/// and split: its integer part accumulates in a plain `u128` lane, its
+/// fraction adds *exactly* to a dyadic sub-one accumulator whose integer
+/// carry is folded back into the wide lane at a fixed cadence
+/// (`NORMALIZE_EVERY` = 2¹² pushes). The running sum is never re-rounded per add,
+/// so truncation does not compound with stream length: total drift is at
+/// most the sum of per-term roundings, `Σ xᵢ·2⁻⁴⁸`, plus — only once the
+/// total exceeds `2^78` — a dropped fraction under one unit (relative
+/// `< 2^-78`). The old `accumulate` helper instead re-rounded the
+/// full running sum on every add, which re-quantized an ever-growing
+/// value onto an ever-coarser grid once totals left the 78-bit range —
+/// error compounding with stream length — and overflowed the `u128`
+/// numerator outright on work-weighted flows of `10^4`-job streams.
+#[derive(Clone, Debug)]
+pub struct RunningSum {
+    /// Integer lane: `⌊Σ⌋` up to the pending fractional carry.
+    whole: u128,
+    /// Fractional lane: dyadic (denominator divides `2^48`), kept below
+    /// `NORMALIZE_EVERY + 1` between cadence normalizations.
+    frac: Ratio,
+    count: u64,
+}
+
+impl Default for RunningSum {
+    fn default() -> Self {
+        RunningSum {
+            whole: 0,
+            frac: Ratio::zero(),
+            count: 0,
+        }
+    }
+}
+
+impl RunningSum {
+    /// An empty sum.
+    pub fn new() -> Self {
+        RunningSum::default()
+    }
+
+    /// Add one term (rounded down to the term grid; see the type docs).
+    pub fn push(&mut self, x: &Ratio) {
+        // First cap the denominator (`round_down_bits` leaves small
+        // denominators untouched), then snap the sub-one remainder onto
+        // the dyadic grid *exactly* — `k/2^48 ≤ frac` — so fractional
+        // lanes share one denominator family and add without lcm growth.
+        let x = x.round_down_bits(TERM_BITS);
+        let w = x.floor();
+        self.whole += w;
+        let f = x.sub(&Ratio::from_int(w));
+        debug_assert!(f.num() < f.den() && f.den() <= 1 << TERM_BITS);
+        let dyadic = Ratio::new((f.num() << TERM_BITS) / f.den(), 1u128 << TERM_BITS);
+        self.frac = self.frac.add(&dyadic);
+        self.count += 1;
+        if self.count.is_multiple_of(NORMALIZE_EVERY) {
+            self.carry();
+        }
+    }
+
+    /// Fold the fractional lane's integer part into the wide lane.
+    fn carry(&mut self) {
+        let w = self.frac.floor();
+        if w > 0 {
+            self.whole += w;
+            self.frac = self.frac.sub(&Ratio::from_int(w));
+        }
+    }
+
+    /// The accumulated sum. Exact over the rounded terms while the total
+    /// is below `2^78`; beyond that the sub-one fraction is dropped
+    /// (relative error `< 2^-78` — the `u128` numerator cannot carry a
+    /// 48-bit denominator next to a larger value).
+    pub fn value(&self) -> Ratio {
+        let whole = self.whole + self.frac.floor();
+        if whole < EXACT_WHOLE_LIMIT {
+            let frac = self.frac.sub(&Ratio::from_int(self.frac.floor()));
+            Ratio::from_int(whole).add(&frac)
+        } else {
+            Ratio::from_int(whole)
+        }
+    }
+
+    /// Number of terms pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean over the pushed terms; zero for an empty sum.
+    pub fn mean(&self) -> Ratio {
+        if self.count == 0 {
+            Ratio::zero()
+        } else {
+            self.value().div_int(self.count as u128)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_sum_drift_bounded_on_1e5_term_sum() {
+        // Regression for the old `accumulate` helper, which re-rounded the
+        // *running sum* on every add: total drift must stay within the sum
+        // of per-term roundings, n·2⁻⁴⁸, not compound with stream length.
+        let n: u128 = 100_000;
+        let term = Ratio::new(1, 3); // non-dyadic: every push rounds
+        let mut acc = RunningSum::new();
+        for _ in 0..n {
+            acc.push(&term);
+        }
+        assert_eq!(acc.count(), n as u64);
+        let exact = Ratio::new(n, 3);
+        assert!(acc.value() <= exact, "rounding is downward");
+        let drift = exact.sub(&acc.value());
+        let bound = Ratio::new(n, 1u128 << 48);
+        assert!(drift <= bound, "drift {} exceeds n·2⁻⁴⁸ = {}", drift, bound);
+        // Mean inherits the bound.
+        let mean_drift = Ratio::new(1, 3).sub(&acc.mean());
+        assert!(mean_drift <= Ratio::new(1, 1u128 << 48));
+    }
+
+    #[test]
+    fn running_sum_survives_huge_totals() {
+        // Work-weighted flow sums on million-job traces leave the range
+        // where value·2⁴⁸ fits in u128; the cadence renormalization must
+        // keep adding (no overflow panic) with bounded relative drift.
+        let n: u128 = 20_000;
+        let term = Ratio::from_int(1u128 << 70).add(&Ratio::new(1, 3));
+        let mut acc = RunningSum::new();
+        for _ in 0..n {
+            acc.push(&term);
+        }
+        let exact = Ratio::new(n * 3 * (1u128 << 70) + n, 3);
+        let drift = exact.sub(&acc.value());
+        // Per-term roundings ≤ Σxᵢ·2⁻⁴⁸ plus a handful of cadence
+        // re-griddings of the (huge) total: comfortably under 10⁻⁹.
+        assert!(drift.div(&exact) <= Ratio::new(1, 1_000_000_000));
+    }
+}

@@ -35,7 +35,11 @@
 //!   snapshots;
 //! * [`batch`] — the batch-execution engine running solvers across
 //!   instances (or solver rosters across one instance) with
-//!   deterministic work-stealing.
+//!   deterministic work-stealing;
+//! * [`quotas`] / [`fairshare`] — the multi-tenant layer: windowed
+//!   admission quotas keyed on `(user, project, class)` with typed
+//!   denials, and decayed fair-share usage feeding iteratively
+//!   normalized priority weights.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,6 +54,7 @@ pub mod convolve;
 pub mod dual;
 pub mod estimator;
 pub mod exact;
+pub mod fairshare;
 pub mod fptas_large_m;
 pub mod improved;
 pub mod list_scheduling;
@@ -57,6 +62,7 @@ pub mod mrt;
 pub mod place;
 pub mod policy;
 pub mod ptas;
+pub mod quotas;
 pub mod rounding;
 pub mod schedule;
 pub mod shelves;
@@ -72,12 +78,14 @@ pub use conv_fptas::{ConvDual, ConvFptasSolver};
 pub use convolve::{maxplus_blocked, maxplus_ref, BLOCK};
 pub use dual::{approximate, approximate_view, ApproxResult, DualAlgorithm};
 pub use estimator::{estimate, estimate_view, Estimate};
+pub use fairshare::Fairshare;
 pub use fptas_large_m::{fptas_schedule, FptasLargeM};
 pub use improved::{ImprovedDual, Variant};
 pub use mrt::MrtDual;
 pub use place::{place_contiguous, place_with};
 pub use policy::PlacementPolicy;
 pub use ptas::{ptas_schedule, ptas_schedule_view, PtasBranch, PtasResult};
+pub use quotas::{Demand, QuotaDenial, QuotaEngine, QuotaRule, QuotaSet, Tenant};
 pub use schedule::{Assignment, Schedule};
 pub use solver::{solver_by_name, MakespanSolver, SolveOutcome, UnknownSolver, SOLVER_NAMES};
 pub use validate::{validate, validate_with_makespan, Overcommit, ScheduleError};

@@ -1,0 +1,475 @@
+//! Windowed admission quotas keyed on `(user, project, class)`.
+//!
+//! An OAR-style admission layer (ROADMAP direction 3): operators write
+//! [`QuotaRule`]s whose selectors match a [`Tenant`] exactly or by
+//! wildcard, and whose bounds cap three resources —
+//!
+//! * **concurrent processors** (`procs<=N`): the sum of `m` over solves
+//!   in flight under the rule,
+//! * **concurrent jobs** (`jobs<=N`): solves in flight under the rule,
+//! * **resource-seconds per sliding window** (`rs<=N`): admitted
+//!   sequential work (`Σ t_j(1)`) charged at admission time and expired
+//!   `window` ticks later.
+//!
+//! [`QuotaEngine::admit`] evaluates every rule in `O(rules)` — there is
+//! no index; rule sets are operator-sized, not request-sized — and
+//! either charges the demand against all matching rules atomically or
+//! returns a typed [`QuotaDenial`] naming the violated rule verbatim.
+//! In-flight charges are returned via the [`Ticket`] handed to
+//! [`QuotaEngine::release`]; window charges expire on their own as the
+//! clock advances.
+//!
+//! Ticks are an abstract `u64` clock: the service feeds wall-clock
+//! seconds, the tests logical event times. The engine never reads time
+//! itself.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A tenant identity: who is asking. Parsed from `user[/project[/class]]`
+/// (CLI) or a JSON `tenant` block (service); omitted parts default to
+/// `"default"`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tenant {
+    /// Submitting user.
+    pub user: String,
+    /// Accounting project.
+    pub project: String,
+    /// Service class (e.g. `batch`, `interactive`).
+    pub class: String,
+}
+
+impl Tenant {
+    /// Build a tenant from explicit parts.
+    pub fn new(user: &str, project: &str, class: &str) -> Self {
+        Tenant {
+            user: user.to_string(),
+            project: project.to_string(),
+            class: class.to_string(),
+        }
+    }
+
+    /// Parse the CLI grammar `user[/project[/class]]`; missing parts
+    /// default to `"default"`. Empty parts (and a fourth segment) are
+    /// rejected so typos do not silently collapse identities.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split('/').collect();
+        if parts.len() > 3 || parts.iter().any(|p| p.is_empty()) {
+            return Err(format!(
+                "tenant must be `user[/project[/class]]` with non-empty parts, got `{spec}`"
+            ));
+        }
+        Ok(Tenant {
+            user: parts[0].to_string(),
+            project: parts.get(1).unwrap_or(&"default").to_string(),
+            class: parts.get(2).unwrap_or(&"default").to_string(),
+        })
+    }
+}
+
+impl fmt::Display for Tenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.user, self.project, self.class)
+    }
+}
+
+/// One admission rule: selectors (`None` = wildcard, matches any value)
+/// plus up to three bounds. A rule with no bounds matches but never
+/// denies; a bound of `0` denies every matching request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuotaRule {
+    /// Match this user only (`None` = any).
+    pub user: Option<String>,
+    /// Match this project only (`None` = any).
+    pub project: Option<String>,
+    /// Match this class only (`None` = any).
+    pub class: Option<String>,
+    /// Cap on processors held by in-flight solves under this rule.
+    pub max_procs: Option<u64>,
+    /// Cap on in-flight solves under this rule.
+    pub max_jobs: Option<u64>,
+    /// Cap on resource-seconds admitted per sliding window.
+    pub max_resource_seconds: Option<u128>,
+}
+
+impl QuotaRule {
+    /// A rule matching everything and bounding nothing.
+    pub fn any() -> Self {
+        QuotaRule {
+            user: None,
+            project: None,
+            class: None,
+            max_procs: None,
+            max_jobs: None,
+            max_resource_seconds: None,
+        }
+    }
+
+    /// Does this rule apply to `tenant`?
+    pub fn matches(&self, tenant: &Tenant) -> bool {
+        self.user.as_deref().is_none_or(|u| u == tenant.user)
+            && self.project.as_deref().is_none_or(|p| p == tenant.project)
+            && self.class.as_deref().is_none_or(|c| c == tenant.class)
+    }
+}
+
+impl fmt::Display for QuotaRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let star = |s: &Option<String>| s.clone().unwrap_or_else(|| "*".to_string());
+        write!(
+            f,
+            "{}/{}/{}",
+            star(&self.user),
+            star(&self.project),
+            star(&self.class)
+        )?;
+        let mut bounds = Vec::new();
+        if let Some(p) = self.max_procs {
+            bounds.push(format!("procs<={p}"));
+        }
+        if let Some(j) = self.max_jobs {
+            bounds.push(format!("jobs<={j}"));
+        }
+        if let Some(rs) = self.max_resource_seconds {
+            bounds.push(format!("rs<={rs}"));
+        }
+        write!(f, "{{{}}}", bounds.join(","))
+    }
+}
+
+/// A rule set plus the sliding-window length its `rs` bounds run over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuotaSet {
+    /// Window length in ticks for every `max_resource_seconds` bound.
+    pub window: u64,
+    /// The rules, evaluated in order on every admission.
+    pub rules: Vec<QuotaRule>,
+}
+
+impl QuotaSet {
+    /// An empty set (admits everything).
+    pub fn empty() -> Self {
+        QuotaSet {
+            window: 0,
+            rules: Vec::new(),
+        }
+    }
+}
+
+/// What one request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Demand {
+    /// Processors the solve would hold (the instance's `m`).
+    pub procs: u64,
+    /// Jobs the request admits (one per solve).
+    pub jobs: u64,
+    /// Sequential work `Σ t_j(1)` charged to the window.
+    pub resource_seconds: u128,
+}
+
+/// Which bound a denial tripped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuotaBound {
+    /// `max_procs` — concurrent processors.
+    Procs,
+    /// `max_jobs` — concurrent jobs.
+    Jobs,
+    /// `max_resource_seconds` — windowed resource-seconds.
+    ResourceSeconds,
+}
+
+impl fmt::Display for QuotaBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QuotaBound::Procs => "procs",
+            QuotaBound::Jobs => "jobs",
+            QuotaBound::ResourceSeconds => "resource-seconds",
+        })
+    }
+}
+
+/// Typed admission failure: the rule that denied (rendered verbatim in
+/// [`Display`](fmt::Display)), the bound it tripped, and the arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuotaDenial {
+    /// The violated rule, as written.
+    pub rule: QuotaRule,
+    /// Which of its bounds tripped.
+    pub bound: QuotaBound,
+    /// The bound's cap.
+    pub limit: u128,
+    /// Usage already held under the rule.
+    pub in_use: u128,
+    /// What the request asked for.
+    pub requested: u128,
+}
+
+impl fmt::Display for QuotaDenial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quota rule {} denies {}: in use {} + requested {} > {}",
+            self.rule, self.bound, self.in_use, self.requested, self.limit
+        )
+    }
+}
+
+/// Receipt for an admitted request: which rules were charged and by how
+/// much. Hand it back to [`QuotaEngine::release`] when the solve
+/// completes to free the in-flight counters (window charges expire by
+/// clock, not by release).
+#[derive(Clone, Debug)]
+pub struct Ticket {
+    rules: Vec<usize>,
+    procs: u64,
+    jobs: u64,
+}
+
+/// Per-rule live usage.
+#[derive(Clone, Debug, Default)]
+struct RuleUsage {
+    procs_in_flight: u64,
+    jobs_in_flight: u64,
+    window_rs: u128,
+    /// `(admission tick, resource-seconds)` charges, oldest first.
+    window: VecDeque<(u64, u128)>,
+}
+
+/// The admission engine: a [`QuotaSet`] plus live per-rule usage.
+#[derive(Clone, Debug)]
+pub struct QuotaEngine {
+    set: QuotaSet,
+    usage: Vec<RuleUsage>,
+}
+
+impl QuotaEngine {
+    /// Build an engine over a rule set.
+    pub fn new(set: QuotaSet) -> Self {
+        let usage = vec![RuleUsage::default(); set.rules.len()];
+        QuotaEngine { set, usage }
+    }
+
+    /// The rule set this engine enforces.
+    pub fn set(&self) -> &QuotaSet {
+        &self.set
+    }
+
+    /// Drop window charges older than `window` ticks before `now`.
+    fn expire(&mut self, now: u64) {
+        let window = self.set.window;
+        for u in &mut self.usage {
+            while let Some(&(t, rs)) = u.window.front() {
+                if t.saturating_add(window) <= now {
+                    u.window.pop_front();
+                    u.window_rs -= rs;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Check `demand` for `tenant` against every rule and, if all pass,
+    /// charge it (the check-then-charge pair is atomic: a denial charges
+    /// nothing). `O(rules)`. The denial is boxed so the common Ok path
+    /// moves a pointer, not the rule text.
+    pub fn admit(
+        &mut self,
+        tenant: &Tenant,
+        demand: &Demand,
+        now: u64,
+    ) -> Result<Ticket, Box<QuotaDenial>> {
+        self.expire(now);
+        let mut matched = Vec::new();
+        for (i, rule) in self.set.rules.iter().enumerate() {
+            if !rule.matches(tenant) {
+                continue;
+            }
+            let u = &self.usage[i];
+            if let Some(cap) = rule.max_procs {
+                if u.procs_in_flight as u128 + demand.procs as u128 > cap as u128 {
+                    return Err(Box::new(QuotaDenial {
+                        rule: rule.clone(),
+                        bound: QuotaBound::Procs,
+                        limit: cap as u128,
+                        in_use: u.procs_in_flight as u128,
+                        requested: demand.procs as u128,
+                    }));
+                }
+            }
+            if let Some(cap) = rule.max_jobs {
+                if u.jobs_in_flight as u128 + demand.jobs as u128 > cap as u128 {
+                    return Err(Box::new(QuotaDenial {
+                        rule: rule.clone(),
+                        bound: QuotaBound::Jobs,
+                        limit: cap as u128,
+                        in_use: u.jobs_in_flight as u128,
+                        requested: demand.jobs as u128,
+                    }));
+                }
+            }
+            if let Some(cap) = rule.max_resource_seconds {
+                if u.window_rs.saturating_add(demand.resource_seconds) > cap {
+                    return Err(Box::new(QuotaDenial {
+                        rule: rule.clone(),
+                        bound: QuotaBound::ResourceSeconds,
+                        limit: cap,
+                        in_use: u.window_rs,
+                        requested: demand.resource_seconds,
+                    }));
+                }
+            }
+            matched.push(i);
+        }
+        for &i in &matched {
+            let u = &mut self.usage[i];
+            u.procs_in_flight += demand.procs;
+            u.jobs_in_flight += demand.jobs;
+            if demand.resource_seconds > 0 {
+                u.window_rs += demand.resource_seconds;
+                u.window.push_back((now, demand.resource_seconds));
+            }
+        }
+        Ok(Ticket {
+            rules: matched,
+            procs: demand.procs,
+            jobs: demand.jobs,
+        })
+    }
+
+    /// Free the in-flight counters an admission charged. Window charges
+    /// are *not* released — they expire `window` ticks after admission.
+    pub fn release(&mut self, ticket: &Ticket) {
+        for &i in &ticket.rules {
+            let u = &mut self.usage[i];
+            u.procs_in_flight -= ticket.procs;
+            u.jobs_in_flight -= ticket.jobs;
+        }
+    }
+
+    /// Live usage under rule `i` as `(procs in flight, jobs in flight,
+    /// window resource-seconds)`, after expiring stale window charges.
+    pub fn usage(&mut self, i: usize, now: u64) -> (u64, u64, u128) {
+        self.expire(now);
+        let u = &self.usage[i];
+        (u.procs_in_flight, u.jobs_in_flight, u.window_rs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(user: Option<&str>, procs: Option<u64>, jobs: Option<u64>) -> QuotaRule {
+        QuotaRule {
+            user: user.map(String::from),
+            project: None,
+            class: None,
+            max_procs: procs,
+            max_jobs: jobs,
+            max_resource_seconds: None,
+        }
+    }
+
+    #[test]
+    fn wildcards_match_and_denials_name_the_rule() {
+        let set = QuotaSet {
+            window: 10,
+            rules: vec![
+                rule(Some("alice"), Some(64), None),
+                rule(None, None, Some(2)),
+            ],
+        };
+        let mut eng = QuotaEngine::new(set);
+        let alice = Tenant::parse("alice").unwrap();
+        let bob = Tenant::parse("bob/render/batch").unwrap();
+        let d = Demand {
+            procs: 40,
+            jobs: 1,
+            resource_seconds: 5,
+        };
+        let t1 = eng.admit(&alice, &d, 0).unwrap();
+        // Second alice admit trips her procs cap; the denial renders the
+        // rule and arithmetic verbatim.
+        let denial = eng.admit(&alice, &d, 0).unwrap_err();
+        assert_eq!(denial.bound, QuotaBound::Procs);
+        assert_eq!(
+            denial.to_string(),
+            "quota rule alice/*/*{procs<=64} denies procs: in use 40 + requested 40 > 64"
+        );
+        // Bob only sees the wildcard jobs rule; alice holds one of its
+        // two slots.
+        eng.admit(&bob, &d, 0).unwrap();
+        let denial = eng.admit(&bob, &d, 0).unwrap_err();
+        assert_eq!(denial.bound, QuotaBound::Jobs);
+        assert_eq!(denial.rule.to_string(), "*/*/*{jobs<=2}");
+        // Releasing alice frees both her rule and the wildcard.
+        eng.release(&t1);
+        eng.admit(&bob, &d, 0).unwrap();
+    }
+
+    #[test]
+    fn window_charges_expire_by_clock_not_release() {
+        let set = QuotaSet {
+            window: 10,
+            rules: vec![QuotaRule {
+                max_resource_seconds: Some(100),
+                ..QuotaRule::any()
+            }],
+        };
+        let mut eng = QuotaEngine::new(set);
+        let t = Tenant::new("u", "p", "c");
+        let d = Demand {
+            procs: 1,
+            jobs: 1,
+            resource_seconds: 60,
+        };
+        let ticket = eng.admit(&t, &d, 0).unwrap();
+        eng.release(&ticket);
+        // Still inside the window: the released solve's rs still counts.
+        let denial = eng.admit(&t, &d, 5).unwrap_err();
+        assert_eq!(denial.bound, QuotaBound::ResourceSeconds);
+        assert!(denial.to_string().contains("rs<=100"));
+        // At tick 10 the charge from tick 0 has aged out.
+        eng.admit(&t, &d, 10).unwrap();
+        assert_eq!(eng.usage(0, 10).2, 60);
+    }
+
+    #[test]
+    fn denial_charges_nothing() {
+        // Rule 0 admits, rule 1 denies: rule 0's counters must be
+        // untouched afterwards.
+        let set = QuotaSet {
+            window: 10,
+            rules: vec![rule(None, Some(1000), None), rule(None, None, Some(0))],
+        };
+        let mut eng = QuotaEngine::new(set);
+        let t = Tenant::new("u", "p", "c");
+        let d = Demand {
+            procs: 8,
+            jobs: 1,
+            resource_seconds: 0,
+        };
+        assert!(eng.admit(&t, &d, 0).is_err());
+        assert_eq!(eng.usage(0, 0), (0, 0, 0));
+    }
+
+    #[test]
+    fn tenant_grammar_round_trips() {
+        assert_eq!(
+            Tenant::parse("alice").unwrap().to_string(),
+            "alice/default/default"
+        );
+        assert_eq!(
+            Tenant::parse("alice/phys").unwrap().to_string(),
+            "alice/phys/default"
+        );
+        assert_eq!(
+            Tenant::parse("alice/phys/batch").unwrap().to_string(),
+            "alice/phys/batch"
+        );
+        assert!(Tenant::parse("").is_err());
+        assert!(Tenant::parse("a//c").is_err());
+        assert!(Tenant::parse("a/b/c/d").is_err());
+    }
+}

@@ -67,6 +67,7 @@ pub use metrics::{
 };
 pub use online::{online_list_schedule, OnlineOutcome};
 pub use stream::{
-    run_stream, LevelTrend, StreamFragmentation, StreamJob, StreamOptions, StreamOutcome,
+    run_stream, FairshareOptions, LevelTrend, StreamFragmentation, StreamJob, StreamOptions,
+    StreamOutcome,
 };
 pub use trace::{ProcessorTimeline, Segment, Trace};

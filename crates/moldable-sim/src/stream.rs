@@ -41,6 +41,7 @@ use moldable_core::ratio::Ratio;
 use moldable_core::speedup::SpeedupCurve;
 use moldable_core::types::{JobId, Procs, Time};
 use moldable_core::view::JobView;
+use moldable_sched::fairshare::Fairshare;
 use moldable_sched::place_with;
 use moldable_sched::solver::MakespanSolver;
 use moldable_sched::PlacementPolicy;
@@ -99,6 +100,31 @@ pub struct StreamOptions {
     /// Placement policy for the per-epoch lowering (ignored without a
     /// topology). Level indices refer to `topology`'s levels.
     pub policy: PlacementPolicy,
+    /// Fair-share scheduling (`None` = FIFO, the PR 9 behavior — every
+    /// byte of the outcome is unchanged). When set, each re-plan
+    /// snapshot takes the `max_batch` *highest-priority* pending jobs
+    /// instead of the FIFO prefix: completed work decays per user with
+    /// the configured half-life ([`Fairshare`]), and users with less
+    /// decayed usage win the iteratively normalized weight competition.
+    /// Ties (equal weights — in particular any single-user stream)
+    /// fall back to arrival order, reproducing FIFO exactly.
+    pub fairshare: Option<FairshareOptions>,
+}
+
+/// Fair-share knobs of the streaming engine.
+#[derive(Clone, Debug)]
+pub struct FairshareOptions {
+    /// Half-life of the decayed per-user usage, in stream clock ticks.
+    pub half_life: u64,
+}
+
+impl Default for FairshareOptions {
+    fn default() -> Self {
+        // One "day" of the integer tick clock at the Lublin generator's
+        // second-scale arrivals — long enough that a burst stays visible
+        // across many epochs, short enough that history fades.
+        FairshareOptions { half_life: 86_400 }
+    }
 }
 
 /// What the streaming engine reports after draining a source. Everything
@@ -281,6 +307,11 @@ where
         }
         None => None,
     };
+    let mut fairshare: Option<Fairshare<i64>> =
+        opts.fairshare.as_ref().map(|f| Fairshare::new(f.half_life));
+    // The fair-share clock: integer ticks, saturating (the decay
+    // generation only needs the floor of the rational timestamp).
+    let tick = |t: &Ratio| -> u64 { t.floor().min(u64::MAX as u128) as u64 };
     let mut src = source.into_iter();
     let mut heap: BinaryHeap<StreamEvent> = BinaryHeap::new();
     let mut seq: u64 = 0;
@@ -340,12 +371,21 @@ where
                     weight: d.weight,
                     placed: d.placed,
                 };
+                if let Some(fs) = &mut fairshare {
+                    // Charge the job's sequential work at completion:
+                    // future re-plans see the user's history decayed from
+                    // here.
+                    fs.charge(d.user, tick(&clock), &Ratio::from_int(d.weight));
+                }
                 fairness.observe(&obs);
                 sink(d.index, &obs);
             }
             RANK_ARRIVAL => {
                 let (index, job) = lookahead.take().expect("arrival without look-ahead");
                 debug_assert_eq!(Ratio::from(job.arrival), clock);
+                if let Some(fs) = &mut fairshare {
+                    fs.touch(job.user);
+                }
                 pending.push_back((index, job));
                 peak_pending = peak_pending.max(pending.len());
                 jobs += 1;
@@ -382,12 +422,57 @@ where
                     // trigger — the clock jump of the epoch scheme.
                     continue;
                 }
-                // Snapshot a bounded FIFO prefix of the pending queue and
-                // plan it as a fresh offline instance.
+                // Snapshot a bounded prefix of the pending queue and
+                // plan it as a fresh offline instance: the FIFO prefix,
+                // or — under fair-share — the highest-weight jobs (ties
+                // by arrival, so equal weights reproduce FIFO).
                 let take = opts
                     .max_batch
                     .map_or(pending.len(), |b| b.max(1).min(pending.len()));
-                let batch: Vec<(u64, StreamJob)> = pending.drain(..take).collect();
+                let batch: Vec<(u64, StreamJob)> = match &fairshare {
+                    None => pending.drain(..take).collect(),
+                    Some(fs) => {
+                        let weights = fs.weights(tick(&clock));
+                        // Cache each pending job's weight once (the
+                        // selection compares O(P log P) times) and pick
+                        // the top `take` by O(P) selection rather than a
+                        // full sort — the comparator is a total order
+                        // (ties broken by the unique arrival index), so
+                        // the chosen *set* is exactly the sorted
+                        // prefix's, and the batch is rebuilt in arrival
+                        // order below anyway.
+                        let cached: Vec<f64> = pending
+                            .iter()
+                            .map(|(_, sj)| weights.get(&sj.user).copied().unwrap_or(0.0))
+                            .collect();
+                        let mut order: Vec<usize> = (0..pending.len()).collect();
+                        if take < order.len() {
+                            order.select_nth_unstable_by(take - 1, |&a, &b| {
+                                cached[b]
+                                    .total_cmp(&cached[a])
+                                    .then(pending[a].0.cmp(&pending[b].0))
+                            });
+                        }
+                        let mut chosen = vec![false; pending.len()];
+                        for &i in &order[..take] {
+                            chosen[i] = true;
+                        }
+                        // Keep the batch itself in arrival order (the
+                        // planner treats it as a set; arrival order keeps
+                        // the single-user case bit-identical to FIFO).
+                        let mut batch = Vec::with_capacity(take);
+                        let mut rest = VecDeque::with_capacity(pending.len() - take);
+                        for (i, item) in pending.drain(..).enumerate() {
+                            if chosen[i] {
+                                batch.push(item);
+                            } else {
+                                rest.push_back(item);
+                            }
+                        }
+                        pending = rest;
+                        batch
+                    }
+                };
                 let planned: Vec<Job> = batch
                     .iter()
                     .enumerate()
@@ -727,6 +812,87 @@ mod tests {
         assert_eq!(out.makespan, plain.makespan);
         assert_eq!(out.epochs, plain.epochs);
         assert!(plain.fragmentation.is_none());
+    }
+
+    #[test]
+    fn single_user_fairshare_reproduces_fifo_exactly() {
+        // One tenant ⇒ every weight ties ⇒ arrival-order selection: the
+        // fair-share engine must match FIFO completion-for-completion.
+        let spec: Vec<(u64, u64)> = (0..40).map(|i| (i / 8, (i % 5) + 1)).collect();
+        let stream = jobs(&spec);
+        let fifo = completions(&stream, 4, &StreamOptions::default());
+        let fair = completions(
+            &stream,
+            4,
+            &StreamOptions {
+                max_batch: Some(3),
+                fairshare: Some(FairshareOptions { half_life: 10 }),
+                ..StreamOptions::default()
+            },
+        );
+        let fifo_bounded = completions(
+            &stream,
+            4,
+            &StreamOptions {
+                max_batch: Some(3),
+                ..StreamOptions::default()
+            },
+        );
+        assert_eq!(fair, fifo_bounded);
+        // Unbounded batches are FIFO-equivalent under any policy: the
+        // whole pending set is planned either way.
+        let fair_unbounded = completions(
+            &stream,
+            4,
+            &StreamOptions {
+                fairshare: Some(FairshareOptions::default()),
+                ..StreamOptions::default()
+            },
+        );
+        assert_eq!(fair_unbounded, fifo);
+    }
+
+    #[test]
+    fn fairshare_promotes_the_light_user_past_a_monster_burst() {
+        // User 0 dumps 8 long jobs at t=0; user 1's short job arrives at
+        // t=1. With max_batch=1 FIFO drains user 0's whole burst first;
+        // fair-share lets user 1 jump the queue as soon as user 0 has
+        // history.
+        let mut stream: Vec<StreamJob> = (0..8)
+            .map(|_| StreamJob {
+                curve: SpeedupCurve::Constant(10),
+                arrival: 0,
+                user: 0,
+            })
+            .collect();
+        stream.push(StreamJob {
+            curve: SpeedupCurve::Constant(1),
+            arrival: 1,
+            user: 1,
+        });
+        let run = |fairshare: Option<FairshareOptions>| {
+            let mut done: Vec<(u64, Ratio)> = Vec::new();
+            run_stream(
+                stream.clone(),
+                1,
+                solver().as_ref(),
+                &StreamOptions {
+                    max_batch: Some(1),
+                    fairshare,
+                    ..StreamOptions::default()
+                },
+                |i, o: &JobObservation| done.push((i, o.completion)),
+            )
+            .unwrap();
+            done.sort_by_key(|&(i, _)| i);
+            done[8].1
+        };
+        let fifo = run(None);
+        let fair = run(Some(FairshareOptions { half_life: 1000 }));
+        assert_eq!(fifo, Ratio::from(81u64), "FIFO serves the burst first");
+        // Fair-share schedules user 1 right after the first long job
+        // completes (the earliest epoch where user 0 has any history).
+        assert_eq!(fair, Ratio::from(11u64));
     }
 
     #[test]

@@ -284,6 +284,7 @@ pub fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -298,16 +299,18 @@ impl Response {
         }
     }
 
-    /// An error response whose body is `{"error": message}` — the message
-    /// travels verbatim (e.g. the [`UnknownSolver`] registry listing).
+    /// An error response carrying the typed envelope
+    /// `{"error": {"kind": …, "detail": …}}`; the kind fixes the HTTP
+    /// status and the detail travels verbatim (e.g. the
+    /// [`UnknownSolver`] registry listing or a
+    /// [`QuotaDenial`](moldable_sched::quotas::QuotaDenial) rendering).
+    /// The CLI prints the identical envelope to stderr.
     ///
     /// [`UnknownSolver`]: moldable_sched::solver::UnknownSolver
-    pub fn error(status: u16, message: &str) -> Response {
-        let body = serde_json::to_string(&serde_json::json!({ "error": message }))
-            .expect("shim serialization is infallible");
+    pub fn error(kind: crate::wire::ErrorKind, detail: &str) -> Response {
         Response {
-            status,
-            body: body.into_bytes(),
+            status: kind.status(),
+            body: kind.envelope(detail).into_bytes(),
         }
     }
 
@@ -504,11 +507,19 @@ mod tests {
     }
 
     #[test]
-    fn error_response_carries_message_verbatim() {
-        let resp = Response::error(400, "unknown solver `x` (valid names: a, b)");
+    fn error_response_carries_the_typed_envelope() {
+        let resp = Response::error(
+            crate::wire::ErrorKind::UnknownSolver,
+            "unknown solver `x` (valid names: a, b)",
+        );
         assert_eq!(resp.status, 400);
-        let text = String::from_utf8(resp.body).unwrap();
-        assert!(text.contains("unknown solver `x` (valid names: a, b)"));
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            r#"{"error":{"kind":"unknown-solver","detail":"unknown solver `x` (valid names: a, b)"}}"#
+        );
+        let resp = Response::error(crate::wire::ErrorKind::QuotaDenied, "over quota");
+        assert_eq!(resp.status, 429);
+        assert_eq!(status_text(429), "Too Many Requests");
     }
 
     #[test]

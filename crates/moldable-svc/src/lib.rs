@@ -13,8 +13,10 @@
 //! * [`http`] — minimal HTTP/1.1 request/response framing (both sides).
 //! * [`app`] — the transport-free router: `POST /v1/solve`,
 //!   `POST /v1/race`, `GET /healthz`, `GET /metrics`.
-//! * [`request`] — the shared [`SolveRequest`]: one struct parsed
-//!   identically from CLI flags and JSON bodies.
+//! * [`wire`] — the versioned wire format: the shared [`SolveRequest`]
+//!   (one struct parsed identically from CLI flags and JSON bodies),
+//!   the v4 tenant/quota grammar, and the typed [`ErrorKind`] envelope
+//!   every front end renders.
 //! * [`server`] — `std::net::TcpListener` + a fixed worker-thread accept
 //!   pool with keep-alive connections and cooperative shutdown.
 //! * [`metrics`] — per-endpoint counters and latency percentiles, with
@@ -38,13 +40,13 @@ pub mod cache;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
-pub mod request;
 pub mod server;
+pub mod wire;
 
 pub use app::{App, AppConfig};
 pub use cache::ResponseCache;
 pub use http::{Request, RequestParts, RequestReader, Response};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use metrics::ServiceMetrics;
-pub use request::SolveRequest;
 pub use server::{Server, ServerConfig, ShardedServer};
+pub use wire::{ErrorKind, SolveRequest};

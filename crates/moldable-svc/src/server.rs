@@ -304,12 +304,16 @@ fn serve_connection(stream: TcpStream, app: &App, stop: &AtomicBool, idle: Durat
                 // connection (the unread bytes make it unusable).
                 let msg =
                     format!("request body of {declared} bytes exceeds the {limit}-byte limit");
-                let _ = Response::error(413, &msg).write_to(&mut writer, false);
+                let _ = Response::error(crate::wire::ErrorKind::PayloadTooLarge, &msg)
+                    .write_to(&mut writer, false);
                 return;
             }
             Err(HttpError::Malformed(what)) => {
-                let _ = Response::error(400, &format!("malformed HTTP: {what}"))
-                    .write_to(&mut writer, false);
+                let _ = Response::error(
+                    crate::wire::ErrorKind::BadRequest,
+                    &format!("malformed HTTP: {what}"),
+                )
+                .write_to(&mut writer, false);
                 return;
             }
             Err(HttpError::Io(_)) => return, // idle timeout or reset

@@ -2,8 +2,9 @@
 //!
 //! The CLI (`solve`/`race` flags) and the HTTP service (`/v1/solve`/
 //! `/v1/race` JSON bodies) accept the same knobs — solver name,
-//! accuracy, whether to return a placement layer, and since wire-format
-//! v3 an optional machine topology plus placement policy. [`SolveRequest`]
+//! accuracy, whether to return a placement layer, since wire-format v3
+//! an optional machine topology plus placement policy, and since v4 an
+//! optional tenant identity plus in-request quota rules. [`SolveRequest`]
 //! is the single source of truth for their names, defaults, and
 //! grammars: [`SolveRequest::from_json`] reads a parsed request body,
 //! [`SolveRequest::from_args`] reads an argv slice, and both produce the
@@ -12,7 +13,7 @@
 //!
 //! The service hot path adds a third parser: [`parse_solve_body`] reads
 //! the whole `{"instance": …, "algo"?, "eps"?, "placements"?,
-//! "topology"?, "policy"?}` body
+//! "topology"?, "policy"?, "tenant"?, "quotas"?}` body
 //! through the serde_json shim's zero-copy [`BorrowedValue`] tree —
 //! string keys and values stay borrowed from the request buffer, and the
 //! `InstanceSpec`/`CurveSpec` shapes are mirrored by hand instead of
@@ -22,11 +23,16 @@
 //! byte-identical `Result`s on arbitrary bodies), never as a fallback.
 
 use crate::app::parse_eps;
+use crate::wire::tenant::{
+    quotas_from_borrowed, quotas_from_json, quotas_from_str, tenant_from_borrowed,
+    tenant_from_json,
+};
 use moldable_core::hierarchy::Topology;
 use moldable_core::instance::Instance;
 use moldable_core::io::{CurveSpec, InstanceSpec};
 use moldable_core::ratio::Ratio;
 use moldable_sched::policy::PlacementPolicy;
+use moldable_sched::quotas::{QuotaSet, Tenant};
 use serde::Deserialize;
 use serde_json::borrow::{from_str_borrowed, BorrowedValue};
 use serde_json::Value;
@@ -56,6 +62,17 @@ pub struct SolveRequest {
     /// only meaningful — and only accepted — alongside a topology.
     /// Defaults to [`PlacementPolicy::Contiguous`].
     pub policy: PlacementPolicy,
+    /// Who is asking (JSON `"tenant"` object / CLI `--tenant SPEC`).
+    /// `None` keeps the tenant-free v2/v3 wire shape byte-for-byte;
+    /// `Some` switches the response to wire-format v4 (a `tenant` echo
+    /// plus `"schema": 4`) and makes the request subject to admission
+    /// control.
+    pub tenant: Option<Tenant>,
+    /// In-request quota rules (JSON `"quotas"` object / CLI
+    /// `--quotas JSON`), checked by the admission layer *in addition*
+    /// to any operator-configured set; only accepted alongside a
+    /// `tenant` (there is nobody to account them to otherwise).
+    pub quotas: Option<QuotaSet>,
 }
 
 impl SolveRequest {
@@ -98,12 +115,22 @@ impl SolveRequest {
                 parse_policy(raw, topology.as_ref())?
             }
         };
+        let tenant = match request.get("tenant") {
+            None => None,
+            Some(v) => Some(tenant_from_json(v)?),
+        };
+        let quotas = match request.get("quotas") {
+            None => None,
+            Some(v) => Some(check_quotas(quotas_from_json(v)?, tenant.as_ref())?),
+        };
         Ok(SolveRequest {
             algo,
             eps,
             placements,
             topology,
             policy,
+            tenant,
+            quotas,
         })
     }
 
@@ -150,18 +177,29 @@ impl SolveRequest {
                 parse_policy(raw, topology.as_ref())?
             }
         };
+        let tenant = match request.get("tenant") {
+            None => None,
+            Some(v) => Some(tenant_from_borrowed(v)?),
+        };
+        let quotas = match request.get("quotas") {
+            None => None,
+            Some(v) => Some(check_quotas(quotas_from_borrowed(v)?, tenant.as_ref())?),
+        };
         Ok(SolveRequest {
             algo,
             eps,
             placements,
             topology,
             policy,
+            tenant,
+            quotas,
         })
     }
 
     /// Read the shared fields from CLI arguments: `--algo NAME`,
-    /// `--eps N/D`, the boolean `--place`, `--topology SPEC`, and
-    /// `--policy P`.
+    /// `--eps N/D`, the boolean `--place`, `--topology SPEC`,
+    /// `--policy P`, `--tenant user[/project[/class]]`, and
+    /// `--quotas JSON` (the same object grammar the service accepts).
     pub fn from_args(args: &[String], default_eps: &Ratio) -> Result<SolveRequest, String> {
         let value_of = |name: &str| -> Result<Option<&String>, String> {
             match args.iter().position(|a| a == name) {
@@ -188,13 +226,36 @@ impl SolveRequest {
             None => PlacementPolicy::Contiguous,
             Some(raw) => parse_policy(raw, topology.as_ref())?,
         };
+        let tenant = match value_of("--tenant")? {
+            None => None,
+            Some(raw) => Some(Tenant::parse(raw)?),
+        };
+        let quotas = match value_of("--quotas")? {
+            None => None,
+            Some(raw) => Some(check_quotas(quotas_from_str(raw)?, tenant.as_ref())?),
+        };
         Ok(SolveRequest {
             algo,
             eps,
             placements,
             topology,
             policy,
+            tenant,
+            quotas,
         })
+    }
+
+    /// The wire-format version this request elicits: 4 with a tenant,
+    /// 3 with a topology, 2 otherwise (see the [`crate::wire`] marker
+    /// modules).
+    pub fn schema(&self) -> u64 {
+        if self.tenant.is_some() {
+            crate::wire::v4::SCHEMA
+        } else if self.topology.is_some() {
+            crate::wire::v3::SCHEMA
+        } else {
+            crate::wire::v2::SCHEMA
+        }
     }
 
     /// Cross-field check both front ends run once the instance is known:
@@ -231,6 +292,16 @@ fn parse_topology(raw: &str) -> Result<Topology, String> {
 fn parse_policy(raw: &str, topology: Option<&Topology>) -> Result<PlacementPolicy, String> {
     let topology = topology.ok_or_else(|| "`policy` requires `topology`".to_string())?;
     PlacementPolicy::parse(raw, topology).map_err(|e| format!("invalid `policy`: {e}"))
+}
+
+/// A quota set without a tenant is rejected (there is no identity to
+/// account the rules against) — the v4 twin of the policy/topology
+/// cross-check, identical text on every front end.
+fn check_quotas(quotas: QuotaSet, tenant: Option<&Tenant>) -> Result<QuotaSet, String> {
+    if tenant.is_none() {
+        return Err("`quotas` requires `tenant`".to_string());
+    }
+    Ok(quotas)
 }
 
 /// Parse a complete `/v1/solve`-shaped body on the zero-copy path:
@@ -460,15 +531,36 @@ mod tests {
                 json!({"topology": "2*4", "policy": "spread:socket"}),
                 strings(&["--topology", "2*4", "--policy", "spread:socket"]),
             ),
+            (
+                json!({"tenant": serde_json::json!({"user": "alice"})}),
+                strings(&["--tenant", "alice"]),
+            ),
+            (
+                json!({"tenant": serde_json::json!({
+                    "user": "alice", "project": "phys", "class": "batch",
+                })}),
+                strings(&["--tenant", "alice/phys/batch"]),
+            ),
+            (
+                json!({
+                    "tenant": serde_json::json!({"user": "bob"}),
+                    "quotas": serde_json::json!({
+                        "window": 60u64,
+                        "rules": vec![serde_json::json!({"user": "bob", "max_jobs": 2u64})],
+                    }),
+                }),
+                strings(&[
+                    "--tenant",
+                    "bob",
+                    "--quotas",
+                    r#"{"window": 60, "rules": [{"user": "bob", "max_jobs": 2}]}"#,
+                ]),
+            ),
         ];
         for (body, argv) in cases {
             let a = SolveRequest::from_json(&body, &default_eps).unwrap();
             let b = SolveRequest::from_args(&argv, &default_eps).unwrap();
-            assert_eq!(a.algo, b.algo, "{body:?}");
-            assert_eq!(a.eps, b.eps, "{body:?}");
-            assert_eq!(a.placements, b.placements, "{body:?}");
-            assert_eq!(a.topology, b.topology, "{body:?}");
-            assert_eq!(a.policy, b.policy, "{body:?}");
+            assert_eq!(a, b, "{body:?}");
         }
     }
 
@@ -512,6 +604,60 @@ mod tests {
         let err = SolveRequest::from_args(&strings(&["--topology", "nope*2"]), &default_eps)
             .unwrap_err();
         assert!(err.contains("invalid `topology`"), "{err}");
+    }
+
+    #[test]
+    fn tenant_and_quotas_defaults_and_errors() {
+        let default_eps = Ratio::new(1, 4);
+        // Tenant-free requests stay tenant-free (the v2/v3 shapes).
+        let r = SolveRequest::from_json(&json!({}), &default_eps).unwrap();
+        assert!(r.tenant.is_none() && r.quotas.is_none());
+        assert_eq!(r.schema(), 2);
+        let r = SolveRequest::from_json(&json!({"topology": "2*2"}), &default_eps).unwrap();
+        assert_eq!(r.schema(), 3);
+        // A tenant bumps the schema to 4; omitted parts default.
+        let r = SolveRequest::from_json(
+            &json!({"tenant": serde_json::json!({"user": "alice"})}),
+            &default_eps,
+        )
+        .unwrap();
+        assert_eq!(r.schema(), 4);
+        assert_eq!(r.tenant.unwrap().to_string(), "alice/default/default");
+        // Field-level rejections, identical across front ends.
+        for (body, needle) in [
+            (json!({"tenant": "alice"}), "`tenant` must be an object"),
+            (
+                json!({"tenant": serde_json::json!({"project": "p"})}),
+                "`tenant` requires a `user` string",
+            ),
+            (
+                json!({"quotas": serde_json::json!({"rules": Vec::<Value>::new()})}),
+                "`quotas` requires `tenant`",
+            ),
+            (
+                json!({
+                    "tenant": serde_json::json!({"user": "a"}),
+                    "quotas": serde_json::json!({"window": 1u64}),
+                }),
+                "`quotas` requires a `rules` array",
+            ),
+        ] {
+            let err = SolveRequest::from_json(&body, &default_eps).unwrap_err();
+            assert!(err.contains(needle), "{body:?} -> {err}");
+        }
+        let err =
+            SolveRequest::from_args(&strings(&["--quotas", r#"{"rules": []}"#]), &default_eps)
+                .unwrap_err();
+        assert_eq!(err, "`quotas` requires `tenant`");
+        let err =
+            SolveRequest::from_args(&strings(&["--tenant", "a//c"]), &default_eps).unwrap_err();
+        assert!(err.contains("tenant must be"), "{err}");
+        let err = SolveRequest::from_args(
+            &strings(&["--tenant", "a", "--quotas", "{nope"]),
+            &default_eps,
+        )
+        .unwrap_err();
+        assert!(err.contains("invalid `quotas`"), "{err}");
     }
 
     #[test]
@@ -592,6 +738,17 @@ mod tests {
             br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "policy": "packed"}"#.to_vec(),
             br#"{"instance": {"m": 4, "jobs": [{"constant": 3}]}, "topology": "2*2", "policy": "packed:rack"}"#.to_vec(),
             br#"{"instance": {"m": 4, "jobs": [{"constant": 3}]}, "topology": "2*2", "policy": false}"#.to_vec(),
+            // Wire-format v4 knobs: tenants, quotas, and every rejection.
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {"user": "alice"}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {"user": "alice", "project": "phys", "class": "batch"}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {"user": "a"}, "quotas": {"window": 9, "rules": [{"user": "*", "max_procs": 4, "max_jobs": 1, "max_resource_seconds": 100}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": 7}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {"user": ""}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "quotas": {"rules": []}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {"user": "a"}, "quotas": []}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {"user": "a"}, "quotas": {"rules": [{"max_procs": "lots"}]}}"#.to_vec(),
+            br#"{"instance": {"m": 2, "jobs": [{"constant": 3}]}, "tenant": {"user": "a"}, "quotas": {"window": 0, "rules": []}}"#.to_vec(),
             vec![0xff, 0xfe, b'{', b'}'],
         ];
         for body in &bodies {

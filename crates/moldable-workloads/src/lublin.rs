@@ -97,6 +97,13 @@ pub struct LublinParams {
     /// model; jobs are tagged uniformly so per-user fairness reports
     /// have identities to aggregate by).
     pub users: u32,
+    /// Power-law skew of the user tagging: user rank `r` (0-based) is
+    /// drawn with probability ∝ `(r+1)^−user_skew`. `0.0` — the
+    /// default — keeps the uniform draw (and the exact byte stream) of
+    /// before; positive values concentrate submissions on the low
+    /// ranks, the few-flooders-many-light-users asymmetry that
+    /// fair-share experiments need.
+    pub user_skew: f64,
     /// Integer ticks per model second (default 1000 — milliseconds, the
     /// same resolution rationale as SWF synthesis).
     pub time_scale: Time,
@@ -133,6 +140,7 @@ impl LublinParams {
             barr: 0.4871,
             cycle_start_h: 5.0,
             users: 16,
+            user_skew: 0.0,
             time_scale: 1000,
             fit_model: FitModel::Downey,
             max_runtime_s: 86_400.0,
@@ -143,6 +151,13 @@ impl LublinParams {
     pub fn with_mean_interarrival(mut self, seconds: f64) -> Self {
         assert!(seconds > 0.0, "interarrival gap must be positive");
         self.mean_interarrival_s = seconds;
+        self
+    }
+
+    /// Override the user-tagging skew (see [`LublinParams::user_skew`]).
+    pub fn with_user_skew(mut self, skew: f64) -> Self {
+        assert!(skew >= 0.0 && skew.is_finite(), "user skew must be >= 0");
+        self.user_skew = skew;
         self
     }
 }
@@ -203,6 +218,9 @@ pub struct LublinGenerator {
     day_weights: [f64; 24],
     /// Largest daily weight — the majorizing rate of the thinning loop.
     peak_weight: f64,
+    /// Cumulative user-rank distribution when `user_skew > 0` (empty =
+    /// uniform tagging, the byte-identical legacy draw).
+    user_cdf: Vec<f64>,
 }
 
 impl LublinGenerator {
@@ -232,6 +250,22 @@ impl LublinGenerator {
             sequential_pct: 0,
             time_scale: params.time_scale,
         };
+        let user_cdf = if params.user_skew > 0.0 {
+            let mut cdf: Vec<f64> = (0..params.users.max(1))
+                .map(|r| (r as f64 + 1.0).powf(-params.user_skew))
+                .collect();
+            let mut running = 0.0;
+            for w in &mut cdf {
+                running += *w;
+                *w = running;
+            }
+            for w in &mut cdf {
+                *w /= running;
+            }
+            cdf
+        } else {
+            Vec::new()
+        };
         LublinGenerator {
             rng: SmallRng::seed_from_u64(params.seed ^ 0x10B1_1FE1_7E15_0AD5),
             fit,
@@ -240,6 +274,7 @@ impl LublinGenerator {
             clock_s: 0.0,
             day_weights,
             peak_weight,
+            user_cdf,
         }
     }
 
@@ -321,7 +356,15 @@ impl Iterator for LublinGenerator {
         } else {
             fit_curve_through(size, t_obs, self.params.m, &self.fit, self.produced)
         };
-        let user = self.rng.gen_range(0..self.params.users.max(1)) as i64;
+        let user = if self.user_cdf.is_empty() {
+            self.rng.gen_range(0..self.params.users.max(1)) as i64
+        } else {
+            // Invert the skewed rank CDF: low ranks flood, high ranks
+            // trickle.
+            let u = open_unit(&mut self.rng);
+            let rank = self.user_cdf.partition_point(|&c| c < u);
+            rank.min(self.user_cdf.len() - 1) as i64
+        };
         self.produced += 1;
         Some((arrival, curve, user))
     }
@@ -407,6 +450,29 @@ mod tests {
         // Different seeds diverge.
         let c: Vec<_> = LublinGenerator::new(LublinParams::new(256, 400, 8)).collect();
         assert!(a.iter().zip(&c).any(|(x, y)| x.0 != y.0));
+    }
+
+    #[test]
+    fn user_skew_concentrates_submissions_on_low_ranks() {
+        let params = LublinParams::new(256, 4000, 7).with_user_skew(1.5);
+        let mut counts = vec![0usize; 16];
+        for (_, _, user) in LublinGenerator::new(params) {
+            counts[usize::try_from(user).expect("ranks are 0-based")] += 1;
+        }
+        // Zipf(1.5) over 16 ranks: rank 0 holds ~47% of the mass and
+        // the top two ranks a strict majority; the tail still submits.
+        assert!(
+            counts[0] > counts[15] * 4,
+            "rank 0 should flood, rank 15 trickle: {counts:?}"
+        );
+        assert!(
+            counts[0] + counts[1] > 2000,
+            "no majority flooder: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "a rank went silent: {counts:?}"
+        );
     }
 
     #[test]

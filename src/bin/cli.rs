@@ -20,6 +20,7 @@ use moldable::core::view::JobView;
 use moldable::prelude::*;
 use moldable::sched::baselines;
 use moldable::sched::batch;
+use moldable::sched::quotas::{Demand, QuotaEngine};
 use moldable::sched::solver::{race_roster, solver_by_name, SOLVER_NAMES};
 use moldable::viz::render_gantt;
 use moldable::workloads::{
@@ -52,7 +53,11 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // The same typed envelope the service puts in HTTP error
+            // bodies, classified from the identical detail strings —
+            // scripts parse one error shape from either front end.
+            let kind = moldable::svc::ErrorKind::classify(&e);
+            eprintln!("{}", kind.envelope(&e));
             ExitCode::FAILURE
         }
     }
@@ -60,20 +65,23 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   moldable schedule --input FILE [--eps N/D] [--algo mrt|alg1|alg3|linear|fptas|ptas|two-approx] [--gantt]
-  moldable solve    --input FILE [--algo mrt|alg1|alg3|linear|contiguous-73-50|fptas|ptas|two-approx|sequential|exact] [--eps N/D] [--place] [--topology SPEC] [--policy P]
-  moldable race     --input FILE [--eps N/D] [--place] [--check] [--threads N] [--topology SPEC] [--policy P]
+  moldable solve    --input FILE [--algo mrt|alg1|alg3|linear|contiguous-73-50|fptas|ptas|two-approx|sequential|exact] [--eps N/D] [--place] [--topology SPEC] [--policy P] [--tenant SPEC] [--quotas JSON]
+  moldable race     --input FILE [--eps N/D] [--place] [--check] [--threads N] [--topology SPEC] [--policy P] [--tenant SPEC] [--quotas JSON]
   moldable estimate --input FILE
   moldable generate --family power-law|amdahl|comm-overhead|mixed --n N --m M [--seed S]
   moldable generate --family swf --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N]
   moldable validate --input FILE --schedule FILE
   moldable simulate --input FILE --schedule FILE
   moldable simulate --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N] [--eps N/D] [--algo NAME] [--engine event|epoch]
-  moldable simulate --model lublin --n N [--m M] [--seed S] [--gap SECONDS] [--users U] [--fit amdahl|downey] [--engine event|epoch] [--max-batch B] [--eps N/D] [--algo NAME] [--topology SPEC] [--policy P]
+  moldable simulate --model lublin --n N [--m M] [--seed S] [--gap SECONDS] [--users U] [--user-skew S] [--fit amdahl|downey] [--engine event|epoch] [--max-batch B] [--eps N/D] [--algo NAME] [--topology SPEC] [--policy P] [--fairshare on|off] [--half-life TICKS]
   moldable render   --input FILE --schedule FILE --out FILE.svg [--width W] [--height H]
 
 topology SPEC is an arity product (\"64*2*32\" = nodes*sockets*cores) or
 explicit block lists (\"0-3|4-7;0-1|2-3|4-5|6-7\"); policy P is
-contiguous, packed[:LEVEL], or spread[:LEVEL] (default contiguous).";
+contiguous, packed[:LEVEL], or spread[:LEVEL] (default contiguous).
+tenant SPEC is user[/project[/class]] (missing parts default to
+\"default\"); --quotas takes the wire-format v4 quota-set object,
+e.g. '{\"rules\": [{\"user\": \"alice\", \"max_procs\": 8}]}'.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -162,6 +170,26 @@ fn ensure_placement(
     Ok(())
 }
 
+/// Mirror the service's in-request admission check: a `--quotas` rule
+/// set is a self-declared cap, tested with the same demand the service
+/// would charge ("would this solve fit these rules on an idle
+/// cluster"). A denial travels through the typed
+/// `{"error": {"kind": "quota-denied", …}}` envelope on stderr.
+fn check_quotas(req: &moldable::svc::SolveRequest, inst: &Instance) -> Result<(), String> {
+    let (Some(tenant), Some(set)) = (&req.tenant, &req.quotas) else {
+        return Ok(());
+    };
+    let demand = Demand {
+        procs: inst.m(),
+        jobs: 1,
+        resource_seconds: inst.jobs().iter().map(|j| u128::from(j.time(1))).sum(),
+    };
+    QuotaEngine::new(set.clone())
+        .admit(tenant, &demand, 0)
+        .map(|_| ())
+        .map_err(|d| d.to_string())
+}
+
 /// `solve`: run any registry solver through the [`MakespanSolver`]
 /// facade and report its certificates alongside the schedule. `--place`
 /// adds the wire-format v2 `placements` rows (concrete processor sets);
@@ -172,6 +200,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let inst = load_instance(args)?;
     let req = moldable::svc::SolveRequest::from_args(args, &Ratio::new(1, 4))?;
     req.check_topology(inst.m())?;
+    check_quotas(&req, &inst)?;
     let solver = solver_by_name(&req.algo, &req.eps).map_err(|e| e.to_string())?;
     let view = JobView::build(&inst);
     if req.algo == "exact" && !moldable::sched::solver::ExactSolver::fits(&view) {
@@ -194,7 +223,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     }
     validate(&outcome.schedule, &inst).map_err(|e| e.to_string())?;
     let mut out = json!({
-        "schema": if req.topology.is_some() { 3 } else { 2 },
+        "schema": req.schema(),
         "algo": req.algo,
         "solver": solver.name(),
         "makespan": outcome.makespan.to_f64(),
@@ -230,6 +259,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
             moldable::svc::app::fragmentation_summary(topology, placement),
         );
     }
+    if let Some(tenant) = &req.tenant {
+        push_field(&mut out, "tenant", moldable::svc::app::tenant_echo(tenant));
+    }
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
     Ok(())
 }
@@ -243,6 +275,7 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
     let inst = load_instance(args)?;
     let req = moldable::svc::SolveRequest::from_args(args, &Ratio::new(1, 4))?;
     req.check_topology(inst.m())?;
+    check_quotas(&req, &inst)?;
     let eps = req.eps;
     let threads: usize = flag(args, "--threads")
         .map(|s| s.parse().map_err(|_| "bad --threads"))
@@ -306,7 +339,7 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, String>>()?;
     let mut out = json!({
-        "schema": if req.topology.is_some() { 3 } else { 2 },
+        "schema": req.schema(),
         "n": inst.n(),
         "m": inst.m(),
         "eps": eps.to_f64(),
@@ -326,6 +359,9 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
         );
     }
     push_field(&mut out, "results", Value::Array(rows));
+    if let Some(tenant) = &req.tenant {
+        push_field(&mut out, "tenant", moldable::svc::app::tenant_echo(tenant));
+    }
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
     if has_flag(args, "--check") && !violations.is_empty() {
         return Err(format!(
@@ -531,6 +567,34 @@ fn stream_topology(
     Ok((Some(topology), policy))
 }
 
+/// `--fairshare on|off [--half-life TICKS]` for the streaming engine:
+/// `off` (the default) is the FIFO snapshot discipline, byte-identical
+/// to earlier releases; `on` orders re-plan snapshots by the decayed
+/// fair-share weights.
+fn stream_fairshare(
+    args: &[String],
+) -> Result<Option<moldable::sim::FairshareOptions>, String> {
+    let on = match flag(args, "--fairshare").as_deref() {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(other) => return Err(format!("unknown --fairshare `{other}` (on|off)")),
+    };
+    if !on {
+        if flag(args, "--half-life").is_some() {
+            return Err("--half-life requires --fairshare on".into());
+        }
+        return Ok(None);
+    }
+    let half_life = match flag(args, "--half-life") {
+        Some(s) => match s.parse::<u64>() {
+            Ok(v) if v > 0 => v,
+            _ => return Err("bad --half-life (need an integer ≥ 1)".into()),
+        },
+        None => moldable::sim::FairshareOptions::default().half_life,
+    };
+    Ok(Some(moldable::sim::FairshareOptions { half_life }))
+}
+
 /// Fragmentation block of a streaming simulate report: one row per
 /// topology level with the run-lifetime locality trend.
 fn stream_fragmentation_json(frag: &moldable::sim::StreamFragmentation) -> Value {
@@ -592,6 +656,13 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
         if let Some(users) = flag(args, "--users") {
             params.users = users.parse().map_err(|_| "bad --users")?;
         }
+        if let Some(skew) = flag(args, "--user-skew") {
+            let skew: f64 = skew.parse().map_err(|_| "bad --user-skew")?;
+            if !(skew >= 0.0 && skew.is_finite()) {
+                return Err("--user-skew must be a finite number >= 0".into());
+            }
+            params = params.with_user_skew(skew);
+        }
         params.fit_model = match flag(args, "--fit").as_deref() {
             Some("amdahl") => FitModel::Amdahl,
             Some("downey") | None => FitModel::Downey,
@@ -617,10 +688,12 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                 None => Some(8192),
             };
             let (topology, policy) = stream_topology(args, m)?;
+            let fairshare = stream_fairshare(args)?;
             let opts = moldable::sim::StreamOptions {
                 max_batch,
                 topology,
                 policy,
+                fairshare: fairshare.clone(),
             };
             let jobs =
                 source
@@ -643,7 +716,7 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                 "makespan": out.makespan.to_f64(),
                 "peak_pending": out.peak_pending,
                 "wall_seconds": started.elapsed().as_secs_f64(),
-                "fairness": fairness_json(&out.fairness, 16),
+                "fairness": fairness_json(&out.fairness, 64),
             });
             if let Some(frag) = &out.fragmentation {
                 push_field(
@@ -652,11 +725,22 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                     stream_fragmentation_json(frag),
                 );
             }
+            if let Some(fs) = &fairshare {
+                // Additive: `--fairshare off` reports stay byte-identical.
+                push_field(
+                    &mut report,
+                    "fairshare",
+                    json!({ "half_life": fs.half_life }),
+                );
+            }
             report
         }
         "epoch" => {
             if flag(args, "--topology").is_some() {
                 return Err("--topology only applies to --engine event".into());
+            }
+            if flag(args, "--fairshare").is_some() {
+                return Err("--fairshare only applies to --engine event".into());
             }
             if flag(args, "--max-batch").is_some() {
                 // Silently unbounded batches would make an event-vs-epoch
@@ -683,7 +767,7 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                 "epochs": out.epochs.len(),
                 "makespan": out.makespan.to_f64(),
                 "wall_seconds": started.elapsed().as_secs_f64(),
-                "fairness": fairness_json(&fairness, 16),
+                "fairness": fairness_json(&fairness, 64),
             })
         }
         other => return Err(format!("unknown --engine `{other}` (event|epoch)")),

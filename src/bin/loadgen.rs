@@ -4,7 +4,7 @@
 //! moldable-loadgen --addr HOST:PORT[,HOST:PORT…] [--threads N] [--seconds S]
 //!                  [--family power-law|amdahl|comm-overhead|mixed] [--n N] [--m M]
 //!                  [--seed S] [--count C] [--algo NAME] [--eps N/D]
-//!                  [--trace FILE.swf] [--max-jobs N]
+//!                  [--trace FILE.swf] [--max-jobs N] [--tenants N]
 //! ```
 //!
 //! Builds `C` distinct instances (synthetic families via the workload
@@ -13,6 +13,9 @@
 //! for `S` seconds, and prints a JSON report with throughput and latency
 //! percentiles. `--addr` takes a comma-separated target list (a sharded
 //! server's ports); client threads round-robin across the targets.
+//! `--tenants N` tags the bodies with synthetic round-robin tenants
+//! (`load0`, `load1`, …) to exercise the v4 admission path; note the
+//! tenant tag bypasses the service's exact-bytes memo by design.
 //! Exits non-zero if every request failed.
 
 use moldable::svc::loadgen::{run_multi, LoadgenConfig};
@@ -27,7 +30,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage:
   moldable-loadgen --addr HOST:PORT[,HOST:PORT...] [--threads N] [--seconds S] [--family power-law|amdahl|comm-overhead|mixed]
-                   [--n N] [--m M] [--seed S] [--count C] [--algo NAME] [--eps N/D] [--trace FILE.swf] [--max-jobs N]";
+                   [--n N] [--m M] [--seed S] [--count C] [--algo NAME] [--eps N/D] [--trace FILE.swf] [--max-jobs N]
+                   [--tenants N]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -88,15 +92,24 @@ fn bodies(args: &[String]) -> Result<Vec<String>, String> {
             .map(|i| bench_instance(family, n, m, seed.wrapping_add(i as u64)))
             .collect()
     };
+    let tenants: u64 = parse_or(args, "--tenants", 0)?;
     instances
         .iter()
-        .map(|inst| {
+        .enumerate()
+        .map(|(i, inst)| {
             let spec = InstanceSpec::from_instance(inst).ok_or("unserializable instance")?;
-            let body = json!({
+            let mut body = json!({
                 "instance": serde_json::to_value(&spec),
                 "algo": algo,
                 "eps": eps,
             });
+            if tenants > 0 {
+                // Round-robin synthetic users over the distinct bodies.
+                let user = format!("load{}", i as u64 % tenants);
+                if let serde_json::Value::Object(fields) = &mut body {
+                    fields.push(("tenant".into(), json!({ "user": user })));
+                }
+            }
             Ok(serde_json::to_string(&body).expect("shim serialization is infallible"))
         })
         .collect()

@@ -3,8 +3,14 @@
 //! ```text
 //! moldable-svc [--addr HOST:PORT] [--workers N] [--shards N] [--eps N/D]
 //!              [--max-body BYTES] [--race-threads N] [--idle-timeout SECONDS]
-//!              [--cache-entries N] [--cache-shards N]
+//!              [--cache-entries N] [--cache-shards N] [--quotas FILE]
 //! ```
+//!
+//! `--quotas FILE` loads an operator admission rule set (the same JSON
+//! object grammar as the request-level `quotas` field: `{"window": N,
+//! "rules": [{"user", "project", "class", "max_procs", "max_jobs",
+//! "max_resource_seconds"}, …]}`); tenant-tagged requests are admitted
+//! against it fleet-wide, over-quota solves get a typed 429.
 //!
 //! Prints one JSON line `{"listening": "HOST:PORT", "workers": N,
 //! "shards": ["HOST:PORT", …]}` to stdout once every listener is live
@@ -24,7 +30,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage:
   moldable-svc [--addr HOST:PORT] [--workers N] [--shards N] [--eps N/D] [--max-body BYTES]
-               [--race-threads N] [--idle-timeout SECONDS] [--cache-entries N] [--cache-shards N]";
+               [--race-threads N] [--idle-timeout SECONDS] [--cache-entries N] [--cache-shards N]
+               [--quotas FILE]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -78,6 +85,11 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(0) | Err(_) => return Err("bad --cache-shards (need an integer >= 1)".into()),
             Ok(s) => s,
         };
+    }
+    if let Some(path) = flag(args, "--quotas") {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read --quotas {path}: {e}"))?;
+        app.quotas = Some(moldable::svc::wire::quotas_from_str(&text)?);
     }
     let shards: usize = match flag(args, "--shards") {
         None => 1,

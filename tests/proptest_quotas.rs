@@ -1,0 +1,207 @@
+//! Property tests for the multi-tenancy engines (the ISSUE-10
+//! acceptance invariants): the quota engine's live usage never exceeds
+//! any rule's bound at any event time and always equals an independent
+//! ledger replay (admission is atomic — a denial charges nothing), every
+//! denial names a rule that actually matches the tenant with the
+//! arithmetic that tripped it, and the fair-share engine's
+//! generation-ring decay matches the exact `2⁻ᵃᵍᵉ` model with bounded
+//! drift while its weights stay a normalized, usage-inverse, floored
+//! distribution.
+
+use moldable::prelude::*;
+use moldable::sched::fairshare::{Fairshare, DAMPING};
+use moldable::sched::quotas::{Demand, QuotaBound, QuotaEngine, QuotaRule, QuotaSet, Tenant};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay a random admit/release history against an independent
+    /// ledger: after every event the engine's `usage` equals the
+    /// ledger exactly (so denials charged nothing), and no rule's
+    /// in-flight or windowed usage ever exceeds its bound.
+    #[test]
+    fn usage_never_exceeds_bounds_at_any_event_time(
+        rule_spec in prop::collection::vec(
+            // (user selector, project selector, procs cap, jobs cap, rs
+            // cap) — selector 3/2 means wildcard, cap past the real
+            // range means unbounded.
+            (0usize..4, 0usize..3, 0u64..25, 0u64..7, 0u64..120),
+            1..4,
+        ),
+        window in 1u64..20,
+        // (clock gap, tenant code, procs, resource-seconds, kind,
+        // release pick): kind 0 releases a random outstanding ticket,
+        // anything else attempts an admission.
+        events in prop::collection::vec(
+            (0u64..5, 0usize..6, 1u64..9, 0u64..30, 0usize..4, 0usize..8),
+            1..40,
+        ),
+    ) {
+        let rules: Vec<QuotaRule> = rule_spec
+            .iter()
+            .map(|&(us, ps, mp, mj, mrs)| QuotaRule {
+                user: (us < 3).then(|| format!("u{us}")),
+                project: (ps < 2).then(|| format!("p{ps}")),
+                class: None,
+                max_procs: (mp <= 20).then_some(mp),
+                max_jobs: (mj <= 4).then_some(mj),
+                max_resource_seconds: (mrs <= 99).then_some(mrs as u128),
+            })
+            .collect();
+        let mut engine = QuotaEngine::new(QuotaSet { window, rules: rules.clone() });
+        // The independent ledger: in-flight (procs, jobs) and window
+        // charges (admit time, rs) per rule.
+        let mut in_flight: Vec<(u64, u64)> = vec![(0, 0); rules.len()];
+        let mut charges: Vec<Vec<(u64, u128)>> = vec![Vec::new(); rules.len()];
+        let mut outstanding = Vec::new();
+        let mut now = 0u64;
+        for &(gap, code, procs, rs, kind, pick) in &events {
+            now += gap;
+            if kind == 0 && !outstanding.is_empty() {
+                let (ticket, matched, procs, jobs): (_, Vec<usize>, u64, u64) =
+                    outstanding.remove(pick % outstanding.len());
+                engine.release(&ticket);
+                for &i in &matched {
+                    in_flight[i].0 -= procs;
+                    in_flight[i].1 -= jobs;
+                }
+            } else {
+                let tenant = Tenant::new(
+                    &format!("u{}", code % 3),
+                    &format!("p{}", code / 3),
+                    "default",
+                );
+                let demand = Demand { procs, jobs: 1, resource_seconds: rs as u128 };
+                let matched: Vec<usize> = rules
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.matches(&tenant))
+                    .map(|(i, _)| i)
+                    .collect();
+                match engine.admit(&tenant, &demand, now) {
+                    Ok(ticket) => {
+                        for &i in &matched {
+                            in_flight[i].0 += procs;
+                            in_flight[i].1 += 1;
+                            if rs > 0 {
+                                charges[i].push((now, rs as u128));
+                            }
+                        }
+                        outstanding.push((ticket, matched, procs, 1u64));
+                    }
+                    Err(denial) => {
+                        // The denial names a rule that really applies,
+                        // the bound's cap verbatim, and arithmetic that
+                        // actually overflows it.
+                        prop_assert!(denial.rule.matches(&tenant));
+                        prop_assert!(denial.in_use + denial.requested > denial.limit);
+                        let cap = match denial.bound {
+                            QuotaBound::Procs => denial.rule.max_procs.map(u128::from),
+                            QuotaBound::Jobs => denial.rule.max_jobs.map(u128::from),
+                            QuotaBound::ResourceSeconds => denial.rule.max_resource_seconds,
+                        };
+                        prop_assert_eq!(cap, Some(denial.limit));
+                    }
+                }
+            }
+            for (i, rule) in rules.iter().enumerate() {
+                let (p, j, w) = engine.usage(i, now);
+                let model_w: u128 = charges[i]
+                    .iter()
+                    .filter(|&&(t, _)| t + window > now)
+                    .map(|&(_, c)| c)
+                    .sum();
+                prop_assert_eq!((p, j, w), (in_flight[i].0, in_flight[i].1, model_w));
+                if let Some(cap) = rule.max_procs {
+                    prop_assert!(p <= cap, "rule {i}: {p} procs in flight > cap {cap}");
+                }
+                if let Some(cap) = rule.max_jobs {
+                    prop_assert!(j <= cap, "rule {i}: {j} jobs in flight > cap {cap}");
+                }
+                if let Some(cap) = rule.max_resource_seconds {
+                    prop_assert!(w <= cap, "rule {i}: {w} window rs > cap {cap}");
+                }
+            }
+        }
+    }
+
+    /// The generation-ring decay equals the exact per-charge
+    /// `amount · 2⁻ᵃᵍᵉ` model to within summation rounding (the drift
+    /// bound: `RunningSum` terms round at `2⁻⁴⁸`, never compounding),
+    /// and usage only shrinks as the clock advances past the charges.
+    #[test]
+    fn decayed_usage_matches_the_exact_model(
+        half_life in 8u64..32,
+        charge_spec in prop::collection::vec((0u64..4, 1u64..100), 1..40),
+        probe_gap in 0u64..256,
+    ) {
+        let mut fs: Fairshare<i64> = Fairshare::new(half_life);
+        let mut clock = 0u64;
+        let mut ledger: Vec<(u64, u64)> = Vec::new();
+        for &(gap, amount) in &charge_spec {
+            clock += gap;
+            fs.charge(7, clock, &Ratio::new(u128::from(amount), 1));
+            ledger.push((clock, amount));
+        }
+        let probe = clock + probe_gap;
+        let now_gen = probe / half_life;
+        let expected: f64 = ledger
+            .iter()
+            .map(|&(t, a)| {
+                let age = now_gen - t / half_life;
+                if age < 64 { a as f64 / (1u64 << age) as f64 } else { 0.0 }
+            })
+            .sum();
+        let got = fs.usage(&7, probe);
+        let tolerance = expected * 1e-9 + 1e-9;
+        prop_assert!(
+            (got - expected).abs() <= tolerance,
+            "decay drifted: got {got}, exact model {expected}"
+        );
+        // Pure decay is monotone: one more half-life, at most half the
+        // usage (exactly half when nothing falls off the 64-gen ring).
+        let later = fs.usage(&7, probe + half_life);
+        prop_assert!(later <= got / 2.0 + tolerance);
+    }
+
+    /// Weights are a distribution no matter the usage history: they sum
+    /// to 1, every tenant keeps the `(1−d)/n` starvation floor, and
+    /// strictly heavier decayed usage means a strictly lower weight.
+    #[test]
+    fn weights_stay_normalized_floored_and_usage_inverse(
+        half_life in 8u64..32,
+        charge_spec in prop::collection::vec((0usize..4, 0u64..4, 1u64..100), 1..40),
+        probe_gap in 0u64..64,
+    ) {
+        let mut fs: Fairshare<i64> = Fairshare::new(half_life);
+        for user in 0..4i64 {
+            fs.touch(user);
+        }
+        let mut clock = 0u64;
+        for &(user, gap, amount) in &charge_spec {
+            clock += gap;
+            fs.charge(user as i64, clock, &Ratio::new(u128::from(amount), 1));
+        }
+        let probe = clock + probe_gap;
+        let weights = fs.weights(probe);
+        prop_assert_eq!(weights.len(), 4);
+        let total: f64 = weights.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        let floor = (1.0 - DAMPING) / 4.0;
+        for (&user, &w) in &weights {
+            prop_assert!(w >= floor - 1e-9, "user {user} starved: {w} < {floor}");
+        }
+        for a in 0..4i64 {
+            for b in 0..4i64 {
+                let (ua, ub) = (fs.usage(&a, probe), fs.usage(&b, probe));
+                if ua > ub + 1e-9 {
+                    prop_assert!(
+                        weights[&a] < weights[&b],
+                        "user {a} (usage {ua}) outweighs lighter user {b} (usage {ub})"
+                    );
+                }
+            }
+        }
+    }
+}

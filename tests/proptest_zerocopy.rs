@@ -7,7 +7,7 @@
 
 use moldable::core::io::InstanceSpec;
 use moldable::prelude::*;
-use moldable::svc::request::{parse_solve_body, parse_solve_body_tree};
+use moldable::svc::wire::{parse_solve_body, parse_solve_body_tree};
 use proptest::prelude::*;
 
 /// Compare both parsers on one body: full `Result` agreement, with
@@ -18,9 +18,9 @@ fn assert_parsers_agree(body: &[u8]) {
     let tree = parse_solve_body_tree(body, &eps);
     match (zero_copy, tree) {
         (Ok((a, inst_a)), Ok((b, inst_b))) => {
-            assert_eq!(a.algo, b.algo, "algo diverged");
-            assert_eq!(a.eps, b.eps, "eps diverged");
-            assert_eq!(a.placements, b.placements, "placements flag diverged");
+            // Whole-struct equality: algo, ε, placements, topology,
+            // policy, and the v4 tenant/quotas fields all agree.
+            assert_eq!(a, b, "parsed requests diverged");
             let spec_a = InstanceSpec::from_instance(&inst_a).expect("parsed curves serialize");
             let spec_b = InstanceSpec::from_instance(&inst_b).expect("parsed curves serialize");
             assert_eq!(
@@ -70,8 +70,9 @@ fn body_json() -> impl Strategy<Value = String> {
         0usize..5,
         0usize..4,
         0usize..3,
+        0usize..7,
     )
-        .prop_map(|(curves, m, algo_pick, eps_pick, flag_pick)| {
+        .prop_map(|(curves, m, algo_pick, eps_pick, flag_pick, tenant_pick)| {
             let mut fields = vec![format!(
                 r#""instance": {{"m": {m}, "jobs": [{}]}}"#,
                 curves.join(", ")
@@ -93,6 +94,25 @@ fn body_json() -> impl Strategy<Value = String> {
                 0 => {}
                 1 => fields.push(r#""placements": true"#.to_string()),
                 _ => fields.push(r#""placements": "yes""#.to_string()),
+            }
+            // v4 fields: valid tenants (bare and fully spelled), a
+            // tenant plus a quota set, and the rejection paths (wrong
+            // types, quotas without a tenant, bad bounds).
+            match tenant_pick {
+                0 | 1 => {}
+                2 => fields.push(r#""tenant": {"user": "alice"}"#.to_string()),
+                3 => fields.push(
+                    r#""tenant": {"user": "alice", "project": "render", "class": "batch"}"#
+                        .to_string(),
+                ),
+                4 => fields.push(
+                    r#""tenant": {"user": "alice"}, "quotas": {"window": 60, "rules": [{"user": "alice", "max_procs": 8, "max_resource_seconds": 100}]}"#
+                        .to_string(),
+                ),
+                5 => fields.push(r#""tenant": 7"#.to_string()),
+                _ => fields.push(
+                    r#""quotas": {"rules": [{"max_jobs": "many"}]}"#.to_string(),
+                ),
             }
             format!("{{{}}}", fields.join(", "))
         })

@@ -215,6 +215,65 @@ fn omitted_and_default_fields_share_one_cache_key() {
     assert_eq!(v["schema"].as_u64(), Some(3));
 }
 
+/// Marker-4 forward safety: the tenant identity is part of the
+/// canonical cache key (tagged and untagged requests never share an
+/// entry, two tenants never share one), the defaulted project/class
+/// spellings hash like the omitted ones, and the request-level `quotas`
+/// object is deliberately NOT hashed — admission is a gate, not a
+/// response input, so rule changes must not split entries. Tenant-tagged
+/// bodies also bypass the exact-bytes memo entirely (admission has to
+/// run on every repeat), which the memo counters prove.
+#[test]
+fn tenant_is_a_cache_key_but_quotas_are_not() {
+    let app = cached_app();
+    let counters = || {
+        let (h, m, _) = app.cache().unwrap().counters();
+        (h, m)
+    };
+    let solve = |extra: &str| {
+        let body = format!(r#"{{"instance": {SMALL}, "algo": "linear"{extra}}}"#);
+        let resp = app.respond(&post("/v1/solve", &body));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        body_text(&resp)
+    };
+    let plain = solve("");
+    assert_eq!(counters(), (0, 1));
+    let alice = solve(r#", "tenant": {"user": "alice"}"#);
+    assert_eq!(counters(), (0, 2), "tenant must be a fresh canonical key");
+    let alice_repeat = solve(r#", "tenant": {"user": "alice"}"#);
+    assert_eq!(alice_repeat, alice);
+    assert_eq!(counters(), (1, 2), "tagged repeat must hit canonically");
+    let bob = solve(r#", "tenant": {"user": "bob"}"#);
+    assert_eq!(counters(), (1, 3), "two tenants must not share an entry");
+    assert_ne!(bob, alice, "tenant echo must name the caller");
+    // Explicit defaults hash like omitted parts — same alice entry.
+    let alice_explicit =
+        solve(r#", "tenant": {"user": "alice", "project": "default", "class": "default"}"#);
+    assert_eq!(alice_explicit, alice);
+    assert_eq!(counters(), (2, 3), "default tenant parts split the key");
+    // Quotas are admission-only: same key, same bytes as bare alice.
+    let alice_quotas = solve(
+        r#", "tenant": {"user": "alice"}, "quotas": {"rules": [{"user": "alice", "max_procs": 64}]}"#,
+    );
+    assert_eq!(alice_quotas, alice);
+    assert_eq!(counters(), (3, 3), "quotas leaked into the cache key");
+    // The exact-bytes memo only ever saw the untagged body: one miss,
+    // zero hits — every tagged request (even byte-identical repeats)
+    // bypassed it so admission always runs.
+    let (body_hits, body_misses, _) = app.body_cache().unwrap().counters();
+    assert_eq!(
+        (body_hits, body_misses),
+        (0, 1),
+        "a tagged body hit the memo"
+    );
+    // And the untagged body stayed v2 while tagged replies are v4.
+    let v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+    assert_eq!(v["schema"].as_u64(), Some(2));
+    let v: serde_json::Value = serde_json::from_str(&alice).unwrap();
+    assert_eq!(v["schema"].as_u64(), Some(4));
+    assert_eq!(v["tenant"]["user"].as_str(), Some("alice"));
+}
+
 #[test]
 fn errors_are_never_cached() {
     let app = cached_app();

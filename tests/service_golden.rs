@@ -1,14 +1,16 @@
 //! Wire-format golden tests: `/v1/solve` and `/v1/race` response
-//! bodies are pinned byte for byte, in three shapes — a v1-compatible
+//! bodies are pinned byte for byte, in four shapes — a v1-compatible
 //! request (no `placements` key; the body must be unchanged except for
 //! the additive `"schema": 2` field), a v2 request
 //! (`"placements": true`; the body gains a trailing `placements` array
-//! per result), and a v3 request (`"topology"` present; `"schema": 3`,
+//! per result), a v3 request (`"topology"` present; `"schema": 3`,
 //! locality on every placement row, plus the trailing `topology`/
-//! `policy`/`fragmentation` echo). Any serialization drift — field
-//! order, number formatting, placement layout — fails these tests and
-//! is a wire-format break that DESIGN.md says must bump the schema
-//! number.
+//! `policy`/`fragmentation` echo), and a v4 request (`"tenant"`
+//! present; `"schema": 4` plus the trailing `tenant` echo with the
+//! defaulted project/class made explicit). Any serialization drift —
+//! field order, number formatting, placement layout — fails these
+//! tests and is a wire-format break that DESIGN.md says must bump the
+//! schema number.
 
 use moldable::svc::http::Request;
 use moldable::svc::{App, AppConfig};
@@ -85,6 +87,32 @@ fn requests_without_topology_are_still_v2_bytes() {
 }
 
 #[test]
+fn solve_v4_tenant_body_is_pinned() {
+    let body = body_of(
+        "/v1/solve",
+        format!(
+            r#"{{"instance": {INSTANCE}, "algo": "mrt", "eps": "1/4", "tenant": {{"user": "alice", "project": "render"}}}}"#
+        ),
+    );
+    assert_eq!(body, GOLDEN_SOLVE_V4);
+}
+
+/// The v4 fields are additive exactly like v3's were: the tenant-tagged
+/// body is the v1 bytes with only the schema number bumped and the
+/// trailing `tenant` echo appended (defaults made explicit), so
+/// tenant-free clients never see a byte change.
+#[test]
+fn v4_is_v1_plus_schema_bump_and_tenant_echo() {
+    let stripped = GOLDEN_SOLVE_V4
+        .replace(r#""schema":4"#, r#""schema":2"#)
+        .replace(
+            r#","tenant":{"user":"alice","project":"render","class":"default"}"#,
+            "",
+        );
+    assert_eq!(stripped, GOLDEN_SOLVE_V1);
+}
+
+#[test]
 fn race_v2_placements_body_is_pinned() {
     let body = body_of(
         "/v1/race",
@@ -103,3 +131,5 @@ const GOLDEN_SOLVE_V2: &str = r#"{"schema":2,"algo":"mrt","solver":"mrt-exact","
 const GOLDEN_SOLVE_V3: &str = r#"{"schema":3,"algo":"mrt","solver":"mrt-exact","n":3,"m":8,"eps":0.25,"makespan":12.0,"ratio_bound":1.875,"opt_lower_bound":9,"probes":3,"assignments":[{"job":1,"start_num":"0","start_den":"1","procs":1,"duration":12},{"job":0,"start_num":"0","start_den":"1","procs":1,"duration":9},{"job":2,"start_num":"0","start_den":"1","procs":1,"duration":10}],"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]],"locality":{"node":1,"socket":1}},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]],"locality":{"node":1,"socket":1}},{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[2,2]],"locality":{"node":1,"socket":1}}],"topology":[{"name":"node","blocks":4},{"name":"socket","blocks":8}],"policy":"packed:node","fragmentation":{"node":{"blocks":4,"jobs":3,"mean_span":1.0,"max_span":1},"socket":{"blocks":8,"jobs":3,"mean_span":1.0,"max_span":1}}}"#;
 
 const GOLDEN_RACE_V2: &str = r#"{"schema":2,"n":3,"m":8,"eps":0.25,"omega":9,"all_bounds_hold":true,"results":[{"solver":"mrt-exact","makespan":12.0,"ratio_bound":1.875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[1,1]]},{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[2,2]]}]},{"solver":"compressible-knapsack","makespan":19.0,"ratio_bound":2.1875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":0,"start_num":"10","start_den":"1","end_num":"19","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]}]},{"solver":"improved-bounded-knapsack","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"linear-bounded-knapsack","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"contiguous-73-50","makespan":12.0,"ratio_bound":1.3333333333333333,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"conv-fptas","makespan":12.0,"ratio_bound":1.3333333333333333,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"fptas","makespan":12.0,"ratio_bound":2.101640625,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"ptas","makespan":12.0,"ratio_bound":2.0671875,"bound_holds_vs_2omega":true,"probes":3,"placements":[{"job":2,"start_num":"0","start_den":"1","end_num":"10","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"12","end_den":"1","procs":[[1,1]]},{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[2,2]]}]},{"solver":"two-approx","makespan":9.0,"ratio_bound":2.0,"bound_holds_vs_2omega":true,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"0","start_den":"1","end_num":"7","end_den":"1","procs":[[1,2]]},{"job":2,"start_num":"0","start_den":"1","end_num":"6","end_den":"1","procs":[[3,4]]}]},{"solver":"sequential","makespan":31.0,"ratio_bound":null,"bound_holds_vs_2omega":null,"probes":0,"placements":[{"job":0,"start_num":"0","start_den":"1","end_num":"9","end_den":"1","procs":[[0,0]]},{"job":1,"start_num":"9","start_den":"1","end_num":"21","end_den":"1","procs":[[0,0]]},{"job":2,"start_num":"21","start_den":"1","end_num":"31","end_den":"1","procs":[[0,0]]}]}]}"#;
+
+const GOLDEN_SOLVE_V4: &str = r#"{"schema":4,"algo":"mrt","solver":"mrt-exact","n":3,"m":8,"eps":0.25,"makespan":12.0,"ratio_bound":1.875,"opt_lower_bound":9,"probes":3,"assignments":[{"job":1,"start_num":"0","start_den":"1","procs":1,"duration":12},{"job":0,"start_num":"0","start_den":"1","procs":1,"duration":9},{"job":2,"start_num":"0","start_den":"1","procs":1,"duration":10}],"tenant":{"user":"alice","project":"render","class":"default"}}"#;

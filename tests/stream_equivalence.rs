@@ -9,7 +9,7 @@ use moldable::prelude::*;
 use moldable::sched::solver::solver_by_name;
 use moldable::sim::{
     observations_from_epochs, run_epochs_solver, run_stream, ArrivingJob, FairnessReport,
-    StreamJob, StreamOptions,
+    FairshareOptions, StreamJob, StreamOptions,
 };
 use proptest::prelude::*;
 
@@ -139,5 +139,93 @@ proptest! {
         prop_assert_eq!(out.jobs as usize, jobs.len());
         prop_assert!(seen.iter().all(|&c| c == 1));
         prop_assert!(out.epochs as usize >= jobs.len().div_ceil(cap.max(1)) - 1);
+    }
+
+    /// `--fairshare off` is not a separate code path doing the same
+    /// thing — it is `fairshare: None`, the exact options the corpus
+    /// above proves equivalent to the epoch scheme. And with a single
+    /// user, turning fair-share ON must change nothing either: every
+    /// weight competition ties and falls back to arrival order, so
+    /// completions, epoch count, makespan, and fairness reproduce the
+    /// FIFO run exactly, for any half-life and batch cap.
+    #[test]
+    fn single_user_fairshare_reproduces_fifo(
+        spec in arrival_stream(),
+        m in 1u64..6,
+        cap in 1usize..4,
+        half_life in 1u64..64,
+    ) {
+        let jobs = curves(&spec);
+        let stream: Vec<StreamJob> = jobs
+            .iter()
+            .map(|(a, c)| StreamJob { curve: c.clone(), arrival: *a, user: 7 })
+            .collect();
+        let eps = Ratio::new(1, 4);
+        let solver = solver_by_name("linear", &eps).unwrap();
+        let run = |fairshare: Option<FairshareOptions>| {
+            let mut completions: Vec<(u64, Ratio)> = Vec::new();
+            let out = run_stream(
+                stream.clone(),
+                m,
+                solver.as_ref(),
+                &StreamOptions { max_batch: Some(cap), fairshare, ..StreamOptions::default() },
+                |i, o| completions.push((i, o.completion)),
+            )
+            .unwrap();
+            (out, completions)
+        };
+        let (fifo, fifo_completions) = run(None);
+        let (fair, fair_completions) = run(Some(FairshareOptions { half_life }));
+        prop_assert_eq!(fair_completions, fifo_completions);
+        prop_assert_eq!(fair.epochs, fifo.epochs);
+        prop_assert_eq!(fair.makespan, fifo.makespan);
+        prop_assert_eq!(fair.fairness.max_stretch, fifo.fairness.max_stretch);
+        prop_assert_eq!(fair.fairness.mean_stretch, fifo.fairness.mean_stretch);
+    }
+
+    /// Fair-share reorders the pending queue but never the ledger:
+    /// with multiple competing users every job still completes exactly
+    /// once, no earlier than its arrival, and the per-user fairness
+    /// rows still partition the stream.
+    #[test]
+    fn fairshare_conserves_jobs_across_users(
+        spec in arrival_stream(),
+        m in 1u64..6,
+        cap in 1usize..4,
+        half_life in 1u64..64,
+    ) {
+        let jobs = curves(&spec);
+        let stream: Vec<StreamJob> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (a, c))| StreamJob {
+                curve: c.clone(),
+                arrival: *a,
+                user: (i % 3) as i64,
+            })
+            .collect();
+        let eps = Ratio::new(1, 4);
+        let solver = solver_by_name("linear", &eps).unwrap();
+        let mut seen = vec![0usize; jobs.len()];
+        let out = run_stream(
+            stream,
+            m,
+            solver.as_ref(),
+            &StreamOptions {
+                max_batch: Some(cap),
+                fairshare: Some(FairshareOptions { half_life }),
+                ..StreamOptions::default()
+            },
+            |i, o| {
+                seen[i as usize] += 1;
+                assert!(o.completion >= o.arrival);
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(out.jobs as usize, jobs.len());
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        let rows: usize = out.fairness.users.iter().map(|u| u.jobs).sum();
+        prop_assert_eq!(rows, jobs.len());
+        prop_assert!(out.fairness.users.len() <= 3);
     }
 }
