@@ -64,6 +64,15 @@ impl TenantUsage {
         // kept generation (over-counts their decayed value slightly —
         // the conservative direction for a throttling signal).
         let generation = generation.max(self.base_gen);
+        // A gap this long evicts every kept generation anyway, so jump
+        // straight there instead of iterating O(elapsed) empty slots —
+        // with wall-clock ticks and a short half-life that loop could
+        // stall the caller after a long idle period.
+        if generation - self.base_gen >= (self.ring.len() + GENERATIONS) as u64 {
+            self.ring.clear();
+            self.ring.push_back(RunningSum::new());
+            self.base_gen = generation;
+        }
         while (generation - self.base_gen) as usize >= self.ring.len() {
             self.ring.push_back(RunningSum::new());
             if self.ring.len() > GENERATIONS {
@@ -237,6 +246,20 @@ mod tests {
         let exact = n as f64 / 3.0;
         let got = fs.usage(&7, 500);
         assert!((got - exact).abs() < 1e-6, "got {got}, want {exact}");
+    }
+
+    #[test]
+    fn charge_after_a_long_idle_gap_is_constant_time() {
+        // A one-tick half-life with wall-clock-sized timestamps: the
+        // generation gap is ~2⁶², which must short-circuit rather than
+        // advance the ring one slot at a time.
+        let mut fs: Fairshare<i64> = Fairshare::new(1);
+        fs.charge(0, 0, &Ratio::from_int(7));
+        fs.charge(0, u64::MAX / 2, &Ratio::from_int(3));
+        assert_eq!(fs.usage(&0, u64::MAX / 2), 3.0);
+        // And the ring stays bounded after the jump.
+        fs.charge(0, u64::MAX / 2 + 1, &Ratio::from_int(1));
+        assert_eq!(fs.usage(&0, u64::MAX / 2 + 1), 2.5);
     }
 
     #[test]

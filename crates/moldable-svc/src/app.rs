@@ -137,6 +137,27 @@ impl AdmissionState {
     }
 }
 
+/// RAII holder for an admission ticket: the in-flight procs/jobs charges
+/// are returned on drop (window charges expire by clock), so a panicking
+/// solver unwinding through the handler cannot permanently shrink the
+/// tenant's quota. `None` — a tenant-free request — releases nothing.
+struct TicketGuard<'a> {
+    app: &'a App,
+    ticket: Option<Ticket>,
+}
+
+impl Drop for TicketGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(ticket) = &self.ticket {
+            // A poisoned lock means another thread died while charging;
+            // skipping the release beats a double panic mid-unwind.
+            if let Ok(mut state) = self.app.admission.lock() {
+                state.engine.release(ticket);
+            }
+        }
+    }
+}
+
 /// 128-bit digest of an exact request body, keying the front memo.
 ///
 /// Unlike the canonical key this never leaves the process and carries no
@@ -466,18 +487,6 @@ impl App {
         }
     }
 
-    /// Return an admission ticket's in-flight charges (window charges
-    /// expire by clock). A no-op for tenant-free requests.
-    fn release(&self, ticket: &Option<Ticket>) {
-        if let Some(ticket) = ticket {
-            self.admission
-                .lock()
-                .expect("admission lock poisoned")
-                .engine
-                .release(ticket);
-        }
-    }
-
     /// Serve a byte-identical repeat of an earlier request straight from
     /// the exact-bytes memo — no JSON parse at all — or run `fill` (the
     /// full handler, canonical cache included) and remember the served
@@ -488,27 +497,32 @@ impl App {
     ///
     /// Tenant-tagged bodies bypass the memo in both directions: serving
     /// them from remembered bytes would skip admission control (quota
-    /// state changes between identical requests), so anything that can
-    /// possibly carry a `tenant` field — detected by the `"tenant"`
-    /// byte sequence, false positives only costing the shortcut — takes
-    /// the full path every time. Tenant-free bodies keep the exact old
-    /// fast path.
+    /// state changes between identical requests). The authoritative gate
+    /// is the *parsed* request — `fill` reports whether it carried a
+    /// tenant, and tagged responses are never inserted, so no replay
+    /// (however the tag was spelled, `\uXXXX` key escapes included) can
+    /// ever be served from remembered bytes. The `"tenant"` byte scan on
+    /// top is only a fast path: bodies that obviously carry the tag skip
+    /// the probe and the miss accounting entirely, keeping tenant-free
+    /// bodies on the exact old fast path.
     fn body_memoized(
         &self,
         endpoint_tag: u64,
         body: &[u8],
-        fill: impl FnOnce(&[u8]) -> Result<String, Failure>,
+        fill: impl FnOnce(&[u8]) -> Result<(String, bool), Failure>,
     ) -> Result<String, Failure> {
         let cache = match self.body_cache.as_ref() {
             Some(cache) if !contains_bytes(body, b"\"tenant\"") => cache,
-            _ => return fill(body),
+            _ => return fill(body).map(|(served, _)| served),
         };
         let key = body_hash(endpoint_tag, body);
         if let Some(served) = cache.get(key) {
             return Ok(served.to_string());
         }
-        let served = fill(body)?;
-        cache.insert(key, Arc::from(served.as_str()));
+        let (served, memoizable) = fill(body)?;
+        if memoizable {
+            cache.insert(key, Arc::from(served.as_str()));
+        }
         Ok(served)
     }
 
@@ -535,14 +549,20 @@ impl App {
     /// `POST /v1/solve`: one registry solver on one instance, through a
     /// single shared [`JobView`] build — short-circuited by the
     /// canonical-instance cache when an identical request was already
-    /// served.
-    fn handle_solve(&self, body: &[u8]) -> Result<String, Failure> {
+    /// served. The second half of the return value tells
+    /// [`App::body_memoized`] whether the served bytes may enter the
+    /// exact-bytes memo (only tenant-free requests may — admission has
+    /// to run on every tagged repeat).
+    fn handle_solve(&self, body: &[u8]) -> Result<(String, bool), Failure> {
         let (sr, instance) = parse_solve_body(body, &self.config.default_eps)
             .map_err(|e| (ErrorKind::BadRequest, e))?;
         // The error Display lists every registry name; surface verbatim.
         let solver = solver_by_name(&sr.algo, &sr.eps)
             .map_err(|e| (ErrorKind::UnknownSolver, e.to_string()))?;
-        let ticket = self.admit(&sr, &instance)?;
+        let _ticket = TicketGuard {
+            app: self,
+            ticket: self.admit(&sr, &instance)?,
+        };
         let key = self.cache_key(Endpoint::Solve, &sr, &instance);
         let served = self.cached(key, || {
             let view = JobView::build(&instance);
@@ -618,20 +638,23 @@ impl App {
             }
             Ok(serialize(&reply))
         });
-        self.release(&ticket);
-        served
+        served.map(|served| (served, sr.tenant.is_none()))
     }
 
     /// `POST /v1/race`: the full applicable roster on one instance via
     /// the batch engine, with the CLI `race --check` parity verdict.
-    fn handle_race(&self, body: &[u8]) -> Result<String, Failure> {
+    /// Returns the served bytes plus the memoizability flag, exactly as
+    /// [`App::handle_solve`] does.
+    fn handle_race(&self, body: &[u8]) -> Result<(String, bool), Failure> {
         let (sr, instance) = parse_solve_body(body, &self.config.default_eps)
             .map_err(|e| (ErrorKind::BadRequest, e))?;
-        let ticket = self.admit(&sr, &instance)?;
+        let _ticket = TicketGuard {
+            app: self,
+            ticket: self.admit(&sr, &instance)?,
+        };
         let key = self.cache_key(Endpoint::Race, &sr, &instance);
         let served = self.cached(key, || self.race_uncached(&sr, &instance));
-        self.release(&ticket);
-        served
+        served.map(|served| (served, sr.tenant.is_none()))
     }
 
     fn race_uncached(&self, sr: &SolveRequest, instance: &Instance) -> Result<String, Failure> {

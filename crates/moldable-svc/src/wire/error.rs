@@ -83,21 +83,35 @@ impl ErrorKind {
 
     /// Classify a CLI-side error message by the stable prefixes the
     /// solver pipeline uses, so `main` can render the same envelope the
-    /// service would for the same failure. Anything unrecognized is a
-    /// request problem — the CLI has no transport-level failures.
+    /// service would for the same failure. The race path tags pipeline
+    /// errors with a leading `solver-label: ` segment, so those two
+    /// prefixes are also recognized one segment in. Anything
+    /// unrecognized is a request problem — the CLI has no
+    /// transport-level failures.
     pub fn classify(detail: &str) -> ErrorKind {
         if detail.starts_with("unknown solver ") {
             ErrorKind::UnknownSolver
         } else if detail.starts_with("quota rule ") {
             ErrorKind::QuotaDenied
-        } else if detail.starts_with("placement failed") {
+        } else if pipeline_prefix(detail, "placement failed") {
             ErrorKind::Placement
-        } else if detail.starts_with("solver produced an invalid schedule") {
+        } else if pipeline_prefix(detail, "solver produced an invalid schedule") {
             ErrorKind::InvalidSchedule
         } else {
             ErrorKind::BadRequest
         }
     }
+}
+
+/// True when `detail` starts with the pipeline `prefix`, allowing at
+/// most one leading `label: ` segment (a race-roster solver name).
+fn pipeline_prefix(detail: &str, prefix: &str) -> bool {
+    if detail.starts_with(prefix) {
+        return true;
+    }
+    detail
+        .split_once(": ")
+        .is_some_and(|(_, tail)| tail.starts_with(prefix))
 }
 
 impl fmt::Display for ErrorKind {
@@ -168,6 +182,15 @@ mod tests {
             ("placement failed: level mismatch", ErrorKind::Placement),
             (
                 "solver produced an invalid schedule: overcommit",
+                ErrorKind::InvalidSchedule,
+            ),
+            // Race-path errors carry the solver label up front.
+            (
+                "dual (eps=1/4): placement failed: level mismatch",
+                ErrorKind::Placement,
+            ),
+            (
+                "linear: solver produced an invalid schedule: overcommit",
                 ErrorKind::InvalidSchedule,
             ),
             ("`algo` must be a string", ErrorKind::BadRequest),

@@ -73,7 +73,7 @@ const USAGE: &str = "usage:
   moldable validate --input FILE --schedule FILE
   moldable simulate --input FILE --schedule FILE
   moldable simulate --trace FILE.swf [--m M] [--model amdahl|downey] [--seed S] [--max-jobs N] [--eps N/D] [--algo NAME] [--engine event|epoch]
-  moldable simulate --model lublin --n N [--m M] [--seed S] [--gap SECONDS] [--users U] [--user-skew S] [--fit amdahl|downey] [--engine event|epoch] [--max-batch B] [--eps N/D] [--algo NAME] [--topology SPEC] [--policy P] [--fairshare on|off] [--half-life TICKS]
+  moldable simulate --model lublin --n N [--m M] [--seed S] [--gap SECONDS] [--users U] [--user-skew S] [--fit amdahl|downey] [--engine event|epoch] [--max-batch B] [--eps N/D] [--algo NAME] [--topology SPEC] [--policy P] [--fairshare on|off] [--half-life TICKS] [--report-users N]
   moldable render   --input FILE --schedule FILE --out FILE.svg [--width W] [--height H]
 
 topology SPEC is an arity product (\"64*2*32\" = nodes*sockets*cores) or
@@ -221,7 +221,10 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     } else if req.placements {
         ensure_placement(&view, &mut outcome.schedule, None)?;
     }
-    validate(&outcome.schedule, &inst).map_err(|e| e.to_string())?;
+    // The same prefix the service handler uses, so `ErrorKind::classify`
+    // files this under `invalid-schedule` on both front ends.
+    validate(&outcome.schedule, &inst)
+        .map_err(|e| format!("solver produced an invalid schedule: {e}"))?;
     let mut out = json!({
         "schema": req.schema(),
         "algo": req.algo,
@@ -298,8 +301,9 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
             } else if req.placements {
                 ensure_placement(&view, &mut schedule, Some(&r.label))?;
             }
-            validate(&schedule, &inst)
-                .map_err(|e| format!("{}: invalid schedule: {e}", r.label))?;
+            validate(&schedule, &inst).map_err(|e| {
+                format!("{}: solver produced an invalid schedule: {e}", r.label)
+            })?;
             let bound_ok = r.outcome.ratio_bound.as_ref().map(|b| {
                 let cap = b.mul_int(2 * omega as u128);
                 let ok = r.outcome.makespan <= cap;
@@ -623,6 +627,14 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
     let eps = parse_eps(args)?;
     let (algo_name, solver) = online_solver(args, &eps)?;
     let engine = flag(args, "--engine").unwrap_or_else(|| "event".into());
+    // Fairness rows in the report, capped at the top `--report-users` by
+    // weighted flow. The default stays at PR 9's 16 so existing reports
+    // are byte-identical; the fair-share overload experiment passes 64
+    // to see every user of its 64-user stream.
+    let report_users: usize = flag(args, "--report-users")
+        .map(|s| s.parse().map_err(|_| "bad --report-users"))
+        .transpose()?
+        .unwrap_or(16);
 
     // The workload source: the Lublin–Feitelson model, or an SWF trace.
     let source: Box<dyn WorkloadSource> = if flag(args, "--model").as_deref() == Some("lublin")
@@ -716,7 +728,7 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                 "makespan": out.makespan.to_f64(),
                 "peak_pending": out.peak_pending,
                 "wall_seconds": started.elapsed().as_secs_f64(),
-                "fairness": fairness_json(&out.fairness, 64),
+                "fairness": fairness_json(&out.fairness, report_users),
             });
             if let Some(frag) = &out.fragmentation {
                 push_field(
@@ -767,7 +779,7 @@ fn cmd_simulate_stream(args: &[String]) -> Result<(), String> {
                 "epochs": out.epochs.len(),
                 "makespan": out.makespan.to_f64(),
                 "wall_seconds": started.elapsed().as_secs_f64(),
-                "fairness": fairness_json(&fairness, 64),
+                "fairness": fairness_json(&fairness, report_users),
             })
         }
         other => return Err(format!("unknown --engine `{other}` (event|epoch)")),

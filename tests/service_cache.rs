@@ -274,6 +274,49 @@ fn tenant_is_a_cache_key_but_quotas_are_not() {
     assert_eq!(v["tenant"]["user"].as_str(), Some("alice"));
 }
 
+/// Regression: a tenant tag whose key is spelled with a `\uXXXX` escape
+/// (`{"\u0074enant": …}`) parses as tenant-tagged but slips past the
+/// memo's `"tenant"` byte scan. The memo's insert gate keys on the
+/// *parsed* request, so the served bytes are never remembered and every
+/// byte-identical replay still runs admission — the counters prove it.
+#[test]
+fn escaped_tenant_key_cannot_ride_the_exact_bytes_memo() {
+    let app = cached_app();
+    let body = format!(
+        r#"{{"instance": {SMALL}, "algo": "linear", "\u0074enant": {{"user": "alice"}}}}"#
+    );
+    let first = app.respond(&post("/v1/solve", &body));
+    assert_eq!(first.status, 200, "{}", body_text(&first));
+    let v: serde_json::Value = serde_json::from_str(&body_text(&first)).unwrap();
+    assert_eq!(
+        v["schema"].as_u64(),
+        Some(4),
+        "escaped key must still parse as a tenant tag"
+    );
+    let second = app.respond(&post("/v1/solve", &body));
+    assert_eq!(second.status, 200);
+    assert_eq!(body_text(&second), body_text(&first));
+    // The replay must not have been served from remembered bytes …
+    let body_cache = app.body_cache().unwrap();
+    assert!(
+        body_cache.is_empty(),
+        "a tenant-tagged response was memoized by body"
+    );
+    assert_eq!(
+        body_cache.counters().0,
+        0,
+        "a tenant-tagged replay scored a memo hit"
+    );
+    // … and admission must have charged the tenant both times.
+    let metrics = app.respond(&get("/metrics"));
+    let m: serde_json::Value = serde_json::from_str(&body_text(&metrics)).unwrap();
+    assert_eq!(
+        m["tenants"]["alice/default/default"]["admitted"].as_u64(),
+        Some(2),
+        "admission skipped on a byte-identical replay: {m:?}"
+    );
+}
+
 #[test]
 fn errors_are_never_cached() {
     let app = cached_app();
